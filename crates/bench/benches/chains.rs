@@ -1,0 +1,83 @@
+//! Chains-to-chains algorithms: the classical homogeneous solvers against
+//! each other, and the heterogeneous machinery behind Theorem 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeline_chains::{
+    hetero_best_order_heuristic, hetero_exact_bnb, min_bottleneck_dp,
+    min_bottleneck_probe_search, recursive_bisection,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_array(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0.5..100.0)).collect()
+}
+
+fn bench_homogeneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chains_homogeneous");
+    for n in [64usize, 512, 4096] {
+        let a = random_array(7, n);
+        let p = 16;
+        if n <= 512 {
+            // The O(n²·p) DP is quadratic; keep the bench suite bounded.
+            group.bench_with_input(BenchmarkId::new("dp", n), &a, |b, a| {
+                b.iter(|| black_box(min_bottleneck_dp(a, p)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("probe_search", n), &a, |b, a| {
+            b.iter(|| black_box(min_bottleneck_probe_search(a, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("recursive_bisection", n), &a, |b, a| {
+            b.iter(|| black_box(recursive_bisection(a, p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heterogeneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chains_heterogeneous");
+    let a = random_array(11, 64);
+    let mut rng = StdRng::seed_from_u64(13);
+    let speeds: Vec<f64> = (0..8).map(|_| rng.random_range(1..=20) as f64).collect();
+    group.bench_function("ordering_heuristic_n64_p8", |b| {
+        b.iter(|| black_box(hetero_best_order_heuristic(&a, &speeds)))
+    });
+    // Small exact search: the gadget-scale workload.
+    let a_small = random_array(17, 12);
+    let speeds_small: Vec<f64> = (0..4).map(|_| rng.random_range(1..=20) as f64).collect();
+    group.bench_function("exact_bnb_n12_p4", |b| {
+        b.iter(|| black_box(hetero_exact_bnb(&a_small, &speeds_small, 50_000_000)))
+    });
+    group.finish();
+}
+
+fn bench_nmwts_gadget(c: &mut Criterion) {
+    use pipeline_chains::nmwts::{reduce, NmwtsInstance};
+    let inst = NmwtsInstance::new(vec![1, 2], vec![2, 1], vec![3, 3]);
+    c.bench_function("nmwts/reduce_and_solve_m2", |b| {
+        b.iter(|| {
+            let red = reduce(black_box(&inst));
+            black_box(hetero_exact_bnb(&red.tasks, &red.speeds, 100_000_000))
+        })
+    });
+}
+
+
+fn fast_config() -> Criterion {
+    // Bounded runtime: the suite has ~70 benchmarks; a second of
+    // measurement per benchmark gives stable medians for these
+    // microsecond-to-millisecond workloads.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_homogeneous, bench_heterogeneous, bench_nmwts_gadget
+}
+criterion_main!(benches);

@@ -1,0 +1,344 @@
+//! The NP-hardness gadget of Theorem 1: reducing NUMERICAL MATCHING WITH
+//! TARGET SUMS (NMWTS) to `Hetero-1D-Partition`.
+//!
+//! NMWTS (Garey & Johnson, problem [SP17]): given `3m` numbers
+//! `x_1..x_m`, `y_1..y_m`, `z_1..z_m`, do two permutations `σ1, σ2` of
+//! `{1..m}` exist with `x_i + y_{σ1(i)} = z_{σ2(i)}` for all `i`?
+//!
+//! The paper builds, with `M = max(x, y, z)`, `B = 2M`, `C = 5M`,
+//! `D = 7M` and `N = M + 3`, the task array (for each `i`, in order)
+//!
+//! ```text
+//!   A_i = B + x_i,   1 (×M times),   C,   D
+//! ```
+//!
+//! and the `3m` speeds `s_i = B + z_i`, `s_{m+i} = C + M − y_i`,
+//! `s_{2m+i} = D`, asking whether bound `K = 1` is achievable. This module
+//! makes the reduction executable: [`reduce`] builds the instance,
+//! [`decode_matching`] recovers `(σ1, σ2)` from a `K = 1` partition, and
+//! [`solve_nmwts_brute`] provides ground truth for small `m`.
+
+use crate::hetero::HeteroSolution;
+
+/// An NMWTS instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NmwtsInstance {
+    /// The `x_1..x_m` values.
+    pub xs: Vec<u64>,
+    /// The `y_1..y_m` values.
+    pub ys: Vec<u64>,
+    /// The `z_1..z_m` target values.
+    pub zs: Vec<u64>,
+}
+
+impl NmwtsInstance {
+    /// Builds an instance; panics when the three vectors differ in length
+    /// or are empty.
+    pub fn new(xs: Vec<u64>, ys: Vec<u64>, zs: Vec<u64>) -> Self {
+        assert!(!xs.is_empty(), "m must be positive");
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(xs.len(), zs.len());
+        NmwtsInstance { xs, ys, zs }
+    }
+
+    /// `m`, the number of triples.
+    pub fn m(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `M = max_i {x_i, y_i, z_i}`.
+    pub fn max_value(&self) -> u64 {
+        self.xs
+            .iter()
+            .chain(&self.ys)
+            .chain(&self.zs)
+            .copied()
+            .max()
+            .expect("non-empty")
+    }
+
+    /// The necessary condition `Σx + Σy = Σz`; instances violating it have
+    /// no solution (and the reduction's proof assumes it).
+    pub fn sums_balanced(&self) -> bool {
+        let sx: u64 = self.xs.iter().sum();
+        let sy: u64 = self.ys.iter().sum();
+        let sz: u64 = self.zs.iter().sum();
+        sx + sy == sz
+    }
+
+    /// Checks a candidate solution `x_i + y_{σ1(i)} = z_{σ2(i)}`.
+    pub fn check(&self, sigma1: &[usize], sigma2: &[usize]) -> bool {
+        let m = self.m();
+        if sigma1.len() != m || sigma2.len() != m {
+            return false;
+        }
+        let mut seen1 = vec![false; m];
+        let mut seen2 = vec![false; m];
+        for i in 0..m {
+            let (a, b) = (sigma1[i], sigma2[i]);
+            if a >= m || b >= m || seen1[a] || seen2[b] {
+                return false;
+            }
+            seen1[a] = true;
+            seen2[b] = true;
+            if self.xs[i] + self.ys[a] != self.zs[b] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The reduced `Hetero-1D-Partition` instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReducedInstance {
+    /// Task weights `a_1..a_n`, `n = (M + 3) m`.
+    pub tasks: Vec<f64>,
+    /// Processor speeds `s_1..s_{3m}`.
+    pub speeds: Vec<f64>,
+    /// `M` of the source instance (kept for decoding).
+    pub m_value: u64,
+    /// `m` of the source instance.
+    pub m: usize,
+}
+
+/// Builds the Theorem-1 instance from an NMWTS instance.
+pub fn reduce(inst: &NmwtsInstance) -> ReducedInstance {
+    let m = inst.m();
+    let big_m = inst.max_value();
+    let b = 2 * big_m;
+    let c = 5 * big_m;
+    let d = 7 * big_m;
+    let mut tasks = Vec::with_capacity((big_m as usize + 3) * m);
+    for i in 0..m {
+        tasks.push((b + inst.xs[i]) as f64); // A_i = B + x_i
+        tasks.extend(std::iter::repeat_n(1.0, big_m as usize));
+        tasks.push(c as f64);
+        tasks.push(d as f64);
+    }
+    let mut speeds = Vec::with_capacity(3 * m);
+    for i in 0..m {
+        speeds.push((b + inst.zs[i]) as f64); // s_i = B + z_i
+    }
+    for i in 0..m {
+        speeds.push((c + big_m - inst.ys[i]) as f64); // s_{m+i} = C + M − y_i
+    }
+    for _ in 0..m {
+        speeds.push(d as f64); // s_{2m+i} = D
+    }
+    ReducedInstance { tasks, speeds, m_value: big_m, m }
+}
+
+/// Recovers `(σ1, σ2)` from a partition achieving bound `K = 1`,
+/// following the "⇐" direction of the Theorem-1 proof. Returns `None`
+/// when the solution does not have the structure the proof guarantees
+/// (which would indicate the solution exceeds `K = 1`).
+pub fn decode_matching(
+    red: &ReducedInstance,
+    sol: &HeteroSolution,
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let m = red.m;
+    let n_block = red.m_value as usize + 3;
+    let mut sigma1 = vec![usize::MAX; m];
+    let mut sigma2 = vec![usize::MAX; m];
+    // Walk the intervals; for block i, the proof shows the solution must
+    // place [A_i + h_i ones] on some P_{σ2(i)} (speed index < m),
+    // [(M − h_i) ones + C] on some P_{m + σ1(i)}, and [D] alone on a
+    // speed-D processor.
+    for (k, (start, end)) in sol.partition.intervals().enumerate() {
+        let block = start / n_block;
+        let offset = start % n_block;
+        let proc = sol.proc_of[k];
+        if offset == 0 {
+            // Starts at A_block: must be the σ2 interval.
+            if proc >= m || block >= m {
+                return None;
+            }
+            sigma2[block] = proc;
+            if end >= start + n_block - 1 {
+                return None; // swallowed C or D — not a K = 1 shape
+            }
+        } else if offset < n_block - 1 && red.tasks[end - 1] == (5 * red.m_value) as f64 {
+            // Ends with C: the σ1 interval.
+            if !(m..2 * m).contains(&proc) || block >= m {
+                return None;
+            }
+            sigma1[block] = proc - m;
+        } else if offset == n_block - 1 {
+            // The singleton D.
+            if end != start + 1 || !(2 * m..3 * m).contains(&proc) {
+                return None;
+            }
+        } else {
+            return None;
+        }
+    }
+    if sigma1.contains(&usize::MAX) || sigma2.contains(&usize::MAX) {
+        return None;
+    }
+    Some((sigma1, sigma2))
+}
+
+/// Brute-force NMWTS solver (tries every `σ1`; `σ2` follows greedily by
+/// multiset matching). Factorial in `m` — tests only.
+pub fn solve_nmwts_brute(inst: &NmwtsInstance) -> Option<(Vec<usize>, Vec<usize>)> {
+    let m = inst.m();
+    if !inst.sums_balanced() {
+        return None;
+    }
+    let mut perm: Vec<usize> = (0..m).collect();
+    let mut result = None;
+    permute(&mut perm, 0, &mut |sigma1| {
+        // For this σ1, the required targets are x_i + y_{σ1(i)}; match them
+        // against the z multiset.
+        let mut z_used = vec![false; m];
+        let mut sigma2 = vec![usize::MAX; m];
+        for i in 0..m {
+            let need = inst.xs[i] + inst.ys[sigma1[i]];
+            match (0..m).find(|&j| !z_used[j] && inst.zs[j] == need) {
+                Some(j) => {
+                    z_used[j] = true;
+                    sigma2[i] = j;
+                }
+                None => return false,
+            }
+        }
+        result = Some((sigma1.to_vec(), sigma2));
+        true
+    });
+    result
+}
+
+fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == perm.len() {
+        return visit(perm);
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        if permute(perm, k + 1, visit) {
+            perm.swap(k, i);
+            return true;
+        }
+        perm.swap(k, i);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::hetero_exact_bnb;
+
+    fn solvable_instance() -> NmwtsInstance {
+        // x = [1, 2], y = [2, 1], z = [3, 3]: x1 + y1 = 3 = z1,
+        // x2 + y2 = 3 = z2.
+        NmwtsInstance::new(vec![1, 2], vec![2, 1], vec![3, 3])
+    }
+
+    fn unsolvable_instance() -> NmwtsInstance {
+        // Balanced sums (4 + 4 = 8) but no matching: needs x_i + y_j ∈ {2, 6}
+        // with x = [1, 3], y = [1, 3], z = [2, 6]:
+        // 1+1=2 ✓, 3+3=6 ✓ — that IS solvable. Pick z = [3, 5] instead:
+        // possible sums {2, 4, 6}; 3 and 5 are unreachable.
+        NmwtsInstance::new(vec![1, 3], vec![1, 3], vec![3, 5])
+    }
+
+    #[test]
+    fn brute_force_solves_and_rejects() {
+        let s = solvable_instance();
+        let (s1, s2) = solve_nmwts_brute(&s).expect("solvable");
+        assert!(s.check(&s1, &s2));
+        assert!(solve_nmwts_brute(&unsolvable_instance()).is_none());
+    }
+
+    #[test]
+    fn check_rejects_malformed_permutations() {
+        let s = solvable_instance();
+        assert!(!s.check(&[0, 0], &[0, 1])); // not a permutation
+        assert!(!s.check(&[0], &[0, 1])); // wrong length
+        assert!(!s.check(&[0, 1], &[0, 1]) || s.check(&[0, 1], &[0, 1]));
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let inst = solvable_instance();
+        let red = reduce(&inst);
+        let m_val = inst.max_value(); // 3
+        assert_eq!(red.tasks.len(), (m_val as usize + 3) * 2);
+        assert_eq!(red.speeds.len(), 6);
+        // Block 0: A_1 = 2M + x_1 = 7, then M ones, C = 15, D = 21.
+        assert_eq!(red.tasks[0], 7.0);
+        assert_eq!(red.tasks[1], 1.0);
+        assert_eq!(red.tasks[m_val as usize + 1], 15.0);
+        assert_eq!(red.tasks[m_val as usize + 2], 21.0);
+        // Speeds: B + z = [9, 9], C + M − y = [16, 17], D = [21, 21].
+        assert_eq!(&red.speeds[0..2], &[9.0, 9.0]);
+        assert_eq!(&red.speeds[2..4], &[16.0, 17.0]);
+        assert_eq!(&red.speeds[4..6], &[21.0, 21.0]);
+    }
+
+    #[test]
+    fn solvable_nmwts_gives_bound_one() {
+        let inst = solvable_instance();
+        let red = reduce(&inst);
+        let sol = hetero_exact_bnb(&red.tasks, &red.speeds, 200_000_000)
+            .expect("gadget within node budget");
+        assert!(
+            sol.objective <= 1.0 + 1e-9,
+            "solvable instance must achieve K = 1, got {}",
+            sol.objective
+        );
+        // And the partition decodes back to a valid matching.
+        let (s1, s2) = decode_matching(&red, &sol).expect("K = 1 solutions decode");
+        assert!(inst.check(&s1, &s2), "decoded matching must solve NMWTS");
+    }
+
+    #[test]
+    fn unsolvable_nmwts_gives_bound_above_one() {
+        let inst = unsolvable_instance();
+        assert!(inst.sums_balanced());
+        let red = reduce(&inst);
+        let sol = hetero_exact_bnb(&red.tasks, &red.speeds, 200_000_000)
+            .expect("gadget within node budget");
+        assert!(
+            sol.objective > 1.0 + 1e-9,
+            "unsolvable instance must exceed K = 1, got {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn forward_direction_constructs_k1_solution() {
+        // Build the mapping of the "⇒" proof by hand and verify K = 1.
+        let inst = solvable_instance();
+        let (s1, s2) = solve_nmwts_brute(&inst).unwrap();
+        let red = reduce(&inst);
+        let m = inst.m();
+        let m_val = inst.max_value() as usize;
+        let n_block = m_val + 3;
+        let mut bounds = vec![0usize];
+        let mut proc_of = Vec::new();
+        for i in 0..m {
+            let y = inst.ys[s1[i]] as usize;
+            let base = i * n_block;
+            bounds.push(base + 1 + y); // A_i + y ones
+            proc_of.push(s2[i]);
+            bounds.push(base + 1 + m_val + 1); // remaining ones + C
+            proc_of.push(m + s1[i]);
+            bounds.push(base + n_block); // D alone
+            proc_of.push(2 * m + i);
+        }
+        let partition =
+            crate::ChainPartition::from_bounds(bounds, red.tasks.len());
+        let in_order: Vec<f64> = proc_of.iter().map(|&u| red.speeds[u]).collect();
+        let obj = partition.weighted_bottleneck(&red.tasks, &in_order);
+        assert!(obj <= 1.0 + 1e-9, "constructed solution must meet K = 1, got {obj}");
+    }
+
+    #[test]
+    fn unbalanced_sums_short_circuit() {
+        let inst = NmwtsInstance::new(vec![1], vec![1], vec![5]);
+        assert!(!inst.sums_balanced());
+        assert!(solve_nmwts_brute(&inst).is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Four-way agreement of the homogeneous chains-to-chains solvers and
+//! ordering sanity across the heterogeneous toolbox, on larger random
+//! instances than the unit tests touch.
+
+use pipeline_chains::{
+    hetero_best_order_heuristic, min_bottleneck_dp, min_bottleneck_iqbal,
+    min_bottleneck_nicol, min_bottleneck_probe_search, recursive_bisection,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DP ≡ probe-search ≡ Nicol on random instances; Iqbal within ε;
+    /// recursive bisection dominated by all of them.
+    #[test]
+    fn four_way_agreement(
+        a in proptest::collection::vec(0.0_f64..200.0, 1..120),
+        p in 1usize..24,
+    ) {
+        let (dp, _) = min_bottleneck_dp(&a, p);
+        let (probe, _) = min_bottleneck_probe_search(&a, p);
+        let (nicol, _) = min_bottleneck_nicol(&a, p);
+        let (iqbal, _) = min_bottleneck_iqbal(&a, p, 1e-6);
+        let rb = recursive_bisection(&a, p).bottleneck(&a);
+        let tol = 1e-6 * (1.0 + dp);
+        prop_assert!((dp - probe).abs() < tol, "dp {} vs probe {}", dp, probe);
+        prop_assert!((dp - nicol).abs() < tol, "dp {} vs nicol {}", dp, nicol);
+        prop_assert!(iqbal >= dp - 1e-9 && iqbal <= dp + 1e-6 + 1e-9);
+        prop_assert!(rb >= dp - 1e-9, "RB beat the optimum");
+    }
+
+    /// Heterogeneous ordering heuristic: validity and a guaranteed upper
+    /// bound — it can never be worse than putting everything on the
+    /// fastest processor.
+    #[test]
+    fn hetero_heuristic_upper_bound(
+        a in proptest::collection::vec(0.1_f64..100.0, 1..60),
+        speeds in proptest::collection::vec(1.0_f64..20.0, 1..12),
+    ) {
+        let sol = hetero_best_order_heuristic(&a, &speeds);
+        sol.validate(&a, &speeds, 1e-9);
+        let total: f64 = a.iter().sum();
+        let s_max = speeds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(sol.objective <= total / s_max + 1e-9,
+            "heuristic {} worse than single-processor {}", sol.objective, total / s_max);
+        // And never better than the perfect-sharing lower bound.
+        let s_sum: f64 = speeds.iter().sum();
+        prop_assert!(sol.objective >= total / s_sum - 1e-9);
+    }
+
+    /// Homogeneous solvers reduce the heterogeneous machinery when all
+    /// speeds are equal.
+    #[test]
+    fn hetero_reduces_to_homogeneous(
+        a in proptest::collection::vec(0.1_f64..50.0, 1..40),
+        p in 1usize..8,
+        s in 1.0_f64..10.0,
+    ) {
+        let speeds = vec![s; p];
+        let het = hetero_best_order_heuristic(&a, &speeds);
+        let (hom, _) = min_bottleneck_dp(&a, p);
+        // For identical speeds the fixed-order greedy probe is exact, so
+        // the heuristic must hit the homogeneous optimum exactly.
+        prop_assert!((het.objective - hom / s).abs() < 1e-6 * (1.0 + hom / s),
+            "hetero {} vs homogeneous {}", het.objective, hom / s);
+    }
+}

@@ -1,0 +1,176 @@
+//! Lower bounds on the bi-criteria objectives, for optimality-gap
+//! reporting when the exact solver is out of reach.
+//!
+//! The period bound combines three relaxations, each valid for every
+//! interval mapping:
+//!
+//! 1. **Stage bound** — some interval contains the heaviest stage; on the
+//!    fastest processor, with its own boundary transfers merged away at
+//!    best, it still costs `w_max / s_max`; the first and last stages
+//!    additionally pin `δ_0/b` and `δ_n/b` respectively.
+//! 2. **Aggregate bound** — the `m ≤ p` enrolled processors must jointly
+//!    process `Σ w` every period: `period ≥ Σw / Σ_{p fastest} s`.
+//! 3. **Chains relaxation** — dropping all communication terms, the
+//!    period optimum is the `Hetero-1D-Partition` optimum, itself lower
+//!    bounded by the *fixed-order* optimum over the speed-sorted order
+//!    **minimized over both directions**… which is not a valid bound
+//!    (fixed orders are restrictions, not relaxations). Instead we use
+//!    the exact branch-and-bound on the zero-communication instance when
+//!    it fits a node budget — communication can only increase cycle
+//!    times, so the zero-δ optimum is a true lower bound.
+//!
+//! The latency bound is Lemma 1's `L_opt`, already exact.
+
+use pipeline_chains::hetero_exact_bnb;
+use pipeline_model::prelude::*;
+
+/// How the period lower bound was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundSource {
+    /// The analytic stage/aggregate bound only.
+    Analytic,
+    /// Strengthened by the exact zero-communication chains optimum.
+    ChainsRelaxation,
+}
+
+/// A certified lower bound on the period of every interval mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodBound {
+    /// The bound value.
+    pub value: f64,
+    /// Which machinery produced it.
+    pub source: BoundSource,
+}
+
+/// Computes a period lower bound. `chains_budget` caps the
+/// branch-and-bound nodes spent on the chains relaxation (0 disables it).
+pub fn period_lower_bound(cm: &CostModel<'_>, chains_budget: u64) -> PeriodBound {
+    let analytic = analytic_period_bound(cm);
+    if chains_budget == 0 {
+        return PeriodBound { value: analytic, source: BoundSource::Analytic };
+    }
+    // Zero-communication relaxation: exact Hetero-1D-Partition optimum.
+    let works = cm.app().works();
+    let speeds = cm.platform().speeds();
+    match hetero_exact_bnb(works, speeds, chains_budget) {
+        Some(sol) if sol.objective > analytic => {
+            PeriodBound { value: sol.objective, source: BoundSource::ChainsRelaxation }
+        }
+        _ => PeriodBound { value: analytic, source: BoundSource::Analytic },
+    }
+}
+
+fn analytic_period_bound(cm: &CostModel<'_>) -> f64 {
+    let app = cm.app();
+    let pf = cm.platform();
+    let s_max = pf.max_speed();
+    // Per-stage compute bound.
+    let stage = app.works().iter().map(|w| w / s_max).fold(0.0_f64, f64::max);
+    // Boundary transfers are unavoidable for the first/last intervals.
+    let b_io = (0..pf.n_procs())
+        .map(|u| pf.io_bandwidth_of(u))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let first = app.delta(0) / b_io + app.work(0) / s_max;
+    let last = app.delta(app.n_stages()) / b_io + app.work(app.n_stages() - 1) / s_max;
+    // Aggregate capacity bound: at most p processors share Σw per period.
+    let mut speeds = pf.speeds().to_vec();
+    speeds.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let usable: f64 = speeds.iter().take(app.n_stages()).sum();
+    let aggregate = app.total_work() / usable;
+    stage.max(first).max(last).max(aggregate)
+}
+
+/// The exact latency lower bound (Lemma 1).
+pub fn latency_lower_bound(cm: &CostModel<'_>) -> f64 {
+    cm.optimal_latency()
+}
+
+/// Relative optimality gap of `achieved` against a lower bound: `0.0`
+/// means provably optimal.
+pub fn gap(achieved: f64, bound: f64) -> f64 {
+    assert!(bound > 0.0, "bound must be positive");
+    ((achieved - bound) / bound).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_min_period;
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+    #[test]
+    fn bounds_never_exceed_the_exact_optimum() {
+        for kind in ExperimentKind::ALL {
+            for seed in 0..4 {
+                let gen = InstanceGenerator::new(InstanceParams::paper(kind, 7, 4));
+                let (app, pf) = gen.instance(seed, 0);
+                let cm = CostModel::new(&app, &pf);
+                let (opt, _) = exact_min_period(&cm);
+                for budget in [0u64, 10_000_000] {
+                    let b = period_lower_bound(&cm, budget);
+                    assert!(
+                        b.value <= opt + 1e-9,
+                        "{kind} seed {seed} budget {budget}: bound {} exceeds optimum {opt}",
+                        b.value
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chains_relaxation_strengthens_compute_dominated_bounds() {
+        // On E3 instances (big works, small δ) the chains relaxation is
+        // nearly tight while the analytic bound is loose.
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E3, 8, 4));
+        let mut strengthened = 0;
+        for seed in 0..5 {
+            let (app, pf) = gen.instance(seed, 0);
+            let cm = CostModel::new(&app, &pf);
+            let weak = period_lower_bound(&cm, 0);
+            let strong = period_lower_bound(&cm, 10_000_000);
+            assert!(strong.value >= weak.value - 1e-12);
+            if strong.source == BoundSource::ChainsRelaxation {
+                strengthened += 1;
+            }
+        }
+        assert!(strengthened >= 3, "relaxation should usually win on E3");
+    }
+
+    #[test]
+    fn latency_bound_is_lemma_1() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 6, 4));
+        let (app, pf) = gen.instance(1, 0);
+        let cm = CostModel::new(&app, &pf);
+        assert_eq!(latency_lower_bound(&cm), cm.optimal_latency());
+    }
+
+    #[test]
+    fn gap_semantics() {
+        assert_eq!(gap(10.0, 10.0), 0.0);
+        assert!((gap(12.0, 10.0) - 0.2).abs() < 1e-12);
+        // Achieved below the bound (possible only through float fuzz)
+        // clamps to zero rather than reporting a negative gap.
+        assert_eq!(gap(9.999999, 10.0), 0.0);
+    }
+
+    #[test]
+    fn heuristic_gaps_are_small_on_compute_dominated_instances() {
+        // Not a correctness property — a quality regression guard. On E3
+        // (computation-dominated) instances the chains relaxation is
+        // nearly tight, so H1 run to its floor must stay within 2× of the
+        // certified bound. (On communication-dominated regimes the zero-δ
+        // relaxation is inherently loose and no such guard holds.)
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E3, 8, 5));
+        for seed in 0..5 {
+            let (app, pf) = gen.instance(seed, 0);
+            let cm = CostModel::new(&app, &pf);
+            let floor = crate::sp_mono_p(&cm, 0.0).period;
+            let bound = period_lower_bound(&cm, 10_000_000).value;
+            assert!(
+                floor <= 2.0 * bound + 1e-9,
+                "seed {seed}: H1 floor {floor} vs bound {bound}"
+            );
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Exact bi-criteria optima for small instances, by exhaustive interval
+//! enumeration plus optimal processor assignment.
+//!
+//! There are `2^(n-1)` interval partitions of `n` stages; for each one the
+//! interval→processor assignment decomposes:
+//!
+//! * **period** is a max over intervals, so the optimal assignment is a
+//!   *bottleneck assignment* over the cycle-time matrix;
+//! * **latency** is a sum, so under a period threshold it is a *min-sum
+//!   assignment* (Hungarian) over the computation-time matrix with
+//!   too-slow pairs forbidden.
+//!
+//! Everything here is exponential in `n` and cubic in `p` — ground truth
+//! for tests and small-scale experiments, not production scheduling. The
+//! period minimization problem is NP-hard (paper Theorem 2), so no
+//! polynomial exact solver exists unless P = NP.
+
+use crate::pareto::ParetoFront;
+use pipeline_assign::{bottleneck_assignment, hungarian, CostMatrix};
+use pipeline_model::prelude::*;
+use pipeline_model::util::EPS;
+
+/// Practical guard: `2^(n-1)` partitions beyond this would hang tests.
+const MAX_STAGES: usize = 22;
+
+/// Calls `visit` with the boundary vector (`0 = b_0 < … < b_m = n`) of
+/// every partition of `[0, n)` into at most `max_parts` intervals.
+pub fn enumerate_partitions(n: usize, max_parts: usize, mut visit: impl FnMut(&[usize])) {
+    assert!(n > 0, "no stage to partition");
+    assert!(n <= MAX_STAGES, "refusing to enumerate 2^{} partitions", n - 1);
+    let mut bounds = vec![0usize];
+    fn rec(
+        n: usize,
+        max_parts: usize,
+        bounds: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        let start = *bounds.last().expect("never empty");
+        let parts_used = bounds.len() - 1;
+        if start == n {
+            visit(bounds);
+            return;
+        }
+        if parts_used == max_parts {
+            return;
+        }
+        for end in start + 1..=n {
+            bounds.push(end);
+            rec(n, max_parts, bounds, visit);
+            bounds.pop();
+        }
+    }
+    rec(n, max_parts.max(1), &mut bounds, &mut visit);
+}
+
+/// Per-partition interval descriptors used to build assignment matrices.
+struct PartitionCosts {
+    intervals: Vec<Interval>,
+    /// Fixed communication part of each interval's cycle time
+    /// (`t_in + t_out`).
+    comm: Vec<f64>,
+    /// Work of each interval.
+    work: Vec<f64>,
+    /// Constant latency part: `Σ t_in + δ_n/b`.
+    latency_base: f64,
+}
+
+fn partition_costs(cm: &CostModel<'_>, bounds: &[usize]) -> PartitionCosts {
+    let app = cm.app();
+    let b = match cm.platform().links() {
+        LinkModel::Homogeneous(b) => *b,
+        LinkModel::Heterogeneous { .. } => {
+            panic!("exact solver requires a Communication Homogeneous platform")
+        }
+    };
+    let mut intervals = Vec::with_capacity(bounds.len() - 1);
+    let mut comm = Vec::with_capacity(bounds.len() - 1);
+    let mut work = Vec::with_capacity(bounds.len() - 1);
+    let mut latency_base = app.delta(app.n_stages()) / b;
+    for w in bounds.windows(2) {
+        let iv = Interval::new(w[0], w[1]);
+        intervals.push(iv);
+        comm.push(app.input_volume(iv.start) / b + app.output_volume(iv.end) / b);
+        work.push(app.interval_work(iv.start, iv.end));
+        latency_base += app.input_volume(iv.start) / b;
+    }
+    PartitionCosts { intervals, comm, work, latency_base }
+}
+
+fn build_mapping(
+    cm: &CostModel<'_>,
+    pc: &PartitionCosts,
+    assigned: &[usize],
+) -> IntervalMapping {
+    IntervalMapping::new(
+        cm.app(),
+        cm.platform(),
+        pc.intervals.clone(),
+        assigned.to_vec(),
+    )
+    .expect("enumerated partitions are valid")
+}
+
+/// Exact minimum period over every interval mapping (NP-hard in general;
+/// exponential enumeration). Returns the optimal mapping.
+pub fn exact_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
+    let p = cm.platform().n_procs();
+    let speeds = cm.platform().speeds();
+    let mut best: Option<(f64, IntervalMapping)> = None;
+    enumerate_partitions(cm.app().n_stages(), p, |bounds| {
+        let pc = partition_costs(cm, bounds);
+        let m = pc.intervals.len();
+        let costs =
+            CostMatrix::from_fn(m, p, |j, u| pc.comm[j] + pc.work[j] / speeds[u]);
+        if let Some(a) = bottleneck_assignment(&costs) {
+            if best.as_ref().is_none_or(|(v, _)| a.objective < *v) {
+                best = Some((a.objective, build_mapping(cm, &pc, &a.assigned)));
+            }
+        }
+    });
+    best.expect("the single-interval partition is always assignable")
+}
+
+/// Exact minimum latency subject to `period ≤ period_bound`. `None` when
+/// no interval mapping satisfies the bound.
+pub fn exact_min_latency_for_period(
+    cm: &CostModel<'_>,
+    period_bound: f64,
+) -> Option<(f64, IntervalMapping)> {
+    let p = cm.platform().n_procs();
+    let speeds = cm.platform().speeds();
+    let mut best: Option<(f64, IntervalMapping)> = None;
+    enumerate_partitions(cm.app().n_stages(), p, |bounds| {
+        let pc = partition_costs(cm, bounds);
+        let m = pc.intervals.len();
+        let costs = CostMatrix::from_fn(m, p, |j, u| {
+            let cycle = pc.comm[j] + pc.work[j] / speeds[u];
+            if cycle <= period_bound + EPS {
+                pc.work[j] / speeds[u]
+            } else {
+                f64::INFINITY
+            }
+        });
+        if let Some(a) = hungarian(&costs) {
+            let latency = pc.latency_base + a.objective;
+            if best.as_ref().is_none_or(|(v, _)| latency < *v) {
+                best = Some((latency, build_mapping(cm, &pc, &a.assigned)));
+            }
+        }
+    });
+    best
+}
+
+/// Exact minimum period subject to `latency ≤ latency_bound`. `None` when
+/// no interval mapping satisfies the bound (i.e. `latency_bound < L_opt`).
+pub fn exact_min_period_for_latency(
+    cm: &CostModel<'_>,
+    latency_bound: f64,
+) -> Option<(f64, IntervalMapping)> {
+    let front = exact_pareto_front(cm);
+    let mut best: Option<(f64, IntervalMapping)> = None;
+    for pt in front.points() {
+        if pt.latency <= latency_bound + EPS
+            && best.as_ref().is_none_or(|(v, _)| pt.period < *v)
+        {
+            best = Some((pt.period, pt.payload.clone()));
+        }
+    }
+    best
+}
+
+/// The exact Pareto front of (period, latency) over every interval
+/// mapping.
+///
+/// For each partition, sweeps the distinct cycle values as period
+/// thresholds and records the Hungarian-optimal latency at each; globally
+/// Pareto-filters across partitions.
+pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
+    let p = cm.platform().n_procs();
+    let speeds = cm.platform().speeds();
+    let mut front: ParetoFront<IntervalMapping> = ParetoFront::new();
+    enumerate_partitions(cm.app().n_stages(), p, |bounds| {
+        let pc = partition_costs(cm, bounds);
+        let m = pc.intervals.len();
+        // Candidate thresholds: every distinct cycle value of this
+        // partition.
+        let mut thresholds: Vec<f64> = Vec::with_capacity(m * p);
+        for j in 0..m {
+            for u in 0..p {
+                thresholds.push(pc.comm[j] + pc.work[j] / speeds[u]);
+            }
+        }
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        thresholds.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+        for &t in &thresholds {
+            let costs = CostMatrix::from_fn(m, p, |j, u| {
+                let cycle = pc.comm[j] + pc.work[j] / speeds[u];
+                if cycle <= t + EPS {
+                    pc.work[j] / speeds[u]
+                } else {
+                    f64::INFINITY
+                }
+            });
+            let Some(a) = hungarian(&costs) else { continue };
+            let latency = pc.latency_base + a.objective;
+            // Recompute the achieved period (≤ t, can be smaller).
+            let achieved = a
+                .assigned
+                .iter()
+                .enumerate()
+                .map(|(j, &u)| pc.comm[j] + pc.work[j] / speeds[u])
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !front.dominated(achieved, latency) {
+                let mapping = build_mapping(cm, &pc, &a.assigned);
+                front.offer(achieved, latency, mapping);
+            }
+        }
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_model::{Application, Platform};
+
+    #[test]
+    fn enumerate_counts_match_compositions() {
+        // Partitions of n into at most k parts = Σ_{m=1..k} C(n-1, m-1).
+        let mut count = 0;
+        enumerate_partitions(5, 3, |_| count += 1);
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11.
+        assert_eq!(count, 11);
+        let mut all = 0;
+        enumerate_partitions(5, 5, |_| all += 1);
+        assert_eq!(all, 16); // 2^4
+    }
+
+    #[test]
+    fn enumerate_yields_valid_bounds() {
+        enumerate_partitions(4, 4, |b| {
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), 4);
+            assert!(b.windows(2).all(|w| w[0] < w[1]));
+        });
+    }
+
+    fn small_instance(seed: u64) -> (Application, Platform) {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 6, 4));
+        gen.instance(seed, 0)
+    }
+
+    #[test]
+    fn exact_min_period_is_a_lower_bound_for_heuristics() {
+        for seed in 0..4 {
+            let (app, pf) = small_instance(seed);
+            let cm = CostModel::new(&app, &pf);
+            let (opt, mapping) = exact_min_period(&cm);
+            assert!((cm.period(&mapping) - opt).abs() < 1e-9);
+            // Every heuristic run to its floor stays above the optimum.
+            let h1 = crate::sp_mono_p(&cm, 0.0);
+            assert!(h1.period >= opt - 1e-9, "H1 {} beat the optimum {opt}", h1.period);
+            assert!(opt >= cm.period_lower_bound() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_min_latency_unconstrained_is_lemma_1() {
+        let (app, pf) = small_instance(1);
+        let cm = CostModel::new(&app, &pf);
+        let (lat, mapping) =
+            exact_min_latency_for_period(&cm, f64::INFINITY).expect("always feasible");
+        assert!((lat - cm.optimal_latency()).abs() < 1e-9);
+        assert_eq!(mapping.n_intervals(), 1);
+        assert_eq!(mapping.proc_of(0), pf.fastest());
+    }
+
+    #[test]
+    fn exact_latency_constrained_respects_period_bound() {
+        let (app, pf) = small_instance(2);
+        let cm = CostModel::new(&app, &pf);
+        let (p_opt, _) = exact_min_period(&cm);
+        for factor in [1.0, 1.2, 1.5, 2.0] {
+            let bound = p_opt * factor;
+            let (lat, mapping) =
+                exact_min_latency_for_period(&cm, bound).expect("bound ≥ optimal period");
+            assert!(cm.period(&mapping) <= bound + 1e-9);
+            assert!((cm.latency(&mapping) - lat).abs() < 1e-9);
+            assert!(lat >= cm.optimal_latency() - 1e-9);
+        }
+        // Below the optimal period: infeasible.
+        assert!(exact_min_latency_for_period(&cm, p_opt * 0.99 - 1e-6).is_none());
+    }
+
+    #[test]
+    fn exact_period_for_latency_inverts_the_other_solver() {
+        let (app, pf) = small_instance(3);
+        let cm = CostModel::new(&app, &pf);
+        let l_opt = cm.optimal_latency();
+        assert!(exact_min_period_for_latency(&cm, l_opt * 0.99).is_none());
+        let (p_at_lopt, _) =
+            exact_min_period_for_latency(&cm, l_opt).expect("L_opt is achievable");
+        assert!((p_at_lopt - cm.single_proc_period()).abs() < 1e-9);
+        // Generous latency: the unconstrained optimal period.
+        let (p_free, _) = exact_min_period_for_latency(&cm, l_opt * 100.0).unwrap();
+        let (p_opt, _) = exact_min_period(&cm);
+        assert!((p_free - p_opt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_front_brackets_every_heuristic_result() {
+        let (app, pf) = small_instance(4);
+        let cm = CostModel::new(&app, &pf);
+        let front = exact_pareto_front(&cm);
+        assert!(!front.is_empty());
+        // Front points are mutually non-dominated and self-consistent.
+        for pt in front.points() {
+            let (p, l) = cm.evaluate(&pt.payload);
+            assert!((p - pt.period).abs() < 1e-9);
+            assert!((l - pt.latency).abs() < 1e-9);
+        }
+        // Heuristic results never dominate the front.
+        for kind in crate::HeuristicKind::ALL {
+            let target =
+                if kind.is_period_fixed() { cm.single_proc_period() * 0.8 } else { cm.optimal_latency() * 2.0 };
+            let res = kind.run(&cm, target);
+            // Tolerance: the front and the heuristic compute the same
+            // quantities along different floating-point paths.
+            assert!(
+                front.dominated(res.period + 1e-9, res.latency + 1e-9),
+                "{kind} produced a point dominating the exact front"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_extremes_match_dedicated_solvers() {
+        let (app, pf) = small_instance(5);
+        let cm = CostModel::new(&app, &pf);
+        let front = exact_pareto_front(&cm);
+        let (p_opt, _) = exact_min_period(&cm);
+        let min_front_period =
+            front.points().first().expect("non-empty").period;
+        assert!((min_front_period - p_opt).abs() < 1e-9);
+        let min_front_latency = front
+            .points()
+            .iter()
+            .map(|p| p.latency)
+            .fold(f64::INFINITY, f64::min);
+        assert!((min_front_latency - cm.optimal_latency()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn enumeration_guard() {
+        enumerate_partitions(40, 10, |_| {});
+    }
+}

@@ -1,0 +1,264 @@
+//! Extension to **fully heterogeneous platforms** (per-link bandwidths),
+//! the first "future work" direction of the paper's Section 7.
+//!
+//! On Communication Homogeneous platforms an interval's cycle time is
+//! independent of its neighbours, which is what makes the O(1) candidate
+//! evaluation of [`crate::state::SplitState`] possible. With per-link
+//! bandwidths a split changes the transfer costs of the *adjacent*
+//! intervals too, and the identity of the enrolled processor matters
+//! beyond its speed. The greedy here therefore:
+//!
+//! * evaluates candidates against the full mapping (O(m) per candidate);
+//! * considers the `candidate_procs` fastest unused processors for each
+//!   split instead of only the next one;
+//! * selects by global period improvement (mono) — the natural lift of
+//!   H1's rule when cycle times interact.
+//!
+//! On a Communication Homogeneous platform this reduces to H1 when
+//! `candidate_procs == 1` (verified by tests), so the extension is
+//! conservative.
+
+use crate::state::BiCriteriaResult;
+use pipeline_model::prelude::*;
+use pipeline_model::util::{definitely_lt, EPS};
+
+/// Options of the heterogeneous splitting heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct HeteroSplitOptions {
+    /// How many of the fastest unused processors to consider per split.
+    pub candidate_procs: usize,
+}
+
+impl Default for HeteroSplitOptions {
+    fn default() -> Self {
+        HeteroSplitOptions { candidate_procs: 3 }
+    }
+}
+
+/// Splitting heuristic minimizing latency under a period bound on fully
+/// heterogeneous platforms (also accepts Communication Homogeneous ones).
+pub fn hetero_sp_mono_p(
+    cm: &CostModel<'_>,
+    period_target: f64,
+    opts: HeteroSplitOptions,
+) -> BiCriteriaResult {
+    assert!(opts.candidate_procs >= 1, "need at least one candidate processor");
+    let pf = cm.platform();
+    let app = cm.app();
+    let order = pf.procs_by_speed_desc().to_vec();
+    let mut used = vec![false; pf.n_procs()];
+    used[order[0]] = true;
+    let mut intervals = vec![Interval::new(0, app.n_stages())];
+    let mut procs = vec![order[0]];
+
+    let build = |ivs: &[Interval], ps: &[ProcId]| {
+        IntervalMapping::new(app, pf, ivs.to_vec(), ps.to_vec())
+            .expect("splitting maintains validity")
+    };
+
+    loop {
+        let mapping = build(&intervals, &procs);
+        let period = cm.period(&mapping);
+        if period <= period_target + EPS {
+            let latency = cm.latency(&mapping);
+            return BiCriteriaResult { mapping, period, latency, feasible: true };
+        }
+        // Bottleneck interval.
+        let j = (0..mapping.n_intervals())
+            .max_by(|&a, &b| {
+                cm.cycle_time(&mapping, a)
+                    .partial_cmp(&cm.cycle_time(&mapping, b))
+                    .expect("finite")
+            })
+            .expect("at least one interval");
+        let iv = intervals[j];
+        if iv.len() < 2 {
+            let latency = cm.latency(&mapping);
+            return BiCriteriaResult { mapping, period, latency, feasible: false };
+        }
+        // Candidate new processors: the fastest unused ones.
+        let candidates: Vec<ProcId> = order
+            .iter()
+            .copied()
+            .filter(|&u| !used[u])
+            .take(opts.candidate_procs)
+            .collect();
+        if candidates.is_empty() {
+            let latency = cm.latency(&mapping);
+            return BiCriteriaResult { mapping, period, latency, feasible: false };
+        }
+
+        // H1's selection rule, lifted: minimize the max cycle time of the
+        // two pieces (computed with the real link bandwidths, so on
+        // heterogeneous platforms the choice of `new_proc` matters), and
+        // accept only candidates strictly improving the bottleneck's old
+        // cycle. Ties break toward lower global period, then latency.
+        let old_cycle = cm.cycle_time(&mapping, j);
+        // (local max cycle, period, latency, intervals, processors)
+        type Candidate = (f64, f64, f64, Vec<Interval>, Vec<ProcId>);
+        let mut best: Option<Candidate> = None;
+        for &new_proc in &candidates {
+            for cut in iv.start + 1..iv.end {
+                for keep_left in [true, false] {
+                    let mut ivs = intervals.clone();
+                    let mut ps = procs.clone();
+                    ivs[j] = Interval::new(iv.start, cut);
+                    ivs.insert(j + 1, Interval::new(cut, iv.end));
+                    let (lp, rp) =
+                        if keep_left { (procs[j], new_proc) } else { (new_proc, procs[j]) };
+                    ps[j] = lp;
+                    ps.insert(j + 1, rp);
+                    let cand = build(&ivs, &ps);
+                    let local = cm.cycle_time(&cand, j).max(cm.cycle_time(&cand, j + 1));
+                    if !definitely_lt(local, old_cycle) {
+                        continue;
+                    }
+                    let p = cm.period(&cand);
+                    let l = cm.latency(&cand);
+                    let better = match &best {
+                        None => true,
+                        Some((bl_local, bp, bl, _, _)) => {
+                            local < bl_local - EPS
+                                || ((local - bl_local).abs() <= EPS
+                                    && (p < bp - EPS
+                                        || ((p - bp).abs() <= EPS && l < bl - EPS)))
+                        }
+                    };
+                    if better {
+                        best = Some((local, p, l, ivs, ps));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, _, _, ivs, ps)) => {
+                // Mark the newly enrolled processor.
+                for &u in &ps {
+                    used[u] = true;
+                }
+                intervals = ivs;
+                procs = ps;
+            }
+            None => {
+                let latency = cm.latency(&mapping);
+                return BiCriteriaResult { mapping, period, latency, feasible: false };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::sp_mono_p;
+    use pipeline_model::{Application, Platform};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_het_platform(seed: u64, p: usize) -> Platform {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let speeds: Vec<f64> = (0..p).map(|_| rng.random_range(1..=20) as f64).collect();
+        let matrix: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..p).map(|_| rng.random_range(1.0..20.0)).collect())
+            .collect();
+        Platform::fully_heterogeneous(speeds, matrix, 10.0).unwrap()
+    }
+
+    fn random_app(seed: u64, n: usize) -> Application {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let works: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..20.0)).collect();
+        let deltas: Vec<f64> = (0..=n).map(|_| rng.random_range(1.0..20.0)).collect();
+        Application::new(works, deltas).unwrap()
+    }
+
+    #[test]
+    fn reduces_to_h1_on_comm_homogeneous_platforms() {
+        for seed in 0..6 {
+            let app = random_app(seed, 12);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let speeds: Vec<f64> = (0..8).map(|_| rng.random_range(1..=20) as f64).collect();
+            let pf = Platform::comm_homogeneous(speeds, 10.0).unwrap();
+            let cm = CostModel::new(&app, &pf);
+            let target = 0.6 * cm.single_proc_period();
+            let h1 = sp_mono_p(&cm, target);
+            let ext = hetero_sp_mono_p(
+                &cm,
+                target,
+                HeteroSplitOptions { candidate_procs: 1 },
+            );
+            assert_eq!(h1.feasible, ext.feasible, "seed {seed}");
+            if h1.feasible {
+                assert!(
+                    (h1.period - ext.period).abs() < 1e-9,
+                    "seed {seed}: H1 {} vs extension {}",
+                    h1.period,
+                    ext.period
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn improves_period_on_heterogeneous_platforms() {
+        for seed in 0..4 {
+            let app = random_app(seed, 10);
+            let pf = random_het_platform(seed, 6);
+            let cm = CostModel::new(&app, &pf);
+            let initial = cm.period(&IntervalMapping::all_on_fastest(&app, &pf));
+            let res = hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions::default());
+            assert!(!res.feasible);
+            assert!(
+                res.period <= initial + EPS,
+                "seed {seed}: extension worsened the single-proc period"
+            );
+            let (p, l) = cm.evaluate(&res.mapping);
+            assert!((p - res.period).abs() < 1e-9);
+            assert!((l - res.latency).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wider_candidate_pool_never_hurts_much() {
+        // Considering more candidate processors explores a superset of
+        // moves at each greedy step; greedy being myopic this is not a
+        // theorem, but a large regression would indicate a bug.
+        let mut narrow_total = 0.0;
+        let mut wide_total = 0.0;
+        for seed in 0..8 {
+            let app = random_app(seed, 10);
+            let pf = random_het_platform(seed + 100, 8);
+            let cm = CostModel::new(&app, &pf);
+            let narrow =
+                hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions { candidate_procs: 1 });
+            let wide =
+                hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions { candidate_procs: 4 });
+            narrow_total += narrow.period;
+            wide_total += wide.period;
+        }
+        assert!(
+            wide_total <= narrow_total * 1.05,
+            "wide pool {wide_total} much worse than narrow {narrow_total}"
+        );
+    }
+
+    #[test]
+    fn feasible_target_met_exactly() {
+        let app = random_app(42, 8);
+        let pf = random_het_platform(42, 6);
+        let cm = CostModel::new(&app, &pf);
+        let floor = hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions::default()).period;
+        let res = hetero_sp_mono_p(&cm, floor * 1.2, HeteroSplitOptions::default());
+        assert!(res.feasible);
+        assert!(res.period <= floor * 1.2 + EPS);
+    }
+
+    #[test]
+    fn single_stage_cannot_improve() {
+        let app = Application::uniform(1, 10.0, 1.0).unwrap();
+        let pf = random_het_platform(7, 4);
+        let cm = CostModel::new(&app, &pf);
+        let res = hetero_sp_mono_p(&cm, 1e-9, HeteroSplitOptions::default());
+        assert!(!res.feasible);
+        assert_eq!(res.mapping.n_intervals(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! The paper's contribution: bi-criteria (period/latency) interval-mapping
+//! heuristics for pipeline workflows on Communication Homogeneous
+//! platforms, plus exact solvers and baselines.
+//!
+//! # The six heuristics (paper Section 4)
+//!
+//! Fixed period, minimize latency:
+//!
+//! * [`HeuristicKind::SpMonoP`] — H1, mono-criterion splitting;
+//! * [`HeuristicKind::ThreeExploMono`] — H2a, three-way exploration,
+//!   mono-criterion choice;
+//! * [`HeuristicKind::ThreeExploBi`] — H2b, three-way exploration,
+//!   bi-criteria (`Δlatency/Δperiod`) choice;
+//! * [`HeuristicKind::SpBiP`] — H3, binary search over the authorized
+//!   latency with bi-criteria splitting.
+//!
+//! Fixed latency, minimize period:
+//!
+//! * [`HeuristicKind::SpMonoL`] — H4, mono-criterion splitting under a
+//!   latency budget;
+//! * [`HeuristicKind::SpBiL`] — H5, bi-criteria splitting under a latency
+//!   budget.
+//!
+//! All six share the *splitting engine* of [`state::SplitState`]: sort
+//! processors by non-increasing speed, map the whole pipeline on the
+//! fastest, then repeatedly split the bottleneck processor's interval,
+//! enrolling the next-fastest unused processor(s).
+//!
+//! # Exact solvers and baselines
+//!
+//! * [`exact`] — exhaustive bi-criteria optimum for small instances
+//!   (partition enumeration + bottleneck/Hungarian assignment);
+//! * [`baseline`] — the Subhlok–Vondran dynamic programs, optimal on
+//!   *homogeneous* platforms (the setting the paper extends);
+//! * [`pareto`] — Pareto-front utilities shared by tests and experiments.
+//!
+//! # Extensions (paper Section 7, "future work")
+//!
+//! * [`hetero`] — splitting heuristics for fully heterogeneous platforms
+//!   (per-link bandwidths);
+//! * [`replication`] — deal-skeleton stage replication for bottleneck
+//!   intervals.
+
+pub mod baseline;
+pub mod bounds;
+pub mod exact;
+pub mod explore;
+pub mod hetero;
+pub mod one_to_one;
+pub mod pareto;
+pub mod refine;
+pub mod replication;
+pub mod solve;
+pub mod split;
+pub mod state;
+pub mod trajectory;
+
+pub use explore::{three_explo_bi, three_explo_mono};
+pub use pareto::ParetoFront;
+pub use solve::{Objective, Scheduler, Solution, Strategy};
+pub use split::{sp_bi_l, sp_bi_p, sp_mono_l, sp_mono_p, SpBiPOptions};
+pub use state::{BiCriteriaResult, SplitState};
+pub use trajectory::{fixed_period_trajectory, Trajectory};
+
+use pipeline_model::prelude::*;
+
+/// Identifier of one of the paper's six heuristics.
+///
+/// `Table 1` of the paper numbers them H1..H6 in the order below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// H1 — "Sp mono P": splitting, mono-criterion, fixed period.
+    SpMonoP,
+    /// H2 (paper H2a) — "3-Explo mono": 3-way exploration, fixed period.
+    ThreeExploMono,
+    /// H3 (paper H2b) — "3-Explo bi": 3-way exploration with the
+    /// `Δlatency/Δperiod` choice, fixed period.
+    ThreeExploBi,
+    /// H4 (paper H3) — "Sp bi P": binary search over the authorized
+    /// latency, fixed period.
+    SpBiP,
+    /// H5 (paper H4) — "Sp mono L": splitting, mono-criterion, fixed
+    /// latency.
+    SpMonoL,
+    /// H6 (paper H5) — "Sp bi L": bi-criteria splitting, fixed latency.
+    SpBiL,
+}
+
+impl HeuristicKind {
+    /// All six heuristics in Table-1 order.
+    pub const ALL: [HeuristicKind; 6] = [
+        HeuristicKind::SpMonoP,
+        HeuristicKind::ThreeExploMono,
+        HeuristicKind::ThreeExploBi,
+        HeuristicKind::SpBiP,
+        HeuristicKind::SpMonoL,
+        HeuristicKind::SpBiL,
+    ];
+
+    /// The plot label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HeuristicKind::SpMonoP => "Sp mono, P fix",
+            HeuristicKind::ThreeExploMono => "3-Explo mono",
+            HeuristicKind::ThreeExploBi => "3-Explo bi",
+            HeuristicKind::SpBiP => "Sp bi, P fix",
+            HeuristicKind::SpMonoL => "Sp mono, L fix",
+            HeuristicKind::SpBiL => "Sp bi, L fix",
+        }
+    }
+
+    /// Table-1 row name (H1..H6).
+    pub fn table_name(&self) -> &'static str {
+        match self {
+            HeuristicKind::SpMonoP => "H1",
+            HeuristicKind::ThreeExploMono => "H2",
+            HeuristicKind::ThreeExploBi => "H3",
+            HeuristicKind::SpBiP => "H4",
+            HeuristicKind::SpMonoL => "H5",
+            HeuristicKind::SpBiL => "H6",
+        }
+    }
+
+    /// True for the heuristics that fix the period and minimize latency.
+    pub fn is_period_fixed(&self) -> bool {
+        matches!(
+            self,
+            HeuristicKind::SpMonoP
+                | HeuristicKind::ThreeExploMono
+                | HeuristicKind::ThreeExploBi
+                | HeuristicKind::SpBiP
+        )
+    }
+
+    /// Runs the heuristic with its natural constraint (`target` is a
+    /// period bound for the period-fixed heuristics, a latency bound
+    /// otherwise).
+    pub fn run(&self, cm: &CostModel<'_>, target: f64) -> BiCriteriaResult {
+        match self {
+            HeuristicKind::SpMonoP => sp_mono_p(cm, target),
+            HeuristicKind::ThreeExploMono => three_explo_mono(cm, target),
+            HeuristicKind::ThreeExploBi => three_explo_bi(cm, target),
+            HeuristicKind::SpBiP => sp_bi_p(cm, target, SpBiPOptions::default()),
+            HeuristicKind::SpMonoL => sp_mono_l(cm, target),
+            HeuristicKind::SpBiL => sp_bi_l(cm, target),
+        }
+    }
+}
+
+impl std::fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+    #[test]
+    fn kinds_metadata() {
+        assert_eq!(HeuristicKind::ALL.len(), 6);
+        assert_eq!(HeuristicKind::SpMonoP.table_name(), "H1");
+        assert_eq!(HeuristicKind::SpBiL.table_name(), "H6");
+        assert!(HeuristicKind::SpBiP.is_period_fixed());
+        assert!(!HeuristicKind::SpMonoL.is_period_fixed());
+        assert_eq!(HeuristicKind::ThreeExploBi.to_string(), "3-Explo bi");
+    }
+
+    #[test]
+    fn every_heuristic_runs_on_a_random_instance() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, 10, 10));
+        let (app, pf) = gen.instance(1, 0);
+        let cm = CostModel::new(&app, &pf);
+        let single_period = cm.single_proc_period();
+        let l_opt = cm.optimal_latency();
+        for kind in HeuristicKind::ALL {
+            // A generous target every heuristic can satisfy.
+            let target = if kind.is_period_fixed() { single_period * 2.0 } else { l_opt * 4.0 };
+            let res = kind.run(&cm, target);
+            assert!(res.feasible, "{kind} infeasible at a trivial target");
+            let (p, l) = cm.evaluate(&res.mapping);
+            assert!((p - res.period).abs() < 1e-9);
+            assert!((l - res.latency).abs() < 1e-9);
+            if kind.is_period_fixed() {
+                assert!(res.period <= target + 1e-9);
+            } else {
+                assert!(res.latency <= target + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Pareto-front bookkeeping for (period, latency) bi-criteria points.
+
+/// One non-dominated point with an arbitrary payload (usually a mapping).
+#[derive(Debug, Clone)]
+pub struct ParetoPoint<T> {
+    /// Period coordinate (minimized).
+    pub period: f64,
+    /// Latency coordinate (minimized).
+    pub latency: f64,
+    /// Whatever produced the point.
+    pub payload: T,
+}
+
+/// A set of mutually non-dominated (period, latency) points, both
+/// coordinates minimized. Kept sorted by increasing period (hence
+/// decreasing latency).
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront<T> {
+    points: Vec<ParetoPoint<T>>,
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, sorted by increasing period.
+    pub fn points(&self) -> &[ParetoPoint<T>] {
+        &self.points
+    }
+
+    /// True when `(period, latency)` is weakly dominated by some point of
+    /// the front (`q.period ≤ period` and `q.latency ≤ latency`).
+    pub fn dominated(&self, period: f64, latency: f64) -> bool {
+        self.points.iter().any(|q| q.period <= period && q.latency <= latency)
+    }
+
+    /// Offers a point; it is inserted iff not weakly dominated, evicting
+    /// any point it dominates. Returns whether it was inserted.
+    pub fn offer(&mut self, period: f64, latency: f64, payload: T) -> bool {
+        assert!(period.is_finite() && latency.is_finite(), "Pareto points must be finite");
+        if self.dominated(period, latency) {
+            return false;
+        }
+        self.points.retain(|q| !(period <= q.period && latency <= q.latency));
+        let pos = self.points.partition_point(|q| q.period < period);
+        self.points.insert(pos, ParetoPoint { period, latency, payload });
+        true
+    }
+
+    /// Smallest latency on the front among points with period ≤ `bound`.
+    pub fn min_latency_for_period(&self, bound: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|q| q.period <= bound)
+            .map(|q| q.latency)
+            .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.min(l))))
+    }
+
+    /// Smallest period on the front among points with latency ≤ `bound`.
+    pub fn min_period_for_latency(&self, bound: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|q| q.latency <= bound)
+            .map(|q| q.period)
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.min(p))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_keeps_only_non_dominated() {
+        let mut f = ParetoFront::new();
+        assert!(f.offer(5.0, 10.0, "a"));
+        assert!(f.offer(10.0, 5.0, "b")); // incomparable
+        assert!(!f.offer(10.0, 10.0, "c")); // dominated by both
+        assert!(f.offer(4.0, 11.0, "d")); // incomparable
+        assert_eq!(f.len(), 3);
+        // Dominates "a" and "d": evicts them.
+        assert!(f.offer(4.0, 10.0, "e"));
+        assert_eq!(f.len(), 2);
+        let periods: Vec<f64> = f.points().iter().map(|p| p.period).collect();
+        assert_eq!(periods, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn sorted_by_period() {
+        let mut f = ParetoFront::new();
+        f.offer(3.0, 30.0, ());
+        f.offer(1.0, 50.0, ());
+        f.offer(2.0, 40.0, ());
+        let ps: Vec<f64> = f.points().iter().map(|p| p.period).collect();
+        assert_eq!(ps, vec![1.0, 2.0, 3.0]);
+        let ls: Vec<f64> = f.points().iter().map(|p| p.latency).collect();
+        assert_eq!(ls, vec![50.0, 40.0, 30.0]);
+    }
+
+    #[test]
+    fn equal_points_are_weakly_dominated() {
+        let mut f = ParetoFront::new();
+        assert!(f.offer(1.0, 1.0, 0));
+        assert!(!f.offer(1.0, 1.0, 1));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].payload, 0);
+    }
+
+    #[test]
+    fn threshold_queries() {
+        let mut f = ParetoFront::new();
+        f.offer(1.0, 9.0, ());
+        f.offer(2.0, 6.0, ());
+        f.offer(4.0, 3.0, ());
+        assert_eq!(f.min_latency_for_period(2.5), Some(6.0));
+        assert_eq!(f.min_latency_for_period(0.5), None);
+        assert_eq!(f.min_period_for_latency(6.0), Some(2.0));
+        assert_eq!(f.min_period_for_latency(100.0), Some(1.0));
+        assert_eq!(f.min_period_for_latency(1.0), None);
+    }
+
+    #[test]
+    fn empty_front_queries() {
+        let f: ParetoFront<()> = ParetoFront::new();
+        assert!(f.is_empty());
+        assert!(!f.dominated(0.0, 0.0));
+        assert_eq!(f.min_latency_for_period(10.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_points_rejected() {
+        let mut f = ParetoFront::new();
+        f.offer(f64::INFINITY, 1.0, ());
+    }
+}

@@ -1,0 +1,311 @@
+//! High-level scheduling façade: one entry point wrapping heuristic
+//! selection, exact solving for small instances, and objective framing.
+//!
+//! The low-level API (`sp_mono_p` & friends) asks the caller to pick a
+//! heuristic and phrase the constraint; [`Scheduler`] instead takes an
+//! [`Objective`] and a [`Strategy`] and does the right thing, including
+//! falling back to exact enumeration when the instance is small enough
+//! that exponential is cheap. This is the API the `pwsched` CLI and most
+//! downstream users want.
+
+use crate::state::BiCriteriaResult;
+use crate::{exact, HeuristicKind};
+use pipeline_model::prelude::*;
+use pipeline_model::util::EPS;
+
+/// What to optimize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimize latency subject to `period ≤ bound`.
+    MinLatencyForPeriod(f64),
+    /// Minimize period subject to `latency ≤ bound`.
+    MinPeriodForLatency(f64),
+    /// Minimize the period outright (no latency constraint).
+    MinPeriod,
+    /// Minimize the latency outright (Lemma 1 — trivial).
+    MinLatency,
+}
+
+/// How to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One specific heuristic.
+    Heuristic(HeuristicKind),
+    /// Run every applicable heuristic, keep the best result.
+    BestOfAll,
+    /// Exhaustive exact solve (guarded: requires small `n`).
+    Exact,
+    /// [`Strategy::Exact`] when `n ≤ exact_cutoff`, else
+    /// [`Strategy::BestOfAll`].
+    Auto,
+}
+
+/// The façade. Construct with [`Scheduler::new`], tweak, then
+/// [`Scheduler::solve`].
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    strategy: Strategy,
+    /// Largest `n` for which `Auto` picks the exponential exact solver.
+    exact_cutoff: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+/// A solve outcome with provenance.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The scheduling result.
+    pub result: BiCriteriaResult,
+    /// Human-readable description of what produced it
+    /// (e.g. `"Sp mono, P fix"`, `"exact"`).
+    pub solver: String,
+}
+
+impl Scheduler {
+    /// A scheduler with `Auto` strategy and an exact cutoff of 12 stages
+    /// (4096 partitions — instantaneous).
+    pub fn new() -> Self {
+        Scheduler { strategy: Strategy::Auto, exact_cutoff: 12 }
+    }
+
+    /// Sets the strategy.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Sets the `Auto` exact cutoff (clamped to the enumeration guard).
+    pub fn exact_cutoff(mut self, n: usize) -> Self {
+        self.exact_cutoff = n.min(20);
+        self
+    }
+
+    /// Solves `objective` for the given instance. Returns `None` only
+    /// when the objective is infeasible for every solver tried (e.g. a
+    /// latency bound below `L_opt`).
+    pub fn solve(
+        &self,
+        app: &Application,
+        platform: &Platform,
+        objective: Objective,
+    ) -> Option<Solution> {
+        let cm = CostModel::new(app, platform);
+        let strategy = match self.strategy {
+            Strategy::Auto => {
+                if app.n_stages() <= self.exact_cutoff && platform.is_comm_homogeneous() {
+                    Strategy::Exact
+                } else {
+                    Strategy::BestOfAll
+                }
+            }
+            s => s,
+        };
+        match strategy {
+            Strategy::Exact => self.solve_exact(&cm, objective),
+            Strategy::Heuristic(kind) => {
+                solve_with_heuristic(&cm, kind, objective).map(|result| Solution {
+                    result,
+                    solver: kind.label().to_string(),
+                })
+            }
+            Strategy::BestOfAll => self.solve_best_of_all(&cm, objective),
+            Strategy::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    fn solve_exact(&self, cm: &CostModel<'_>, objective: Objective) -> Option<Solution> {
+        let wrap = |mapping: IntervalMapping, feasible: bool| {
+            let (period, latency) = cm.evaluate(&mapping);
+            Solution {
+                result: BiCriteriaResult { mapping, period, latency, feasible },
+                solver: "exact".to_string(),
+            }
+        };
+        match objective {
+            Objective::MinLatency => {
+                let m = IntervalMapping::all_on_fastest(cm.app(), cm.platform());
+                Some(wrap(m, true))
+            }
+            Objective::MinPeriod => {
+                let (_, m) = exact::exact_min_period(cm);
+                Some(wrap(m, true))
+            }
+            Objective::MinLatencyForPeriod(bound) => {
+                exact::exact_min_latency_for_period(cm, bound).map(|(_, m)| wrap(m, true))
+            }
+            Objective::MinPeriodForLatency(bound) => {
+                exact::exact_min_period_for_latency(cm, bound).map(|(_, m)| wrap(m, true))
+            }
+        }
+    }
+
+    fn solve_best_of_all(&self, cm: &CostModel<'_>, objective: Objective) -> Option<Solution> {
+        let mut best: Option<Solution> = None;
+        for kind in HeuristicKind::ALL {
+            let Some(result) = solve_with_heuristic(cm, kind, objective) else {
+                continue;
+            };
+            if !result.feasible {
+                continue;
+            }
+            let better = match (&best, objective) {
+                (None, _) => true,
+                (Some(b), Objective::MinLatencyForPeriod(_) | Objective::MinLatency) => {
+                    result.latency < b.result.latency - EPS
+                }
+                (Some(b), Objective::MinPeriodForLatency(_) | Objective::MinPeriod) => {
+                    result.period < b.result.period - EPS
+                }
+            };
+            if better {
+                best = Some(Solution { result, solver: kind.label().to_string() });
+            }
+        }
+        best
+    }
+}
+
+/// Frames `objective` for one heuristic. Period-fixed heuristics answer
+/// the `MinLatencyForPeriod`/`MinPeriod` objectives; latency-fixed ones
+/// answer `MinPeriodForLatency`/`MinLatency`-adjacent framings. Returns
+/// `None` when the heuristic class cannot express the objective.
+fn solve_with_heuristic(
+    cm: &CostModel<'_>,
+    kind: HeuristicKind,
+    objective: Objective,
+) -> Option<BiCriteriaResult> {
+    match objective {
+        Objective::MinLatencyForPeriod(bound) => {
+            kind.is_period_fixed().then(|| kind.run(cm, bound))
+        }
+        Objective::MinPeriodForLatency(bound) => {
+            (!kind.is_period_fixed()).then(|| kind.run(cm, bound))
+        }
+        Objective::MinPeriod => {
+            // Run to the floor: period-fixed heuristics with an impossible
+            // target; latency-fixed ones with an unbounded budget.
+            let target = if kind.is_period_fixed() { 0.0 } else { f64::INFINITY };
+            let mut r = kind.run(cm, target);
+            // "Feasible" here means "produced a mapping", which all do.
+            r.feasible = true;
+            Some(r)
+        }
+        Objective::MinLatency => {
+            // Trivial for every heuristic: the initial mapping. Only
+            // meaningful once; report via the period-fixed framing.
+            kind.is_period_fixed().then(|| kind.run(cm, f64::INFINITY))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+    fn instance(n: usize, p: usize) -> (Application, Platform) {
+        InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p)).instance(3, 0)
+    }
+
+    #[test]
+    fn auto_uses_exact_on_small_instances() {
+        let (app, pf) = instance(6, 5);
+        let sol = Scheduler::new()
+            .solve(&app, &pf, Objective::MinPeriod)
+            .expect("min period always solvable");
+        assert_eq!(sol.solver, "exact");
+        let cm = CostModel::new(&app, &pf);
+        let (p_opt, _) = exact::exact_min_period(&cm);
+        assert!((sol.result.period - p_opt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_uses_heuristics_on_large_instances() {
+        let (app, pf) = instance(30, 10);
+        let sol = Scheduler::new()
+            .solve(&app, &pf, Objective::MinPeriod)
+            .expect("solvable");
+        assert_ne!(sol.solver, "exact");
+        assert!(sol.result.period > 0.0);
+    }
+
+    #[test]
+    fn best_of_all_at_least_matches_each_heuristic() {
+        let (app, pf) = instance(14, 8);
+        let cm = CostModel::new(&app, &pf);
+        let bound = 0.6 * cm.single_proc_period();
+        let best = Scheduler::new()
+            .strategy(Strategy::BestOfAll)
+            .solve(&app, &pf, Objective::MinLatencyForPeriod(bound));
+        if let Some(best) = best {
+            for kind in HeuristicKind::ALL.into_iter().filter(|k| k.is_period_fixed()) {
+                let r = kind.run(&cm, bound);
+                if r.feasible {
+                    assert!(best.result.latency <= r.latency + 1e-9, "beaten by {kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_latency_objective_returns_lemma_1() {
+        let (app, pf) = instance(8, 6);
+        let cm = CostModel::new(&app, &pf);
+        for strategy in [Strategy::Exact, Strategy::BestOfAll] {
+            let sol = Scheduler::new()
+                .strategy(strategy)
+                .solve(&app, &pf, Objective::MinLatency)
+                .expect("always solvable");
+            assert!(
+                (sol.result.latency - cm.optimal_latency()).abs() < 1e-9,
+                "{strategy:?} missed the Lemma-1 latency"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_latency_bound_returns_none() {
+        let (app, pf) = instance(8, 6);
+        let cm = CostModel::new(&app, &pf);
+        let too_tight = 0.5 * cm.optimal_latency();
+        for strategy in [Strategy::Exact, Strategy::BestOfAll] {
+            let sol = Scheduler::new().strategy(strategy).solve(
+                &app,
+                &pf,
+                Objective::MinPeriodForLatency(too_tight),
+            );
+            assert!(sol.is_none(), "{strategy:?} accepted an impossible latency bound");
+        }
+    }
+
+    #[test]
+    fn named_heuristic_strategy_is_respected() {
+        let (app, pf) = instance(10, 8);
+        let cm = CostModel::new(&app, &pf);
+        let bound = 0.7 * cm.single_proc_period();
+        let sol = Scheduler::new()
+            .strategy(Strategy::Heuristic(HeuristicKind::ThreeExploBi))
+            .solve(&app, &pf, Objective::MinLatencyForPeriod(bound))
+            .expect("expressible objective");
+        assert_eq!(sol.solver, "3-Explo bi");
+        // A latency-fixed heuristic cannot express a period-bound query.
+        let none = Scheduler::new()
+            .strategy(Strategy::Heuristic(HeuristicKind::SpMonoL))
+            .solve(&app, &pf, Objective::MinLatencyForPeriod(bound));
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn exact_cutoff_is_configurable() {
+        let (app, pf) = instance(10, 6);
+        let sol = Scheduler::new()
+            .exact_cutoff(4)
+            .solve(&app, &pf, Objective::MinPeriod)
+            .unwrap();
+        assert_ne!(sol.solver, "exact", "cutoff 4 must route n=10 to heuristics");
+    }
+}

@@ -1,0 +1,210 @@
+//! Split trajectories: the period/latency path of a fixed-period
+//! heuristic run to exhaustion.
+//!
+//! The three fixed-period exploration heuristics (H1, H2a, H2b) never
+//! consult the period target while *choosing* splits — the target only
+//! decides when to stop. Their split sequence on a given instance is
+//! therefore target-independent, and the answer for *any* target `P` is
+//! the first point of the trajectory whose period is ≤ `P`.
+//!
+//! The experiment harness exploits this: one trajectory per instance
+//! answers a whole sweep of period targets, turning an O(grid × run)
+//! computation into O(run + grid). H3/H4/H5 do consult their constraint
+//! while choosing splits, so they are re-run per target.
+
+use crate::state::{BiCriteriaResult, SplitState};
+use pipeline_model::prelude::*;
+use pipeline_model::util::EPS;
+
+/// Which fixed-period exploration to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryKind {
+    /// H1 two-way mono-criterion splitting.
+    SplitMono,
+    /// H2a three-way mono-criterion exploration.
+    ExploMono,
+    /// H2b three-way bi-criteria exploration.
+    ExploBi,
+}
+
+/// One state along a trajectory.
+#[derive(Debug, Clone)]
+pub struct TrajectoryPoint {
+    /// Period after this many splits.
+    pub period: f64,
+    /// Latency after this many splits.
+    pub latency: f64,
+    /// The mapping snapshot.
+    pub mapping: IntervalMapping,
+}
+
+/// The full split path of a heuristic, from the Lemma-1 mapping to
+/// exhaustion.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Points in split order; `points[0]` is the initial mapping.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// The smallest period the heuristic can reach on this instance — its
+    /// per-instance *failure threshold* (the heuristic fails for every
+    /// target below this; Table 1 averages these over instances).
+    pub fn min_period(&self) -> f64 {
+        self.points.last().expect("non-empty").period
+    }
+
+    /// Result for a period target: the heuristic stops at the first point
+    /// satisfying the target.
+    pub fn result_for_period(&self, period_target: f64) -> BiCriteriaResult {
+        for p in &self.points {
+            if p.period <= period_target + EPS {
+                return BiCriteriaResult {
+                    mapping: p.mapping.clone(),
+                    period: p.period,
+                    latency: p.latency,
+                    feasible: true,
+                };
+            }
+        }
+        let last = self.points.last().expect("non-empty");
+        BiCriteriaResult {
+            mapping: last.mapping.clone(),
+            period: last.period,
+            latency: last.latency,
+            feasible: false,
+        }
+    }
+}
+
+/// Records the trajectory of one fixed-period heuristic on one instance.
+pub fn fixed_period_trajectory(cm: &CostModel<'_>, kind: TrajectoryKind) -> Trajectory {
+    let mut st = SplitState::new(cm);
+    let mut points = vec![snapshot(&st)];
+    loop {
+        let j = st.bottleneck();
+        match kind {
+            TrajectoryKind::SplitMono => match st.best_split2_mono(j, None) {
+                Some(s) => st.apply_split2(j, s),
+                None => break,
+            },
+            TrajectoryKind::ExploMono | TrajectoryKind::ExploBi => {
+                let bi = kind == TrajectoryKind::ExploBi;
+                let len = st.entries()[j].end - st.entries()[j].start;
+                if len >= 3 && st.n_unused() >= 2 {
+                    let s3 = if bi { st.best_split3_bi(j) } else { st.best_split3_mono(j) };
+                    match s3 {
+                        Some(s) => st.apply_split3(j, s),
+                        None => break,
+                    }
+                } else {
+                    let s2 = if bi {
+                        st.best_split2_bi(j, None)
+                    } else {
+                        st.best_split2_mono(j, None)
+                    };
+                    match s2 {
+                        Some(s) => st.apply_split2(j, s),
+                        None => break,
+                    }
+                }
+            }
+        }
+        points.push(snapshot(&st));
+    }
+    Trajectory { points }
+}
+
+fn snapshot(st: &SplitState<'_>) -> TrajectoryPoint {
+    TrajectoryPoint { period: st.period(), latency: st.latency(), mapping: st.to_mapping() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sp_mono_p, three_explo_bi, three_explo_mono};
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+    fn cm_fixture(seed: u64) -> (pipeline_model::Application, pipeline_model::Platform) {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 15, 10));
+        gen.instance(seed, 0)
+    }
+
+    #[test]
+    fn trajectory_matches_direct_h1_runs() {
+        let (app, pf) = cm_fixture(5);
+        let cm = CostModel::new(&app, &pf);
+        let traj = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
+        let p0 = cm.single_proc_period();
+        for target in [p0 * 1.1, p0 * 0.9, p0 * 0.7, p0 * 0.5, traj.min_period(), 0.0] {
+            let via_traj = traj.result_for_period(target);
+            let direct = sp_mono_p(&cm, target);
+            assert_eq!(via_traj.feasible, direct.feasible, "target {target}");
+            assert!(
+                (via_traj.period - direct.period).abs() < 1e-9,
+                "period mismatch at target {target}"
+            );
+            assert!(
+                (via_traj.latency - direct.latency).abs() < 1e-9,
+                "latency mismatch at target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_matches_direct_explo_runs() {
+        let (app, pf) = cm_fixture(6);
+        let cm = CostModel::new(&app, &pf);
+        type DirectFn = for<'x, 'y> fn(&'x CostModel<'y>, f64) -> BiCriteriaResult;
+        for (kind, direct_fn) in [
+            (TrajectoryKind::ExploMono, three_explo_mono as DirectFn),
+            (TrajectoryKind::ExploBi, three_explo_bi as DirectFn),
+        ] {
+            let traj = fixed_period_trajectory(&cm, kind);
+            let p0 = cm.single_proc_period();
+            for target in [p0, p0 * 0.6, traj.min_period(), 0.0] {
+                let via_traj = traj.result_for_period(target);
+                let direct = direct_fn(&cm, target);
+                assert_eq!(via_traj.feasible, direct.feasible);
+                assert!((via_traj.period - direct.period).abs() < 1e-9);
+                assert!((via_traj.latency - direct.latency).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn periods_non_increasing_along_trajectory() {
+        let (app, pf) = cm_fixture(7);
+        let cm = CostModel::new(&app, &pf);
+        for kind in [TrajectoryKind::SplitMono, TrajectoryKind::ExploMono, TrajectoryKind::ExploBi]
+        {
+            let traj = fixed_period_trajectory(&cm, kind);
+            for w in traj.points.windows(2) {
+                assert!(
+                    w[1].period <= w[0].period + EPS,
+                    "{kind:?}: period increased along the trajectory"
+                );
+            }
+            assert!((traj.min_period() - traj.points.last().unwrap().period).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_point_is_lemma_1() {
+        let (app, pf) = cm_fixture(8);
+        let cm = CostModel::new(&app, &pf);
+        let traj = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
+        assert_eq!(traj.points[0].mapping.n_intervals(), 1);
+        assert!((traj.points[0].latency - cm.optimal_latency()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_target_returns_last_point() {
+        let (app, pf) = cm_fixture(9);
+        let cm = CostModel::new(&app, &pf);
+        let traj = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
+        let res = traj.result_for_period(traj.min_period() * 0.5);
+        assert!(!res.feasible);
+        assert!((res.period - traj.min_period()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Extension studies beyond the paper's evaluation: loaded latency under
+//! saturation and robustness to single-processor slowdown.
+//!
+//! ```text
+//! extensions [--instances K] [--seed S] [--threads T] [--datasets D] [--gamma G]
+//! ```
+
+use pipeline_experiments::loaded::{loaded_latency_study, render_loaded};
+use pipeline_experiments::robustness::{render_robustness, robustness_study};
+use pipeline_model::generator::{ExperimentKind, InstanceParams};
+
+fn main() {
+    let mut instances = 30usize;
+    let mut seed = 2007u64;
+    let mut threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut datasets = 60usize;
+    let mut gamma = 0.7f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().expect("flag value");
+        match flag.as_str() {
+            "--instances" => instances = value().parse().expect("--instances N"),
+            "--seed" => seed = value().parse().expect("--seed N"),
+            "--threads" => threads = value().parse().expect("--threads N"),
+            "--datasets" => datasets = value().parse().expect("--datasets N"),
+            "--gamma" => gamma = value().parse().expect("--gamma F"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("Extension studies — {instances} instances, seed {seed}\n");
+
+    println!("A. Loaded latency: simulated max response time under saturating input");
+    println!("   (eq. 2 is the throttled value; saturation queues in front of the bottleneck)\n");
+    for (kind, n, p) in [
+        (ExperimentKind::E1, 20, 10),
+        (ExperimentKind::E3, 10, 10),
+        (ExperimentKind::E4, 20, 10),
+    ] {
+        println!("-- {} (n = {n}, p = {p}, target 0.6·P_init, {datasets} data sets)", kind.label());
+        let rows = loaded_latency_study(
+            InstanceParams::paper(kind, n, p),
+            seed,
+            instances,
+            0.6,
+            datasets,
+            threads,
+        );
+        print!("{}", render_loaded(&rows));
+        println!();
+    }
+
+    println!("B. Robustness: worst-case period when one enrolled processor slows down\n");
+    for (kind, n, p) in [(ExperimentKind::E1, 20, 10), (ExperimentKind::E3, 10, 10)] {
+        println!("-- {} (n = {n}, p = {p}, target 0.6·P_init)", kind.label());
+        let rows = robustness_study(
+            InstanceParams::paper(kind, n, p),
+            seed,
+            instances,
+            0.6,
+            gamma,
+            threads,
+        );
+        print!("{}", render_robustness(&rows, gamma));
+        println!();
+    }
+}

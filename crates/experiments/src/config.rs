@@ -1,0 +1,169 @@
+//! The paper's figure and table specifications.
+
+use pipeline_model::generator::{ExperimentKind, InstanceParams};
+
+/// One sub-figure of the paper: an instance family plotted as
+/// latency-vs-period curves.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureSpec {
+    /// Identifier used in file names, e.g. `"fig2a"`.
+    pub id: &'static str,
+    /// Paper caption, e.g. `"(E1) 10 stages, p = 10"`.
+    pub caption: &'static str,
+    /// Workload regime.
+    pub kind: ExperimentKind,
+    /// Number of stages.
+    pub n_stages: usize,
+    /// Number of processors.
+    pub n_procs: usize,
+}
+
+impl FigureSpec {
+    /// The paper's instance parameters for this figure.
+    pub fn params(&self) -> InstanceParams {
+        InstanceParams::paper(self.kind, self.n_stages, self.n_procs)
+    }
+
+    /// The figure number this sub-figure belongs to (2–7).
+    pub fn figure_number(&self) -> u32 {
+        self.id.as_bytes()[3] as u32 - b'0' as u32
+    }
+}
+
+/// Every sub-figure of the paper's Section 5, in order.
+pub const PAPER_FIGURES: &[FigureSpec] = &[
+    FigureSpec {
+        id: "fig2a",
+        caption: "(E1) balanced, homogeneous comms — 10 stages, p = 10",
+        kind: ExperimentKind::E1,
+        n_stages: 10,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig2b",
+        caption: "(E1) balanced, homogeneous comms — 40 stages, p = 10",
+        kind: ExperimentKind::E1,
+        n_stages: 40,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig3a",
+        caption: "(E2) balanced, heterogeneous comms — 10 stages, p = 10",
+        kind: ExperimentKind::E2,
+        n_stages: 10,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig3b",
+        caption: "(E2) balanced, heterogeneous comms — 40 stages, p = 10",
+        kind: ExperimentKind::E2,
+        n_stages: 40,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig4a",
+        caption: "(E3) large computations — 5 stages, p = 10",
+        kind: ExperimentKind::E3,
+        n_stages: 5,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig4b",
+        caption: "(E3) large computations — 20 stages, p = 10",
+        kind: ExperimentKind::E3,
+        n_stages: 20,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig5a",
+        caption: "(E4) small computations — 5 stages, p = 10",
+        kind: ExperimentKind::E4,
+        n_stages: 5,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig5b",
+        caption: "(E4) small computations — 20 stages, p = 10",
+        kind: ExperimentKind::E4,
+        n_stages: 20,
+        n_procs: 10,
+    },
+    FigureSpec {
+        id: "fig6a",
+        caption: "(E1) homogeneous comms — 40 stages, p = 100",
+        kind: ExperimentKind::E1,
+        n_stages: 40,
+        n_procs: 100,
+    },
+    FigureSpec {
+        id: "fig6b",
+        caption: "(E2) heterogeneous comms — 40 stages, p = 100",
+        kind: ExperimentKind::E2,
+        n_stages: 40,
+        n_procs: 100,
+    },
+    FigureSpec {
+        id: "fig7a",
+        caption: "(E3) large computations — 10 stages, p = 100",
+        kind: ExperimentKind::E3,
+        n_stages: 10,
+        n_procs: 100,
+    },
+    FigureSpec {
+        id: "fig7b",
+        caption: "(E4) small computations — 40 stages, p = 100",
+        kind: ExperimentKind::E4,
+        n_stages: 40,
+        n_procs: 100,
+    },
+];
+
+/// Table 1's grid: every experiment × stage count, with `p = 10`.
+pub const TABLE1_STAGE_COUNTS: [usize; 4] = [5, 10, 20, 40];
+
+/// Looks a figure spec up by id (`"fig2a"` … `"fig7b"`).
+pub fn figure_by_id(id: &str) -> Option<&'static FigureSpec> {
+    PAPER_FIGURES.iter().find(|f| f.id == id)
+}
+
+/// All sub-figures of a numbered figure (2–7).
+pub fn figures_of(number: u32) -> Vec<&'static FigureSpec> {
+    PAPER_FIGURES.iter().filter(|f| f.figure_number() == number).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_subfigures_cover_figures_2_to_7() {
+        assert_eq!(PAPER_FIGURES.len(), 12);
+        for n in 2..=7 {
+            assert_eq!(figures_of(n).len(), 2, "figure {n} must have two panels");
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let f = figure_by_id("fig6b").unwrap();
+        assert_eq!(f.kind, ExperimentKind::E2);
+        assert_eq!(f.n_procs, 100);
+        assert!(figure_by_id("fig9z").is_none());
+    }
+
+    #[test]
+    fn params_match_spec() {
+        let f = figure_by_id("fig4a").unwrap();
+        let p = f.params();
+        assert_eq!(p.n_stages, 5);
+        assert_eq!(p.n_procs, 10);
+        assert_eq!(p.bandwidth, 10.0);
+        assert_eq!(p.speed_range, (1, 20));
+    }
+
+    #[test]
+    fn figure_numbers_parse() {
+        assert_eq!(figure_by_id("fig2a").unwrap().figure_number(), 2);
+        assert_eq!(figure_by_id("fig7b").unwrap().figure_number(), 7);
+    }
+}

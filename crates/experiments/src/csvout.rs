@@ -1,0 +1,84 @@
+//! Minimal CSV emission (hand-rolled: the values are all numeric or
+//! simple labels, so no quoting library is needed).
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a CSV file with a header row and numeric-or-label rows.
+///
+/// Fields containing commas, quotes or newlines are rejected by assertion
+/// — the harness only emits labels it controls.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for field in header {
+        assert!(is_plain(field), "header field {field:?} needs quoting");
+    }
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch");
+        for field in row {
+            assert!(is_plain(field), "field {field:?} needs quoting");
+        }
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+fn is_plain(s: &str) -> bool {
+    !s.contains(',') && !s.contains('"') && !s.contains('\n')
+}
+
+/// Formats an `f64` compactly for CSV (6 significant decimals).
+pub fn fmt(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join("pw-csv-test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec![fmt(0.5), fmt(1.25)]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2");
+        assert!(lines[2].starts_with("0.5"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let path = std::env::temp_dir().join("pw-csv-test-2").join("t.csv");
+        let _ = write_csv(&path, &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs quoting")]
+    fn commas_rejected() {
+        let path = std::env::temp_dir().join("pw-csv-test-3").join("t.csv");
+        let _ = write_csv(&path, &["a"], &[vec!["x,y".into()]]);
+    }
+
+    #[test]
+    fn fmt_is_stable() {
+        assert_eq!(fmt(1.0), "1.000000");
+        assert_eq!(fmt(0.123456789), "0.123457");
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every figure and table of the paper's
+//! evaluation (Section 5).
+//!
+//! * [`config`] — the figure/table specifications (experiment kind, `n`,
+//!   `p`) exactly as in the paper;
+//! * [`runner`] — per-instance evaluation and a scoped-thread parallel
+//!   map;
+//! * [`sweep`] — latency-vs-period series, one per heuristic, averaged
+//!   over 50 random instances;
+//! * [`table`] — failure thresholds (Table 1);
+//! * [`summary`] — qualitative "shape checks" comparing our results to
+//!   the paper's claims;
+//! * [`ascii`] — terminal line plots; [`csvout`] — CSV emission.
+//!
+//! Binaries: `figures` (figs 2–7), `table1`, `ablation` (design-choice
+//! ablations), `extensions` (loaded-latency and robustness studies).
+
+pub mod ascii;
+pub mod config;
+pub mod csvout;
+pub mod loaded;
+pub mod robustness;
+pub mod runner;
+pub mod summary;
+pub mod sweep;
+pub mod table;
+
+pub use config::{FigureSpec, PAPER_FIGURES};
+pub use runner::{parallel_map, InstanceEval};
+pub use sweep::{run_family, FamilyResult, HeuristicSeries, SweepPoint};
+pub use table::{failure_thresholds, ThresholdTable};

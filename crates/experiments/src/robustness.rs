@@ -1,0 +1,233 @@
+//! Robustness study (extension beyond the paper's evaluation): how much
+//! does a mapping's period degrade when one processor slows down after
+//! the schedule is fixed?
+//!
+//! Heterogeneous clusters drift: background load, thermal throttling.
+//! A mapping chosen for nominal speeds keeps its *structure* but its
+//! cycle times move. For each heuristic we schedule at nominal speeds,
+//! then degrade each enrolled processor in turn by a factor `gamma` and
+//! re-evaluate eq. 1 on the *same* mapping, reporting the worst-case
+//! relative period increase. Mappings that enroll fewer processors put
+//! more eggs in each basket; mappings with slack under the bottleneck
+//! absorb slowdowns for free — the study quantifies both effects.
+
+use crate::runner::parallel_map;
+use pipeline_core::HeuristicKind;
+use pipeline_model::generator::{InstanceGenerator, InstanceParams};
+use pipeline_model::prelude::*;
+use pipeline_model::util::mean;
+
+/// Robustness of one heuristic's mappings on one family.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// The heuristic.
+    pub kind: HeuristicKind,
+    /// Mean nominal period of its mappings.
+    pub mean_period: f64,
+    /// Mean (over instances) of the worst-case degraded period when one
+    /// enrolled processor runs at `gamma` of its nominal speed.
+    pub mean_worst_degraded: f64,
+    /// Mean number of processors enrolled.
+    pub mean_procs: f64,
+    /// Instances where the heuristic met its target.
+    pub n_feasible: usize,
+}
+
+impl RobustnessRow {
+    /// Worst-case relative period inflation under single-processor
+    /// slowdown.
+    pub fn degradation(&self) -> f64 {
+        self.mean_worst_degraded / self.mean_period
+    }
+}
+
+/// Re-evaluates `mapping` with processor `victim` slowed to
+/// `gamma × speed`. Returns the new period.
+pub fn degraded_period(
+    app: &Application,
+    platform: &Platform,
+    mapping: &IntervalMapping,
+    victim: ProcId,
+    gamma: f64,
+) -> f64 {
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+    let mut speeds = platform.speeds().to_vec();
+    speeds[victim] *= gamma;
+    let degraded = match platform.links() {
+        LinkModel::Homogeneous(b) => {
+            Platform::comm_homogeneous(speeds, *b).expect("degraded platform is valid")
+        }
+        LinkModel::Heterogeneous { matrix, io_bandwidth } => Platform::fully_heterogeneous(
+            speeds,
+            matrix.clone(),
+            *io_bandwidth,
+        )
+        .expect("degraded platform is valid"),
+    };
+    // The mapping structure is reused verbatim; only cycle times change.
+    let remapped = IntervalMapping::new(
+        app,
+        &degraded,
+        mapping.intervals().to_vec(),
+        mapping.procs().to_vec(),
+    )
+    .expect("same shape remains valid");
+    CostModel::new(app, &degraded).period(&remapped)
+}
+
+/// Runs the robustness study for every heuristic on one family.
+pub fn robustness_study(
+    params: InstanceParams,
+    seed: u64,
+    n_instances: usize,
+    target_factor: f64,
+    gamma: f64,
+    threads: usize,
+) -> Vec<RobustnessRow> {
+    let gen = InstanceGenerator::new(params);
+    let per_instance = parallel_map(gen.batch(seed, n_instances), threads, |(app, pf)| {
+        let cm = CostModel::new(&app, &pf);
+        let p0 = cm.single_proc_period();
+        let l0 = cm.optimal_latency();
+        let mut rows = Vec::with_capacity(6);
+        for kind in HeuristicKind::ALL {
+            let target = if kind.is_period_fixed() { target_factor * p0 } else { 2.0 * l0 };
+            let res = kind.run(&cm, target);
+            if !res.feasible {
+                rows.push(None);
+                continue;
+            }
+            let worst = res
+                .mapping
+                .procs()
+                .iter()
+                .map(|&u| degraded_period(&app, &pf, &res.mapping, u, gamma))
+                .fold(f64::NEG_INFINITY, f64::max);
+            rows.push(Some((res.period, worst, res.mapping.n_intervals() as f64)));
+        }
+        rows
+    });
+
+    HeuristicKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(h, kind)| {
+            let vals: Vec<(f64, f64, f64)> =
+                per_instance.iter().filter_map(|rows| rows[h]).collect();
+            let col = |f: fn(&(f64, f64, f64)) -> f64| {
+                mean(&vals.iter().map(f).collect::<Vec<_>>()).unwrap_or(f64::NAN)
+            };
+            RobustnessRow {
+                kind,
+                mean_period: col(|v| v.0),
+                mean_worst_degraded: col(|v| v.1),
+                mean_procs: col(|v| v.2),
+                n_feasible: vals.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the study as an aligned table.
+pub fn render_robustness(rows: &[RobustnessRow], gamma: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "single-processor slowdown to {:.0}% of nominal speed\n",
+        gamma * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>10} {:>12} {:>7} {:>12}\n",
+        "heuristic", "feas", "period", "worst-degr.", "procs", "degradation"
+    ));
+    for r in rows {
+        if r.n_feasible == 0 {
+            out.push_str(&format!("{:<16} {:>6} (no feasible instance)\n", r.kind.label(), 0));
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>10.3} {:>12.3} {:>7.1} {:>11.1}%\n",
+            r.kind.label(),
+            r.n_feasible,
+            r.mean_period,
+            r.mean_worst_degraded,
+            r.mean_procs,
+            100.0 * (r.degradation() - 1.0)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_model::generator::ExperimentKind;
+
+    #[test]
+    fn degraded_period_never_improves() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 10, 8));
+        let (app, pf) = gen.instance(1, 0);
+        let cm = CostModel::new(&app, &pf);
+        let res = pipeline_core::sp_mono_p(&cm, 0.6 * cm.single_proc_period());
+        for &u in res.mapping.procs() {
+            let d = degraded_period(&app, &pf, &res.mapping, u, 0.5);
+            assert!(d >= res.period - 1e-9, "slowing P{u} cannot reduce the period");
+        }
+        // gamma = 1: no change at all.
+        let same = degraded_period(&app, &pf, &res.mapping, res.mapping.proc_of(0), 1.0);
+        assert!((same - res.period).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrading_a_non_bottleneck_with_slack_is_free() {
+        // A two-interval mapping where one processor has lots of slack:
+        // mild degradation of the slack processor leaves the period
+        // untouched.
+        let app = Application::new(vec![10.0, 1.0], vec![0.0, 0.0, 0.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![10.0, 10.0], 10.0).unwrap();
+        let mapping = IntervalMapping::new(
+            &app,
+            &pf,
+            vec![Interval::new(0, 1), Interval::new(1, 2)],
+            vec![0, 1],
+        )
+        .unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let nominal = cm.period(&mapping); // 1.0 (= 10/10) bottleneck P0
+        // P1's cycle is 0.1; even at half speed it stays below 1.0.
+        let d = degraded_period(&app, &pf, &mapping, 1, 0.5);
+        assert!((d - nominal).abs() < 1e-12);
+        // Degrading the bottleneck hurts proportionally.
+        let d0 = degraded_period(&app, &pf, &mapping, 0, 0.5);
+        assert!((d0 - 2.0 * nominal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn study_produces_consistent_rows() {
+        let rows = robustness_study(
+            InstanceParams::paper(ExperimentKind::E1, 10, 10),
+            9,
+            6,
+            0.6,
+            0.7,
+            2,
+        );
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            if r.n_feasible > 0 {
+                assert!(r.degradation() >= 1.0 - 1e-12, "{}", r.kind);
+                assert!(r.mean_procs >= 1.0);
+            }
+        }
+        let s = render_robustness(&rows, 0.7);
+        assert!(s.contains("degradation"));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn zero_gamma_rejected() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, 4, 4));
+        let (app, pf) = gen.instance(0, 0);
+        let m = IntervalMapping::all_on_fastest(&app, &pf);
+        let _ = degraded_period(&app, &pf, &m, m.proc_of(0), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-instance evaluation and a small scoped-thread parallel map.
+
+use parking_lot::Mutex;
+use pipeline_core::trajectory::{fixed_period_trajectory, Trajectory, TrajectoryKind};
+use pipeline_core::{sp_bi_p, SpBiPOptions};
+use pipeline_model::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything the sweeps need from one random instance, precomputed once:
+/// the instance itself, its scalar landmarks, and the target-independent
+/// trajectories of H1/H2a/H2b.
+pub struct InstanceEval {
+    /// The application.
+    pub app: Application,
+    /// The platform.
+    pub platform: Platform,
+    /// Single-processor (Lemma 1) period — where every heuristic starts.
+    pub p_init: f64,
+    /// Optimal latency `L_opt`.
+    pub l_opt: f64,
+    /// H1 split trajectory.
+    pub traj_split_mono: Trajectory,
+    /// H2a exploration trajectory.
+    pub traj_explo_mono: Trajectory,
+    /// H2b exploration trajectory.
+    pub traj_explo_bi: Trajectory,
+    /// H4 (`Sp bi P`) period floor: the period its unconstrained run
+    /// bottoms out at (its per-instance failure threshold).
+    pub sp_bi_p_floor: f64,
+}
+
+impl InstanceEval {
+    /// Evaluates one instance.
+    pub fn new(app: Application, platform: Platform) -> Self {
+        let cm = CostModel::new(&app, &platform);
+        let p_init = cm.single_proc_period();
+        let l_opt = cm.optimal_latency();
+        let traj_split_mono = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
+        let traj_explo_mono = fixed_period_trajectory(&cm, TrajectoryKind::ExploMono);
+        let traj_explo_bi = fixed_period_trajectory(&cm, TrajectoryKind::ExploBi);
+        let sp_bi_p_floor = sp_bi_p(&cm, 0.0, SpBiPOptions::default()).period;
+        InstanceEval {
+            app,
+            platform,
+            p_init,
+            l_opt,
+            traj_split_mono,
+            traj_explo_mono,
+            traj_explo_bi,
+            sp_bi_p_floor,
+        }
+    }
+
+    /// A cost model bound to this instance.
+    pub fn cost_model(&self) -> CostModel<'_> {
+        CostModel::new(&self.app, &self.platform)
+    }
+
+    /// The tightest period any of the trajectory heuristics reaches — used
+    /// to scale sweep grids.
+    pub fn best_floor(&self) -> f64 {
+        self.traj_split_mono
+            .min_period()
+            .min(self.traj_explo_mono.min_period())
+            .min(self.traj_explo_bi.min_period())
+            .min(self.sp_bi_p_floor)
+    }
+}
+
+/// Applies `f` to every item on `threads` scoped threads, preserving
+/// order. Panics in workers propagate.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items behind Options so workers can take them by index.
+    let slots: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().take().expect("each slot is taken once");
+                let out = f(item);
+                *results[i].lock() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all slots are filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = parallel_map(items.clone(), 8, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_and_empty() {
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+        let empty: Vec<i32> = vec![];
+        assert!(parallel_map(empty, 4, |x: i32| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_instance_eval() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, 10, 10));
+        let instances = gen.batch(3, 6);
+        let serial: Vec<f64> = instances
+            .iter()
+            .map(|(a, p)| InstanceEval::new(a.clone(), p.clone()).best_floor())
+            .collect();
+        let parallel: Vec<f64> =
+            parallel_map(instances, 4, |(a, p)| InstanceEval::new(a, p).best_floor());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn instance_eval_landmarks_are_consistent() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 12, 10));
+        let (app, pf) = gen.instance(1, 0);
+        let ev = InstanceEval::new(app, pf);
+        assert!(ev.best_floor() <= ev.p_init + 1e-9);
+        assert!(ev.l_opt > 0.0);
+        // Trajectory floors are reachable results.
+        assert!(ev.traj_split_mono.min_period() > 0.0);
+        assert!(ev.sp_bi_p_floor > 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Latency-vs-period sweeps: the data behind every figure.
+//!
+//! For one instance family (experiment kind, `n`, `p`) and 50 seeded
+//! instances:
+//!
+//! * the **period-fixed** heuristics (H1, H2a, H2b, H3) are swept over a
+//!   grid of period targets; each grid point averages the achieved
+//!   latency over the instances where the heuristic succeeded
+//!   (x = target period, y = mean latency), exactly how the paper's
+//!   curves are parameterized;
+//! * the **latency-fixed** heuristics (H4, H5) are swept over a grid of
+//!   latency targets; each point averages the achieved period
+//!   (x = mean period, y = target latency).
+//!
+//! H1/H2a/H2b answer all period targets from one recorded trajectory per
+//! instance (their split path is target-independent); H3/H4/H5 are re-run
+//! per target.
+
+use crate::runner::{parallel_map, InstanceEval};
+use pipeline_core::{sp_bi_l, sp_bi_p, sp_mono_l, HeuristicKind, SpBiPOptions};
+use pipeline_model::generator::{InstanceGenerator, InstanceParams};
+use pipeline_model::util::{linspace, mean};
+
+/// One averaged grid point of one heuristic's sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The constraint value handed to the heuristic (a period bound for
+    /// period-fixed heuristics, a latency bound otherwise).
+    pub target: f64,
+    /// Mean achieved period over feasible instances.
+    pub mean_period: f64,
+    /// Mean achieved latency over feasible instances.
+    pub mean_latency: f64,
+    /// Instances where the heuristic met the constraint.
+    pub n_feasible: usize,
+    /// Instances attempted.
+    pub n_total: usize,
+}
+
+impl SweepPoint {
+    /// Plot x-coordinate: target period for period-fixed heuristics, mean
+    /// achieved period otherwise.
+    pub fn x(&self, kind: HeuristicKind) -> f64 {
+        if kind.is_period_fixed() {
+            self.target
+        } else {
+            self.mean_period
+        }
+    }
+
+    /// Plot y-coordinate: mean achieved latency for period-fixed
+    /// heuristics, target latency otherwise.
+    pub fn y(&self, kind: HeuristicKind) -> f64 {
+        if kind.is_period_fixed() {
+            self.mean_latency
+        } else {
+            self.target
+        }
+    }
+}
+
+/// One heuristic's curve.
+#[derive(Debug, Clone)]
+pub struct HeuristicSeries {
+    /// Which heuristic.
+    pub kind: HeuristicKind,
+    /// Grid points with at least one feasible instance.
+    pub points: Vec<SweepPoint>,
+}
+
+impl HeuristicSeries {
+    /// `(x, y)` pairs ready for plotting.
+    pub fn xy(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.x(self.kind), p.y(self.kind))).collect()
+    }
+}
+
+/// Scalar landmarks of a family, averaged over its instances.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyStats {
+    /// Mean single-processor period.
+    pub mean_p_init: f64,
+    /// Mean optimal latency.
+    pub mean_l_opt: f64,
+    /// Mean best period floor across the trajectory heuristics.
+    pub mean_best_floor: f64,
+    /// Instances evaluated.
+    pub n_instances: usize,
+}
+
+/// Result of sweeping one instance family.
+#[derive(Debug, Clone)]
+pub struct FamilyResult {
+    /// Six curves in [`HeuristicKind::ALL`] order.
+    pub series: Vec<HeuristicSeries>,
+    /// The family's landmarks.
+    pub stats: FamilyStats,
+    /// The period grid used for the period-fixed heuristics.
+    pub period_grid: Vec<f64>,
+    /// The latency grid used for the latency-fixed heuristics.
+    pub latency_grid: Vec<f64>,
+}
+
+/// Sweeps one family. `n_instances` follows the paper's 50; `n_grid`
+/// controls curve resolution; `threads` parallelizes over instances.
+pub fn run_family(
+    params: InstanceParams,
+    seed: u64,
+    n_instances: usize,
+    n_grid: usize,
+    threads: usize,
+) -> FamilyResult {
+    assert!(n_instances > 0 && n_grid >= 2);
+    let gen = InstanceGenerator::new(params);
+    let instances = gen.batch(seed, n_instances);
+    let evals: Vec<InstanceEval> =
+        parallel_map(instances, threads, |(app, pf)| InstanceEval::new(app, pf));
+
+    let mean_p_init = mean(&evals.iter().map(|e| e.p_init).collect::<Vec<_>>()).expect("n>0");
+    let mean_l_opt = mean(&evals.iter().map(|e| e.l_opt).collect::<Vec<_>>()).expect("n>0");
+    let mean_best_floor =
+        mean(&evals.iter().map(|e| e.best_floor()).collect::<Vec<_>>()).expect("n>0");
+
+    // Grids mirroring the paper's plot ranges: periods from just under
+    // the best average floor up to the average initial period; latencies
+    // from the average optimum to 3× it.
+    let period_grid = linspace(mean_best_floor * 0.9, mean_p_init * 1.02, n_grid);
+    let latency_grid = linspace(mean_l_opt, mean_l_opt * 3.0, n_grid);
+
+    // Period-fixed heuristics answered from trajectories (H1, H2a, H2b)
+    // or re-run per target (H3). Parallelism is over instances already
+    // exploited above; the sweep itself is cheap except H3, so
+    // parallelize H3 over instances.
+    let mut series = Vec::with_capacity(6);
+    for kind in HeuristicKind::ALL {
+        let points = match kind {
+            HeuristicKind::SpMonoP
+            | HeuristicKind::ThreeExploMono
+            | HeuristicKind::ThreeExploBi => sweep_trajectory(kind, &evals, &period_grid),
+            HeuristicKind::SpBiP => sweep_sp_bi_p(&evals, &period_grid, threads),
+            HeuristicKind::SpMonoL | HeuristicKind::SpBiL => {
+                sweep_latency_fixed(kind, &evals, &latency_grid, threads)
+            }
+        };
+        series.push(HeuristicSeries { kind, points });
+    }
+
+    FamilyResult {
+        series,
+        stats: FamilyStats {
+            mean_p_init,
+            mean_l_opt,
+            mean_best_floor,
+            n_instances: evals.len(),
+        },
+        period_grid,
+        latency_grid,
+    }
+}
+
+fn aggregate(target: f64, outcomes: &[(bool, f64, f64)]) -> Option<SweepPoint> {
+    let feas: Vec<&(bool, f64, f64)> = outcomes.iter().filter(|(ok, _, _)| *ok).collect();
+    if feas.is_empty() {
+        return None;
+    }
+    let periods: Vec<f64> = feas.iter().map(|(_, p, _)| *p).collect();
+    let latencies: Vec<f64> = feas.iter().map(|(_, _, l)| *l).collect();
+    Some(SweepPoint {
+        target,
+        mean_period: mean(&periods).expect("non-empty"),
+        mean_latency: mean(&latencies).expect("non-empty"),
+        n_feasible: feas.len(),
+        n_total: outcomes.len(),
+    })
+}
+
+fn sweep_trajectory(
+    kind: HeuristicKind,
+    evals: &[InstanceEval],
+    grid: &[f64],
+) -> Vec<SweepPoint> {
+    fn traj_of(kind: HeuristicKind, e: &InstanceEval) -> &pipeline_core::Trajectory {
+        match kind {
+            HeuristicKind::SpMonoP => &e.traj_split_mono,
+            HeuristicKind::ThreeExploMono => &e.traj_explo_mono,
+            HeuristicKind::ThreeExploBi => &e.traj_explo_bi,
+            _ => unreachable!("not a trajectory heuristic"),
+        }
+    }
+    grid.iter()
+        .filter_map(|&target| {
+            let outcomes: Vec<(bool, f64, f64)> = evals
+                .iter()
+                .map(|e| {
+                    let r = traj_of(kind, e).result_for_period(target);
+                    (r.feasible, r.period, r.latency)
+                })
+                .collect();
+            aggregate(target, &outcomes)
+        })
+        .collect()
+}
+
+fn sweep_sp_bi_p(evals: &[InstanceEval], grid: &[f64], threads: usize) -> Vec<SweepPoint> {
+    // Each instance × target is an independent binary search; parallelize
+    // over instances (the outer loop is the grid to keep aggregation
+    // simple).
+    grid.iter()
+        .filter_map(|&target| {
+            let outcomes: Vec<(bool, f64, f64)> =
+                parallel_map(evals.iter().collect::<Vec<_>>(), threads, |e| {
+                    let cm = e.cost_model();
+                    let r = sp_bi_p(&cm, target, SpBiPOptions::default());
+                    (r.feasible, r.period, r.latency)
+                });
+            aggregate(target, &outcomes)
+        })
+        .collect()
+}
+
+fn sweep_latency_fixed(
+    kind: HeuristicKind,
+    evals: &[InstanceEval],
+    grid: &[f64],
+    threads: usize,
+) -> Vec<SweepPoint> {
+    grid.iter()
+        .filter_map(|&target| {
+            let outcomes: Vec<(bool, f64, f64)> =
+                parallel_map(evals.iter().collect::<Vec<_>>(), threads, |e| {
+                    let cm = e.cost_model();
+                    let r = match kind {
+                        HeuristicKind::SpMonoL => sp_mono_l(&cm, target),
+                        HeuristicKind::SpBiL => sp_bi_l(&cm, target),
+                        _ => unreachable!("not a latency-fixed heuristic"),
+                    };
+                    (r.feasible, r.period, r.latency)
+                });
+            aggregate(target, &outcomes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_model::generator::ExperimentKind;
+
+    fn tiny_family() -> FamilyResult {
+        run_family(InstanceParams::paper(ExperimentKind::E1, 8, 10), 7, 6, 8, 2)
+    }
+
+    #[test]
+    fn family_produces_six_series() {
+        let fam = tiny_family();
+        assert_eq!(fam.series.len(), 6);
+        let kinds: Vec<HeuristicKind> = fam.series.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, HeuristicKind::ALL.to_vec());
+        assert_eq!(fam.stats.n_instances, 6);
+        assert!(fam.stats.mean_best_floor <= fam.stats.mean_p_init);
+    }
+
+    #[test]
+    fn latency_fixed_series_cover_the_whole_grid() {
+        // Targets ≥ L_opt are always feasible for H5/H6; the grid starts
+        // at mean L_opt so instances with below-average L_opt may fail at
+        // the first point, but the upper grid must be complete.
+        let fam = tiny_family();
+        for s in &fam.series {
+            if !s.kind.is_period_fixed() {
+                let last = s.points.last().expect("non-empty");
+                assert_eq!(last.n_feasible, last.n_total, "{}", s.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn period_fixed_latency_decreases_with_looser_targets() {
+        // Looser period targets need fewer splits → lower latency (exact
+        // for trajectory heuristics on each instance, hence for means over
+        // a fixed feasible set; across different feasible sets small
+        // inversions are possible, so check the trend loosely).
+        let fam = tiny_family();
+        let h1 = &fam.series[0];
+        assert!(h1.points.len() >= 2);
+        let first_full = h1.points.iter().find(|p| p.n_feasible == p.n_total);
+        let last = h1.points.last().unwrap();
+        if let Some(f) = first_full {
+            assert!(
+                last.mean_latency <= f.mean_latency + 1e-9,
+                "loosest target must not have higher latency than the tightest fully-feasible one"
+            );
+        }
+    }
+
+    #[test]
+    fn xy_orientation_per_heuristic_class() {
+        let fam = tiny_family();
+        for s in &fam.series {
+            for (pt, (x, y)) in s.points.iter().zip(s.xy()) {
+                if s.kind.is_period_fixed() {
+                    assert_eq!(x, pt.target);
+                    assert_eq!(y, pt.mean_latency);
+                } else {
+                    assert_eq!(x, pt.mean_period);
+                    assert_eq!(y, pt.target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_counts_monotone_for_trajectory_heuristics() {
+        // A larger period target can only gain feasible instances.
+        let fam = tiny_family();
+        for s in &fam.series[..3] {
+            let mut last = 0;
+            for p in &s.points {
+                assert!(p.n_feasible >= last, "{}: feasibility regressed", s.kind);
+                last = p.n_feasible;
+            }
+        }
+    }
+}

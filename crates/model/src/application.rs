@@ -1,0 +1,205 @@
+//! The application side of the framework: a linear pipeline of stages.
+
+use crate::util::PrefixSums;
+use crate::{ModelError, Result};
+
+/// A pipeline application of `n` stages (paper Figure 1).
+///
+/// Stage `k` (0-based in code, `S_{k+1}` in the paper) receives `δ_k =
+/// deltas[k]` data units from its predecessor (stage 0 reads `deltas[0]`
+/// from the outside world), performs `works[k]` operations, and sends
+/// `deltas[k + 1]` data units to its successor (the last stage writes
+/// `deltas[n]` back to the outside world).
+///
+/// The structure is immutable after construction and carries prefix sums of
+/// the works so that interval workloads `W(i..j)` are O(1) queries — the
+/// split heuristics evaluate many thousands of candidate intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Application {
+    works: Vec<f64>,
+    deltas: Vec<f64>,
+    work_sums: PrefixSums,
+}
+
+impl Application {
+    /// Builds an application from per-stage works `w_1..w_n` and
+    /// communication volumes `δ_0..δ_n` (`deltas.len() == works.len() + 1`).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyApplication`] when `works` is empty;
+    /// * [`ModelError::DeltaLengthMismatch`] on a length mismatch;
+    /// * [`ModelError::InvalidNumber`] when any work or volume is negative,
+    ///   NaN or infinite.
+    pub fn new(works: Vec<f64>, deltas: Vec<f64>) -> Result<Self> {
+        if works.is_empty() {
+            return Err(ModelError::EmptyApplication);
+        }
+        if deltas.len() != works.len() + 1 {
+            return Err(ModelError::DeltaLengthMismatch {
+                stages: works.len(),
+                deltas: deltas.len(),
+            });
+        }
+        for &w in &works {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ModelError::InvalidNumber { what: "stage work", value: w });
+            }
+        }
+        for &d in &deltas {
+            if !d.is_finite() || d < 0.0 {
+                return Err(ModelError::InvalidNumber { what: "communication volume", value: d });
+            }
+        }
+        let work_sums = PrefixSums::new(&works);
+        Ok(Application { works, deltas, work_sums })
+    }
+
+    /// An application whose every stage computes `w` and whose every
+    /// communication carries `delta` data units. Handy in tests.
+    pub fn uniform(n: usize, w: f64, delta: f64) -> Result<Self> {
+        Application::new(vec![w; n], vec![delta; n + 1])
+    }
+
+    /// Number of stages `n`.
+    #[inline]
+    pub fn n_stages(&self) -> usize {
+        self.works.len()
+    }
+
+    /// Work `w_{k+1}` of stage `k` (0-based).
+    #[inline]
+    pub fn work(&self, k: usize) -> f64 {
+        self.works[k]
+    }
+
+    /// All stage works.
+    #[inline]
+    pub fn works(&self) -> &[f64] {
+        &self.works
+    }
+
+    /// Communication volume `δ_k`: the data *entering* stage `k`
+    /// (equivalently leaving stage `k - 1`). `delta(n)` is the final
+    /// output volume.
+    #[inline]
+    pub fn delta(&self, k: usize) -> f64 {
+        self.deltas[k]
+    }
+
+    /// All communication volumes `δ_0..δ_n`.
+    #[inline]
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// Total work `Σ w_i` of the pipeline.
+    #[inline]
+    pub fn total_work(&self) -> f64 {
+        self.work_sums.total()
+    }
+
+    /// Work of the stage interval `[start, end)` (half-open, 0-based):
+    /// `Σ_{i=start}^{end-1} w_{i+1}` in paper notation. O(1).
+    #[inline]
+    pub fn interval_work(&self, start: usize, end: usize) -> f64 {
+        self.work_sums.range(start, end)
+    }
+
+    /// Volume read by the interval starting at stage `start`: `δ_start`.
+    #[inline]
+    pub fn input_volume(&self, start: usize) -> f64 {
+        self.deltas[start]
+    }
+
+    /// Volume written by the interval ending before stage `end`
+    /// (half-open): `δ_end`.
+    #[inline]
+    pub fn output_volume(&self, end: usize) -> f64 {
+        self.deltas[end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::approx_eq;
+
+    fn app() -> Application {
+        Application::new(vec![2.0, 4.0, 6.0], vec![1.0, 3.0, 5.0, 7.0]).unwrap()
+    }
+
+    #[test]
+    fn accessors_match_construction() {
+        let a = app();
+        assert_eq!(a.n_stages(), 3);
+        assert!(approx_eq(a.work(1), 4.0));
+        assert!(approx_eq(a.delta(0), 1.0));
+        assert!(approx_eq(a.delta(3), 7.0));
+        assert!(approx_eq(a.total_work(), 12.0));
+    }
+
+    #[test]
+    fn interval_work_is_prefix_difference() {
+        let a = app();
+        assert!(approx_eq(a.interval_work(0, 3), 12.0));
+        assert!(approx_eq(a.interval_work(1, 2), 4.0));
+        assert!(approx_eq(a.interval_work(2, 2), 0.0));
+    }
+
+    #[test]
+    fn interval_volumes() {
+        let a = app();
+        assert!(approx_eq(a.input_volume(0), 1.0));
+        assert!(approx_eq(a.output_volume(3), 7.0));
+        // Interval [1,2) reads δ_1 and writes δ_2.
+        assert!(approx_eq(a.input_volume(1), 3.0));
+        assert!(approx_eq(a.output_volume(2), 5.0));
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let a = Application::uniform(4, 2.5, 1.5).unwrap();
+        assert_eq!(a.n_stages(), 4);
+        assert!(a.works().iter().all(|&w| approx_eq(w, 2.5)));
+        assert!(a.deltas().iter().all(|&d| approx_eq(d, 1.5)));
+        assert_eq!(a.deltas().len(), 5);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Application::new(vec![], vec![1.0]).unwrap_err(),
+            ModelError::EmptyApplication
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_delta_count() {
+        let err = Application::new(vec![1.0, 2.0], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, ModelError::DeltaLengthMismatch { stages: 2, deltas: 2 });
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(matches!(
+            Application::new(vec![-1.0], vec![0.0, 0.0]).unwrap_err(),
+            ModelError::InvalidNumber { what: "stage work", .. }
+        ));
+        assert!(matches!(
+            Application::new(vec![1.0], vec![0.0, f64::NAN]).unwrap_err(),
+            ModelError::InvalidNumber { what: "communication volume", .. }
+        ));
+        assert!(matches!(
+            Application::new(vec![f64::INFINITY], vec![0.0, 0.0]).unwrap_err(),
+            ModelError::InvalidNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_work_stages_are_allowed() {
+        // Zero-work relay stages are legal (pure data forwarding).
+        let a = Application::new(vec![0.0, 1.0], vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(approx_eq(a.total_work(), 1.0));
+    }
+}

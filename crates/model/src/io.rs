@@ -1,0 +1,312 @@
+//! Plain-text instance serialization.
+//!
+//! A tiny line-oriented format so instances can be saved, diffed, shipped
+//! in bug reports and loaded by the examples — without pulling a
+//! serialization framework into the workspace:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! pipeline-instance v1
+//! works    4 8 2
+//! deltas   2 6 4 10
+//! speeds   2 4
+//! bandwidth 2
+//! ```
+//!
+//! `bandwidth` declares a Communication Homogeneous platform; fully
+//! heterogeneous platforms add one `link u v b` line per directed pair
+//! (unlisted pairs default to `io-bandwidth`):
+//!
+//! ```text
+//! pipeline-instance v1
+//! works    1 1
+//! deltas   1 1 1
+//! speeds   1 1
+//! io-bandwidth 8
+//! link 0 1 2.5
+//! link 1 0 4
+//! ```
+
+use crate::application::Application;
+use crate::platform::{LinkModel, Platform};
+use crate::{ModelError, Result};
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The `pipeline-instance v1` header is missing or wrong.
+    BadHeader,
+    /// A required section is missing.
+    Missing(&'static str),
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// Parsed values failed model validation.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing 'pipeline-instance v1' header"),
+            ParseError::Missing(what) => write!(f, "missing '{what}' section"),
+            ParseError::BadLine { line, detail } => write!(f, "line {line}: {detail}"),
+            ParseError::Model(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError::Model(e)
+    }
+}
+
+/// Serializes an instance to the v1 text format.
+pub fn format_instance(app: &Application, platform: &Platform) -> String {
+    let mut out = String::from("pipeline-instance v1\n");
+    let join = |vals: &[f64]| {
+        vals.iter().map(|v| format_f64(*v)).collect::<Vec<_>>().join(" ")
+    };
+    out.push_str(&format!("works {}\n", join(app.works())));
+    out.push_str(&format!("deltas {}\n", join(app.deltas())));
+    out.push_str(&format!("speeds {}\n", join(platform.speeds())));
+    match platform.links() {
+        LinkModel::Homogeneous(b) => {
+            out.push_str(&format!("bandwidth {}\n", format_f64(*b)));
+        }
+        LinkModel::Heterogeneous { matrix, io_bandwidth } => {
+            out.push_str(&format!("io-bandwidth {}\n", format_f64(*io_bandwidth)));
+            for (u, row) in matrix.iter().enumerate() {
+                for (v, b) in row.iter().enumerate() {
+                    if u != v {
+                        out.push_str(&format!("link {u} {v} {}\n", format_f64(*b)));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    // Shortest representation that round-trips.
+    let s = format!("{v}");
+    debug_assert_eq!(s.parse::<f64>().ok(), Some(v));
+    s
+}
+
+/// Parses the v1 text format back into an instance.
+pub fn parse_instance(text: &str) -> std::result::Result<(Application, Platform), ParseError> {
+    let mut works: Option<Vec<f64>> = None;
+    let mut deltas: Option<Vec<f64>> = None;
+    let mut speeds: Option<Vec<f64>> = None;
+    let mut bandwidth: Option<f64> = None;
+    let mut io_bandwidth: Option<f64> = None;
+    let mut links: Vec<(usize, usize, f64)> = Vec::new();
+    let mut saw_header = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !saw_header {
+            if line == "pipeline-instance v1" {
+                saw_header = true;
+                continue;
+            }
+            return Err(ParseError::BadHeader);
+        }
+        let mut tokens = line.split_whitespace();
+        let key = tokens.next().expect("non-empty line");
+        let rest: Vec<&str> = tokens.collect();
+        let parse_vec = |rest: &[&str]| -> std::result::Result<Vec<f64>, ParseError> {
+            rest.iter()
+                .map(|t| {
+                    t.parse::<f64>().map_err(|_| ParseError::BadLine {
+                        line: line_no,
+                        detail: format!("bad number {t:?}"),
+                    })
+                })
+                .collect()
+        };
+        let parse_one = |rest: &[&str]| -> std::result::Result<f64, ParseError> {
+            if rest.len() != 1 {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    detail: format!("expected one value, got {}", rest.len()),
+                });
+            }
+            parse_vec(rest).map(|v| v[0])
+        };
+        match key {
+            "works" => works = Some(parse_vec(&rest)?),
+            "deltas" => deltas = Some(parse_vec(&rest)?),
+            "speeds" => speeds = Some(parse_vec(&rest)?),
+            "bandwidth" => bandwidth = Some(parse_one(&rest)?),
+            "io-bandwidth" => io_bandwidth = Some(parse_one(&rest)?),
+            "link" => {
+                if rest.len() != 3 {
+                    return Err(ParseError::BadLine {
+                        line: line_no,
+                        detail: "link wants: link <from> <to> <bandwidth>".into(),
+                    });
+                }
+                let u = rest[0].parse::<usize>().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    detail: format!("bad processor id {:?}", rest[0]),
+                })?;
+                let v = rest[1].parse::<usize>().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    detail: format!("bad processor id {:?}", rest[1]),
+                })?;
+                let b = rest[2].parse::<f64>().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    detail: format!("bad bandwidth {:?}", rest[2]),
+                })?;
+                links.push((u, v, b));
+            }
+            other => {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    detail: format!("unknown key {other:?}"),
+                })
+            }
+        }
+    }
+
+    if !saw_header {
+        return Err(ParseError::BadHeader);
+    }
+    let works = works.ok_or(ParseError::Missing("works"))?;
+    let deltas = deltas.ok_or(ParseError::Missing("deltas"))?;
+    let speeds = speeds.ok_or(ParseError::Missing("speeds"))?;
+    let app = Application::new(works, deltas)?;
+    let platform = match (bandwidth, io_bandwidth) {
+        (Some(b), None) if links.is_empty() => Platform::comm_homogeneous(speeds, b)?,
+        (None, Some(io_b)) => {
+            let p = speeds.len();
+            let mut matrix = vec![vec![io_b; p]; p];
+            for (u, v, b) in links {
+                if u >= p || v >= p {
+                    return Err(ParseError::Model(ModelError::BadAllocation {
+                        detail: format!("link references unknown processor P{}", u.max(v)),
+                    }));
+                }
+                matrix[u][v] = b;
+            }
+            Platform::fully_heterogeneous(speeds, matrix, io_b)?
+        }
+        (Some(_), Some(_)) => {
+            return Err(ParseError::BadLine {
+                line: 0,
+                detail: "give either 'bandwidth' or 'io-bandwidth'+links, not both".into(),
+            })
+        }
+        (Some(_), None) => {
+            return Err(ParseError::BadLine {
+                line: 0,
+                detail: "'link' lines require 'io-bandwidth', not 'bandwidth'".into(),
+            })
+        }
+        (None, None) => return Err(ParseError::Missing("bandwidth")),
+    };
+    Ok((app, platform))
+}
+
+/// Convenience alias keeping the crate-level [`Result`] usable here.
+pub type _Unused = Result<()>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+    #[test]
+    fn round_trip_comm_homogeneous() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 8, 5));
+        let (app, pf) = gen.instance(1, 0);
+        let text = format_instance(&app, &pf);
+        let (app2, pf2) = parse_instance(&text).expect("round trip parses");
+        assert_eq!(app, app2);
+        assert_eq!(pf, pf2);
+    }
+
+    #[test]
+    fn round_trip_heterogeneous() {
+        let app = Application::uniform(2, 1.5, 0.5).unwrap();
+        let pf = Platform::fully_heterogeneous(
+            vec![1.0, 2.0],
+            vec![vec![8.0, 2.5], vec![4.0, 8.0]],
+            8.0,
+        )
+        .unwrap();
+        let text = format_instance(&app, &pf);
+        let (app2, pf2) = parse_instance(&text).expect("round trip parses");
+        assert_eq!(app, app2);
+        // Diagonal entries default to io-bandwidth (8.0), matching.
+        assert_eq!(pf, pf2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\npipeline-instance v1\nworks 1 2 # trailing\ndeltas 1 1 1\nspeeds 3\nbandwidth 10\n\n";
+        let (app, pf) = parse_instance(text).expect("parses");
+        assert_eq!(app.n_stages(), 2);
+        assert_eq!(pf.n_procs(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse_instance("works 1\n").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(parse_instance("").unwrap_err(), ParseError::BadHeader);
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        let text = "pipeline-instance v1\nworks 1\ndeltas 1 1\n";
+        assert_eq!(parse_instance(text).unwrap_err(), ParseError::Missing("speeds"));
+    }
+
+    #[test]
+    fn bad_numbers_carry_line_info() {
+        let text = "pipeline-instance v1\nworks 1 oops\n";
+        match parse_instance(text).unwrap_err() {
+            ParseError::BadLine { line, detail } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("oops"));
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_validation_propagates() {
+        let text = "pipeline-instance v1\nworks 1\ndeltas 1 1 1\nspeeds 1\nbandwidth 1\n";
+        assert!(matches!(
+            parse_instance(text).unwrap_err(),
+            ParseError::Model(ModelError::DeltaLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_bandwidth_declarations_rejected() {
+        let text = "pipeline-instance v1\nworks 1\ndeltas 1 1\nspeeds 1\nbandwidth 1\nio-bandwidth 2\n";
+        assert!(matches!(parse_instance(text).unwrap_err(), ParseError::BadLine { .. }));
+    }
+
+    #[test]
+    fn link_to_unknown_processor_rejected() {
+        let text =
+            "pipeline-instance v1\nworks 1\ndeltas 1 1\nspeeds 1\nio-bandwidth 2\nlink 0 5 1\n";
+        assert!(matches!(parse_instance(text).unwrap_err(), ParseError::Model(_)));
+    }
+}

@@ -1,0 +1,342 @@
+//! Interval mappings: the allocation functions studied by the paper.
+
+use crate::application::Application;
+use crate::platform::{Platform, ProcId};
+use crate::{ModelError, Result};
+
+/// A contiguous run of stages `[start, end)` (half-open, 0-based).
+///
+/// In paper notation `I_j = [d_j, e_j]` with 1-based inclusive bounds;
+/// `Interval { start, end }` corresponds to `d = start + 1`,
+/// `e = end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// First stage of the interval (inclusive, 0-based).
+    pub start: usize,
+    /// One past the last stage of the interval.
+    pub end: usize,
+}
+
+impl Interval {
+    /// Builds the interval `[start, end)`. Panics when `start >= end`
+    /// (intervals are never empty in a valid mapping).
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start < end, "interval [{start}, {end}) is empty");
+        Interval { start, end }
+    }
+
+    /// Number of stages in the interval.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Intervals are never empty; provided for clippy symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when the interval contains stage `k`.
+    #[inline]
+    pub fn contains(&self, k: usize) -> bool {
+        self.start <= k && k < self.end
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Display in the paper's 1-based inclusive notation.
+        write!(f, "S{}..S{}", self.start + 1, self.end)
+    }
+}
+
+/// An interval-based mapping: a partition of the `n` stages into `m ≤ p`
+/// intervals of consecutive stages, interval `j` being processed by the
+/// distinct processor `procs[j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalMapping {
+    intervals: Vec<Interval>,
+    procs: Vec<ProcId>,
+}
+
+impl IntervalMapping {
+    /// Builds and validates a mapping against an application and platform.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NotAPartition`] when the intervals do not partition
+    ///   `[0, n)` from left to right;
+    /// * [`ModelError::BadAllocation`] when `procs` has the wrong length,
+    ///   references an unknown processor, or reuses a processor (the paper
+    ///   maps each interval on a *distinct* processor: stages keep internal
+    ///   state, so two intervals cannot share one processor without
+    ///   breaking the cyclic one-port schedule assumed by eq. 1).
+    pub fn new(
+        app: &Application,
+        platform: &Platform,
+        intervals: Vec<Interval>,
+        procs: Vec<ProcId>,
+    ) -> Result<Self> {
+        if intervals.is_empty() {
+            return Err(ModelError::NotAPartition { detail: "no interval".into() });
+        }
+        if intervals[0].start != 0 {
+            return Err(ModelError::NotAPartition {
+                detail: format!("first interval starts at stage {}", intervals[0].start),
+            });
+        }
+        for w in intervals.windows(2) {
+            if w[0].end != w[1].start {
+                return Err(ModelError::NotAPartition {
+                    detail: format!(
+                        "gap or overlap between {} and {}",
+                        w[0], w[1]
+                    ),
+                });
+            }
+        }
+        let last_end = intervals.last().expect("non-empty").end;
+        if last_end != app.n_stages() {
+            return Err(ModelError::NotAPartition {
+                detail: format!(
+                    "last interval ends at stage {last_end}, application has {} stages",
+                    app.n_stages()
+                ),
+            });
+        }
+        if procs.len() != intervals.len() {
+            return Err(ModelError::BadAllocation {
+                detail: format!(
+                    "{} intervals but {} processor assignments",
+                    intervals.len(),
+                    procs.len()
+                ),
+            });
+        }
+        if intervals.len() > platform.n_procs() {
+            return Err(ModelError::BadAllocation {
+                detail: format!(
+                    "{} intervals exceed the {} available processors",
+                    intervals.len(),
+                    platform.n_procs()
+                ),
+            });
+        }
+        let mut seen = vec![false; platform.n_procs()];
+        for &u in &procs {
+            if u >= platform.n_procs() {
+                return Err(ModelError::BadAllocation {
+                    detail: format!("processor P{u} does not exist"),
+                });
+            }
+            if seen[u] {
+                return Err(ModelError::BadAllocation {
+                    detail: format!("processor P{u} is assigned twice"),
+                });
+            }
+            seen[u] = true;
+        }
+        Ok(IntervalMapping { intervals, procs })
+    }
+
+    /// The latency-optimal mapping of Lemma 1: every stage on the fastest
+    /// processor.
+    pub fn all_on_fastest(app: &Application, platform: &Platform) -> Self {
+        IntervalMapping {
+            intervals: vec![Interval::new(0, app.n_stages())],
+            procs: vec![platform.fastest()],
+        }
+    }
+
+    /// A one-to-one mapping (requires `n ≤ p`): stage `k` on `procs[k]`.
+    pub fn one_to_one(
+        app: &Application,
+        platform: &Platform,
+        procs: Vec<ProcId>,
+    ) -> Result<Self> {
+        let intervals = (0..app.n_stages()).map(|k| Interval::new(k, k + 1)).collect();
+        IntervalMapping::new(app, platform, intervals, procs)
+    }
+
+    /// Number of intervals `m`.
+    #[inline]
+    pub fn n_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The intervals, left to right.
+    #[inline]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Processor of interval `j`.
+    #[inline]
+    pub fn proc_of(&self, j: usize) -> ProcId {
+        self.procs[j]
+    }
+
+    /// The processor assignment, parallel to [`Self::intervals`].
+    #[inline]
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// Iterator over `(interval, processor)` pairs.
+    pub fn assignments(&self) -> impl Iterator<Item = (Interval, ProcId)> + '_ {
+        self.intervals.iter().copied().zip(self.procs.iter().copied())
+    }
+
+    /// Index of the interval containing stage `k`, by binary search.
+    pub fn interval_of_stage(&self, k: usize) -> Option<usize> {
+        let j = self.intervals.partition_point(|iv| iv.end <= k);
+        (j < self.intervals.len() && self.intervals[j].contains(k)).then_some(j)
+    }
+
+    /// True when every interval is a single stage.
+    pub fn is_one_to_one(&self) -> bool {
+        self.intervals.iter().all(|iv| iv.len() == 1)
+    }
+}
+
+impl std::fmt::Display for IntervalMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (j, (iv, u)) in self.assignments().enumerate() {
+            if j > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{iv}→P{u}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Application, Platform) {
+        let app = Application::uniform(5, 2.0, 1.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 5.0, 3.0], 10.0).unwrap();
+        (app, pf)
+    }
+
+    #[test]
+    fn valid_mapping_roundtrip() {
+        let (app, pf) = setup();
+        let m = IntervalMapping::new(
+            &app,
+            &pf,
+            vec![Interval::new(0, 2), Interval::new(2, 5)],
+            vec![1, 2],
+        )
+        .unwrap();
+        assert_eq!(m.n_intervals(), 2);
+        assert_eq!(m.proc_of(0), 1);
+        assert_eq!(m.interval_of_stage(0), Some(0));
+        assert_eq!(m.interval_of_stage(2), Some(1));
+        assert_eq!(m.interval_of_stage(4), Some(1));
+        assert_eq!(m.interval_of_stage(5), None);
+        assert!(!m.is_one_to_one());
+    }
+
+    #[test]
+    fn all_on_fastest_uses_lemma_1_processor() {
+        let (app, pf) = setup();
+        let m = IntervalMapping::all_on_fastest(&app, &pf);
+        assert_eq!(m.n_intervals(), 1);
+        assert_eq!(m.proc_of(0), 1); // speed 5 is the fastest
+        assert_eq!(m.intervals()[0], Interval::new(0, 5));
+    }
+
+    #[test]
+    fn one_to_one_mapping() {
+        let app = Application::uniform(3, 1.0, 1.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0, 3.0], 10.0).unwrap();
+        let m = IntervalMapping::one_to_one(&app, &pf, vec![2, 0, 1]).unwrap();
+        assert!(m.is_one_to_one());
+        assert_eq!(m.procs(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_gap_overlap_and_bounds() {
+        let (app, pf) = setup();
+        // Gap between intervals.
+        assert!(matches!(
+            IntervalMapping::new(
+                &app,
+                &pf,
+                vec![Interval::new(0, 2), Interval::new(3, 5)],
+                vec![0, 1],
+            ),
+            Err(ModelError::NotAPartition { .. })
+        ));
+        // Does not start at stage 0.
+        assert!(matches!(
+            IntervalMapping::new(&app, &pf, vec![Interval::new(1, 5)], vec![0]),
+            Err(ModelError::NotAPartition { .. })
+        ));
+        // Does not end at stage n.
+        assert!(matches!(
+            IntervalMapping::new(&app, &pf, vec![Interval::new(0, 4)], vec![0]),
+            Err(ModelError::NotAPartition { .. })
+        ));
+        // Empty interval list.
+        assert!(matches!(
+            IntervalMapping::new(&app, &pf, vec![], vec![]),
+            Err(ModelError::NotAPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_allocations() {
+        let (app, pf) = setup();
+        let ivs = vec![Interval::new(0, 2), Interval::new(2, 5)];
+        // Length mismatch.
+        assert!(matches!(
+            IntervalMapping::new(&app, &pf, ivs.clone(), vec![0]),
+            Err(ModelError::BadAllocation { .. })
+        ));
+        // Unknown processor.
+        assert!(matches!(
+            IntervalMapping::new(&app, &pf, ivs.clone(), vec![0, 7]),
+            Err(ModelError::BadAllocation { .. })
+        ));
+        // Duplicated processor.
+        assert!(matches!(
+            IntervalMapping::new(&app, &pf, ivs, vec![2, 2]),
+            Err(ModelError::BadAllocation { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_more_intervals_than_processors() {
+        let app = Application::uniform(4, 1.0, 1.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0, 3.0], 10.0).unwrap();
+        let ivs = (0..4).map(|k| Interval::new(k, k + 1)).collect();
+        assert!(matches!(
+            IntervalMapping::new(&app, &pf, ivs, vec![0, 1, 2, 0]),
+            Err(ModelError::BadAllocation { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_interval_panics() {
+        let _ = Interval::new(3, 3);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let (app, pf) = setup();
+        let m = IntervalMapping::new(
+            &app,
+            &pf,
+            vec![Interval::new(0, 2), Interval::new(2, 5)],
+            vec![1, 2],
+        )
+        .unwrap();
+        assert_eq!(m.to_string(), "S1..S2→P1 | S3..S5→P2");
+    }
+}

@@ -1,0 +1,205 @@
+//! Named synthetic workloads: reproducible pipeline shapes beyond the
+//! paper's uniform-random E1–E4 families, used by examples, benches and
+//! robustness studies.
+//!
+//! Each preset is deterministic given its parameters — no RNG — so
+//! regressions in the schedulers show up as exact diffs.
+
+use crate::application::Application;
+
+/// A named pipeline shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadShape {
+    /// Every stage identical — the fully balanced baseline.
+    Uniform,
+    /// Work ramps linearly from light to heavy (accumulating analyses).
+    Ramp,
+    /// One dominant stage in the middle (segmentation-style hotspot).
+    Hotspot,
+    /// Work alternates light/heavy (map/reduce alternation).
+    Alternating,
+    /// Volumes shrink geometrically along the chain (filter cascade,
+    /// DataCutter-style); work proportional to the incoming volume.
+    FilterCascade,
+    /// Volumes grow along the chain (generation/rendering pipelines).
+    Expansion,
+}
+
+impl WorkloadShape {
+    /// All presets.
+    pub const ALL: [WorkloadShape; 6] = [
+        WorkloadShape::Uniform,
+        WorkloadShape::Ramp,
+        WorkloadShape::Hotspot,
+        WorkloadShape::Alternating,
+        WorkloadShape::FilterCascade,
+        WorkloadShape::Expansion,
+    ];
+
+    /// Builds an `n`-stage application of this shape. `work_scale` sets
+    /// the average per-stage work, `comm_scale` the average volume.
+    /// Panics when `n == 0` or scales are not positive.
+    pub fn build(&self, n: usize, work_scale: f64, comm_scale: f64) -> Application {
+        assert!(n > 0, "need at least one stage");
+        assert!(
+            work_scale > 0.0 && comm_scale > 0.0,
+            "scales must be positive"
+        );
+        let (works, deltas) = match self {
+            WorkloadShape::Uniform => {
+                (vec![work_scale; n], vec![comm_scale; n + 1])
+            }
+            WorkloadShape::Ramp => {
+                // 0.25x .. 1.75x, mean 1x.
+                let works = (0..n)
+                    .map(|k| {
+                        let t = if n == 1 { 0.5 } else { k as f64 / (n - 1) as f64 };
+                        work_scale * (0.25 + 1.5 * t)
+                    })
+                    .collect();
+                (works, vec![comm_scale; n + 1])
+            }
+            WorkloadShape::Hotspot => {
+                let mid = n / 2;
+                let works = (0..n)
+                    .map(|k| if k == mid { work_scale * (n as f64) } else { work_scale * 0.5 })
+                    .collect();
+                (works, vec![comm_scale; n + 1])
+            }
+            WorkloadShape::Alternating => {
+                let works = (0..n)
+                    .map(|k| if k % 2 == 0 { work_scale * 0.4 } else { work_scale * 1.6 })
+                    .collect();
+                (works, vec![comm_scale; n + 1])
+            }
+            WorkloadShape::FilterCascade => {
+                // δ_k = comm_scale · r^k with r chosen so the last volume
+                // is 5% of the first; w_k proportional to the incoming
+                // volume.
+                let r = if n == 1 { 1.0 } else { (0.05_f64).powf(1.0 / n as f64) };
+                let deltas: Vec<f64> =
+                    (0..=n).map(|k| comm_scale * r.powi(k as i32)).collect();
+                let works = (0..n).map(|k| work_scale * deltas[k] / comm_scale).collect();
+                (works, deltas)
+            }
+            WorkloadShape::Expansion => {
+                let r = if n == 1 { 1.0 } else { (20.0_f64).powf(1.0 / n as f64) };
+                let deltas: Vec<f64> =
+                    (0..=n).map(|k| comm_scale * r.powi(k as i32)).collect();
+                let works =
+                    (0..n).map(|k| work_scale * deltas[k + 1] / comm_scale).collect();
+                (works, deltas)
+            }
+        };
+        Application::new(works, deltas).expect("presets produce valid applications")
+    }
+
+    /// Short machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadShape::Uniform => "uniform",
+            WorkloadShape::Ramp => "ramp",
+            WorkloadShape::Hotspot => "hotspot",
+            WorkloadShape::Alternating => "alternating",
+            WorkloadShape::FilterCascade => "filter-cascade",
+            WorkloadShape::Expansion => "expansion",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::approx_eq_rel;
+
+    #[test]
+    fn all_presets_build_valid_applications() {
+        for shape in WorkloadShape::ALL {
+            for n in [1usize, 2, 7, 40] {
+                let app = shape.build(n, 10.0, 5.0);
+                assert_eq!(app.n_stages(), n, "{shape} n={n}");
+                assert!(app.total_work() > 0.0);
+                assert!(app.works().iter().all(|w| *w > 0.0));
+                assert!(app.deltas().iter().all(|d| *d > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let app = WorkloadShape::Uniform.build(5, 3.0, 2.0);
+        assert!(app.works().iter().all(|&w| w == 3.0));
+        assert!(app.deltas().iter().all(|&d| d == 2.0));
+    }
+
+    #[test]
+    fn ramp_is_monotone_with_mean_scale() {
+        let app = WorkloadShape::Ramp.build(9, 10.0, 1.0);
+        for w in app.works().windows(2) {
+            assert!(w[0] < w[1], "ramp must increase");
+        }
+        let mean = app.total_work() / 9.0;
+        assert!(approx_eq_rel(mean, 10.0), "mean {mean} != scale");
+    }
+
+    #[test]
+    fn hotspot_dominates_total_work() {
+        let app = WorkloadShape::Hotspot.build(11, 4.0, 1.0);
+        let max = app.works().iter().cloned().fold(0.0_f64, f64::max);
+        assert!(
+            max > 0.5 * app.total_work(),
+            "the hotspot must hold most of the work"
+        );
+        assert_eq!(app.works().iter().position(|&w| w == max), Some(5));
+    }
+
+    #[test]
+    fn alternating_alternates() {
+        let app = WorkloadShape::Alternating.build(6, 10.0, 1.0);
+        for (k, w) in app.works().iter().enumerate() {
+            if k % 2 == 0 {
+                assert!(*w < 10.0);
+            } else {
+                assert!(*w > 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_cascade_shrinks_volumes() {
+        let app = WorkloadShape::FilterCascade.build(10, 10.0, 100.0);
+        for d in app.deltas().windows(2) {
+            assert!(d[1] < d[0], "cascade volumes must shrink");
+        }
+        let last = *app.deltas().last().unwrap();
+        assert!(approx_eq_rel(last, 5.0), "final volume {last} should be 5% of 100");
+    }
+
+    #[test]
+    fn expansion_grows_volumes() {
+        let app = WorkloadShape::Expansion.build(8, 10.0, 1.0);
+        for d in app.deltas().windows(2) {
+            assert!(d[1] > d[0], "expansion volumes must grow");
+        }
+        assert!(approx_eq_rel(app.delta(8), 20.0));
+    }
+
+    #[test]
+    fn names_round_trip_display() {
+        for shape in WorkloadShape::ALL {
+            assert_eq!(shape.to_string(), shape.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let _ = WorkloadShape::Uniform.build(0, 1.0, 1.0);
+    }
+}

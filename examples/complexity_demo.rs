@@ -1,0 +1,63 @@
+//! Theorem 1, live: reduce a NUMERICAL MATCHING WITH TARGET SUMS
+//! instance to Hetero-1D-Partition, solve the gadget exactly, and decode
+//! the matching back — both for a solvable and an unsolvable instance.
+//!
+//! ```text
+//! cargo run --release --example complexity_demo
+//! ```
+
+use pipeline_workflows::chains::hetero_exact_bnb;
+use pipeline_workflows::chains::nmwts::{
+    decode_matching, reduce, solve_nmwts_brute, NmwtsInstance,
+};
+
+fn demo(label: &str, inst: NmwtsInstance) {
+    println!("== {label} ==");
+    println!("   x = {:?}, y = {:?}, z = {:?}", inst.xs, inst.ys, inst.zs);
+    println!("   Σx + Σy = Σz? {}", inst.sums_balanced());
+
+    let red = reduce(&inst);
+    println!(
+        "   gadget: {} tasks, {} processor speeds (M = {}, B = 2M, C = 5M, D = 7M)",
+        red.tasks.len(),
+        red.speeds.len(),
+        red.m_value
+    );
+    println!("   tasks  = {:?}", red.tasks.iter().map(|t| *t as u64).collect::<Vec<_>>());
+    println!("   speeds = {:?}", red.speeds.iter().map(|s| *s as u64).collect::<Vec<_>>());
+
+    let sol = hetero_exact_bnb(&red.tasks, &red.speeds, 500_000_000)
+        .expect("gadget solved within the node budget");
+    println!("   exact weighted bottleneck: {:.6} (K = 1 test)", sol.objective);
+
+    if sol.objective <= 1.0 + 1e-9 {
+        let (s1, s2) = decode_matching(&red, &sol).expect("K = 1 partitions decode");
+        println!("   decoded matching: σ1 = {s1:?}, σ2 = {s2:?}");
+        println!("   verifies x_i + y_σ1(i) = z_σ2(i)? {}", inst.check(&s1, &s2));
+    } else {
+        println!("   bound 1 unreachable → NMWTS instance unsolvable (as expected).");
+    }
+    // Cross-check with the direct brute-force solver.
+    println!(
+        "   brute-force NMWTS solver agrees: {}",
+        solve_nmwts_brute(&inst).is_some() == (sol.objective <= 1.0 + 1e-9)
+    );
+    println!();
+}
+
+fn main() {
+    println!(
+        "Theorem 1 (paper §3): NMWTS reduces to Hetero-1D-Partition.\n\
+         The gadget interleaves tasks [A_i, 1×M, C, D] with speeds\n\
+         B+z_i, C+M−y_i and D — bound K = 1 is achievable iff the NMWTS\n\
+         instance has a solution.\n"
+    );
+    demo(
+        "solvable instance",
+        NmwtsInstance::new(vec![1, 2], vec![2, 1], vec![3, 3]),
+    );
+    demo(
+        "unsolvable instance (balanced sums, no matching)",
+        NmwtsInstance::new(vec![1, 3], vec![1, 3], vec![3, 5]),
+    );
+}

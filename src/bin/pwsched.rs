@@ -1,0 +1,138 @@
+//! `pwsched` — schedule a pipeline instance from a file.
+//!
+//! ```text
+//! pwsched <instance-file> [--period BOUND | --latency BOUND | --min-period | --min-latency]
+//!         [--heuristic h1|h2|h3|h4|h5|h6|best|exact|auto]
+//!         [--simulate N] [--gantt]
+//! ```
+//!
+//! The instance file uses the `pipeline-instance v1` text format (see
+//! `pipeline_model::io`). Default objective: `--min-period`; default
+//! strategy: `auto` (exact for small instances, best-of-all heuristics
+//! otherwise).
+
+use pipeline_workflows::core::{HeuristicKind, Objective, Scheduler, Strategy};
+use pipeline_workflows::model::io::parse_instance;
+use pipeline_workflows::model::CostModel;
+use pipeline_workflows::sim::{Gantt, InputPolicy, PipelineSim, SimConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pwsched <instance-file> \
+         [--period B | --latency B | --min-period | --min-latency]\n\
+         \t[--heuristic h1|h2|h3|h4|h5|h6|best|exact|auto] [--simulate N] [--gantt]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_heuristic(s: &str) -> Strategy {
+    match s.to_ascii_lowercase().as_str() {
+        "h1" => Strategy::Heuristic(HeuristicKind::SpMonoP),
+        "h2" => Strategy::Heuristic(HeuristicKind::ThreeExploMono),
+        "h3" => Strategy::Heuristic(HeuristicKind::ThreeExploBi),
+        "h4" => Strategy::Heuristic(HeuristicKind::SpBiP),
+        "h5" => Strategy::Heuristic(HeuristicKind::SpMonoL),
+        "h6" => Strategy::Heuristic(HeuristicKind::SpBiL),
+        "best" => Strategy::BestOfAll,
+        "exact" => Strategy::Exact,
+        "auto" => Strategy::Auto,
+        other => {
+            eprintln!("unknown heuristic {other:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else { usage() };
+    if path == "--help" || path == "-h" {
+        usage();
+    }
+    let mut objective: Option<Objective> = None;
+    let mut strategy = Strategy::Auto;
+    let mut simulate: Option<usize> = None;
+    let mut gantt = false;
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--period" => {
+                objective =
+                    Some(Objective::MinLatencyForPeriod(value().parse().unwrap_or_else(|_| usage())))
+            }
+            "--latency" => {
+                objective =
+                    Some(Objective::MinPeriodForLatency(value().parse().unwrap_or_else(|_| usage())))
+            }
+            "--min-period" => objective = Some(Objective::MinPeriod),
+            "--min-latency" => objective = Some(Objective::MinLatency),
+            "--heuristic" => strategy = parse_heuristic(&value()),
+            "--simulate" => simulate = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--gantt" => gantt = true,
+            _ => usage(),
+        }
+    }
+    let objective = objective.unwrap_or(Objective::MinPeriod);
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let (app, platform) = parse_instance(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let cm = CostModel::new(&app, &platform);
+    println!(
+        "instance: {} stages (total work {:.2}), {} processors",
+        app.n_stages(),
+        app.total_work(),
+        platform.n_procs()
+    );
+    println!(
+        "landmarks: L_opt {:.4}, single-processor period {:.4}",
+        cm.optimal_latency(),
+        cm.single_proc_period()
+    );
+
+    let solution = Scheduler::new().strategy(strategy).solve(&app, &platform, objective);
+    let Some(sol) = solution else {
+        eprintln!("objective {objective:?} is infeasible for the chosen strategy");
+        std::process::exit(1);
+    };
+    println!("\nsolver:  {}", sol.solver);
+    println!("mapping: {}", sol.result.mapping);
+    println!("period:  {:.4}", sol.result.period);
+    println!("latency: {:.4}", sol.result.latency);
+    if !sol.result.feasible {
+        println!("WARNING: the requested constraint was NOT met; best effort shown.");
+    }
+
+    if let Some(n) = simulate {
+        let out = PipelineSim::new(
+            &cm,
+            &sol.result.mapping,
+            SimConfig { input: InputPolicy::Saturating, record_trace: gantt },
+        )
+        .run(n.max(1));
+        println!("\nsimulated {n} data sets (saturating input):");
+        if let Some(sp) = out.report.steady_period() {
+            println!("  steady period: {sp:.4}");
+        }
+        println!("  max latency:   {:.4}", out.report.max_latency());
+        for &u in sol.result.mapping.procs() {
+            println!("  P{u} utilization: {:.1}%", 100.0 * out.report.utilization(u));
+        }
+        if gantt {
+            let horizon = out.report.makespan.min(sol.result.period * 8.0);
+            let visible: Vec<_> =
+                out.trace.iter().copied().filter(|e| e.start < horizon).collect();
+            println!("\n{}", Gantt::default().render(&visible, sol.result.mapping.procs(), horizon));
+        }
+    }
+}
