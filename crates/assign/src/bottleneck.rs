@@ -19,7 +19,10 @@ pub fn bottleneck_assignment(costs: &CostMatrix) -> Option<Assignment> {
     let m = costs.cols();
     assert!(n <= m, "bottleneck requires rows ({n}) <= cols ({m})");
     if n == 0 {
-        return Some(Assignment { assigned: vec![], objective: f64::NEG_INFINITY });
+        return Some(Assignment {
+            assigned: vec![],
+            objective: f64::NEG_INFINITY,
+        });
     }
 
     let mut values = costs.finite_values();
@@ -39,8 +42,9 @@ pub fn bottleneck_assignment(costs: &CostMatrix) -> Option<Assignment> {
 
     // Quick reject: even the most permissive threshold may be infeasible.
     if !{
-        let adj: Vec<Vec<usize>> =
-            (0..n).map(|r| (0..m).filter(|&c| costs.at(r, c).is_finite()).collect()).collect();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|r| (0..m).filter(|&c| costs.at(r, c).is_finite()).collect())
+            .collect();
         has_perfect_matching(&adj, m)
     } {
         return None;
@@ -58,14 +62,19 @@ pub fn bottleneck_assignment(costs: &CostMatrix) -> Option<Assignment> {
     }
     let threshold = values[lo];
     let ml = feasible(threshold).expect("threshold verified feasible");
-    let assigned: Vec<usize> =
-        ml.into_iter().map(|c| c.expect("perfect on rows")).collect();
+    let assigned: Vec<usize> = ml
+        .into_iter()
+        .map(|c| c.expect("perfect on rows"))
+        .collect();
     let objective = assigned
         .iter()
         .enumerate()
         .map(|(r, &c)| costs.at(r, c))
         .fold(f64::NEG_INFINITY, f64::max);
-    Some(Assignment { assigned, objective })
+    Some(Assignment {
+        assigned,
+        objective,
+    })
 }
 
 #[cfg(test)]
@@ -145,7 +154,9 @@ mod tests {
     fn matches_brute_force_on_random_instances() {
         let mut state = 0xDEAD_BEEF_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 50.0
         };
         for (rows, cols) in [(3, 3), (4, 4), (4, 6), (5, 5), (6, 6)] {

@@ -18,7 +18,10 @@ pub fn hungarian(costs: &CostMatrix) -> Option<Assignment> {
     let m = costs.cols();
     assert!(n <= m, "hungarian requires rows ({n}) <= cols ({m})");
     if n == 0 {
-        return Some(Assignment { assigned: vec![], objective: 0.0 });
+        return Some(Assignment {
+            assigned: vec![],
+            objective: 0.0,
+        });
     }
 
     // 1-based arrays with a virtual column 0, following the classical
@@ -91,7 +94,10 @@ pub fn hungarian(costs: &CostMatrix) -> Option<Assignment> {
         .enumerate()
         .map(|(r, &c)| costs.at(r, c))
         .sum();
-    Some(Assignment { assigned, objective })
+    Some(Assignment {
+        assigned,
+        objective,
+    })
 }
 
 /// Brute-force reference solver enumerating every injective row→column
@@ -113,7 +119,10 @@ pub fn brute_force_min_sum(costs: &CostMatrix) -> Option<Assignment> {
         let r = current.len();
         if r == costs.rows() {
             if best.as_ref().is_none_or(|b| acc < b.objective) {
-                *best = Some(Assignment { assigned: current.clone(), objective: acc });
+                *best = Some(Assignment {
+                    assigned: current.clone(),
+                    objective: acc,
+                });
             }
             return;
         }
@@ -160,7 +169,11 @@ mod tests {
         let costs = CostMatrix::from_rows(3, 3, vec![4.0, 1.0, 3.0, 2.0, 0.0, 5.0, 3.0, 2.0, 2.0]);
         let a = hungarian(&costs).unwrap();
         assert_valid(&a, 3);
-        assert!((a.objective - 5.0).abs() < 1e-12, "objective = {}", a.objective);
+        assert!(
+            (a.objective - 5.0).abs() < 1e-12,
+            "objective = {}",
+            a.objective
+        );
     }
 
     #[test]
@@ -194,7 +207,9 @@ mod tests {
         // Deterministic pseudo-random values (LCG) keep the test hermetic.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 100.0
         };
         for (rows, cols) in [(3, 3), (4, 5), (5, 5), (6, 7), (2, 6)] {

@@ -79,7 +79,11 @@ impl CostMatrix {
 
     /// All finite cost values, unsorted.
     pub fn finite_values(&self) -> Vec<f64> {
-        self.data.iter().copied().filter(|c| c.is_finite()).collect()
+        self.data
+            .iter()
+            .copied()
+            .filter(|c| c.is_finite())
+            .collect()
     }
 }
 

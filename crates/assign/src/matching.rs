@@ -6,10 +6,7 @@
 /// Returns `(size, match_left)` with `match_left[l] = Some(r)` when left
 /// vertex `l` is matched to right vertex `r`. Runs in O(V·E) — ample for
 /// the ≤ 100-processor platforms of this workspace.
-pub fn max_bipartite_matching(
-    adj: &[Vec<usize>],
-    n_right: usize,
-) -> (usize, Vec<Option<usize>>) {
+pub fn max_bipartite_matching(adj: &[Vec<usize>], n_right: usize) -> (usize, Vec<Option<usize>>) {
     let n_left = adj.len();
     // match_right[r] = left vertex currently matched to r.
     let mut match_right: Vec<Option<usize>> = vec![None; n_right];

@@ -52,7 +52,10 @@ fn bench_ratio_denominator(c: &mut Criterion) {
                     black_box(sp_bi_p(
                         &cm,
                         target,
-                        SpBiPOptions { denominator_over_i: over_i, ..SpBiPOptions::default() },
+                        SpBiPOptions {
+                            denominator_over_i: over_i,
+                            ..SpBiPOptions::default()
+                        },
                     ))
                 })
             },
@@ -70,8 +73,9 @@ fn bench_hetero_candidate_pool(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let p = 12;
     let speeds: Vec<f64> = (0..p).map(|_| rng.random_range(1..=20) as f64).collect();
-    let matrix: Vec<Vec<f64>> =
-        (0..p).map(|_| (0..p).map(|_| rng.random_range(1.0..20.0)).collect()).collect();
+    let matrix: Vec<Vec<f64>> = (0..p)
+        .map(|_| (0..p).map(|_| rng.random_range(1.0..20.0)).collect())
+        .collect();
     let pf = Platform::fully_heterogeneous(speeds, matrix, 10.0).unwrap();
     let cm = CostModel::new(&app, &pf);
     let mut group = c.benchmark_group("ablation_hetero_candidate_pool");
@@ -102,7 +106,6 @@ fn bench_exact_scaling(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 fn fast_config() -> Criterion {
     // Bounded runtime: the suite has ~70 benchmarks; a second of

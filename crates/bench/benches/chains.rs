@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pipeline_chains::{
-    hetero_best_order_heuristic, hetero_exact_bnb, min_bottleneck_dp,
-    min_bottleneck_probe_search, recursive_bisection,
+    hetero_best_order_heuristic, hetero_exact_bnb, min_bottleneck_dp, min_bottleneck_probe_search,
+    recursive_bisection,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,7 +63,6 @@ fn bench_nmwts_gadget(c: &mut Criterion) {
         })
     });
 }
-
 
 fn fast_config() -> Criterion {
     // Bounded runtime: the suite has ~70 benchmarks; a second of

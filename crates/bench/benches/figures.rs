@@ -20,9 +20,7 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
     for spec in PAPER_FIGURES {
         group.bench_with_input(BenchmarkId::from_parameter(spec.id), spec, |b, spec| {
-            b.iter(|| {
-                black_box(run_family(spec.params(), 2007, INSTANCES, GRID, THREADS))
-            })
+            b.iter(|| black_box(run_family(spec.params(), 2007, INSTANCES, GRID, THREADS)))
         });
     }
     group.finish();
@@ -51,7 +49,6 @@ fn bench_table1(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 fn fast_config() -> Criterion {
     // Bounded runtime: the suite has ~70 benchmarks; a second of

@@ -20,7 +20,11 @@ fn bench_heuristics(c: &mut Criterion) {
         let p0 = cm.single_proc_period();
         let l0 = cm.optimal_latency();
         for kind in HeuristicKind::ALL {
-            let target = if kind.is_period_fixed() { 0.5 * p0 } else { 2.0 * l0 };
+            let target = if kind.is_period_fixed() {
+                0.5 * p0
+            } else {
+                2.0 * l0
+            };
             group.bench_with_input(
                 BenchmarkId::new(kind.table_name(), format!("n{n}_p{p}")),
                 &target,
@@ -40,9 +44,11 @@ fn bench_trajectories(c: &mut Criterion) {
         let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
         let (app, pf) = gen.instance(2, 0);
         let cm = CostModel::new(&app, &pf);
-        for kind in
-            [TrajectoryKind::SplitMono, TrajectoryKind::ExploMono, TrajectoryKind::ExploBi]
-        {
+        for kind in [
+            TrajectoryKind::SplitMono,
+            TrajectoryKind::ExploMono,
+            TrajectoryKind::ExploBi,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{kind:?}"), format!("n{n}_p{p}")),
                 &kind,
@@ -62,7 +68,6 @@ fn bench_cost_model(c: &mut Criterion) {
         b.iter(|| black_box(cm.evaluate(black_box(&res.mapping))))
     });
 }
-
 
 fn fast_config() -> Criterion {
     // Bounded runtime: the suite has ~70 benchmarks; a second of

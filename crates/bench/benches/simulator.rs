@@ -17,7 +17,10 @@ fn bench_simulation(c: &mut Criterion) {
         let datasets = 200usize;
         group.throughput(Throughput::Elements(datasets as u64));
         group.bench_with_input(
-            BenchmarkId::new("saturating", format!("n{n}_p{p}_m{}", res.mapping.n_intervals())),
+            BenchmarkId::new(
+                "saturating",
+                format!("n{n}_p{p}_m{}", res.mapping.n_intervals()),
+            ),
             &res.mapping,
             |b, mapping| {
                 b.iter(|| {
@@ -62,7 +65,10 @@ fn bench_trace_overhead(c: &mut Criterion) {
                     let sim = PipelineSim::new(
                         &cm,
                         &res.mapping,
-                        SimConfig { input: InputPolicy::Saturating, record_trace: record },
+                        SimConfig {
+                            input: InputPolicy::Saturating,
+                            record_trace: record,
+                        },
                     );
                     black_box(sim.run(100))
                 })
@@ -71,7 +77,6 @@ fn bench_trace_overhead(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 fn fast_config() -> Criterion {
     // Bounded runtime: the suite has ~70 benchmarks; a second of

@@ -88,11 +88,7 @@ pub fn probe_fixed_order(
 ///
 /// `order` maps position → index into `speeds`. The returned solution's
 /// `proc_of` refers to the original speed indices.
-pub fn min_bottleneck_fixed_order(
-    a: &[f64],
-    speeds: &[f64],
-    order: &[usize],
-) -> HeteroSolution {
+pub fn min_bottleneck_fixed_order(a: &[f64], speeds: &[f64], order: &[usize]) -> HeteroSolution {
     let n = a.len();
     assert!(n > 0, "empty array");
     assert!(!order.is_empty(), "empty processor order");
@@ -103,7 +99,11 @@ pub fn min_bottleneck_fixed_order(
 
     // Bounds on the objective: everything on the fastest processor of the
     // order is always feasible.
-    let mut hi = ps.total() / speeds_order.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut hi = ps.total()
+        / speeds_order
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
     // ... but the greedy probe may not produce it if slower processors come
     // first; widen until feasible (at most a few doublings).
     let mut feasible = probe_fixed_order(&ps, &speeds_order, hi);
@@ -131,7 +131,11 @@ pub fn min_bottleneck_fixed_order(
     let proc_of: Vec<usize> = used_positions.iter().map(|&pos| order[pos]).collect();
     let in_order: Vec<f64> = proc_of.iter().map(|&u| speeds[u]).collect();
     let objective = partition.weighted_bottleneck(a, &in_order);
-    HeteroSolution { partition, proc_of, objective }
+    HeteroSolution {
+        partition,
+        proc_of,
+        objective,
+    }
 }
 
 /// Ordering heuristic: solve the fixed-order problem for fastest-first and
@@ -143,7 +147,12 @@ pub fn min_bottleneck_fixed_order(
 pub fn hetero_best_order_heuristic(a: &[f64], speeds: &[f64]) -> HeteroSolution {
     assert!(!a.is_empty() && !speeds.is_empty());
     let mut desc: Vec<usize> = (0..speeds.len()).collect();
-    desc.sort_by(|&x, &y| speeds[y].partial_cmp(&speeds[x]).expect("finite").then(x.cmp(&y)));
+    desc.sort_by(|&x, &y| {
+        speeds[y]
+            .partial_cmp(&speeds[x])
+            .expect("finite")
+            .then(x.cmp(&y))
+    });
     let asc: Vec<usize> = desc.iter().rev().copied().collect();
 
     let sol_desc = min_bottleneck_fixed_order(a, speeds, &desc);
@@ -259,7 +268,15 @@ pub fn hetero_exact_bnb(a: &[f64], speeds: &[f64], node_limit: u64) -> Option<He
                     continue;
                 }
                 bounds.push(end);
-                dfs(ctx, end, used, bounds, proc_of, new_max, remaining_speed - ctx.speeds[u]);
+                dfs(
+                    ctx,
+                    end,
+                    used,
+                    bounds,
+                    proc_of,
+                    new_max,
+                    remaining_speed - ctx.speeds[u],
+                );
                 bounds.pop();
             }
             proc_of.pop();
@@ -281,7 +298,15 @@ pub fn hetero_exact_bnb(a: &[f64], speeds: &[f64], node_limit: u64) -> Option<He
     let mut used = vec![false; p];
     let mut bounds = vec![0usize];
     let mut proc_of = Vec::new();
-    dfs(&mut ctx, 0, &mut used, &mut bounds, &mut proc_of, 0.0, total_speed);
+    dfs(
+        &mut ctx,
+        0,
+        &mut used,
+        &mut bounds,
+        &mut proc_of,
+        0.0,
+        total_speed,
+    );
 
     if !ctx.exhausted {
         return None;
@@ -290,7 +315,11 @@ pub fn hetero_exact_bnb(a: &[f64], speeds: &[f64], node_limit: u64) -> Option<He
         let partition = ChainPartition::from_bounds(bounds, n);
         let in_order: Vec<f64> = proc_of.iter().map(|&u| speeds[u]).collect();
         let objective = partition.weighted_bottleneck(a, &in_order);
-        incumbent = HeteroSolution { partition, proc_of, objective };
+        incumbent = HeteroSolution {
+            partition,
+            proc_of,
+            objective,
+        };
     }
     Some(incumbent)
 }
@@ -370,7 +399,11 @@ mod tests {
         let speeds = [3.0, 1.0];
         // Order fastest-first: optimal split [6,6 | 2] → max(12/3, 2/1) = 4.
         let sol = min_bottleneck_fixed_order(&a, &speeds, &[0, 1]);
-        assert!((sol.objective - 4.0).abs() < 1e-9, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 4.0).abs() < 1e-9,
+            "objective {}",
+            sol.objective
+        );
         sol.validate(&a, &speeds, 1e-9);
     }
 

@@ -19,19 +19,19 @@ pub fn min_bottleneck_dp(a: &[f64], p: usize) -> (f64, ChainPartition) {
     // dp[j] for the current k; parent pointers for reconstruction.
     let mut dp = vec![f64::INFINITY; n + 1];
     let mut parent = vec![vec![0usize; n + 1]; parts + 1];
-    for j in 1..=n {
-        dp[j] = ps.range(0, j); // one interval
+    for (j, slot) in dp.iter_mut().enumerate().skip(1) {
+        *slot = ps.range(0, j); // one interval
     }
     dp[0] = f64::INFINITY; // zero elements in ≥1 interval is invalid
     let mut prev = dp.clone();
-    for k in 2..=parts {
+    for (k, parent_k) in parent.iter_mut().enumerate().take(parts + 1).skip(2) {
         let mut cur = vec![f64::INFINITY; n + 1];
         for j in k..=n {
             // Last interval is [i, j); first i elements use k-1 intervals.
             let mut best = f64::INFINITY;
             let mut arg = k - 1;
-            for i in (k - 1)..j {
-                let cand = prev[i].max(ps.range(i, j));
+            for (i, &prev_i) in prev.iter().enumerate().take(j).skip(k - 1) {
+                let cand = prev_i.max(ps.range(i, j));
                 if cand < best {
                     best = cand;
                     arg = i;
@@ -42,7 +42,7 @@ pub fn min_bottleneck_dp(a: &[f64], p: usize) -> (f64, ChainPartition) {
                 // n ≤ a few thousand in this workspace.
             }
             cur[j] = best;
-            parent[k][j] = arg;
+            parent_k[j] = arg;
         }
         prev = cur;
     }
@@ -279,8 +279,14 @@ mod tests {
             let (dp_v, dp_part) = min_bottleneck_dp(&a, p);
             let (pr_v, pr_part) = min_bottleneck_probe_search(&a, p);
             let bf = brute_force_min_bottleneck(&a, p);
-            assert!((dp_v - bf).abs() < 1e-9, "dp {dp_v} != brute {bf} on {a:?} p={p}");
-            assert!((pr_v - bf).abs() < 1e-9, "probe {pr_v} != brute {bf} on {a:?} p={p}");
+            assert!(
+                (dp_v - bf).abs() < 1e-9,
+                "dp {dp_v} != brute {bf} on {a:?} p={p}"
+            );
+            assert!(
+                (pr_v - bf).abs() < 1e-9,
+                "probe {pr_v} != brute {bf} on {a:?} p={p}"
+            );
             validate_solution(&a, p, &dp_part, dp_v, 1e-9);
             validate_solution(&a, p, &pr_part, pr_v, 1e-9);
         }
@@ -295,7 +301,10 @@ mod tests {
         let heur = part.bottleneck(&a);
         assert!(heur >= opt - 1e-12);
         // RB is known to stay within 2× of optimal on such inputs.
-        assert!(heur <= 2.0 * opt + 1e-12, "RB bottleneck {heur} vs optimal {opt}");
+        assert!(
+            heur <= 2.0 * opt + 1e-12,
+            "RB bottleneck {heur} vs optimal {opt}"
+        );
     }
 
     #[test]

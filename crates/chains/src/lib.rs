@@ -30,9 +30,7 @@ pub mod nmwts;
 pub use hetero::{
     hetero_best_order_heuristic, hetero_exact_bnb, min_bottleneck_fixed_order, HeteroSolution,
 };
-pub use homogeneous::{
-    min_bottleneck_dp, min_bottleneck_probe_search, probe, recursive_bisection,
-};
+pub use homogeneous::{min_bottleneck_dp, min_bottleneck_probe_search, probe, recursive_bisection};
 pub use nicol::{min_bottleneck_iqbal, min_bottleneck_nicol};
 
 /// A partition of `[0, n)` into consecutive, possibly fewer than `p`,
@@ -84,12 +82,16 @@ impl ChainPartition {
 
     /// Per-interval sums of `a`.
     pub fn part_sums(&self, a: &[f64]) -> Vec<f64> {
-        self.intervals().map(|(s, e)| a[s..e].iter().sum()).collect()
+        self.intervals()
+            .map(|(s, e)| a[s..e].iter().sum())
+            .collect()
     }
 
     /// The homogeneous objective: the largest interval sum.
     pub fn bottleneck(&self, a: &[f64]) -> f64 {
-        self.part_sums(a).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.part_sums(a)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The heterogeneous objective for interval `k` executed at speed

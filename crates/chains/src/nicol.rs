@@ -91,8 +91,7 @@ pub fn min_bottleneck_iqbal(a: &[f64], p: usize, eps: f64) -> (f64, ChainPartiti
     let max_elem = a.iter().copied().fold(0.0_f64, f64::max);
     let mut lo = (ps.total() / p as f64).max(max_elem) - eps;
     let mut hi = ps.total();
-    let mut best =
-        crate::homogeneous::probe(&ps, p, hi).expect("total weight is always feasible");
+    let mut best = crate::homogeneous::probe(&ps, p, hi).expect("total weight is always feasible");
     while hi - lo > eps {
         let mid = 0.5 * (lo + hi);
         match crate::homogeneous::probe(&ps, p, mid) {
@@ -123,16 +122,16 @@ pub fn hetero_fixed_order_dp(a: &[f64], speeds_order: &[f64]) -> f64 {
     prev[0] = 0.0;
     let mut cur = vec![f64::INFINITY; n + 1];
     for &s in speeds_order.iter().take(p) {
-        for j in 0..=n {
+        for (j, cur_j) in cur.iter_mut().enumerate() {
             // Position k takes [i, j) (possibly empty when i == j).
             let mut best = f64::INFINITY;
-            for i in 0..=j {
-                if prev[i].is_finite() {
+            for (i, &prev_i) in prev.iter().enumerate().take(j + 1) {
+                if prev_i.is_finite() {
                     let load = ps.range(i, j) / s;
-                    best = best.min(prev[i].max(load));
+                    best = best.min(prev_i.max(load));
                 }
             }
-            cur[j] = best;
+            *cur_j = best;
         }
         std::mem::swap(&mut prev, &mut cur);
     }
@@ -142,8 +141,8 @@ pub fn hetero_fixed_order_dp(a: &[f64], speeds_order: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::homogeneous::{brute_force_min_bottleneck, min_bottleneck_dp};
     use crate::hetero::min_bottleneck_fixed_order;
+    use crate::homogeneous::{brute_force_min_bottleneck, min_bottleneck_dp};
 
     #[test]
     fn nicol_matches_dp_on_fixed_cases() {
@@ -158,7 +157,10 @@ mod tests {
         for (a, p) in cases {
             let (nv, npart) = min_bottleneck_nicol(&a, p);
             let (dv, _) = min_bottleneck_dp(&a, p);
-            assert!((nv - dv).abs() < 1e-9, "nicol {nv} != dp {dv} on {a:?} p={p}");
+            assert!(
+                (nv - dv).abs() < 1e-9,
+                "nicol {nv} != dp {dv} on {a:?} p={p}"
+            );
             assert!(npart.n_parts() <= p);
             assert!((npart.bottleneck(&a) - nv).abs() < 1e-12);
         }

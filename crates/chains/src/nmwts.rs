@@ -126,7 +126,12 @@ pub fn reduce(inst: &NmwtsInstance) -> ReducedInstance {
     for _ in 0..m {
         speeds.push(d as f64); // s_{2m+i} = D
     }
-    ReducedInstance { tasks, speeds, m_value: big_m, m }
+    ReducedInstance {
+        tasks,
+        speeds,
+        m_value: big_m,
+        m,
+    }
 }
 
 /// Recovers `(σ1, σ2)` from a partition achieving bound `K = 1`,
@@ -328,11 +333,13 @@ mod tests {
             bounds.push(base + n_block); // D alone
             proc_of.push(2 * m + i);
         }
-        let partition =
-            crate::ChainPartition::from_bounds(bounds, red.tasks.len());
+        let partition = crate::ChainPartition::from_bounds(bounds, red.tasks.len());
         let in_order: Vec<f64> = proc_of.iter().map(|&u| red.speeds[u]).collect();
         let obj = partition.weighted_bottleneck(&red.tasks, &in_order);
-        assert!(obj <= 1.0 + 1e-9, "constructed solution must meet K = 1, got {obj}");
+        assert!(
+            obj <= 1.0 + 1e-9,
+            "constructed solution must meet K = 1, got {obj}"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! instances than the unit tests touch.
 
 use pipeline_chains::{
-    hetero_best_order_heuristic, min_bottleneck_dp, min_bottleneck_iqbal,
-    min_bottleneck_nicol, min_bottleneck_probe_search, recursive_bisection,
+    hetero_best_order_heuristic, min_bottleneck_dp, min_bottleneck_iqbal, min_bottleneck_nicol,
+    min_bottleneck_probe_search, recursive_bisection,
 };
 use proptest::prelude::*;
 

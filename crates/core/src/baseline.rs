@@ -80,9 +80,9 @@ pub fn sv_min_latency_for_period(
     }
     let tail = app.delta(n) / b;
     let mut best: Option<(usize, f64)> = None;
-    for k in 1..=parts {
-        if dp[k][n].is_finite() {
-            let lat = dp[k][n] + tail;
+    for (k, dp_k) in dp.iter().enumerate().take(parts + 1).skip(1) {
+        if dp_k[n].is_finite() {
+            let lat = dp_k[n] + tail;
             if best.is_none_or(|(_, v)| lat < v) {
                 best = Some((k, lat));
             }
@@ -100,8 +100,10 @@ pub fn sv_min_latency_for_period(
         k -= 1;
     }
     bounds.reverse();
-    let intervals: Vec<Interval> =
-        bounds.windows(2).map(|w| Interval::new(w[0], w[1])).collect();
+    let intervals: Vec<Interval> = bounds
+        .windows(2)
+        .map(|w| Interval::new(w[0], w[1]))
+        .collect();
     let procs: Vec<ProcId> = (0..intervals.len()).collect();
     let mapping = IntervalMapping::new(app, cm.platform(), intervals, procs)
         .expect("DP reconstruction is valid");
@@ -132,10 +134,7 @@ pub fn sv_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
         f[0] = 0;
         for i in 1..=n {
             for j in 0..i {
-                if f[j] != usize::MAX
-                    && f[j] < p
-                    && cycle(app, s, b, j, i) <= bound + EPS
-                {
+                if f[j] != usize::MAX && f[j] < p && cycle(app, s, b, j, i) <= bound + EPS {
                     f[i] = f[i].min(f[j] + 1);
                 }
             }
@@ -144,7 +143,10 @@ pub fn sv_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
     };
 
     let (mut lo, mut hi) = (0usize, candidates.len() - 1);
-    debug_assert!(feasible(candidates[hi]), "single interval is always feasible");
+    debug_assert!(
+        feasible(candidates[hi]),
+        "single interval is always feasible"
+    );
     while lo < hi {
         let mid = (lo + hi) / 2;
         if feasible(candidates[mid]) {
@@ -154,8 +156,7 @@ pub fn sv_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
         }
     }
     let period = candidates[lo];
-    let (_, mapping) =
-        sv_min_latency_for_period(cm, period).expect("period verified feasible");
+    let (_, mapping) = sv_min_latency_for_period(cm, period).expect("period verified feasible");
     (cm.period(&mapping), mapping)
 }
 
@@ -208,7 +209,10 @@ mod tests {
             let cm = CostModel::new(&app, &pf);
             let (sv_p, sv_map) = sv_min_period(&cm);
             let (ex_p, _) = exact_min_period(&cm);
-            assert!((sv_p - ex_p).abs() < 1e-9, "seed {seed}: SV {sv_p} vs exact {ex_p}");
+            assert!(
+                (sv_p - ex_p).abs() < 1e-9,
+                "seed {seed}: SV {sv_p} vs exact {ex_p}"
+            );
             assert!((cm.period(&sv_map) - sv_p).abs() < 1e-9);
 
             for factor in [1.0, 1.3, 2.0] {

@@ -47,16 +47,23 @@ pub struct PeriodBound {
 pub fn period_lower_bound(cm: &CostModel<'_>, chains_budget: u64) -> PeriodBound {
     let analytic = analytic_period_bound(cm);
     if chains_budget == 0 {
-        return PeriodBound { value: analytic, source: BoundSource::Analytic };
+        return PeriodBound {
+            value: analytic,
+            source: BoundSource::Analytic,
+        };
     }
     // Zero-communication relaxation: exact Hetero-1D-Partition optimum.
     let works = cm.app().works();
     let speeds = cm.platform().speeds();
     match hetero_exact_bnb(works, speeds, chains_budget) {
-        Some(sol) if sol.objective > analytic => {
-            PeriodBound { value: sol.objective, source: BoundSource::ChainsRelaxation }
-        }
-        _ => PeriodBound { value: analytic, source: BoundSource::Analytic },
+        Some(sol) if sol.objective > analytic => PeriodBound {
+            value: sol.objective,
+            source: BoundSource::ChainsRelaxation,
+        },
+        _ => PeriodBound {
+            value: analytic,
+            source: BoundSource::Analytic,
+        },
     }
 }
 
@@ -65,7 +72,11 @@ fn analytic_period_bound(cm: &CostModel<'_>) -> f64 {
     let pf = cm.platform();
     let s_max = pf.max_speed();
     // Per-stage compute bound.
-    let stage = app.works().iter().map(|w| w / s_max).fold(0.0_f64, f64::max);
+    let stage = app
+        .works()
+        .iter()
+        .map(|w| w / s_max)
+        .fold(0.0_f64, f64::max);
     // Boundary transfers are unavoidable for the first/last intervals.
     let b_io = (0..pf.n_procs())
         .map(|u| pf.io_bandwidth_of(u))

@@ -27,14 +27,13 @@ const MAX_STAGES: usize = 22;
 /// every partition of `[0, n)` into at most `max_parts` intervals.
 pub fn enumerate_partitions(n: usize, max_parts: usize, mut visit: impl FnMut(&[usize])) {
     assert!(n > 0, "no stage to partition");
-    assert!(n <= MAX_STAGES, "refusing to enumerate 2^{} partitions", n - 1);
+    assert!(
+        n <= MAX_STAGES,
+        "refusing to enumerate 2^{} partitions",
+        n - 1
+    );
     let mut bounds = vec![0usize];
-    fn rec(
-        n: usize,
-        max_parts: usize,
-        bounds: &mut Vec<usize>,
-        visit: &mut impl FnMut(&[usize]),
-    ) {
+    fn rec(n: usize, max_parts: usize, bounds: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
         let start = *bounds.last().expect("never empty");
         let parts_used = bounds.len() - 1;
         if start == n {
@@ -84,14 +83,15 @@ fn partition_costs(cm: &CostModel<'_>, bounds: &[usize]) -> PartitionCosts {
         work.push(app.interval_work(iv.start, iv.end));
         latency_base += app.input_volume(iv.start) / b;
     }
-    PartitionCosts { intervals, comm, work, latency_base }
+    PartitionCosts {
+        intervals,
+        comm,
+        work,
+        latency_base,
+    }
 }
 
-fn build_mapping(
-    cm: &CostModel<'_>,
-    pc: &PartitionCosts,
-    assigned: &[usize],
-) -> IntervalMapping {
+fn build_mapping(cm: &CostModel<'_>, pc: &PartitionCosts, assigned: &[usize]) -> IntervalMapping {
     IntervalMapping::new(
         cm.app(),
         cm.platform(),
@@ -110,8 +110,7 @@ pub fn exact_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
     enumerate_partitions(cm.app().n_stages(), p, |bounds| {
         let pc = partition_costs(cm, bounds);
         let m = pc.intervals.len();
-        let costs =
-            CostMatrix::from_fn(m, p, |j, u| pc.comm[j] + pc.work[j] / speeds[u]);
+        let costs = CostMatrix::from_fn(m, p, |j, u| pc.comm[j] + pc.work[j] / speeds[u]);
         if let Some(a) = bottleneck_assignment(&costs) {
             if best.as_ref().is_none_or(|(v, _)| a.objective < *v) {
                 best = Some((a.objective, build_mapping(cm, &pc, &a.assigned)));
@@ -160,9 +159,7 @@ pub fn exact_min_period_for_latency(
     let front = exact_pareto_front(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
     for pt in front.points() {
-        if pt.latency <= latency_bound + EPS
-            && best.as_ref().is_none_or(|(v, _)| pt.period < *v)
-        {
+        if pt.latency <= latency_bound + EPS && best.as_ref().is_none_or(|(v, _)| pt.period < *v) {
             best = Some((pt.period, pt.payload.clone()));
         }
     }
@@ -186,8 +183,8 @@ pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
         // partition.
         let mut thresholds: Vec<f64> = Vec::with_capacity(m * p);
         for j in 0..m {
-            for u in 0..p {
-                thresholds.push(pc.comm[j] + pc.work[j] / speeds[u]);
+            for &speed in speeds.iter().take(p) {
+                thresholds.push(pc.comm[j] + pc.work[j] / speed);
             }
         }
         thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -260,7 +257,11 @@ mod tests {
             assert!((cm.period(&mapping) - opt).abs() < 1e-9);
             // Every heuristic run to its floor stays above the optimum.
             let h1 = crate::sp_mono_p(&cm, 0.0);
-            assert!(h1.period >= opt - 1e-9, "H1 {} beat the optimum {opt}", h1.period);
+            assert!(
+                h1.period >= opt - 1e-9,
+                "H1 {} beat the optimum {opt}",
+                h1.period
+            );
             assert!(opt >= cm.period_lower_bound() - 1e-9);
         }
     }
@@ -299,8 +300,7 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         let l_opt = cm.optimal_latency();
         assert!(exact_min_period_for_latency(&cm, l_opt * 0.99).is_none());
-        let (p_at_lopt, _) =
-            exact_min_period_for_latency(&cm, l_opt).expect("L_opt is achievable");
+        let (p_at_lopt, _) = exact_min_period_for_latency(&cm, l_opt).expect("L_opt is achievable");
         assert!((p_at_lopt - cm.single_proc_period()).abs() < 1e-9);
         // Generous latency: the unconstrained optimal period.
         let (p_free, _) = exact_min_period_for_latency(&cm, l_opt * 100.0).unwrap();
@@ -322,8 +322,11 @@ mod tests {
         }
         // Heuristic results never dominate the front.
         for kind in crate::HeuristicKind::ALL {
-            let target =
-                if kind.is_period_fixed() { cm.single_proc_period() * 0.8 } else { cm.optimal_latency() * 2.0 };
+            let target = if kind.is_period_fixed() {
+                cm.single_proc_period() * 0.8
+            } else {
+                cm.optimal_latency() * 2.0
+            };
             let res = kind.run(&cm, target);
             // Tolerance: the front and the heuristic compute the same
             // quantities along different floating-point paths.
@@ -340,8 +343,7 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         let front = exact_pareto_front(&cm);
         let (p_opt, _) = exact_min_period(&cm);
-        let min_front_period =
-            front.points().first().expect("non-empty").period;
+        let min_front_period = front.points().first().expect("non-empty").period;
         assert!((min_front_period - p_opt).abs() < 1e-9);
         let min_front_latency = front
             .points()

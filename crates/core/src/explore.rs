@@ -30,7 +30,11 @@ fn pick_move(st: &SplitState<'_>, j: usize, bi: bool) -> Move {
     };
     let three_possible = len >= 3 && st.n_unused() >= 2;
     if three_possible {
-        let s3 = if bi { st.best_split3_bi(j) } else { st.best_split3_mono(j) };
+        let s3 = if bi {
+            st.best_split3_bi(j)
+        } else {
+            st.best_split3_mono(j)
+        };
         if let Some(s) = s3 {
             return Move::Three(s);
         }
@@ -39,7 +43,11 @@ fn pick_move(st: &SplitState<'_>, j: usize, bi: bool) -> Move {
         // when they are possible).
         return Move::None;
     }
-    let s2 = if bi { st.best_split2_bi(j, None) } else { st.best_split2_mono(j, None) };
+    let s2 = if bi {
+        st.best_split2_bi(j, None)
+    } else {
+        st.best_split2_mono(j, None)
+    };
     match s2 {
         Some(s) => Move::Two(s),
         None => Move::None,
@@ -116,7 +124,10 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         let res = three_explo_mono(&cm, 0.0); // impossible → run to floor
         assert!(!res.feasible);
-        assert!(res.period < cm.single_proc_period() - EPS, "must improve via splits");
+        assert!(
+            res.period < cm.single_proc_period() - EPS,
+            "must improve via splits"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn hetero_sp_mono_p(
     period_target: f64,
     opts: HeteroSplitOptions,
 ) -> BiCriteriaResult {
-    assert!(opts.candidate_procs >= 1, "need at least one candidate processor");
+    assert!(
+        opts.candidate_procs >= 1,
+        "need at least one candidate processor"
+    );
     let pf = cm.platform();
     let app = cm.app();
     let order = pf.procs_by_speed_desc().to_vec();
@@ -61,7 +64,12 @@ pub fn hetero_sp_mono_p(
         let period = cm.period(&mapping);
         if period <= period_target + EPS {
             let latency = cm.latency(&mapping);
-            return BiCriteriaResult { mapping, period, latency, feasible: true };
+            return BiCriteriaResult {
+                mapping,
+                period,
+                latency,
+                feasible: true,
+            };
         }
         // Bottleneck interval.
         let j = (0..mapping.n_intervals())
@@ -74,7 +82,12 @@ pub fn hetero_sp_mono_p(
         let iv = intervals[j];
         if iv.len() < 2 {
             let latency = cm.latency(&mapping);
-            return BiCriteriaResult { mapping, period, latency, feasible: false };
+            return BiCriteriaResult {
+                mapping,
+                period,
+                latency,
+                feasible: false,
+            };
         }
         // Candidate new processors: the fastest unused ones.
         let candidates: Vec<ProcId> = order
@@ -85,7 +98,12 @@ pub fn hetero_sp_mono_p(
             .collect();
         if candidates.is_empty() {
             let latency = cm.latency(&mapping);
-            return BiCriteriaResult { mapping, period, latency, feasible: false };
+            return BiCriteriaResult {
+                mapping,
+                period,
+                latency,
+                feasible: false,
+            };
         }
 
         // H1's selection rule, lifted: minimize the max cycle time of the
@@ -104,8 +122,11 @@ pub fn hetero_sp_mono_p(
                     let mut ps = procs.clone();
                     ivs[j] = Interval::new(iv.start, cut);
                     ivs.insert(j + 1, Interval::new(cut, iv.end));
-                    let (lp, rp) =
-                        if keep_left { (procs[j], new_proc) } else { (new_proc, procs[j]) };
+                    let (lp, rp) = if keep_left {
+                        (procs[j], new_proc)
+                    } else {
+                        (new_proc, procs[j])
+                    };
                     ps[j] = lp;
                     ps.insert(j + 1, rp);
                     let cand = build(&ivs, &ps);
@@ -120,8 +141,7 @@ pub fn hetero_sp_mono_p(
                         Some((bl_local, bp, bl, _, _)) => {
                             local < bl_local - EPS
                                 || ((local - bl_local).abs() <= EPS
-                                    && (p < bp - EPS
-                                        || ((p - bp).abs() <= EPS && l < bl - EPS)))
+                                    && (p < bp - EPS || ((p - bp).abs() <= EPS && l < bl - EPS)))
                         }
                     };
                     if better {
@@ -141,7 +161,12 @@ pub fn hetero_sp_mono_p(
             }
             None => {
                 let latency = cm.latency(&mapping);
-                return BiCriteriaResult { mapping, period, latency, feasible: false };
+                return BiCriteriaResult {
+                    mapping,
+                    period,
+                    latency,
+                    feasible: false,
+                };
             }
         }
     }
@@ -181,11 +206,7 @@ mod tests {
             let cm = CostModel::new(&app, &pf);
             let target = 0.6 * cm.single_proc_period();
             let h1 = sp_mono_p(&cm, target);
-            let ext = hetero_sp_mono_p(
-                &cm,
-                target,
-                HeteroSplitOptions { candidate_procs: 1 },
-            );
+            let ext = hetero_sp_mono_p(&cm, target, HeteroSplitOptions { candidate_procs: 1 });
             assert_eq!(h1.feasible, ext.feasible, "seed {seed}");
             if h1.feasible {
                 assert!(
@@ -228,10 +249,8 @@ mod tests {
             let app = random_app(seed, 10);
             let pf = random_het_platform(seed + 100, 8);
             let cm = CostModel::new(&app, &pf);
-            let narrow =
-                hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions { candidate_procs: 1 });
-            let wide =
-                hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions { candidate_procs: 4 });
+            let narrow = hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions { candidate_procs: 1 });
+            let wide = hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions { candidate_procs: 4 });
             narrow_total += narrow.period;
             wide_total += wide.period;
         }

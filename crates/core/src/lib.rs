@@ -177,7 +177,11 @@ mod tests {
         let l_opt = cm.optimal_latency();
         for kind in HeuristicKind::ALL {
             // A generous target every heuristic can satisfy.
-            let target = if kind.is_period_fixed() { single_period * 2.0 } else { l_opt * 4.0 };
+            let target = if kind.is_period_fixed() {
+                single_period * 2.0
+            } else {
+                l_opt * 4.0
+            };
             let res = kind.run(&cm, target);
             assert!(res.feasible, "{kind} infeasible at a trivial target");
             let (p, l) = cm.evaluate(&res.mapping);

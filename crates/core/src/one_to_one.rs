@@ -36,7 +36,8 @@ fn require_shape(cm: &CostModel<'_>) {
 
 /// Cycle time of stage `k` on processor `u` under a one-to-one mapping.
 fn stage_cycle(cm: &CostModel<'_>, k: usize, u: ProcId) -> f64 {
-    cm.interval_cost(Interval::new(k, k + 1), u, None, None).cycle_time()
+    cm.interval_cost(Interval::new(k, k + 1), u, None, None)
+        .cycle_time()
 }
 
 /// Exact minimum-period one-to-one mapping (polynomial: bottleneck
@@ -86,7 +87,10 @@ pub fn one_to_one_greedy(cm: &CostModel<'_>) -> IntervalMapping {
     let app = cm.app();
     let mut stages: Vec<usize> = (0..app.n_stages()).collect();
     stages.sort_by(|&a, &b| {
-        app.work(b).partial_cmp(&app.work(a)).expect("finite").then(a.cmp(&b))
+        app.work(b)
+            .partial_cmp(&app.work(a))
+            .expect("finite")
+            .then(a.cmp(&b))
     });
     let order = cm.platform().procs_by_speed_desc();
     let mut procs = vec![0; app.n_stages()];
@@ -104,8 +108,7 @@ mod tests {
     use pipeline_model::{Application, Platform};
 
     fn instance(seed: u64) -> (Application, Platform) {
-        InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 6, 9))
-            .instance(seed, 0)
+        InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 6, 9)).instance(seed, 0)
     }
 
     #[test]
@@ -123,13 +126,15 @@ mod tests {
                     if a == b || b == c || a == c {
                         continue;
                     }
-                    let m =
-                        IntervalMapping::one_to_one(&app, &pf, vec![a, b, c]).unwrap();
+                    let m = IntervalMapping::one_to_one(&app, &pf, vec![a, b, c]).unwrap();
                     best = best.min(cm.period(&m));
                 }
             }
         }
-        assert!((opt - best).abs() < 1e-9, "bottleneck solver {opt} vs exhaustive {best}");
+        assert!(
+            (opt - best).abs() < 1e-9,
+            "bottleneck solver {opt} vs exhaustive {best}"
+        );
     }
 
     #[test]

@@ -43,19 +43,32 @@ impl<T> ParetoFront<T> {
     /// True when `(period, latency)` is weakly dominated by some point of
     /// the front (`q.period ≤ period` and `q.latency ≤ latency`).
     pub fn dominated(&self, period: f64, latency: f64) -> bool {
-        self.points.iter().any(|q| q.period <= period && q.latency <= latency)
+        self.points
+            .iter()
+            .any(|q| q.period <= period && q.latency <= latency)
     }
 
     /// Offers a point; it is inserted iff not weakly dominated, evicting
     /// any point it dominates. Returns whether it was inserted.
     pub fn offer(&mut self, period: f64, latency: f64, payload: T) -> bool {
-        assert!(period.is_finite() && latency.is_finite(), "Pareto points must be finite");
+        assert!(
+            period.is_finite() && latency.is_finite(),
+            "Pareto points must be finite"
+        );
         if self.dominated(period, latency) {
             return false;
         }
-        self.points.retain(|q| !(period <= q.period && latency <= q.latency));
+        self.points
+            .retain(|q| !(period <= q.period && latency <= q.latency));
         let pos = self.points.partition_point(|q| q.period < period);
-        self.points.insert(pos, ParetoPoint { period, latency, payload });
+        self.points.insert(
+            pos,
+            ParetoPoint {
+                period,
+                latency,
+                payload,
+            },
+        );
         true
     }
 

@@ -114,8 +114,8 @@ pub fn refine_mapping(
                 used[u] = true;
             }
             'replace: for i in 0..procs.len() {
-                for u in 0..pf.n_procs() {
-                    if used[u] {
+                for (u, &u_taken) in used.iter().enumerate() {
+                    if u_taken {
                         continue;
                     }
                     let mut ps = procs.clone();
@@ -140,7 +140,12 @@ pub fn refine_mapping(
         }
     }
 
-    RefineResult { mapping: current, period, latency, moves }
+    RefineResult {
+        mapping: current,
+        period,
+        latency,
+        moves,
+    }
 }
 
 #[cfg(test)]
@@ -176,11 +181,7 @@ mod tests {
     fn refinement_fixes_a_planted_bad_processor_order() {
         // Two equal intervals, processors swapped pessimally: the fast
         // processor holds the light interval. One swap fixes it.
-        let app = Application::new(
-            vec![30.0, 3.0],
-            vec![0.0, 0.0, 0.0],
-        )
-        .unwrap();
+        let app = Application::new(vec![30.0, 3.0], vec![0.0, 0.0, 0.0]).unwrap();
         let pf = Platform::comm_homogeneous(vec![10.0, 1.0], 10.0).unwrap();
         let bad = IntervalMapping::new(
             &app,
@@ -193,18 +194,17 @@ mod tests {
         assert!((cm.period(&bad) - 30.0).abs() < 1e-9);
         let refined = refine_mapping(&cm, &bad, f64::INFINITY);
         assert!(refined.moves >= 1);
-        assert!((refined.period - 3.0).abs() < 1e-9, "swap must fix the order");
+        assert!(
+            (refined.period - 3.0).abs() < 1e-9,
+            "swap must fix the order"
+        );
     }
 
     #[test]
     fn refinement_moves_boundaries() {
         // Unbalanced cut with equal processors: shifting the boundary by
         // one stage improves the bottleneck.
-        let app = Application::new(
-            vec![5.0, 5.0, 5.0, 5.0],
-            vec![0.0; 5],
-        )
-        .unwrap();
+        let app = Application::new(vec![5.0, 5.0, 5.0, 5.0], vec![0.0; 5]).unwrap();
         let pf = Platform::comm_homogeneous(vec![1.0, 1.0], 10.0).unwrap();
         let skewed = IntervalMapping::new(
             &app,
@@ -216,7 +216,10 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         assert!((cm.period(&skewed) - 15.0).abs() < 1e-9);
         let refined = refine_mapping(&cm, &skewed, f64::INFINITY);
-        assert!((refined.period - 10.0).abs() < 1e-9, "boundary shift must balance");
+        assert!(
+            (refined.period - 10.0).abs() < 1e-9,
+            "boundary shift must balance"
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl ReplicatedMapping {
                 seen[u] = true;
             }
         }
-        Ok(ReplicatedMapping { intervals, replicas })
+        Ok(ReplicatedMapping {
+            intervals,
+            replicas,
+        })
     }
 
     /// The intervals.
@@ -158,11 +161,21 @@ pub fn replicate_bottlenecks(
         let period = rep.period(cm);
         if period <= period_target + EPS {
             let latency = rep.latency(cm);
-            return ReplicationResult { mapping: rep, period, latency, feasible: true };
+            return ReplicationResult {
+                mapping: rep,
+                period,
+                latency,
+                feasible: true,
+            };
         }
         let Some(next) = order.iter().copied().find(|&u| !used[u]) else {
             let latency = rep.latency(cm);
-            return ReplicationResult { mapping: rep, period, latency, feasible: false };
+            return ReplicationResult {
+                mapping: rep,
+                period,
+                latency,
+                feasible: false,
+            };
         };
         // Bottleneck interval under the deal model.
         let group_period = |iv: Interval, group: &[ProcId]| {
@@ -193,7 +206,12 @@ pub fn replicate_bottlenecks(
         with_next.push(next);
         if group_period(rep.intervals[j], &with_next) >= old - EPS {
             let latency = rep.latency(cm);
-            return ReplicationResult { mapping: rep, period, latency, feasible: false };
+            return ReplicationResult {
+                mapping: rep,
+                period,
+                latency,
+                feasible: false,
+            };
         }
         used[next] = true;
         rep.replicas[j] = with_next;
@@ -207,16 +225,11 @@ mod tests {
     use pipeline_model::{Application, Platform};
 
     fn fixture() -> (Application, Platform) {
-        let app = Application::new(
-            vec![20.0, 5.0, 20.0],
-            vec![1.0, 1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let app = Application::new(vec![20.0, 5.0, 20.0], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
         // Six equal processors: three for the splitting floor (one per
         // stage) and three spare for replication, plus a slow straggler
         // exercising the mixed-speed latency rule.
-        let pf =
-            Platform::comm_homogeneous(vec![2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 1.0], 10.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 1.0], 10.0).unwrap();
         (app, pf)
     }
 
@@ -237,13 +250,8 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         // One interval on P0, replicated on P0+P1 (both speed 2):
         // cycle = 0.1 + 45/2 + 0.1 = 22.7 → period 11.35 with k = 2.
-        let rep = ReplicatedMapping::new(
-            &app,
-            &pf,
-            vec![Interval::new(0, 3)],
-            vec![vec![0, 1]],
-        )
-        .unwrap();
+        let rep =
+            ReplicatedMapping::new(&app, &pf, vec![Interval::new(0, 3)], vec![vec![0, 1]]).unwrap();
         assert!((rep.period(&cm) - 22.7 / 2.0).abs() < 1e-9);
         // Latency is the slowest replica's full path — unchanged.
         assert!((rep.latency(&cm) - 22.7).abs() < 1e-9);
@@ -254,13 +262,8 @@ mod tests {
         let (app, pf) = fixture();
         let cm = CostModel::new(&app, &pf);
         // Replicas P0 (speed 2) and P6 (speed 1): cycles 22.7 and 45.2.
-        let rep = ReplicatedMapping::new(
-            &app,
-            &pf,
-            vec![Interval::new(0, 3)],
-            vec![vec![0, 6]],
-        )
-        .unwrap();
+        let rep =
+            ReplicatedMapping::new(&app, &pf, vec![Interval::new(0, 3)], vec![vec![0, 6]]).unwrap();
         assert!((rep.period(&cm) - 45.2 / 2.0).abs() < 1e-9);
         assert!((rep.latency(&cm) - 45.2).abs() < 1e-9);
     }
@@ -306,8 +309,7 @@ mod tests {
             let works: Vec<f64> = (0..8).map(|_| rng.random_range(10.0..1000.0)).collect();
             let deltas: Vec<f64> = (0..=8).map(|_| rng.random_range(1.0..20.0)).collect();
             let app = Application::new(works, deltas).unwrap();
-            let speeds: Vec<f64> =
-                (0..10).map(|_| rng.random_range(1..=20) as f64).collect();
+            let speeds: Vec<f64> = (0..10).map(|_| rng.random_range(1..=20) as f64).collect();
             let pf = Platform::comm_homogeneous(speeds, 10.0).unwrap();
             let cm = CostModel::new(&app, &pf);
             let base = sp_mono_p(&cm, 0.0);
@@ -339,13 +341,8 @@ mod tests {
         let app = Application::new(vec![30.0], vec![0.0, 0.0]).unwrap();
         let pf = Platform::comm_homogeneous(vec![3.0, 3.0, 3.0], 10.0).unwrap();
         let cm = CostModel::new(&app, &pf);
-        let rep = ReplicatedMapping::new(
-            &app,
-            &pf,
-            vec![Interval::new(0, 1)],
-            vec![vec![0, 1, 2]],
-        )
-        .unwrap();
+        let rep = ReplicatedMapping::new(&app, &pf, vec![Interval::new(0, 1)], vec![vec![0, 1, 2]])
+            .unwrap();
         // cycle = 10, k = 3 → period 10/3.
         assert!((rep.period(&cm) - 10.0 / 3.0).abs() < 1e-9);
     }

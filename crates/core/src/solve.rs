@@ -69,7 +69,10 @@ impl Scheduler {
     /// A scheduler with `Auto` strategy and an exact cutoff of 12 stages
     /// (4096 partitions — instantaneous).
     pub fn new() -> Self {
-        Scheduler { strategy: Strategy::Auto, exact_cutoff: 12 }
+        Scheduler {
+            strategy: Strategy::Auto,
+            exact_cutoff: 12,
+        }
     }
 
     /// Sets the strategy.
@@ -121,7 +124,12 @@ impl Scheduler {
         let wrap = |mapping: IntervalMapping, feasible: bool| {
             let (period, latency) = cm.evaluate(&mapping);
             Solution {
-                result: BiCriteriaResult { mapping, period, latency, feasible },
+                result: BiCriteriaResult {
+                    mapping,
+                    period,
+                    latency,
+                    feasible,
+                },
                 solver: "exact".to_string(),
             }
         };
@@ -162,7 +170,10 @@ impl Scheduler {
                 }
             };
             if better {
-                best = Some(Solution { result, solver: kind.label().to_string() });
+                best = Some(Solution {
+                    result,
+                    solver: kind.label().to_string(),
+                });
             }
         }
         best
@@ -188,7 +199,11 @@ fn solve_with_heuristic(
         Objective::MinPeriod => {
             // Run to the floor: period-fixed heuristics with an impossible
             // target; latency-fixed ones with an unbounded budget.
-            let target = if kind.is_period_fixed() { 0.0 } else { f64::INFINITY };
+            let target = if kind.is_period_fixed() {
+                0.0
+            } else {
+                f64::INFINITY
+            };
             let mut r = kind.run(cm, target);
             // "Feasible" here means "produced a mapping", which all do.
             r.feasible = true;
@@ -238,11 +253,16 @@ mod tests {
         let (app, pf) = instance(14, 8);
         let cm = CostModel::new(&app, &pf);
         let bound = 0.6 * cm.single_proc_period();
-        let best = Scheduler::new()
-            .strategy(Strategy::BestOfAll)
-            .solve(&app, &pf, Objective::MinLatencyForPeriod(bound));
+        let best = Scheduler::new().strategy(Strategy::BestOfAll).solve(
+            &app,
+            &pf,
+            Objective::MinLatencyForPeriod(bound),
+        );
         if let Some(best) = best {
-            for kind in HeuristicKind::ALL.into_iter().filter(|k| k.is_period_fixed()) {
+            for kind in HeuristicKind::ALL
+                .into_iter()
+                .filter(|k| k.is_period_fixed())
+            {
                 let r = kind.run(&cm, bound);
                 if r.feasible {
                     assert!(best.result.latency <= r.latency + 1e-9, "beaten by {kind}");
@@ -278,7 +298,10 @@ mod tests {
                 &pf,
                 Objective::MinPeriodForLatency(too_tight),
             );
-            assert!(sol.is_none(), "{strategy:?} accepted an impossible latency bound");
+            assert!(
+                sol.is_none(),
+                "{strategy:?} accepted an impossible latency bound"
+            );
         }
     }
 
@@ -306,6 +329,9 @@ mod tests {
             .exact_cutoff(4)
             .solve(&app, &pf, Objective::MinPeriod)
             .unwrap();
-        assert_ne!(sol.solver, "exact", "cutoff 4 must route n=10 to heuristics");
+        assert_ne!(
+            sol.solver, "exact",
+            "cutoff 4 must route n=10 to heuristics"
+        );
     }
 }

@@ -77,7 +77,11 @@ pub struct SpBiPOptions {
 
 impl Default for SpBiPOptions {
     fn default() -> Self {
-        SpBiPOptions { search_iters: 30, rel_tolerance: 1e-9, denominator_over_i: true }
+        SpBiPOptions {
+            search_iters: 30,
+            rel_tolerance: 1e-9,
+            denominator_over_i: true,
+        }
     }
 }
 
@@ -212,7 +216,10 @@ mod tests {
         let res = sp_mono_p(&cm, 0.8 * p0);
         if res.feasible {
             assert!(res.period <= 0.8 * p0 + EPS);
-            assert!(res.mapping.n_intervals() > 1, "must have split at least once");
+            assert!(
+                res.mapping.n_intervals() > 1,
+                "must have split at least once"
+            );
             assert!(res.latency >= cm.optimal_latency() - EPS);
         }
     }
@@ -265,7 +272,10 @@ mod tests {
         for budget in [0.9 * l_opt, l_opt, 1.5 * l_opt] {
             let mono = sp_mono_l(&cm, budget);
             let bi = sp_bi_l(&cm, budget);
-            assert_eq!(mono.feasible, bi.feasible, "thresholds must coincide at {budget}");
+            assert_eq!(
+                mono.feasible, bi.feasible,
+                "thresholds must coincide at {budget}"
+            );
         }
     }
 
@@ -332,7 +342,10 @@ mod tests {
         let over_j = sp_bi_p(
             &cm,
             target,
-            SpBiPOptions { denominator_over_i: false, ..SpBiPOptions::default() },
+            SpBiPOptions {
+                denominator_over_i: false,
+                ..SpBiPOptions::default()
+            },
         );
         if over_i.feasible {
             assert!(over_i.period <= target + EPS);
@@ -366,11 +379,8 @@ mod tests {
         // On an instance with several stages, a generous budget must let
         // SpMonoL beat the single-processor period whenever a second
         // processor helps.
-        let app = Application::new(
-            vec![10.0, 10.0, 10.0, 10.0],
-            vec![1.0, 1.0, 1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let app =
+            Application::new(vec![10.0, 10.0, 10.0, 10.0], vec![1.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
         let pf = Platform::comm_homogeneous(vec![2.0, 2.0], 10.0).unwrap();
         let cm = CostModel::new(&app, &pf);
         let res = sp_mono_l(&cm, cm.optimal_latency() * 3.0);

@@ -86,7 +86,10 @@ impl Split3 {
     /// `max(period(j), period(j'), period(j''))`.
     #[inline]
     pub fn local_max(&self) -> f64 {
-        self.cycles.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.cycles
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -128,7 +131,8 @@ impl<'a> SplitState<'a> {
         let cycle = state.cycle_of(0, app.n_stages(), state.entries[0].proc);
         state.entries[0].cycle = cycle;
         state.latency = state.latency_term(0, app.n_stages(), state.entries[0].proc)
-            + app.delta(app.n_stages()) / state.cm.platform().io_bandwidth_of(state.entries[0].proc);
+            + app.delta(app.n_stages())
+                / state.cm.platform().io_bandwidth_of(state.entries[0].proc);
         state
     }
 
@@ -181,7 +185,10 @@ impl<'a> SplitState<'a> {
 
     /// Current period: the largest entry cycle time.
     pub fn period(&self) -> f64 {
-        self.entries.iter().map(|e| e.cycle).fold(f64::NEG_INFINITY, f64::max)
+        self.entries
+            .iter()
+            .map(|e| e.cycle)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Index of the entry achieving the period (first one on ties — the
@@ -216,17 +223,30 @@ impl<'a> SplitState<'a> {
         let mut out = Vec::with_capacity(2 * (e.end - e.start - 1));
         for cut in e.start + 1..e.end {
             for keep_left in [true, false] {
-                let (kp, np) = if keep_left { (e.proc, new_proc) } else { (new_proc, e.proc) };
+                let (kp, np) = if keep_left {
+                    (e.proc, new_proc)
+                } else {
+                    (new_proc, e.proc)
+                };
                 // kp runs [start, cut), np runs [cut, end) — careful:
                 // keep_left means the CURRENT proc keeps the left piece.
                 let cycle_left = self.cycle_of(e.start, cut, kp);
                 let cycle_right = self.cycle_of(cut, e.end, np);
-                let (cycle_keep, cycle_new) =
-                    if keep_left { (cycle_left, cycle_right) } else { (cycle_right, cycle_left) };
+                let (cycle_keep, cycle_new) = if keep_left {
+                    (cycle_left, cycle_right)
+                } else {
+                    (cycle_right, cycle_left)
+                };
                 let new_latency = self.latency - self.latency_term(e.start, e.end, e.proc)
                     + self.latency_term(e.start, cut, kp)
                     + self.latency_term(cut, e.end, np);
-                out.push(Split2 { cut, keep_left, cycle_keep, cycle_new, new_latency });
+                out.push(Split2 {
+                    cut,
+                    keep_left,
+                    cycle_keep,
+                    cycle_new,
+                    new_latency,
+                });
             }
         }
         out
@@ -236,10 +256,15 @@ impl<'a> SplitState<'a> {
     /// processor.
     pub fn apply_split2(&mut self, j: usize, split: Split2) {
         let e = self.entries[j];
-        let new_proc = self.peek_unused(0).expect("split requires an unused processor");
+        let new_proc = self
+            .peek_unused(0)
+            .expect("split requires an unused processor");
         self.next_unused += 1;
-        let (left_proc, right_proc) =
-            if split.keep_left { (e.proc, new_proc) } else { (new_proc, e.proc) };
+        let (left_proc, right_proc) = if split.keep_left {
+            (e.proc, new_proc)
+        } else {
+            (new_proc, e.proc)
+        };
         let left = Entry {
             start: e.start,
             end: split.cut,
@@ -323,8 +348,14 @@ impl<'a> SplitState<'a> {
         }
         let pool = [e.proc, p1, p2];
         // All 6 permutations of three items, as index triples.
-        const PERMS: [[usize; 3]; 6] =
-            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        const PERMS: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         let len = e.end - e.start;
         let mut out = Vec::with_capacity(6 * (len - 1) * (len - 2) / 2);
         let base_latency = self.latency - self.latency_term(e.start, e.end, e.proc);
@@ -341,7 +372,13 @@ impl<'a> SplitState<'a> {
                         + self.latency_term(e.start, cut1, procs[0])
                         + self.latency_term(cut1, cut2, procs[1])
                         + self.latency_term(cut2, e.end, procs[2]);
-                    out.push(Split3 { cut1, cut2, procs, cycles, new_latency });
+                    out.push(Split3 {
+                        cut1,
+                        cut2,
+                        procs,
+                        cycles,
+                        new_latency,
+                    });
                 }
             }
         }
@@ -352,8 +389,12 @@ impl<'a> SplitState<'a> {
     /// unused processors.
     pub fn apply_split3(&mut self, j: usize, split: Split3) {
         let e = self.entries[j];
-        let p1 = self.peek_unused(0).expect("3-way split needs two unused processors");
-        let p2 = self.peek_unused(1).expect("3-way split needs two unused processors");
+        let p1 = self
+            .peek_unused(0)
+            .expect("3-way split needs two unused processors");
+        let p2 = self
+            .peek_unused(1)
+            .expect("3-way split needs two unused processors");
         // The split's processors must be exactly {current, next two}.
         let mut expected = [e.proc, p1, p2];
         let mut got = split.procs;
@@ -369,9 +410,17 @@ impl<'a> SplitState<'a> {
         self.latency = split.new_latency;
         self.entries.splice(
             j..=j,
-            parts.into_iter().map(|(start, end, proc, cycle)| Entry { start, end, proc, cycle }),
+            parts.into_iter().map(|(start, end, proc, cycle)| Entry {
+                start,
+                end,
+                proc,
+                cycle,
+            }),
         );
-        debug_assert!(self.invariants_ok(), "3-way split broke the state invariants");
+        debug_assert!(
+            self.invariants_ok(),
+            "3-way split broke the state invariants"
+        );
     }
 
     /// Mono-criterion selection among three-way splits (H2a): minimize the
@@ -400,7 +449,11 @@ impl<'a> SplitState<'a> {
         let current_latency = self.latency;
         let ratio = |s: &Split3| {
             let d_lat = s.new_latency - current_latency;
-            let d_per = s.cycles.iter().map(|c| old - c).fold(f64::INFINITY, f64::min);
+            let d_per = s
+                .cycles
+                .iter()
+                .map(|c| old - c)
+                .fold(f64::INFINITY, f64::min);
             d_lat / d_per
         };
         self.candidate_splits3(j)
@@ -418,7 +471,11 @@ impl<'a> SplitState<'a> {
 
     /// Freezes the state into a validated [`IntervalMapping`].
     pub fn to_mapping(&self) -> IntervalMapping {
-        let intervals = self.entries.iter().map(|e| Interval::new(e.start, e.end)).collect();
+        let intervals = self
+            .entries
+            .iter()
+            .map(|e| Interval::new(e.start, e.end))
+            .collect();
         let procs = self.entries.iter().map(|e| e.proc).collect();
         IntervalMapping::new(self.cm.app(), self.cm.platform(), intervals, procs)
             .expect("SplitState maintains mapping validity")
@@ -450,11 +507,8 @@ mod tests {
     use pipeline_model::Platform;
 
     fn setup() -> (Application, Platform) {
-        let app = Application::new(
-            vec![4.0, 8.0, 2.0, 6.0],
-            vec![2.0, 6.0, 4.0, 2.0, 10.0],
-        )
-        .unwrap();
+        let app =
+            Application::new(vec![4.0, 8.0, 2.0, 6.0], vec![2.0, 6.0, 4.0, 2.0, 10.0]).unwrap();
         let pf = Platform::comm_homogeneous(vec![2.0, 4.0, 3.0], 2.0).unwrap();
         (app, pf)
     }
@@ -489,7 +543,9 @@ mod tests {
         let (app, pf) = setup();
         let cm = CostModel::new(&app, &pf);
         let mut st = SplitState::new(&cm);
-        let split = st.best_split2_mono(0, None).expect("an improving split exists");
+        let split = st
+            .best_split2_mono(0, None)
+            .expect("an improving split exists");
         let predicted_latency = split.new_latency;
         st.apply_split2(0, split);
         assert_eq!(st.entries().len(), 2);
@@ -524,9 +580,8 @@ mod tests {
         let st = SplitState::new(&cm);
         let old = st.entries()[0].cycle;
         let lat = st.latency();
-        let ratio = |s: &Split2| {
-            (s.new_latency - lat) / (old - s.cycle_keep).min(old - s.cycle_new)
-        };
+        let ratio =
+            |s: &Split2| (s.new_latency - lat) / (old - s.cycle_keep).min(old - s.cycle_new);
         if let Some(best) = st.best_split2_bi(0, None) {
             for c in st.candidate_splits2(0) {
                 if definitely_lt(c.local_max(), old) {

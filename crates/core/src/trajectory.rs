@@ -92,7 +92,11 @@ pub fn fixed_period_trajectory(cm: &CostModel<'_>, kind: TrajectoryKind) -> Traj
                 let bi = kind == TrajectoryKind::ExploBi;
                 let len = st.entries()[j].end - st.entries()[j].start;
                 if len >= 3 && st.n_unused() >= 2 {
-                    let s3 = if bi { st.best_split3_bi(j) } else { st.best_split3_mono(j) };
+                    let s3 = if bi {
+                        st.best_split3_bi(j)
+                    } else {
+                        st.best_split3_mono(j)
+                    };
                     match s3 {
                         Some(s) => st.apply_split3(j, s),
                         None => break,
@@ -116,7 +120,11 @@ pub fn fixed_period_trajectory(cm: &CostModel<'_>, kind: TrajectoryKind) -> Traj
 }
 
 fn snapshot(st: &SplitState<'_>) -> TrajectoryPoint {
-    TrajectoryPoint { period: st.period(), latency: st.latency(), mapping: st.to_mapping() }
+    TrajectoryPoint {
+        period: st.period(),
+        latency: st.latency(),
+        mapping: st.to_mapping(),
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +144,14 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         let traj = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
         let p0 = cm.single_proc_period();
-        for target in [p0 * 1.1, p0 * 0.9, p0 * 0.7, p0 * 0.5, traj.min_period(), 0.0] {
+        for target in [
+            p0 * 1.1,
+            p0 * 0.9,
+            p0 * 0.7,
+            p0 * 0.5,
+            traj.min_period(),
+            0.0,
+        ] {
             let via_traj = traj.result_for_period(target);
             let direct = sp_mono_p(&cm, target);
             assert_eq!(via_traj.feasible, direct.feasible, "target {target}");
@@ -176,8 +191,11 @@ mod tests {
     fn periods_non_increasing_along_trajectory() {
         let (app, pf) = cm_fixture(7);
         let cm = CostModel::new(&app, &pf);
-        for kind in [TrajectoryKind::SplitMono, TrajectoryKind::ExploMono, TrajectoryKind::ExploBi]
-        {
+        for kind in [
+            TrajectoryKind::SplitMono,
+            TrajectoryKind::ExploMono,
+            TrajectoryKind::ExploBi,
+        ] {
             let traj = fixed_period_trajectory(&cm, kind);
             for w in traj.points.windows(2) {
                 assert!(

@@ -13,13 +13,16 @@ fn arb_instance() -> impl Strategy<Value = (Application, Platform)> {
         proptest::collection::vec(1.0_f64..20.0, 2..12),
         1.0_f64..20.0,
     )
-        .prop_filter_map("delta length must be n+1", |(works, mut deltas, speeds, b)| {
-            let n = works.len();
-            deltas.resize(n + 1, 1.0);
-            let app = Application::new(works, deltas).ok()?;
-            let pf = Platform::comm_homogeneous(speeds, b).ok()?;
-            Some((app, pf))
-        })
+        .prop_filter_map(
+            "delta length must be n+1",
+            |(works, mut deltas, speeds, b)| {
+                let n = works.len();
+                deltas.resize(n + 1, 1.0);
+                let app = Application::new(works, deltas).ok()?;
+                let pf = Platform::comm_homogeneous(speeds, b).ok()?;
+                Some((app, pf))
+            },
+        )
 }
 
 proptest! {

@@ -15,7 +15,12 @@ pub struct Chart {
 
 impl Default for Chart {
     fn default() -> Self {
-        Chart { width: 72, height: 24, x_label: "Period".into(), y_label: "Latency".into() }
+        Chart {
+            width: 72,
+            height: 24,
+            x_label: "Period".into(),
+            y_label: "Latency".into(),
+        }
     }
 }
 
@@ -29,8 +34,10 @@ impl Chart {
     /// `(no feasible point)`.
     pub fn render(&self, series: &[(String, Vec<(f64, f64)>)]) -> String {
         assert!(self.width >= 20 && self.height >= 8, "chart too small");
-        let all: Vec<(f64, f64)> =
-            series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
         if all.is_empty() {
             return "(no data)\n".to_string();
         }
@@ -56,10 +63,9 @@ impl Chart {
         for (si, (_, pts)) in series.iter().enumerate() {
             let marker = MARKERS[si % MARKERS.len()];
             for &(x, y) in pts {
-                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy; // y grows upward
                 let cell = &mut grid[row][cx];
                 // Overlapping series: show the later one (closest to the
@@ -69,7 +75,11 @@ impl Chart {
         }
 
         let mut out = String::new();
-        out.push_str(&format!("{} ({} ↑)\n", self.y_label, self.y_label.to_lowercase()));
+        out.push_str(&format!(
+            "{} ({} ↑)\n",
+            self.y_label,
+            self.y_label.to_lowercase()
+        ));
         for (r, row) in grid.iter().enumerate() {
             let y_here = y_max - (y_max - y_min) * r as f64 / (self.height - 1) as f64;
             let label = if r == 0 || r == self.height - 1 || r == self.height / 2 {
@@ -150,7 +160,11 @@ mod tests {
 
     #[test]
     fn extreme_points_stay_in_bounds() {
-        let chart = Chart { width: 30, height: 10, ..Chart::default() };
+        let chart = Chart {
+            width: 30,
+            height: 10,
+            ..Chart::default()
+        };
         let series = vec![(
             "s".to_string(),
             vec![(0.0, 0.0), (100.0, 100.0), (50.0, 25.0)],

@@ -25,8 +25,9 @@ use pipeline_model::util::mean;
 fn main() {
     let mut instances = 30usize;
     let mut seed = 2007u64;
-    let mut threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || it.next().expect("flag value");
@@ -57,7 +58,10 @@ fn refinement_ablation(seed: u64, instances: usize, threads: usize) {
     );
     let params = InstanceParams::paper(ExperimentKind::E2, 20, 10);
     let gen = InstanceGenerator::new(params);
-    for kind in HeuristicKind::ALL.into_iter().filter(|k| k.is_period_fixed()) {
+    for kind in HeuristicKind::ALL
+        .into_iter()
+        .filter(|k| k.is_period_fixed())
+    {
         let rows = parallel_map(gen.batch(seed, instances), threads, |(app, pf)| {
             let cm = CostModel::new(&app, &pf);
             let base = kind.run(&cm, 0.0);
@@ -80,7 +84,9 @@ fn refinement_ablation(seed: u64, instances: usize, threads: usize) {
 }
 
 fn ratio_denominator_ablation(seed: u64, instances: usize, threads: usize) {
-    println!("1. H3 (Sp bi P) ratio denominator: Δperiod(i) [default] vs Δperiod(j) [paper literal]");
+    println!(
+        "1. H3 (Sp bi P) ratio denominator: Δperiod(i) [default] vs Δperiod(j) [paper literal]"
+    );
     for kind in [ExperimentKind::E1, ExperimentKind::E2] {
         let params = InstanceParams::paper(kind, 20, 10);
         let gen = InstanceGenerator::new(params);
@@ -91,7 +97,10 @@ fn ratio_denominator_ablation(seed: u64, instances: usize, threads: usize) {
             let over_j = sp_bi_p(
                 &cm,
                 target,
-                SpBiPOptions { denominator_over_i: false, ..SpBiPOptions::default() },
+                SpBiPOptions {
+                    denominator_over_i: false,
+                    ..SpBiPOptions::default()
+                },
             );
             (
                 over_i.feasible.then_some(over_i.latency),
@@ -118,12 +127,9 @@ fn explo_vs_split_ablation(seed: u64, instances: usize, threads: usize) {
         let gen = InstanceGenerator::new(params);
         let floors = parallel_map(gen.batch(seed, instances), threads, |(app, pf)| {
             let cm = CostModel::new(&app, &pf);
-            let f_split =
-                fixed_period_trajectory(&cm, TrajectoryKind::SplitMono).min_period();
-            let f_explo =
-                fixed_period_trajectory(&cm, TrajectoryKind::ExploMono).min_period();
-            let f_explo_bi =
-                fixed_period_trajectory(&cm, TrajectoryKind::ExploBi).min_period();
+            let f_split = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono).min_period();
+            let f_explo = fixed_period_trajectory(&cm, TrajectoryKind::ExploMono).min_period();
+            let f_explo_bi = fixed_period_trajectory(&cm, TrajectoryKind::ExploBi).min_period();
             (f_split, f_explo, f_explo_bi)
         });
         let s: Vec<f64> = floors.iter().map(|f| f.0).collect();

@@ -12,8 +12,9 @@ use pipeline_model::generator::{ExperimentKind, InstanceParams};
 fn main() {
     let mut instances = 30usize;
     let mut seed = 2007u64;
-    let mut threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut datasets = 60usize;
     let mut gamma = 0.7f64;
     let mut it = std::env::args().skip(1);
@@ -41,7 +42,10 @@ fn main() {
         (ExperimentKind::E3, 10, 10),
         (ExperimentKind::E4, 20, 10),
     ] {
-        println!("-- {} (n = {n}, p = {p}, target 0.6·P_init, {datasets} data sets)", kind.label());
+        println!(
+            "-- {} (n = {n}, p = {p}, target 0.6·P_init, {datasets} data sets)",
+            kind.label()
+        );
         let rows = loaded_latency_study(
             InstanceParams::paper(kind, n, p),
             seed,

@@ -31,7 +31,9 @@ fn parse_args() -> Args {
         instances: 50,
         grid: 20,
         seed: 2007,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         out: PathBuf::from("results"),
     };
     let mut it = std::env::args().skip(1);
@@ -82,8 +84,13 @@ fn main() {
     for fig_no in &args.figs {
         for spec in figures_of(*fig_no) {
             let t0 = std::time::Instant::now();
-            let fam =
-                run_family(spec.params(), args.seed, args.instances, args.grid, args.threads);
+            let fam = run_family(
+                spec.params(),
+                args.seed,
+                args.instances,
+                args.grid,
+                args.threads,
+            );
             println!(
                 "\n=== {} — {} [{:.1}s] ===",
                 spec.id,
@@ -137,8 +144,11 @@ fn main() {
             println!("{}", chart.render(&series));
 
             // Shape checks vs the paper.
-            let checks =
-                if spec.n_procs >= 100 { checks_p100(&fam) } else { checks_p10(&fam) };
+            let checks = if spec.n_procs >= 100 {
+                checks_p100(&fam)
+            } else {
+                checks_p10(&fam)
+            };
             if !checks.is_empty() {
                 println!("  paper-shape checks:");
                 print!("{}", render_checks(&checks));

@@ -13,8 +13,9 @@ use std::path::PathBuf;
 fn main() {
     let mut instances = 50usize;
     let mut seed = 2007u64;
-    let mut threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut out = PathBuf::from("results");
     let mut procs = 10usize;
 
@@ -46,9 +47,7 @@ fn main() {
         }
     }
 
-    println!(
-        "Table 1 — failure thresholds (p = {procs}, {instances} instances/cell, seed {seed})"
-    );
+    println!("Table 1 — failure thresholds (p = {procs}, {instances} instances/cell, seed {seed})");
     let t0 = std::time::Instant::now();
     let table = table1(seed, instances, procs, &TABLE1_STAGE_COUNTS, threads);
     println!("computed in {:.1}s\n", t0.elapsed().as_secs_f64());
@@ -66,8 +65,12 @@ fn main() {
         }
     }
     let path = out.join("table1.csv");
-    write_csv(&path, &["experiment", "n_stages", "heuristic", "threshold"], &rows)
-        .expect("CSV write failed");
+    write_csv(
+        &path,
+        &["experiment", "n_stages", "heuristic", "threshold"],
+        &rows,
+    )
+    .expect("CSV write failed");
     println!("wrote {}", path.display());
 
     // The paper's headline observations about Table 1, verified live.
@@ -80,7 +83,10 @@ fn main() {
         }
         let period_fixed = &r.thresholds[0..4];
         let min = period_fixed.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = period_fixed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = period_fixed
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         if (r.thresholds[0] - min).abs() < 1e-9 {
             h1_min_count += 1;
         }
@@ -99,7 +105,11 @@ fn main() {
     );
     println!(
         "  [{}] H1 (Sp mono P) has the smallest period-fixed threshold in {}/{} cells",
-        if h1_min_count * 2 >= table.rows.len() { "OK " } else { "DIFF" },
+        if h1_min_count * 2 >= table.rows.len() {
+            "OK "
+        } else {
+            "DIFF"
+        },
         h1_min_count,
         table.rows.len()
     );

@@ -128,7 +128,10 @@ pub fn figure_by_id(id: &str) -> Option<&'static FigureSpec> {
 
 /// All sub-figures of a numbered figure (2–7).
 pub fn figures_of(number: u32) -> Vec<&'static FigureSpec> {
-    PAPER_FIGURES.iter().filter(|f| f.figure_number() == number).collect()
+    PAPER_FIGURES
+        .iter()
+        .filter(|f| f.figure_number() == number)
+        .collect()
 }
 
 #[cfg(test)]

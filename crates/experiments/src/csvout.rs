@@ -8,11 +8,7 @@ use std::path::Path;
 ///
 /// Fields containing commas, quotes or newlines are rejected by assertion
 /// — the harness only emits labels it controls.
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }

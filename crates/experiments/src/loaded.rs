@@ -59,18 +59,24 @@ pub fn loaded_latency_study(
         let l0 = cm.optimal_latency();
         let mut rows = Vec::with_capacity(6);
         for kind in HeuristicKind::ALL {
-            let target = if kind.is_period_fixed() { target_factor * p0 } else { 2.0 * l0 };
+            let target = if kind.is_period_fixed() {
+                target_factor * p0
+            } else {
+                2.0 * l0
+            };
             let res = kind.run(&cm, target);
             if !res.feasible {
                 rows.push(None);
                 continue;
             }
-            let saturated =
-                PipelineSim::new(&cm, &res.mapping, SimConfig::default()).run(datasets);
+            let saturated = PipelineSim::new(&cm, &res.mapping, SimConfig::default()).run(datasets);
             let throttled = PipelineSim::new(
                 &cm,
                 &res.mapping,
-                SimConfig { input: InputPolicy::Periodic(res.period), record_trace: false },
+                SimConfig {
+                    input: InputPolicy::Periodic(res.period),
+                    record_trace: false,
+                },
             )
             .run(datasets);
             rows.push(Some((
@@ -111,7 +117,11 @@ pub fn render_loaded(rows: &[LoadedLatencyRow]) -> String {
     ));
     for r in rows {
         if r.n_feasible == 0 {
-            out.push_str(&format!("{:<16} {:>6} (no feasible instance)\n", r.kind.label(), 0));
+            out.push_str(&format!(
+                "{:<16} {:>6} (no feasible instance)\n",
+                r.kind.label(),
+                0
+            ));
             continue;
         }
         out.push_str(&format!(

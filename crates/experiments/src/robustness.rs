@@ -57,12 +57,11 @@ pub fn degraded_period(
         LinkModel::Homogeneous(b) => {
             Platform::comm_homogeneous(speeds, *b).expect("degraded platform is valid")
         }
-        LinkModel::Heterogeneous { matrix, io_bandwidth } => Platform::fully_heterogeneous(
-            speeds,
-            matrix.clone(),
-            *io_bandwidth,
-        )
-        .expect("degraded platform is valid"),
+        LinkModel::Heterogeneous {
+            matrix,
+            io_bandwidth,
+        } => Platform::fully_heterogeneous(speeds, matrix.clone(), *io_bandwidth)
+            .expect("degraded platform is valid"),
     };
     // The mapping structure is reused verbatim; only cycle times change.
     let remapped = IntervalMapping::new(
@@ -91,7 +90,11 @@ pub fn robustness_study(
         let l0 = cm.optimal_latency();
         let mut rows = Vec::with_capacity(6);
         for kind in HeuristicKind::ALL {
-            let target = if kind.is_period_fixed() { target_factor * p0 } else { 2.0 * l0 };
+            let target = if kind.is_period_fixed() {
+                target_factor * p0
+            } else {
+                2.0 * l0
+            };
             let res = kind.run(&cm, target);
             if !res.feasible {
                 rows.push(None);
@@ -141,7 +144,11 @@ pub fn render_robustness(rows: &[RobustnessRow], gamma: f64) -> String {
     ));
     for r in rows {
         if r.n_feasible == 0 {
-            out.push_str(&format!("{:<16} {:>6} (no feasible instance)\n", r.kind.label(), 0));
+            out.push_str(&format!(
+                "{:<16} {:>6} (no feasible instance)\n",
+                r.kind.label(),
+                0
+            ));
             continue;
         }
         out.push_str(&format!(
@@ -170,7 +177,10 @@ mod tests {
         let res = pipeline_core::sp_mono_p(&cm, 0.6 * cm.single_proc_period());
         for &u in res.mapping.procs() {
             let d = degraded_period(&app, &pf, &res.mapping, u, 0.5);
-            assert!(d >= res.period - 1e-9, "slowing P{u} cannot reduce the period");
+            assert!(
+                d >= res.period - 1e-9,
+                "slowing P{u} cannot reduce the period"
+            );
         }
         // gamma = 1: no change at all.
         let same = degraded_period(&app, &pf, &res.mapping, res.mapping.proc_of(0), 1.0);
@@ -192,8 +202,9 @@ mod tests {
         )
         .unwrap();
         let cm = CostModel::new(&app, &pf);
-        let nominal = cm.period(&mapping); // 1.0 (= 10/10) bottleneck P0
-        // P1's cycle is 0.1; even at half speed it stays below 1.0.
+        // Nominal period 1.0 (= 10/10), bottleneck P0. P1's cycle is
+        // 0.1; even at half speed it stays below 1.0.
+        let nominal = cm.period(&mapping);
         let d = degraded_period(&app, &pf, &mapping, 1, 0.5);
         assert!((d - nominal).abs() < 1e-12);
         // Degrading the bottleneck hurts proportionally.

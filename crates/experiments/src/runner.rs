@@ -1,10 +1,10 @@
 //! Per-instance evaluation and a small scoped-thread parallel map.
 
-use parking_lot::Mutex;
 use pipeline_core::trajectory::{fixed_period_trajectory, Trajectory, TrajectoryKind};
 use pipeline_core::{sp_bi_p, SpBiPOptions};
 use pipeline_model::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Everything the sweeps need from one random instance, precomputed once:
 /// the instance itself, its scalar landmarks, and the target-independent
@@ -85,8 +85,7 @@ where
         return items.into_iter().map(f).collect();
     }
     // Items behind Options so workers can take them by index.
-    let slots: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -96,15 +95,19 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i].lock().take().expect("each slot is taken once");
+                let item = slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each slot is taken once");
                 let out = f(item);
-                *results[i].lock() = Some(out);
+                *results[i].lock().unwrap() = Some(out);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("all slots are filled"))
+        .map(|m| m.into_inner().unwrap().expect("all slots are filled"))
         .collect()
 }
 

@@ -70,9 +70,7 @@ pub fn checks_p10(fam: &FamilyResult) -> Vec<ShapeCheck> {
         out.push(ShapeCheck {
             name: "sp-bi-p-low-latency",
             paper: "Sp bi P achieves by far the best latency times",
-            measured: format!(
-                "mean curve latency: Sp bi P {l_bi:.3} vs Sp mono P {l_mono:.3}"
-            ),
+            measured: format!("mean curve latency: Sp bi P {l_bi:.3} vs Sp mono P {l_mono:.3}"),
             agrees: l_bi <= l_mono * 1.05,
         });
     }
@@ -155,7 +153,13 @@ mod tests {
 
     #[test]
     fn checks_run_on_a_small_family() {
-        let fam = run_family(InstanceParams::paper(ExperimentKind::E1, 10, 10), 5, 8, 8, 2);
+        let fam = run_family(
+            InstanceParams::paper(ExperimentKind::E1, 10, 10),
+            5,
+            8,
+            8,
+            2,
+        );
         let checks = checks_p10(&fam);
         assert!(!checks.is_empty());
         let rendered = render_checks(&checks);
@@ -165,7 +169,13 @@ mod tests {
 
     #[test]
     fn p100_checks_have_content() {
-        let fam = run_family(InstanceParams::paper(ExperimentKind::E1, 10, 30), 5, 6, 6, 2);
+        let fam = run_family(
+            InstanceParams::paper(ExperimentKind::E1, 10, 30),
+            5,
+            6,
+            6,
+            2,
+        );
         let checks = checks_p100(&fam);
         assert!(!checks.is_empty());
     }
@@ -174,9 +184,18 @@ mod tests {
     fn h1_reaches_lower_or_equal_periods_than_explo_on_e1() {
         // Statistical, but with 10 instances the paper's strongest claim
         // (H1 best threshold) holds robustly on E1.
-        let fam = run_family(InstanceParams::paper(ExperimentKind::E1, 20, 10), 9, 10, 8, 2);
+        let fam = run_family(
+            InstanceParams::paper(ExperimentKind::E1, 20, 10),
+            9,
+            10,
+            8,
+            2,
+        );
         let checks = checks_p10(&fam);
-        let c = checks.iter().find(|c| c.name == "sp-mono-p-best-period").unwrap();
+        let c = checks
+            .iter()
+            .find(|c| c.name == "sp-mono-p-best-period")
+            .unwrap();
         assert!(c.agrees, "{}", c.measured);
     }
 }

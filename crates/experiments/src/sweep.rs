@@ -71,7 +71,10 @@ pub struct HeuristicSeries {
 impl HeuristicSeries {
     /// `(x, y)` pairs ready for plotting.
     pub fn xy(&self) -> Vec<(f64, f64)> {
-        self.points.iter().map(|p| (p.x(self.kind), p.y(self.kind))).collect()
+        self.points
+            .iter()
+            .map(|p| (p.x(self.kind), p.y(self.kind)))
+            .collect()
     }
 }
 
@@ -174,11 +177,7 @@ fn aggregate(target: f64, outcomes: &[(bool, f64, f64)]) -> Option<SweepPoint> {
     })
 }
 
-fn sweep_trajectory(
-    kind: HeuristicKind,
-    evals: &[InstanceEval],
-    grid: &[f64],
-) -> Vec<SweepPoint> {
+fn sweep_trajectory(kind: HeuristicKind, evals: &[InstanceEval], grid: &[f64]) -> Vec<SweepPoint> {
     fn traj_of(kind: HeuristicKind, e: &InstanceEval) -> &pipeline_core::Trajectory {
         match kind {
             HeuristicKind::SpMonoP => &e.traj_split_mono,

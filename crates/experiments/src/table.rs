@@ -87,10 +87,18 @@ pub fn table1(
         for &n in stage_counts {
             let params = InstanceParams::paper(kind, n, n_procs);
             let thresholds = failure_thresholds(params, seed, n_instances, threads);
-            rows.push(ThresholdRow { kind, n_stages: n, thresholds });
+            rows.push(ThresholdRow {
+                kind,
+                n_stages: n,
+                thresholds,
+            });
         }
     }
-    ThresholdTable { rows, n_procs, n_instances }
+    ThresholdTable {
+        rows,
+        n_procs,
+        n_instances,
+    }
 }
 
 impl ThresholdTable {
@@ -105,12 +113,15 @@ impl ThresholdTable {
             v
         };
         for kind in ExperimentKind::ALL {
-            let block: Vec<&ThresholdRow> =
-                self.rows.iter().filter(|r| r.kind == kind).collect();
+            let block: Vec<&ThresholdRow> = self.rows.iter().filter(|r| r.kind == kind).collect();
             if block.is_empty() {
                 continue;
             }
-            out.push_str(&format!("{} — failure thresholds (p = {})\n", kind.label(), self.n_procs));
+            out.push_str(&format!(
+                "{} — failure thresholds (p = {})\n",
+                kind.label(),
+                self.n_procs
+            ));
             out.push_str("  Heur ");
             for n in &stage_counts {
                 out.push_str(&format!("{n:>9}"));

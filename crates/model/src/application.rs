@@ -43,16 +43,26 @@ impl Application {
         }
         for &w in &works {
             if !w.is_finite() || w < 0.0 {
-                return Err(ModelError::InvalidNumber { what: "stage work", value: w });
+                return Err(ModelError::InvalidNumber {
+                    what: "stage work",
+                    value: w,
+                });
             }
         }
         for &d in &deltas {
             if !d.is_finite() || d < 0.0 {
-                return Err(ModelError::InvalidNumber { what: "communication volume", value: d });
+                return Err(ModelError::InvalidNumber {
+                    what: "communication volume",
+                    value: d,
+                });
             }
         }
         let work_sums = PrefixSums::new(&works);
-        Ok(Application { works, deltas, work_sums })
+        Ok(Application {
+            works,
+            deltas,
+            work_sums,
+        })
     }
 
     /// An application whose every stage computes `w` and whose every
@@ -177,18 +187,30 @@ mod tests {
     #[test]
     fn rejects_wrong_delta_count() {
         let err = Application::new(vec![1.0, 2.0], vec![1.0, 2.0]).unwrap_err();
-        assert_eq!(err, ModelError::DeltaLengthMismatch { stages: 2, deltas: 2 });
+        assert_eq!(
+            err,
+            ModelError::DeltaLengthMismatch {
+                stages: 2,
+                deltas: 2
+            }
+        );
     }
 
     #[test]
     fn rejects_bad_numbers() {
         assert!(matches!(
             Application::new(vec![-1.0], vec![0.0, 0.0]).unwrap_err(),
-            ModelError::InvalidNumber { what: "stage work", .. }
+            ModelError::InvalidNumber {
+                what: "stage work",
+                ..
+            }
         ));
         assert!(matches!(
             Application::new(vec![1.0], vec![0.0, f64::NAN]).unwrap_err(),
-            ModelError::InvalidNumber { what: "communication volume", .. }
+            ModelError::InvalidNumber {
+                what: "communication volume",
+                ..
+            }
         ));
         assert!(matches!(
             Application::new(vec![f64::INFINITY], vec![0.0, 0.0]).unwrap_err(),

@@ -129,7 +129,8 @@ impl<'a> CostModel<'a> {
         let ivs = mapping.intervals();
         let pred = (j > 0).then(|| mapping.proc_of(j - 1));
         let succ = (j + 1 < ivs.len()).then(|| mapping.proc_of(j + 1));
-        self.interval_cost(ivs[j], mapping.proc_of(j), pred, succ).cycle_time()
+        self.interval_cost(ivs[j], mapping.proc_of(j), pred, succ)
+            .cycle_time()
     }
 
     /// `T_period` of the mapping (eq. 1): the largest cycle time.
@@ -201,8 +202,7 @@ impl<'a> CostModel<'a> {
             .map(|u| pf.io_bandwidth_of(u))
             .fold(f64::NEG_INFINITY, f64::max);
         let first = app.delta(0) / b_io + app.work(0) / s_max;
-        let last = app.delta(app.n_stages()) / b_io
-            + app.work(app.n_stages() - 1) / s_max;
+        let last = app.delta(app.n_stages()) / b_io + app.work(app.n_stages() - 1) / s_max;
         comp.max(first).max(last)
     }
 }
@@ -318,7 +318,10 @@ mod tests {
                 }
             }
         }
-        assert!(lb <= best + 1e-12, "lower bound {lb} exceeds optimum {best}");
+        assert!(
+            lb <= best + 1e-12,
+            "lower bound {lb} exceeds optimum {best}"
+        );
     }
 
     #[test]

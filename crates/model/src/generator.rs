@@ -39,8 +39,12 @@ pub enum ExperimentKind {
 
 impl ExperimentKind {
     /// All four experiments, in paper order.
-    pub const ALL: [ExperimentKind; 4] =
-        [ExperimentKind::E1, ExperimentKind::E2, ExperimentKind::E3, ExperimentKind::E4];
+    pub const ALL: [ExperimentKind; 4] = [
+        ExperimentKind::E1,
+        ExperimentKind::E2,
+        ExperimentKind::E3,
+        ExperimentKind::E4,
+    ];
 
     /// The paper's name of the experiment.
     pub fn label(&self) -> &'static str {
@@ -102,7 +106,13 @@ impl InstanceParams {
     /// The paper's setting for a given experiment/size: `b = 10`, speeds
     /// integer-uniform in `[1, 20]`.
     pub fn paper(kind: ExperimentKind, n_stages: usize, n_procs: usize) -> Self {
-        InstanceParams { n_stages, n_procs, kind, bandwidth: 10.0, speed_range: (1, 20) }
+        InstanceParams {
+            n_stages,
+            n_procs,
+            kind,
+            bandwidth: 10.0,
+            speed_range: (1, 20),
+        }
     }
 }
 
@@ -151,9 +161,12 @@ impl InstanceGenerator {
         let p = &self.params;
         let (dlo, dhi) = p.kind.delta_range();
         let (wlo, whi) = p.kind.work_range();
-        let works: Vec<f64> = (0..p.n_stages).map(|_| sample_uniform(rng, wlo, whi)).collect();
-        let deltas: Vec<f64> =
-            (0..=p.n_stages).map(|_| sample_uniform(rng, dlo, dhi)).collect();
+        let works: Vec<f64> = (0..p.n_stages)
+            .map(|_| sample_uniform(rng, wlo, whi))
+            .collect();
+        let deltas: Vec<f64> = (0..=p.n_stages)
+            .map(|_| sample_uniform(rng, dlo, dhi))
+            .collect();
         let speeds: Vec<f64> = (0..p.n_procs)
             .map(|_| rng.random_range(p.speed_range.0..=p.speed_range.1) as f64)
             .collect();
@@ -217,10 +230,16 @@ mod tests {
                 assert_eq!(app.n_stages(), 40);
                 assert_eq!(pf.n_procs(), 100);
                 for &d in app.deltas() {
-                    assert!(d >= dlo && d <= dhi, "{kind}: δ = {d} outside [{dlo},{dhi}]");
+                    assert!(
+                        d >= dlo && d <= dhi,
+                        "{kind}: δ = {d} outside [{dlo},{dhi}]"
+                    );
                 }
                 for &w in app.works() {
-                    assert!(w >= wlo && w <= whi, "{kind}: w = {w} outside [{wlo},{whi}]");
+                    assert!(
+                        w >= wlo && w <= whi,
+                        "{kind}: w = {w} outside [{wlo},{whi}]"
+                    );
                 }
                 for &s in pf.speeds() {
                     assert!((1.0..=20.0).contains(&s));

@@ -72,7 +72,10 @@ impl From<ModelError> for ParseError {
 pub fn format_instance(app: &Application, platform: &Platform) -> String {
     let mut out = String::from("pipeline-instance v1\n");
     let join = |vals: &[f64]| {
-        vals.iter().map(|v| format_f64(*v)).collect::<Vec<_>>().join(" ")
+        vals.iter()
+            .map(|v| format_f64(*v))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     out.push_str(&format!("works {}\n", join(app.works())));
     out.push_str(&format!("deltas {}\n", join(app.deltas())));
@@ -81,7 +84,10 @@ pub fn format_instance(app: &Application, platform: &Platform) -> String {
         LinkModel::Homogeneous(b) => {
             out.push_str(&format!("bandwidth {}\n", format_f64(*b)));
         }
-        LinkModel::Heterogeneous { matrix, io_bandwidth } => {
+        LinkModel::Heterogeneous {
+            matrix,
+            io_bandwidth,
+        } => {
             out.push_str(&format!("io-bandwidth {}\n", format_f64(*io_bandwidth)));
             for (u, row) in matrix.iter().enumerate() {
                 for (v, b) in row.iter().enumerate() {
@@ -266,14 +272,20 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        assert_eq!(parse_instance("works 1\n").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(
+            parse_instance("works 1\n").unwrap_err(),
+            ParseError::BadHeader
+        );
         assert_eq!(parse_instance("").unwrap_err(), ParseError::BadHeader);
     }
 
     #[test]
     fn missing_sections_rejected() {
         let text = "pipeline-instance v1\nworks 1\ndeltas 1 1\n";
-        assert_eq!(parse_instance(text).unwrap_err(), ParseError::Missing("speeds"));
+        assert_eq!(
+            parse_instance(text).unwrap_err(),
+            ParseError::Missing("speeds")
+        );
     }
 
     #[test]
@@ -299,14 +311,21 @@ mod tests {
 
     #[test]
     fn mixed_bandwidth_declarations_rejected() {
-        let text = "pipeline-instance v1\nworks 1\ndeltas 1 1\nspeeds 1\nbandwidth 1\nio-bandwidth 2\n";
-        assert!(matches!(parse_instance(text).unwrap_err(), ParseError::BadLine { .. }));
+        let text =
+            "pipeline-instance v1\nworks 1\ndeltas 1 1\nspeeds 1\nbandwidth 1\nio-bandwidth 2\n";
+        assert!(matches!(
+            parse_instance(text).unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
     }
 
     #[test]
     fn link_to_unknown_processor_rejected() {
         let text =
             "pipeline-instance v1\nworks 1\ndeltas 1 1\nspeeds 1\nio-bandwidth 2\nlink 0 5 1\n";
-        assert!(matches!(parse_instance(text).unwrap_err(), ParseError::Model(_)));
+        assert!(matches!(
+            parse_instance(text).unwrap_err(),
+            ParseError::Model(_)
+        ));
     }
 }

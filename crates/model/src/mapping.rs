@@ -79,7 +79,9 @@ impl IntervalMapping {
         procs: Vec<ProcId>,
     ) -> Result<Self> {
         if intervals.is_empty() {
-            return Err(ModelError::NotAPartition { detail: "no interval".into() });
+            return Err(ModelError::NotAPartition {
+                detail: "no interval".into(),
+            });
         }
         if intervals[0].start != 0 {
             return Err(ModelError::NotAPartition {
@@ -89,10 +91,7 @@ impl IntervalMapping {
         for w in intervals.windows(2) {
             if w[0].end != w[1].start {
                 return Err(ModelError::NotAPartition {
-                    detail: format!(
-                        "gap or overlap between {} and {}",
-                        w[0], w[1]
-                    ),
+                    detail: format!("gap or overlap between {} and {}", w[0], w[1]),
                 });
             }
         }
@@ -150,12 +149,10 @@ impl IntervalMapping {
     }
 
     /// A one-to-one mapping (requires `n ≤ p`): stage `k` on `procs[k]`.
-    pub fn one_to_one(
-        app: &Application,
-        platform: &Platform,
-        procs: Vec<ProcId>,
-    ) -> Result<Self> {
-        let intervals = (0..app.n_stages()).map(|k| Interval::new(k, k + 1)).collect();
+    pub fn one_to_one(app: &Application, platform: &Platform, procs: Vec<ProcId>) -> Result<Self> {
+        let intervals = (0..app.n_stages())
+            .map(|k| Interval::new(k, k + 1))
+            .collect();
         IntervalMapping::new(app, platform, intervals, procs)
     }
 
@@ -185,7 +182,10 @@ impl IntervalMapping {
 
     /// Iterator over `(interval, processor)` pairs.
     pub fn assignments(&self) -> impl Iterator<Item = (Interval, ProcId)> + '_ {
-        self.intervals.iter().copied().zip(self.procs.iter().copied())
+        self.intervals
+            .iter()
+            .copied()
+            .zip(self.procs.iter().copied())
     }
 
     /// Index of the interval containing stage `k`, by binary search.

@@ -61,7 +61,11 @@ impl Platform {
         Self::validate_speeds(&speeds)?;
         Self::validate_bandwidth(bandwidth)?;
         let speed_order = Self::order_by_speed(&speeds);
-        Ok(Platform { speeds, links: LinkModel::Homogeneous(bandwidth), speed_order })
+        Ok(Platform {
+            speeds,
+            links: LinkModel::Homogeneous(bandwidth),
+            speed_order,
+        })
     }
 
     /// Builds a fully heterogeneous platform (paper §7 extension) with a
@@ -93,7 +97,10 @@ impl Platform {
         let speed_order = Self::order_by_speed(&speeds);
         Ok(Platform {
             speeds,
-            links: LinkModel::Heterogeneous { matrix, io_bandwidth },
+            links: LinkModel::Heterogeneous {
+                matrix,
+                io_bandwidth,
+            },
             speed_order,
         })
     }
@@ -110,7 +117,10 @@ impl Platform {
         }
         for &s in speeds {
             if !s.is_finite() || s <= 0.0 {
-                return Err(ModelError::InvalidNumber { what: "processor speed", value: s });
+                return Err(ModelError::InvalidNumber {
+                    what: "processor speed",
+                    value: s,
+                });
             }
         }
         Ok(())
@@ -118,7 +128,10 @@ impl Platform {
 
     fn validate_bandwidth(b: f64) -> Result<()> {
         if !b.is_finite() || b <= 0.0 {
-            return Err(ModelError::InvalidNumber { what: "link bandwidth", value: b });
+            return Err(ModelError::InvalidNumber {
+                what: "link bandwidth",
+                value: b,
+            });
         }
         Ok(())
     }
@@ -126,7 +139,10 @@ impl Platform {
     fn order_by_speed(speeds: &[f64]) -> Vec<ProcId> {
         let mut order: Vec<ProcId> = (0..speeds.len()).collect();
         order.sort_by(|&a, &b| {
-            speeds[b].partial_cmp(&speeds[a]).expect("speeds are finite").then(a.cmp(&b))
+            speeds[b]
+                .partial_cmp(&speeds[a])
+                .expect("speeds are finite")
+                .then(a.cmp(&b))
         });
         order
     }
@@ -201,7 +217,11 @@ impl Platform {
     /// Smallest speed on the platform.
     #[inline]
     pub fn min_speed(&self) -> f64 {
-        *self.speed_order.last().map(|&u| &self.speeds[u]).expect("non-empty")
+        *self
+            .speed_order
+            .last()
+            .map(|&u| &self.speeds[u])
+            .expect("non-empty")
     }
 
     /// Sum of every processor speed — a crude aggregate capacity used for
@@ -254,11 +274,17 @@ mod tests {
         );
         assert!(matches!(
             Platform::comm_homogeneous(vec![0.0], 10.0).unwrap_err(),
-            ModelError::InvalidNumber { what: "processor speed", .. }
+            ModelError::InvalidNumber {
+                what: "processor speed",
+                ..
+            }
         ));
         assert!(matches!(
             Platform::comm_homogeneous(vec![1.0], -1.0).unwrap_err(),
-            ModelError::InvalidNumber { what: "link bandwidth", .. }
+            ModelError::InvalidNumber {
+                what: "link bandwidth",
+                ..
+            }
         ));
         assert!(matches!(
             Platform::fully_heterogeneous(vec![1.0, 2.0], vec![vec![1.0, 1.0]], 1.0).unwrap_err(),

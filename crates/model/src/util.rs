@@ -118,7 +118,10 @@ impl PrefixSums {
 /// bounds are not finite.
 pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
     assert!(count > 0, "linspace needs at least one point");
-    assert!(lo.is_finite() && hi.is_finite(), "linspace bounds must be finite");
+    assert!(
+        lo.is_finite() && hi.is_finite(),
+        "linspace bounds must be finite"
+    );
     if count == 1 {
         return vec![lo];
     }
@@ -209,7 +212,10 @@ mod tests {
         assert!(approx_eq(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0));
         assert_eq!(std_dev(&[1.0]), None);
         assert!(approx_eq(std_dev(&[1.0, 1.0, 1.0]).unwrap(), 0.0));
-        assert!(approx_eq(std_dev(&[2.0, 4.0]).unwrap(), std::f64::consts::SQRT_2));
+        assert!(approx_eq(
+            std_dev(&[2.0, 4.0]).unwrap(),
+            std::f64::consts::SQRT_2
+        ));
     }
 
     #[test]

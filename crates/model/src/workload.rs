@@ -46,14 +46,16 @@ impl WorkloadShape {
             "scales must be positive"
         );
         let (works, deltas) = match self {
-            WorkloadShape::Uniform => {
-                (vec![work_scale; n], vec![comm_scale; n + 1])
-            }
+            WorkloadShape::Uniform => (vec![work_scale; n], vec![comm_scale; n + 1]),
             WorkloadShape::Ramp => {
                 // 0.25x .. 1.75x, mean 1x.
                 let works = (0..n)
                     .map(|k| {
-                        let t = if n == 1 { 0.5 } else { k as f64 / (n - 1) as f64 };
+                        let t = if n == 1 {
+                            0.5
+                        } else {
+                            k as f64 / (n - 1) as f64
+                        };
                         work_scale * (0.25 + 1.5 * t)
                     })
                     .collect();
@@ -62,13 +64,25 @@ impl WorkloadShape {
             WorkloadShape::Hotspot => {
                 let mid = n / 2;
                 let works = (0..n)
-                    .map(|k| if k == mid { work_scale * (n as f64) } else { work_scale * 0.5 })
+                    .map(|k| {
+                        if k == mid {
+                            work_scale * (n as f64)
+                        } else {
+                            work_scale * 0.5
+                        }
+                    })
                     .collect();
                 (works, vec![comm_scale; n + 1])
             }
             WorkloadShape::Alternating => {
                 let works = (0..n)
-                    .map(|k| if k % 2 == 0 { work_scale * 0.4 } else { work_scale * 1.6 })
+                    .map(|k| {
+                        if k % 2 == 0 {
+                            work_scale * 0.4
+                        } else {
+                            work_scale * 1.6
+                        }
+                    })
                     .collect();
                 (works, vec![comm_scale; n + 1])
             }
@@ -76,18 +90,27 @@ impl WorkloadShape {
                 // δ_k = comm_scale · r^k with r chosen so the last volume
                 // is 5% of the first; w_k proportional to the incoming
                 // volume.
-                let r = if n == 1 { 1.0 } else { (0.05_f64).powf(1.0 / n as f64) };
-                let deltas: Vec<f64> =
-                    (0..=n).map(|k| comm_scale * r.powi(k as i32)).collect();
-                let works = (0..n).map(|k| work_scale * deltas[k] / comm_scale).collect();
+                let r = if n == 1 {
+                    1.0
+                } else {
+                    (0.05_f64).powf(1.0 / n as f64)
+                };
+                let deltas: Vec<f64> = (0..=n).map(|k| comm_scale * r.powi(k as i32)).collect();
+                let works = (0..n)
+                    .map(|k| work_scale * deltas[k] / comm_scale)
+                    .collect();
                 (works, deltas)
             }
             WorkloadShape::Expansion => {
-                let r = if n == 1 { 1.0 } else { (20.0_f64).powf(1.0 / n as f64) };
-                let deltas: Vec<f64> =
-                    (0..=n).map(|k| comm_scale * r.powi(k as i32)).collect();
-                let works =
-                    (0..n).map(|k| work_scale * deltas[k + 1] / comm_scale).collect();
+                let r = if n == 1 {
+                    1.0
+                } else {
+                    (20.0_f64).powf(1.0 / n as f64)
+                };
+                let deltas: Vec<f64> = (0..=n).map(|k| comm_scale * r.powi(k as i32)).collect();
+                let works = (0..n)
+                    .map(|k| work_scale * deltas[k + 1] / comm_scale)
+                    .collect();
                 (works, deltas)
             }
         };
@@ -178,7 +201,10 @@ mod tests {
             assert!(d[1] < d[0], "cascade volumes must shrink");
         }
         let last = *app.deltas().last().unwrap();
-        assert!(approx_eq_rel(last, 5.0), "final volume {last} should be 5% of 100");
+        assert!(
+            approx_eq_rel(last, 5.0),
+            "final volume {last} should be 5% of 100"
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@ fn arb_instance() -> impl Strategy<Value = (Application, Platform)> {
     )
         .prop_map(|(works, dseed, speeds, b)| {
             let n = works.len();
-            let deltas: Vec<f64> =
-                (0..=n).map(|k| ((dseed + 31 * k as u64) % 97) as f64 / 3.0).collect();
+            let deltas: Vec<f64> = (0..=n)
+                .map(|k| ((dseed + 31 * k as u64) % 97) as f64 / 3.0)
+                .collect();
             let app = Application::new(works, deltas).expect("valid");
             let pf = Platform::comm_homogeneous(speeds, b).expect("valid");
             (app, pf)
@@ -28,8 +29,10 @@ fn sample_mappings(app: &Application, pf: &Platform) -> Vec<IntervalMapping> {
     let order = pf.procs_by_speed_desc();
     if pf.n_procs() >= 2 {
         for cut in 1..app.n_stages() {
-            for pair in [[order[0], order[pf.n_procs() - 1]], [order[pf.n_procs() - 1], order[0]]]
-            {
+            for pair in [
+                [order[0], order[pf.n_procs() - 1]],
+                [order[pf.n_procs() - 1], order[0]],
+            ] {
                 out.push(
                     IntervalMapping::new(
                         app,

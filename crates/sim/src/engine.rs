@@ -80,7 +80,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time (the time of the last popped event).
@@ -97,7 +101,11 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {time} < now = {}",
             self.now
         );
-        self.heap.push(Scheduled { time: Time::new(time), seq: self.seq, payload });
+        self.heap.push(Scheduled {
+            time: Time::new(time),
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

@@ -36,7 +36,9 @@ impl SimReport {
 
     /// The paper's latency: the maximum response time over all data sets.
     pub fn max_latency(&self) -> f64 {
-        self.latencies().into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.latencies()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Inter-completion times `c_{d+1} − c_d`.

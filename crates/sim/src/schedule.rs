@@ -84,7 +84,14 @@ pub fn build_sync_schedule(
     }
     let latency = offsets[m] + t_xfer[m];
 
-    SyncSchedule { period, offsets, t_xfer, t_comp, procs, latency }
+    SyncSchedule {
+        period,
+        offsets,
+        t_xfer,
+        t_comp,
+        procs,
+        latency,
+    }
 }
 
 impl SyncSchedule {
@@ -168,7 +175,13 @@ impl SyncSchedule {
                     (TraceKind::Compute, c),
                     (TraceKind::Send, s),
                 ] {
-                    out.push(TraceEvent { proc: self.procs[j], kind, dataset: d, start, end });
+                    out.push(TraceEvent {
+                        proc: self.procs[j],
+                        kind,
+                        dataset: d,
+                        start,
+                        end,
+                    });
                 }
             }
         }
@@ -230,7 +243,10 @@ mod tests {
         let out = PipelineSim::new(
             &cm,
             &mapping,
-            SimConfig { input: InputPolicy::Periodic(t), record_trace: false },
+            SimConfig {
+                input: InputPolicy::Periodic(t),
+                record_trace: false,
+            },
         )
         .run(20);
         for d in 0..20 {

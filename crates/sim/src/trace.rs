@@ -88,7 +88,13 @@ mod tests {
     use super::*;
 
     fn ev(proc: usize, kind: TraceKind, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { proc, kind, dataset: 0, start, end }
+        TraceEvent {
+            proc,
+            kind,
+            dataset: 0,
+            start,
+            end,
+        }
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { input: InputPolicy::Saturating, record_trace: false }
+        SimConfig {
+            input: InputPolicy::Saturating,
+            record_trace: false,
+        }
     }
 }
 
@@ -95,7 +98,11 @@ pub struct SimOutput {
 impl<'a> PipelineSim<'a> {
     /// Binds a cost model (application + platform) and a mapping.
     pub fn new(cm: &'a CostModel<'a>, mapping: &'a IntervalMapping, config: SimConfig) -> Self {
-        PipelineSim { cm, mapping, config }
+        PipelineSim {
+            cm,
+            mapping,
+            config,
+        }
     }
 
     /// Runs `n_datasets` data sets through the pipeline and reports.
@@ -188,8 +195,20 @@ impl<'a> PipelineSim<'a> {
                         source_busy = true;
                         stations[0].phase = Phase::Receiving;
                         start[d] = now;
-                        record!(stations[0].proc, TraceKind::Receive, d, now, now + t_xfer[0]);
-                        queue.schedule(now + t_xfer[0], Ev::TransferDone { link: 0, dataset: d });
+                        record!(
+                            stations[0].proc,
+                            TraceKind::Receive,
+                            d,
+                            now,
+                            now + t_xfer[0]
+                        );
+                        queue.schedule(
+                            now + t_xfer[0],
+                            Ev::TransferDone {
+                                link: 0,
+                                dataset: d,
+                            },
+                        );
                         started = true;
                     }
                 } else if k < m {
@@ -200,16 +219,46 @@ impl<'a> PipelineSim<'a> {
                         let d = stations[k - 1].current;
                         stations[k - 1].phase = Phase::Sending;
                         stations[k].phase = Phase::Receiving;
-                        record!(stations[k - 1].proc, TraceKind::Send, d, now, now + t_xfer[k]);
-                        record!(stations[k].proc, TraceKind::Receive, d, now, now + t_xfer[k]);
-                        queue.schedule(now + t_xfer[k], Ev::TransferDone { link: k, dataset: d });
+                        record!(
+                            stations[k - 1].proc,
+                            TraceKind::Send,
+                            d,
+                            now,
+                            now + t_xfer[k]
+                        );
+                        record!(
+                            stations[k].proc,
+                            TraceKind::Receive,
+                            d,
+                            now,
+                            now + t_xfer[k]
+                        );
+                        queue.schedule(
+                            now + t_xfer[k],
+                            Ev::TransferDone {
+                                link: k,
+                                dataset: d,
+                            },
+                        );
                         started = true;
                     }
                 } else if stations[m - 1].phase == Phase::WaitSend {
                     let d = stations[m - 1].current;
                     stations[m - 1].phase = Phase::Sending;
-                    record!(stations[m - 1].proc, TraceKind::Send, d, now, now + t_xfer[m]);
-                    queue.schedule(now + t_xfer[m], Ev::TransferDone { link: m, dataset: d });
+                    record!(
+                        stations[m - 1].proc,
+                        TraceKind::Send,
+                        d,
+                        now,
+                        now + t_xfer[m]
+                    );
+                    queue.schedule(
+                        now + t_xfer[m],
+                        Ev::TransferDone {
+                            link: m,
+                            dataset: d,
+                        },
+                    );
                     started = true;
                 }
                 started
@@ -221,8 +270,11 @@ impl<'a> PipelineSim<'a> {
             ($j:expr, $d:expr) => {{
                 let j = $j;
                 stations[j].current = $d + 1;
-                stations[j].phase =
-                    if $d + 1 == n_datasets { Phase::Finished } else { Phase::WaitRecv };
+                stations[j].phase = if $d + 1 == n_datasets {
+                    Phase::Finished
+                } else {
+                    Phase::WaitRecv
+                };
             }};
         }
 
@@ -253,7 +305,13 @@ impl<'a> PipelineSim<'a> {
                         st.phase = Phase::Computing;
                         let t_done = now + st.t_comp;
                         record!(st.proc, TraceKind::Compute, dataset, now, t_done);
-                        queue.schedule(t_done, Ev::ComputeDone { station: link, dataset });
+                        queue.schedule(
+                            t_done,
+                            Ev::ComputeDone {
+                                station: link,
+                                dataset,
+                            },
+                        );
                     } else {
                         completion[dataset] = now;
                         completed += 1;
@@ -269,7 +327,15 @@ impl<'a> PipelineSim<'a> {
         let makespan = completion.iter().copied().fold(0.0_f64, f64::max);
         debug_assert!(start.iter().all(|t| t.is_finite()));
         debug_assert!(completion.iter().all(|t| t.is_finite()));
-        SimOutput { report: SimReport { start, completion, busy, makespan }, trace }
+        SimOutput {
+            report: SimReport {
+                start,
+                completion,
+                busy,
+                makespan,
+            },
+            trace,
+        }
     }
 }
 
@@ -326,7 +392,10 @@ mod tests {
         let sim = PipelineSim::new(
             &cm,
             &mapping,
-            SimConfig { input: InputPolicy::Periodic(period), record_trace: false },
+            SimConfig {
+                input: InputPolicy::Periodic(period),
+                record_trace: false,
+            },
         );
         let out = sim.run(40);
         for (d, l) in out.report.latencies().into_iter().enumerate() {
@@ -346,7 +415,10 @@ mod tests {
         let sim = PipelineSim::new(&cm, &mapping, SimConfig::default());
         let out = sim.run(30);
         for l in out.report.latencies() {
-            assert!(l >= latency - 1e-9, "simulated latency {l} beat the analytic bound");
+            assert!(
+                l >= latency - 1e-9,
+                "simulated latency {l} beat the analytic bound"
+            );
         }
     }
 
@@ -372,7 +444,10 @@ mod tests {
         let out = PipelineSim::new(
             &cm,
             &mapping,
-            SimConfig { input: InputPolicy::Saturating, record_trace: true },
+            SimConfig {
+                input: InputPolicy::Saturating,
+                record_trace: true,
+            },
         )
         .run(15);
         assert!(!out.trace.is_empty());
@@ -402,9 +477,7 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         let out = PipelineSim::new(&cm, &mapping, SimConfig::default()).run(25);
         assert!((out.report.latency(0) - cm.latency(&mapping)).abs() < 1e-9);
-        assert!(
-            (out.report.steady_period().unwrap() - cm.period(&mapping)).abs() < 1e-9
-        );
+        assert!((out.report.steady_period().unwrap() - cm.period(&mapping)).abs() < 1e-9);
     }
 
     #[test]
@@ -415,7 +488,11 @@ mod tests {
         let out = PipelineSim::new(&cm, &mapping, SimConfig::default()).run(80);
         // Interval 2 (cycle 8) on P0 is the bottleneck; asymptotically its
         // utilization tends to 1.
-        assert!(out.report.utilization(0) > 0.95, "bottleneck util {}", out.report.utilization(0));
+        assert!(
+            out.report.utilization(0) > 0.95,
+            "bottleneck util {}",
+            out.report.utilization(0)
+        );
         assert!(out.report.utilization(1) < 0.95);
     }
 
@@ -428,11 +505,17 @@ mod tests {
         let out = PipelineSim::new(
             &cm,
             &mapping,
-            SimConfig { input: InputPolicy::ReleaseTimes(releases.clone()), record_trace: false },
+            SimConfig {
+                input: InputPolicy::ReleaseTimes(releases.clone()),
+                record_trace: false,
+            },
         )
         .run(3);
         for (d, &r) in releases.iter().enumerate() {
-            assert!(out.report.start[d] >= r - 1e-12, "data set {d} started before release");
+            assert!(
+                out.report.start[d] >= r - 1e-12,
+                "data set {d} started before release"
+            );
             // Far-apart releases: the pipeline is empty, starts exactly at
             // release.
             assert!((out.report.start[d] - r).abs() < 1e-9);

@@ -38,14 +38,19 @@ fn greedy_trace_matches_synchronous_schedule_exactly() {
         let out = PipelineSim::new(
             &cm,
             &mapping,
-            SimConfig { input: InputPolicy::Periodic(t), record_trace: true },
+            SimConfig {
+                input: InputPolicy::Periodic(t),
+                record_trace: true,
+            },
         )
         .run(n_data);
 
         for (j, &proc) in mapping.procs().iter().enumerate() {
-            for (kind, which) in
-                [(TraceKind::Receive, 0usize), (TraceKind::Compute, 1), (TraceKind::Send, 2)]
-            {
+            for (kind, which) in [
+                (TraceKind::Receive, 0usize),
+                (TraceKind::Compute, 1),
+                (TraceKind::Send, 2),
+            ] {
                 let observed = spans_by_proc(&out.trace, proc, kind);
                 assert_eq!(observed.len(), n_data, "seed {seed} P{proc} {kind:?}");
                 for &(d, start, end) in &observed {

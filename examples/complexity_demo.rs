@@ -23,17 +23,29 @@ fn demo(label: &str, inst: NmwtsInstance) {
         red.speeds.len(),
         red.m_value
     );
-    println!("   tasks  = {:?}", red.tasks.iter().map(|t| *t as u64).collect::<Vec<_>>());
-    println!("   speeds = {:?}", red.speeds.iter().map(|s| *s as u64).collect::<Vec<_>>());
+    println!(
+        "   tasks  = {:?}",
+        red.tasks.iter().map(|t| *t as u64).collect::<Vec<_>>()
+    );
+    println!(
+        "   speeds = {:?}",
+        red.speeds.iter().map(|s| *s as u64).collect::<Vec<_>>()
+    );
 
     let sol = hetero_exact_bnb(&red.tasks, &red.speeds, 500_000_000)
         .expect("gadget solved within the node budget");
-    println!("   exact weighted bottleneck: {:.6} (K = 1 test)", sol.objective);
+    println!(
+        "   exact weighted bottleneck: {:.6} (K = 1 test)",
+        sol.objective
+    );
 
     if sol.objective <= 1.0 + 1e-9 {
         let (s1, s2) = decode_matching(&red, &sol).expect("K = 1 partitions decode");
         println!("   decoded matching: σ1 = {s1:?}, σ2 = {s2:?}");
-        println!("   verifies x_i + y_σ1(i) = z_σ2(i)? {}", inst.check(&s1, &s2));
+        println!(
+            "   verifies x_i + y_σ1(i) = z_σ2(i)? {}",
+            inst.check(&s1, &s2)
+        );
     } else {
         println!("   bound 1 unreachable → NMWTS instance unsolvable (as expected).");
     }

@@ -23,11 +23,8 @@ fn main() {
     .expect("valid application");
 
     println!("== Communication Homogeneous cluster ==");
-    let flat = Platform::comm_homogeneous(
-        vec![30.0, 22.0, 18.0, 14.0, 9.0, 9.0, 6.0, 5.0],
-        10.0,
-    )
-    .expect("valid platform");
+    let flat = Platform::comm_homogeneous(vec![30.0, 22.0, 18.0, 14.0, 9.0, 9.0, 6.0, 5.0], 10.0)
+        .expect("valid platform");
     let cm = CostModel::new(&app, &flat);
     println!(
         "single-proc: period {:.2}, latency {:.2}",
@@ -55,7 +52,10 @@ fn main() {
     );
     for (iv, group) in rep.mapping.intervals().iter().zip(rep.mapping.replicas()) {
         if group.len() > 1 {
-            println!("  deal skeleton on {iv}: {} replicas {group:?}", group.len());
+            println!(
+                "  deal skeleton on {iv}: {} replicas {group:?}",
+                group.len()
+            );
         }
     }
 
@@ -87,7 +87,9 @@ fn main() {
         let res = hetero_sp_mono_p(
             &cmh,
             0.0,
-            HeteroSplitOptions { candidate_procs: candidates },
+            HeteroSplitOptions {
+                candidate_procs: candidates,
+            },
         );
         println!(
             "hetero splitting floor (candidate pool {candidates}): period {:.2}, latency {:.2} — {}",

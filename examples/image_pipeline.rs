@@ -43,25 +43,36 @@ fn main() {
 
     // The lab cluster: two fast servers, four mid desktops, two old nodes,
     // all on the same gigabit switch (b = 125 MB/s scaled to 12.5).
-    let platform = Platform::comm_homogeneous(
-        vec![95.0, 88.0, 40.0, 38.0, 35.0, 33.0, 12.0, 10.0],
-        12.5,
-    )
-    .expect("valid platform");
+    let platform =
+        Platform::comm_homogeneous(vec![95.0, 88.0, 40.0, 38.0, 35.0, 33.0, 12.0, 10.0], 12.5)
+            .expect("valid platform");
 
     let cm = CostModel::new(&app, &platform);
     let l_opt = cm.optimal_latency();
     let p_single = cm.single_proc_period();
-    println!("image pipeline: {} stages, {:.0} Mflop/frame", app.n_stages(), app.total_work());
-    println!("single-server: latency {l_opt:.2}s, period {p_single:.2}s ({:.2} fps)", 1.0 / p_single);
+    println!(
+        "image pipeline: {} stages, {:.0} Mflop/frame",
+        app.n_stages(),
+        app.total_work()
+    );
+    println!(
+        "single-server: latency {l_opt:.2}s, period {p_single:.2}s ({:.2} fps)",
+        1.0 / p_single
+    );
 
     // Requirement: 1 frame every 25 s (vs ~39 s on one server), with the
     // smallest possible latency.
     let target_period = 25.0;
     println!("\ntarget period {target_period}s — what does each heuristic offer?");
-    println!("{:<16} {:>8} {:>9} {:>9} {:>6}", "heuristic", "feasible", "period", "latency", "procs");
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>6}",
+        "heuristic", "feasible", "period", "latency", "procs"
+    );
     let mut best: Option<(f64, HeuristicKind)> = None;
-    for kind in HeuristicKind::ALL.into_iter().filter(|k| k.is_period_fixed()) {
+    for kind in HeuristicKind::ALL
+        .into_iter()
+        .filter(|k| k.is_period_fixed())
+    {
         let res = kind.run(&cm, target_period);
         println!(
             "{:<16} {:>8} {:>9.2} {:>9.2} {:>6}",
@@ -98,7 +109,10 @@ fn main() {
     let sim = PipelineSim::new(
         &cm,
         &chosen.mapping,
-        SimConfig { input: InputPolicy::Periodic(chosen.period), record_trace: false },
+        SimConfig {
+            input: InputPolicy::Periodic(chosen.period),
+            record_trace: false,
+        },
     );
     let out = sim.run(100);
     println!(

@@ -13,7 +13,10 @@ use pipeline_workflows::model::util::linspace;
 use pipeline_workflows::model::CostModel;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     // Small enough for the exponential exact solver, interesting enough
     // to show spread: n = 8 stages, p = 6 processors, E2 workload.
     let params = InstanceParams::paper(ExperimentKind::E2, 8, 6);
@@ -22,7 +25,10 @@ fn main() {
 
     println!(
         "instance (seed {seed}): works {:?}",
-        app.works().iter().map(|w| (w * 10.0).round() / 10.0).collect::<Vec<_>>()
+        app.works()
+            .iter()
+            .map(|w| (w * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
     println!("          speeds {:?}", platform.speeds());
     let p_single = cm.single_proc_period();
@@ -35,24 +41,37 @@ fn main() {
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for kind in HeuristicKind::ALL {
         let mut front: ParetoFront<()> = ParetoFront::new();
-        let grid = if kind.is_period_fixed() { &period_grid } else { &latency_grid };
+        let grid = if kind.is_period_fixed() {
+            &period_grid
+        } else {
+            &latency_grid
+        };
         for &target in grid {
             let r = kind.run(&cm, target);
             if r.feasible {
                 front.offer(r.period, r.latency, ());
             }
         }
-        let pts: Vec<(f64, f64)> =
-            front.points().iter().map(|p| (p.period, p.latency)).collect();
+        let pts: Vec<(f64, f64)> = front
+            .points()
+            .iter()
+            .map(|p| (p.period, p.latency))
+            .collect();
         println!("{:<16} {:>2} non-dominated points", kind.label(), pts.len());
         series.push((kind.label().to_string(), pts));
     }
 
     // The exact front (exponential enumeration — fine at n = 8, p = 6).
     let exact_front = exact::exact_pareto_front(&cm);
-    let exact_pts: Vec<(f64, f64)> =
-        exact_front.points().iter().map(|p| (p.period, p.latency)).collect();
-    println!("exact            {:>2} non-dominated points", exact_pts.len());
+    let exact_pts: Vec<(f64, f64)> = exact_front
+        .points()
+        .iter()
+        .map(|p| (p.period, p.latency))
+        .collect();
+    println!(
+        "exact            {:>2} non-dominated points",
+        exact_pts.len()
+    );
 
     // How close do the heuristics get? Measure worst-case latency excess
     // at matched periods.
@@ -82,5 +101,13 @@ fn main() {
     plot_series.push(("exact front".to_string(), exact_pts));
     // Markers 1..6 for the heuristics; the exact front reuses marker '1'
     // slot 7 → chart cycles markers, acceptable for a demo.
-    println!("\n{}", Chart { width: 90, height: 28, ..Chart::default() }.render(&plot_series));
+    println!(
+        "\n{}",
+        Chart {
+            width: 90,
+            height: 28,
+            ..Chart::default()
+        }
+        .render(&plot_series)
+    );
 }

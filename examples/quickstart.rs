@@ -19,14 +19,16 @@ fn main() {
 
     // A small lab cluster: eight workstations of different speeds behind
     // one switch (Communication Homogeneous, b = 10).
-    let platform = Platform::comm_homogeneous(
-        vec![12.0, 3.0, 7.0, 18.0, 5.0, 9.0, 2.0, 15.0],
-        10.0,
-    )
-    .expect("valid platform");
+    let platform =
+        Platform::comm_homogeneous(vec![12.0, 3.0, 7.0, 18.0, 5.0, 9.0, 2.0, 15.0], 10.0)
+            .expect("valid platform");
 
     let cm = CostModel::new(&app, &platform);
-    println!("pipeline: {} stages, total work {:.1}", app.n_stages(), app.total_work());
+    println!(
+        "pipeline: {} stages, total work {:.1}",
+        app.n_stages(),
+        app.total_work()
+    );
     println!(
         "platform: {} processors, speeds {:?}",
         platform.n_procs(),
@@ -42,9 +44,16 @@ fn main() {
     // Ask each heuristic for a 2× throughput improvement (period ≤ half
     // the single-processor period), or a 2× latency budget for the
     // latency-fixed ones.
-    println!("\n{:<16} {:>9} {:>9} {:>9}  mapping", "heuristic", "feasible", "period", "latency");
+    println!(
+        "\n{:<16} {:>9} {:>9} {:>9}  mapping",
+        "heuristic", "feasible", "period", "latency"
+    );
     for kind in HeuristicKind::ALL {
-        let target = if kind.is_period_fixed() { 0.5 * p_single } else { 2.0 * l_opt };
+        let target = if kind.is_period_fixed() {
+            0.5 * p_single
+        } else {
+            2.0 * l_opt
+        };
         let res = kind.run(&cm, target);
         println!(
             "{:<16} {:>9} {:>9.3} {:>9.3}  {}",
@@ -60,7 +69,10 @@ fn main() {
     let custom = pipeline_workflows::core::sp_bi_p(
         &cm,
         0.5 * p_single,
-        SpBiPOptions { search_iters: 50, ..SpBiPOptions::default() },
+        SpBiPOptions {
+            search_iters: 50,
+            ..SpBiPOptions::default()
+        },
     );
     println!(
         "\nSp bi P with 50 search iterations: period {:.3}, latency {:.3}",

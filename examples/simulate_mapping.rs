@@ -11,11 +11,8 @@ use pipeline_workflows::model::{Application, CostModel, Platform};
 use pipeline_workflows::sim::{Gantt, InputPolicy, PipelineSim, SimConfig};
 
 fn main() {
-    let app = Application::new(
-        vec![12.0, 30.0, 8.0, 22.0],
-        vec![6.0, 4.0, 10.0, 3.0, 6.0],
-    )
-    .expect("valid application");
+    let app = Application::new(vec![12.0, 30.0, 8.0, 22.0], vec![6.0, 4.0, 10.0, 3.0, 6.0])
+        .expect("valid application");
     let platform =
         Platform::comm_homogeneous(vec![10.0, 6.0, 4.0, 3.0], 5.0).expect("valid platform");
     let cm = CostModel::new(&app, &platform);
@@ -23,13 +20,19 @@ fn main() {
     // Schedule for twice the throughput of the single-processor mapping.
     let res = sp_mono_p(&cm, 0.5 * cm.single_proc_period());
     println!("mapping: {}", res.mapping);
-    println!("analytic: period {:.3}, latency {:.3}\n", res.period, res.latency);
+    println!(
+        "analytic: period {:.3}, latency {:.3}\n",
+        res.period, res.latency
+    );
 
     // Regime 1 — a single data set (unloaded latency).
     let single = PipelineSim::new(
         &cm,
         &res.mapping,
-        SimConfig { input: InputPolicy::Saturating, record_trace: true },
+        SimConfig {
+            input: InputPolicy::Saturating,
+            record_trace: true,
+        },
     )
     .run(1);
     println!(
@@ -42,7 +45,10 @@ fn main() {
     let sat = PipelineSim::new(
         &cm,
         &res.mapping,
-        SimConfig { input: InputPolicy::Saturating, record_trace: true },
+        SimConfig {
+            input: InputPolicy::Saturating,
+            record_trace: true,
+        },
     )
     .run(30);
     println!(
@@ -57,7 +63,10 @@ fn main() {
     let throttled = PipelineSim::new(
         &cm,
         &res.mapping,
-        SimConfig { input: InputPolicy::Periodic(res.period), record_trace: false },
+        SimConfig {
+            input: InputPolicy::Periodic(res.period),
+            record_trace: false,
+        },
     )
     .run(30);
     println!(
@@ -71,8 +80,12 @@ fn main() {
     // bottleneck processor stay solid while others breathe.
     let horizon = sat.report.completion[8.min(sat.report.n_datasets() - 1)];
     let procs: Vec<usize> = res.mapping.procs().to_vec();
-    let visible: Vec<_> =
-        sat.trace.iter().copied().filter(|e| e.start < horizon).collect();
+    let visible: Vec<_> = sat
+        .trace
+        .iter()
+        .copied()
+        .filter(|e| e.start < horizon)
+        .collect();
     println!("\nGantt (saturating, first ~9 data sets):");
     print!("{}", Gantt { width: 96 }.render(&visible, &procs, horizon));
 

@@ -13,11 +13,9 @@ use pipeline_workflows::model::{CostModel, Platform};
 
 fn main() {
     // A mid-size heterogeneous cluster.
-    let platform = Platform::comm_homogeneous(
-        vec![18.0, 15.0, 11.0, 9.0, 7.0, 5.0, 4.0, 2.0],
-        10.0,
-    )
-    .expect("valid platform");
+    let platform =
+        Platform::comm_homogeneous(vec![18.0, 15.0, 11.0, 9.0, 7.0, 5.0, 4.0, 2.0], 10.0)
+            .expect("valid platform");
 
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>8} {:>7} {:>14}",
@@ -62,11 +60,8 @@ fn main() {
         floor.period,
         floor.mapping.n_intervals()
     );
-    let rep = pipeline_workflows::core::replication::replicate_bottlenecks(
-        &cm,
-        &floor.mapping,
-        0.0,
-    );
+    let rep =
+        pipeline_workflows::core::replication::replicate_bottlenecks(&cm, &floor.mapping, 0.0);
     println!(
         "  + replication:   {:.2} ({} processors), latency ×{:.2}",
         rep.period,
@@ -77,7 +72,10 @@ fn main() {
     // Which heuristic is most sensitive to shape? Compare period floors.
     println!("\nper-heuristic period floors by shape:");
     print!("{:<16}", "workload");
-    for kind in HeuristicKind::ALL.into_iter().filter(|k| k.is_period_fixed()) {
+    for kind in HeuristicKind::ALL
+        .into_iter()
+        .filter(|k| k.is_period_fixed())
+    {
         print!("{:>16}", kind.label());
     }
     println!();
@@ -85,7 +83,10 @@ fn main() {
         let app = shape.build(12, 15.0, 6.0);
         let cm = CostModel::new(&app, &platform);
         print!("{:<16}", shape.name());
-        for kind in HeuristicKind::ALL.into_iter().filter(|k| k.is_period_fixed()) {
+        for kind in HeuristicKind::ALL
+            .into_iter()
+            .filter(|k| k.is_period_fixed())
+        {
             let floor = kind.run(&cm, 0.0);
             print!("{:>16.2}", floor.period);
         }

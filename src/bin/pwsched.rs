@@ -62,12 +62,14 @@ fn main() {
         };
         match flag.as_str() {
             "--period" => {
-                objective =
-                    Some(Objective::MinLatencyForPeriod(value().parse().unwrap_or_else(|_| usage())))
+                objective = Some(Objective::MinLatencyForPeriod(
+                    value().parse().unwrap_or_else(|_| usage()),
+                ))
             }
             "--latency" => {
-                objective =
-                    Some(Objective::MinPeriodForLatency(value().parse().unwrap_or_else(|_| usage())))
+                objective = Some(Objective::MinPeriodForLatency(
+                    value().parse().unwrap_or_else(|_| usage()),
+                ))
             }
             "--min-period" => objective = Some(Objective::MinPeriod),
             "--min-latency" => objective = Some(Objective::MinLatency),
@@ -100,7 +102,9 @@ fn main() {
         cm.single_proc_period()
     );
 
-    let solution = Scheduler::new().strategy(strategy).solve(&app, &platform, objective);
+    let solution = Scheduler::new()
+        .strategy(strategy)
+        .solve(&app, &platform, objective);
     let Some(sol) = solution else {
         eprintln!("objective {objective:?} is infeasible for the chosen strategy");
         std::process::exit(1);
@@ -117,7 +121,10 @@ fn main() {
         let out = PipelineSim::new(
             &cm,
             &sol.result.mapping,
-            SimConfig { input: InputPolicy::Saturating, record_trace: gantt },
+            SimConfig {
+                input: InputPolicy::Saturating,
+                record_trace: gantt,
+            },
         )
         .run(n.max(1));
         println!("\nsimulated {n} data sets (saturating input):");
@@ -126,13 +133,23 @@ fn main() {
         }
         println!("  max latency:   {:.4}", out.report.max_latency());
         for &u in sol.result.mapping.procs() {
-            println!("  P{u} utilization: {:.1}%", 100.0 * out.report.utilization(u));
+            println!(
+                "  P{u} utilization: {:.1}%",
+                100.0 * out.report.utilization(u)
+            );
         }
         if gantt {
             let horizon = out.report.makespan.min(sol.result.period * 8.0);
-            let visible: Vec<_> =
-                out.trace.iter().copied().filter(|e| e.start < horizon).collect();
-            println!("\n{}", Gantt::default().render(&visible, sol.result.mapping.procs(), horizon));
+            let visible: Vec<_> = out
+                .trace
+                .iter()
+                .copied()
+                .filter(|e| e.start < horizon)
+                .collect();
+            println!(
+                "\n{}",
+                Gantt::default().render(&visible, sol.result.mapping.procs(), horizon)
+            );
         }
     }
 }

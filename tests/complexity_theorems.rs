@@ -26,13 +26,19 @@ fn theorem1_forward_and_backward_on_small_instances() {
         NmwtsInstance::new(vec![2, 3], vec![1, 4], vec![3, 7]),
     ];
     for inst in &solvable {
-        assert!(solve_nmwts_brute(inst).is_some(), "fixture must be solvable");
+        assert!(
+            solve_nmwts_brute(inst).is_some(),
+            "fixture must be solvable"
+        );
         let red = reduce(inst);
         let sol = hetero_exact_bnb(&red.tasks, &red.speeds, 500_000_000)
             .expect("gadget solvable within budget");
         assert!(sol.objective <= 1.0 + 1e-9, "bound K=1 must be achievable");
         let (s1, s2) = decode_matching(&red, &sol).expect("K=1 solutions decode");
-        assert!(inst.check(&s1, &s2), "decoded permutations must solve NMWTS");
+        assert!(
+            inst.check(&s1, &s2),
+            "decoded permutations must solve NMWTS"
+        );
     }
 
     let unsolvable = [
@@ -41,10 +47,13 @@ fn theorem1_forward_and_backward_on_small_instances() {
     ];
     for inst in &unsolvable {
         assert!(inst.sums_balanced(), "fixtures keep Σx+Σy=Σz");
-        assert!(solve_nmwts_brute(inst).is_none(), "fixture must be unsolvable");
+        assert!(
+            solve_nmwts_brute(inst).is_none(),
+            "fixture must be unsolvable"
+        );
         let red = reduce(inst);
-        let sol = hetero_exact_bnb(&red.tasks, &red.speeds, 500_000_000)
-            .expect("gadget within budget");
+        let sol =
+            hetero_exact_bnb(&red.tasks, &red.speeds, 500_000_000).expect("gadget within budget");
         assert!(
             sol.objective > 1.0 + 1e-9,
             "unsolvable NMWTS must force the bound above 1, got {}",
@@ -80,11 +89,7 @@ fn theorem2_zero_comm_pipeline_equals_hetero_partitioning() {
 
 #[test]
 fn lemma1_fastest_processor_is_latency_optimal() {
-    let app = Application::new(
-        vec![5.0, 9.0, 2.0, 7.0],
-        vec![3.0, 1.0, 4.0, 1.0, 5.0],
-    )
-    .unwrap();
+    let app = Application::new(vec![5.0, 9.0, 2.0, 7.0], vec![3.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
     let pf = Platform::comm_homogeneous(vec![3.0, 8.0, 5.0], 10.0).unwrap();
     let cm = CostModel::new(&app, &pf);
     let lemma1 = IntervalMapping::all_on_fastest(&app, &pf);

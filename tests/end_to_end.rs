@@ -38,12 +38,19 @@ fn all_heuristics_round_trip_through_the_simulator() {
     let p0 = cm.single_proc_period();
     let l0 = cm.optimal_latency();
     for kind in HeuristicKind::ALL {
-        let target = if kind.is_period_fixed() { 0.7 * p0 } else { 2.0 * l0 };
+        let target = if kind.is_period_fixed() {
+            0.7 * p0
+        } else {
+            2.0 * l0
+        };
         let res = kind.run(&cm, target);
         let out = PipelineSim::new(
             &cm,
             &res.mapping,
-            SimConfig { input: InputPolicy::Periodic(res.period), record_trace: false },
+            SimConfig {
+                input: InputPolicy::Periodic(res.period),
+                record_trace: false,
+            },
         )
         .run(25);
         // Throttled to the analytic period, the observed latency must be
@@ -66,10 +73,10 @@ fn throughput_scales_with_processors() {
         let mut mean_large = 0.0;
         let seeds = 5;
         for seed in 0..seeds {
-            let (app_s, pf_s) = InstanceGenerator::new(InstanceParams::paper(kind, 20, 5))
-                .instance(seed, 0);
-            let (app_l, pf_l) = InstanceGenerator::new(InstanceParams::paper(kind, 20, 40))
-                .instance(seed, 0);
+            let (app_s, pf_s) =
+                InstanceGenerator::new(InstanceParams::paper(kind, 20, 5)).instance(seed, 0);
+            let (app_l, pf_l) =
+                InstanceGenerator::new(InstanceParams::paper(kind, 20, 40)).instance(seed, 0);
             let cm_s = CostModel::new(&app_s, &pf_s);
             let cm_l = CostModel::new(&app_l, &pf_l);
             mean_small += pipeline_workflows::core::sp_mono_p(&cm_s, 0.0).period;

@@ -32,7 +32,12 @@ fn sp_mono_p_has_the_smallest_period_threshold_on_average() {
     let mut h1_sum = 0.0;
     let mut others_min_sum = 0.0;
     for kind in ExperimentKind::ALL {
-        let t = failure_thresholds(InstanceParams::paper(kind, 20, 10), SEED, INSTANCES, THREADS);
+        let t = failure_thresholds(
+            InstanceParams::paper(kind, 20, 10),
+            SEED,
+            INSTANCES,
+            THREADS,
+        );
         // Normalize by H1 so regimes weigh equally.
         h1_sum += 1.0;
         others_min_sum += t[1].min(t[2]).min(t[3]) / t[0];
@@ -74,8 +79,16 @@ fn period_fixed_curves_slope_downward() {
         GRID,
         THREADS,
     );
-    let h1 = fam.series.iter().find(|s| s.kind == HeuristicKind::SpMonoP).unwrap();
-    let full: Vec<_> = h1.points.iter().filter(|p| p.n_feasible == p.n_total).collect();
+    let h1 = fam
+        .series
+        .iter()
+        .find(|s| s.kind == HeuristicKind::SpMonoP)
+        .unwrap();
+    let full: Vec<_> = h1
+        .points
+        .iter()
+        .filter(|p| p.n_feasible == p.n_total)
+        .collect();
     assert!(full.len() >= 2, "need a fully-feasible region");
     for w in full.windows(2) {
         assert!(
@@ -137,7 +150,10 @@ fn bi_criteria_heuristics_improve_relative_standing_at_p100() {
                 .map(|pt| pt.target)
                 .unwrap_or(f64::NAN)
         };
-        (floor(HeuristicKind::ThreeExploMono), floor(HeuristicKind::ThreeExploBi))
+        (
+            floor(HeuristicKind::ThreeExploMono),
+            floor(HeuristicKind::ThreeExploBi),
+        )
     };
     let (mono10, bi10) = floors(10);
     let (mono100, bi100) = floors(100);

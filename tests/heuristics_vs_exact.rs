@@ -7,7 +7,13 @@ use pipeline_workflows::model::generator::{ExperimentKind, InstanceGenerator, In
 use pipeline_workflows::model::CostModel;
 use proptest::prelude::*;
 
-fn small_instance(kind: ExperimentKind, seed: u64) -> (pipeline_workflows::model::Application, pipeline_workflows::model::Platform) {
+fn small_instance(
+    kind: ExperimentKind,
+    seed: u64,
+) -> (
+    pipeline_workflows::model::Application,
+    pipeline_workflows::model::Platform,
+) {
     InstanceGenerator::new(InstanceParams::paper(kind, 7, 4)).instance(seed, 0)
 }
 
@@ -18,7 +24,10 @@ fn heuristic_periods_bounded_below_by_exact_optimum() {
             let (app, pf) = small_instance(kind, seed);
             let cm = CostModel::new(&app, &pf);
             let (p_opt, _) = exact::exact_min_period(&cm);
-            for h in HeuristicKind::ALL.into_iter().filter(|h| h.is_period_fixed()) {
+            for h in HeuristicKind::ALL
+                .into_iter()
+                .filter(|h| h.is_period_fixed())
+            {
                 let res = h.run(&cm, 0.0); // run to the floor
                 assert!(
                     res.period >= p_opt - 1e-9,
@@ -41,7 +50,10 @@ fn latency_fixed_heuristics_bounded_by_exact_counterpart() {
         for h in [HeuristicKind::SpMonoL, HeuristicKind::SpBiL] {
             let res = h.run(&cm, l_budget);
             assert!(res.feasible);
-            assert!(res.latency <= l_budget + 1e-9, "{h}: latency budget violated");
+            assert!(
+                res.latency <= l_budget + 1e-9,
+                "{h}: latency budget violated"
+            );
             assert!(
                 res.period >= p_star - 1e-9,
                 "{h} seed {seed}: period {} beats constrained optimum {p_star}",
@@ -60,7 +72,11 @@ fn feasible_results_respect_their_constraint_everywhere() {
         let l0 = cm.optimal_latency();
         for h in HeuristicKind::ALL {
             for factor in [0.4, 0.7, 1.0, 1.5] {
-                let target = if h.is_period_fixed() { factor * p0 } else { factor.max(1.0) * l0 };
+                let target = if h.is_period_fixed() {
+                    factor * p0
+                } else {
+                    factor.max(1.0) * l0
+                };
                 let res = h.run(&cm, target);
                 if res.feasible {
                     if h.is_period_fixed() {
@@ -84,9 +100,16 @@ fn lemma_1_lower_bound_on_latency_holds_for_all_heuristics() {
     let cm = CostModel::new(&app, &pf);
     let l_opt = cm.optimal_latency();
     for h in HeuristicKind::ALL {
-        let target = if h.is_period_fixed() { 0.5 * cm.single_proc_period() } else { 3.0 * l_opt };
+        let target = if h.is_period_fixed() {
+            0.5 * cm.single_proc_period()
+        } else {
+            3.0 * l_opt
+        };
         let res = h.run(&cm, target);
-        assert!(res.latency >= l_opt - 1e-9, "{h} beat the Lemma-1 latency bound");
+        assert!(
+            res.latency >= l_opt - 1e-9,
+            "{h} beat the Lemma-1 latency bound"
+        );
     }
 }
 

@@ -2,9 +2,7 @@
 //! façade, workload presets, bounds, and refinement — the paths the
 //! `pwsched` CLI exercises.
 
-use pipeline_workflows::core::{
-    bounds, refine::refine_mapping, Objective, Scheduler, Strategy,
-};
+use pipeline_workflows::core::{bounds, refine::refine_mapping, Objective, Scheduler, Strategy};
 use pipeline_workflows::model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 use pipeline_workflows::model::io::{format_instance, parse_instance};
 use pipeline_workflows::model::workload::WorkloadShape;
@@ -36,11 +34,16 @@ fn workload_presets_schedule_end_to_end() {
     for shape in WorkloadShape::ALL {
         let app = shape.build(10, 20.0, 8.0);
         let cm = CostModel::new(&app, &pf);
-        let sol = Scheduler::new()
-            .strategy(Strategy::BestOfAll)
-            .solve(&app, &pf, Objective::MinLatencyForPeriod(0.7 * cm.single_proc_period()));
+        let sol = Scheduler::new().strategy(Strategy::BestOfAll).solve(
+            &app,
+            &pf,
+            Objective::MinLatencyForPeriod(0.7 * cm.single_proc_period()),
+        );
         if let Some(sol) = sol {
-            assert!(sol.result.period <= 0.7 * cm.single_proc_period() + 1e-9, "{shape}");
+            assert!(
+                sol.result.period <= 0.7 * cm.single_proc_period() + 1e-9,
+                "{shape}"
+            );
             // Refinement under the same latency as budget can only help
             // the period.
             let refined = refine_mapping(&cm, &sol.result.mapping, sol.result.latency);

@@ -50,7 +50,10 @@ fn one_port_serialization_holds_under_all_heuristics() {
         let out = PipelineSim::new(
             &cm,
             &res.mapping,
-            SimConfig { input: InputPolicy::Saturating, record_trace: true },
+            SimConfig {
+                input: InputPolicy::Saturating,
+                record_trace: true,
+            },
         )
         .run(20);
         // No processor ever has two overlapping activity spans.

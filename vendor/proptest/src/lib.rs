@@ -1,0 +1,162 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace builds in hermetic environments without access to a
+//! crates.io mirror, so the slice of proptest the test-suite uses is
+//! vendored here:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc
+//!   comments and multiple `#[test]` functions per block);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_filter`
+//!   and `prop_filter_map`;
+//! * range strategies over primitives, tuple strategies up to arity 6,
+//!   [`collection::vec`] and [`strategy::Just`];
+//! * [`test_runner::Config`] (`ProptestConfig`) with `with_cases`.
+//!
+//! Differences from upstream: generation is a fixed deterministic
+//! stream (SplitMix64 keyed by test-case index), and failing inputs are
+//! reported but **not shrunk**. Rejected samples (`prop_assume!`,
+//! `prop_filter*`) are retried with fresh draws, with a global retry
+//! budget per test.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests. Mirrors `proptest::proptest!`.
+///
+/// ```
+/// proptest::proptest! {
+///     #![proptest_config(proptest::test_runner::Config::with_cases(8))]
+///     // In real code add `#[test]`; omitted here so the doctest can
+///     // invoke the property directly.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         proptest::prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __case: u32 = 0;
+                let mut __attempt: u64 = 0;
+                let __max_attempts: u64 = (__config.cases as u64) * 32 + 4096;
+                while __case < __config.cases {
+                    __attempt += 1;
+                    if __attempt > __max_attempts {
+                        panic!(
+                            "proptest '{}': too many rejected samples ({} accepted of {} wanted)",
+                            stringify!($name), __case, __config.cases
+                        );
+                    }
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name), __attempt,
+                    );
+                    $(
+                        let $pat = match $crate::strategy::Strategy::sample(
+                            &($strat), &mut __rng,
+                        ) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => continue,
+                        };
+                    )+
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => { __case += 1; }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_)
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg)
+                        ) => {
+                            panic!(
+                                "proptest '{}' failed at case {} (attempt {}): {}",
+                                stringify!($name), __case, __attempt, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    concat!("assertion failed: ", stringify!($cond)).to_string(),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!(
+                    "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                    stringify!($left), stringify!($right), l, r
+                )),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!(
+                    "{} (left: `{:?}`, right: `{:?}`)", format!($($fmt)*), l, r
+                )),
+            );
+        }
+    }};
+}
+
+/// Rejects (skips) the current test case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

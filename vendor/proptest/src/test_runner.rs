@@ -1,0 +1,75 @@
+//! Test-case driver types.
+
+/// Per-test configuration. Mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted test cases to run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a test-case body did not complete normally.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the whole test panics.
+    Fail(String),
+    /// The case was rejected (`prop_assume!`); it is retried.
+    Reject(String),
+}
+
+/// Deterministic SplitMix64 stream used to sample strategies.
+///
+/// Seeded from the test name and the attempt counter, so every test
+/// sees a fixed, reproducible sequence of inputs independent of other
+/// tests and of execution order.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for one test-case attempt.
+    pub fn for_case(test_name: &str, attempt: u64) -> Self {
+        // FNV-1a over the name, mixed with the attempt index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ attempt.wrapping_mul(0xA24B_AED4_963E_E407),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u01 = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u01 * (hi - lo)
+    }
+
+    /// Uniform `u128` below `span` (which must be non-zero).
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        (self.next_u64() as u128) % span
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline, API-compatible subset of the `rand` crate (0.9-style API).
+//!
+//! The workspace builds in hermetic environments without access to a
+//! crates.io mirror, so the handful of `rand` items the codebase uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::random_range`] — are vendored here on top of a SplitMix64
+//! generator. Determinism per seed is all the callers rely on (instance
+//! generators and benchmark inputs); the streams differ from upstream
+//! `rand`, which is fine because no golden data is keyed to upstream
+//! streams.
+
+pub mod distr;
+pub mod rngs;
+
+pub use distr::SampleRange;
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    ///
+    /// Supports `Range` and `RangeInclusive` over the primitive integer
+    /// types and `f64`, like `rand 0.9`'s `random_range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
