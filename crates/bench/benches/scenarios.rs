@@ -1,0 +1,62 @@
+//! Scenario-zoo sweep benchmarks: every registered family through the
+//! sharded engine, serial vs. multi-threaded.
+//!
+//! The `threads/…` group is the wall-clock evidence for the engine: on a
+//! machine with ≥2 cores the `t2`/`t4` variants of the same sweep must
+//! beat `t1` (instances are evaluated in independent shards; the merge
+//! is chunk-ordered and lock-free per item). On a single-core runner the
+//! variants tie — the engine never regresses below the serial path
+//! because one thread runs inline with identical chunking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeline_experiments::config::scenario_zoo;
+use pipeline_experiments::sweep::run_scenario;
+use std::hint::black_box;
+
+const SEED: u64 = 2007;
+const GRID: usize = 6;
+
+fn bench_zoo_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(10);
+    for spec in scenario_zoo() {
+        let params = spec.params();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.family.label()),
+            &params,
+            |b, params| b.iter(|| black_box(run_scenario(params, SEED, 5, GRID, 1))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads");
+    group.sample_size(10);
+    // One representative homogeneous family at paper scale: enough
+    // instances that the per-instance trajectory work dominates and the
+    // shard speedup is visible.
+    let params = pipeline_model::scenario::ScenarioFamily::E2.params(20, 10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("e2_sweep", format!("t{threads}")),
+            &threads,
+            |b, &threads| b.iter(|| black_box(run_scenario(&params, SEED, 24, GRID, threads))),
+        );
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_zoo_families, bench_thread_scaling
+}
+criterion_main!(benches);

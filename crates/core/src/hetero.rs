@@ -19,6 +19,7 @@
 //! conservative.
 
 use crate::state::BiCriteriaResult;
+use crate::trajectory::{Trajectory, TrajectoryPoint};
 use pipeline_model::prelude::*;
 use pipeline_model::util::{definitely_lt, EPS};
 
@@ -35,6 +36,144 @@ impl Default for HeteroSplitOptions {
     }
 }
 
+/// Mutable splitting state shared by the direct heuristic and the
+/// trajectory recorder.
+struct HetState {
+    /// Processors by non-increasing speed.
+    order: Vec<ProcId>,
+    used: Vec<bool>,
+    intervals: Vec<Interval>,
+    procs: Vec<ProcId>,
+}
+
+impl HetState {
+    fn initial(cm: &CostModel<'_>) -> Self {
+        let pf = cm.platform();
+        let order = pf.procs_by_speed_desc().to_vec();
+        let mut used = vec![false; pf.n_procs()];
+        used[order[0]] = true;
+        HetState {
+            intervals: vec![Interval::new(0, cm.app().n_stages())],
+            procs: vec![order[0]],
+            order,
+            used,
+        }
+    }
+
+    fn mapping(&self, cm: &CostModel<'_>) -> IntervalMapping {
+        build(cm, &self.intervals, &self.procs)
+    }
+
+    /// Applies the best available split (see [`best_split`]); returns
+    /// false when no split improves the bottleneck. `mapping` must be the
+    /// caller's already-built mapping of the current state (both callers
+    /// evaluate it anyway, so it is not rebuilt here).
+    fn step(
+        &mut self,
+        cm: &CostModel<'_>,
+        mapping: &IntervalMapping,
+        opts: HeteroSplitOptions,
+    ) -> bool {
+        match best_split(cm, self, mapping, opts) {
+            Some((ivs, ps)) => {
+                // Mark the newly enrolled processor.
+                for &u in &ps {
+                    self.used[u] = true;
+                }
+                self.intervals = ivs;
+                self.procs = ps;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn build(cm: &CostModel<'_>, ivs: &[Interval], ps: &[ProcId]) -> IntervalMapping {
+    IntervalMapping::new(cm.app(), cm.platform(), ivs.to_vec(), ps.to_vec())
+        .expect("splitting maintains validity")
+}
+
+/// H1's selection rule, lifted to per-link bandwidths: split the
+/// bottleneck interval minimizing the max cycle time of the two pieces
+/// (computed with the real link bandwidths, so the choice of `new_proc`
+/// matters), accepting only candidates strictly improving the
+/// bottleneck's old cycle. Ties break toward lower global period, then
+/// latency. The period target is never consulted — the split sequence is
+/// target-independent, which is what makes [`hetero_trajectory`] answer
+/// every target from one recorded run.
+fn best_split(
+    cm: &CostModel<'_>,
+    st: &HetState,
+    mapping: &IntervalMapping,
+    opts: HeteroSplitOptions,
+) -> Option<(Vec<Interval>, Vec<ProcId>)> {
+    // Bottleneck interval.
+    let j = (0..mapping.n_intervals())
+        .max_by(|&a, &b| {
+            cm.cycle_time(mapping, a)
+                .partial_cmp(&cm.cycle_time(mapping, b))
+                .expect("finite")
+        })
+        .expect("at least one interval");
+    let iv = st.intervals[j];
+    if iv.len() < 2 {
+        return None;
+    }
+    // Candidate new processors: the fastest unused ones.
+    let candidates: Vec<ProcId> = st
+        .order
+        .iter()
+        .copied()
+        .filter(|&u| !st.used[u])
+        .take(opts.candidate_procs)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+
+    let old_cycle = cm.cycle_time(mapping, j);
+    // (local max cycle, period, latency, intervals, processors)
+    type Candidate = (f64, f64, f64, Vec<Interval>, Vec<ProcId>);
+    let mut best: Option<Candidate> = None;
+    for &new_proc in &candidates {
+        for cut in iv.start + 1..iv.end {
+            for keep_left in [true, false] {
+                let mut ivs = st.intervals.clone();
+                let mut ps = st.procs.clone();
+                ivs[j] = Interval::new(iv.start, cut);
+                ivs.insert(j + 1, Interval::new(cut, iv.end));
+                let (lp, rp) = if keep_left {
+                    (st.procs[j], new_proc)
+                } else {
+                    (new_proc, st.procs[j])
+                };
+                ps[j] = lp;
+                ps.insert(j + 1, rp);
+                let cand = build(cm, &ivs, &ps);
+                let local = cm.cycle_time(&cand, j).max(cm.cycle_time(&cand, j + 1));
+                if !definitely_lt(local, old_cycle) {
+                    continue;
+                }
+                let p = cm.period(&cand);
+                let l = cm.latency(&cand);
+                let better = match &best {
+                    None => true,
+                    Some((bl_local, bp, bl, _, _)) => {
+                        local < bl_local - EPS
+                            || ((local - bl_local).abs() <= EPS
+                                && (p < bp - EPS || ((p - bp).abs() <= EPS && l < bl - EPS)))
+                    }
+                };
+                if better {
+                    best = Some((local, p, l, ivs, ps));
+                }
+            }
+        }
+    }
+    best.map(|(_, _, _, ivs, ps)| (ivs, ps))
+}
+
 /// Splitting heuristic minimizing latency under a period bound on fully
 /// heterogeneous platforms (also accepts Communication Homogeneous ones).
 pub fn hetero_sp_mono_p(
@@ -46,21 +185,9 @@ pub fn hetero_sp_mono_p(
         opts.candidate_procs >= 1,
         "need at least one candidate processor"
     );
-    let pf = cm.platform();
-    let app = cm.app();
-    let order = pf.procs_by_speed_desc().to_vec();
-    let mut used = vec![false; pf.n_procs()];
-    used[order[0]] = true;
-    let mut intervals = vec![Interval::new(0, app.n_stages())];
-    let mut procs = vec![order[0]];
-
-    let build = |ivs: &[Interval], ps: &[ProcId]| {
-        IntervalMapping::new(app, pf, ivs.to_vec(), ps.to_vec())
-            .expect("splitting maintains validity")
-    };
-
+    let mut st = HetState::initial(cm);
     loop {
-        let mapping = build(&intervals, &procs);
+        let mapping = st.mapping(cm);
         let period = cm.period(&mapping);
         if period <= period_target + EPS {
             let latency = cm.latency(&mapping);
@@ -71,16 +198,7 @@ pub fn hetero_sp_mono_p(
                 feasible: true,
             };
         }
-        // Bottleneck interval.
-        let j = (0..mapping.n_intervals())
-            .max_by(|&a, &b| {
-                cm.cycle_time(&mapping, a)
-                    .partial_cmp(&cm.cycle_time(&mapping, b))
-                    .expect("finite")
-            })
-            .expect("at least one interval");
-        let iv = intervals[j];
-        if iv.len() < 2 {
+        if !st.step(cm, &mapping, opts) {
             let latency = cm.latency(&mapping);
             return BiCriteriaResult {
                 mapping,
@@ -88,88 +206,38 @@ pub fn hetero_sp_mono_p(
                 latency,
                 feasible: false,
             };
-        }
-        // Candidate new processors: the fastest unused ones.
-        let candidates: Vec<ProcId> = order
-            .iter()
-            .copied()
-            .filter(|&u| !used[u])
-            .take(opts.candidate_procs)
-            .collect();
-        if candidates.is_empty() {
-            let latency = cm.latency(&mapping);
-            return BiCriteriaResult {
-                mapping,
-                period,
-                latency,
-                feasible: false,
-            };
-        }
-
-        // H1's selection rule, lifted: minimize the max cycle time of the
-        // two pieces (computed with the real link bandwidths, so on
-        // heterogeneous platforms the choice of `new_proc` matters), and
-        // accept only candidates strictly improving the bottleneck's old
-        // cycle. Ties break toward lower global period, then latency.
-        let old_cycle = cm.cycle_time(&mapping, j);
-        // (local max cycle, period, latency, intervals, processors)
-        type Candidate = (f64, f64, f64, Vec<Interval>, Vec<ProcId>);
-        let mut best: Option<Candidate> = None;
-        for &new_proc in &candidates {
-            for cut in iv.start + 1..iv.end {
-                for keep_left in [true, false] {
-                    let mut ivs = intervals.clone();
-                    let mut ps = procs.clone();
-                    ivs[j] = Interval::new(iv.start, cut);
-                    ivs.insert(j + 1, Interval::new(cut, iv.end));
-                    let (lp, rp) = if keep_left {
-                        (procs[j], new_proc)
-                    } else {
-                        (new_proc, procs[j])
-                    };
-                    ps[j] = lp;
-                    ps.insert(j + 1, rp);
-                    let cand = build(&ivs, &ps);
-                    let local = cm.cycle_time(&cand, j).max(cm.cycle_time(&cand, j + 1));
-                    if !definitely_lt(local, old_cycle) {
-                        continue;
-                    }
-                    let p = cm.period(&cand);
-                    let l = cm.latency(&cand);
-                    let better = match &best {
-                        None => true,
-                        Some((bl_local, bp, bl, _, _)) => {
-                            local < bl_local - EPS
-                                || ((local - bl_local).abs() <= EPS
-                                    && (p < bp - EPS || ((p - bp).abs() <= EPS && l < bl - EPS)))
-                        }
-                    };
-                    if better {
-                        best = Some((local, p, l, ivs, ps));
-                    }
-                }
-            }
-        }
-        match best {
-            Some((_, _, _, ivs, ps)) => {
-                // Mark the newly enrolled processor.
-                for &u in &ps {
-                    used[u] = true;
-                }
-                intervals = ivs;
-                procs = ps;
-            }
-            None => {
-                let latency = cm.latency(&mapping);
-                return BiCriteriaResult {
-                    mapping,
-                    period,
-                    latency,
-                    feasible: false,
-                };
-            }
         }
     }
+}
+
+/// Records the full split path of [`hetero_sp_mono_p`] run to exhaustion.
+///
+/// The split choices never consult the period target (see
+/// [`best_split`]), so — exactly like the H1/H2a/H2b trajectories of
+/// [`crate::trajectory`] — one recorded run answers *every* period target
+/// via [`Trajectory::result_for_period`]. The sharded sweep engine relies
+/// on this to sweep heterogeneous-platform scenario families at the same
+/// O(run + grid) cost as the paper families.
+pub fn hetero_trajectory(cm: &CostModel<'_>, opts: HeteroSplitOptions) -> Trajectory {
+    assert!(
+        opts.candidate_procs >= 1,
+        "need at least one candidate processor"
+    );
+    let mut st = HetState::initial(cm);
+    let mut points: Vec<TrajectoryPoint> = Vec::new();
+    loop {
+        let mapping = st.mapping(cm);
+        points.push(TrajectoryPoint {
+            period: cm.period(&mapping),
+            latency: cm.latency(&mapping),
+            mapping,
+        });
+        let mapping = &points.last().expect("just pushed").mapping;
+        if !st.step(cm, mapping, opts) {
+            break;
+        }
+    }
+    Trajectory { points }
 }
 
 #[cfg(test)]
@@ -269,6 +337,45 @@ mod tests {
         let res = hetero_sp_mono_p(&cm, floor * 1.2, HeteroSplitOptions::default());
         assert!(res.feasible);
         assert!(res.period <= floor * 1.2 + EPS);
+    }
+
+    #[test]
+    fn trajectory_matches_direct_runs_at_every_target() {
+        // The split sequence is target-independent, so one recorded
+        // trajectory must answer any target exactly like a direct run.
+        for seed in 0..4 {
+            let app = random_app(seed, 10);
+            let pf = random_het_platform(seed + 50, 6);
+            let cm = CostModel::new(&app, &pf);
+            let opts = HeteroSplitOptions::default();
+            let traj = hetero_trajectory(&cm, opts);
+            let p0 = cm.period(&IntervalMapping::all_on_fastest(&app, &pf));
+            for target in [p0 * 1.5, p0 * 0.8, p0 * 0.5, traj.min_period(), 0.0] {
+                let via_traj = traj.result_for_period(target);
+                let direct = hetero_sp_mono_p(&cm, target, opts);
+                assert_eq!(via_traj.feasible, direct.feasible, "seed {seed}@{target}");
+                assert!(
+                    (via_traj.period - direct.period).abs() < 1e-12,
+                    "seed {seed}@{target}: period mismatch"
+                );
+                assert!(
+                    (via_traj.latency - direct.latency).abs() < 1e-12,
+                    "seed {seed}@{target}: latency mismatch"
+                );
+                assert_eq!(via_traj.mapping, direct.mapping);
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_starts_at_lemma_1_and_reaches_the_floor() {
+        let app = random_app(3, 9);
+        let pf = random_het_platform(3, 5);
+        let cm = CostModel::new(&app, &pf);
+        let traj = hetero_trajectory(&cm, HeteroSplitOptions::default());
+        assert_eq!(traj.points[0].mapping.n_intervals(), 1);
+        let direct_floor = hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions::default()).period;
+        assert!((traj.min_period() - direct_floor).abs() < 1e-12);
     }
 
     #[test]

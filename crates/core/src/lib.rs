@@ -56,6 +56,7 @@ pub mod state;
 pub mod trajectory;
 
 pub use explore::{three_explo_bi, three_explo_mono};
+pub use hetero::{hetero_sp_mono_p, hetero_trajectory, HeteroSplitOptions};
 pub use pareto::ParetoFront;
 pub use solve::{Objective, Scheduler, Solution, Strategy};
 pub use split::{sp_bi_l, sp_bi_p, sp_mono_l, sp_mono_p, SpBiPOptions};
@@ -64,9 +65,11 @@ pub use trajectory::{fixed_period_trajectory, Trajectory};
 
 use pipeline_model::prelude::*;
 
-/// Identifier of one of the paper's six heuristics.
+/// Identifier of a scheduling heuristic: the paper's six, plus the §7
+/// heterogeneous-platform extension.
 ///
-/// `Table 1` of the paper numbers them H1..H6 in the order below.
+/// `Table 1` of the paper numbers the first six H1..H6 in the order
+/// below.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HeuristicKind {
     /// H1 — "Sp mono P": splitting, mono-criterion, fixed period.
@@ -84,10 +87,16 @@ pub enum HeuristicKind {
     SpMonoL,
     /// H6 (paper H5) — "Sp bi L": bi-criteria splitting, fixed latency.
     SpBiL,
+    /// H7 — [`hetero::hetero_sp_mono_p`], the §7 extension: splitting with
+    /// per-link bandwidths, fixed period. The only heuristic applicable
+    /// to fully heterogeneous platforms; excluded from [`Self::ALL`]
+    /// because the paper's Table 1 covers H1..H6 only.
+    HeteroSplit,
 }
 
 impl HeuristicKind {
-    /// All six heuristics in Table-1 order.
+    /// The paper's six heuristics in Table-1 order (excludes the
+    /// [`Self::HeteroSplit`] extension).
     pub const ALL: [HeuristicKind; 6] = [
         HeuristicKind::SpMonoP,
         HeuristicKind::ThreeExploMono,
@@ -106,10 +115,11 @@ impl HeuristicKind {
             HeuristicKind::SpBiP => "Sp bi, P fix",
             HeuristicKind::SpMonoL => "Sp mono, L fix",
             HeuristicKind::SpBiL => "Sp bi, L fix",
+            HeuristicKind::HeteroSplit => "Het split, P fix",
         }
     }
 
-    /// Table-1 row name (H1..H6).
+    /// Table-1 row name (H1..H6; the extension reports as H7).
     pub fn table_name(&self) -> &'static str {
         match self {
             HeuristicKind::SpMonoP => "H1",
@@ -118,6 +128,7 @@ impl HeuristicKind {
             HeuristicKind::SpBiP => "H4",
             HeuristicKind::SpMonoL => "H5",
             HeuristicKind::SpBiL => "H6",
+            HeuristicKind::HeteroSplit => "H7",
         }
     }
 
@@ -129,7 +140,15 @@ impl HeuristicKind {
                 | HeuristicKind::ThreeExploMono
                 | HeuristicKind::ThreeExploBi
                 | HeuristicKind::SpBiP
+                | HeuristicKind::HeteroSplit
         )
+    }
+
+    /// True when the heuristic can run on the given platform: the paper's
+    /// six require Communication Homogeneous platforms, the
+    /// [`Self::HeteroSplit`] extension runs anywhere.
+    pub fn applicable_to(&self, platform: &Platform) -> bool {
+        matches!(self, HeuristicKind::HeteroSplit) || platform.is_comm_homogeneous()
     }
 
     /// Runs the heuristic with its natural constraint (`target` is a
@@ -143,6 +162,9 @@ impl HeuristicKind {
             HeuristicKind::SpBiP => sp_bi_p(cm, target, SpBiPOptions::default()),
             HeuristicKind::SpMonoL => sp_mono_l(cm, target),
             HeuristicKind::SpBiL => sp_bi_l(cm, target),
+            HeuristicKind::HeteroSplit => {
+                hetero::hetero_sp_mono_p(cm, target, hetero::HeteroSplitOptions::default())
+            }
         }
     }
 }

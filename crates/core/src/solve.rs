@@ -153,7 +153,10 @@ impl Scheduler {
 
     fn solve_best_of_all(&self, cm: &CostModel<'_>, objective: Objective) -> Option<Solution> {
         let mut best: Option<Solution> = None;
-        for kind in HeuristicKind::ALL {
+        for kind in HeuristicKind::ALL
+            .into_iter()
+            .chain([HeuristicKind::HeteroSplit])
+        {
             let Some(result) = solve_with_heuristic(cm, kind, objective) else {
                 continue;
             };
@@ -183,12 +186,18 @@ impl Scheduler {
 /// Frames `objective` for one heuristic. Period-fixed heuristics answer
 /// the `MinLatencyForPeriod`/`MinPeriod` objectives; latency-fixed ones
 /// answer `MinPeriodForLatency`/`MinLatency`-adjacent framings. Returns
-/// `None` when the heuristic class cannot express the objective.
+/// `None` when the heuristic class cannot express the objective or
+/// cannot run on the platform (the paper's six require Communication
+/// Homogeneous platforms; on fully heterogeneous ones only the §7
+/// [`HeuristicKind::HeteroSplit`] extension applies).
 fn solve_with_heuristic(
     cm: &CostModel<'_>,
     kind: HeuristicKind,
     objective: Objective,
 ) -> Option<BiCriteriaResult> {
+    if !kind.applicable_to(cm.platform()) {
+        return None;
+    }
     match objective {
         Objective::MinLatencyForPeriod(bound) => {
             kind.is_period_fixed().then(|| kind.run(cm, bound))

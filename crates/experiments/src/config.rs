@@ -1,6 +1,8 @@
-//! The paper's figure and table specifications.
+//! The paper's figure and table specifications, plus the scenario-zoo
+//! default sweep sizes.
 
 use pipeline_model::generator::{ExperimentKind, InstanceParams};
+use pipeline_model::scenario::{ScenarioFamily, ScenarioParams};
 
 /// One sub-figure of the paper: an instance family plotted as
 /// latency-vs-period curves.
@@ -121,6 +123,48 @@ pub const PAPER_FIGURES: &[FigureSpec] = &[
 /// Table 1's grid: every experiment × stage count, with `p = 10`.
 pub const TABLE1_STAGE_COUNTS: [usize; 4] = [5, 10, 20, 40];
 
+/// One scenario-zoo entry: a registered family at its default sweep
+/// size. What the `pwsched --sweep` CLI and the scenario benchmarks
+/// enumerate.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// The registered family.
+    pub family: ScenarioFamily,
+    /// Number of stages.
+    pub n_stages: usize,
+    /// Number of processors.
+    pub n_procs: usize,
+}
+
+impl ScenarioSpec {
+    /// The family's default parameters at this size.
+    pub fn params(&self) -> ScenarioParams {
+        self.family.params(self.n_stages, self.n_procs)
+    }
+}
+
+/// Every registered scenario family at its default sweep size. The
+/// heterogeneous-platform families run smaller: their splitting extension
+/// evaluates candidates against the full mapping (O(m) per candidate), so
+/// equal sizes would dominate the zoo's runtime.
+pub fn scenario_zoo() -> Vec<ScenarioSpec> {
+    ScenarioFamily::ALL
+        .iter()
+        .map(|&family| {
+            let (n_stages, n_procs) = if family.comm_homogeneous() {
+                (10, 10)
+            } else {
+                (8, 8)
+            };
+            ScenarioSpec {
+                family,
+                n_stages,
+                n_procs,
+            }
+        })
+        .collect()
+}
+
 /// Looks a figure spec up by id (`"fig2a"` … `"fig7b"`).
 pub fn figure_by_id(id: &str) -> Option<&'static FigureSpec> {
     PAPER_FIGURES.iter().find(|f| f.id == id)
@@ -168,5 +212,17 @@ mod tests {
     fn figure_numbers_parse() {
         assert_eq!(figure_by_id("fig2a").unwrap().figure_number(), 2);
         assert_eq!(figure_by_id("fig7b").unwrap().figure_number(), 7);
+    }
+
+    #[test]
+    fn zoo_enumerates_every_registered_family_once() {
+        let zoo = scenario_zoo();
+        assert_eq!(zoo.len(), ScenarioFamily::ALL.len());
+        for (spec, family) in zoo.iter().zip(ScenarioFamily::ALL) {
+            assert_eq!(spec.family, family);
+            let p = spec.params();
+            assert_eq!(p.n_stages, spec.n_stages);
+            assert_eq!(p.family(), family);
+        }
     }
 }

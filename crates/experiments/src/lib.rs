@@ -2,11 +2,14 @@
 //! evaluation (Section 5).
 //!
 //! * [`config`] — the figure/table specifications (experiment kind, `n`,
-//!   `p`) exactly as in the paper;
-//! * [`runner`] — per-instance evaluation and a scoped-thread parallel
-//!   map;
+//!   `p`) exactly as in the paper, plus the scenario-zoo default sizes;
+//! * [`shard`] — the sharded parallel work-queue engine (chunked work
+//!   stealing, per-shard RNG streams, chunk-ordered mergeable
+//!   accumulators; bit-identical output for every thread count);
+//! * [`runner`] — per-instance evaluation on top of the sharded engine;
 //! * [`sweep`] — latency-vs-period series, one per heuristic, averaged
-//!   over 50 random instances;
+//!   over 50 random instances; [`sweep::run_scenario`] sweeps any
+//!   registered scenario family ([`pipeline_model::scenario`]);
 //! * [`table`] — failure thresholds (Table 1);
 //! * [`summary`] — qualitative "shape checks" comparing our results to
 //!   the paper's claims;
@@ -21,11 +24,13 @@ pub mod csvout;
 pub mod loaded;
 pub mod robustness;
 pub mod runner;
+pub mod shard;
 pub mod summary;
 pub mod sweep;
 pub mod table;
 
-pub use config::{FigureSpec, PAPER_FIGURES};
+pub use config::{scenario_zoo, FigureSpec, ScenarioSpec, PAPER_FIGURES};
 pub use runner::{parallel_map, InstanceEval};
-pub use sweep::{run_family, FamilyResult, HeuristicSeries, SweepPoint};
+pub use shard::{sharded_fold, sharded_map_indices, sharded_map_items, Mergeable, ShardOptions};
+pub use sweep::{run_family, run_scenario, FamilyResult, HeuristicSeries, SweepPoint};
 pub use table::{failure_thresholds, ThresholdTable};

@@ -1,14 +1,26 @@
-//! Per-instance evaluation and a small scoped-thread parallel map.
+//! Per-instance evaluation for the sweep engine.
+//!
+//! [`InstanceEval`] precomputes everything a sweep needs from one random
+//! instance: its scalar landmarks plus the *target-independent* split
+//! trajectories available on its platform class —
+//!
+//! * Communication Homogeneous instances record the paper's H1/H2a/H2b
+//!   trajectories and the H4 (`Sp bi P`) period floor;
+//! * fully heterogeneous instances (scenario-zoo families `two-tier`,
+//!   `comm-dominant`) record the §7 extension's trajectory
+//!   ([`pipeline_core::hetero_trajectory`], reported as
+//!   [`HeuristicKind::HeteroSplit`]).
+//!
+//! The parallel map that used to live here is now backed by the sharded
+//! work-queue engine of [`crate::shard`]; `parallel_map` survives as the
+//! order-preserving convenience wrapper the rest of the harness uses.
 
+use crate::shard::{sharded_map_items, ShardOptions};
 use pipeline_core::trajectory::{fixed_period_trajectory, Trajectory, TrajectoryKind};
-use pipeline_core::{sp_bi_p, SpBiPOptions};
+use pipeline_core::{hetero_trajectory, sp_bi_p, HeteroSplitOptions, HeuristicKind, SpBiPOptions};
 use pipeline_model::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-/// Everything the sweeps need from one random instance, precomputed once:
-/// the instance itself, its scalar landmarks, and the target-independent
-/// trajectories of H1/H2a/H2b.
+/// Everything the sweeps need from one random instance, precomputed once.
 pub struct InstanceEval {
     /// The application.
     pub app: Application,
@@ -18,35 +30,55 @@ pub struct InstanceEval {
     pub p_init: f64,
     /// Optimal latency `L_opt`.
     pub l_opt: f64,
-    /// H1 split trajectory.
-    pub traj_split_mono: Trajectory,
-    /// H2a exploration trajectory.
-    pub traj_explo_mono: Trajectory,
-    /// H2b exploration trajectory.
-    pub traj_explo_bi: Trajectory,
+    /// The target-independent period-fixed trajectories recorded for this
+    /// instance's platform class, keyed by heuristic.
+    pub trajectories: Vec<(HeuristicKind, Trajectory)>,
     /// H4 (`Sp bi P`) period floor: the period its unconstrained run
-    /// bottoms out at (its per-instance failure threshold).
-    pub sp_bi_p_floor: f64,
+    /// bottoms out at (its per-instance failure threshold). `None` on
+    /// fully heterogeneous platforms, where H4 does not apply.
+    pub sp_bi_p_floor: Option<f64>,
 }
 
 impl InstanceEval {
-    /// Evaluates one instance.
+    /// Evaluates one instance, recording the trajectories its platform
+    /// class supports.
     pub fn new(app: Application, platform: Platform) -> Self {
         let cm = CostModel::new(&app, &platform);
         let p_init = cm.single_proc_period();
         let l_opt = cm.optimal_latency();
-        let traj_split_mono = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
-        let traj_explo_mono = fixed_period_trajectory(&cm, TrajectoryKind::ExploMono);
-        let traj_explo_bi = fixed_period_trajectory(&cm, TrajectoryKind::ExploBi);
-        let sp_bi_p_floor = sp_bi_p(&cm, 0.0, SpBiPOptions::default()).period;
+        let (trajectories, sp_bi_p_floor) = if platform.is_comm_homogeneous() {
+            (
+                vec![
+                    (
+                        HeuristicKind::SpMonoP,
+                        fixed_period_trajectory(&cm, TrajectoryKind::SplitMono),
+                    ),
+                    (
+                        HeuristicKind::ThreeExploMono,
+                        fixed_period_trajectory(&cm, TrajectoryKind::ExploMono),
+                    ),
+                    (
+                        HeuristicKind::ThreeExploBi,
+                        fixed_period_trajectory(&cm, TrajectoryKind::ExploBi),
+                    ),
+                ],
+                Some(sp_bi_p(&cm, 0.0, SpBiPOptions::default()).period),
+            )
+        } else {
+            (
+                vec![(
+                    HeuristicKind::HeteroSplit,
+                    hetero_trajectory(&cm, HeteroSplitOptions::default()),
+                )],
+                None,
+            )
+        };
         InstanceEval {
             app,
             platform,
             p_init,
             l_opt,
-            traj_split_mono,
-            traj_explo_mono,
-            traj_explo_bi,
+            trajectories,
             sp_bi_p_floor,
         }
     }
@@ -56,19 +88,30 @@ impl InstanceEval {
         CostModel::new(&self.app, &self.platform)
     }
 
-    /// The tightest period any of the trajectory heuristics reaches — used
-    /// to scale sweep grids.
+    /// The recorded trajectory of one heuristic, when its class applies
+    /// to this instance's platform.
+    pub fn trajectory(&self, kind: HeuristicKind) -> Option<&Trajectory> {
+        self.trajectories
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, t)| t)
+    }
+
+    /// The tightest period any of the recorded trajectory heuristics
+    /// reaches — used to scale sweep grids.
     pub fn best_floor(&self) -> f64 {
-        self.traj_split_mono
-            .min_period()
-            .min(self.traj_explo_mono.min_period())
-            .min(self.traj_explo_bi.min_period())
-            .min(self.sp_bi_p_floor)
+        self.trajectories
+            .iter()
+            .map(|(_, t)| t.min_period())
+            .chain(self.sp_bi_p_floor)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
-/// Applies `f` to every item on `threads` scoped threads, preserving
-/// order. Panics in workers propagate.
+/// Applies `f` to every item on `threads` worker threads, preserving
+/// order. Backed by the chunked work-stealing engine of [`crate::shard`]
+/// (one lock per chunk instead of one per item); output is identical for
+/// every thread count. Panics in workers propagate.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -76,45 +119,14 @@ where
     F: Fn(T) -> R + Sync,
 {
     assert!(threads >= 1, "need at least one thread");
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.min(n);
-    if threads == 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Items behind Options so workers can take them by index.
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("each slot is taken once");
-                let out = f(item);
-                *results[i].lock().unwrap() = Some(out);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("all slots are filled"))
-        .collect()
+    sharded_map_items(items, ShardOptions::with_threads(threads), f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_model::scenario::{ScenarioFamily, ScenarioGenerator};
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -151,7 +163,24 @@ mod tests {
         assert!(ev.best_floor() <= ev.p_init + 1e-9);
         assert!(ev.l_opt > 0.0);
         // Trajectory floors are reachable results.
-        assert!(ev.traj_split_mono.min_period() > 0.0);
-        assert!(ev.sp_bi_p_floor > 0.0);
+        let h1 = ev.trajectory(HeuristicKind::SpMonoP).expect("homog eval");
+        assert!(h1.min_period() > 0.0);
+        assert!(ev.sp_bi_p_floor.expect("homog eval") > 0.0);
+        assert!(ev.trajectory(HeuristicKind::HeteroSplit).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_instances_record_the_extension_trajectory() {
+        let gen = ScenarioGenerator::new(ScenarioFamily::TwoTier.params(8, 6));
+        let (app, pf) = gen.instance(4, 0);
+        assert!(!pf.is_comm_homogeneous());
+        let ev = InstanceEval::new(app, pf);
+        assert!(ev.trajectory(HeuristicKind::SpMonoP).is_none());
+        assert!(ev.sp_bi_p_floor.is_none());
+        let het = ev
+            .trajectory(HeuristicKind::HeteroSplit)
+            .expect("hetero eval records the extension");
+        assert!(het.min_period() > 0.0);
+        assert!(ev.best_floor() <= ev.p_init + 1e-9);
     }
 }

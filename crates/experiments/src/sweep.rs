@@ -15,10 +15,22 @@
 //! H1/H2a/H2b answer all period targets from one recorded trajectory per
 //! instance (their split path is target-independent); H3/H4/H5 are re-run
 //! per target.
+//!
+//! Beyond the paper families, [`run_scenario`] sweeps **any registered
+//! scenario family** ([`pipeline_model::scenario`]): Communication
+//! Homogeneous families get the six paper curves, fully heterogeneous
+//! ones (`two-tier`, `comm-dominant`) get the §7 extension's curve
+//! ([`HeuristicKind::HeteroSplit`]). Instances are generated and
+//! evaluated *inside* the sharded work-queue engine ([`crate::shard`]) —
+//! per-index RNG streams, chunked work stealing, and chunk-ordered
+//! accumulator merges make the output bit-identical for every thread
+//! count.
 
 use crate::runner::{parallel_map, InstanceEval};
+use crate::shard::{sharded_fold, sharded_map_indices, ShardOptions, StatSums};
 use pipeline_core::{sp_bi_l, sp_bi_p, sp_mono_l, HeuristicKind, SpBiPOptions};
-use pipeline_model::generator::{InstanceGenerator, InstanceParams};
+use pipeline_model::generator::InstanceParams;
+use pipeline_model::scenario::{ScenarioGenerator, ScenarioParams};
 use pipeline_model::util::{linspace, mean};
 
 /// One averaged grid point of one heuristic's sweep.
@@ -94,7 +106,10 @@ pub struct FamilyStats {
 /// Result of sweeping one instance family.
 #[derive(Debug, Clone)]
 pub struct FamilyResult {
-    /// Six curves in [`HeuristicKind::ALL`] order.
+    /// One curve per applicable heuristic: the six of
+    /// [`HeuristicKind::ALL`] (in that order) for Communication
+    /// Homogeneous families, the single
+    /// [`HeuristicKind::HeteroSplit`] curve otherwise.
     pub series: Vec<HeuristicSeries>,
     /// The family's landmarks.
     pub stats: FamilyStats,
@@ -104,8 +119,10 @@ pub struct FamilyResult {
     pub latency_grid: Vec<f64>,
 }
 
-/// Sweeps one family. `n_instances` follows the paper's 50; `n_grid`
-/// controls curve resolution; `threads` parallelizes over instances.
+/// Sweeps one of the paper's E1–E4 families. `n_instances` follows the
+/// paper's 50; `n_grid` controls curve resolution; `threads` sizes the
+/// sharded engine. Equivalent to [`run_scenario`] on the corresponding
+/// registered family (identical instance streams).
 pub fn run_family(
     params: InstanceParams,
     seed: u64,
@@ -113,16 +130,55 @@ pub fn run_family(
     n_grid: usize,
     threads: usize,
 ) -> FamilyResult {
-    assert!(n_instances > 0 && n_grid >= 2);
-    let gen = InstanceGenerator::new(params);
-    let instances = gen.batch(seed, n_instances);
-    let evals: Vec<InstanceEval> =
-        parallel_map(instances, threads, |(app, pf)| InstanceEval::new(app, pf));
+    // Route through the registry so every sweep exercises one engine;
+    // the Paper config delegates to `InstanceGenerator`, keeping the
+    // instance streams bit-identical to the pre-registry harness.
+    let scenario = ScenarioParams {
+        n_stages: params.n_stages,
+        n_procs: params.n_procs,
+        config: pipeline_model::scenario::FamilyConfig::Paper {
+            kind: params.kind,
+            bandwidth: params.bandwidth,
+            speed_range: params.speed_range,
+        },
+    };
+    run_scenario(&scenario, seed, n_instances, n_grid, threads)
+}
 
-    let mean_p_init = mean(&evals.iter().map(|e| e.p_init).collect::<Vec<_>>()).expect("n>0");
-    let mean_l_opt = mean(&evals.iter().map(|e| e.l_opt).collect::<Vec<_>>()).expect("n>0");
-    let mean_best_floor =
-        mean(&evals.iter().map(|e| e.best_floor()).collect::<Vec<_>>()).expect("n>0");
+/// Sweeps **any registered scenario family** with the sharded engine.
+///
+/// Instances are generated inside worker shards from their per-index RNG
+/// streams (`gen.instance(seed, i)`), evaluated, and aggregated with
+/// chunk-ordered mergeable accumulators — so the result is bit-identical
+/// for every `threads` value (the serial run is `threads == 1`).
+pub fn run_scenario(
+    params: &ScenarioParams,
+    seed: u64,
+    n_instances: usize,
+    n_grid: usize,
+    threads: usize,
+) -> FamilyResult {
+    assert!(n_instances > 0 && n_grid >= 2);
+    let gen = ScenarioGenerator::new(*params);
+    let opts = ShardOptions::with_threads(threads);
+    let evals: Vec<InstanceEval> = sharded_map_indices(n_instances, opts, |i| {
+        let (app, pf) = gen.instance(seed, i as u64);
+        InstanceEval::new(app, pf)
+    });
+
+    // Landmark means via the engine's mergeable accumulator (chunk-order
+    // merge keeps the floating-point sums reproducible).
+    let sums = sharded_fold(n_instances, opts, |range| {
+        let mut acc = StatSums::default();
+        for e in &evals[range] {
+            acc.absorb(e.p_init, e.l_opt, e.best_floor());
+        }
+        acc
+    })
+    .expect("n_instances > 0");
+    let mean_p_init = sums.p_init / sums.count as f64;
+    let mean_l_opt = sums.l_opt / sums.count as f64;
+    let mean_best_floor = sums.best_floor / sums.count as f64;
 
     // Grids mirroring the paper's plot ranges: periods from just under
     // the best average floor up to the average initial period; latencies
@@ -130,16 +186,23 @@ pub fn run_family(
     let period_grid = linspace(mean_best_floor * 0.9, mean_p_init * 1.02, n_grid);
     let latency_grid = linspace(mean_l_opt, mean_l_opt * 3.0, n_grid);
 
-    // Period-fixed heuristics answered from trajectories (H1, H2a, H2b)
-    // or re-run per target (H3). Parallelism is over instances already
-    // exploited above; the sweep itself is cheap except H3, so
-    // parallelize H3 over instances.
-    let mut series = Vec::with_capacity(6);
-    for kind in HeuristicKind::ALL {
+    // Period-fixed heuristics answered from trajectories (H1, H2a, H2b —
+    // or the §7 extension on heterogeneous platforms) or re-run per
+    // target (H3). Parallelism is over instances already exploited
+    // above; the sweep itself is cheap except H3/H5/H6, which
+    // re-parallelize over instances.
+    let kinds: Vec<HeuristicKind> = if params.family().comm_homogeneous() {
+        HeuristicKind::ALL.to_vec()
+    } else {
+        vec![HeuristicKind::HeteroSplit]
+    };
+    let mut series = Vec::with_capacity(kinds.len());
+    for kind in kinds {
         let points = match kind {
             HeuristicKind::SpMonoP
             | HeuristicKind::ThreeExploMono
-            | HeuristicKind::ThreeExploBi => sweep_trajectory(kind, &evals, &period_grid),
+            | HeuristicKind::ThreeExploBi
+            | HeuristicKind::HeteroSplit => sweep_trajectory(kind, &evals, &period_grid),
             HeuristicKind::SpBiP => sweep_sp_bi_p(&evals, &period_grid, threads),
             HeuristicKind::SpMonoL | HeuristicKind::SpBiL => {
                 sweep_latency_fixed(kind, &evals, &latency_grid, threads)
@@ -178,20 +241,15 @@ fn aggregate(target: f64, outcomes: &[(bool, f64, f64)]) -> Option<SweepPoint> {
 }
 
 fn sweep_trajectory(kind: HeuristicKind, evals: &[InstanceEval], grid: &[f64]) -> Vec<SweepPoint> {
-    fn traj_of(kind: HeuristicKind, e: &InstanceEval) -> &pipeline_core::Trajectory {
-        match kind {
-            HeuristicKind::SpMonoP => &e.traj_split_mono,
-            HeuristicKind::ThreeExploMono => &e.traj_explo_mono,
-            HeuristicKind::ThreeExploBi => &e.traj_explo_bi,
-            _ => unreachable!("not a trajectory heuristic"),
-        }
-    }
     grid.iter()
         .filter_map(|&target| {
             let outcomes: Vec<(bool, f64, f64)> = evals
                 .iter()
                 .map(|e| {
-                    let r = traj_of(kind, e).result_for_period(target);
+                    let r = e
+                        .trajectory(kind)
+                        .expect("trajectory recorded for this platform class")
+                        .result_for_period(target);
                     (r.feasible, r.period, r.latency)
                 })
                 .collect();
@@ -305,6 +363,48 @@ mod tests {
                     assert_eq!(y, pt.target);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_covers_every_registered_family() {
+        use pipeline_model::scenario::ScenarioFamily;
+        for family in ScenarioFamily::ALL {
+            // Heterogeneous families are costlier per split; keep tiny.
+            let params = family.params(6, 5);
+            let fam = run_scenario(&params, 11, 3, 5, 2);
+            assert_eq!(fam.stats.n_instances, 3, "{family}");
+            if family.comm_homogeneous() {
+                assert_eq!(fam.series.len(), 6, "{family}");
+            } else {
+                assert_eq!(fam.series.len(), 1, "{family}");
+                assert_eq!(fam.series[0].kind, HeuristicKind::HeteroSplit);
+            }
+            // Every family must produce at least one feasible point on
+            // its loosest period target.
+            let first = &fam.series[0];
+            let last = first.points.last().expect("non-empty series");
+            assert!(last.n_feasible > 0, "{family}: no feasible point");
+            assert!(fam.stats.mean_best_floor <= fam.stats.mean_p_init + 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_family_routes_through_the_registry_unchanged() {
+        // run_family == run_scenario on the registered paper family.
+        let params = InstanceParams::paper(ExperimentKind::E3, 7, 6);
+        let a = run_family(params, 5, 4, 6, 1);
+        let b = run_scenario(
+            &pipeline_model::scenario::ScenarioFamily::E3.params(7, 6),
+            5,
+            4,
+            6,
+            1,
+        );
+        assert_eq!(a.period_grid, b.period_grid);
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.kind, sb.kind);
+            assert_eq!(sa.xy(), sb.xy());
         }
     }
 

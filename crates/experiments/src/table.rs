@@ -40,13 +40,21 @@ pub struct ThresholdTable {
     pub n_instances: usize,
 }
 
-/// Per-instance thresholds in [`HeuristicKind::ALL`] order.
+/// Per-instance thresholds in [`HeuristicKind::ALL`] order. Table 1 is
+/// defined on the paper's Communication Homogeneous setting, so the eval
+/// must carry the H1/H2a/H2b trajectories and the H4 floor.
 pub fn instance_thresholds(eval: &InstanceEval) -> [f64; 6] {
+    let floor = |kind: HeuristicKind| {
+        eval.trajectory(kind)
+            .expect("Table 1 needs a Communication Homogeneous eval")
+            .min_period()
+    };
     [
-        eval.traj_split_mono.min_period(),
-        eval.traj_explo_mono.min_period(),
-        eval.traj_explo_bi.min_period(),
-        eval.sp_bi_p_floor,
+        floor(HeuristicKind::SpMonoP),
+        floor(HeuristicKind::ThreeExploMono),
+        floor(HeuristicKind::ThreeExploBi),
+        eval.sp_bi_p_floor
+            .expect("Table 1 needs a Communication Homogeneous eval"),
         eval.l_opt,
         eval.l_opt,
     ]

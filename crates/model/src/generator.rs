@@ -146,13 +146,7 @@ impl InstanceGenerator {
     /// application/platform pair; the experiment harness uses indices
     /// `0..50` to reproduce the paper's "average over 50 random pairs".
     pub fn instance(&self, seed: u64, index: u64) -> (Application, Platform) {
-        // Derive a stream-unique seed; splitmix-style mixing keeps distinct
-        // (seed, index) pairs decorrelated even for consecutive indices.
-        let mixed = seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add(0x94D0_49BB_1331_11EB);
-        let mut rng = StdRng::seed_from_u64(mixed);
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed, index));
         self.instance_with_rng(&mut rng)
     }
 
@@ -182,7 +176,20 @@ impl InstanceGenerator {
     }
 }
 
-fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+/// Derives the RNG seed of stream `(seed, index)` — splitmix-style mixing
+/// keeps distinct `(seed, index)` pairs decorrelated even for consecutive
+/// indices. Shared with the scenario-zoo generators
+/// ([`crate::scenario`]), which additionally salt `seed` per family.
+pub fn stream_seed(seed: u64, index: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB)
+}
+
+/// Uniform draw from `[lo, hi)`, with `lo == hi` encoding the constant
+/// distribution. Shared with the scenario-zoo generators so a change here
+/// cannot silently diverge their streams from the paper families'.
+pub(crate) fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
     if lo == hi {
         lo
     } else {

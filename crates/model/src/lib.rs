@@ -19,6 +19,11 @@
 //!   (eq. 2).
 //! * [`generator`] — random instances matching the experimental setting of
 //!   the paper's Section 5 (experiments E1–E4).
+//! * [`scenario`] — the scenario zoo: a registry of instance families
+//!   beyond E1–E4 (heavy-tailed speeds, clustered two-tier platforms,
+//!   communication-dominant pipelines on heterogeneous links, power-law
+//!   stage weights, adversarial chains-to-chains instances), all behind
+//!   one seeded, deterministic interface.
 //!
 //! # Conventions
 //!
@@ -35,6 +40,7 @@ pub mod generator;
 pub mod io;
 pub mod mapping;
 pub mod platform;
+pub mod scenario;
 pub mod util;
 pub mod workload;
 
@@ -43,6 +49,7 @@ pub use cost::CostModel;
 pub use generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 pub use mapping::{Interval, IntervalMapping};
 pub use platform::{LinkModel, Platform, ProcId};
+pub use scenario::{FamilyConfig, ScenarioFamily, ScenarioGenerator, ScenarioParams};
 
 /// Convenient glob import: `use pipeline_model::prelude::*;`.
 pub mod prelude {
@@ -51,6 +58,7 @@ pub mod prelude {
     pub use crate::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
     pub use crate::mapping::{Interval, IntervalMapping};
     pub use crate::platform::{LinkModel, Platform, ProcId};
+    pub use crate::scenario::{FamilyConfig, ScenarioFamily, ScenarioGenerator, ScenarioParams};
     pub use crate::util::{approx_eq, approx_le, EPS};
 }
 

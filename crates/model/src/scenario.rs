@@ -1,0 +1,762 @@
+//! The scenario zoo: a registry of random instance families.
+//!
+//! The paper's experiments E1–E4 ([`crate::generator`]) sample uniform
+//! random workloads on Communication Homogeneous platforms. The stream
+//! workflow literature motivates far more diverse workloads — heavy-tailed
+//! processor speeds, clustered two-tier platforms, communication-dominant
+//! pipelines on heterogeneous links, power-law stage weights, and
+//! adversarial chains-to-chains instances. This module registers them all
+//! behind one uniform interface:
+//!
+//! * [`ScenarioFamily`] — the registry: every family has a **stable
+//!   label** (`"e1"` … `"adversarial"`), a one-line description of what
+//!   it stresses, and a default parameterization;
+//! * per-family **parameter structs** ([`HeavyTailConfig`],
+//!   [`TwoTierConfig`], [`CommDominantConfig`], [`PowerLawWorkConfig`],
+//!   [`AdversarialConfig`]) collected in [`FamilyConfig`];
+//! * [`ScenarioGenerator`] — seeded, deterministic instance generation:
+//!   `instance(seed, i)` always regenerates the same application/platform
+//!   pair, and distinct `(family, seed, i)` triples are decorrelated by
+//!   per-family stream salts.
+//!
+//! The four paper families delegate to [`InstanceGenerator`], so
+//! `ScenarioFamily::E2` reproduces the legacy E2 stream *bit for bit* —
+//! experiment seeds stay valid across the refactor (tested in
+//! `tests/scenario_props.rs`).
+//!
+//! | label | platform links | what it stresses |
+//! |----------------|---------------|---------------------------------------------|
+//! | `e1`…`e4` | homogeneous | the paper's Section 5 regimes |
+//! | `heavy-tail` | homogeneous | few very fast processors (Pareto/Zipf speeds)|
+//! | `two-tier` | heterogeneous | clustered platforms, slow inter-cluster links|
+//! | `comm-dominant`| heterogeneous | transfers dwarf computation, per-link b/w |
+//! | `power-law` | homogeneous | a few dominant stages (Pareto stage weights) |
+//! | `adversarial` | homogeneous | NMWTS-style knife-edge partitioning ties |
+
+use crate::application::Application;
+use crate::generator::{
+    sample_uniform, stream_seed, ExperimentKind, InstanceGenerator, InstanceParams,
+};
+use crate::platform::Platform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stable identifier of a registered scenario family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioFamily {
+    /// Paper E1: balanced comms/comp, constant communication volumes.
+    E1,
+    /// Paper E2: balanced comms/comp, heterogeneous communication volumes.
+    E2,
+    /// Paper E3: computation-dominated.
+    E3,
+    /// Paper E4: communication-dominated (homogeneous links).
+    E4,
+    /// Heavy-tailed (bounded-Pareto/Zipf) processor speeds: most
+    /// processors are slow, a few are very fast.
+    HeavyTail,
+    /// Clustered two-tier platform: a small fast cluster and a large slow
+    /// one, fast intra-cluster links, slow inter-cluster links
+    /// (heterogeneous [`crate::LinkModel`]).
+    TwoTier,
+    /// Communication-dominant pipeline on fully heterogeneous links:
+    /// transfer volumes dwarf computation.
+    CommDominant,
+    /// Power-law (bounded-Pareto) stage weights: a few dominant stages.
+    PowerLawWork,
+    /// Degenerate NMWTS-style instances: identical unit-speed processors,
+    /// zero communication, power-of-two stage works — period minimization
+    /// collapses to chains-to-chains partitioning with knife-edge ties.
+    Adversarial,
+}
+
+impl ScenarioFamily {
+    /// Every registered family, paper families first.
+    pub const ALL: [ScenarioFamily; 9] = [
+        ScenarioFamily::E1,
+        ScenarioFamily::E2,
+        ScenarioFamily::E3,
+        ScenarioFamily::E4,
+        ScenarioFamily::HeavyTail,
+        ScenarioFamily::TwoTier,
+        ScenarioFamily::CommDominant,
+        ScenarioFamily::PowerLawWork,
+        ScenarioFamily::Adversarial,
+    ];
+
+    /// Stable machine-readable label (CLI/CSV/CI key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioFamily::E1 => "e1",
+            ScenarioFamily::E2 => "e2",
+            ScenarioFamily::E3 => "e3",
+            ScenarioFamily::E4 => "e4",
+            ScenarioFamily::HeavyTail => "heavy-tail",
+            ScenarioFamily::TwoTier => "two-tier",
+            ScenarioFamily::CommDominant => "comm-dominant",
+            ScenarioFamily::PowerLawWork => "power-law",
+            ScenarioFamily::Adversarial => "adversarial",
+        }
+    }
+
+    /// Looks a family up by its stable label (case-insensitive).
+    pub fn from_label(label: &str) -> Option<ScenarioFamily> {
+        let needle = label.to_ascii_lowercase();
+        ScenarioFamily::ALL
+            .into_iter()
+            .find(|f| f.label() == needle)
+    }
+
+    /// One line on what the family stresses.
+    pub fn stresses(&self) -> &'static str {
+        match self {
+            ScenarioFamily::E1 => "balanced comms/comp, constant volumes (paper E1)",
+            ScenarioFamily::E2 => "balanced comms/comp, mixed volumes (paper E2)",
+            ScenarioFamily::E3 => "computation-dominated stages (paper E3)",
+            ScenarioFamily::E4 => "communication-dominated stages (paper E4)",
+            ScenarioFamily::HeavyTail => "a few very fast processors among many slow ones",
+            ScenarioFamily::TwoTier => "clustered platforms with slow inter-cluster links",
+            ScenarioFamily::CommDominant => "transfers dwarfing computation on per-link bandwidths",
+            ScenarioFamily::PowerLawWork => "a few dominant stages in an otherwise light pipeline",
+            ScenarioFamily::Adversarial => "knife-edge chains-to-chains partitioning ties",
+        }
+    }
+
+    /// True when every instance of the family lives on a Communication
+    /// Homogeneous platform — the class the paper's six heuristics (and
+    /// the exact solver) are defined for. The other families need the
+    /// §7 heterogeneous extension.
+    pub fn comm_homogeneous(&self) -> bool {
+        !matches!(self, ScenarioFamily::TwoTier | ScenarioFamily::CommDominant)
+    }
+
+    /// Default parameterization of the family at a given size.
+    pub fn params(&self, n_stages: usize, n_procs: usize) -> ScenarioParams {
+        let config = match self {
+            ScenarioFamily::E1 => FamilyConfig::paper(ExperimentKind::E1),
+            ScenarioFamily::E2 => FamilyConfig::paper(ExperimentKind::E2),
+            ScenarioFamily::E3 => FamilyConfig::paper(ExperimentKind::E3),
+            ScenarioFamily::E4 => FamilyConfig::paper(ExperimentKind::E4),
+            ScenarioFamily::HeavyTail => FamilyConfig::HeavyTail(HeavyTailConfig::default()),
+            ScenarioFamily::TwoTier => FamilyConfig::TwoTier(TwoTierConfig::default()),
+            ScenarioFamily::CommDominant => {
+                FamilyConfig::CommDominant(CommDominantConfig::default())
+            }
+            ScenarioFamily::PowerLawWork => {
+                FamilyConfig::PowerLawWork(PowerLawWorkConfig::default())
+            }
+            ScenarioFamily::Adversarial => FamilyConfig::Adversarial(AdversarialConfig::default()),
+        };
+        ScenarioParams {
+            n_stages,
+            n_procs,
+            config,
+        }
+    }
+
+    /// Per-family stream salt, mixed into the seed so the same seed draws
+    /// decorrelated streams across families. Paper families use salt 0:
+    /// their streams must stay bit-identical to the legacy
+    /// [`InstanceGenerator`].
+    fn salt(&self) -> u64 {
+        match self {
+            ScenarioFamily::E1 | ScenarioFamily::E2 | ScenarioFamily::E3 | ScenarioFamily::E4 => 0,
+            ScenarioFamily::HeavyTail => 0x6865_6176_795F_7461, // "heavy_ta"
+            ScenarioFamily::TwoTier => 0x7477_6F5F_7469_6572,   // "two_tier"
+            ScenarioFamily::CommDominant => 0x636F_6D6D_5F64_6F6D, // "comm_dom"
+            ScenarioFamily::PowerLawWork => 0x706F_7765_725F_6C61, // "power_la"
+            ScenarioFamily::Adversarial => 0x6164_7665_7273_6172, // "adversar"
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Knobs of the [`ScenarioFamily::HeavyTail`] family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyTailConfig {
+    /// Pareto tail exponent of the speed distribution (smaller = heavier
+    /// tail).
+    pub alpha: f64,
+    /// Support `[lo, hi]` of the bounded-Pareto speed draw.
+    pub speed_range: (f64, f64),
+    /// Uniform stage-work range.
+    pub work_range: (f64, f64),
+    /// Uniform communication-volume range.
+    pub delta_range: (f64, f64),
+    /// Homogeneous link bandwidth.
+    pub bandwidth: f64,
+}
+
+impl Default for HeavyTailConfig {
+    fn default() -> Self {
+        HeavyTailConfig {
+            alpha: 1.2,
+            speed_range: (1.0, 100.0),
+            work_range: (1.0, 20.0),
+            delta_range: (1.0, 20.0),
+            bandwidth: 10.0,
+        }
+    }
+}
+
+/// Knobs of the [`ScenarioFamily::TwoTier`] family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoTierConfig {
+    /// Fraction of processors in the fast cluster (rounded, clamped to
+    /// `[1, p]`).
+    pub fast_fraction: f64,
+    /// Integer-uniform speed range of the fast cluster.
+    pub fast_speed: (u32, u32),
+    /// Integer-uniform speed range of the slow cluster.
+    pub slow_speed: (u32, u32),
+    /// Bandwidth of links inside a cluster.
+    pub intra_bandwidth: f64,
+    /// Bandwidth of links between the clusters (and to the outside
+    /// world).
+    pub inter_bandwidth: f64,
+    /// Uniform stage-work range.
+    pub work_range: (f64, f64),
+    /// Uniform communication-volume range.
+    pub delta_range: (f64, f64),
+}
+
+impl Default for TwoTierConfig {
+    fn default() -> Self {
+        TwoTierConfig {
+            fast_fraction: 0.25,
+            fast_speed: (15, 30),
+            slow_speed: (1, 5),
+            intra_bandwidth: 100.0,
+            inter_bandwidth: 5.0,
+            work_range: (1.0, 20.0),
+            delta_range: (1.0, 20.0),
+        }
+    }
+}
+
+/// Knobs of the [`ScenarioFamily::CommDominant`] family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommDominantConfig {
+    /// Uniform communication-volume range (large by design).
+    pub delta_range: (f64, f64),
+    /// Uniform stage-work range (small by design).
+    pub work_range: (f64, f64),
+    /// Uniform per-link bandwidth range (each unordered processor pair
+    /// draws one symmetric bandwidth; the I/O links draw another).
+    pub bandwidth_range: (f64, f64),
+    /// Integer-uniform processor-speed range.
+    pub speed_range: (u32, u32),
+}
+
+impl Default for CommDominantConfig {
+    fn default() -> Self {
+        CommDominantConfig {
+            delta_range: (50.0, 200.0),
+            work_range: (0.01, 5.0),
+            bandwidth_range: (1.0, 10.0),
+            speed_range: (1, 20),
+        }
+    }
+}
+
+/// Knobs of the [`ScenarioFamily::PowerLawWork`] family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawWorkConfig {
+    /// Pareto tail exponent of the stage-work distribution.
+    pub alpha: f64,
+    /// Support `[lo, hi]` of the bounded-Pareto work draw.
+    pub work_range: (f64, f64),
+    /// Uniform communication-volume range.
+    pub delta_range: (f64, f64),
+    /// Integer-uniform processor-speed range.
+    pub speed_range: (u32, u32),
+    /// Homogeneous link bandwidth.
+    pub bandwidth: f64,
+}
+
+impl Default for PowerLawWorkConfig {
+    fn default() -> Self {
+        PowerLawWorkConfig {
+            alpha: 1.1,
+            work_range: (1.0, 1000.0),
+            delta_range: (1.0, 20.0),
+            speed_range: (1, 20),
+            bandwidth: 10.0,
+        }
+    }
+}
+
+/// Knobs of the [`ScenarioFamily::Adversarial`] family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversarialConfig {
+    /// Stage works are `2^e` with `e` integer-uniform in
+    /// `[0, max_exponent]`.
+    pub max_exponent: u32,
+    /// Homogeneous link bandwidth (volumes are zero, so it only has to be
+    /// valid).
+    pub bandwidth: f64,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            max_exponent: 6,
+            bandwidth: 10.0,
+        }
+    }
+}
+
+/// Family-specific parameters, one variant per registered family class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FamilyConfig {
+    /// One of the paper's E1–E4 regimes (same knobs as
+    /// [`InstanceParams`]).
+    Paper {
+        /// Workload regime.
+        kind: ExperimentKind,
+        /// Homogeneous link bandwidth.
+        bandwidth: f64,
+        /// Integer-uniform processor-speed range.
+        speed_range: (u32, u32),
+    },
+    /// Heavy-tailed processor speeds.
+    HeavyTail(HeavyTailConfig),
+    /// Clustered two-tier platform.
+    TwoTier(TwoTierConfig),
+    /// Communication-dominant pipeline on heterogeneous links.
+    CommDominant(CommDominantConfig),
+    /// Power-law stage weights.
+    PowerLawWork(PowerLawWorkConfig),
+    /// Degenerate NMWTS-style instances.
+    Adversarial(AdversarialConfig),
+}
+
+impl FamilyConfig {
+    /// The paper's setting for one experiment regime.
+    pub fn paper(kind: ExperimentKind) -> FamilyConfig {
+        FamilyConfig::Paper {
+            kind,
+            bandwidth: 10.0,
+            speed_range: (1, 20),
+        }
+    }
+
+    /// The family this configuration belongs to.
+    pub fn family(&self) -> ScenarioFamily {
+        match self {
+            FamilyConfig::Paper { kind, .. } => match kind {
+                ExperimentKind::E1 => ScenarioFamily::E1,
+                ExperimentKind::E2 => ScenarioFamily::E2,
+                ExperimentKind::E3 => ScenarioFamily::E3,
+                ExperimentKind::E4 => ScenarioFamily::E4,
+            },
+            FamilyConfig::HeavyTail(_) => ScenarioFamily::HeavyTail,
+            FamilyConfig::TwoTier(_) => ScenarioFamily::TwoTier,
+            FamilyConfig::CommDominant(_) => ScenarioFamily::CommDominant,
+            FamilyConfig::PowerLawWork(_) => ScenarioFamily::PowerLawWork,
+            FamilyConfig::Adversarial(_) => ScenarioFamily::Adversarial,
+        }
+    }
+}
+
+/// Full parameterization of one scenario instance family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioParams {
+    /// Number of pipeline stages `n`.
+    pub n_stages: usize,
+    /// Number of processors `p`.
+    pub n_procs: usize,
+    /// Family-specific knobs.
+    pub config: FamilyConfig,
+}
+
+impl ScenarioParams {
+    /// The registry's default parameterization of `family` at the given
+    /// size — shorthand for [`ScenarioFamily::params`].
+    pub fn preset(family: ScenarioFamily, n_stages: usize, n_procs: usize) -> Self {
+        family.params(n_stages, n_procs)
+    }
+
+    /// The family of this parameterization.
+    pub fn family(&self) -> ScenarioFamily {
+        self.config.family()
+    }
+}
+
+/// Seeded generator of application/platform pairs for any registered
+/// family. The scenario-zoo counterpart of [`InstanceGenerator`] — for
+/// the paper families it *is* the legacy generator (delegation, identical
+/// streams).
+#[derive(Debug, Clone)]
+pub struct ScenarioGenerator {
+    params: ScenarioParams,
+}
+
+impl ScenarioGenerator {
+    /// Creates a generator, validating the family knobs.
+    pub fn new(params: ScenarioParams) -> Self {
+        assert!(params.n_stages > 0, "need at least one stage");
+        assert!(params.n_procs > 0, "need at least one processor");
+        match &params.config {
+            FamilyConfig::Paper {
+                bandwidth,
+                speed_range,
+                ..
+            } => {
+                assert!(*bandwidth > 0.0, "bandwidth must be positive");
+                assert!(speed_range.0 >= 1, "speeds must be positive");
+                assert!(speed_range.0 <= speed_range.1, "empty speed range");
+            }
+            FamilyConfig::HeavyTail(c) => {
+                assert!(c.alpha > 0.0, "tail exponent must be positive");
+                validate_range("speed", c.speed_range, 1e-9);
+                validate_range("work", c.work_range, 0.0);
+                validate_range("delta", c.delta_range, 0.0);
+                assert!(c.bandwidth > 0.0, "bandwidth must be positive");
+            }
+            FamilyConfig::TwoTier(c) => {
+                assert!(
+                    c.fast_fraction > 0.0 && c.fast_fraction <= 1.0,
+                    "fast fraction must be in (0, 1]"
+                );
+                assert!(c.fast_speed.0 >= 1 && c.fast_speed.0 <= c.fast_speed.1);
+                assert!(c.slow_speed.0 >= 1 && c.slow_speed.0 <= c.slow_speed.1);
+                assert!(c.intra_bandwidth > 0.0 && c.inter_bandwidth > 0.0);
+                validate_range("work", c.work_range, 0.0);
+                validate_range("delta", c.delta_range, 0.0);
+            }
+            FamilyConfig::CommDominant(c) => {
+                validate_range("delta", c.delta_range, 0.0);
+                validate_range("work", c.work_range, 0.0);
+                validate_range("bandwidth", c.bandwidth_range, 1e-9);
+                assert!(c.speed_range.0 >= 1 && c.speed_range.0 <= c.speed_range.1);
+            }
+            FamilyConfig::PowerLawWork(c) => {
+                assert!(c.alpha > 0.0, "tail exponent must be positive");
+                validate_range("work", c.work_range, 1e-9);
+                validate_range("delta", c.delta_range, 0.0);
+                assert!(c.speed_range.0 >= 1 && c.speed_range.0 <= c.speed_range.1);
+                assert!(c.bandwidth > 0.0, "bandwidth must be positive");
+            }
+            FamilyConfig::Adversarial(c) => {
+                assert!(c.max_exponent <= 52, "2^e must stay exact in f64");
+                assert!(c.bandwidth > 0.0, "bandwidth must be positive");
+            }
+        }
+        ScenarioGenerator { params }
+    }
+
+    /// The generator's parameters.
+    pub fn params(&self) -> &ScenarioParams {
+        &self.params
+    }
+
+    /// The family being generated.
+    pub fn family(&self) -> ScenarioFamily {
+        self.params.family()
+    }
+
+    /// The family's stable label.
+    pub fn label(&self) -> &'static str {
+        self.family().label()
+    }
+
+    /// Generates the `index`-th instance of the family under `seed`.
+    /// Deterministic: the same `(params, seed, index)` always regenerates
+    /// the same pair, and each index is its own decorrelated RNG stream —
+    /// which is what lets the sharded sweep engine generate instances
+    /// inside worker shards in any order.
+    pub fn instance(&self, seed: u64, index: u64) -> (Application, Platform) {
+        let p = &self.params;
+        match &p.config {
+            FamilyConfig::Paper {
+                kind,
+                bandwidth,
+                speed_range,
+            } => {
+                // Delegate so paper-family streams stay bit-identical to
+                // the legacy generator.
+                let legacy = InstanceGenerator::new(InstanceParams {
+                    n_stages: p.n_stages,
+                    n_procs: p.n_procs,
+                    kind: *kind,
+                    bandwidth: *bandwidth,
+                    speed_range: *speed_range,
+                });
+                legacy.instance(seed, index)
+            }
+            config => {
+                let salt = self.family().salt();
+                let mut rng = StdRng::seed_from_u64(stream_seed(seed ^ salt, index));
+                self.sample(config, &mut rng)
+            }
+        }
+    }
+
+    /// Generates the first `count` instances of the family under `seed`.
+    pub fn batch(&self, seed: u64, count: usize) -> Vec<(Application, Platform)> {
+        (0..count as u64).map(|i| self.instance(seed, i)).collect()
+    }
+
+    fn sample<R: Rng + ?Sized>(
+        &self,
+        config: &FamilyConfig,
+        rng: &mut R,
+    ) -> (Application, Platform) {
+        let n = self.params.n_stages;
+        let p = self.params.n_procs;
+        match config {
+            FamilyConfig::Paper { .. } => unreachable!("paper families delegate"),
+            FamilyConfig::HeavyTail(c) => {
+                let works = sample_vec(rng, n, c.work_range);
+                let deltas = sample_vec(rng, n + 1, c.delta_range);
+                let speeds: Vec<f64> = (0..p)
+                    .map(|_| bounded_pareto(rng, c.alpha, c.speed_range.0, c.speed_range.1))
+                    .collect();
+                let app = Application::new(works, deltas).expect("valid application");
+                let pf = Platform::comm_homogeneous(speeds, c.bandwidth).expect("valid platform");
+                (app, pf)
+            }
+            FamilyConfig::TwoTier(c) => {
+                let works = sample_vec(rng, n, c.work_range);
+                let deltas = sample_vec(rng, n + 1, c.delta_range);
+                let n_fast = ((p as f64 * c.fast_fraction).round() as usize).clamp(1, p);
+                let speeds: Vec<f64> = (0..p)
+                    .map(|u| {
+                        let (lo, hi) = if u < n_fast {
+                            c.fast_speed
+                        } else {
+                            c.slow_speed
+                        };
+                        rng.random_range(lo..=hi) as f64
+                    })
+                    .collect();
+                let matrix: Vec<Vec<f64>> = (0..p)
+                    .map(|u| {
+                        (0..p)
+                            .map(|v| {
+                                if (u < n_fast) == (v < n_fast) {
+                                    c.intra_bandwidth
+                                } else {
+                                    c.inter_bandwidth
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let app = Application::new(works, deltas).expect("valid application");
+                let pf = Platform::fully_heterogeneous(speeds, matrix, c.inter_bandwidth)
+                    .expect("valid platform");
+                (app, pf)
+            }
+            FamilyConfig::CommDominant(c) => {
+                let works = sample_vec(rng, n, c.work_range);
+                let deltas = sample_vec(rng, n + 1, c.delta_range);
+                let speeds: Vec<f64> = (0..p)
+                    .map(|_| rng.random_range(c.speed_range.0..=c.speed_range.1) as f64)
+                    .collect();
+                // Symmetric link draws: one bandwidth per unordered pair,
+                // drawn in row-major upper-triangle order.
+                let upper: Vec<f64> = (0..p * p.saturating_sub(1) / 2)
+                    .map(|_| sample_uniform(rng, c.bandwidth_range.0, c.bandwidth_range.1))
+                    .collect();
+                let pair = |u: usize, v: usize| {
+                    let (a, b) = if u < v { (u, v) } else { (v, u) };
+                    // Row offset Σ_{k<a}(p-1-k) = a(2p-a-1)/2, then column.
+                    a * (2 * p - a - 1) / 2 + (b - a - 1)
+                };
+                let matrix: Vec<Vec<f64>> = (0..p)
+                    .map(|u| {
+                        (0..p)
+                            .map(|v| {
+                                // Diagonal entries are unused by the model.
+                                if u == v {
+                                    c.bandwidth_range.1
+                                } else {
+                                    upper[pair(u, v)]
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let io = sample_uniform(rng, c.bandwidth_range.0, c.bandwidth_range.1);
+                let app = Application::new(works, deltas).expect("valid application");
+                let pf = Platform::fully_heterogeneous(speeds, matrix, io).expect("valid platform");
+                (app, pf)
+            }
+            FamilyConfig::PowerLawWork(c) => {
+                let works: Vec<f64> = (0..n)
+                    .map(|_| bounded_pareto(rng, c.alpha, c.work_range.0, c.work_range.1))
+                    .collect();
+                let deltas = sample_vec(rng, n + 1, c.delta_range);
+                let speeds: Vec<f64> = (0..p)
+                    .map(|_| rng.random_range(c.speed_range.0..=c.speed_range.1) as f64)
+                    .collect();
+                let app = Application::new(works, deltas).expect("valid application");
+                let pf = Platform::comm_homogeneous(speeds, c.bandwidth).expect("valid platform");
+                (app, pf)
+            }
+            FamilyConfig::Adversarial(c) => {
+                let works: Vec<f64> = (0..n)
+                    .map(|_| f64::from(1u32 << rng.random_range(0..=c.max_exponent)))
+                    .collect();
+                let deltas = vec![0.0; n + 1];
+                let speeds = vec![1.0; p];
+                let app = Application::new(works, deltas).expect("valid application");
+                let pf = Platform::comm_homogeneous(speeds, c.bandwidth).expect("valid platform");
+                (app, pf)
+            }
+        }
+    }
+}
+
+fn validate_range(what: &str, (lo, hi): (f64, f64), min_lo: f64) {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo >= min_lo && lo <= hi,
+        "invalid {what} range [{lo}, {hi}]"
+    );
+}
+
+fn sample_vec<R: Rng + ?Sized>(rng: &mut R, count: usize, range: (f64, f64)) -> Vec<f64> {
+    (0..count)
+        .map(|_| sample_uniform(rng, range.0, range.1))
+        .collect()
+}
+
+/// One draw from the bounded Pareto distribution with tail exponent
+/// `alpha` on support `[lo, hi]` (inverse-CDF sampling). Heavier tails
+/// (smaller `alpha`) push more mass toward `hi`-sized rare events while
+/// most draws stay near `lo` — the standard model for Zipf-like speed and
+/// work distributions.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && lo > 0.0 && lo <= hi,
+        "invalid Pareto support"
+    );
+    if lo == hi {
+        return lo;
+    }
+    let u: f64 = rng.random_range(0.0..1.0);
+    let l = lo.powf(-alpha);
+    let h = hi.powf(-alpha);
+    (l - u * (l - h)).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_labels_are_stable_and_unique() {
+        let labels: Vec<&str> = ScenarioFamily::ALL.iter().map(|f| f.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ScenarioFamily::ALL.len(), "duplicate labels");
+        for family in ScenarioFamily::ALL {
+            assert_eq!(ScenarioFamily::from_label(family.label()), Some(family));
+            assert_eq!(
+                ScenarioFamily::from_label(&family.label().to_ascii_uppercase()),
+                Some(family)
+            );
+            assert_eq!(family.to_string(), family.label());
+            assert!(!family.stresses().is_empty());
+        }
+        assert_eq!(ScenarioFamily::from_label("no-such-family"), None);
+    }
+
+    #[test]
+    fn every_family_generates_valid_sized_instances() {
+        for family in ScenarioFamily::ALL {
+            let gen = ScenarioGenerator::new(family.params(9, 7));
+            let (app, pf) = gen.instance(1, 0);
+            assert_eq!(app.n_stages(), 9, "{family}");
+            assert_eq!(pf.n_procs(), 7, "{family}");
+            assert_eq!(
+                pf.is_comm_homogeneous(),
+                family.comm_homogeneous(),
+                "{family}: platform class mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_instance_distinct_indices_differ() {
+        for family in ScenarioFamily::ALL {
+            let gen = ScenarioGenerator::new(family.params(10, 6));
+            let (a1, p1) = gen.instance(42, 3);
+            let (a2, p2) = gen.instance(42, 3);
+            assert_eq!(a1, a2, "{family}");
+            assert_eq!(p1, p2, "{family}");
+            let (b, _) = gen.instance(42, 4);
+            assert_ne!(a1, b, "{family}: consecutive indices collided");
+        }
+    }
+
+    #[test]
+    fn family_salts_decorrelate_streams() {
+        // Same (seed, index), different non-paper families: the raw draws
+        // must differ (works are sampled first in every family).
+        let ht = ScenarioGenerator::new(ScenarioFamily::HeavyTail.params(10, 6));
+        let tt = ScenarioGenerator::new(ScenarioFamily::TwoTier.params(10, 6));
+        let (a1, _) = ht.instance(7, 0);
+        let (a2, _) = tt.instance(7, 0);
+        assert_ne!(a1.works(), a2.works());
+    }
+
+    #[test]
+    fn bounded_pareto_respects_support() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let v = bounded_pareto(&mut rng, 1.2, 2.0, 50.0);
+            assert!((2.0..=50.0).contains(&v), "draw {v} escaped the support");
+        }
+        assert_eq!(bounded_pareto(&mut rng, 1.0, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn adversarial_instances_are_degenerate() {
+        let gen = ScenarioGenerator::new(ScenarioFamily::Adversarial.params(12, 5));
+        let (app, pf) = gen.instance(9, 1);
+        assert!(app.deltas().iter().all(|&d| d == 0.0));
+        assert!(pf.speeds().iter().all(|&s| s == 1.0));
+        for &w in app.works() {
+            let e = w.log2();
+            assert_eq!(e.fract(), 0.0, "work {w} is not a power of two");
+            assert!((0.0..=6.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn two_tier_platform_has_two_bandwidth_classes() {
+        let gen = ScenarioGenerator::new(ScenarioFamily::TwoTier.params(6, 8));
+        let (_, pf) = gen.instance(3, 0);
+        let c = TwoTierConfig::default();
+        let mut seen_intra = false;
+        let mut seen_inter = false;
+        for u in 0..8 {
+            for v in 0..8 {
+                if u == v {
+                    continue;
+                }
+                let b = pf.bandwidth(u, v);
+                assert!(b == c.intra_bandwidth || b == c.inter_bandwidth);
+                seen_intra |= b == c.intra_bandwidth;
+                seen_inter |= b == c.inter_bandwidth;
+            }
+        }
+        assert!(seen_intra && seen_inter, "both link classes must appear");
+        assert_eq!(pf.io_bandwidth_of(0), c.inter_bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_scenario_panics() {
+        let _ = ScenarioGenerator::new(ScenarioFamily::HeavyTail.params(0, 4));
+    }
+}

@@ -1,0 +1,42 @@
+//! Tour of the scenario zoo: every registered instance family swept
+//! through the sharded engine, with its landmarks and winning heuristic.
+//!
+//! ```text
+//! cargo run --release --example scenario_zoo
+//! ```
+
+use pipeline_workflows::experiments::{run_scenario, scenario_zoo};
+use pipeline_workflows::model::scenario::ScenarioFamily;
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "scenario zoo — {} registered families, {threads} thread(s)\n",
+        ScenarioFamily::ALL.len()
+    );
+    println!(
+        "{:<14} {:<46} {:>9} {:>9} {:>9} {:>7}",
+        "family", "stresses", "P_single", "floor", "gain", "curves"
+    );
+    for spec in scenario_zoo() {
+        let params = spec.params();
+        let fam = run_scenario(&params, 2007, 10, 10, threads);
+        let gain = fam.stats.mean_p_init / fam.stats.mean_best_floor;
+        println!(
+            "{:<14} {:<46} {:>9.2} {:>9.2} {:>8.2}x {:>7}",
+            spec.family.label(),
+            spec.family.stresses(),
+            fam.stats.mean_p_init,
+            fam.stats.mean_best_floor,
+            gain,
+            fam.series.len(),
+        );
+    }
+    println!(
+        "\n'gain' is the mean single-processor period over the mean best \
+         period floor\nreached by the applicable splitting heuristics — how \
+         much throughput the\npipeline mapping buys on each workload class."
+    );
+}

@@ -1,18 +1,29 @@
-//! `pwsched` — schedule a pipeline instance from a file.
+//! `pwsched` — schedule a pipeline instance from a file, or sweep the
+//! scenario zoo.
 //!
 //! ```text
 //! pwsched <instance-file> [--period BOUND | --latency BOUND | --min-period | --min-latency]
-//!         [--heuristic h1|h2|h3|h4|h5|h6|best|exact|auto]
+//!         [--heuristic h1|h2|h3|h4|h5|h6|h7|best|exact|auto]
 //!         [--simulate N] [--gantt]
+//! pwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]
+//!         [--grid G] [--threads T] [--seed S]
 //! ```
 //!
 //! The instance file uses the `pipeline-instance v1` text format (see
 //! `pipeline_model::io`). Default objective: `--min-period`; default
 //! strategy: `auto` (exact for small instances, best-of-all heuristics
 //! otherwise).
+//!
+//! `--sweep` runs the sharded sweep engine over one registered scenario
+//! family (by stable label — `e1`…`e4`, `heavy-tail`, `two-tier`,
+//! `comm-dominant`, `power-law`, `adversarial`) or over the whole zoo
+//! (`all`), printing per-family landmark summaries. CI's smoke job uses
+//! it to exercise every registered family on two threads.
 
 use pipeline_workflows::core::{HeuristicKind, Objective, Scheduler, Strategy};
+use pipeline_workflows::experiments::{run_scenario, scenario_zoo};
 use pipeline_workflows::model::io::parse_instance;
+use pipeline_workflows::model::scenario::ScenarioFamily;
 use pipeline_workflows::model::CostModel;
 use pipeline_workflows::sim::{Gantt, InputPolicy, PipelineSim, SimConfig};
 
@@ -20,7 +31,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: pwsched <instance-file> \
          [--period B | --latency B | --min-period | --min-latency]\n\
-         \t[--heuristic h1|h2|h3|h4|h5|h6|best|exact|auto] [--simulate N] [--gantt]"
+         \t[--heuristic h1|h2|h3|h4|h5|h6|h7|best|exact|auto] [--simulate N] [--gantt]\n\
+         \tpwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]\n\
+         \t[--grid G] [--threads T] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -33,6 +46,7 @@ fn parse_heuristic(s: &str) -> Strategy {
         "h4" => Strategy::Heuristic(HeuristicKind::SpBiP),
         "h5" => Strategy::Heuristic(HeuristicKind::SpMonoL),
         "h6" => Strategy::Heuristic(HeuristicKind::SpBiL),
+        "h7" | "het" => Strategy::Heuristic(HeuristicKind::HeteroSplit),
         "best" => Strategy::BestOfAll,
         "exact" => Strategy::Exact,
         "auto" => Strategy::Auto,
@@ -43,11 +57,90 @@ fn parse_heuristic(s: &str) -> Strategy {
     }
 }
 
+fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
+    let Some(which) = args.next() else { usage() };
+    let mut stages: Option<usize> = None;
+    let mut procs: Option<usize> = None;
+    let mut instances = 50usize;
+    let mut grid = 20usize;
+    let mut threads = 1usize;
+    let mut seed = 2007u64;
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        });
+        match flag.as_str() {
+            "--stages" => stages = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--procs" => procs = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--instances" => instances = value.parse().unwrap_or_else(|_| usage()),
+            "--grid" => grid = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if threads < 1 || instances < 1 || grid < 2 {
+        eprintln!("--threads and --instances must be >= 1, --grid >= 2");
+        usage();
+    }
+    if stages == Some(0) || procs == Some(0) {
+        eprintln!("--stages and --procs must be >= 1");
+        usage();
+    }
+    let specs: Vec<_> = if which == "all" {
+        scenario_zoo()
+    } else {
+        let Some(family) = ScenarioFamily::from_label(&which) else {
+            eprintln!(
+                "unknown family {which:?}; registered: {}",
+                ScenarioFamily::ALL.map(|f| f.label()).join(", ")
+            );
+            std::process::exit(2);
+        };
+        scenario_zoo()
+            .into_iter()
+            .filter(|s| s.family == family)
+            .collect()
+    };
+    println!(
+        "{:<14} {:>4} {:>4} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "family", "n", "p", "P_single", "L_opt", "floor", "curves", "ms"
+    );
+    for spec in specs {
+        let mut params = spec.params();
+        if let Some(n) = stages {
+            params.n_stages = n;
+        }
+        if let Some(p) = procs {
+            params.n_procs = p;
+        }
+        let t0 = std::time::Instant::now();
+        let fam = run_scenario(&params, seed, instances, grid, threads);
+        let ms = t0.elapsed().as_millis();
+        println!(
+            "{:<14} {:>4} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>8}",
+            spec.family.label(),
+            params.n_stages,
+            params.n_procs,
+            fam.stats.mean_p_init,
+            fam.stats.mean_l_opt,
+            fam.stats.mean_best_floor,
+            fam.series.len(),
+            ms
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else { usage() };
     if path == "--help" || path == "-h" {
         usage();
+    }
+    if path == "--sweep" {
+        run_sweep(args);
     }
     let mut objective: Option<Objective> = None;
     let mut strategy = Strategy::Auto;

@@ -74,12 +74,12 @@
 //!
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
-//! | [`model`] | `pipeline-model` | applications, platforms, mappings, cost model (eqs. 1–2), E1–E4 generators |
+//! | [`model`] | `pipeline-model` | applications, platforms, mappings, cost model (eqs. 1–2), E1–E4 generators, the scenario zoo |
 //! | [`core`] | `pipeline-core` | the six heuristics, exact solvers, Subhlok–Vondran baseline, Pareto tools, §7 extensions |
 //! | [`chains`] | `pipeline-chains` | chains-to-chains algorithms and the NMWTS NP-hardness gadget (Theorem 1) |
 //! | [`assign`] | `pipeline-assign` | Hungarian / bottleneck assignment used by the exact solvers |
 //! | [`sim`] | `pipeline-sim` | one-port discrete-event simulator, traces, Gantt charts |
-//! | [`experiments`] | `pipeline-experiments` | figure/table regeneration harness |
+//! | [`experiments`] | `pipeline-experiments` | figure/table regeneration harness, sharded sweep engine |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every figure and table.
