@@ -21,7 +21,9 @@ use pipeline_model::prelude::*;
 use pipeline_model::util::EPS;
 
 /// Practical guard: `2^(n-1)` partitions beyond this would hang tests.
-const MAX_STAGES: usize = 22;
+/// The service layer turns requests beyond it into a structured
+/// `SolveError::InstanceTooLarge` instead of tripping the assert.
+pub const MAX_STAGES: usize = 22;
 
 /// Calls `visit` with the boundary vector (`0 = b_0 < … < b_m = n`) of
 /// every partition of `[0, n)` into at most `max_parts` intervals.

@@ -50,6 +50,7 @@ pub mod one_to_one;
 pub mod pareto;
 pub mod refine;
 pub mod replication;
+pub mod service;
 pub mod solve;
 pub mod split;
 pub mod state;
@@ -58,6 +59,9 @@ pub mod trajectory;
 pub use explore::{three_explo_bi, three_explo_mono};
 pub use hetero::{hetero_sp_mono_p, hetero_trajectory, HeteroSplitOptions};
 pub use pareto::ParetoFront;
+pub use service::{
+    PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,
+};
 pub use solve::{Objective, Scheduler, Solution, Strategy};
 pub use split::{sp_bi_l, sp_bi_p, sp_mono_l, sp_mono_p, SpBiPOptions};
 pub use state::{BiCriteriaResult, SplitState};
@@ -132,6 +136,20 @@ impl HeuristicKind {
         }
     }
 
+    /// Hyphenated machine-friendly name, one of the spellings
+    /// [`HeuristicKind::from_str`](std::str::FromStr) accepts.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            HeuristicKind::SpMonoP => "sp-mono-p",
+            HeuristicKind::ThreeExploMono => "3-explo-mono",
+            HeuristicKind::ThreeExploBi => "3-explo-bi",
+            HeuristicKind::SpBiP => "sp-bi-p",
+            HeuristicKind::SpMonoL => "sp-mono-l",
+            HeuristicKind::SpBiL => "sp-bi-l",
+            HeuristicKind::HeteroSplit => "het-split",
+        }
+    }
+
     /// True for the heuristics that fix the period and minimize latency.
     pub fn is_period_fixed(&self) -> bool {
         matches!(
@@ -172,6 +190,35 @@ impl HeuristicKind {
 impl std::fmt::Display for HeuristicKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for HeuristicKind {
+    type Err = service::UnknownSolver;
+
+    /// Parses any of a heuristic's names, case-insensitively: the Table-1
+    /// code (`h1`…`h7`), the plot label (`Sp mono, P fix`, …), or a
+    /// hyphenated slug (`sp-mono-p`, `3-explo-bi`, `het-split`, `het`).
+    /// `Display` round-trips through here.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let all = HeuristicKind::ALL
+            .into_iter()
+            .chain([HeuristicKind::HeteroSplit]);
+        for kind in all {
+            if lower == kind.table_name().to_ascii_lowercase()
+                || lower == kind.label().to_ascii_lowercase()
+                || lower == kind.slug()
+            {
+                return Ok(kind);
+            }
+        }
+        if lower == "het" {
+            return Ok(HeuristicKind::HeteroSplit);
+        }
+        Err(service::UnknownSolver {
+            input: s.to_string(),
+        })
     }
 }
 

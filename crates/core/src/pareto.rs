@@ -72,6 +72,23 @@ impl<T> ParetoFront<T> {
         true
     }
 
+    /// Maps every payload, preserving the points and their order — used
+    /// by the service layer to strip mappings down to provenance ids for
+    /// wire-friendly fronts.
+    pub fn map_payloads<U>(self, mut f: impl FnMut(T) -> U) -> ParetoFront<U> {
+        ParetoFront {
+            points: self
+                .points
+                .into_iter()
+                .map(|p| ParetoPoint {
+                    period: p.period,
+                    latency: p.latency,
+                    payload: f(p.payload),
+                })
+                .collect(),
+        }
+    }
+
     /// Smallest latency on the front among points with period ≤ `bound`.
     pub fn min_latency_for_period(&self, bound: f64) -> Option<f64> {
         self.points

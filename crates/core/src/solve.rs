@@ -1,17 +1,18 @@
-//! High-level scheduling façade: one entry point wrapping heuristic
-//! selection, exact solving for small instances, and objective framing.
+//! Objective/strategy vocabulary and the legacy [`Scheduler`] façade.
 //!
-//! The low-level API (`sp_mono_p` & friends) asks the caller to pick a
-//! heuristic and phrase the constraint; [`Scheduler`] instead takes an
-//! [`Objective`] and a [`Strategy`] and does the right thing, including
-//! falling back to exact enumeration when the instance is small enough
-//! that exponential is cheap. This is the API the `pwsched` CLI and most
-//! downstream users want.
+//! The solving engine itself lives in [`crate::service`]: prepare an
+//! instance once with [`PreparedInstance`], then answer any number of
+//! typed [`SolveRequest`]s from its memoized trajectories. [`Scheduler`]
+//! survives as a small configuration holder whose
+//! [`Scheduler::solve_report`] is a one-shot convenience over the service
+//! API, plus a deprecated [`Scheduler::solve`] shim for pre-v1 callers.
 
+use crate::service::{
+    PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,
+};
 use crate::state::BiCriteriaResult;
-use crate::{exact, HeuristicKind};
+use crate::HeuristicKind;
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
 
 /// What to optimize.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,20 @@ pub enum Objective {
     MinPeriod,
     /// Minimize the latency outright (Lemma 1 — trivial).
     MinLatency,
+    /// Materialize the full period/latency Pareto front (exact on small
+    /// instances, the union of the bound-independent heuristic
+    /// trajectories otherwise).
+    ParetoFront,
+}
+
+impl Objective {
+    /// The bound carried by the bounded objectives.
+    pub fn bound(&self) -> Option<f64> {
+        match self {
+            Objective::MinLatencyForPeriod(b) | Objective::MinPeriodForLatency(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// How to solve.
@@ -40,8 +55,26 @@ pub enum Strategy {
     Auto,
 }
 
-/// The façade. Construct with [`Scheduler::new`], tweak, then
-/// [`Scheduler::solve`].
+impl std::str::FromStr for Strategy {
+    type Err = UnknownSolver;
+
+    /// Parses the CLI/wire strategy selector: `auto`, `best`, `exact`,
+    /// or any heuristic name [`HeuristicKind`] accepts (`h1`…`h7`,
+    /// labels, slugs) — case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(Strategy::Auto),
+            "best" | "best-of-all" => Ok(Strategy::BestOfAll),
+            "exact" => Ok(Strategy::Exact),
+            _ => s.parse::<HeuristicKind>().map(Strategy::Heuristic),
+        }
+    }
+}
+
+/// The legacy façade: strategy + exact cutoff. Construct with
+/// [`Scheduler::new`], tweak, then [`Scheduler::solve_report`] — or skip
+/// it entirely and use [`PreparedInstance`] when the same instance
+/// answers more than one query.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     strategy: Strategy,
@@ -55,14 +88,14 @@ impl Default for Scheduler {
     }
 }
 
-/// A solve outcome with provenance.
+/// A solve outcome with `Copy` provenance — the payload of the deprecated
+/// [`Scheduler::solve`] shim. New code reads [`SolveReport`] instead.
 #[derive(Debug, Clone)]
 pub struct Solution {
     /// The scheduling result.
     pub result: BiCriteriaResult,
-    /// Human-readable description of what produced it
-    /// (e.g. `"Sp mono, P fix"`, `"exact"`).
-    pub solver: String,
+    /// What produced it.
+    pub solver: SolverId,
 }
 
 impl Scheduler {
@@ -87,148 +120,54 @@ impl Scheduler {
         self
     }
 
-    /// Solves `objective` for the given instance. Returns `None` only
-    /// when the objective is infeasible for every solver tried (e.g. a
-    /// latency bound below `L_opt`).
+    /// The [`SolveRequest`] this scheduler's configuration corresponds
+    /// to.
+    pub fn request(&self, objective: Objective) -> SolveRequest {
+        SolveRequest::new(objective)
+            .strategy(self.strategy)
+            .exact_cutoff(self.exact_cutoff)
+    }
+
+    /// One-shot solve with structured reporting: prepares the instance,
+    /// answers one request, discards the session. Callers with more than
+    /// one query per instance should hold a [`PreparedInstance`] and
+    /// reuse it.
+    pub fn solve_report(
+        &self,
+        app: &Application,
+        platform: &Platform,
+        objective: Objective,
+    ) -> Result<SolveReport, SolveError> {
+        PreparedInstance::new(app.clone(), platform.clone()).solve(&self.request(objective))
+    }
+
+    /// Pre-v1 shim: the old `Option`-shaped entry point, erasing the
+    /// structured diagnostics of [`Scheduler::solve_report`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scheduler::solve_report (or PreparedInstance::solve) — \
+                it returns Result<SolveReport, SolveError> with structured \
+                infeasibility diagnostics"
+    )]
     pub fn solve(
         &self,
         app: &Application,
         platform: &Platform,
         objective: Objective,
     ) -> Option<Solution> {
-        let cm = CostModel::new(app, platform);
-        let strategy = match self.strategy {
-            Strategy::Auto => {
-                if app.n_stages() <= self.exact_cutoff && platform.is_comm_homogeneous() {
-                    Strategy::Exact
-                } else {
-                    Strategy::BestOfAll
-                }
-            }
-            s => s,
-        };
-        match strategy {
-            Strategy::Exact => self.solve_exact(&cm, objective),
-            Strategy::Heuristic(kind) => {
-                solve_with_heuristic(&cm, kind, objective).map(|result| Solution {
-                    result,
-                    solver: kind.label().to_string(),
-                })
-            }
-            Strategy::BestOfAll => self.solve_best_of_all(&cm, objective),
-            Strategy::Auto => unreachable!("resolved above"),
-        }
-    }
-
-    fn solve_exact(&self, cm: &CostModel<'_>, objective: Objective) -> Option<Solution> {
-        let wrap = |mapping: IntervalMapping, feasible: bool| {
-            let (period, latency) = cm.evaluate(&mapping);
-            Solution {
-                result: BiCriteriaResult {
-                    mapping,
-                    period,
-                    latency,
-                    feasible,
-                },
-                solver: "exact".to_string(),
-            }
-        };
-        match objective {
-            Objective::MinLatency => {
-                let m = IntervalMapping::all_on_fastest(cm.app(), cm.platform());
-                Some(wrap(m, true))
-            }
-            Objective::MinPeriod => {
-                let (_, m) = exact::exact_min_period(cm);
-                Some(wrap(m, true))
-            }
-            Objective::MinLatencyForPeriod(bound) => {
-                exact::exact_min_latency_for_period(cm, bound).map(|(_, m)| wrap(m, true))
-            }
-            Objective::MinPeriodForLatency(bound) => {
-                exact::exact_min_period_for_latency(cm, bound).map(|(_, m)| wrap(m, true))
-            }
-        }
-    }
-
-    fn solve_best_of_all(&self, cm: &CostModel<'_>, objective: Objective) -> Option<Solution> {
-        let mut best: Option<Solution> = None;
-        for kind in HeuristicKind::ALL
-            .into_iter()
-            .chain([HeuristicKind::HeteroSplit])
-        {
-            let Some(result) = solve_with_heuristic(cm, kind, objective) else {
-                continue;
-            };
-            if !result.feasible {
-                continue;
-            }
-            let better = match (&best, objective) {
-                (None, _) => true,
-                (Some(b), Objective::MinLatencyForPeriod(_) | Objective::MinLatency) => {
-                    result.latency < b.result.latency - EPS
-                }
-                (Some(b), Objective::MinPeriodForLatency(_) | Objective::MinPeriod) => {
-                    result.period < b.result.period - EPS
-                }
-            };
-            if better {
-                best = Some(Solution {
-                    result,
-                    solver: kind.label().to_string(),
-                });
-            }
-        }
-        best
-    }
-}
-
-/// Frames `objective` for one heuristic. Period-fixed heuristics answer
-/// the `MinLatencyForPeriod`/`MinPeriod` objectives; latency-fixed ones
-/// answer `MinPeriodForLatency`/`MinLatency`-adjacent framings. Returns
-/// `None` when the heuristic class cannot express the objective or
-/// cannot run on the platform (the paper's six require Communication
-/// Homogeneous platforms; on fully heterogeneous ones only the §7
-/// [`HeuristicKind::HeteroSplit`] extension applies).
-fn solve_with_heuristic(
-    cm: &CostModel<'_>,
-    kind: HeuristicKind,
-    objective: Objective,
-) -> Option<BiCriteriaResult> {
-    if !kind.applicable_to(cm.platform()) {
-        return None;
-    }
-    match objective {
-        Objective::MinLatencyForPeriod(bound) => {
-            kind.is_period_fixed().then(|| kind.run(cm, bound))
-        }
-        Objective::MinPeriodForLatency(bound) => {
-            (!kind.is_period_fixed()).then(|| kind.run(cm, bound))
-        }
-        Objective::MinPeriod => {
-            // Run to the floor: period-fixed heuristics with an impossible
-            // target; latency-fixed ones with an unbounded budget.
-            let target = if kind.is_period_fixed() {
-                0.0
-            } else {
-                f64::INFINITY
-            };
-            let mut r = kind.run(cm, target);
-            // "Feasible" here means "produced a mapping", which all do.
-            r.feasible = true;
-            Some(r)
-        }
-        Objective::MinLatency => {
-            // Trivial for every heuristic: the initial mapping. Only
-            // meaningful once; report via the period-fixed framing.
-            kind.is_period_fixed().then(|| kind.run(cm, f64::INFINITY))
-        }
+        self.solve_report(app, platform, objective)
+            .ok()
+            .map(|report| Solution {
+                result: report.result,
+                solver: report.solver,
+            })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact;
     use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 
     fn instance(n: usize, p: usize) -> (Application, Platform) {
@@ -238,109 +177,65 @@ mod tests {
     #[test]
     fn auto_uses_exact_on_small_instances() {
         let (app, pf) = instance(6, 5);
-        let sol = Scheduler::new()
-            .solve(&app, &pf, Objective::MinPeriod)
+        let report = Scheduler::new()
+            .solve_report(&app, &pf, Objective::MinPeriod)
             .expect("min period always solvable");
-        assert_eq!(sol.solver, "exact");
+        assert_eq!(report.solver, SolverId::Exact);
         let cm = CostModel::new(&app, &pf);
         let (p_opt, _) = exact::exact_min_period(&cm);
-        assert!((sol.result.period - p_opt).abs() < 1e-9);
+        assert!((report.result.period - p_opt).abs() < 1e-9);
     }
 
     #[test]
     fn auto_uses_heuristics_on_large_instances() {
         let (app, pf) = instance(30, 10);
-        let sol = Scheduler::new()
-            .solve(&app, &pf, Objective::MinPeriod)
+        let report = Scheduler::new()
+            .solve_report(&app, &pf, Objective::MinPeriod)
             .expect("solvable");
-        assert_ne!(sol.solver, "exact");
-        assert!(sol.result.period > 0.0);
-    }
-
-    #[test]
-    fn best_of_all_at_least_matches_each_heuristic() {
-        let (app, pf) = instance(14, 8);
-        let cm = CostModel::new(&app, &pf);
-        let bound = 0.6 * cm.single_proc_period();
-        let best = Scheduler::new().strategy(Strategy::BestOfAll).solve(
-            &app,
-            &pf,
-            Objective::MinLatencyForPeriod(bound),
-        );
-        if let Some(best) = best {
-            for kind in HeuristicKind::ALL
-                .into_iter()
-                .filter(|k| k.is_period_fixed())
-            {
-                let r = kind.run(&cm, bound);
-                if r.feasible {
-                    assert!(best.result.latency <= r.latency + 1e-9, "beaten by {kind}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn min_latency_objective_returns_lemma_1() {
-        let (app, pf) = instance(8, 6);
-        let cm = CostModel::new(&app, &pf);
-        for strategy in [Strategy::Exact, Strategy::BestOfAll] {
-            let sol = Scheduler::new()
-                .strategy(strategy)
-                .solve(&app, &pf, Objective::MinLatency)
-                .expect("always solvable");
-            assert!(
-                (sol.result.latency - cm.optimal_latency()).abs() < 1e-9,
-                "{strategy:?} missed the Lemma-1 latency"
-            );
-        }
-    }
-
-    #[test]
-    fn infeasible_latency_bound_returns_none() {
-        let (app, pf) = instance(8, 6);
-        let cm = CostModel::new(&app, &pf);
-        let too_tight = 0.5 * cm.optimal_latency();
-        for strategy in [Strategy::Exact, Strategy::BestOfAll] {
-            let sol = Scheduler::new().strategy(strategy).solve(
-                &app,
-                &pf,
-                Objective::MinPeriodForLatency(too_tight),
-            );
-            assert!(
-                sol.is_none(),
-                "{strategy:?} accepted an impossible latency bound"
-            );
-        }
-    }
-
-    #[test]
-    fn named_heuristic_strategy_is_respected() {
-        let (app, pf) = instance(10, 8);
-        let cm = CostModel::new(&app, &pf);
-        let bound = 0.7 * cm.single_proc_period();
-        let sol = Scheduler::new()
-            .strategy(Strategy::Heuristic(HeuristicKind::ThreeExploBi))
-            .solve(&app, &pf, Objective::MinLatencyForPeriod(bound))
-            .expect("expressible objective");
-        assert_eq!(sol.solver, "3-Explo bi");
-        // A latency-fixed heuristic cannot express a period-bound query.
-        let none = Scheduler::new()
-            .strategy(Strategy::Heuristic(HeuristicKind::SpMonoL))
-            .solve(&app, &pf, Objective::MinLatencyForPeriod(bound));
-        assert!(none.is_none());
+        assert_ne!(report.solver, SolverId::Exact);
+        assert!(report.result.period > 0.0);
     }
 
     #[test]
     fn exact_cutoff_is_configurable() {
         let (app, pf) = instance(10, 6);
-        let sol = Scheduler::new()
+        let report = Scheduler::new()
             .exact_cutoff(4)
-            .solve(&app, &pf, Objective::MinPeriod)
+            .solve_report(&app, &pf, Objective::MinPeriod)
             .unwrap();
         assert_ne!(
-            sol.solver, "exact",
+            report.solver,
+            SolverId::Exact,
             "cutoff 4 must route n=10 to heuristics"
         );
+    }
+
+    #[test]
+    fn strategy_parses_cli_and_wire_selectors() {
+        assert_eq!("auto".parse::<Strategy>().unwrap(), Strategy::Auto);
+        assert_eq!("BEST".parse::<Strategy>().unwrap(), Strategy::BestOfAll);
+        assert_eq!("exact".parse::<Strategy>().unwrap(), Strategy::Exact);
+        assert_eq!(
+            "h3".parse::<Strategy>().unwrap(),
+            Strategy::Heuristic(HeuristicKind::ThreeExploBi)
+        );
+        assert!("h9".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn deprecated_shim_still_answers() {
+        let (app, pf) = instance(6, 5);
+        #[allow(deprecated)]
+        let sol = Scheduler::new()
+            .solve(&app, &pf, Objective::MinPeriod)
+            .expect("solvable");
+        assert_eq!(sol.solver, SolverId::Exact);
+        #[allow(deprecated)]
+        let none = Scheduler::new().solve(
+            &app,
+            &pf,
+            Objective::MinPeriodForLatency(0.1 * CostModel::new(&app, &pf).optimal_latency()),
+        );
+        assert!(none.is_none(), "infeasible bounds map to None in the shim");
     }
 }

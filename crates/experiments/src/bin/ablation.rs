@@ -17,7 +17,7 @@
 use pipeline_core::replication::replicate_bottlenecks;
 use pipeline_core::trajectory::{fixed_period_trajectory, TrajectoryKind};
 use pipeline_core::{sp_bi_p, sp_mono_p, SpBiPOptions};
-use pipeline_experiments::runner::parallel_map;
+use pipeline_experiments::shard::{sharded_map_items, ShardOptions};
 use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 use pipeline_model::prelude::*;
 use pipeline_model::util::mean;
@@ -62,12 +62,16 @@ fn refinement_ablation(seed: u64, instances: usize, threads: usize) {
         .into_iter()
         .filter(|k| k.is_period_fixed())
     {
-        let rows = parallel_map(gen.batch(seed, instances), threads, |(app, pf)| {
-            let cm = CostModel::new(&app, &pf);
-            let base = kind.run(&cm, 0.0);
-            let refined = refine_mapping(&cm, &base.mapping, base.latency * 1.2);
-            (base.period, refined.period, refined.moves as f64)
-        });
+        let rows = sharded_map_items(
+            gen.batch(seed, instances),
+            ShardOptions::with_threads(threads),
+            |(app, pf)| {
+                let cm = CostModel::new(&app, &pf);
+                let base = kind.run(&cm, 0.0);
+                let refined = refine_mapping(&cm, &base.mapping, base.latency * 1.2);
+                (base.period, refined.period, refined.moves as f64)
+            },
+        );
         let before: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let after: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let mv: Vec<f64> = rows.iter().map(|r| r.2).collect();
@@ -90,23 +94,27 @@ fn ratio_denominator_ablation(seed: u64, instances: usize, threads: usize) {
     for kind in [ExperimentKind::E1, ExperimentKind::E2] {
         let params = InstanceParams::paper(kind, 20, 10);
         let gen = InstanceGenerator::new(params);
-        let outcomes = parallel_map(gen.batch(seed, instances), threads, |(app, pf)| {
-            let cm = CostModel::new(&app, &pf);
-            let target = 0.7 * cm.single_proc_period();
-            let over_i = sp_bi_p(&cm, target, SpBiPOptions::default());
-            let over_j = sp_bi_p(
-                &cm,
-                target,
-                SpBiPOptions {
-                    denominator_over_i: false,
-                    ..SpBiPOptions::default()
-                },
-            );
-            (
-                over_i.feasible.then_some(over_i.latency),
-                over_j.feasible.then_some(over_j.latency),
-            )
-        });
+        let outcomes = sharded_map_items(
+            gen.batch(seed, instances),
+            ShardOptions::with_threads(threads),
+            |(app, pf)| {
+                let cm = CostModel::new(&app, &pf);
+                let target = 0.7 * cm.single_proc_period();
+                let over_i = sp_bi_p(&cm, target, SpBiPOptions::default());
+                let over_j = sp_bi_p(
+                    &cm,
+                    target,
+                    SpBiPOptions {
+                        denominator_over_i: false,
+                        ..SpBiPOptions::default()
+                    },
+                );
+                (
+                    over_i.feasible.then_some(over_i.latency),
+                    over_j.feasible.then_some(over_j.latency),
+                )
+            },
+        );
         let li: Vec<f64> = outcomes.iter().filter_map(|(a, _)| *a).collect();
         let lj: Vec<f64> = outcomes.iter().filter_map(|(_, b)| *b).collect();
         println!(
@@ -125,13 +133,17 @@ fn explo_vs_split_ablation(seed: u64, instances: usize, threads: usize) {
     for procs in [10usize, 100] {
         let params = InstanceParams::paper(ExperimentKind::E1, 40, procs);
         let gen = InstanceGenerator::new(params);
-        let floors = parallel_map(gen.batch(seed, instances), threads, |(app, pf)| {
-            let cm = CostModel::new(&app, &pf);
-            let f_split = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono).min_period();
-            let f_explo = fixed_period_trajectory(&cm, TrajectoryKind::ExploMono).min_period();
-            let f_explo_bi = fixed_period_trajectory(&cm, TrajectoryKind::ExploBi).min_period();
-            (f_split, f_explo, f_explo_bi)
-        });
+        let floors = sharded_map_items(
+            gen.batch(seed, instances),
+            ShardOptions::with_threads(threads),
+            |(app, pf)| {
+                let cm = CostModel::new(&app, &pf);
+                let f_split = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono).min_period();
+                let f_explo = fixed_period_trajectory(&cm, TrajectoryKind::ExploMono).min_period();
+                let f_explo_bi = fixed_period_trajectory(&cm, TrajectoryKind::ExploBi).min_period();
+                (f_split, f_explo, f_explo_bi)
+            },
+        );
         let s: Vec<f64> = floors.iter().map(|f| f.0).collect();
         let e: Vec<f64> = floors.iter().map(|f| f.1).collect();
         let eb: Vec<f64> = floors.iter().map(|f| f.2).collect();
@@ -149,12 +161,16 @@ fn replication_ablation(seed: u64, instances: usize, threads: usize) {
     println!("3. Deal-skeleton replication (paper §7): period floor after splitting vs after splitting + replication");
     let params = InstanceParams::paper(ExperimentKind::E3, 10, 10);
     let gen = InstanceGenerator::new(params);
-    let results = parallel_map(gen.batch(seed, instances), threads, |(app, pf)| {
-        let cm = CostModel::new(&app, &pf);
-        let base = sp_mono_p(&cm, 0.0); // run to the splitting floor
-        let rep = replicate_bottlenecks(&cm, &base.mapping, 0.0); // replicate to the floor
-        (base.period, rep.period, rep.latency / base.latency)
-    });
+    let results = sharded_map_items(
+        gen.batch(seed, instances),
+        ShardOptions::with_threads(threads),
+        |(app, pf)| {
+            let cm = CostModel::new(&app, &pf);
+            let base = sp_mono_p(&cm, 0.0); // run to the splitting floor
+            let rep = replicate_bottlenecks(&cm, &base.mapping, 0.0); // replicate to the floor
+            (base.period, rep.period, rep.latency / base.latency)
+        },
+    );
     let split_floor: Vec<f64> = results.iter().map(|r| r.0).collect();
     let rep_floor: Vec<f64> = results.iter().map(|r| r.1).collect();
     let lat_ratio: Vec<f64> = results.iter().map(|r| r.2).collect();

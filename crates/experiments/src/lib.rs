@@ -7,6 +7,9 @@
 //!   stealing, per-shard RNG streams, chunk-ordered mergeable
 //!   accumulators; bit-identical output for every thread count);
 //! * [`runner`] — per-instance evaluation on top of the sharded engine;
+//! * [`service`] — batched solving: (instance, request) pairs from the
+//!   solver-service API (`pipeline_core::service`) through the sharded
+//!   engine, bit-identical across thread counts;
 //! * [`sweep`] — latency-vs-period series, one per heuristic, averaged
 //!   over 50 random instances; [`sweep::run_scenario`] sweeps any
 //!   registered scenario family ([`pipeline_model::scenario`]);
@@ -24,13 +27,15 @@ pub mod csvout;
 pub mod loaded;
 pub mod robustness;
 pub mod runner;
+pub mod service;
 pub mod shard;
 pub mod summary;
 pub mod sweep;
 pub mod table;
 
 pub use config::{scenario_zoo, FigureSpec, ScenarioSpec, PAPER_FIGURES};
-pub use runner::{parallel_map, InstanceEval};
+pub use runner::InstanceEval;
+pub use service::{solve_batch, BatchJob};
 pub use shard::{sharded_fold, sharded_map_indices, sharded_map_items, Mergeable, ShardOptions};
 pub use sweep::{run_family, run_scenario, FamilyResult, HeuristicSeries, SweepPoint};
 pub use table::{failure_thresholds, ThresholdTable};

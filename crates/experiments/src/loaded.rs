@@ -8,7 +8,7 @@
 //! heuristic: mappings that spread cycle times evenly queue less than
 //! mappings with one dominant bottleneck, even at identical periods.
 
-use crate::runner::parallel_map;
+use crate::shard::{sharded_map_items, ShardOptions};
 use pipeline_core::HeuristicKind;
 use pipeline_model::generator::{InstanceGenerator, InstanceParams};
 use pipeline_model::prelude::*;
@@ -53,7 +53,8 @@ pub fn loaded_latency_study(
 ) -> Vec<LoadedLatencyRow> {
     let gen = InstanceGenerator::new(params);
     let instances = gen.batch(seed, n_instances);
-    let per_instance = parallel_map(instances, threads, |(app, pf)| {
+    let opts = ShardOptions::with_threads(threads);
+    let per_instance = sharded_map_items(instances, opts, |(app, pf)| {
         let cm = CostModel::new(&app, &pf);
         let p0 = cm.single_proc_period();
         let l0 = cm.optimal_latency();

@@ -11,7 +11,7 @@
 //! more eggs in each basket; mappings with slack under the bottleneck
 //! absorb slowdowns for free — the study quantifies both effects.
 
-use crate::runner::parallel_map;
+use crate::shard::{sharded_map_items, ShardOptions};
 use pipeline_core::HeuristicKind;
 use pipeline_model::generator::{InstanceGenerator, InstanceParams};
 use pipeline_model::prelude::*;
@@ -84,7 +84,8 @@ pub fn robustness_study(
     threads: usize,
 ) -> Vec<RobustnessRow> {
     let gen = InstanceGenerator::new(params);
-    let per_instance = parallel_map(gen.batch(seed, n_instances), threads, |(app, pf)| {
+    let opts = ShardOptions::with_threads(threads);
+    let per_instance = sharded_map_items(gen.batch(seed, n_instances), opts, |(app, pf)| {
         let cm = CostModel::new(&app, &pf);
         let p0 = cm.single_proc_period();
         let l0 = cm.optimal_latency();

@@ -1,146 +1,110 @@
 //! Per-instance evaluation for the sweep engine.
 //!
-//! [`InstanceEval`] precomputes everything a sweep needs from one random
-//! instance: its scalar landmarks plus the *target-independent* split
-//! trajectories available on its platform class —
+//! [`InstanceEval`] is the sweep-facing view of one random instance: a
+//! [`PreparedInstance`] from the solver-service API whose platform-class
+//! caches are forced *eagerly* at construction — the sweeps build evals
+//! inside worker shards, so eager evaluation is what parallelizes. On
+//! top of the prepared caches it exposes the class-filtered accessors the
+//! paper's experiments expect:
 //!
-//! * Communication Homogeneous instances record the paper's H1/H2a/H2b
+//! * Communication Homogeneous instances expose the paper's H1/H2a/H2b
 //!   trajectories and the H4 (`Sp bi P`) period floor;
 //! * fully heterogeneous instances (scenario-zoo families `two-tier`,
-//!   `comm-dominant`) record the §7 extension's trajectory
-//!   ([`pipeline_core::hetero_trajectory`], reported as
-//!   [`HeuristicKind::HeteroSplit`]).
+//!   `comm-dominant`) expose the §7 extension's trajectory, reported as
+//!   [`HeuristicKind::HeteroSplit`].
 //!
-//! The parallel map that used to live here is now backed by the sharded
-//! work-queue engine of [`crate::shard`]; `parallel_map` survives as the
-//! order-preserving convenience wrapper the rest of the harness uses.
+//! The old `runner::parallel_map` wrapper is gone — callers use the
+//! sharded work-queue engine of [`crate::shard`] directly
+//! ([`crate::shard::sharded_map_items`] is the drop-in replacement).
 
-use crate::shard::{sharded_map_items, ShardOptions};
-use pipeline_core::trajectory::{fixed_period_trajectory, Trajectory, TrajectoryKind};
-use pipeline_core::{hetero_trajectory, sp_bi_p, HeteroSplitOptions, HeuristicKind, SpBiPOptions};
+use pipeline_core::service::PreparedInstance;
+use pipeline_core::trajectory::Trajectory;
+use pipeline_core::HeuristicKind;
 use pipeline_model::prelude::*;
 
 /// Everything the sweeps need from one random instance, precomputed once.
 pub struct InstanceEval {
-    /// The application.
-    pub app: Application,
-    /// The platform.
-    pub platform: Platform,
-    /// Single-processor (Lemma 1) period — where every heuristic starts.
-    pub p_init: f64,
-    /// Optimal latency `L_opt`.
-    pub l_opt: f64,
-    /// The target-independent period-fixed trajectories recorded for this
-    /// instance's platform class, keyed by heuristic.
-    pub trajectories: Vec<(HeuristicKind, Trajectory)>,
-    /// H4 (`Sp bi P`) period floor: the period its unconstrained run
-    /// bottoms out at (its per-instance failure threshold). `None` on
-    /// fully heterogeneous platforms, where H4 does not apply.
-    pub sp_bi_p_floor: Option<f64>,
+    prepared: PreparedInstance,
 }
 
 impl InstanceEval {
-    /// Evaluates one instance, recording the trajectories its platform
-    /// class supports.
+    /// Evaluates one instance, eagerly recording the trajectories its
+    /// platform class supports.
     pub fn new(app: Application, platform: Platform) -> Self {
-        let cm = CostModel::new(&app, &platform);
-        let p_init = cm.single_proc_period();
-        let l_opt = cm.optimal_latency();
-        let (trajectories, sp_bi_p_floor) = if platform.is_comm_homogeneous() {
-            (
-                vec![
-                    (
-                        HeuristicKind::SpMonoP,
-                        fixed_period_trajectory(&cm, TrajectoryKind::SplitMono),
-                    ),
-                    (
-                        HeuristicKind::ThreeExploMono,
-                        fixed_period_trajectory(&cm, TrajectoryKind::ExploMono),
-                    ),
-                    (
-                        HeuristicKind::ThreeExploBi,
-                        fixed_period_trajectory(&cm, TrajectoryKind::ExploBi),
-                    ),
-                ],
-                Some(sp_bi_p(&cm, 0.0, SpBiPOptions::default()).period),
-            )
-        } else {
-            (
-                vec![(
-                    HeuristicKind::HeteroSplit,
-                    hetero_trajectory(&cm, HeteroSplitOptions::default()),
-                )],
-                None,
-            )
-        };
-        InstanceEval {
-            app,
-            platform,
-            p_init,
-            l_opt,
-            trajectories,
-            sp_bi_p_floor,
-        }
+        let prepared = PreparedInstance::new(app, platform);
+        prepared.prepare();
+        InstanceEval { prepared }
+    }
+
+    /// The underlying prepared instance (lazy caches beyond the platform
+    /// class included).
+    pub fn prepared(&self) -> &PreparedInstance {
+        &self.prepared
+    }
+
+    /// The application.
+    pub fn app(&self) -> &Application {
+        self.prepared.app()
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &Platform {
+        self.prepared.platform()
+    }
+
+    /// Single-processor (Lemma 1) period — where every heuristic starts.
+    pub fn p_init(&self) -> f64 {
+        self.prepared.single_proc_period()
+    }
+
+    /// Optimal latency `L_opt`.
+    pub fn l_opt(&self) -> f64 {
+        self.prepared.optimal_latency()
     }
 
     /// A cost model bound to this instance.
     pub fn cost_model(&self) -> CostModel<'_> {
-        CostModel::new(&self.app, &self.platform)
+        self.prepared.cost_model()
     }
 
     /// The recorded trajectory of one heuristic, when its class applies
-    /// to this instance's platform.
+    /// to this instance's platform: H1/H2a/H2b on Communication
+    /// Homogeneous platforms, the §7 extension otherwise.
     pub fn trajectory(&self, kind: HeuristicKind) -> Option<&Trajectory> {
-        self.trajectories
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map(|(_, t)| t)
+        let comm_homogeneous = self.platform().is_comm_homogeneous();
+        let class_ok = match kind {
+            HeuristicKind::SpMonoP
+            | HeuristicKind::ThreeExploMono
+            | HeuristicKind::ThreeExploBi => comm_homogeneous,
+            HeuristicKind::HeteroSplit => !comm_homogeneous,
+            _ => false,
+        };
+        if !class_ok {
+            return None;
+        }
+        self.prepared.trajectory(kind).map(|c| c.trajectory())
+    }
+
+    /// H4 (`Sp bi P`) period floor: the period its unconstrained run
+    /// bottoms out at (its per-instance failure threshold). `None` on
+    /// fully heterogeneous platforms, where H4 does not apply.
+    pub fn sp_bi_p_floor(&self) -> Option<f64> {
+        self.prepared.sp_bi_p_floor()
     }
 
     /// The tightest period any of the recorded trajectory heuristics
     /// reaches — used to scale sweep grids.
     pub fn best_floor(&self) -> f64 {
-        self.trajectories
-            .iter()
-            .map(|(_, t)| t.min_period())
-            .chain(self.sp_bi_p_floor)
-            .fold(f64::INFINITY, f64::min)
+        self.prepared.best_period_floor()
     }
-}
-
-/// Applies `f` to every item on `threads` worker threads, preserving
-/// order. Backed by the chunked work-stealing engine of [`crate::shard`]
-/// (one lock per chunk instead of one per item); output is identical for
-/// every thread count. Panics in workers propagate.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    assert!(threads >= 1, "need at least one thread");
-    sharded_map_items(items, ShardOptions::with_threads(threads), f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::{sharded_map_items, ShardOptions};
     use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
     use pipeline_model::scenario::{ScenarioFamily, ScenarioGenerator};
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..97).collect();
-        let out = parallel_map(items.clone(), 8, |x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_single_thread_and_empty() {
-        assert_eq!(parallel_map(vec![1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
-        let empty: Vec<i32> = vec![];
-        assert!(parallel_map(empty, 4, |x: i32| x).is_empty());
-    }
 
     #[test]
     fn parallel_matches_serial_on_instance_eval() {
@@ -151,7 +115,9 @@ mod tests {
             .map(|(a, p)| InstanceEval::new(a.clone(), p.clone()).best_floor())
             .collect();
         let parallel: Vec<f64> =
-            parallel_map(instances, 4, |(a, p)| InstanceEval::new(a, p).best_floor());
+            sharded_map_items(instances, ShardOptions::with_threads(4), |(a, p)| {
+                InstanceEval::new(a, p).best_floor()
+            });
         assert_eq!(serial, parallel);
     }
 
@@ -160,12 +126,12 @@ mod tests {
         let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 12, 10));
         let (app, pf) = gen.instance(1, 0);
         let ev = InstanceEval::new(app, pf);
-        assert!(ev.best_floor() <= ev.p_init + 1e-9);
-        assert!(ev.l_opt > 0.0);
+        assert!(ev.best_floor() <= ev.p_init() + 1e-9);
+        assert!(ev.l_opt() > 0.0);
         // Trajectory floors are reachable results.
         let h1 = ev.trajectory(HeuristicKind::SpMonoP).expect("homog eval");
         assert!(h1.min_period() > 0.0);
-        assert!(ev.sp_bi_p_floor.expect("homog eval") > 0.0);
+        assert!(ev.sp_bi_p_floor().expect("homog eval") > 0.0);
         assert!(ev.trajectory(HeuristicKind::HeteroSplit).is_none());
     }
 
@@ -176,11 +142,11 @@ mod tests {
         assert!(!pf.is_comm_homogeneous());
         let ev = InstanceEval::new(app, pf);
         assert!(ev.trajectory(HeuristicKind::SpMonoP).is_none());
-        assert!(ev.sp_bi_p_floor.is_none());
+        assert!(ev.sp_bi_p_floor().is_none());
         let het = ev
             .trajectory(HeuristicKind::HeteroSplit)
             .expect("hetero eval records the extension");
         assert!(het.min_period() > 0.0);
-        assert!(ev.best_floor() <= ev.p_init + 1e-9);
+        assert!(ev.best_floor() <= ev.p_init() + 1e-9);
     }
 }

@@ -1,0 +1,116 @@
+//! Batched solving: many (instance, request) pairs through the sharded
+//! work-queue engine.
+//!
+//! Each job pairs an [`Arc`]-shared [`PreparedInstance`] with one
+//! [`SolveRequest`]; [`solve_batch`] routes the jobs through
+//! [`crate::shard::sharded_map_items`], so the answers come back in job
+//! order and are **bit-identical for every thread count** (chunk
+//! boundaries never depend on `threads`, and each answer depends only on
+//! its own job). Sharing one `Arc<PreparedInstance>` across many jobs is
+//! the intended pattern: the first query against an instance pays for its
+//! trajectories, every later query — on any worker thread — hits the
+//! memoized caches.
+
+use crate::shard::{sharded_map_items, ShardOptions};
+use pipeline_core::service::{PreparedInstance, SolveError, SolveReport, SolveRequest};
+use std::sync::Arc;
+
+/// One unit of batched work: a query against a (shared) prepared
+/// instance.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The prepared instance; `Arc` so many jobs can share one session.
+    pub instance: Arc<PreparedInstance>,
+    /// The query.
+    pub request: SolveRequest,
+}
+
+impl BatchJob {
+    /// Pairs an instance with a request.
+    pub fn new(instance: Arc<PreparedInstance>, request: SolveRequest) -> Self {
+        BatchJob { instance, request }
+    }
+}
+
+/// Answers every job, in job order, on the sharded engine. Output is
+/// bit-identical across thread counts.
+pub fn solve_batch(
+    jobs: Vec<BatchJob>,
+    opts: ShardOptions,
+) -> Vec<Result<SolveReport, SolveError>> {
+    sharded_map_items(jobs, opts, |job| job.instance.solve(&job.request))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_core::{Objective, Strategy};
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_model::io::format_report;
+
+    fn fixture_jobs() -> Vec<BatchJob> {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 9, 6));
+        let mut jobs = Vec::new();
+        for seed in 0..4 {
+            let (app, pf) = gen.instance(seed, 0);
+            let prepared = Arc::new(PreparedInstance::new(app, pf));
+            let p0 = prepared.single_proc_period();
+            let l0 = prepared.optimal_latency();
+            for request in [
+                SolveRequest::new(Objective::MinPeriod),
+                SolveRequest::new(Objective::MinLatencyForPeriod(0.7 * p0))
+                    .strategy(Strategy::BestOfAll),
+                SolveRequest::new(Objective::MinLatencyForPeriod(0.01 * p0))
+                    .strategy(Strategy::BestOfAll),
+                SolveRequest::new(Objective::MinPeriodForLatency(1.5 * l0))
+                    .strategy(Strategy::BestOfAll),
+                SolveRequest::new(Objective::ParetoFront),
+            ] {
+                jobs.push(BatchJob::new(Arc::clone(&prepared), request));
+            }
+        }
+        jobs
+    }
+
+    /// Canonical string of an answer — the wire line, which captures
+    /// solver, coordinates, mapping and front (or the error code +
+    /// bound/floor) with round-trip float formatting.
+    fn canon(answers: &[Result<SolveReport, SolveError>]) -> Vec<String> {
+        answers
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match a {
+                Ok(report) => format_report(&report.to_wire(i as u64)),
+                Err(err) => format_report(&err.to_wire(i as u64)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_output_is_bit_identical_across_thread_counts() {
+        let reference = canon(&solve_batch(fixture_jobs(), ShardOptions::with_threads(1)));
+        assert!(reference.iter().any(|l| l.contains("status=ok")));
+        assert!(reference.iter().any(|l| l.contains("bound-below-floor")));
+        assert!(reference.iter().any(|l| l.contains("front=")));
+        for threads in [2, 4] {
+            let got = canon(&solve_batch(
+                fixture_jobs(),
+                ShardOptions::with_threads(threads),
+            ));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_answers_match_one_shot_solves() {
+        let jobs = fixture_jobs();
+        let one_shot: Vec<String> = canon(
+            &jobs
+                .iter()
+                .map(|j| j.instance.solve(&j.request))
+                .collect::<Vec<_>>(),
+        );
+        let batched = canon(&solve_batch(jobs, ShardOptions::with_threads(3)));
+        assert_eq!(batched, one_shot);
+    }
+}

@@ -134,7 +134,7 @@ where
 
 /// Moves `items` through `f` with chunked work stealing, preserving
 /// order. The drop-in replacement for the old one-`Mutex`-per-item
-/// parallel map (re-exported as `runner::parallel_map`).
+/// parallel map.
 pub fn sharded_map_items<T, R, F>(items: Vec<T>, opts: ShardOptions, f: F) -> Vec<R>
 where
     T: Send,

@@ -26,8 +26,8 @@
 //! accumulator merges make the output bit-identical for every thread
 //! count.
 
-use crate::runner::{parallel_map, InstanceEval};
-use crate::shard::{sharded_fold, sharded_map_indices, ShardOptions, StatSums};
+use crate::runner::InstanceEval;
+use crate::shard::{sharded_fold, sharded_map_indices, sharded_map_items, ShardOptions, StatSums};
 use pipeline_core::{sp_bi_l, sp_bi_p, sp_mono_l, HeuristicKind, SpBiPOptions};
 use pipeline_model::generator::InstanceParams;
 use pipeline_model::scenario::{ScenarioGenerator, ScenarioParams};
@@ -171,7 +171,7 @@ pub fn run_scenario(
     let sums = sharded_fold(n_instances, opts, |range| {
         let mut acc = StatSums::default();
         for e in &evals[range] {
-            acc.absorb(e.p_init, e.l_opt, e.best_floor());
+            acc.absorb(e.p_init(), e.l_opt(), e.best_floor());
         }
         acc
     })
@@ -262,10 +262,11 @@ fn sweep_sp_bi_p(evals: &[InstanceEval], grid: &[f64], threads: usize) -> Vec<Sw
     // Each instance × target is an independent binary search; parallelize
     // over instances (the outer loop is the grid to keep aggregation
     // simple).
+    let opts = ShardOptions::with_threads(threads);
     grid.iter()
         .filter_map(|&target| {
             let outcomes: Vec<(bool, f64, f64)> =
-                parallel_map(evals.iter().collect::<Vec<_>>(), threads, |e| {
+                sharded_map_items(evals.iter().collect::<Vec<_>>(), opts, |e| {
                     let cm = e.cost_model();
                     let r = sp_bi_p(&cm, target, SpBiPOptions::default());
                     (r.feasible, r.period, r.latency)
@@ -281,10 +282,11 @@ fn sweep_latency_fixed(
     grid: &[f64],
     threads: usize,
 ) -> Vec<SweepPoint> {
+    let opts = ShardOptions::with_threads(threads);
     grid.iter()
         .filter_map(|&target| {
             let outcomes: Vec<(bool, f64, f64)> =
-                parallel_map(evals.iter().collect::<Vec<_>>(), threads, |e| {
+                sharded_map_items(evals.iter().collect::<Vec<_>>(), opts, |e| {
                     let cm = e.cost_model();
                     let r = match kind {
                         HeuristicKind::SpMonoL => sp_mono_l(&cm, target),

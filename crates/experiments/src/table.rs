@@ -13,7 +13,8 @@
 //!   is satisfiable and anything below is not. This *explains* the
 //!   paper's observation that the H5 and H6 rows of Table 1 coincide.
 
-use crate::runner::{parallel_map, InstanceEval};
+use crate::runner::InstanceEval;
+use crate::shard::{sharded_map_items, ShardOptions};
 use pipeline_core::HeuristicKind;
 use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 use pipeline_model::util::mean;
@@ -53,10 +54,10 @@ pub fn instance_thresholds(eval: &InstanceEval) -> [f64; 6] {
         floor(HeuristicKind::SpMonoP),
         floor(HeuristicKind::ThreeExploMono),
         floor(HeuristicKind::ThreeExploBi),
-        eval.sp_bi_p_floor
+        eval.sp_bi_p_floor()
             .expect("Table 1 needs a Communication Homogeneous eval"),
-        eval.l_opt,
-        eval.l_opt,
+        eval.l_opt(),
+        eval.l_opt(),
     ]
 }
 
@@ -69,10 +70,14 @@ pub fn failure_thresholds(
     threads: usize,
 ) -> [f64; 6] {
     let gen = InstanceGenerator::new(params);
-    let evals = parallel_map(gen.batch(seed, n_instances), threads, |(app, pf)| {
-        let e = InstanceEval::new(app, pf);
-        instance_thresholds(&e)
-    });
+    let evals = sharded_map_items(
+        gen.batch(seed, n_instances),
+        ShardOptions::with_threads(threads),
+        |(app, pf)| {
+            let e = InstanceEval::new(app, pf);
+            instance_thresholds(&e)
+        },
+    );
     let mut out = [0.0; 6];
     for (h, slot) in out.iter_mut().enumerate() {
         let vals: Vec<f64> = evals.iter().map(|t| t[h]).collect();

@@ -231,6 +231,344 @@ pub fn parse_instance(text: &str) -> std::result::Result<(Application, Platform)
 /// Convenience alias keeping the crate-level [`Result`] usable here.
 pub type _Unused = Result<()>;
 
+// ---------------------------------------------------------------------------
+// Solver-service wire format v1.
+//
+// One request or report per line, `key=value` tokens separated by spaces,
+// so the `pwsched solve --stdin` service can sit behind a pipe or socket
+// and serve line-oriented traffic. Values never contain spaces (mappings
+// and fronts use `,`/`;`/`:` separators). The model crate owns only the
+// *syntax*; `pipeline_core::service` converts to and from its typed
+// request/report/error types.
+//
+// ```text
+// solve id=1 objective=min-period strategy=auto
+// solve id=2 objective=min-latency-for-period bound=2.5 strategy=best
+// solve id=3 objective=pareto-front strategy=exact tolerance=1e-9
+// report id=1 status=ok solver=h1 period=1.5 latency=3 feasible=true mapping=0-2@1,2-5@0
+// report id=3 status=ok solver=exact period=1 latency=9 feasible=true mapping=0-6@2 front=1:9;2:6
+// report id=4 status=error code=bound-below-floor bound=0.5 floor=0.875
+// ```
+// ---------------------------------------------------------------------------
+
+/// Objective selector of one wire request — the syntactic mirror of
+/// `pipeline_core::Objective` (the model crate sits below the solvers, so
+/// the wire layer carries its own copy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireObjective {
+    /// Minimize latency subject to `period ≤ bound`.
+    MinLatencyForPeriod(f64),
+    /// Minimize period subject to `latency ≤ bound`.
+    MinPeriodForLatency(f64),
+    /// Minimize the period outright.
+    MinPeriod,
+    /// Minimize the latency outright.
+    MinLatency,
+    /// Materialize the full period/latency Pareto front.
+    ParetoFront,
+}
+
+impl WireObjective {
+    /// Stable wire token of the objective kind.
+    pub fn token(&self) -> &'static str {
+        match self {
+            WireObjective::MinLatencyForPeriod(_) => "min-latency-for-period",
+            WireObjective::MinPeriodForLatency(_) => "min-period-for-latency",
+            WireObjective::MinPeriod => "min-period",
+            WireObjective::MinLatency => "min-latency",
+            WireObjective::ParetoFront => "pareto-front",
+        }
+    }
+
+    /// The bound carried by the bounded objectives.
+    pub fn bound(&self) -> Option<f64> {
+        match self {
+            WireObjective::MinLatencyForPeriod(b) | WireObjective::MinPeriodForLatency(b) => {
+                Some(*b)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One `solve` line of the request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client correlation id, echoed back in the report.
+    pub id: u64,
+    /// What to optimize.
+    pub objective: WireObjective,
+    /// Solver selector (`auto`, `best`, `exact`, `h1`…`h7`); validated by
+    /// the service layer, opaque here.
+    pub strategy: String,
+    /// Optional relative tolerance for bound searches.
+    pub tolerance: Option<f64>,
+    /// Optional instance-file override (service mode serves many
+    /// instances over one stream). Paths must not contain spaces.
+    pub instance: Option<String>,
+}
+
+/// A successful `report` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSolved {
+    /// Echoed request id.
+    pub id: u64,
+    /// Wire code of what produced the result (`exact`, `h1`…`h7`).
+    pub solver: String,
+    /// Achieved period.
+    pub period: f64,
+    /// Achieved latency.
+    pub latency: f64,
+    /// Whether the requested constraint was met.
+    pub feasible: bool,
+    /// Compact mapping encoding `start-end@proc,…`.
+    pub mapping: String,
+    /// `(period, latency)` front points, present only for
+    /// [`WireObjective::ParetoFront`] requests.
+    pub front: Option<Vec<(f64, f64)>>,
+}
+
+/// A failed `report` line with a structured error code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFailure {
+    /// Echoed request id (0 when the request line itself did not parse).
+    pub id: u64,
+    /// Stable machine-readable error code (e.g. `bound-below-floor`).
+    pub code: String,
+    /// The offending bound, for infeasibility errors.
+    pub bound: Option<f64>,
+    /// The feasibility floor the bound fell below.
+    pub floor: Option<f64>,
+}
+
+/// One line of the report stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireReport {
+    /// The request was answered.
+    Solved(WireSolved),
+    /// The request failed with a structured error.
+    Failed(WireFailure),
+}
+
+impl WireReport {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            WireReport::Solved(s) => s.id,
+            WireReport::Failed(f) => f.id,
+        }
+    }
+}
+
+fn wire_err(detail: String) -> ParseError {
+    ParseError::BadLine { line: 0, detail }
+}
+
+/// Splits a wire line into its verb and `key=value` pairs.
+fn wire_tokens(line: &str, verb: &str) -> std::result::Result<Vec<(String, String)>, ParseError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some(v) if v == verb => {}
+        other => return Err(wire_err(format!("expected '{verb} …', got {other:?}"))),
+    }
+    tokens
+        .map(|t| {
+            t.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| wire_err(format!("expected key=value, got {t:?}")))
+        })
+        .collect()
+}
+
+struct WireFields(Vec<(String, String)>);
+
+impl WireFields {
+    fn take(&mut self, key: &str) -> Option<String> {
+        let pos = self.0.iter().position(|(k, _)| k == key)?;
+        Some(self.0.remove(pos).1)
+    }
+
+    fn take_f64(&mut self, key: &str) -> std::result::Result<Option<f64>, ParseError> {
+        self.take(key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| wire_err(format!("bad number {v:?} for {key}")))
+            })
+            .transpose()
+    }
+
+    fn require(&mut self, key: &str) -> std::result::Result<String, ParseError> {
+        self.take(key)
+            .ok_or_else(|| wire_err(format!("missing {key}=")))
+    }
+
+    fn finish(self) -> std::result::Result<(), ParseError> {
+        match self.0.into_iter().next() {
+            None => Ok(()),
+            Some((k, _)) => Err(wire_err(format!("unknown key {k:?}"))),
+        }
+    }
+}
+
+/// Parses one `solve …` request line.
+pub fn parse_request(line: &str) -> std::result::Result<WireRequest, ParseError> {
+    let mut fields = WireFields(wire_tokens(line, "solve")?);
+    let id = {
+        let v = fields.require("id")?;
+        v.parse::<u64>()
+            .map_err(|_| wire_err(format!("bad id {v:?}")))?
+    };
+    let obj_token = fields.require("objective")?;
+    let bound = fields.take_f64("bound")?;
+    let need_bound = |bound: Option<f64>| {
+        bound.ok_or_else(|| wire_err(format!("objective {obj_token:?} needs bound=")))
+    };
+    let objective = match obj_token.as_str() {
+        "min-latency-for-period" => WireObjective::MinLatencyForPeriod(need_bound(bound)?),
+        "min-period-for-latency" => WireObjective::MinPeriodForLatency(need_bound(bound)?),
+        "min-period" => WireObjective::MinPeriod,
+        "min-latency" => WireObjective::MinLatency,
+        "pareto-front" => WireObjective::ParetoFront,
+        other => return Err(wire_err(format!("unknown objective {other:?}"))),
+    };
+    if objective.bound().is_none() && bound.is_some() {
+        return Err(wire_err(format!("objective {obj_token:?} takes no bound=")));
+    }
+    if objective.bound().is_some_and(f64::is_nan) {
+        return Err(wire_err("bound= must not be NaN".into()));
+    }
+    let strategy = fields.take("strategy").unwrap_or_else(|| "auto".into());
+    let tolerance = fields.take_f64("tolerance")?;
+    if tolerance.is_some_and(f64::is_nan) {
+        return Err(wire_err("tolerance= must not be NaN".into()));
+    }
+    let instance = fields.take("instance");
+    fields.finish()?;
+    Ok(WireRequest {
+        id,
+        objective,
+        strategy,
+        tolerance,
+        instance,
+    })
+}
+
+/// Formats one request as a `solve …` line (round-trips through
+/// [`parse_request`]).
+pub fn format_request(req: &WireRequest) -> String {
+    let mut out = format!("solve id={} objective={}", req.id, req.objective.token());
+    if let Some(b) = req.objective.bound() {
+        out.push_str(&format!(" bound={}", format_f64(b)));
+    }
+    out.push_str(&format!(" strategy={}", req.strategy));
+    if let Some(t) = req.tolerance {
+        out.push_str(&format!(" tolerance={}", format_f64(t)));
+    }
+    if let Some(i) = &req.instance {
+        out.push_str(&format!(" instance={i}"));
+    }
+    out
+}
+
+/// Parses one `report …` line.
+pub fn parse_report(line: &str) -> std::result::Result<WireReport, ParseError> {
+    let mut fields = WireFields(wire_tokens(line, "report")?);
+    let id = {
+        let v = fields.require("id")?;
+        v.parse::<u64>()
+            .map_err(|_| wire_err(format!("bad id {v:?}")))?
+    };
+    let status = fields.require("status")?;
+    let report = match status.as_str() {
+        "ok" => {
+            let solver = fields.require("solver")?;
+            let period = fields
+                .take_f64("period")?
+                .ok_or_else(|| wire_err("missing period=".into()))?;
+            let latency = fields
+                .take_f64("latency")?
+                .ok_or_else(|| wire_err("missing latency=".into()))?;
+            let feasible = match fields.require("feasible")?.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(wire_err(format!("bad feasible {other:?}"))),
+            };
+            let mapping = fields.require("mapping")?;
+            let front = fields
+                .take("front")
+                .map(|v| {
+                    v.split(';')
+                        .map(|pt| {
+                            let (p, l) = pt
+                                .split_once(':')
+                                .ok_or_else(|| wire_err(format!("bad front point {pt:?}")))?;
+                            let parse = |s: &str| {
+                                s.parse::<f64>()
+                                    .map_err(|_| wire_err(format!("bad front number {s:?}")))
+                            };
+                            Ok((parse(p)?, parse(l)?))
+                        })
+                        .collect::<std::result::Result<Vec<_>, ParseError>>()
+                })
+                .transpose()?;
+            WireReport::Solved(WireSolved {
+                id,
+                solver,
+                period,
+                latency,
+                feasible,
+                mapping,
+                front,
+            })
+        }
+        "error" => WireReport::Failed(WireFailure {
+            id,
+            code: fields.require("code")?,
+            bound: fields.take_f64("bound")?,
+            floor: fields.take_f64("floor")?,
+        }),
+        other => return Err(wire_err(format!("unknown status {other:?}"))),
+    };
+    fields.finish()?;
+    Ok(report)
+}
+
+/// Formats one report as a `report …` line (round-trips through
+/// [`parse_report`]).
+pub fn format_report(report: &WireReport) -> String {
+    match report {
+        WireReport::Solved(s) => {
+            let mut out = format!(
+                "report id={} status=ok solver={} period={} latency={} feasible={} mapping={}",
+                s.id,
+                s.solver,
+                format_f64(s.period),
+                format_f64(s.latency),
+                s.feasible,
+                s.mapping
+            );
+            if let Some(front) = &s.front {
+                let pts: Vec<String> = front
+                    .iter()
+                    .map(|(p, l)| format!("{}:{}", format_f64(*p), format_f64(*l)))
+                    .collect();
+                out.push_str(&format!(" front={}", pts.join(";")));
+            }
+            out
+        }
+        WireReport::Failed(f) => {
+            let mut out = format!("report id={} status=error code={}", f.id, f.code);
+            if let Some(b) = f.bound {
+                out.push_str(&format!(" bound={}", format_f64(b)));
+            }
+            if let Some(fl) = f.floor {
+                out.push_str(&format!(" floor={}", format_f64(fl)));
+            }
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +655,100 @@ mod tests {
             parse_instance(text).unwrap_err(),
             ParseError::BadLine { .. }
         ));
+    }
+
+    #[test]
+    fn wire_request_round_trips() {
+        let reqs = [
+            WireRequest {
+                id: 1,
+                objective: WireObjective::MinPeriod,
+                strategy: "auto".into(),
+                tolerance: None,
+                instance: None,
+            },
+            WireRequest {
+                id: 2,
+                objective: WireObjective::MinLatencyForPeriod(2.5),
+                strategy: "best".into(),
+                tolerance: Some(1e-9),
+                instance: Some("a/b.pw".into()),
+            },
+            WireRequest {
+                id: 3,
+                objective: WireObjective::ParetoFront,
+                strategy: "exact".into(),
+                tolerance: None,
+                instance: None,
+            },
+        ];
+        for req in reqs {
+            let line = format_request(&req);
+            assert_eq!(parse_request(&line).expect("round trip"), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn wire_request_defaults_and_errors() {
+        let req = parse_request("solve id=7 objective=min-latency").expect("minimal line");
+        assert_eq!(req.strategy, "auto");
+        assert_eq!(req.objective, WireObjective::MinLatency);
+        assert!(parse_request("solve objective=min-period").is_err()); // no id
+        assert!(parse_request("solve id=1 objective=min-latency-for-period").is_err()); // no bound
+        assert!(parse_request("solve id=1 objective=min-period bound=2").is_err()); // stray bound
+        assert!(parse_request("solve id=1 objective=nope").is_err());
+        assert!(parse_request("solve id=1 objective=min-period junk=1").is_err());
+        assert!(parse_request("report id=1 status=ok").is_err()); // wrong verb
+    }
+
+    #[test]
+    fn wire_report_round_trips() {
+        let reports = [
+            WireReport::Solved(WireSolved {
+                id: 4,
+                solver: "h3".into(),
+                period: 1.25,
+                latency: 10.5,
+                feasible: true,
+                mapping: "0-2@1,2-5@0".into(),
+                front: None,
+            }),
+            WireReport::Solved(WireSolved {
+                id: 5,
+                solver: "exact".into(),
+                period: 1.0,
+                latency: 9.0,
+                feasible: true,
+                mapping: "0-6@2".into(),
+                front: Some(vec![(1.0, 9.0), (2.0, 6.0), (4.0, 3.0)]),
+            }),
+            WireReport::Failed(WireFailure {
+                id: 6,
+                code: "bound-below-floor".into(),
+                bound: Some(0.5),
+                floor: Some(0.875),
+            }),
+        ];
+        for report in reports {
+            let line = format_report(&report);
+            assert_eq!(parse_report(&line).expect("round trip"), report, "{line}");
+            assert_eq!(report.id(), parse_report(&line).unwrap().id());
+        }
+    }
+
+    #[test]
+    fn wire_report_rejects_malformed_lines() {
+        assert!(parse_report("report id=1 status=bogus").is_err());
+        assert!(parse_report("report id=1 status=ok solver=h1").is_err()); // missing fields
+        assert!(parse_report(
+            "report id=1 status=ok solver=h1 period=x latency=1 feasible=true mapping=0-1@0"
+        )
+        .is_err());
+        assert!(parse_report(
+            "report id=1 status=ok solver=h1 period=1 latency=1 feasible=maybe mapping=0-1@0"
+        )
+        .is_err());
+        assert!(parse_report("report id=1 status=error").is_err()); // no code
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use pipeline_workflows::core::bounds::{gap, period_lower_bound};
 use pipeline_workflows::core::refine::refine_mapping;
-use pipeline_workflows::core::{HeuristicKind, Objective, Scheduler, Strategy};
+use pipeline_workflows::core::service::{PreparedInstance, SolveRequest};
+use pipeline_workflows::core::{HeuristicKind, Objective, Strategy};
 use pipeline_workflows::model::workload::WorkloadShape;
 use pipeline_workflows::model::{CostModel, Platform};
 
@@ -23,17 +24,17 @@ fn main() {
     );
     for shape in WorkloadShape::ALL {
         let app = shape.build(12, 15.0, 6.0);
-        let cm = CostModel::new(&app, &platform);
-        let p_single = cm.single_proc_period();
+        let prepared = PreparedInstance::new(app, platform.clone());
+        let cm = prepared.cost_model();
+        let p_single = prepared.single_proc_period();
 
         // Best achievable period across all heuristics.
-        let sol = Scheduler::new()
-            .strategy(Strategy::BestOfAll)
-            .solve(&app, &platform, Objective::MinPeriod)
+        let report = prepared
+            .solve(&SolveRequest::new(Objective::MinPeriod).strategy(Strategy::BestOfAll))
             .expect("min period always solvable");
 
         // Local-search refinement with a 1.3× latency allowance.
-        let refined = refine_mapping(&cm, &sol.result.mapping, sol.result.latency * 1.3);
+        let refined = refine_mapping(&cm, &report.result.mapping, report.result.latency * 1.3);
 
         // Certified optimality gap.
         let lb = period_lower_bound(&cm, 5_000_000);
@@ -41,11 +42,11 @@ fn main() {
             "{:<16} {:>9.2} {:>9.2} {:>9.2} {:>7.1}% {:>7} {:>14}",
             shape.name(),
             p_single,
-            sol.result.period,
+            report.result.period,
             refined.period,
             100.0 * gap(refined.period, lb.value),
             refined.mapping.n_intervals(),
-            sol.solver
+            report.solver.label()
         );
     }
 

@@ -1,18 +1,25 @@
-//! `pwsched` — schedule a pipeline instance from a file, or sweep the
-//! scenario zoo.
+//! `pwsched` — schedule a pipeline instance from a file, serve solve
+//! requests over stdin, or sweep the scenario zoo.
 //!
 //! ```text
-//! pwsched <instance-file> [--period BOUND | --latency BOUND | --min-period | --min-latency]
+//! pwsched <instance-file> [--period BOUND | --latency BOUND | --min-period
+//!         | --min-latency | --pareto-front]
 //!         [--heuristic h1|h2|h3|h4|h5|h6|h7|best|exact|auto]
 //!         [--simulate N] [--gantt]
+//! pwsched solve <instance-file> --stdin
 //! pwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]
 //!         [--grid G] [--threads T] [--seed S]
 //! ```
 //!
-//! The instance file uses the `pipeline-instance v1` text format (see
-//! `pipeline_model::io`). Default objective: `--min-period`; default
-//! strategy: `auto` (exact for small instances, best-of-all heuristics
-//! otherwise).
+//! The instance file uses the `pipeline-instance v1` text format, and the
+//! service mode speaks the line-oriented request/report wire format —
+//! both in `pipeline_model::io`. `pwsched solve <file> --stdin` prepares
+//! the instance once, then answers one `solve …` request per input line
+//! with one `report …` line (requests may override the instance with
+//! `instance=<path>`; prepared instances are cached per path), so the
+//! binary can sit behind a socket or pipe and serve traffic. Default
+//! objective: `--min-period`; default strategy: `auto` (exact for small
+//! instances, best-of-all heuristics otherwise).
 //!
 //! `--sweep` runs the sharded sweep engine over one registered scenario
 //! family (by stable label — `e1`…`e4`, `heavy-tail`, `two-tier`,
@@ -20,41 +27,158 @@
 //! (`all`), printing per-family landmark summaries. CI's smoke job uses
 //! it to exercise every registered family on two threads.
 
-use pipeline_workflows::core::{HeuristicKind, Objective, Scheduler, Strategy};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use pipeline_workflows::core::service::{PreparedInstance, SolveRequest};
+use pipeline_workflows::core::{Objective, Scheduler, Strategy};
 use pipeline_workflows::experiments::{run_scenario, scenario_zoo};
-use pipeline_workflows::model::io::parse_instance;
+use pipeline_workflows::model::io::{
+    format_report, parse_instance, parse_request, WireFailure, WireReport,
+};
 use pipeline_workflows::model::scenario::ScenarioFamily;
-use pipeline_workflows::model::CostModel;
 use pipeline_workflows::sim::{Gantt, InputPolicy, PipelineSim, SimConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: pwsched <instance-file> \
-         [--period B | --latency B | --min-period | --min-latency]\n\
+         [--period B | --latency B | --min-period | --min-latency | --pareto-front]\n\
          \t[--heuristic h1|h2|h3|h4|h5|h6|h7|best|exact|auto] [--simulate N] [--gantt]\n\
+         \tpwsched solve <instance-file> --stdin\n\
          \tpwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]\n\
          \t[--grid G] [--threads T] [--seed S]"
     );
     std::process::exit(2);
 }
 
-fn parse_heuristic(s: &str) -> Strategy {
-    match s.to_ascii_lowercase().as_str() {
-        "h1" => Strategy::Heuristic(HeuristicKind::SpMonoP),
-        "h2" => Strategy::Heuristic(HeuristicKind::ThreeExploMono),
-        "h3" => Strategy::Heuristic(HeuristicKind::ThreeExploBi),
-        "h4" => Strategy::Heuristic(HeuristicKind::SpBiP),
-        "h5" => Strategy::Heuristic(HeuristicKind::SpMonoL),
-        "h6" => Strategy::Heuristic(HeuristicKind::SpBiL),
-        "h7" | "het" => Strategy::Heuristic(HeuristicKind::HeteroSplit),
-        "best" => Strategy::BestOfAll,
-        "exact" => Strategy::Exact,
-        "auto" => Strategy::Auto,
-        other => {
-            eprintln!("unknown heuristic {other:?}");
-            usage();
-        }
+fn parse_strategy(s: &str) -> Strategy {
+    s.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
+}
+
+fn load_instance(path: &str) -> PreparedInstance {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let (app, platform) = parse_instance(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    PreparedInstance::new(app, platform)
+}
+
+/// Service mode: one prepared-instance session per referenced file, one
+/// report line per request line.
+fn run_service(mut args: impl Iterator<Item = String>) -> ! {
+    let Some(default_path) = args.next() else {
+        usage()
+    };
+    match args.next().as_deref() {
+        Some("--stdin") => {}
+        _ => usage(),
     }
+    if args.next().is_some() {
+        usage();
+    }
+    let mut instances: HashMap<String, Arc<PreparedInstance>> = HashMap::new();
+    instances.insert(default_path.clone(), Arc::new(load_instance(&default_path)));
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // A disconnecting consumer (EPIPE) ends the service cleanly; any
+    // other stdout failure is fatal.
+    let mut emit = |report: WireReport| {
+        let outcome = writeln!(out, "{}", format_report(&report)).and_then(|()| out.flush());
+        match outcome {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+            Err(e) => {
+                eprintln!("cannot write report: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin readable");
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let wire = match parse_request(trimmed) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("bad request: {e}");
+                emit(WireReport::Failed(WireFailure {
+                    id: 0,
+                    code: "bad-request".into(),
+                    bound: None,
+                    floor: None,
+                }));
+                continue;
+            }
+        };
+        let request = match SolveRequest::from_wire(&wire) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("request {}: {e}", wire.id);
+                emit(WireReport::Failed(WireFailure {
+                    id: wire.id,
+                    code: "unknown-solver".into(),
+                    bound: None,
+                    floor: None,
+                }));
+                continue;
+            }
+        };
+        let path = wire.instance.as_deref().unwrap_or(&default_path);
+        let prepared = match instances.get(path) {
+            Some(p) => Arc::clone(p),
+            None => {
+                // Unlike the default instance, per-request paths fail the
+                // request, not the whole service.
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("request {}: cannot read {path}: {e}", wire.id);
+                        emit(WireReport::Failed(WireFailure {
+                            id: wire.id,
+                            code: "bad-instance".into(),
+                            bound: None,
+                            floor: None,
+                        }));
+                        continue;
+                    }
+                };
+                match parse_instance(&text) {
+                    Ok((app, pf)) => {
+                        let p = Arc::new(PreparedInstance::new(app, pf));
+                        instances.insert(path.to_string(), Arc::clone(&p));
+                        p
+                    }
+                    Err(e) => {
+                        eprintln!("request {}: cannot parse {path}: {e}", wire.id);
+                        emit(WireReport::Failed(WireFailure {
+                            id: wire.id,
+                            code: "bad-instance".into(),
+                            bound: None,
+                            floor: None,
+                        }));
+                        continue;
+                    }
+                }
+            }
+        };
+        emit(match prepared.solve(&request) {
+            Ok(report) => report.to_wire(wire.id),
+            Err(err) => err.to_wire(wire.id),
+        });
+    }
+    std::process::exit(0);
 }
 
 fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
@@ -142,6 +266,9 @@ fn main() {
     if path == "--sweep" {
         run_sweep(args);
     }
+    if path == "solve" {
+        run_service(args);
+    }
     let mut objective: Option<Objective> = None;
     let mut strategy = Strategy::Auto;
     let mut simulate: Option<usize> = None;
@@ -166,7 +293,8 @@ fn main() {
             }
             "--min-period" => objective = Some(Objective::MinPeriod),
             "--min-latency" => objective = Some(Objective::MinLatency),
-            "--heuristic" => strategy = parse_heuristic(&value()),
+            "--pareto-front" => objective = Some(Objective::ParetoFront),
+            "--heuristic" => strategy = parse_strategy(&value()),
             "--simulate" => simulate = Some(value().parse().unwrap_or_else(|_| usage())),
             "--gantt" => gantt = true,
             _ => usage(),
@@ -174,46 +302,52 @@ fn main() {
     }
     let objective = objective.unwrap_or(Objective::MinPeriod);
 
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
-    });
-    let (app, platform) = parse_instance(&text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        std::process::exit(1);
-    });
-    let cm = CostModel::new(&app, &platform);
+    let prepared = load_instance(&path);
+    let cm = prepared.cost_model();
     println!(
         "instance: {} stages (total work {:.2}), {} processors",
-        app.n_stages(),
-        app.total_work(),
-        platform.n_procs()
+        prepared.app().n_stages(),
+        prepared.app().total_work(),
+        prepared.platform().n_procs()
     );
     println!(
         "landmarks: L_opt {:.4}, single-processor period {:.4}",
-        cm.optimal_latency(),
-        cm.single_proc_period()
+        prepared.optimal_latency(),
+        prepared.single_proc_period()
     );
 
-    let solution = Scheduler::new()
-        .strategy(strategy)
-        .solve(&app, &platform, objective);
-    let Some(sol) = solution else {
-        eprintln!("objective {objective:?} is infeasible for the chosen strategy");
-        std::process::exit(1);
+    let request = Scheduler::new().strategy(strategy).request(objective);
+    let report = match prepared.solve(&request) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cannot answer {objective:?}: {err}");
+            std::process::exit(1);
+        }
     };
-    println!("\nsolver:  {}", sol.solver);
-    println!("mapping: {}", sol.result.mapping);
-    println!("period:  {:.4}", sol.result.period);
-    println!("latency: {:.4}", sol.result.latency);
-    if !sol.result.feasible {
+    if let Some(front) = &report.front {
+        println!("\nPareto front ({} points):", front.len());
+        println!("{:>12} {:>12}  solver", "period", "latency");
+        for pt in front.points() {
+            println!(
+                "{:>12.4} {:>12.4}  {}",
+                pt.period,
+                pt.latency,
+                pt.payload.label()
+            );
+        }
+    }
+    println!("\nsolver:  {}", report.solver.label());
+    println!("mapping: {}", report.result.mapping);
+    println!("period:  {:.4}", report.result.period);
+    println!("latency: {:.4}", report.result.latency);
+    if !report.result.feasible {
         println!("WARNING: the requested constraint was NOT met; best effort shown.");
     }
 
     if let Some(n) = simulate {
         let out = PipelineSim::new(
             &cm,
-            &sol.result.mapping,
+            &report.result.mapping,
             SimConfig {
                 input: InputPolicy::Saturating,
                 record_trace: gantt,
@@ -225,14 +359,14 @@ fn main() {
             println!("  steady period: {sp:.4}");
         }
         println!("  max latency:   {:.4}", out.report.max_latency());
-        for &u in sol.result.mapping.procs() {
+        for &u in report.result.mapping.procs() {
             println!(
                 "  P{u} utilization: {:.1}%",
                 100.0 * out.report.utilization(u)
             );
         }
         if gantt {
-            let horizon = out.report.makespan.min(sol.result.period * 8.0);
+            let horizon = out.report.makespan.min(report.result.period * 8.0);
             let visible: Vec<_> = out
                 .trace
                 .iter()
@@ -241,7 +375,7 @@ fn main() {
                 .collect();
             println!(
                 "\n{}",
-                Gantt::default().render(&visible, sol.result.mapping.procs(), horizon)
+                Gantt::default().render(&visible, report.result.mapping.procs(), horizon)
             );
         }
     }

@@ -20,9 +20,13 @@
 //!
 //! ## Quickstart
 //!
+//! Prepare an instance once, then answer any number of typed solve
+//! requests from its memoized trajectories:
+//!
 //! ```
-//! use pipeline_workflows::model::{Application, Platform, CostModel};
-//! use pipeline_workflows::core::{sp_mono_p, HeuristicKind};
+//! use pipeline_workflows::model::{Application, Platform};
+//! use pipeline_workflows::core::service::{PreparedInstance, SolveRequest, SolveError};
+//! use pipeline_workflows::core::{Objective, Strategy};
 //!
 //! // A 4-stage pipeline: (work, input/output volumes).
 //! let app = Application::new(
@@ -31,26 +35,53 @@
 //! ).unwrap();
 //! // Five processors of different speeds, 10-wide links.
 //! let platform = Platform::comm_homogeneous(vec![4.0, 9.0, 2.0, 7.0, 5.0], 10.0).unwrap();
-//! let cm = CostModel::new(&app, &platform);
 //!
-//! // Fastest-processor mapping: optimal latency, poor period (Lemma 1).
-//! let l_opt = cm.optimal_latency();
-//! let p_single = cm.single_proc_period();
+//! // One session per instance; every bound query after the first hits
+//! // the cached heuristic trajectories (O(log) per query).
+//! let session = PreparedInstance::new(app, platform);
+//! let p_single = session.single_proc_period();
 //!
-//! // H1: minimize latency subject to a period budget.
-//! let result = sp_mono_p(&cm, 0.7 * p_single);
-//! assert!(result.feasible);
-//! assert!(result.period <= 0.7 * p_single + 1e-9);
-//! assert!(result.latency >= l_opt);            // latency is the price paid
-//! println!("{}", result.mapping);              // e.g. S1..S2→P1 | S3..S4→P3
+//! // Minimize latency subject to a period budget, best heuristic wins.
+//! let report = session
+//!     .solve(&SolveRequest::new(Objective::MinLatencyForPeriod(0.7 * p_single))
+//!         .strategy(Strategy::BestOfAll))
+//!     .unwrap();
+//! assert!(report.result.period <= 0.7 * p_single + 1e-9);
+//! println!("{} via {}", report.result.mapping, report.solver); // provenance is a Copy enum
 //!
-//! // The other five heuristics hang off `HeuristicKind`.
-//! for kind in HeuristicKind::ALL {
-//!     let target = if kind.is_period_fixed() { 0.7 * p_single } else { 2.0 * l_opt };
-//!     let r = kind.run(&cm, target);
-//!     assert!(r.period > 0.0 && r.latency > 0.0);
+//! // Too-tight bounds fail with a diagnosis, not a shrug: the error
+//! // reports the instance's feasibility floor.
+//! match session.solve(&SolveRequest::new(Objective::MinLatencyForPeriod(0.01 * p_single))
+//!     .strategy(Strategy::BestOfAll))
+//! {
+//!     Err(SolveError::BoundBelowFloor { floor, .. }) => assert!(floor > 0.01 * p_single),
+//!     other => panic!("expected a structured error, got {other:?}"),
 //! }
+//!
+//! // The full period/latency trade-off in one query (exact on small
+//! // instances, the union of the heuristic trajectories otherwise).
+//! let front = session
+//!     .solve(&SolveRequest::new(Objective::ParetoFront))
+//!     .unwrap()
+//!     .front
+//!     .unwrap();
+//! assert!(!front.is_empty());
 //! ```
+//!
+//! The low-level API is still there for single runs: `sp_mono_p(&cm,
+//! target)` and friends in [`core`], one call per (heuristic, bound)
+//! pair.
+//!
+//! ### Migrating from `Scheduler::solve`
+//!
+//! The pre-v1 entry point `Scheduler::solve(&app, &pf, objective) ->
+//! Option<Solution>` is deprecated. `Scheduler::solve_report` is the
+//! drop-in replacement (`Ok(report)` where you matched `Some(sol)`,
+//! structured [`core::SolveError`]s where you got `None`); hold a
+//! [`core::PreparedInstance`] instead when the same instance answers more
+//! than one query. `Solution.solver` is now the `Copy` enum
+//! [`core::SolverId`] — match on it or print `.label()` where you
+//! compared strings.
 //!
 //! ## Validating a mapping operationally
 //!
@@ -74,12 +105,12 @@
 //!
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
-//! | [`model`] | `pipeline-model` | applications, platforms, mappings, cost model (eqs. 1–2), E1–E4 generators, the scenario zoo |
-//! | [`core`] | `pipeline-core` | the six heuristics, exact solvers, Subhlok–Vondran baseline, Pareto tools, §7 extensions |
+//! | [`model`] | `pipeline-model` | applications, platforms, mappings, cost model (eqs. 1–2), E1–E4 generators, the scenario zoo, instance + request/report wire formats |
+//! | [`core`] | `pipeline-core` | the six heuristics, exact solvers, the solver-service API (`PreparedInstance`), Subhlok–Vondran baseline, Pareto tools, §7 extensions |
 //! | [`chains`] | `pipeline-chains` | chains-to-chains algorithms and the NMWTS NP-hardness gadget (Theorem 1) |
 //! | [`assign`] | `pipeline-assign` | Hungarian / bottleneck assignment used by the exact solvers |
 //! | [`sim`] | `pipeline-sim` | one-port discrete-event simulator, traces, Gantt charts |
-//! | [`experiments`] | `pipeline-experiments` | figure/table regeneration harness, sharded sweep engine |
+//! | [`experiments`] | `pipeline-experiments` | figure/table regeneration harness, sharded sweep engine, batched solving (`solve_batch`) |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every figure and table.

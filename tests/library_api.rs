@@ -1,7 +1,9 @@
-//! Integration of the library-facing APIs: instance I/O, the `Scheduler`
-//! façade, workload presets, bounds, and refinement — the paths the
-//! `pwsched` CLI exercises.
+//! Integration of the library-facing APIs: instance I/O, the
+//! solver-service API (`PreparedInstance` + `SolveRequest`), workload
+//! presets, bounds, and refinement — the paths the `pwsched` CLI
+//! exercises.
 
+use pipeline_workflows::core::service::{PreparedInstance, SolveRequest, SolverId};
 use pipeline_workflows::core::{bounds, refine::refine_mapping, Objective, Scheduler, Strategy};
 use pipeline_workflows::model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 use pipeline_workflows::model::io::{format_instance, parse_instance};
@@ -11,21 +13,22 @@ use proptest::prelude::*;
 
 #[test]
 fn scheduler_pipeline_from_serialized_instance() {
-    // Serialize → parse → schedule → verify, the full CLI path.
+    // Serialize → parse → prepare → solve → verify, the full CLI path.
     let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 9, 6));
     let (app, pf) = gen.instance(21, 0);
     let text = format_instance(&app, &pf);
     let (app2, pf2) = parse_instance(&text).expect("round trip");
-    let sol = Scheduler::new()
-        .solve(&app2, &pf2, Objective::MinPeriod)
+    let prepared = PreparedInstance::new(app2, pf2);
+    let report = prepared
+        .solve(&SolveRequest::new(Objective::MinPeriod))
         .expect("min period solvable");
-    let cm = CostModel::new(&app2, &pf2);
-    assert!((cm.period(&sol.result.mapping) - sol.result.period).abs() < 1e-9);
+    let cm = prepared.cost_model();
+    assert!((cm.period(&report.result.mapping) - report.result.period).abs() < 1e-9);
     // The instance is small: Auto must have picked the exact solver, so
     // the certified lower bound is tight.
-    assert_eq!(sol.solver, "exact");
+    assert_eq!(report.solver, SolverId::Exact);
     let lb = bounds::period_lower_bound(&cm, 10_000_000);
-    assert!(lb.value <= sol.result.period + 1e-9);
+    assert!(lb.value <= report.result.period + 1e-9);
 }
 
 #[test]
@@ -34,20 +37,18 @@ fn workload_presets_schedule_end_to_end() {
     for shape in WorkloadShape::ALL {
         let app = shape.build(10, 20.0, 8.0);
         let cm = CostModel::new(&app, &pf);
-        let sol = Scheduler::new().strategy(Strategy::BestOfAll).solve(
+        let bound = 0.7 * cm.single_proc_period();
+        let report = Scheduler::new().strategy(Strategy::BestOfAll).solve_report(
             &app,
             &pf,
-            Objective::MinLatencyForPeriod(0.7 * cm.single_proc_period()),
+            Objective::MinLatencyForPeriod(bound),
         );
-        if let Some(sol) = sol {
-            assert!(
-                sol.result.period <= 0.7 * cm.single_proc_period() + 1e-9,
-                "{shape}"
-            );
+        if let Ok(report) = report {
+            assert!(report.result.period <= bound + 1e-9, "{shape}");
             // Refinement under the same latency as budget can only help
             // the period.
-            let refined = refine_mapping(&cm, &sol.result.mapping, sol.result.latency);
-            assert!(refined.period <= sol.result.period + 1e-9, "{shape}");
+            let refined = refine_mapping(&cm, &report.result.mapping, report.result.latency);
+            assert!(refined.period <= report.result.period + 1e-9, "{shape}");
         }
     }
 }
@@ -84,20 +85,30 @@ proptest! {
         prop_assert_eq!(pf, pf2);
     }
 
-    /// The Scheduler façade never returns an infeasible "feasible" result
-    /// and respects the objective's constraint.
+    /// The service never returns an infeasible "feasible" result,
+    /// respects the objective's constraint, and reports a floor the
+    /// instance can actually meet when it refuses a bound.
     #[test]
-    fn prop_scheduler_contract(seed in 0u64..2_000, factor in 0.4_f64..1.5) {
+    fn prop_service_contract(seed in 0u64..2_000, factor in 0.4_f64..1.5) {
         let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, 8, 6));
         let (app, pf) = gen.instance(seed, 0);
-        let cm = CostModel::new(&app, &pf);
-        let bound = factor * cm.single_proc_period();
-        if let Some(sol) =
-            Scheduler::new().solve(&app, &pf, Objective::MinLatencyForPeriod(bound))
-        {
-            prop_assert!(sol.result.feasible);
-            prop_assert!(sol.result.period <= bound + 1e-9);
-            prop_assert!(sol.result.latency >= cm.optimal_latency() - 1e-9);
+        let prepared = PreparedInstance::new(app, pf);
+        let bound = factor * prepared.single_proc_period();
+        match prepared.solve(&SolveRequest::new(Objective::MinLatencyForPeriod(bound))) {
+            Ok(report) => {
+                prop_assert!(report.result.feasible);
+                prop_assert!(report.result.period <= bound + 1e-9);
+                prop_assert!(report.result.latency >= prepared.optimal_latency() - 1e-9);
+            }
+            Err(pipeline_workflows::core::SolveError::BoundBelowFloor { bound: b, floor }) => {
+                prop_assert_eq!(b, bound);
+                prop_assert!(floor > bound);
+                // Re-asking at the reported floor must succeed.
+                let retry = prepared
+                    .solve(&SolveRequest::new(Objective::MinLatencyForPeriod(floor)));
+                prop_assert!(retry.is_ok(), "floor {floor} not satisfiable: {retry:?}");
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
         }
     }
 

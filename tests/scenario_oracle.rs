@@ -8,7 +8,8 @@
 //!   matrix.
 
 use pipeline_workflows::assign::{bottleneck_assignment, hungarian, CostMatrix};
-use pipeline_workflows::core::{exact, Objective, Scheduler, Strategy};
+use pipeline_workflows::core::service::{PreparedInstance, SolveRequest};
+use pipeline_workflows::core::{exact, Objective, Strategy};
 use pipeline_workflows::model::scenario::{ScenarioFamily, ScenarioGenerator};
 use pipeline_workflows::model::CostModel;
 
@@ -26,17 +27,19 @@ fn best_of_all_never_beats_exact_on_small_instances() {
         let gen = ScenarioGenerator::new(family.params(7, 5));
         for index in 0..3 {
             let (app, pf) = gen.instance(7, index);
-            let exact_sched = Scheduler::new().strategy(Strategy::Exact);
-            let best_sched = Scheduler::new().strategy(Strategy::BestOfAll);
+            // One session answers all four queries from its caches.
+            let prepared = PreparedInstance::new(app, pf);
+            let exact_req = |o| SolveRequest::new(o).strategy(Strategy::Exact);
+            let best_req = |o| SolveRequest::new(o).strategy(Strategy::BestOfAll);
 
             // Unconstrained period minimization.
-            let p_exact = exact_sched
-                .solve(&app, &pf, Objective::MinPeriod)
+            let p_exact = prepared
+                .solve(&exact_req(Objective::MinPeriod))
                 .expect("always solvable")
                 .result
                 .period;
-            let p_best = best_sched
-                .solve(&app, &pf, Objective::MinPeriod)
+            let p_best = prepared
+                .solve(&best_req(Objective::MinPeriod))
                 .expect("always solvable")
                 .result
                 .period;
@@ -47,12 +50,12 @@ fn best_of_all_never_beats_exact_on_small_instances() {
 
             // Latency minimization under a satisfiable period bound.
             let bound = 1.3 * p_exact;
-            let l_exact = exact_sched
-                .solve(&app, &pf, Objective::MinLatencyForPeriod(bound))
+            let l_exact = prepared
+                .solve(&exact_req(Objective::MinLatencyForPeriod(bound)))
                 .expect("bound above the optimal period")
                 .result
                 .latency;
-            if let Some(best) = best_sched.solve(&app, &pf, Objective::MinLatencyForPeriod(bound)) {
+            if let Ok(best) = prepared.solve(&best_req(Objective::MinLatencyForPeriod(bound))) {
                 assert!(
                     best.result.latency >= l_exact - EPS,
                     "{family} #{index}: BestOfAll latency {} beats exact {l_exact}",
