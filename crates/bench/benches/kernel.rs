@@ -1,0 +1,90 @@
+//! The incremental solver kernel: split-step throughput and exact solver
+//! v2 vs the blind v1 reference.
+//!
+//! Compiled (not run) in CI via `cargo bench --no-run`; run locally to
+//! compare kernel generations. `pwsched bench-kernel` records the same
+//! quantities into `BENCH_kernel.json` for the cross-PR perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipeline_core::exact;
+use pipeline_core::trajectory::{fixed_period_trajectory, TrajectoryKind};
+use pipeline_core::{sp_bi_p, SpBiPOptions};
+use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+use pipeline_model::CostModel;
+use std::hint::black_box;
+
+/// Raw split-step throughput: one full H1 trajectory per iteration. The
+/// recorded point count makes the per-split cost visible via the
+/// element-throughput estimate.
+fn bench_split_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/split-steps");
+    for (n, p) in [(40usize, 20usize), (120, 60), (240, 120)] {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
+        let (app, pf) = gen.instance(3, 0);
+        let cm = CostModel::new(&app, &pf);
+        let splits = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono)
+            .points
+            .len()
+            - 1;
+        group.throughput(Throughput::Elements(splits.max(1) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("h1-trajectory", format!("n{n}_p{p}")),
+            &cm,
+            |b, cm| {
+                b.iter(|| black_box(fixed_period_trajectory(cm, TrajectoryKind::SplitMono)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// H3's binary search — the heaviest consumer of the selection memo.
+fn bench_sp_bi_p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/sp-bi-p");
+    for (n, p) in [(40usize, 20usize), (120, 60)] {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p));
+        let (app, pf) = gen.instance(5, 0);
+        let cm = CostModel::new(&app, &pf);
+        let target = 0.5 * cm.single_proc_period();
+        group.bench_with_input(
+            BenchmarkId::new("h3", format!("n{n}_p{p}")),
+            &target,
+            |b, &target| {
+                b.iter(|| black_box(sp_bi_p(&cm, black_box(target), SpBiPOptions::default())));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Exact solver v2 (branch-and-bound) vs the blind v1 enumeration at the
+/// old Auto cutoff — the speedup that paid for raising the cutoff.
+fn bench_exact_v2_vs_v1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/exact");
+    let n = 12usize;
+    let p = 6usize;
+    let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p));
+    let (app, pf) = gen.instance(1, 0);
+    let cm = CostModel::new(&app, &pf);
+    group.bench_function(BenchmarkId::new("min-period-v2", format!("n{n}")), |b| {
+        b.iter(|| black_box(exact::exact_min_period(&cm)));
+    });
+    group.bench_function(BenchmarkId::new("min-period-v1", format!("n{n}")), |b| {
+        b.iter(|| black_box(exact::exact_min_period_blind(&cm)));
+    });
+    group.bench_function(BenchmarkId::new("front-v2", format!("n{n}")), |b| {
+        b.iter(|| black_box(exact::exact_pareto_front(&cm)));
+    });
+    group.bench_function(BenchmarkId::new("front-v1", format!("n{n}")), |b| {
+        b.iter(|| black_box(exact::exact_pareto_front_blind(&cm)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernel,
+    bench_split_steps,
+    bench_sp_bi_p,
+    bench_exact_v2_vs_v1
+);
+criterion_main!(kernel);

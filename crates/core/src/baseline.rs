@@ -68,7 +68,7 @@ pub fn sv_min_latency_for_period(
     for k in 1..=parts {
         for i in k..=n {
             for j in (k - 1)..i {
-                if dp[k - 1][j].is_finite() && cycle(app, s, b, j, i) <= period_bound + EPS {
+                if dp[k - 1][j].is_finite() && approx_le(cycle(app, s, b, j, i), period_bound) {
                     let cand = dp[k - 1][j] + lat_term(app, s, b, j, i);
                     if cand < dp[k][i] {
                         dp[k][i] = cand;
@@ -134,7 +134,7 @@ pub fn sv_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
         f[0] = 0;
         for i in 1..=n {
             for j in 0..i {
-                if f[j] != usize::MAX && f[j] < p && cycle(app, s, b, j, i) <= bound + EPS {
+                if f[j] != usize::MAX && f[j] < p && approx_le(cycle(app, s, b, j, i), bound) {
                     f[i] = f[i].min(f[j] + 1);
                 }
             }

@@ -1,5 +1,5 @@
-//! Exact bi-criteria optima for small instances, by exhaustive interval
-//! enumeration plus optimal processor assignment.
+//! Exact bi-criteria optima for small instances: a branch-and-bound
+//! search over interval partitions plus optimal processor assignment.
 //!
 //! There are `2^(n-1)` interval partitions of `n` stages; for each one the
 //! interval→processor assignment decomposes:
@@ -10,20 +10,65 @@
 //!   assignment* (Hungarian) over the computation-time matrix with
 //!   too-slow pairs forbidden.
 //!
-//! Everything here is exponential in `n` and cubic in `p` — ground truth
-//! for tests and small-scale experiments, not production scheduling. The
-//! period minimization problem is NP-hard (paper Theorem 2), so no
-//! polynomial exact solver exists unless P = NP.
+//! # Exact solver v2: pruned search
+//!
+//! The first-generation solver visited every partition blindly. v2 walks
+//! the same DFS tree (same visit order, same strict-improvement updates —
+//! so results are **bit-identical**, pinned by `tests/kernel_identity.rs`)
+//! but prunes subtrees that provably contain no improvement:
+//!
+//! * **optimistic lower bounds** — every placed interval costs at least
+//!   its communication plus its work on the fastest processor
+//!   (`comm + W/s_max`, the fastest-free-processor relaxation), the
+//!   `k`-th largest placed work needs at least the `k`-th fastest
+//!   processor (a counting argument on distinct processors), and the open
+//!   suffix `[pos, n)` must still pay its own input transfer and
+//!   per-stage work. All period-side bounds are *bit-wise* admissible
+//!   (each is a monotone-rounded under-approximation of a real cycle
+//!   value), so period pruning uses no tolerance at all; latency-side
+//!   bounds involve re-associated sums, so they are deflated by a 1e-12
+//!   relative slack before pruning — far above the ~1e-15 association
+//!   noise, far below any real improvement;
+//! * **dominance pruning** (Pareto-front search) — a prefix whose
+//!   optimistic `(period, latency)` point is already weakly dominated by
+//!   the front cannot contribute: every completion would be refused by
+//!   [`ParetoFront::offer`] anyway, and front points are only ever
+//!   evicted by points that dominate them, so the check is conservative
+//!   for the rest of the search too;
+//! * **memoized assignment sub-solves** — within one partition the front
+//!   sweep walks period thresholds in ascending order; thresholds below
+//!   the partition's bottleneck optimum are skipped outright (the
+//!   Hungarian solve is infeasible by construction), and consecutive
+//!   thresholds that allow the *same* pair set reuse the previous
+//!   Hungarian solve instead of re-solving an identical matrix.
+//!
+//! The blind v1 enumerations survive as `*_blind` reference
+//! implementations — the differential tests and `benches/kernel.rs`
+//! measure v2 against them.
+//!
+//! Everything here is still exponential in `n` in the worst case and
+//! cubic in `p` — ground truth for tests and small-scale experiments, not
+//! production scheduling. The period minimization problem is NP-hard
+//! (paper Theorem 2), so no polynomial exact solver exists unless P = NP.
 
 use crate::pareto::ParetoFront;
 use pipeline_assign::{bottleneck_assignment, hungarian, CostMatrix};
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
+use pipeline_model::util::{approx_le, EPS};
 
-/// Practical guard: `2^(n-1)` partitions beyond this would hang tests.
-/// The service layer turns requests beyond it into a structured
-/// `SolveError::InstanceTooLarge` instead of tripping the assert.
-pub const MAX_STAGES: usize = 22;
+/// Practical guard: partitions beyond this would hang tests. Raised from
+/// 22 to 26 with exact solver v2 — the pruned search keeps n = 26
+/// tractable where the blind sweep was not. The service layer turns
+/// requests beyond it into a structured `SolveError::InstanceTooLarge`
+/// instead of tripping the assert.
+pub const MAX_STAGES: usize = 26;
+
+/// Relative slack applied to latency-side lower bounds before pruning:
+/// the bounds re-associate floating-point sums, so they can exceed their
+/// real value by a few ulps. 1e-12 is ~3 orders of magnitude above the
+/// worst association noise of these short sums and ~3 below [`EPS`]-level
+/// differences the solvers distinguish.
+const LB_SLACK: f64 = 1e-12;
 
 /// Calls `visit` with the boundary vector (`0 = b_0 < … < b_m = n`) of
 /// every partition of `[0, n)` into at most `max_parts` intervals.
@@ -66,14 +111,20 @@ struct PartitionCosts {
     latency_base: f64,
 }
 
-fn partition_costs(cm: &CostModel<'_>, bounds: &[usize]) -> PartitionCosts {
-    let app = cm.app();
-    let b = match cm.platform().links() {
+/// The homogeneous bandwidth, or a panic — every exact search requires
+/// Communication Homogeneous links.
+fn homogeneous_bandwidth(cm: &CostModel<'_>) -> f64 {
+    match cm.platform().links() {
         LinkModel::Homogeneous(b) => *b,
         LinkModel::Heterogeneous { .. } => {
             panic!("exact solver requires a Communication Homogeneous platform")
         }
-    };
+    }
+}
+
+fn partition_costs(cm: &CostModel<'_>, bounds: &[usize]) -> PartitionCosts {
+    let app = cm.app();
+    let b = homogeneous_bandwidth(cm);
     let mut intervals = Vec::with_capacity(bounds.len() - 1);
     let mut comm = Vec::with_capacity(bounds.len() - 1);
     let mut work = Vec::with_capacity(bounds.len() - 1);
@@ -93,61 +144,280 @@ fn partition_costs(cm: &CostModel<'_>, bounds: &[usize]) -> PartitionCosts {
     }
 }
 
-fn build_mapping(cm: &CostModel<'_>, pc: &PartitionCosts, assigned: &[usize]) -> IntervalMapping {
+fn build_mapping(
+    cm: &CostModel<'_>,
+    intervals: &[Interval],
+    assigned: &[usize],
+) -> IntervalMapping {
     IntervalMapping::new(
         cm.app(),
         cm.platform(),
-        pc.intervals.clone(),
+        intervals.to_vec(),
         assigned.to_vec(),
     )
     .expect("enumerated partitions are valid")
 }
 
-/// Exact minimum period over every interval mapping (NP-hard in general;
-/// exponential enumeration). Returns the optimal mapping.
+// ---------------------------------------------------------------------------
+// The shared branch-and-bound partition search.
+// ---------------------------------------------------------------------------
+
+/// Incremental DFS over partition prefixes, maintaining exactly the
+/// quantities [`partition_costs`] would compute for the complete
+/// partition (same expressions, same association order — leaves evaluate
+/// bit-identically to the blind enumeration) plus the optimistic bounds
+/// of the module docs.
+struct PartitionSearch<'c, 'a> {
+    cm: &'c CostModel<'a>,
+    n: usize,
+    p: usize,
+    max_parts: usize,
+    b: f64,
+    s_max: f64,
+    /// Platform speeds in raw processor order (matrix columns).
+    speeds: &'a [f64],
+    /// Platform speeds sorted non-increasing (for the `k`-th-fastest
+    /// counting bound).
+    speeds_desc: Vec<f64>,
+    // --- incremental prefix state ---
+    intervals: Vec<Interval>,
+    comm: Vec<f64>,
+    work: Vec<f64>,
+    /// Stack of latency-base values; `last()` is the current prefix's.
+    latency_base: Vec<f64>,
+    /// Stack of running maxima of per-interval optimistic cycles
+    /// (`comm + W/s_max`).
+    opt_cycle_max: Vec<f64>,
+    /// Placed interval works, sorted non-increasing.
+    works_sorted: Vec<f64>,
+    // --- precomputed suffix bounds ---
+    /// `max_{i ≥ pos} interval_work(i, i+1)/s_max` (the same prefix-sum
+    /// expression the cycle matrices use, so the bound is bit-wise
+    /// admissible); index `n` is 0.
+    suffix_singleton_max: Vec<f64>,
+    /// `Σ_{i ≥ pos} singleton_opt[i]` (latency side; slack-deflated
+    /// before use).
+    suffix_singleton_sum: Vec<f64>,
+    /// `δ_pos/b + singleton_opt[pos]`: what the interval opening at `pos`
+    /// must at least pay.
+    head_bound: Vec<f64>,
+    /// `δ_n/b + singleton_opt[n-1]`: what the closing interval must pay.
+    tail_bound: f64,
+}
+
+impl<'c, 'a> PartitionSearch<'c, 'a> {
+    fn new(cm: &'c CostModel<'a>) -> Self {
+        let app = cm.app();
+        let pf = cm.platform();
+        let n = app.n_stages();
+        assert!(n > 0, "no stage to partition");
+        assert!(
+            n <= MAX_STAGES,
+            "refusing to enumerate 2^{} partitions",
+            n - 1
+        );
+        let b = homogeneous_bandwidth(cm);
+        let s_max = pf.max_speed();
+        let mut speeds_desc: Vec<f64> = pf.speeds().to_vec();
+        speeds_desc.sort_by(|x, y| y.partial_cmp(x).expect("speeds are finite"));
+        let singleton_opt: Vec<f64> = (0..n)
+            .map(|i| app.interval_work(i, i + 1) / s_max)
+            .collect();
+        let mut suffix_singleton_max = vec![0.0_f64; n + 1];
+        let mut suffix_singleton_sum = vec![0.0_f64; n + 1];
+        for i in (0..n).rev() {
+            suffix_singleton_max[i] = suffix_singleton_max[i + 1].max(singleton_opt[i]);
+            suffix_singleton_sum[i] = suffix_singleton_sum[i + 1] + singleton_opt[i];
+        }
+        let head_bound: Vec<f64> = (0..n)
+            .map(|i| app.input_volume(i) / b + singleton_opt[i])
+            .collect();
+        let tail_bound = app.output_volume(n) / b + singleton_opt[n - 1];
+        PartitionSearch {
+            cm,
+            n,
+            p: pf.n_procs(),
+            max_parts: pf.n_procs(),
+            b,
+            s_max,
+            speeds: pf.speeds(),
+            speeds_desc,
+            intervals: Vec::new(),
+            comm: Vec::new(),
+            work: Vec::new(),
+            latency_base: vec![app.delta(n) / b],
+            opt_cycle_max: vec![f64::NEG_INFINITY],
+            works_sorted: Vec::new(),
+            suffix_singleton_max,
+            suffix_singleton_sum,
+            head_bound,
+            tail_bound,
+        }
+    }
+
+    /// Next boundary to place (== `n` when the partition is complete).
+    #[inline]
+    fn pos(&self) -> usize {
+        self.intervals.last().map_or(0, |iv| iv.end)
+    }
+
+    /// Places interval `[start, end)` on the prefix.
+    fn push(&mut self, start: usize, end: usize) {
+        let app = self.cm.app();
+        let iv = Interval::new(start, end);
+        let comm = app.input_volume(start) / self.b + app.output_volume(end) / self.b;
+        let work = app.interval_work(start, end);
+        self.latency_base
+            .push(self.latency_base.last().expect("seeded") + app.input_volume(start) / self.b);
+        let opt_cycle = comm + work / self.s_max;
+        self.opt_cycle_max
+            .push(self.opt_cycle_max.last().expect("seeded").max(opt_cycle));
+        let at = self.works_sorted.partition_point(|&w| w > work);
+        self.works_sorted.insert(at, work);
+        self.intervals.push(iv);
+        self.comm.push(comm);
+        self.work.push(work);
+    }
+
+    fn pop(&mut self) {
+        let work = self.work.pop().expect("push/pop balanced");
+        self.intervals.pop();
+        self.comm.pop();
+        self.latency_base.pop();
+        self.opt_cycle_max.pop();
+        let at = self.works_sorted.partition_point(|&w| w > work);
+        // `at` points past the run of strictly-greater works; the first
+        // element of the equal run is this work (bit-equal is fine).
+        self.works_sorted.remove(at);
+    }
+
+    /// Bit-wise admissible lower bound on the period of every completion
+    /// of the current prefix (see the module docs for the argument).
+    fn lb_period(&self) -> f64 {
+        let mut lb = *self.opt_cycle_max.last().expect("seeded");
+        for (k, &w) in self.works_sorted.iter().enumerate() {
+            lb = lb.max(w / self.speeds_desc[k]);
+        }
+        let pos = self.pos();
+        if pos < self.n {
+            lb = lb
+                .max(self.head_bound[pos])
+                .max(self.suffix_singleton_max[pos])
+                .max(self.tail_bound);
+        }
+        lb
+    }
+
+    /// Slack-deflated lower bound on the latency of every completion of
+    /// the current prefix.
+    fn lb_latency(&self) -> f64 {
+        let mut lb = *self.latency_base.last().expect("seeded");
+        for (k, &w) in self.works_sorted.iter().enumerate() {
+            lb += w / self.speeds_desc[k];
+        }
+        let pos = self.pos();
+        if pos < self.n {
+            lb += self.suffix_singleton_sum[pos];
+            lb += self.cm.app().input_volume(pos) / self.b;
+        }
+        lb * (1.0 - LB_SLACK)
+    }
+
+    /// DFS over every extension of the current prefix, in the exact
+    /// visit order of [`enumerate_partitions`]. The visitor is called
+    /// with `is_leaf = false` after each push — returning `true` prunes
+    /// the subtree rooted at the grown prefix — and with `is_leaf = true`
+    /// on complete partitions (return value ignored).
+    fn dfs(&mut self, visit: &mut impl FnMut(&mut Self, bool) -> bool) {
+        let pos = self.pos();
+        if pos == self.n {
+            let _ = visit(self, true);
+            return;
+        }
+        if self.intervals.len() == self.max_parts {
+            return;
+        }
+        for end in pos + 1..=self.n {
+            self.push(pos, end);
+            if !visit(self, false) {
+                self.dfs(visit);
+            }
+            self.pop();
+        }
+    }
+
+    /// The cycle-time matrix of the complete partition (the bottleneck
+    /// objective's input).
+    fn cycle_matrix(&self) -> CostMatrix {
+        let m = self.intervals.len();
+        CostMatrix::from_fn(m, self.p, |j, u| {
+            self.comm[j] + self.work[j] / self.speeds[u]
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v2 solvers.
+// ---------------------------------------------------------------------------
+
+/// Exact minimum period over every interval mapping (NP-hard in general).
+/// Branch-and-bound over partitions with a bottleneck assignment per
+/// surviving leaf; bit-identical to [`exact_min_period_blind`]. Returns
+/// the optimal mapping.
 pub fn exact_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
-    let p = cm.platform().n_procs();
-    let speeds = cm.platform().speeds();
+    let mut search = PartitionSearch::new(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
-    enumerate_partitions(cm.app().n_stages(), p, |bounds| {
-        let pc = partition_costs(cm, bounds);
-        let m = pc.intervals.len();
-        let costs = CostMatrix::from_fn(m, p, |j, u| pc.comm[j] + pc.work[j] / speeds[u]);
+    search.dfs(&mut |s, is_leaf| {
+        if !is_leaf {
+            return best.as_ref().is_some_and(|(v, _)| s.lb_period() >= *v);
+        }
+        let costs = s.cycle_matrix();
         if let Some(a) = bottleneck_assignment(&costs) {
             if best.as_ref().is_none_or(|(v, _)| a.objective < *v) {
-                best = Some((a.objective, build_mapping(cm, &pc, &a.assigned)));
+                best = Some((a.objective, build_mapping(s.cm, &s.intervals, &a.assigned)));
             }
         }
+        false
     });
     best.expect("the single-interval partition is always assignable")
 }
 
 /// Exact minimum latency subject to `period ≤ period_bound`. `None` when
-/// no interval mapping satisfies the bound.
+/// no interval mapping satisfies the bound. Branch-and-bound: prefixes
+/// with an interval no processor can run within the bound, or whose
+/// optimistic latency cannot beat the incumbent, are skipped;
+/// bit-identical to [`exact_min_latency_for_period_blind`].
 pub fn exact_min_latency_for_period(
     cm: &CostModel<'_>,
     period_bound: f64,
 ) -> Option<(f64, IntervalMapping)> {
-    let p = cm.platform().n_procs();
-    let speeds = cm.platform().speeds();
+    let mut search = PartitionSearch::new(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
-    enumerate_partitions(cm.app().n_stages(), p, |bounds| {
-        let pc = partition_costs(cm, bounds);
-        let m = pc.intervals.len();
-        let costs = CostMatrix::from_fn(m, p, |j, u| {
-            let cycle = pc.comm[j] + pc.work[j] / speeds[u];
-            if cycle <= period_bound + EPS {
-                pc.work[j] / speeds[u]
+    search.dfs(&mut |s, is_leaf| {
+        if !is_leaf {
+            // An interval even the fastest processor cannot run within
+            // the bound makes every completion's Hungarian infeasible.
+            if !approx_le(*s.opt_cycle_max.last().expect("seeded"), period_bound) {
+                return true;
+            }
+            return best.as_ref().is_some_and(|(v, _)| s.lb_latency() > *v);
+        }
+        let m = s.intervals.len();
+        let costs = CostMatrix::from_fn(m, s.p, |j, u| {
+            let cycle = s.comm[j] + s.work[j] / s.speeds[u];
+            if approx_le(cycle, period_bound) {
+                s.work[j] / s.speeds[u]
             } else {
                 f64::INFINITY
             }
         });
         if let Some(a) = hungarian(&costs) {
-            let latency = pc.latency_base + a.objective;
+            let latency = s.latency_base.last().expect("seeded") + a.objective;
             if best.as_ref().is_none_or(|(v, _)| latency < *v) {
-                best = Some((latency, build_mapping(cm, &pc, &a.assigned)));
+                best = Some((latency, build_mapping(s.cm, &s.intervals, &a.assigned)));
             }
         }
+        false
     });
     best
 }
@@ -161,7 +431,8 @@ pub fn exact_min_period_for_latency(
     let front = exact_pareto_front(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
     for pt in front.points() {
-        if pt.latency <= latency_bound + EPS && best.as_ref().is_none_or(|(v, _)| pt.period < *v) {
+        if approx_le(pt.latency, latency_bound) && best.as_ref().is_none_or(|(v, _)| pt.period < *v)
+        {
             best = Some((pt.period, pt.payload.clone()));
         }
     }
@@ -171,18 +442,154 @@ pub fn exact_min_period_for_latency(
 /// The exact Pareto front of (period, latency) over every interval
 /// mapping.
 ///
-/// For each partition, sweeps the distinct cycle values as period
-/// thresholds and records the Hungarian-optimal latency at each; globally
-/// Pareto-filters across partitions.
+/// For each surviving partition, sweeps the distinct cycle values as
+/// period thresholds and records the Hungarian-optimal latency at each;
+/// globally Pareto-filters across partitions. v2 prunes dominated
+/// prefixes, skips thresholds below the partition's bottleneck optimum,
+/// and reuses Hungarian sub-solves across thresholds that allow the same
+/// pair set — all output-preserving (bit-identical to
+/// [`exact_pareto_front_blind`]).
 pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
+    let mut search = PartitionSearch::new(cm);
+    let mut front: ParetoFront<IntervalMapping> = ParetoFront::new();
+    search.dfs(&mut |s, is_leaf| {
+        if !is_leaf {
+            return front.dominated(s.lb_period(), s.lb_latency());
+        }
+        let m = s.intervals.len();
+        let costs = s.cycle_matrix();
+        // The partition's feasibility floor: thresholds below it have no
+        // perfect assignment, so the Hungarian solve would return `None`
+        // — skip them without solving.
+        let Some(bottleneck) = bottleneck_assignment(&costs) else {
+            return false;
+        };
+        let latency_base = *s.latency_base.last().expect("seeded");
+        // Dominance at the partition level: every point this partition
+        // can offer has period ≥ its bottleneck optimum and latency ≥ its
+        // sorted-matching relaxation.
+        if front.dominated(bottleneck.objective, s.lb_latency()) {
+            return false;
+        }
+        // Candidate thresholds: every distinct cycle value of this
+        // partition.
+        let mut thresholds: Vec<f64> = Vec::with_capacity(m * s.p);
+        for j in 0..m {
+            for &speed in s.speeds.iter().take(s.p) {
+                thresholds.push(s.comm[j] + s.work[j] / speed);
+            }
+        }
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        thresholds.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+        // Memoized assignment sub-solve: thresholds allowing the same
+        // pair set share one Hungarian result.
+        let mut last_allowed: Option<(Vec<bool>, Option<pipeline_assign::Assignment>)> = None;
+        for &t in &thresholds {
+            if !approx_le(bottleneck.objective, t) {
+                continue; // no perfect assignment fits this threshold
+            }
+            let mut allowed = vec![false; m * s.p];
+            for j in 0..m {
+                for (u, &speed) in s.speeds.iter().take(s.p).enumerate() {
+                    allowed[j * s.p + u] = approx_le(s.comm[j] + s.work[j] / speed, t);
+                }
+            }
+            let solved = match &last_allowed {
+                Some((mask, cached)) if *mask == allowed => cached.clone(),
+                _ => {
+                    let costs = CostMatrix::from_fn(m, s.p, |j, u| {
+                        if allowed[j * s.p + u] {
+                            s.work[j] / s.speeds[u]
+                        } else {
+                            f64::INFINITY
+                        }
+                    });
+                    let solved = hungarian(&costs);
+                    last_allowed = Some((allowed, solved.clone()));
+                    solved
+                }
+            };
+            let Some(a) = solved else { continue };
+            let latency = latency_base + a.objective;
+            // Recompute the achieved period (≤ t, can be smaller).
+            let achieved = a
+                .assigned
+                .iter()
+                .enumerate()
+                .map(|(j, &u)| s.comm[j] + s.work[j] / s.speeds[u])
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !front.dominated(achieved, latency) {
+                let mapping = build_mapping(s.cm, &s.intervals, &a.assigned);
+                front.offer(achieved, latency, mapping);
+            }
+        }
+        false
+    });
+    front
+}
+
+// ---------------------------------------------------------------------------
+// v1 reference implementations: the blind enumerations.
+// ---------------------------------------------------------------------------
+
+/// The pre-v2 exact minimum period: blind partition enumeration, no
+/// pruning. Kept as the differential reference for tests and the
+/// v2-vs-v1 kernel bench.
+pub fn exact_min_period_blind(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
+    let p = cm.platform().n_procs();
+    let speeds = cm.platform().speeds();
+    let mut best: Option<(f64, IntervalMapping)> = None;
+    enumerate_partitions(cm.app().n_stages(), p, |bounds| {
+        let pc = partition_costs(cm, bounds);
+        let m = pc.intervals.len();
+        let costs = CostMatrix::from_fn(m, p, |j, u| pc.comm[j] + pc.work[j] / speeds[u]);
+        if let Some(a) = bottleneck_assignment(&costs) {
+            if best.as_ref().is_none_or(|(v, _)| a.objective < *v) {
+                best = Some((a.objective, build_mapping(cm, &pc.intervals, &a.assigned)));
+            }
+        }
+    });
+    best.expect("the single-interval partition is always assignable")
+}
+
+/// The pre-v2 latency-under-period-bound solver: blind enumeration.
+pub fn exact_min_latency_for_period_blind(
+    cm: &CostModel<'_>,
+    period_bound: f64,
+) -> Option<(f64, IntervalMapping)> {
+    let p = cm.platform().n_procs();
+    let speeds = cm.platform().speeds();
+    let mut best: Option<(f64, IntervalMapping)> = None;
+    enumerate_partitions(cm.app().n_stages(), p, |bounds| {
+        let pc = partition_costs(cm, bounds);
+        let m = pc.intervals.len();
+        let costs = CostMatrix::from_fn(m, p, |j, u| {
+            let cycle = pc.comm[j] + pc.work[j] / speeds[u];
+            if approx_le(cycle, period_bound) {
+                pc.work[j] / speeds[u]
+            } else {
+                f64::INFINITY
+            }
+        });
+        if let Some(a) = hungarian(&costs) {
+            let latency = pc.latency_base + a.objective;
+            if best.as_ref().is_none_or(|(v, _)| latency < *v) {
+                best = Some((latency, build_mapping(cm, &pc.intervals, &a.assigned)));
+            }
+        }
+    });
+    best
+}
+
+/// The pre-v2 Pareto-front sweep: blind enumeration, one Hungarian solve
+/// per (partition, threshold) pair.
+pub fn exact_pareto_front_blind(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
     let p = cm.platform().n_procs();
     let speeds = cm.platform().speeds();
     let mut front: ParetoFront<IntervalMapping> = ParetoFront::new();
     enumerate_partitions(cm.app().n_stages(), p, |bounds| {
         let pc = partition_costs(cm, bounds);
         let m = pc.intervals.len();
-        // Candidate thresholds: every distinct cycle value of this
-        // partition.
         let mut thresholds: Vec<f64> = Vec::with_capacity(m * p);
         for j in 0..m {
             for &speed in speeds.iter().take(p) {
@@ -194,7 +601,7 @@ pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
         for &t in &thresholds {
             let costs = CostMatrix::from_fn(m, p, |j, u| {
                 let cycle = pc.comm[j] + pc.work[j] / speeds[u];
-                if cycle <= t + EPS {
+                if approx_le(cycle, t) {
                     pc.work[j] / speeds[u]
                 } else {
                     f64::INFINITY
@@ -202,7 +609,6 @@ pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
             });
             let Some(a) = hungarian(&costs) else { continue };
             let latency = pc.latency_base + a.objective;
-            // Recompute the achieved period (≤ t, can be smaller).
             let achieved = a
                 .assigned
                 .iter()
@@ -210,7 +616,7 @@ pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
                 .map(|(j, &u)| pc.comm[j] + pc.work[j] / speeds[u])
                 .fold(f64::NEG_INFINITY, f64::max);
             if !front.dominated(achieved, latency) {
-                let mapping = build_mapping(cm, &pc, &a.assigned);
+                let mapping = build_mapping(cm, &pc.intervals, &a.assigned);
                 front.offer(achieved, latency, mapping);
             }
         }
@@ -355,9 +761,71 @@ mod tests {
         assert!((min_front_latency - cm.optimal_latency()).abs() < 1e-9);
     }
 
+    /// The load-bearing v2 property: pruning must never change a result.
+    /// (The full scenario-zoo sweep lives in `tests/kernel_identity.rs`;
+    /// this is the fast in-crate check.)
+    #[test]
+    fn v2_matches_blind_reference_bitwise() {
+        for (n, p, seed) in [(6usize, 4usize, 0u64), (8, 5, 1), (9, 6, 2), (10, 4, 3)] {
+            let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
+            let (app, pf) = gen.instance(seed, 0);
+            let cm = CostModel::new(&app, &pf);
+
+            let (v2, m2) = exact_min_period(&cm);
+            let (v1, m1) = exact_min_period_blind(&cm);
+            assert_eq!(v2.to_bits(), v1.to_bits(), "n={n} p={p} seed={seed}");
+            assert_eq!(m2, m1, "n={n} p={p} seed={seed}");
+
+            for factor in [1.0, 1.3, 2.0] {
+                let bound = v1 * factor;
+                let a = exact_min_latency_for_period(&cm, bound);
+                let b = exact_min_latency_for_period_blind(&cm, bound);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some((la, ma)), Some((lb, mb))) => {
+                        assert_eq!(la.to_bits(), lb.to_bits(), "bound {bound}");
+                        assert_eq!(ma, mb, "bound {bound}");
+                    }
+                    other => panic!("feasibility disagreement at {bound}: {other:?}"),
+                }
+            }
+
+            let f2 = exact_pareto_front(&cm);
+            let f1 = exact_pareto_front_blind(&cm);
+            assert_eq!(f2.len(), f1.len(), "n={n} p={p} seed={seed}");
+            for (a, b) in f2.points().iter().zip(f1.points()) {
+                assert_eq!(a.period.to_bits(), b.period.to_bits());
+                assert_eq!(a.latency.to_bits(), b.latency.to_bits());
+                assert_eq!(a.payload, b.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_prunes_work_on_larger_instances() {
+        // Not a performance test per se, but the pruned search must stay
+        // instant at sizes where it is expected to prune (n = 14 is the
+        // new Auto cutoff).
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 14, 6));
+        let (app, pf) = gen.instance(0, 0);
+        let cm = CostModel::new(&app, &pf);
+        let (p_opt, mapping) = exact_min_period(&cm);
+        assert!((cm.period(&mapping) - p_opt).abs() < 1e-9);
+        assert!(p_opt >= cm.period_lower_bound() - 1e-9);
+    }
+
     #[test]
     #[should_panic(expected = "refusing to enumerate")]
     fn enumeration_guard() {
         enumerate_partitions(40, 10, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn v2_guard_matches_the_enumeration_guard() {
+        let app = Application::uniform(MAX_STAGES + 1, 1.0, 1.0).unwrap();
+        let pf = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let _ = exact_min_period(&cm);
     }
 }

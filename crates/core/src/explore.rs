@@ -11,81 +11,44 @@
 //! back to the corresponding two-way split (H1's move for the mono
 //! variant, H5's move for the bi variant). With no unused processor at
 //! all, no move exists.
+//!
+//! Both variants are [`crate::engine::ExplorePolicy`] instances over the
+//! shared [`crate::engine::SplitEngine`] drive loop.
 
-use crate::state::{BiCriteriaResult, SplitState};
+use crate::engine::{ExplorePolicy, SplitEngine};
+use crate::state::BiCriteriaResult;
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
-
-/// Outcome of one exploration step.
-enum Move {
-    Two(crate::state::Split2),
-    Three(crate::state::Split3),
-    None,
-}
-
-fn pick_move(st: &SplitState<'_>, j: usize, bi: bool) -> Move {
-    let len = {
-        let e = st.entries()[j];
-        e.end - e.start
-    };
-    let three_possible = len >= 3 && st.n_unused() >= 2;
-    if three_possible {
-        let s3 = if bi {
-            st.best_split3_bi(j)
-        } else {
-            st.best_split3_mono(j)
-        };
-        if let Some(s) = s3 {
-            return Move::Three(s);
-        }
-        // No improving 3-way split: the heuristic is stuck on this
-        // interval (the paper's exploration considers only 3-way moves
-        // when they are possible).
-        return Move::None;
-    }
-    let s2 = if bi {
-        st.best_split2_bi(j, None)
-    } else {
-        st.best_split2_mono(j, None)
-    };
-    match s2 {
-        Some(s) => Move::Two(s),
-        None => Move::None,
-    }
-}
-
-fn run_explo(cm: &CostModel<'_>, period_target: f64, bi: bool) -> BiCriteriaResult {
-    let mut st = SplitState::new(cm);
-    loop {
-        if st.period() <= period_target + EPS {
-            return st.to_result(true);
-        }
-        let j = st.bottleneck();
-        match pick_move(&st, j, bi) {
-            Move::Three(s) => st.apply_split3(j, s),
-            Move::Two(s) => st.apply_split2(j, s),
-            Move::None => return st.to_result(false),
-        }
-    }
-}
 
 /// H2a — *3-Exploration mono-criterion* (fixed period): split the
 /// bottleneck interval in three, choosing the cuts/permutation minimizing
 /// `max(period(j), period(j'), period(j''))`.
 pub fn three_explo_mono(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaResult {
-    run_explo(cm, period_target, false)
+    SplitEngine::run(
+        &mut ExplorePolicy {
+            target: period_target,
+            bi: false,
+        },
+        cm,
+    )
 }
 
 /// H2b — *3-Exploration bi-criteria* (fixed period): same exploration,
 /// selecting by `min max_i Δlatency/Δperiod(i)`.
 pub fn three_explo_bi(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaResult {
-    run_explo(cm, period_target, true)
+    SplitEngine::run(
+        &mut ExplorePolicy {
+            target: period_target,
+            bi: true,
+        },
+        cm,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_model::util::EPS;
     use pipeline_model::{Application, Platform};
 
     fn paper_instance(seed: u64, n: usize, p: usize) -> (Application, Platform) {

@@ -17,11 +17,17 @@
 //! On a Communication Homogeneous platform this reduces to H1 when
 //! `candidate_procs == 1` (verified by tests), so the extension is
 //! conservative.
+//!
+//! The drive loop is the shared [`crate::engine::SplitEngine`]; this
+//! module contributes [`HeteroPolicy`] (and its state, which caches the
+//! current mapping/period/latency so each step evaluates the mapping
+//! once).
 
+use crate::engine::{EngineState, SplitEngine, SplitPolicy};
 use crate::state::BiCriteriaResult;
 use crate::trajectory::{Trajectory, TrajectoryPoint};
 use pipeline_model::prelude::*;
-use pipeline_model::util::{definitely_lt, EPS};
+use pipeline_model::util::{approx_eq, approx_le, definitely_lt};
 
 /// Options of the heterogeneous splitting heuristic.
 #[derive(Debug, Clone, Copy)]
@@ -160,9 +166,10 @@ fn best_split(
                 let better = match &best {
                     None => true,
                     Some((bl_local, bp, bl, _, _)) => {
-                        local < bl_local - EPS
-                            || ((local - bl_local).abs() <= EPS
-                                && (p < bp - EPS || ((p - bp).abs() <= EPS && l < bl - EPS)))
+                        definitely_lt(local, *bl_local)
+                            || (approx_eq(local, *bl_local)
+                                && (definitely_lt(p, *bp)
+                                    || (approx_eq(p, *bp) && definitely_lt(l, *bl))))
                     }
                 };
                 if better {
@@ -174,6 +181,96 @@ fn best_split(
     best.map(|(_, _, _, ivs, ps)| (ivs, ps))
 }
 
+/// The §7 extension as an engine policy: H1's rule lifted to per-link
+/// bandwidths, driven by [`SplitEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct HeteroPolicy {
+    /// The period bound to reach.
+    pub target: f64,
+    /// Candidate-pool width per split.
+    pub opts: HeteroSplitOptions,
+}
+
+/// [`HeteroPolicy`]'s state: the evolving interval/processor vectors plus
+/// the current mapping and its metrics, evaluated once per step.
+pub struct HeteroEngineState<'a> {
+    cm: CostModel<'a>,
+    st: HetState,
+    mapping: IntervalMapping,
+    period: f64,
+    latency: f64,
+}
+
+impl HeteroEngineState<'_> {
+    fn refresh(&mut self) {
+        self.mapping = self.st.mapping(&self.cm);
+        self.period = self.cm.period(&self.mapping);
+        self.latency = self.cm.latency(&self.mapping);
+    }
+}
+
+impl EngineState for HeteroEngineState<'_> {
+    fn period(&self) -> f64 {
+        self.period
+    }
+
+    fn snapshot(&self) -> TrajectoryPoint {
+        TrajectoryPoint {
+            period: self.period,
+            latency: self.latency,
+            mapping: self.mapping.clone(),
+        }
+    }
+
+    fn to_result(&self, feasible: bool) -> BiCriteriaResult {
+        BiCriteriaResult {
+            mapping: self.mapping.clone(),
+            period: self.period,
+            latency: self.latency,
+            feasible,
+        }
+    }
+}
+
+impl SplitPolicy for HeteroPolicy {
+    type State<'a> = HeteroEngineState<'a>;
+
+    fn init<'a>(&mut self, cm: &CostModel<'a>) -> HeteroEngineState<'a> {
+        assert!(
+            self.opts.candidate_procs >= 1,
+            "need at least one candidate processor"
+        );
+        let st = HetState::initial(cm);
+        let mapping = st.mapping(cm);
+        let period = cm.period(&mapping);
+        let latency = cm.latency(&mapping);
+        HeteroEngineState {
+            cm: *cm,
+            st,
+            mapping,
+            period,
+            latency,
+        }
+    }
+
+    fn verdict(&mut self, st: &HeteroEngineState<'_>) -> Option<bool> {
+        approx_le(st.period, self.target).then_some(true)
+    }
+
+    fn step(&mut self, st: &mut HeteroEngineState<'_>) -> bool {
+        if st.st.step(&st.cm, &st.mapping, self.opts) {
+            st.refresh();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn exhausted_feasible(&mut self, _st: &HeteroEngineState<'_>) -> bool {
+        false
+    }
+}
+
 /// Splitting heuristic minimizing latency under a period bound on fully
 /// heterogeneous platforms (also accepts Communication Homogeneous ones).
 pub fn hetero_sp_mono_p(
@@ -181,33 +278,13 @@ pub fn hetero_sp_mono_p(
     period_target: f64,
     opts: HeteroSplitOptions,
 ) -> BiCriteriaResult {
-    assert!(
-        opts.candidate_procs >= 1,
-        "need at least one candidate processor"
-    );
-    let mut st = HetState::initial(cm);
-    loop {
-        let mapping = st.mapping(cm);
-        let period = cm.period(&mapping);
-        if period <= period_target + EPS {
-            let latency = cm.latency(&mapping);
-            return BiCriteriaResult {
-                mapping,
-                period,
-                latency,
-                feasible: true,
-            };
-        }
-        if !st.step(cm, &mapping, opts) {
-            let latency = cm.latency(&mapping);
-            return BiCriteriaResult {
-                mapping,
-                period,
-                latency,
-                feasible: false,
-            };
-        }
-    }
+    SplitEngine::run(
+        &mut HeteroPolicy {
+            target: period_target,
+            opts,
+        },
+        cm,
+    )
 }
 
 /// Records the full split path of [`hetero_sp_mono_p`] run to exhaustion.
@@ -219,25 +296,7 @@ pub fn hetero_sp_mono_p(
 /// on this to sweep heterogeneous-platform scenario families at the same
 /// O(run + grid) cost as the paper families.
 pub fn hetero_trajectory(cm: &CostModel<'_>, opts: HeteroSplitOptions) -> Trajectory {
-    assert!(
-        opts.candidate_procs >= 1,
-        "need at least one candidate processor"
-    );
-    let mut st = HetState::initial(cm);
-    let mut points: Vec<TrajectoryPoint> = Vec::new();
-    loop {
-        let mapping = st.mapping(cm);
-        points.push(TrajectoryPoint {
-            period: cm.period(&mapping),
-            latency: cm.latency(&mapping),
-            mapping,
-        });
-        let mapping = &points.last().expect("just pushed").mapping;
-        if !st.step(cm, mapping, opts) {
-            break;
-        }
-    }
-    Trajectory { points }
+    SplitEngine::trajectory(&mut HeteroPolicy { target: 0.0, opts }, cm)
 }
 
 #[cfg(test)]

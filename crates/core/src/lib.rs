@@ -21,15 +21,20 @@
 //! * [`HeuristicKind::SpBiL`] — H5, bi-criteria splitting under a latency
 //!   budget.
 //!
-//! All six share the *splitting engine* of [`state::SplitState`]: sort
-//! processors by non-increasing speed, map the whole pipeline on the
-//! fastest, then repeatedly split the bottleneck processor's interval,
-//! enrolling the next-fastest unused processor(s).
+//! All six share the *splitting engine*: [`state::SplitState`] is the
+//! incrementally maintained interval mapping (ordered bottleneck index,
+//! delta-evaluated candidate cuts, memoized best-cut selections), and
+//! [`engine::SplitEngine`] is the one drive loop every heuristic plugs
+//! into as a thin [`engine::SplitPolicy`] — sort processors by
+//! non-increasing speed, map the whole pipeline on the fastest, then
+//! repeatedly split the bottleneck processor's interval, enrolling the
+//! next-fastest unused processor(s).
 //!
 //! # Exact solvers and baselines
 //!
-//! * [`exact`] — exhaustive bi-criteria optimum for small instances
-//!   (partition enumeration + bottleneck/Hungarian assignment);
+//! * [`exact`] — exact bi-criteria optimum for small instances
+//!   (branch-and-bound partition search + bottleneck/Hungarian
+//!   assignment, with the blind enumerations kept as references);
 //! * [`baseline`] — the Subhlok–Vondran dynamic programs, optimal on
 //!   *homogeneous* platforms (the setting the paper extends);
 //! * [`pareto`] — Pareto-front utilities shared by tests and experiments.
@@ -43,6 +48,7 @@
 
 pub mod baseline;
 pub mod bounds;
+pub mod engine;
 pub mod exact;
 pub mod explore;
 pub mod hetero;
@@ -56,15 +62,16 @@ pub mod split;
 pub mod state;
 pub mod trajectory;
 
+pub use engine::{EngineState, SplitEngine, SplitPolicy};
 pub use explore::{three_explo_bi, three_explo_mono};
 pub use hetero::{hetero_sp_mono_p, hetero_trajectory, HeteroSplitOptions};
 pub use pareto::ParetoFront;
 pub use service::{
     PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,
 };
-pub use solve::{Objective, Scheduler, Solution, Strategy};
+pub use solve::{Objective, Scheduler, Strategy};
 pub use split::{sp_bi_l, sp_bi_p, sp_mono_l, sp_mono_p, SpBiPOptions};
-pub use state::{BiCriteriaResult, SplitState};
+pub use state::{BiCriteriaResult, SplitMemo, SplitState};
 pub use trajectory::{fixed_period_trajectory, Trajectory};
 
 use pipeline_model::prelude::*;

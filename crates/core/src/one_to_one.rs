@@ -21,7 +21,7 @@
 
 use pipeline_assign::{bottleneck_assignment, hungarian, CostMatrix};
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
+use pipeline_model::util::approx_le;
 
 fn require_shape(cm: &CostModel<'_>) {
     assert!(
@@ -66,7 +66,7 @@ pub fn one_to_one_min_latency_for_period(
     let p = cm.platform().n_procs();
     let speeds = cm.platform().speeds();
     let costs = CostMatrix::from_fn(n, p, |k, u| {
-        if stage_cycle(cm, k, u) <= period_bound + EPS {
+        if approx_le(stage_cycle(cm, k, u), period_bound) {
             app.work(k) / speeds[u]
         } else {
             f64::INFINITY

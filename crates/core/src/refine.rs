@@ -15,7 +15,7 @@
 //! binary measures how much it buys on top of each paper heuristic.
 
 use pipeline_model::prelude::*;
-use pipeline_model::util::{definitely_lt, EPS};
+use pipeline_model::util::{approx_le, definitely_lt};
 
 /// Outcome of a refinement run.
 #[derive(Debug, Clone)]
@@ -74,7 +74,7 @@ pub fn refine_mapping(
                 ivs[b + 1] = Interval::new(new_left_end, right.end);
                 let cand = build(&ivs, &procs);
                 let (p, l) = cm.evaluate(&cand);
-                if definitely_lt(p, period) && l <= latency_budget + EPS {
+                if definitely_lt(p, period) && approx_le(l, latency_budget) {
                     intervals = ivs;
                     current = cand;
                     period = p;
@@ -94,7 +94,7 @@ pub fn refine_mapping(
                     ps.swap(i, j);
                     let cand = build(&intervals, &ps);
                     let (p, l) = cm.evaluate(&cand);
-                    if definitely_lt(p, period) && l <= latency_budget + EPS {
+                    if definitely_lt(p, period) && approx_le(l, latency_budget) {
                         procs = ps;
                         current = cand;
                         period = p;
@@ -122,7 +122,7 @@ pub fn refine_mapping(
                     ps[i] = u;
                     let cand = build(&intervals, &ps);
                     let (p, l) = cm.evaluate(&cand);
-                    if definitely_lt(p, period) && l <= latency_budget + EPS {
+                    if definitely_lt(p, period) && approx_le(l, latency_budget) {
                         procs = ps;
                         current = cand;
                         period = p;

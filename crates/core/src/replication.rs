@@ -21,7 +21,7 @@
 //! The ablation benchmark compares this against splitting alone.
 
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
+use pipeline_model::util::{approx_le, definitely_lt};
 
 /// An interval mapping whose intervals may be replicated over several
 /// processors (deal skeleton).
@@ -159,7 +159,7 @@ pub fn replicate_bottlenecks(
     let order: Vec<ProcId> = pf.procs_by_speed_desc().to_vec();
     loop {
         let period = rep.period(cm);
-        if period <= period_target + EPS {
+        if approx_le(period, period_target) {
             let latency = rep.latency(cm);
             return ReplicationResult {
                 mapping: rep,
@@ -204,7 +204,7 @@ pub fn replicate_bottlenecks(
         let old = group_period(rep.intervals[j], &rep.replicas[j]);
         let mut with_next = rep.replicas[j].clone();
         with_next.push(next);
-        if group_period(rep.intervals[j], &with_next) >= old - EPS {
+        if !definitely_lt(group_period(rep.intervals[j], &with_next), old) {
             let latency = rep.latency(cm);
             return ReplicationResult {
                 mapping: rep,

@@ -40,7 +40,7 @@ use crate::trajectory::{fixed_period_trajectory, Trajectory, TrajectoryKind};
 use crate::{hetero, sp_bi_l, sp_bi_p, sp_mono_l, HeuristicKind, SpBiPOptions};
 use pipeline_model::io::{WireFailure, WireObjective, WireReport, WireRequest, WireSolved};
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
+use pipeline_model::util::{approx_le, definitely_lt};
 use std::sync::OnceLock;
 
 /// Identifies what produced a result. `Copy`, so provenance costs nothing
@@ -206,13 +206,19 @@ pub struct SolveRequest {
 }
 
 impl SolveRequest {
+    /// Largest `n` for which [`Strategy::Auto`] defaults to the exact
+    /// solver. Raised from 12 to 14 when the branch-and-bound exact
+    /// solver v2 replaced the blind enumeration: at n = 14 the pruned
+    /// search answers interactively where the blind sweep did not.
+    pub const DEFAULT_EXACT_CUTOFF: usize = 14;
+
     /// A request with `Auto` strategy and default tolerances.
     pub fn new(objective: Objective) -> Self {
         SolveRequest {
             objective,
             strategy: Strategy::Auto,
             tolerance: SpBiPOptions::default().rel_tolerance,
-            exact_cutoff: 12,
+            exact_cutoff: Self::DEFAULT_EXACT_CUTOFF,
         }
     }
 
@@ -289,7 +295,7 @@ impl CachedTrajectory {
     pub fn result_for_period(&self, period_target: f64) -> BiCriteriaResult {
         let i = self
             .prefix_min
-            .partition_point(|&m| m > period_target + EPS);
+            .partition_point(|&m| !approx_le(m, period_target));
         let (point, feasible) = match self.traj.points.get(i) {
             Some(p) => (p, true),
             None => (self.traj.points.last().expect("non-empty"), false),
@@ -568,7 +574,9 @@ impl PreparedInstance {
                 // Latencies strictly decrease with period: the suffix
                 // within the bound starts at the minimum-period qualifier.
                 let front = self.exact_front()?;
-                let i = front.points().partition_point(|q| q.latency > bound + EPS);
+                let i = front
+                    .points()
+                    .partition_point(|q| !approx_le(q.latency, bound));
                 match front.points().get(i) {
                     Some(pt) => Ok(report(pt.payload.clone(), pt.period, pt.latency)),
                     None => Err(SolveError::BoundBelowFloor {
@@ -758,10 +766,10 @@ impl PreparedInstance {
             let better = match (&best, request.objective) {
                 (None, _) => true,
                 (Some((_, b)), Objective::MinLatencyForPeriod(_) | Objective::MinLatency) => {
-                    result.latency < b.latency - EPS
+                    definitely_lt(result.latency, b.latency)
                 }
                 (Some((_, b)), Objective::MinPeriodForLatency(_) | Objective::MinPeriod) => {
-                    result.period < b.period - EPS
+                    definitely_lt(result.period, b.period)
                 }
                 (_, Objective::ParetoFront) => unreachable!("handled above"),
             };
@@ -1270,7 +1278,8 @@ mod tests {
 
     #[test]
     fn too_large_exact_requests_are_refused_not_panicked() {
-        let (app, pf) = instance(26, 8);
+        let n = exact::MAX_STAGES + 2;
+        let (app, pf) = instance(n, 8);
         let session = PreparedInstance::new(app, pf);
         let err = session
             .solve(&SolveRequest::new(Objective::MinPeriod).strategy(Strategy::Exact))
@@ -1278,7 +1287,7 @@ mod tests {
         assert_eq!(
             err,
             SolveError::InstanceTooLarge {
-                n_stages: 26,
+                n_stages: n,
                 max_stages: exact::MAX_STAGES
             }
         );

@@ -1,16 +1,16 @@
-//! Objective/strategy vocabulary and the legacy [`Scheduler`] façade.
+//! Objective/strategy vocabulary and the [`Scheduler`] configuration
+//! façade.
 //!
 //! The solving engine itself lives in [`crate::service`]: prepare an
 //! instance once with [`PreparedInstance`], then answer any number of
 //! typed [`SolveRequest`]s from its memoized trajectories. [`Scheduler`]
 //! survives as a small configuration holder whose
 //! [`Scheduler::solve_report`] is a one-shot convenience over the service
-//! API, plus a deprecated [`Scheduler::solve`] shim for pre-v1 callers.
+//! API. (The pre-v1 `Scheduler::solve -> Option<Solution>` shim is gone;
+//! every caller now reads `Result<SolveReport, SolveError>`.)
 
-use crate::service::{
-    PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,
-};
-use crate::state::BiCriteriaResult;
+use crate::exact;
+use crate::service::{PreparedInstance, SolveError, SolveReport, SolveRequest, UnknownSolver};
 use crate::HeuristicKind;
 use pipeline_model::prelude::*;
 
@@ -88,23 +88,14 @@ impl Default for Scheduler {
     }
 }
 
-/// A solve outcome with `Copy` provenance — the payload of the deprecated
-/// [`Scheduler::solve`] shim. New code reads [`SolveReport`] instead.
-#[derive(Debug, Clone)]
-pub struct Solution {
-    /// The scheduling result.
-    pub result: BiCriteriaResult,
-    /// What produced it.
-    pub solver: SolverId,
-}
-
 impl Scheduler {
-    /// A scheduler with `Auto` strategy and an exact cutoff of 12 stages
-    /// (4096 partitions — instantaneous).
+    /// A scheduler with `Auto` strategy and the default exact cutoff
+    /// ([`SolveRequest::DEFAULT_EXACT_CUTOFF`] stages — instantaneous for
+    /// the branch-and-bound exact solver).
     pub fn new() -> Self {
         Scheduler {
             strategy: Strategy::Auto,
-            exact_cutoff: 12,
+            exact_cutoff: SolveRequest::DEFAULT_EXACT_CUTOFF,
         }
     }
 
@@ -116,7 +107,7 @@ impl Scheduler {
 
     /// Sets the `Auto` exact cutoff (clamped to the enumeration guard).
     pub fn exact_cutoff(mut self, n: usize) -> Self {
-        self.exact_cutoff = n.min(20);
+        self.exact_cutoff = n.min(exact::MAX_STAGES);
         self
     }
 
@@ -140,34 +131,12 @@ impl Scheduler {
     ) -> Result<SolveReport, SolveError> {
         PreparedInstance::new(app.clone(), platform.clone()).solve(&self.request(objective))
     }
-
-    /// Pre-v1 shim: the old `Option`-shaped entry point, erasing the
-    /// structured diagnostics of [`Scheduler::solve_report`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Scheduler::solve_report (or PreparedInstance::solve) — \
-                it returns Result<SolveReport, SolveError> with structured \
-                infeasibility diagnostics"
-    )]
-    pub fn solve(
-        &self,
-        app: &Application,
-        platform: &Platform,
-        objective: Objective,
-    ) -> Option<Solution> {
-        self.solve_report(app, platform, objective)
-            .ok()
-            .map(|report| Solution {
-                result: report.result,
-                solver: report.solver,
-            })
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exact;
+    use crate::SolverId;
     use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 
     fn instance(n: usize, p: usize) -> (Application, Platform) {
@@ -220,22 +189,5 @@ mod tests {
             Strategy::Heuristic(HeuristicKind::ThreeExploBi)
         );
         assert!("h9".parse::<Strategy>().is_err());
-    }
-
-    #[test]
-    fn deprecated_shim_still_answers() {
-        let (app, pf) = instance(6, 5);
-        #[allow(deprecated)]
-        let sol = Scheduler::new()
-            .solve(&app, &pf, Objective::MinPeriod)
-            .expect("solvable");
-        assert_eq!(sol.solver, SolverId::Exact);
-        #[allow(deprecated)]
-        let none = Scheduler::new().solve(
-            &app,
-            &pf,
-            Objective::MinPeriodForLatency(0.1 * CostModel::new(&app, &pf).optimal_latency()),
-        );
-        assert!(none.is_none(), "infeasible bounds map to None in the shim");
     }
 }

@@ -1,9 +1,14 @@
 //! The two-way splitting heuristics: H1 (`Sp mono P`), H3 (`Sp bi P`),
 //! H4 (`Sp mono L`) and H5 (`Sp bi L`) of the paper's Section 4.
+//!
+//! Each heuristic is a thin policy over the shared drive loop of
+//! [`crate::engine::SplitEngine`]; this module keeps the public
+//! free-function entry points and H3's binary search over the authorized
+//! latency.
 
-use crate::state::{BiCriteriaResult, SplitState};
+use crate::engine::{BiPeriodPolicy, BudgetedPolicy, MonoPeriodPolicy, SplitEngine};
+use crate::state::{BiCriteriaResult, SplitMemo};
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
 
 /// H1 — *Splitting mono-criterion, fixed period*.
 ///
@@ -12,17 +17,12 @@ use pipeline_model::util::EPS;
 /// `max(period(j), period(j'))`; stop when the target is reached or no
 /// split improves the bottleneck.
 pub fn sp_mono_p(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaResult {
-    let mut st = SplitState::new(cm);
-    loop {
-        if st.period() <= period_target + EPS {
-            return st.to_result(true);
-        }
-        let j = st.bottleneck();
-        match st.best_split2_mono(j, None) {
-            Some(split) => st.apply_split2(j, split),
-            None => return st.to_result(false),
-        }
-    }
+    SplitEngine::run(
+        &mut MonoPeriodPolicy {
+            target: period_target,
+        },
+        cm,
+    )
 }
 
 /// H4 — *Splitting mono-criterion, fixed latency*.
@@ -33,15 +33,7 @@ pub fn sp_mono_p(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaResult {
 /// Infeasible only when even the initial mapping exceeds the budget
 /// (i.e. `latency_target < L_opt`).
 pub fn sp_mono_l(cm: &CostModel<'_>, latency_target: f64) -> BiCriteriaResult {
-    let mut st = SplitState::new(cm);
-    let feasible = st.latency() <= latency_target + EPS;
-    loop {
-        let j = st.bottleneck();
-        match st.best_split2_mono(j, Some(latency_target)) {
-            Some(split) => st.apply_split2(j, split),
-            None => return st.to_result(feasible),
-        }
-    }
+    SplitEngine::run(&mut BudgetedPolicy::mono(latency_target), cm)
 }
 
 /// H5 — *Splitting bi-criteria, fixed latency*.
@@ -50,15 +42,7 @@ pub fn sp_mono_l(cm: &CostModel<'_>, latency_target: f64) -> BiCriteriaResult {
 /// `max_{i∈{j,j'}} Δlatency/Δperiod(i)` among those within the latency
 /// budget.
 pub fn sp_bi_l(cm: &CostModel<'_>, latency_target: f64) -> BiCriteriaResult {
-    let mut st = SplitState::new(cm);
-    let feasible = st.latency() <= latency_target + EPS;
-    loop {
-        let j = st.bottleneck();
-        match st.best_split2_bi(j, Some(latency_target)) {
-            Some(split) => st.apply_split2(j, split),
-            None => return st.to_result(feasible),
-        }
-    }
+    SplitEngine::run(&mut BudgetedPolicy::bi(latency_target), cm)
 }
 
 /// Knobs of [`sp_bi_p`].
@@ -95,10 +79,15 @@ impl Default for SpBiPOptions {
 /// comes from an unconstrained run (when even that fails, the heuristic
 /// fails). While a probe is feasible the authorized increase shrinks,
 /// minimizing the final latency.
+///
+/// All probe runs share one [`SplitMemo`]: consecutive probes replay the
+/// same split prefix until their budgets diverge, and the memoized
+/// selections turn those replayed steps into cache hits.
 pub fn sp_bi_p(cm: &CostModel<'_>, period_target: f64, opts: SpBiPOptions) -> BiCriteriaResult {
+    let mut memo = SplitMemo::new();
     // Run to exhaustion without latency budget to learn feasibility and
     // an upper bound on the needed latency.
-    let unconstrained = run_bi_to_period(cm, period_target, None, opts);
+    let unconstrained = run_bi_to_period(cm, period_target, None, opts, &mut memo);
     if !unconstrained.feasible {
         return unconstrained;
     }
@@ -109,7 +98,7 @@ pub fn sp_bi_p(cm: &CostModel<'_>, period_target: f64, opts: SpBiPOptions) -> Bi
 
     // The lower end may already be feasible (period target satisfied by
     // the initial mapping).
-    let at_lo = run_bi_to_period(cm, period_target, Some(lo), opts);
+    let at_lo = run_bi_to_period(cm, period_target, Some(lo), opts, &mut memo);
     if at_lo.feasible {
         return at_lo;
     }
@@ -118,7 +107,7 @@ pub fn sp_bi_p(cm: &CostModel<'_>, period_target: f64, opts: SpBiPOptions) -> Bi
             break;
         }
         let mid = 0.5 * (lo + hi);
-        let probe = run_bi_to_period(cm, period_target, Some(mid), opts);
+        let probe = run_bi_to_period(cm, period_target, Some(mid), opts, &mut memo);
         if probe.feasible {
             // Tighten using the latency actually achieved, which may be
             // well below the authorization.
@@ -138,59 +127,24 @@ fn run_bi_to_period(
     period_target: f64,
     latency_budget: Option<f64>,
     opts: SpBiPOptions,
+    memo: &mut SplitMemo,
 ) -> BiCriteriaResult {
-    let mut st = SplitState::new(cm);
-    loop {
-        if st.period() <= period_target + EPS {
-            return st.to_result(true);
-        }
-        let j = st.bottleneck();
-        let split = if opts.denominator_over_i {
-            st.best_split2_bi(j, latency_budget)
-        } else {
-            // Literal paper formula: Δperiod(j) only — the denominator
-            // uses the piece kept by processor j.
-            best_split2_bi_denominator_j(&st, j, latency_budget)
-        };
-        match split {
-            Some(split) => st.apply_split2(j, split),
-            None => return st.to_result(false),
-        }
-    }
-}
-
-/// Variant selection rule using `Δperiod(j)` (the literal H3 formula) in
-/// the denominator instead of `min_i Δperiod(i)`.
-fn best_split2_bi_denominator_j(
-    st: &SplitState<'_>,
-    j: usize,
-    latency_budget: Option<f64>,
-) -> Option<crate::state::Split2> {
-    use pipeline_model::util::definitely_lt;
-    let old = st.entries()[j].cycle;
-    let current_latency = st.latency();
-    let ratio = |s: &crate::state::Split2| {
-        let d_lat = s.new_latency - current_latency;
-        let d_per = old - s.cycle_keep; // processor j keeps `cycle_keep`
-        d_lat / d_per
-    };
-    st.candidate_splits2(j)
-        .into_iter()
-        .filter(|s| definitely_lt(s.local_max(), old))
-        .filter(|s| latency_budget.is_none_or(|b| s.new_latency <= b + EPS))
-        .min_by(|a, b| {
-            ratio(a)
-                .partial_cmp(&ratio(b))
-                .expect("finite")
-                .then(a.local_max().partial_cmp(&b.local_max()).expect("finite"))
-                .then(a.cut.cmp(&b.cut))
-        })
+    SplitEngine::run(
+        &mut BiPeriodPolicy {
+            target: period_target,
+            budget: latency_budget,
+            denominator_over_i: opts.denominator_over_i,
+            memo,
+        },
+        cm,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_model::util::EPS;
     use pipeline_model::{Application, Platform};
 
     fn paper_instance(seed: u64) -> (Application, Platform) {
@@ -390,5 +344,23 @@ mod tests {
             "splitting 40 work over two equal processors must help"
         );
         assert_eq!(res.mapping.n_intervals(), 2);
+    }
+
+    #[test]
+    fn boundary_targets_exactly_equal_to_reachable_values_are_feasible() {
+        // Tolerance regression (routed through `pipeline_model::util`):
+        // a bound exactly equal to a reachable period/latency must be
+        // feasible — the comparisons are `approx_le`, not strict.
+        let (app, pf) = paper_instance(29);
+        let cm = CostModel::new(&app, &pf);
+        let floor = sp_mono_p(&cm, 0.0);
+        let at_floor = sp_mono_p(&cm, floor.period);
+        assert!(at_floor.feasible, "target == reachable period must pass");
+        assert_eq!(at_floor.period.to_bits(), floor.period.to_bits());
+        // Latency side: the Lemma-1 latency is reachable by definition.
+        let at_l_opt = sp_mono_l(&cm, cm.optimal_latency());
+        assert!(at_l_opt.feasible, "budget == L_opt must pass");
+        let bi_at_l_opt = sp_bi_l(&cm, cm.optimal_latency());
+        assert!(bi_at_l_opt.feasible);
     }
 }

@@ -1,10 +1,32 @@
-//! The splitting engine shared by every heuristic of the paper.
+//! The incremental splitting state shared by every heuristic of the
+//! paper.
 //!
 //! State = an interval mapping under construction. It starts as the
 //! Lemma-1 mapping (everything on the fastest processor) and evolves by
 //! *splits*: the interval of the current bottleneck processor is cut in
-//! two (or three, see [`crate::explore`]) pieces, the new pieces going to
-//! the next-fastest processors not yet enrolled.
+//! two (or three, see [`crate::engine::ExplorePolicy`]) pieces, the new
+//! pieces going to the next-fastest processors not yet enrolled.
+//!
+//! The state is maintained **incrementally**:
+//!
+//! * every entry caches its cycle time *and* its latency term, so
+//!   candidate cuts are delta-evaluated from the application's prefix
+//!   sums — no whole-mapping recosting anywhere;
+//! * an ordered index over `(cycle, position)` keys makes
+//!   [`SplitState::bottleneck`]/[`SplitState::period`] O(log m) per
+//!   query and O(log m) to maintain per split, instead of the O(m)
+//!   rescan of every entry the pre-incremental kernel did;
+//! * [`SplitMemo`] memoizes per-interval best-cut selections keyed by
+//!   the interval's identity (plus everything else the choice depends
+//!   on), so repeated walks over the same split prefix — H3's binary
+//!   search replays its probe runs dozens of times — skip the candidate
+//!   scan entirely. A changed interval simply misses the memo; no
+//!   explicit invalidation exists or is needed.
+//!
+//! All of this is bit-identical to the original direct evaluation: the
+//! same cost-model expressions run in the same association order, only
+//! redundant recomputation is skipped (pinned by
+//! `tests/kernel_identity.rs`).
 //!
 //! The engine is restricted to Communication Homogeneous platforms, where
 //! an interval's cycle time does not depend on which processors its
@@ -13,7 +35,10 @@
 //! [`crate::hetero`].
 
 use pipeline_model::prelude::*;
-use pipeline_model::util::{definitely_lt, EPS};
+use pipeline_model::util::{approx_le, definitely_lt};
+use std::cell::OnceCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 
 /// Outcome of a heuristic run.
 #[derive(Debug, Clone)]
@@ -40,6 +65,9 @@ pub struct Entry {
     pub proc: ProcId,
     /// Cached cycle time (eq. 1 term) of this entry.
     pub cycle: f64,
+    /// Cached latency term (`t_in + t_comp`, the eq. 2 contribution) of
+    /// this entry — the other half of the incremental bookkeeping.
+    pub lat_term: f64,
 }
 
 /// A candidate two-way split of one entry.
@@ -93,6 +121,112 @@ impl Split3 {
     }
 }
 
+/// Total-ordered cycle-time key of the bottleneck index. Cycle times are
+/// finite and non-negative, so `total_cmp` agrees with the `>` scan the
+/// pre-incremental kernel used.
+#[derive(Debug, Clone, Copy)]
+struct CycleKey(f64);
+
+impl PartialEq for CycleKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl Eq for CycleKey {}
+
+impl PartialOrd for CycleKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CycleKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Key of one memoized best-cut selection: the interval's identity plus
+/// everything else the bi-criteria choice depends on — the speed of the
+/// processor the split would enrol, and (because the selection ratio
+/// `Δlatency/Δperiod` is evaluated against the *global* latency) the
+/// current latency bits. An interval that changed, or a state whose
+/// latency differs, simply misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    start: usize,
+    end: usize,
+    proc: ProcId,
+    speed_bits: u64,
+    latency_bits: u64,
+}
+
+/// Memo of per-interval best-cut selections (see the module docs).
+///
+/// One memo can outlive many [`SplitState`]s **on the same instance**:
+/// H3's binary search shares one across its probe runs, so the shared
+/// split prefix of every probe is selected from cache instead of
+/// rescanned. Entries are never invalidated — the key carries the
+/// interval identity and the selection context, so a stale *state* of
+/// the same instance cannot hit.
+///
+/// A memo is bound to the first (application, platform) pair it is used
+/// with: the keys do not encode the instance itself, so reusing one
+/// memo across different instances could return a split chosen for the
+/// other instance's work profile. The memoized selectors assert an
+/// instance fingerprint — a hash of every work, volume, speed and
+/// bandwidth bit, computed lazily once per [`SplitState`] so the
+/// non-memoized heuristics never pay for it — to refuse such reuse;
+/// pass a fresh [`SplitMemo::new`] per instance.
+#[derive(Debug, Clone, Default)]
+pub struct SplitMemo {
+    /// `min max_i Δlatency/Δperiod(i)` winners (H5's rule, H3's default).
+    over_i: HashMap<MemoKey, Option<Split2>>,
+    /// `Δlatency/Δperiod(j)` winners (the literal paper H3 formula).
+    over_j: HashMap<MemoKey, Option<Split2>>,
+    /// Fingerprint of the instance this memo serves, set on first use.
+    fingerprint: Option<u64>,
+}
+
+impl SplitMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SplitMemo::default()
+    }
+
+    /// Binds the memo to an instance on first use; panics if it is later
+    /// offered a different one (the keys cannot tell instances apart).
+    fn bind(&mut self, fp: u64) {
+        match self.fingerprint {
+            None => self.fingerprint = Some(fp),
+            Some(bound) => assert_eq!(
+                bound, fp,
+                "SplitMemo reused across instances; use one memo per instance"
+            ),
+        }
+    }
+}
+
+/// Hash of the full instance profile — every work, communication volume,
+/// processor speed and the link bandwidth, as raw bits — used to pin a
+/// [`SplitMemo`] to one instance.
+fn instance_fingerprint(cm: &CostModel<'_>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &w in cm.app().works() {
+        w.to_bits().hash(&mut h);
+    }
+    for &d in cm.app().deltas() {
+        d.to_bits().hash(&mut h);
+    }
+    for &s in cm.platform().speeds() {
+        s.to_bits().hash(&mut h);
+    }
+    cm.platform().io_bandwidth_of(0).to_bits().hash(&mut h);
+    h.finish()
+}
+
 /// The mutable splitting state.
 #[derive(Debug, Clone)]
 pub struct SplitState<'a> {
@@ -103,6 +237,15 @@ pub struct SplitState<'a> {
     next_unused: usize,
     entries: Vec<Entry>,
     latency: f64,
+    /// Ordered `(cycle, leftmost-first)` index over the entries: the max
+    /// element is the bottleneck of the paper ("the used processor with
+    /// the largest period", ties to the leftmost interval). Interval
+    /// start positions are unique and stable, so they double as entry
+    /// identities.
+    by_cycle: BTreeSet<(CycleKey, Reverse<usize>)>,
+    /// Hash of the instance profile, for [`SplitMemo`] binding — only
+    /// the memoized selectors pay for it, lazily on first use.
+    instance_fp: OnceCell<u64>,
 }
 
 impl<'a> SplitState<'a> {
@@ -115,25 +258,28 @@ impl<'a> SplitState<'a> {
         );
         let order = cm.platform().procs_by_speed_desc().to_vec();
         let app = cm.app();
+        let proc = order[0];
+        let cost = cm.interval_cost(Interval::new(0, app.n_stages()), proc, None, None);
         let first = Entry {
             start: 0,
             end: app.n_stages(),
-            proc: order[0],
-            cycle: 0.0,
+            proc,
+            cycle: cost.cycle_time(),
+            lat_term: cost.latency_term(),
         };
-        let mut state = SplitState {
+        let latency =
+            first.lat_term + app.delta(app.n_stages()) / cm.platform().io_bandwidth_of(proc);
+        let mut by_cycle = BTreeSet::new();
+        by_cycle.insert((CycleKey(first.cycle), Reverse(first.start)));
+        SplitState {
             cm: *cm,
             order,
             next_unused: 1,
             entries: vec![first],
-            latency: 0.0,
-        };
-        let cycle = state.cycle_of(0, app.n_stages(), state.entries[0].proc);
-        state.entries[0].cycle = cycle;
-        state.latency = state.latency_term(0, app.n_stages(), state.entries[0].proc)
-            + app.delta(app.n_stages())
-                / state.cm.platform().io_bandwidth_of(state.entries[0].proc);
-        state
+            latency,
+            by_cycle,
+            instance_fp: OnceCell::new(),
+        }
     }
 
     /// The bound cost model.
@@ -142,21 +288,18 @@ impl<'a> SplitState<'a> {
         &self.cm
     }
 
-    /// Cycle time of `[start, end)` on processor `u` (comm-homogeneous, so
-    /// neighbours are irrelevant).
+    /// Cost breakdown of `[start, end)` on processor `u`
+    /// (comm-homogeneous, so neighbours are irrelevant).
     #[inline]
-    pub fn cycle_of(&self, start: usize, end: usize, u: ProcId) -> f64 {
+    fn piece_cost(&self, start: usize, end: usize, u: ProcId) -> IntervalCost {
         self.cm
             .interval_cost(Interval::new(start, end), u, None, None)
-            .cycle_time()
     }
 
-    /// Latency term `t_in + t_comp` of `[start, end)` on `u`.
+    /// Cycle time of `[start, end)` on processor `u`.
     #[inline]
-    fn latency_term(&self, start: usize, end: usize, u: ProcId) -> f64 {
-        self.cm
-            .interval_cost(Interval::new(start, end), u, None, None)
-            .latency_term()
+    pub fn cycle_of(&self, start: usize, end: usize, u: ProcId) -> f64 {
+        self.piece_cost(start, end, u).cycle_time()
     }
 
     /// Current entries, left to right.
@@ -183,27 +326,28 @@ impl<'a> SplitState<'a> {
         self.order.get(self.next_unused + offset).copied()
     }
 
-    /// Current period: the largest entry cycle time.
+    /// Current period: the largest entry cycle time. O(log m) from the
+    /// ordered index.
     pub fn period(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|e| e.cycle)
-            .fold(f64::NEG_INFINITY, f64::max)
+        let &(CycleKey(cycle), _) = self.by_cycle.last().expect("at least one entry");
+        cycle
     }
 
-    /// Index of the entry achieving the period (first one on ties — the
+    /// Index of the entry achieving the period (leftmost on ties — the
     /// deterministic "used processor with the largest period" of the
-    /// paper).
+    /// paper). O(log m) from the ordered index.
     pub fn bottleneck(&self) -> usize {
-        let mut arg = 0;
-        let mut best = f64::NEG_INFINITY;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.cycle > best {
-                best = e.cycle;
-                arg = i;
-            }
-        }
-        arg
+        let &(_, Reverse(start)) = self.by_cycle.last().expect("at least one entry");
+        self.index_of_start(start)
+    }
+
+    /// Entry index of the interval starting at `start` (entries are
+    /// sorted by start).
+    #[inline]
+    fn index_of_start(&self, start: usize) -> usize {
+        let i = self.entries.partition_point(|e| e.start < start);
+        debug_assert_eq!(self.entries[i].start, start);
+        i
     }
 
     /// Current global latency (maintained incrementally).
@@ -212,35 +356,38 @@ impl<'a> SplitState<'a> {
         self.latency
     }
 
-    /// Enumerates every two-way split of entry `j` using the next unused
-    /// processor: all cuts, both orientations. Empty when entry `j` has a
-    /// single stage or no processor is left.
-    pub fn candidate_splits2(&self, j: usize) -> Vec<Split2> {
+    /// Delta-evaluates every two-way split of entry `j` using the next
+    /// unused processor — all cuts, both orientations, in deterministic
+    /// order — without materializing them.
+    fn for_each_split2(&self, j: usize, mut visit: impl FnMut(Split2)) {
         let e = self.entries[j];
         let Some(new_proc) = self.peek_unused(0) else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::with_capacity(2 * (e.end - e.start - 1));
+        // Delta evaluation: the rest of the mapping never changes, so the
+        // candidate's latency is the current latency minus this entry's
+        // cached term plus the two piece terms.
+        let base_latency = self.latency - e.lat_term;
         for cut in e.start + 1..e.end {
+            // Four piece costs cover both orientations of this cut.
+            let left_cur = self.piece_cost(e.start, cut, e.proc);
+            let left_new = self.piece_cost(e.start, cut, new_proc);
+            let right_cur = self.piece_cost(cut, e.end, e.proc);
+            let right_new = self.piece_cost(cut, e.end, new_proc);
             for keep_left in [true, false] {
-                let (kp, np) = if keep_left {
-                    (e.proc, new_proc)
-                } else {
-                    (new_proc, e.proc)
-                };
-                // kp runs [start, cut), np runs [cut, end) — careful:
                 // keep_left means the CURRENT proc keeps the left piece.
-                let cycle_left = self.cycle_of(e.start, cut, kp);
-                let cycle_right = self.cycle_of(cut, e.end, np);
-                let (cycle_keep, cycle_new) = if keep_left {
-                    (cycle_left, cycle_right)
+                let (left, right) = if keep_left {
+                    (left_cur, right_new)
                 } else {
-                    (cycle_right, cycle_left)
+                    (left_new, right_cur)
                 };
-                let new_latency = self.latency - self.latency_term(e.start, e.end, e.proc)
-                    + self.latency_term(e.start, cut, kp)
-                    + self.latency_term(cut, e.end, np);
-                out.push(Split2 {
+                let (cycle_keep, cycle_new) = if keep_left {
+                    (left.cycle_time(), right.cycle_time())
+                } else {
+                    (right.cycle_time(), left.cycle_time())
+                };
+                let new_latency = base_latency + left.latency_term() + right.latency_term();
+                visit(Split2 {
                     cut,
                     keep_left,
                     cycle_keep,
@@ -249,11 +396,20 @@ impl<'a> SplitState<'a> {
                 });
             }
         }
+    }
+
+    /// Enumerates every two-way split of entry `j` using the next unused
+    /// processor: all cuts, both orientations. Empty when entry `j` has a
+    /// single stage or no processor is left.
+    pub fn candidate_splits2(&self, j: usize) -> Vec<Split2> {
+        let e = self.entries[j];
+        let mut out = Vec::with_capacity(2 * (e.end - e.start).saturating_sub(1));
+        self.for_each_split2(j, |s| out.push(s));
         out
     }
 
     /// Applies a two-way split to entry `j`, consuming the next unused
-    /// processor.
+    /// processor. O(log m) index maintenance plus the entry shift.
     pub fn apply_split2(&mut self, j: usize, split: Split2) {
         let e = self.entries[j];
         let new_proc = self
@@ -265,22 +421,29 @@ impl<'a> SplitState<'a> {
         } else {
             (new_proc, e.proc)
         };
-        let left = Entry {
-            start: e.start,
-            end: split.cut,
-            proc: left_proc,
-            cycle: self.cycle_of(e.start, split.cut, left_proc),
-        };
-        let right = Entry {
-            start: split.cut,
-            end: e.end,
-            proc: right_proc,
-            cycle: self.cycle_of(split.cut, e.end, right_proc),
-        };
+        let left = self.make_entry(e.start, split.cut, left_proc);
+        let right = self.make_entry(split.cut, e.end, right_proc);
+        self.by_cycle.remove(&(CycleKey(e.cycle), Reverse(e.start)));
+        self.by_cycle
+            .insert((CycleKey(left.cycle), Reverse(left.start)));
+        self.by_cycle
+            .insert((CycleKey(right.cycle), Reverse(right.start)));
         self.latency = split.new_latency;
         self.entries[j] = left;
         self.entries.insert(j + 1, right);
         debug_assert!(self.invariants_ok(), "split broke the state invariants");
+    }
+
+    /// Builds an entry with its cached incremental quantities.
+    fn make_entry(&self, start: usize, end: usize, proc: ProcId) -> Entry {
+        let cost = self.piece_cost(start, end, proc);
+        Entry {
+            start,
+            end,
+            proc,
+            cycle: cost.cycle_time(),
+            lat_term: cost.latency_term(),
+        }
     }
 
     /// Selects, among the two-way splits of entry `j`, the one minimizing
@@ -290,16 +453,26 @@ impl<'a> SplitState<'a> {
     /// budget filters candidates (H4/H5 and the H3 inner loop).
     pub fn best_split2_mono(&self, j: usize, latency_budget: Option<f64>) -> Option<Split2> {
         let old = self.entries[j].cycle;
-        self.candidate_splits2(j)
-            .into_iter()
-            .filter(|s| definitely_lt(s.local_max(), old))
-            .filter(|s| latency_budget.is_none_or(|b| s.new_latency <= b + EPS))
-            .min_by(|a, b| {
-                a.local_max()
+        let mut best: Option<Split2> = None;
+        self.for_each_split2(j, |s| {
+            if !definitely_lt(s.local_max(), old) {
+                return;
+            }
+            if !latency_budget.is_none_or(|b| approx_le(s.new_latency, b)) {
+                return;
+            }
+            let better = best.as_ref().is_none_or(|b| {
+                s.local_max()
                     .partial_cmp(&b.local_max())
                     .expect("cycles are finite")
-                    .then(a.cut.cmp(&b.cut))
-            })
+                    .then(s.cut.cmp(&b.cut))
+                    .is_lt()
+            });
+            if better {
+                best = Some(s);
+            }
+        });
+        best
     }
 
     /// Selects, among the two-way splits of entry `j`, the one minimizing
@@ -309,42 +482,134 @@ impl<'a> SplitState<'a> {
     /// positive for both pieces, otherwise the candidate does not improve
     /// the bottleneck and is discarded.
     pub fn best_split2_bi(&self, j: usize, latency_budget: Option<f64>) -> Option<Split2> {
+        self.select_bi(j, latency_budget, RatioRule::OverI)
+    }
+
+    /// Variant selection rule using `Δperiod(j)` (the literal H3 formula)
+    /// in the denominator instead of `min_i Δperiod(i)`.
+    pub fn best_split2_bi_denom_j(&self, j: usize, latency_budget: Option<f64>) -> Option<Split2> {
+        self.select_bi(j, latency_budget, RatioRule::OverJ)
+    }
+
+    /// Memoized [`Self::best_split2_bi`]: identical result, answered from
+    /// `memo` when this exact selection was made before (same interval,
+    /// same next processor speed, same global latency).
+    pub fn best_split2_bi_memo(
+        &self,
+        j: usize,
+        latency_budget: Option<f64>,
+        memo: &mut SplitMemo,
+    ) -> Option<Split2> {
+        self.select_bi_memo(j, latency_budget, RatioRule::OverI, memo)
+    }
+
+    /// Memoized [`Self::best_split2_bi_denom_j`].
+    pub fn best_split2_bi_denom_j_memo(
+        &self,
+        j: usize,
+        latency_budget: Option<f64>,
+        memo: &mut SplitMemo,
+    ) -> Option<Split2> {
+        self.select_bi_memo(j, latency_budget, RatioRule::OverJ, memo)
+    }
+
+    fn select_bi_memo(
+        &self,
+        j: usize,
+        latency_budget: Option<f64>,
+        rule: RatioRule,
+        memo: &mut SplitMemo,
+    ) -> Option<Split2> {
+        memo.bind(
+            *self
+                .instance_fp
+                .get_or_init(|| instance_fingerprint(&self.cm)),
+        );
+        let e = self.entries[j];
+        let new_proc = self.peek_unused(0)?;
+        let key = MemoKey {
+            start: e.start,
+            end: e.end,
+            proc: e.proc,
+            speed_bits: self.cm.platform().speed(new_proc).to_bits(),
+            latency_bits: self.latency.to_bits(),
+        };
+        let map = match rule {
+            RatioRule::OverI => &mut memo.over_i,
+            RatioRule::OverJ => &mut memo.over_j,
+        };
+        let unconstrained = match map.get(&key) {
+            Some(&cached) => cached,
+            None => {
+                let fresh = self.select_bi(j, None, rule);
+                map.insert(key, fresh);
+                fresh
+            }
+        };
+        match (unconstrained, latency_budget) {
+            // No unconstrained winner: the budget-filtered subset has
+            // none either.
+            (None, _) => None,
+            (Some(s), None) => Some(s),
+            // The unconstrained winner survives the budget filter: the
+            // filtered scan (a subset in the same order, same comparator)
+            // would pick it too.
+            (Some(s), Some(b)) if approx_le(s.new_latency, b) => Some(s),
+            // The winner is over budget — only a full filtered scan can
+            // tell what the constrained choice is.
+            (Some(_), Some(_)) => self.select_bi(j, latency_budget, rule),
+        }
+    }
+
+    fn select_bi(&self, j: usize, latency_budget: Option<f64>, rule: RatioRule) -> Option<Split2> {
         let old = self.entries[j].cycle;
         let current_latency = self.latency;
         let ratio = |s: &Split2| {
             let d_lat = s.new_latency - current_latency;
-            let d_per = (old - s.cycle_keep).min(old - s.cycle_new);
-            debug_assert!(d_per > 0.0);
+            let d_per = match rule {
+                RatioRule::OverI => (old - s.cycle_keep).min(old - s.cycle_new),
+                // Processor j keeps `cycle_keep`.
+                RatioRule::OverJ => old - s.cycle_keep,
+            };
+            debug_assert!(!matches!(rule, RatioRule::OverI) || d_per > 0.0);
             d_lat / d_per
         };
-        self.candidate_splits2(j)
-            .into_iter()
-            .filter(|s| definitely_lt(s.local_max(), old))
-            .filter(|s| latency_budget.is_none_or(|b| s.new_latency <= b + EPS))
-            .min_by(|a, b| {
-                ratio(a)
-                    .partial_cmp(&ratio(b))
+        let mut best: Option<(f64, Split2)> = None;
+        self.for_each_split2(j, |s| {
+            if !definitely_lt(s.local_max(), old) {
+                return;
+            }
+            if !latency_budget.is_none_or(|b| approx_le(s.new_latency, b)) {
+                return;
+            }
+            let r = ratio(&s);
+            let better = best.as_ref().is_none_or(|(br, b)| {
+                r.partial_cmp(br)
                     .expect("ratios are finite")
                     .then(
-                        a.local_max()
+                        s.local_max()
                             .partial_cmp(&b.local_max())
                             .expect("cycles are finite"),
                     )
-                    .then(a.cut.cmp(&b.cut))
-            })
+                    .then(s.cut.cmp(&b.cut))
+                    .is_lt()
+            });
+            if better {
+                best = Some((r, s));
+            }
+        });
+        best.map(|(_, s)| s)
     }
 
-    /// Enumerates every three-way split of entry `j` using the next two
-    /// unused processors: all cut pairs, all `3!` part→processor
-    /// permutations over `{j, j', j''}`. Empty when the entry has fewer
-    /// than three stages or fewer than two processors remain.
-    pub fn candidate_splits3(&self, j: usize) -> Vec<Split3> {
+    /// Delta-evaluates every three-way split of entry `j` using the next
+    /// two unused processors, in deterministic order.
+    fn for_each_split3(&self, j: usize, mut visit: impl FnMut(Split3)) {
         let e = self.entries[j];
         let (Some(p1), Some(p2)) = (self.peek_unused(0), self.peek_unused(1)) else {
-            return Vec::new();
+            return;
         };
         if e.end - e.start < 3 {
-            return Vec::new();
+            return;
         }
         let pool = [e.proc, p1, p2];
         // All 6 permutations of three items, as index triples.
@@ -356,23 +621,22 @@ impl<'a> SplitState<'a> {
             [2, 0, 1],
             [2, 1, 0],
         ];
-        let len = e.end - e.start;
-        let mut out = Vec::with_capacity(6 * (len - 1) * (len - 2) / 2);
-        let base_latency = self.latency - self.latency_term(e.start, e.end, e.proc);
+        let base_latency = self.latency - e.lat_term;
         for cut1 in e.start + 1..e.end - 1 {
             for cut2 in cut1 + 1..e.end {
+                // Nine piece costs cover all six permutations.
+                let pieces = [(e.start, cut1), (cut1, cut2), (cut2, e.end)];
+                let costs: [[IntervalCost; 3]; 3] =
+                    pieces.map(|(s, t)| pool.map(|u| self.piece_cost(s, t, u)));
                 for perm in PERMS {
                     let procs = [pool[perm[0]], pool[perm[1]], pool[perm[2]]];
-                    let cycles = [
-                        self.cycle_of(e.start, cut1, procs[0]),
-                        self.cycle_of(cut1, cut2, procs[1]),
-                        self.cycle_of(cut2, e.end, procs[2]),
-                    ];
+                    let parts = [costs[0][perm[0]], costs[1][perm[1]], costs[2][perm[2]]];
+                    let cycles = parts.map(|c| c.cycle_time());
                     let new_latency = base_latency
-                        + self.latency_term(e.start, cut1, procs[0])
-                        + self.latency_term(cut1, cut2, procs[1])
-                        + self.latency_term(cut2, e.end, procs[2]);
-                    out.push(Split3 {
+                        + parts[0].latency_term()
+                        + parts[1].latency_term()
+                        + parts[2].latency_term();
+                    visit(Split3 {
                         cut1,
                         cut2,
                         procs,
@@ -382,6 +646,21 @@ impl<'a> SplitState<'a> {
                 }
             }
         }
+    }
+
+    /// Enumerates every three-way split of entry `j` using the next two
+    /// unused processors: all cut pairs, all `3!` part→processor
+    /// permutations over `{j, j', j''}`. Empty when the entry has fewer
+    /// than three stages or fewer than two processors remain.
+    pub fn candidate_splits3(&self, j: usize) -> Vec<Split3> {
+        let e = self.entries[j];
+        let len = e.end - e.start;
+        let mut out = Vec::with_capacity(if len < 3 {
+            0
+        } else {
+            6 * (len - 1) * (len - 2) / 2
+        });
+        self.for_each_split3(j, |s| out.push(s));
         out
     }
 
@@ -403,20 +682,18 @@ impl<'a> SplitState<'a> {
         assert_eq!(expected, got, "3-way split uses foreign processors");
         self.next_unused += 2;
         let parts = [
-            (e.start, split.cut1, split.procs[0], split.cycles[0]),
-            (split.cut1, split.cut2, split.procs[1], split.cycles[1]),
-            (split.cut2, e.end, split.procs[2], split.cycles[2]),
+            (e.start, split.cut1, split.procs[0]),
+            (split.cut1, split.cut2, split.procs[1]),
+            (split.cut2, e.end, split.procs[2]),
         ];
+        self.by_cycle.remove(&(CycleKey(e.cycle), Reverse(e.start)));
         self.latency = split.new_latency;
-        self.entries.splice(
-            j..=j,
-            parts.into_iter().map(|(start, end, proc, cycle)| Entry {
-                start,
-                end,
-                proc,
-                cycle,
-            }),
-        );
+        let parts = parts.map(|(start, end, proc)| self.make_entry(start, end, proc));
+        for part in &parts {
+            self.by_cycle
+                .insert((CycleKey(part.cycle), Reverse(part.start)));
+        }
+        self.entries.splice(j..=j, parts);
         debug_assert!(
             self.invariants_ok(),
             "3-way split broke the state invariants"
@@ -428,16 +705,24 @@ impl<'a> SplitState<'a> {
     /// entry `j`'s current cycle.
     pub fn best_split3_mono(&self, j: usize) -> Option<Split3> {
         let old = self.entries[j].cycle;
-        self.candidate_splits3(j)
-            .into_iter()
-            .filter(|s| definitely_lt(s.local_max(), old))
-            .min_by(|a, b| {
-                a.local_max()
+        let mut best: Option<Split3> = None;
+        self.for_each_split3(j, |s| {
+            if !definitely_lt(s.local_max(), old) {
+                return;
+            }
+            let better = best.as_ref().is_none_or(|b| {
+                s.local_max()
                     .partial_cmp(&b.local_max())
                     .expect("finite")
-                    .then(a.cut1.cmp(&b.cut1))
-                    .then(a.cut2.cmp(&b.cut2))
-            })
+                    .then(s.cut1.cmp(&b.cut1))
+                    .then(s.cut2.cmp(&b.cut2))
+                    .is_lt()
+            });
+            if better {
+                best = Some(s);
+            }
+        });
+        best
     }
 
     /// Bi-criteria selection among three-way splits (H2b): minimize
@@ -456,17 +741,25 @@ impl<'a> SplitState<'a> {
                 .fold(f64::INFINITY, f64::min);
             d_lat / d_per
         };
-        self.candidate_splits3(j)
-            .into_iter()
-            .filter(|s| definitely_lt(s.local_max(), old))
-            .min_by(|a, b| {
-                ratio(a)
-                    .partial_cmp(&ratio(b))
+        let mut best: Option<(f64, Split3)> = None;
+        self.for_each_split3(j, |s| {
+            if !definitely_lt(s.local_max(), old) {
+                return;
+            }
+            let r = ratio(&s);
+            let better = best.as_ref().is_none_or(|(br, b)| {
+                r.partial_cmp(br)
                     .expect("finite")
-                    .then(a.local_max().partial_cmp(&b.local_max()).expect("finite"))
-                    .then(a.cut1.cmp(&b.cut1))
-                    .then(a.cut2.cmp(&b.cut2))
-            })
+                    .then(s.local_max().partial_cmp(&b.local_max()).expect("finite"))
+                    .then(s.cut1.cmp(&b.cut1))
+                    .then(s.cut2.cmp(&b.cut2))
+                    .is_lt()
+            });
+            if better {
+                best = Some((r, s));
+            }
+        });
+        best.map(|(_, s)| s)
     }
 
     /// Freezes the state into a validated [`IntervalMapping`].
@@ -492,17 +785,47 @@ impl<'a> SplitState<'a> {
     }
 
     /// Debug invariant check: contiguous intervals, distinct processors,
-    /// cached cycles and latency agree with the cost model.
+    /// cached cycles, latency and the ordered cycle index agree with the
+    /// cost model.
     fn invariants_ok(&self) -> bool {
         let mapping = self.to_mapping(); // also validates the partition
         let (p, l) = self.cm.evaluate(&mapping);
-        (p - self.period()).abs() < 1e-6 && (l - self.latency).abs() < 1e-6
+        if self.by_cycle.len() != self.entries.len() {
+            return false;
+        }
+        // The index must locate exactly the entry the linear scan would.
+        let mut arg = 0;
+        let mut scan = f64::NEG_INFINITY;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.cycle > scan {
+                scan = e.cycle;
+                arg = i;
+            }
+            if !self
+                .by_cycle
+                .contains(&(CycleKey(e.cycle), Reverse(e.start)))
+            {
+                return false;
+            }
+        }
+        self.bottleneck() == arg
+            && (p - self.period()).abs() < 1e-6
+            && (l - self.latency).abs() < 1e-6
     }
+}
+
+/// Which denominator the bi-criteria ratio uses (see
+/// [`crate::split::SpBiPOptions::denominator_over_i`]).
+#[derive(Debug, Clone, Copy)]
+enum RatioRule {
+    OverI,
+    OverJ,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipeline_model::util::EPS;
     use pipeline_model::Application;
     use pipeline_model::Platform;
 
@@ -592,6 +915,55 @@ mod tests {
     }
 
     #[test]
+    fn memoized_bi_selection_matches_direct_selection() {
+        let (app, pf) = setup();
+        let cm = CostModel::new(&app, &pf);
+        let st = SplitState::new(&cm);
+        let mut memo = SplitMemo::new();
+        let budgets = [None, Some(st.latency()), Some(st.latency() * 100.0)];
+        for budget in budgets {
+            // Twice each: the second query must come from the memo.
+            for _ in 0..2 {
+                let direct = st.best_split2_bi(0, budget);
+                let memoized = st.best_split2_bi_memo(0, budget, &mut memo);
+                match (direct, memoized) {
+                    (None, None) => {}
+                    (Some(d), Some(m)) => {
+                        assert_eq!(d.cut, m.cut);
+                        assert_eq!(d.keep_left, m.keep_left);
+                        assert_eq!(d.new_latency.to_bits(), m.new_latency.to_bits());
+                        assert_eq!(d.cycle_keep.to_bits(), m.cycle_keep.to_bits());
+                    }
+                    other => panic!("memo disagreed with direct selection: {other:?}"),
+                }
+                let direct_j = st.best_split2_bi_denom_j(0, budget);
+                let memo_j = st.best_split2_bi_denom_j_memo(0, budget, &mut memo);
+                assert_eq!(
+                    direct_j.map(|s| (s.cut, s.keep_left)),
+                    memo_j.map(|s| (s.cut, s.keep_left))
+                );
+            }
+        }
+        assert!(!memo.over_i.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "SplitMemo reused across instances")]
+    fn memo_refuses_cross_instance_reuse() {
+        let (app, pf) = setup();
+        let cm = CostModel::new(&app, &pf);
+        let st = SplitState::new(&cm);
+        let mut memo = SplitMemo::new();
+        let _ = st.best_split2_bi_memo(0, None, &mut memo);
+        // A different instance must not be able to hit this memo.
+        let app2 = Application::new(vec![1.0, 2.0, 3.0], vec![1.0; 4]).unwrap();
+        let pf2 = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0).unwrap();
+        let cm2 = CostModel::new(&app2, &pf2);
+        let st2 = SplitState::new(&cm2);
+        let _ = st2.best_split2_bi_memo(0, None, &mut memo);
+    }
+
+    #[test]
     fn latency_budget_filters_candidates() {
         let (app, pf) = setup();
         let cm = CostModel::new(&app, &pf);
@@ -669,6 +1041,33 @@ mod tests {
             let now = st.period();
             assert!(now <= last + EPS, "period went up: {last} → {now}");
             last = now;
+        }
+    }
+
+    #[test]
+    fn bottleneck_index_tracks_the_linear_scan() {
+        // Equal-speed processors manufacture exact cycle ties: the index
+        // must still resolve to the leftmost maximal entry.
+        let app = Application::new(vec![6.0, 6.0, 6.0, 6.0], vec![0.0; 5]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![3.0, 3.0, 3.0, 3.0], 1.0).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let mut st = SplitState::new(&cm);
+        loop {
+            let linear = st
+                .entries()
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| {
+                    a.cycle.partial_cmp(&b.cycle).unwrap().then(ib.cmp(ia)) // first index wins ties
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(st.bottleneck(), linear);
+            let j = st.bottleneck();
+            match st.best_split2_mono(j, None) {
+                Some(s) => st.apply_split2(j, s),
+                None => break,
+            }
         }
     }
 }

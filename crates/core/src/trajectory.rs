@@ -11,10 +11,15 @@
 //! answers a whole sweep of period targets, turning an O(grid × run)
 //! computation into O(run + grid). H3/H4/H5 do consult their constraint
 //! while choosing splits, so they are re-run per target.
+//!
+//! Recording itself is the engine's job
+//! ([`crate::engine::SplitEngine::trajectory`]); this module holds the
+//! trajectory types and the policy dispatch.
 
-use crate::state::{BiCriteriaResult, SplitState};
+use crate::engine::{ExplorePolicy, MonoPeriodPolicy, SplitEngine};
+use crate::state::BiCriteriaResult;
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
+use pipeline_model::util::approx_le;
 
 /// Which fixed-period exploration to record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +63,7 @@ impl Trajectory {
     /// satisfying the target.
     pub fn result_for_period(&self, period_target: f64) -> BiCriteriaResult {
         for p in &self.points {
-            if p.period <= period_target + EPS {
+            if approx_le(p.period, period_target) {
                 return BiCriteriaResult {
                     mapping: p.mapping.clone(),
                     period: p.period,
@@ -79,51 +84,27 @@ impl Trajectory {
 
 /// Records the trajectory of one fixed-period heuristic on one instance.
 pub fn fixed_period_trajectory(cm: &CostModel<'_>, kind: TrajectoryKind) -> Trajectory {
-    let mut st = SplitState::new(cm);
-    let mut points = vec![snapshot(&st)];
-    loop {
-        let j = st.bottleneck();
-        match kind {
-            TrajectoryKind::SplitMono => match st.best_split2_mono(j, None) {
-                Some(s) => st.apply_split2(j, s),
-                None => break,
-            },
-            TrajectoryKind::ExploMono | TrajectoryKind::ExploBi => {
-                let bi = kind == TrajectoryKind::ExploBi;
-                let len = st.entries()[j].end - st.entries()[j].start;
-                if len >= 3 && st.n_unused() >= 2 {
-                    let s3 = if bi {
-                        st.best_split3_bi(j)
-                    } else {
-                        st.best_split3_mono(j)
-                    };
-                    match s3 {
-                        Some(s) => st.apply_split3(j, s),
-                        None => break,
-                    }
-                } else {
-                    let s2 = if bi {
-                        st.best_split2_bi(j, None)
-                    } else {
-                        st.best_split2_mono(j, None)
-                    };
-                    match s2 {
-                        Some(s) => st.apply_split2(j, s),
-                        None => break,
-                    }
-                }
-            }
+    // The engine ignores the policies' stop targets while recording, so
+    // any target value works here; 0.0 makes the intent ("run to
+    // exhaustion") explicit.
+    match kind {
+        TrajectoryKind::SplitMono => {
+            SplitEngine::trajectory(&mut MonoPeriodPolicy { target: 0.0 }, cm)
         }
-        points.push(snapshot(&st));
-    }
-    Trajectory { points }
-}
-
-fn snapshot(st: &SplitState<'_>) -> TrajectoryPoint {
-    TrajectoryPoint {
-        period: st.period(),
-        latency: st.latency(),
-        mapping: st.to_mapping(),
+        TrajectoryKind::ExploMono => SplitEngine::trajectory(
+            &mut ExplorePolicy {
+                target: 0.0,
+                bi: false,
+            },
+            cm,
+        ),
+        TrajectoryKind::ExploBi => SplitEngine::trajectory(
+            &mut ExplorePolicy {
+                target: 0.0,
+                bi: true,
+            },
+            cm,
+        ),
     }
 }
 
@@ -132,6 +113,7 @@ mod tests {
     use super::*;
     use crate::{sp_mono_p, three_explo_bi, three_explo_mono};
     use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_model::util::EPS;
 
     fn cm_fixture(seed: u64) -> (pipeline_model::Application, pipeline_model::Platform) {
         let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 15, 10));
@@ -224,5 +206,21 @@ mod tests {
         let res = traj.result_for_period(traj.min_period() * 0.5);
         assert!(!res.feasible);
         assert!((res.period - traj.min_period()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_exactly_equal_to_a_trajectory_period_is_feasible() {
+        // Tolerance-boundary regression: querying a trajectory with a
+        // target exactly equal to a reachable period must succeed (the
+        // comparison is `approx_le`, shared through
+        // `pipeline_model::util`).
+        let (app, pf) = cm_fixture(10);
+        let cm = CostModel::new(&app, &pf);
+        let traj = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
+        for pt in &traj.points {
+            let res = traj.result_for_period(pt.period);
+            assert!(res.feasible, "exact boundary target {} failed", pt.period);
+            assert!(res.period <= pt.period + EPS);
+        }
     }
 }

@@ -45,7 +45,7 @@ pub mod util;
 pub mod workload;
 
 pub use application::Application;
-pub use cost::CostModel;
+pub use cost::{CostModel, IntervalCost};
 pub use generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 pub use mapping::{Interval, IntervalMapping};
 pub use platform::{LinkModel, Platform, ProcId};
@@ -54,7 +54,7 @@ pub use scenario::{FamilyConfig, ScenarioFamily, ScenarioGenerator, ScenarioPara
 /// Convenient glob import: `use pipeline_model::prelude::*;`.
 pub mod prelude {
     pub use crate::application::Application;
-    pub use crate::cost::CostModel;
+    pub use crate::cost::{CostModel, IntervalCost};
     pub use crate::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
     pub use crate::mapping::{Interval, IntervalMapping};
     pub use crate::platform::{LinkModel, Platform, ProcId};

@@ -25,7 +25,7 @@
 
 use crate::trace::{TraceEvent, TraceKind};
 use pipeline_model::prelude::*;
-use pipeline_model::util::EPS;
+use pipeline_model::util::{approx_le, definitely_lt, EPS};
 
 /// A validated synchronous schedule for one mapping at period `T`.
 #[derive(Debug, Clone)]
@@ -55,7 +55,7 @@ pub fn build_sync_schedule(
 ) -> SyncSchedule {
     let analytic = cm.period(mapping);
     assert!(
-        period >= analytic - EPS,
+        !definitely_lt(period, analytic),
         "period {period} below the eq. 1 bound {analytic}"
     );
     let app = cm.app();
@@ -128,7 +128,7 @@ impl SyncSchedule {
         for j in 0..m {
             let cycle = self.t_xfer[j] + self.t_comp[j] + self.t_xfer[j + 1];
             assert!(
-                cycle <= self.period + EPS,
+                approx_le(cycle, self.period),
                 "station {j}: cycle {cycle} exceeds period {}",
                 self.period
             );
@@ -136,7 +136,7 @@ impl SyncSchedule {
                 let prev_end = self.spans(j, d - 1)[2].1;
                 let next_start = self.spans(j, d)[0].0;
                 assert!(
-                    prev_end <= next_start + EPS,
+                    approx_le(prev_end, next_start),
                     "station {j}: data sets {d}-1 and {d} overlap ({prev_end} > {next_start})"
                 );
             }

@@ -1,5 +1,6 @@
 //! `pwsched` — schedule a pipeline instance from a file, serve solve
-//! requests over stdin, or sweep the scenario zoo.
+//! requests over stdin, sweep the scenario zoo, or record a kernel perf
+//! baseline.
 //!
 //! ```text
 //! pwsched <instance-file> [--period BOUND | --latency BOUND | --min-period
@@ -9,7 +10,16 @@
 //! pwsched solve <instance-file> --stdin
 //! pwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]
 //!         [--grid G] [--threads T] [--seed S]
+//! pwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]
 //! ```
+//!
+//! `bench-kernel` measures the solver kernel — per-family sweep
+//! wall-times, exact-solver v2 latencies at growing `n`, split-step
+//! throughput, and H3's memoized binary search — and emits one JSON
+//! object (`BENCH_kernel.json` by convention) so successive PRs have a
+//! perf trajectory to compare against. CI runs it in release mode with
+//! `--exact-n 16` under a timeout: a pruning regression in exact v2
+//! shows up as a timeout, not a silent slowdown.
 //!
 //! The instance file uses the `pipeline-instance v1` text format, and the
 //! service mode speaks the line-oriented request/report wire format —
@@ -47,7 +57,8 @@ fn usage() -> ! {
          \t[--heuristic h1|h2|h3|h4|h5|h6|h7|best|exact|auto] [--simulate N] [--gantt]\n\
          \tpwsched solve <instance-file> --stdin\n\
          \tpwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]\n\
-         \t[--grid G] [--threads T] [--seed S]"
+         \t[--grid G] [--threads T] [--seed S]\n\
+         \tpwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]"
     );
     std::process::exit(2);
 }
@@ -257,6 +268,155 @@ fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `bench-kernel`: record the kernel perf baseline as one JSON object.
+fn run_bench_kernel(mut args: impl Iterator<Item = String>) -> ! {
+    use pipeline_workflows::core::exact;
+    use pipeline_workflows::core::trajectory::{fixed_period_trajectory, TrajectoryKind};
+    use pipeline_workflows::core::{sp_bi_p, SpBiPOptions};
+    use pipeline_workflows::model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_workflows::model::CostModel;
+    use std::time::Instant;
+
+    let mut out_path: Option<String> = None;
+    let mut exact_n_max = 14usize;
+    let mut instances = 3usize;
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        });
+        match flag.as_str() {
+            "--out" => out_path = Some(value),
+            "--exact-n" => exact_n_max = value.parse().unwrap_or_else(|_| usage()),
+            "--instances" => instances = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if instances < 1 {
+        eprintln!("--instances must be >= 1");
+        usage();
+    }
+    if !(2..=exact::MAX_STAGES).contains(&exact_n_max) {
+        eprintln!(
+            "--exact-n must be in 2..={} (the enumeration guard)",
+            exact::MAX_STAGES
+        );
+        usage();
+    }
+    let mut json = String::from("{\n  \"bench\": \"kernel\",\n");
+
+    // Sweep wall-time per scenario family (sharded engine, 1 thread —
+    // the per-item kernel cost is what this baseline tracks).
+    json.push_str("  \"sweep_ms\": {");
+    for (i, spec) in scenario_zoo().iter().enumerate() {
+        let params = spec.params();
+        let t0 = Instant::now();
+        let fam = run_scenario(&params, 2007, instances, 10, 1);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "\"{}\": {{\"ms\": {:.3}, \"curves\": {}}}",
+            spec.family.label(),
+            ms,
+            fam.series.len()
+        ));
+    }
+    json.push_str("},\n");
+
+    // Exact solver v2 at growing n up to --exact-n: min-period and the
+    // full front. Sizes step by 2 from 10 (or measure just --exact-n
+    // when it is smaller), so raising the flag really measures more.
+    let mut exact_sizes: Vec<usize> = if exact_n_max < 10 {
+        vec![exact_n_max]
+    } else {
+        (10..=exact_n_max).step_by(2).collect()
+    };
+    if exact_sizes.last() != Some(&exact_n_max) {
+        exact_sizes.push(exact_n_max); // odd --exact-n: measure it too
+    }
+    json.push_str("  \"exact\": [");
+    let mut first = true;
+    for n in exact_sizes {
+        let p = 6usize;
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p));
+        let (app, pf) = gen.instance(1, 0);
+        let cm = CostModel::new(&app, &pf);
+        let t0 = Instant::now();
+        let (p_opt, _) = exact::exact_min_period(&cm);
+        let min_period_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let front = exact::exact_pareto_front(&cm);
+        let front_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if !first {
+            json.push_str(", ");
+        }
+        first = false;
+        json.push_str(&format!(
+            "{{\"n\": {n}, \"p\": {p}, \"min_period\": {p_opt:.6}, \
+             \"min_period_ms\": {min_period_ms:.3}, \"front_ms\": {front_ms:.3}, \
+             \"front_points\": {}}}",
+            front.len()
+        ));
+    }
+    json.push_str("],\n");
+
+    // Split-step throughput: H1 trajectories on a large instance.
+    {
+        let (n, p) = (240usize, 120usize);
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
+        let (app, pf) = gen.instance(3, 0);
+        let cm = CostModel::new(&app, &pf);
+        let steps = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono)
+            .points
+            .len()
+            - 1;
+        let runs = 50usize;
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(fixed_period_trajectory(&cm, TrajectoryKind::SplitMono));
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        json.push_str(&format!(
+            "  \"split_steps\": {{\"n\": {n}, \"p\": {p}, \"steps_per_run\": {steps}, \
+             \"runs\": {runs}, \"steps_per_sec\": {:.0}}},\n",
+            (steps * runs) as f64 / secs
+        ));
+    }
+
+    // H3's memoized binary search on a mid-size instance.
+    {
+        let (n, p) = (120usize, 60usize);
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p));
+        let (app, pf) = gen.instance(5, 0);
+        let cm = CostModel::new(&app, &pf);
+        let target = 0.5 * cm.single_proc_period();
+        let t0 = Instant::now();
+        let runs = 20usize;
+        for _ in 0..runs {
+            std::hint::black_box(sp_bi_p(&cm, target, SpBiPOptions::default()));
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / runs as f64;
+        json.push_str(&format!(
+            "  \"sp_bi_p\": {{\"n\": {n}, \"p\": {p}, \"ms_per_solve\": {ms:.3}}}\n"
+        ));
+    }
+    json.push_str("}\n");
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else { usage() };
@@ -268,6 +428,9 @@ fn main() {
     }
     if path == "solve" {
         run_service(args);
+    }
+    if path == "bench-kernel" {
+        run_bench_kernel(args);
     }
     let mut objective: Option<Objective> = None;
     let mut strategy = Strategy::Auto;

@@ -75,13 +75,13 @@
 //! ### Migrating from `Scheduler::solve`
 //!
 //! The pre-v1 entry point `Scheduler::solve(&app, &pf, objective) ->
-//! Option<Solution>` is deprecated. `Scheduler::solve_report` is the
-//! drop-in replacement (`Ok(report)` where you matched `Some(sol)`,
-//! structured [`core::SolveError`]s where you got `None`); hold a
+//! Option<Solution>` has been removed (it spent one release as a
+//! deprecated shim). `Scheduler::solve_report` is the drop-in
+//! replacement (`Ok(report)` where you matched `Some(sol)`, structured
+//! [`core::SolveError`]s where you got `None`); hold a
 //! [`core::PreparedInstance`] instead when the same instance answers more
-//! than one query. `Solution.solver` is now the `Copy` enum
-//! [`core::SolverId`] — match on it or print `.label()` where you
-//! compared strings.
+//! than one query. Provenance is the `Copy` enum [`core::SolverId`] —
+//! match on it or print `.label()` where you compared strings.
 //!
 //! ## Validating a mapping operationally
 //!
