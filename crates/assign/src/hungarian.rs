@@ -3,6 +3,26 @@
 
 use crate::{Assignment, CostMatrix};
 
+/// Reusable buffers of [`hungarian_in`]: the dual potentials, matching
+/// and per-row path state. One scratch serves any matrix size — buffers
+/// are resized (never shrunk) per call, so a warm scratch makes repeated
+/// solves allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct HungarianScratch {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    match_col: Vec<usize>,
+    min_v: Vec<f64>,
+    way: Vec<usize>,
+    used: Vec<bool>,
+}
+
+/// Resets `buf` to `len` copies of `value`, reusing capacity.
+fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}
+
 /// Solves the rectangular min-cost assignment problem: match every row of
 /// `costs` to a distinct column minimizing the total cost.
 ///
@@ -14,6 +34,14 @@ use crate::{Assignment, CostMatrix};
 /// (columns) and augments one row at a time along a shortest path in the
 /// reduced-cost graph, the classical O(rows²·cols) scheme.
 pub fn hungarian(costs: &CostMatrix) -> Option<Assignment> {
+    hungarian_in(costs, &mut HungarianScratch::default())
+}
+
+/// [`hungarian`] with caller-owned scratch buffers: identical result
+/// (same arithmetic on the same values, buffers merely reused), no
+/// allocation beyond the returned [`Assignment`] once the scratch is
+/// warm.
+pub fn hungarian_in(costs: &CostMatrix, scratch: &mut HungarianScratch) -> Option<Assignment> {
     let n = costs.rows();
     let m = costs.cols();
     assert!(n <= m, "hungarian requires rows ({n}) <= cols ({m})");
@@ -27,16 +55,22 @@ pub fn hungarian(costs: &CostMatrix) -> Option<Assignment> {
     // 1-based arrays with a virtual column 0, following the classical
     // formulation; way[c] remembers the previous column on the shortest
     // augmenting path.
-    let mut u = vec![0.0_f64; n + 1];
-    let mut v = vec![0.0_f64; m + 1];
-    let mut match_col = vec![0usize; m + 1]; // row matched to column (1-based; 0 = free)
+    reset(&mut scratch.u, n + 1, 0.0);
+    reset(&mut scratch.v, m + 1, 0.0);
+    reset(&mut scratch.match_col, m + 1, 0); // row matched to column (1-based; 0 = free)
+    let u = &mut scratch.u;
+    let v = &mut scratch.v;
+    let match_col = &mut scratch.match_col;
 
     for r in 1..=n {
         match_col[0] = r;
         let mut j0 = 0usize;
-        let mut min_v = vec![f64::INFINITY; m + 1];
-        let mut way = vec![0usize; m + 1];
-        let mut used = vec![false; m + 1];
+        reset(&mut scratch.min_v, m + 1, f64::INFINITY);
+        reset(&mut scratch.way, m + 1, 0);
+        reset(&mut scratch.used, m + 1, false);
+        let min_v = &mut scratch.min_v;
+        let way = &mut scratch.way;
+        let used = &mut scratch.used;
         loop {
             used[j0] = true;
             let i0 = match_col[j0];

@@ -23,7 +23,7 @@ pub mod hungarian;
 pub mod matching;
 
 pub use bottleneck::bottleneck_assignment;
-pub use hungarian::hungarian;
+pub use hungarian::{hungarian, hungarian_in, HungarianScratch};
 pub use matching::max_bipartite_matching;
 
 /// A dense rectangular cost matrix.
@@ -37,6 +37,12 @@ pub struct CostMatrix {
     data: Vec<f64>,
 }
 
+impl Default for CostMatrix {
+    fn default() -> Self {
+        CostMatrix::empty()
+    }
+}
+
 impl CostMatrix {
     /// Builds a matrix from row-major data. Panics when the data length
     /// does not equal `rows * cols` or any entry is NaN.
@@ -48,15 +54,41 @@ impl CostMatrix {
 
     /// Builds a matrix by evaluating `f(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut out = CostMatrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::with_capacity(rows * cols),
+        };
+        out.refill(rows, cols, &mut f);
+        out
+    }
+
+    /// An empty matrix to be (re)filled with [`Self::refill`] — the
+    /// reusable-buffer counterpart of [`Self::from_fn`]. Also the
+    /// [`Default`] value.
+    pub fn empty() -> Self {
+        CostMatrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Refills the matrix in place from `f(row, col)`, reusing the data
+    /// buffer's capacity. Produces exactly what
+    /// [`Self::from_fn(rows, cols, f)`](Self::from_fn) would.
+    pub fn refill(&mut self, rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.reserve(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 let v = f(r, c);
                 assert!(!v.is_nan(), "costs must not be NaN");
-                data.push(v);
+                self.data.push(v);
             }
         }
-        CostMatrix { rows, cols, data }
     }
 
     /// Number of rows (items to assign).

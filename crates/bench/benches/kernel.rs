@@ -7,8 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pipeline_core::exact;
-use pipeline_core::trajectory::{fixed_period_trajectory, TrajectoryKind};
-use pipeline_core::{sp_bi_p, SpBiPOptions};
+use pipeline_core::trajectory::{
+    fixed_period_trajectory, fixed_period_trajectory_in, TrajectoryKind,
+};
+use pipeline_core::{sp_bi_p, SolveWorkspace, SpBiPOptions};
 use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 use pipeline_model::CostModel;
 use std::hint::black_box;
@@ -22,16 +24,29 @@ fn bench_split_steps(c: &mut Criterion) {
         let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
         let (app, pf) = gen.instance(3, 0);
         let cm = CostModel::new(&app, &pf);
-        let splits = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono)
-            .points
-            .len()
-            - 1;
+        let splits = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono).len() - 1;
         group.throughput(Throughput::Elements(splits.max(1) as u64));
         group.bench_with_input(
             BenchmarkId::new("h1-trajectory", format!("n{n}_p{p}")),
             &cm,
             |b, cm| {
                 b.iter(|| black_box(fixed_period_trajectory(cm, TrajectoryKind::SplitMono)));
+            },
+        );
+        // The workspace-reusing form: the difference against the line
+        // above is exactly the per-solve allocation cost.
+        group.bench_with_input(
+            BenchmarkId::new("h1-trajectory-reused-ws", format!("n{n}_p{p}")),
+            &cm,
+            |b, cm| {
+                let mut ws = SolveWorkspace::new();
+                b.iter(|| {
+                    black_box(fixed_period_trajectory_in(
+                        cm,
+                        TrajectoryKind::SplitMono,
+                        &mut ws,
+                    ))
+                });
             },
         );
     }

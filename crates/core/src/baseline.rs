@@ -253,14 +253,14 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         let front = sv_pareto_front(&cm);
         assert!(!front.is_empty());
-        for pt in front.points() {
-            let (p, l) = cm.evaluate(&pt.payload);
-            assert!((p - pt.period).abs() < 1e-9);
-            assert!((l - pt.latency).abs() < 1e-9);
+        for (period, latency, payload) in front.iter() {
+            let (p, l) = cm.evaluate(payload);
+            assert!((p - period).abs() < 1e-9);
+            assert!((l - latency).abs() < 1e-9);
         }
         // Extremes agree with the dedicated solvers.
         let (p_opt, _) = sv_min_period(&cm);
-        assert!((front.points()[0].period - p_opt).abs() < 1e-9);
+        assert!((front.periods()[0] - p_opt).abs() < 1e-9);
     }
 
     #[test]

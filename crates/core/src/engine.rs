@@ -22,12 +22,18 @@
 //! ([`SplitEngine::trajectory`]): any policy can be run to exhaustion
 //! with a snapshot per split, which is how the bound-independent
 //! H1/H2a/H2b/H7 trajectories that back the sweep harness and the
-//! service caches are produced. The engine/policy split is pinned
+//! service caches are produced. Snapshots go straight into the
+//! [`Trajectory`] arena — no per-point mapping clone.
+//!
+//! Every entry point exists in two forms: the plain one (fresh scratch)
+//! and a `*_in` form threading a [`SolveWorkspace`], whose recycled
+//! buffers make the steady-state loop allocation-free. Both are pinned
 //! bit-identical to the pre-refactor per-heuristic loops by
 //! `tests/kernel_identity.rs`.
 
 use crate::state::{BiCriteriaResult, SplitMemo, SplitState};
-use crate::trajectory::{Trajectory, TrajectoryPoint};
+use crate::trajectory::Trajectory;
+use crate::workspace::SolveWorkspace;
 use pipeline_model::prelude::*;
 use pipeline_model::util::approx_le;
 
@@ -37,10 +43,20 @@ use pipeline_model::util::approx_le;
 pub trait EngineState {
     /// Current period of the state.
     fn period(&self) -> f64;
-    /// Freezes the current state as a trajectory point.
-    fn snapshot(&self) -> TrajectoryPoint;
+    /// Records the current state as one trajectory point (into the
+    /// trajectory's arena — implementations must not allocate beyond the
+    /// arena pushes).
+    fn record(&self, traj: &mut Trajectory);
     /// Packages the current state as a heuristic result.
     fn to_result(&self, feasible: bool) -> BiCriteriaResult;
+    /// Returns recyclable heap buffers to the workspace when the run
+    /// ends. States without recyclable storage keep the default no-op.
+    fn reclaim(self, ws: &mut SolveWorkspace)
+    where
+        Self: Sized,
+    {
+        let _ = ws;
+    }
 }
 
 impl EngineState for SplitState<'_> {
@@ -48,16 +64,20 @@ impl EngineState for SplitState<'_> {
         SplitState::period(self)
     }
 
-    fn snapshot(&self) -> TrajectoryPoint {
-        TrajectoryPoint {
-            period: self.period(),
-            latency: self.latency(),
-            mapping: self.to_mapping(),
-        }
+    fn record(&self, traj: &mut Trajectory) {
+        traj.push_point(
+            self.period(),
+            self.latency(),
+            self.entries().iter().map(|e| (e.end, e.proc)),
+        );
     }
 
     fn to_result(&self, feasible: bool) -> BiCriteriaResult {
         SplitState::to_result(self, feasible)
+    }
+
+    fn reclaim(self, ws: &mut SolveWorkspace) {
+        ws.restore_split(self.into_buffers());
     }
 }
 
@@ -70,8 +90,9 @@ pub trait SplitPolicy {
     /// The mutable state the policy drives (borrows the cost model).
     type State<'a>: EngineState;
 
-    /// Builds the initial (Lemma 1) state.
-    fn init<'a>(&mut self, cm: &CostModel<'a>) -> Self::State<'a>;
+    /// Builds the initial (Lemma 1) state, adopting recycled buffers from
+    /// the workspace where the state supports it.
+    fn init<'a>(&mut self, cm: &CostModel<'a>, ws: &mut SolveWorkspace) -> Self::State<'a>;
 
     /// Checked at the top of every iteration, before attempting a split:
     /// `Some(feasible)` stops the run with that verdict, `None`
@@ -91,32 +112,60 @@ pub trait SplitPolicy {
 pub struct SplitEngine;
 
 impl SplitEngine {
+    /// Runs a policy to its verdict with fresh scratch buffers.
+    pub fn run<P: SplitPolicy>(policy: &mut P, cm: &CostModel<'_>) -> BiCriteriaResult {
+        SplitEngine::run_in(policy, cm, &mut SolveWorkspace::new())
+    }
+
     /// Runs a policy to its verdict: init, then alternate
     /// [`SplitPolicy::verdict`] and [`SplitPolicy::step`] until one of
-    /// them ends the run.
-    pub fn run<P: SplitPolicy>(policy: &mut P, cm: &CostModel<'_>) -> BiCriteriaResult {
-        let mut st = policy.init(cm);
+    /// them ends the run. The workspace's recycled buffers make the loop
+    /// allocation-free once warm; results are bit-identical either way.
+    pub fn run_in<P: SplitPolicy>(
+        policy: &mut P,
+        cm: &CostModel<'_>,
+        ws: &mut SolveWorkspace,
+    ) -> BiCriteriaResult {
+        let mut st = policy.init(cm, ws);
         loop {
             if let Some(feasible) = policy.verdict(&st) {
-                return st.to_result(feasible);
+                let result = st.to_result(feasible);
+                st.reclaim(ws);
+                return result;
             }
             if !policy.step(&mut st) {
                 let feasible = policy.exhausted_feasible(&st);
-                return st.to_result(feasible);
+                let result = st.to_result(feasible);
+                st.reclaim(ws);
+                return result;
             }
         }
     }
 
+    /// Runs a policy to exhaustion with fresh scratch buffers, recording
+    /// a snapshot per state.
+    pub fn trajectory<P: SplitPolicy>(policy: &mut P, cm: &CostModel<'_>) -> Trajectory {
+        SplitEngine::trajectory_in(policy, cm, &mut SolveWorkspace::new())
+    }
+
     /// Runs a policy to exhaustion, ignoring its verdict, and records a
     /// snapshot per state — the bound-independent trajectory that answers
-    /// every target of a fixed-period heuristic from one run.
-    pub fn trajectory<P: SplitPolicy>(policy: &mut P, cm: &CostModel<'_>) -> Trajectory {
-        let mut st = policy.init(cm);
-        let mut points = vec![st.snapshot()];
+    /// every target of a fixed-period heuristic from one run. Snapshots
+    /// land in the trajectory arena; the split loop itself reuses the
+    /// workspace buffers.
+    pub fn trajectory_in<P: SplitPolicy>(
+        policy: &mut P,
+        cm: &CostModel<'_>,
+        ws: &mut SolveWorkspace,
+    ) -> Trajectory {
+        let mut st = policy.init(cm, ws);
+        let mut traj = Trajectory::new();
+        st.record(&mut traj);
         while policy.step(&mut st) {
-            points.push(st.snapshot());
+            st.record(&mut traj);
         }
-        Trajectory { points }
+        st.reclaim(ws);
+        traj
     }
 }
 
@@ -130,8 +179,8 @@ pub struct MonoPeriodPolicy {
 impl SplitPolicy for MonoPeriodPolicy {
     type State<'a> = SplitState<'a>;
 
-    fn init<'a>(&mut self, cm: &CostModel<'a>) -> SplitState<'a> {
-        SplitState::new(cm)
+    fn init<'a>(&mut self, cm: &CostModel<'a>, ws: &mut SolveWorkspace) -> SplitState<'a> {
+        SplitState::new_in(cm, ws.take_split())
     }
 
     fn verdict(&mut self, st: &SplitState<'_>) -> Option<bool> {
@@ -187,8 +236,8 @@ impl BudgetedPolicy {
 impl SplitPolicy for BudgetedPolicy {
     type State<'a> = SplitState<'a>;
 
-    fn init<'a>(&mut self, cm: &CostModel<'a>) -> SplitState<'a> {
-        let st = SplitState::new(cm);
+    fn init<'a>(&mut self, cm: &CostModel<'a>, ws: &mut SolveWorkspace) -> SplitState<'a> {
+        let st = SplitState::new_in(cm, ws.take_split());
         self.feasible_at_init = approx_le(st.latency(), self.budget);
         st
     }
@@ -234,8 +283,8 @@ pub struct ExplorePolicy {
 impl SplitPolicy for ExplorePolicy {
     type State<'a> = SplitState<'a>;
 
-    fn init<'a>(&mut self, cm: &CostModel<'a>) -> SplitState<'a> {
-        SplitState::new(cm)
+    fn init<'a>(&mut self, cm: &CostModel<'a>, ws: &mut SolveWorkspace) -> SplitState<'a> {
+        SplitState::new_in(cm, ws.take_split())
     }
 
     fn verdict(&mut self, st: &SplitState<'_>) -> Option<bool> {
@@ -302,8 +351,8 @@ pub struct BiPeriodPolicy<'m> {
 impl SplitPolicy for BiPeriodPolicy<'_> {
     type State<'a> = SplitState<'a>;
 
-    fn init<'a>(&mut self, cm: &CostModel<'a>) -> SplitState<'a> {
-        SplitState::new(cm)
+    fn init<'a>(&mut self, cm: &CostModel<'a>, ws: &mut SolveWorkspace) -> SplitState<'a> {
+        SplitState::new_in(cm, ws.take_split())
     }
 
     fn verdict(&mut self, st: &SplitState<'_>) -> Option<bool> {
@@ -367,13 +416,13 @@ mod tests {
             },
             &cm,
         );
-        assert!(traj.points.len() > 1, "must have split at least once");
+        assert!(traj.len() > 1, "must have split at least once");
         // Each point must be reachable as a direct run with its own
         // period as the target.
-        for pt in &traj.points {
-            let direct = crate::three_explo_bi(&cm, pt.period);
+        for pt in traj.iter() {
+            let direct = crate::three_explo_bi(&cm, pt.period());
             assert!(direct.feasible);
-            assert!(direct.period <= pt.period + pipeline_model::util::EPS);
+            assert!(direct.period <= pt.period() + pipeline_model::util::EPS);
         }
     }
 

@@ -52,7 +52,8 @@
 //! (paper Theorem 2), so no polynomial exact solver exists unless P = NP.
 
 use crate::pareto::ParetoFront;
-use pipeline_assign::{bottleneck_assignment, hungarian, CostMatrix};
+use crate::workspace::SolveWorkspace;
+use pipeline_assign::{bottleneck_assignment, hungarian, hungarian_in, CostMatrix};
 use pipeline_model::prelude::*;
 use pipeline_model::util::{approx_le, EPS};
 
@@ -346,13 +347,14 @@ impl<'c, 'a> PartitionSearch<'c, 'a> {
         }
     }
 
-    /// The cycle-time matrix of the complete partition (the bottleneck
-    /// objective's input).
-    fn cycle_matrix(&self) -> CostMatrix {
+    /// Refills `matrix` with the cycle-time matrix of the complete
+    /// partition (the bottleneck objective's input) — identical values to
+    /// a fresh `CostMatrix::from_fn`, buffer reused.
+    fn fill_cycle_matrix(&self, matrix: &mut CostMatrix) {
         let m = self.intervals.len();
-        CostMatrix::from_fn(m, self.p, |j, u| {
+        matrix.refill(m, self.p, |j, u| {
             self.comm[j] + self.work[j] / self.speeds[u]
-        })
+        });
     }
 }
 
@@ -365,14 +367,21 @@ impl<'c, 'a> PartitionSearch<'c, 'a> {
 /// surviving leaf; bit-identical to [`exact_min_period_blind`]. Returns
 /// the optimal mapping.
 pub fn exact_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
+    exact_min_period_in(cm, &mut SolveWorkspace::new())
+}
+
+/// [`exact_min_period`] reusing the workspace's assignment matrices
+/// (bit-identical result).
+pub fn exact_min_period_in(cm: &CostModel<'_>, ws: &mut SolveWorkspace) -> (f64, IntervalMapping) {
+    let scratch = &mut ws.exact;
     let mut search = PartitionSearch::new(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
     search.dfs(&mut |s, is_leaf| {
         if !is_leaf {
             return best.as_ref().is_some_and(|(v, _)| s.lb_period() >= *v);
         }
-        let costs = s.cycle_matrix();
-        if let Some(a) = bottleneck_assignment(&costs) {
+        s.fill_cycle_matrix(&mut scratch.matrix);
+        if let Some(a) = bottleneck_assignment(&scratch.matrix) {
             if best.as_ref().is_none_or(|(v, _)| a.objective < *v) {
                 best = Some((a.objective, build_mapping(s.cm, &s.intervals, &a.assigned)));
             }
@@ -391,6 +400,17 @@ pub fn exact_min_latency_for_period(
     cm: &CostModel<'_>,
     period_bound: f64,
 ) -> Option<(f64, IntervalMapping)> {
+    exact_min_latency_for_period_in(cm, period_bound, &mut SolveWorkspace::new())
+}
+
+/// [`exact_min_latency_for_period`] reusing the workspace's assignment
+/// matrices and Hungarian scratch (bit-identical result).
+pub fn exact_min_latency_for_period_in(
+    cm: &CostModel<'_>,
+    period_bound: f64,
+    ws: &mut SolveWorkspace,
+) -> Option<(f64, IntervalMapping)> {
+    let scratch = &mut ws.exact;
     let mut search = PartitionSearch::new(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
     search.dfs(&mut |s, is_leaf| {
@@ -403,7 +423,7 @@ pub fn exact_min_latency_for_period(
             return best.as_ref().is_some_and(|(v, _)| s.lb_latency() > *v);
         }
         let m = s.intervals.len();
-        let costs = CostMatrix::from_fn(m, s.p, |j, u| {
+        scratch.matrix.refill(m, s.p, |j, u| {
             let cycle = s.comm[j] + s.work[j] / s.speeds[u];
             if approx_le(cycle, period_bound) {
                 s.work[j] / s.speeds[u]
@@ -411,7 +431,7 @@ pub fn exact_min_latency_for_period(
                 f64::INFINITY
             }
         });
-        if let Some(a) = hungarian(&costs) {
+        if let Some(a) = hungarian_in(&scratch.matrix, &mut scratch.hungarian) {
             let latency = s.latency_base.last().expect("seeded") + a.objective;
             if best.as_ref().is_none_or(|(v, _)| latency < *v) {
                 best = Some((latency, build_mapping(s.cm, &s.intervals, &a.assigned)));
@@ -430,10 +450,9 @@ pub fn exact_min_period_for_latency(
 ) -> Option<(f64, IntervalMapping)> {
     let front = exact_pareto_front(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
-    for pt in front.points() {
-        if approx_le(pt.latency, latency_bound) && best.as_ref().is_none_or(|(v, _)| pt.period < *v)
-        {
-            best = Some((pt.period, pt.payload.clone()));
+    for (period, latency, payload) in front.iter() {
+        if approx_le(latency, latency_bound) && best.as_ref().is_none_or(|(v, _)| period < *v) {
+            best = Some((period, payload.clone()));
         }
     }
     best
@@ -450,6 +469,16 @@ pub fn exact_min_period_for_latency(
 /// pair set — all output-preserving (bit-identical to
 /// [`exact_pareto_front_blind`]).
 pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
+    exact_pareto_front_in(cm, &mut SolveWorkspace::new())
+}
+
+/// [`exact_pareto_front`] reusing the workspace's assignment matrices,
+/// Hungarian scratch and threshold-sweep buffers (bit-identical result).
+pub fn exact_pareto_front_in(
+    cm: &CostModel<'_>,
+    ws: &mut SolveWorkspace,
+) -> ParetoFront<IntervalMapping> {
+    let scratch = &mut ws.exact;
     let mut search = PartitionSearch::new(cm);
     let mut front: ParetoFront<IntervalMapping> = ParetoFront::new();
     search.dfs(&mut |s, is_leaf| {
@@ -457,11 +486,11 @@ pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
             return front.dominated(s.lb_period(), s.lb_latency());
         }
         let m = s.intervals.len();
-        let costs = s.cycle_matrix();
+        s.fill_cycle_matrix(&mut scratch.matrix);
         // The partition's feasibility floor: thresholds below it have no
         // perfect assignment, so the Hungarian solve would return `None`
         // — skip them without solving.
-        let Some(bottleneck) = bottleneck_assignment(&costs) else {
+        let Some(bottleneck) = bottleneck_assignment(&scratch.matrix) else {
             return false;
         };
         let latency_base = *s.latency_base.last().expect("seeded");
@@ -473,7 +502,8 @@ pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
         }
         // Candidate thresholds: every distinct cycle value of this
         // partition.
-        let mut thresholds: Vec<f64> = Vec::with_capacity(m * s.p);
+        let thresholds = &mut scratch.thresholds;
+        thresholds.clear();
         for j in 0..m {
             for &speed in s.speeds.iter().take(s.p) {
                 thresholds.push(s.comm[j] + s.work[j] / speed);
@@ -483,29 +513,34 @@ pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
         thresholds.dedup_by(|a, b| (*a - *b).abs() <= EPS);
         // Memoized assignment sub-solve: thresholds allowing the same
         // pair set share one Hungarian result.
-        let mut last_allowed: Option<(Vec<bool>, Option<pipeline_assign::Assignment>)> = None;
-        for &t in &thresholds {
+        let mut last_solved: Option<Option<pipeline_assign::Assignment>> = None;
+        scratch.last_allowed.clear();
+        for &t in thresholds.iter() {
             if !approx_le(bottleneck.objective, t) {
                 continue; // no perfect assignment fits this threshold
             }
-            let mut allowed = vec![false; m * s.p];
+            let allowed = &mut scratch.allowed;
+            allowed.clear();
+            allowed.resize(m * s.p, false);
             for j in 0..m {
                 for (u, &speed) in s.speeds.iter().take(s.p).enumerate() {
                     allowed[j * s.p + u] = approx_le(s.comm[j] + s.work[j] / speed, t);
                 }
             }
-            let solved = match &last_allowed {
-                Some((mask, cached)) if *mask == allowed => cached.clone(),
+            let solved = match &last_solved {
+                Some(cached) if scratch.last_allowed == *allowed => cached.clone(),
                 _ => {
-                    let costs = CostMatrix::from_fn(m, s.p, |j, u| {
+                    scratch.matrix.refill(m, s.p, |j, u| {
                         if allowed[j * s.p + u] {
                             s.work[j] / s.speeds[u]
                         } else {
                             f64::INFINITY
                         }
                     });
-                    let solved = hungarian(&costs);
-                    last_allowed = Some((allowed, solved.clone()));
+                    let solved = hungarian_in(&scratch.matrix, &mut scratch.hungarian);
+                    scratch.last_allowed.clear();
+                    scratch.last_allowed.extend_from_slice(allowed);
+                    last_solved = Some(solved.clone());
                     solved
                 }
             };
@@ -723,10 +758,10 @@ mod tests {
         let front = exact_pareto_front(&cm);
         assert!(!front.is_empty());
         // Front points are mutually non-dominated and self-consistent.
-        for pt in front.points() {
-            let (p, l) = cm.evaluate(&pt.payload);
-            assert!((p - pt.period).abs() < 1e-9);
-            assert!((l - pt.latency).abs() < 1e-9);
+        for (period, latency, payload) in front.iter() {
+            let (p, l) = cm.evaluate(payload);
+            assert!((p - period).abs() < 1e-9);
+            assert!((l - latency).abs() < 1e-9);
         }
         // Heuristic results never dominate the front.
         for kind in crate::HeuristicKind::ALL {
@@ -751,12 +786,12 @@ mod tests {
         let cm = CostModel::new(&app, &pf);
         let front = exact_pareto_front(&cm);
         let (p_opt, _) = exact_min_period(&cm);
-        let min_front_period = front.points().first().expect("non-empty").period;
+        let min_front_period = front.first().expect("non-empty").0;
         assert!((min_front_period - p_opt).abs() < 1e-9);
         let min_front_latency = front
-            .points()
+            .latencies()
             .iter()
-            .map(|p| p.latency)
+            .copied()
             .fold(f64::INFINITY, f64::min);
         assert!((min_front_latency - cm.optimal_latency()).abs() < 1e-9);
     }
@@ -793,10 +828,10 @@ mod tests {
             let f2 = exact_pareto_front(&cm);
             let f1 = exact_pareto_front_blind(&cm);
             assert_eq!(f2.len(), f1.len(), "n={n} p={p} seed={seed}");
-            for (a, b) in f2.points().iter().zip(f1.points()) {
-                assert_eq!(a.period.to_bits(), b.period.to_bits());
-                assert_eq!(a.latency.to_bits(), b.latency.to_bits());
-                assert_eq!(a.payload, b.payload);
+            for (a, b) in f2.iter().zip(f1.iter()) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+                assert_eq!(a.2, b.2);
             }
         }
     }

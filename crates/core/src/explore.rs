@@ -17,6 +17,7 @@
 
 use crate::engine::{ExplorePolicy, SplitEngine};
 use crate::state::BiCriteriaResult;
+use crate::workspace::SolveWorkspace;
 use pipeline_model::prelude::*;
 
 /// H2a — *3-Exploration mono-criterion* (fixed period): split the
@@ -32,6 +33,22 @@ pub fn three_explo_mono(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaRes
     )
 }
 
+/// [`three_explo_mono`] reusing workspace buffers (bit-identical result).
+pub fn three_explo_mono_in(
+    cm: &CostModel<'_>,
+    period_target: f64,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
+    SplitEngine::run_in(
+        &mut ExplorePolicy {
+            target: period_target,
+            bi: false,
+        },
+        cm,
+        ws,
+    )
+}
+
 /// H2b — *3-Exploration bi-criteria* (fixed period): same exploration,
 /// selecting by `min max_i Δlatency/Δperiod(i)`.
 pub fn three_explo_bi(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaResult {
@@ -41,6 +58,22 @@ pub fn three_explo_bi(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaResul
             bi: true,
         },
         cm,
+    )
+}
+
+/// [`three_explo_bi`] reusing workspace buffers (bit-identical result).
+pub fn three_explo_bi_in(
+    cm: &CostModel<'_>,
+    period_target: f64,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
+    SplitEngine::run_in(
+        &mut ExplorePolicy {
+            target: period_target,
+            bi: true,
+        },
+        cm,
+        ws,
     )
 }
 

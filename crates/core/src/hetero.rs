@@ -14,6 +14,15 @@
 //! * selects by global period improvement (mono) — the natural lift of
 //!   H1's rule when cycle times interact.
 //!
+//! Candidates are costed **on slices**, without materializing an
+//! [`IntervalMapping`] per candidate: the evaluation walks the candidate
+//! interval/processor vectors with exactly the cost-model expressions
+//! `CostModel::{period, latency}` apply to a built mapping (same
+//! iteration order, same association), so results are bit-identical to
+//! the build-then-evaluate form while the candidate loop allocates
+//! nothing — only the winning split is applied. The state's vectors are
+//! recycled through [`crate::workspace::SolveWorkspace`].
+//!
 //! On a Communication Homogeneous platform this reduces to H1 when
 //! `candidate_procs == 1` (verified by tests), so the extension is
 //! conservative.
@@ -25,7 +34,8 @@
 
 use crate::engine::{EngineState, SplitEngine, SplitPolicy};
 use crate::state::BiCriteriaResult;
-use crate::trajectory::{Trajectory, TrajectoryPoint};
+use crate::trajectory::Trajectory;
+use crate::workspace::{HeteroScratch, SolveWorkspace};
 use pipeline_model::prelude::*;
 use pipeline_model::util::{approx_eq, approx_le, definitely_lt};
 
@@ -43,26 +53,60 @@ impl Default for HeteroSplitOptions {
 }
 
 /// Mutable splitting state shared by the direct heuristic and the
-/// trajectory recorder.
+/// trajectory recorder. Owns recyclable vectors (see [`HeteroScratch`]).
 struct HetState {
     /// Processors by non-increasing speed.
     order: Vec<ProcId>,
     used: Vec<bool>,
     intervals: Vec<Interval>,
     procs: Vec<ProcId>,
+    /// Candidate-evaluation scratch.
+    candidates: Vec<ProcId>,
+    cand_intervals: Vec<Interval>,
+    cand_procs: Vec<ProcId>,
 }
 
 impl HetState {
-    fn initial(cm: &CostModel<'_>) -> Self {
+    fn initial(cm: &CostModel<'_>, scratch: HeteroScratch) -> Self {
+        let HeteroScratch {
+            mut order,
+            mut used,
+            mut intervals,
+            mut procs,
+            candidates,
+            cand_intervals,
+            cand_procs,
+        } = scratch;
         let pf = cm.platform();
-        let order = pf.procs_by_speed_desc().to_vec();
-        let mut used = vec![false; pf.n_procs()];
+        order.clear();
+        order.extend_from_slice(pf.procs_by_speed_desc());
+        used.clear();
+        used.resize(pf.n_procs(), false);
         used[order[0]] = true;
+        intervals.clear();
+        intervals.push(Interval::new(0, cm.app().n_stages()));
+        procs.clear();
+        procs.push(order[0]);
         HetState {
-            intervals: vec![Interval::new(0, cm.app().n_stages())],
-            procs: vec![order[0]],
             order,
             used,
+            intervals,
+            procs,
+            candidates,
+            cand_intervals,
+            cand_procs,
+        }
+    }
+
+    fn into_scratch(self) -> HeteroScratch {
+        HeteroScratch {
+            order: self.order,
+            used: self.used,
+            intervals: self.intervals,
+            procs: self.procs,
+            candidates: self.candidates,
+            cand_intervals: self.cand_intervals,
+            cand_procs: self.cand_procs,
         }
     }
 
@@ -81,13 +125,19 @@ impl HetState {
         opts: HeteroSplitOptions,
     ) -> bool {
         match best_split(cm, self, mapping, opts) {
-            Some((ivs, ps)) => {
-                // Mark the newly enrolled processor.
-                for &u in &ps {
-                    self.used[u] = true;
-                }
-                self.intervals = ivs;
-                self.procs = ps;
+            Some(winner) => {
+                self.used[winner.new_proc] = true;
+                let iv = self.intervals[winner.j];
+                let (lp, rp) = if winner.keep_left {
+                    (self.procs[winner.j], winner.new_proc)
+                } else {
+                    (winner.new_proc, self.procs[winner.j])
+                };
+                self.intervals[winner.j] = Interval::new(iv.start, winner.cut);
+                self.intervals
+                    .insert(winner.j + 1, Interval::new(winner.cut, iv.end));
+                self.procs[winner.j] = lp;
+                self.procs.insert(winner.j + 1, rp);
                 true
             }
             None => false,
@@ -100,6 +150,46 @@ fn build(cm: &CostModel<'_>, ivs: &[Interval], ps: &[ProcId]) -> IntervalMapping
         .expect("splitting maintains validity")
 }
 
+/// Cycle time of interval `j` of the candidate described by slices —
+/// exactly what `cm.cycle_time(&built_mapping, j)` computes.
+#[inline]
+fn slice_cycle(cm: &CostModel<'_>, ivs: &[Interval], ps: &[ProcId], j: usize) -> f64 {
+    let pred = (j > 0).then(|| ps[j - 1]);
+    let succ = (j + 1 < ivs.len()).then(|| ps[j + 1]);
+    cm.interval_cost(ivs[j], ps[j], pred, succ).cycle_time()
+}
+
+/// `(period, latency)` of the candidate described by slices — the same
+/// fold order as `CostModel::{period, latency}` on a built mapping, so
+/// the values are bit-identical.
+fn slice_evaluate(cm: &CostModel<'_>, ivs: &[Interval], ps: &[ProcId]) -> (f64, f64) {
+    let m = ivs.len();
+    let mut period = f64::NEG_INFINITY;
+    for j in 0..m {
+        period = period.max(slice_cycle(cm, ivs, ps, j));
+    }
+    let mut latency = 0.0;
+    for j in 0..m {
+        let pred = (j > 0).then(|| ps[j - 1]);
+        let succ = (j + 1 < m).then(|| ps[j + 1]);
+        let c = cm.interval_cost(ivs[j], ps[j], pred, succ);
+        latency += c.latency_term();
+        if j + 1 == m {
+            latency += c.t_out; // final δ_n / b transfer
+        }
+    }
+    (period, latency)
+}
+
+/// The chosen split of one [`best_split`] call, as coordinates — the
+/// winning candidate is the only one ever materialized.
+struct ChosenSplit {
+    j: usize,
+    cut: usize,
+    keep_left: bool,
+    new_proc: ProcId,
+}
+
 /// H1's selection rule, lifted to per-link bandwidths: split the
 /// bottleneck interval minimizing the max cycle time of the two pieces
 /// (computed with the real link bandwidths, so the choice of `new_proc`
@@ -110,10 +200,10 @@ fn build(cm: &CostModel<'_>, ivs: &[Interval], ps: &[ProcId]) -> IntervalMapping
 /// every target from one recorded run.
 fn best_split(
     cm: &CostModel<'_>,
-    st: &HetState,
+    st: &mut HetState,
     mapping: &IntervalMapping,
     opts: HeteroSplitOptions,
-) -> Option<(Vec<Interval>, Vec<ProcId>)> {
+) -> Option<ChosenSplit> {
     // Bottleneck interval.
     let j = (0..mapping.n_intervals())
         .max_by(|&a, &b| {
@@ -127,26 +217,31 @@ fn best_split(
         return None;
     }
     // Candidate new processors: the fastest unused ones.
-    let candidates: Vec<ProcId> = st
-        .order
-        .iter()
-        .copied()
-        .filter(|&u| !st.used[u])
-        .take(opts.candidate_procs)
-        .collect();
-    if candidates.is_empty() {
+    st.candidates.clear();
+    st.candidates.extend(
+        st.order
+            .iter()
+            .copied()
+            .filter(|&u| !st.used[u])
+            .take(opts.candidate_procs),
+    );
+    if st.candidates.is_empty() {
         return None;
     }
 
     let old_cycle = cm.cycle_time(mapping, j);
-    // (local max cycle, period, latency, intervals, processors)
-    type Candidate = (f64, f64, f64, Vec<Interval>, Vec<ProcId>);
-    let mut best: Option<Candidate> = None;
-    for &new_proc in &candidates {
+    // (local max cycle, period, latency) of the incumbent.
+    let mut best: Option<(f64, f64, f64, ChosenSplit)> = None;
+    let ivs = &mut st.cand_intervals;
+    let ps = &mut st.cand_procs;
+    for &new_proc in &st.candidates {
         for cut in iv.start + 1..iv.end {
             for keep_left in [true, false] {
-                let mut ivs = st.intervals.clone();
-                let mut ps = st.procs.clone();
+                // Assemble the candidate in the reused scratch vectors.
+                ivs.clear();
+                ivs.extend_from_slice(&st.intervals);
+                ps.clear();
+                ps.extend_from_slice(&st.procs);
                 ivs[j] = Interval::new(iv.start, cut);
                 ivs.insert(j + 1, Interval::new(cut, iv.end));
                 let (lp, rp) = if keep_left {
@@ -156,16 +251,14 @@ fn best_split(
                 };
                 ps[j] = lp;
                 ps.insert(j + 1, rp);
-                let cand = build(cm, &ivs, &ps);
-                let local = cm.cycle_time(&cand, j).max(cm.cycle_time(&cand, j + 1));
+                let local = slice_cycle(cm, ivs, ps, j).max(slice_cycle(cm, ivs, ps, j + 1));
                 if !definitely_lt(local, old_cycle) {
                     continue;
                 }
-                let p = cm.period(&cand);
-                let l = cm.latency(&cand);
+                let (p, l) = slice_evaluate(cm, ivs, ps);
                 let better = match &best {
                     None => true,
-                    Some((bl_local, bp, bl, _, _)) => {
+                    Some((bl_local, bp, bl, _)) => {
                         definitely_lt(local, *bl_local)
                             || (approx_eq(local, *bl_local)
                                 && (definitely_lt(p, *bp)
@@ -173,12 +266,22 @@ fn best_split(
                     }
                 };
                 if better {
-                    best = Some((local, p, l, ivs, ps));
+                    best = Some((
+                        local,
+                        p,
+                        l,
+                        ChosenSplit {
+                            j,
+                            cut,
+                            keep_left,
+                            new_proc,
+                        },
+                    ));
                 }
             }
         }
     }
-    best.map(|(_, _, _, ivs, ps)| (ivs, ps))
+    best.map(|(_, _, _, chosen)| chosen)
 }
 
 /// The §7 extension as an engine policy: H1's rule lifted to per-link
@@ -214,12 +317,12 @@ impl EngineState for HeteroEngineState<'_> {
         self.period
     }
 
-    fn snapshot(&self) -> TrajectoryPoint {
-        TrajectoryPoint {
-            period: self.period,
-            latency: self.latency,
-            mapping: self.mapping.clone(),
-        }
+    fn record(&self, traj: &mut Trajectory) {
+        traj.push_point(
+            self.period,
+            self.latency,
+            self.mapping.assignments().map(|(iv, proc)| (iv.end, proc)),
+        );
     }
 
     fn to_result(&self, feasible: bool) -> BiCriteriaResult {
@@ -230,17 +333,21 @@ impl EngineState for HeteroEngineState<'_> {
             feasible,
         }
     }
+
+    fn reclaim(self, ws: &mut SolveWorkspace) {
+        ws.hetero = self.st.into_scratch();
+    }
 }
 
 impl SplitPolicy for HeteroPolicy {
     type State<'a> = HeteroEngineState<'a>;
 
-    fn init<'a>(&mut self, cm: &CostModel<'a>) -> HeteroEngineState<'a> {
+    fn init<'a>(&mut self, cm: &CostModel<'a>, ws: &mut SolveWorkspace) -> HeteroEngineState<'a> {
         assert!(
             self.opts.candidate_procs >= 1,
             "need at least one candidate processor"
         );
-        let st = HetState::initial(cm);
+        let st = HetState::initial(cm, std::mem::take(&mut ws.hetero));
         let mapping = st.mapping(cm);
         let period = cm.period(&mapping);
         let latency = cm.latency(&mapping);
@@ -287,6 +394,23 @@ pub fn hetero_sp_mono_p(
     )
 }
 
+/// [`hetero_sp_mono_p`] reusing workspace buffers (bit-identical result).
+pub fn hetero_sp_mono_p_in(
+    cm: &CostModel<'_>,
+    period_target: f64,
+    opts: HeteroSplitOptions,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
+    SplitEngine::run_in(
+        &mut HeteroPolicy {
+            target: period_target,
+            opts,
+        },
+        cm,
+        ws,
+    )
+}
+
 /// Records the full split path of [`hetero_sp_mono_p`] run to exhaustion.
 ///
 /// The split choices never consult the period target (see
@@ -297,6 +421,16 @@ pub fn hetero_sp_mono_p(
 /// O(run + grid) cost as the paper families.
 pub fn hetero_trajectory(cm: &CostModel<'_>, opts: HeteroSplitOptions) -> Trajectory {
     SplitEngine::trajectory(&mut HeteroPolicy { target: 0.0, opts }, cm)
+}
+
+/// [`hetero_trajectory`] reusing workspace buffers (bit-identical
+/// result).
+pub fn hetero_trajectory_in(
+    cm: &CostModel<'_>,
+    opts: HeteroSplitOptions,
+    ws: &mut SolveWorkspace,
+) -> Trajectory {
+    SplitEngine::trajectory_in(&mut HeteroPolicy { target: 0.0, opts }, cm, ws)
 }
 
 #[cfg(test)]
@@ -427,12 +561,28 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_runs_bitwise() {
+        let mut ws = SolveWorkspace::new();
+        for seed in 0..3 {
+            let app = random_app(seed, 9);
+            let pf = random_het_platform(seed + 7, 6);
+            let cm = CostModel::new(&app, &pf);
+            let opts = HeteroSplitOptions::default();
+            let fresh = hetero_sp_mono_p(&cm, 0.0, opts);
+            let reused = hetero_sp_mono_p_in(&cm, 0.0, opts, &mut ws);
+            assert_eq!(fresh.period.to_bits(), reused.period.to_bits());
+            assert_eq!(fresh.latency.to_bits(), reused.latency.to_bits());
+            assert_eq!(fresh.mapping, reused.mapping);
+        }
+    }
+
+    #[test]
     fn trajectory_starts_at_lemma_1_and_reaches_the_floor() {
         let app = random_app(3, 9);
         let pf = random_het_platform(3, 5);
         let cm = CostModel::new(&app, &pf);
         let traj = hetero_trajectory(&cm, HeteroSplitOptions::default());
-        assert_eq!(traj.points[0].mapping.n_intervals(), 1);
+        assert_eq!(traj.point(0).n_intervals(), 1);
         let direct_floor = hetero_sp_mono_p(&cm, 0.0, HeteroSplitOptions::default()).period;
         assert!((traj.min_period() - direct_floor).abs() < 1e-12);
     }

@@ -61,18 +61,26 @@ pub mod solve;
 pub mod split;
 pub mod state;
 pub mod trajectory;
+pub mod workspace;
 
 pub use engine::{EngineState, SplitEngine, SplitPolicy};
-pub use explore::{three_explo_bi, three_explo_mono};
-pub use hetero::{hetero_sp_mono_p, hetero_trajectory, HeteroSplitOptions};
+pub use explore::{three_explo_bi, three_explo_bi_in, three_explo_mono, three_explo_mono_in};
+pub use hetero::{
+    hetero_sp_mono_p, hetero_sp_mono_p_in, hetero_trajectory, hetero_trajectory_in,
+    HeteroSplitOptions,
+};
 pub use pareto::ParetoFront;
 pub use service::{
-    PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,
+    BoundLookup, PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,
 };
 pub use solve::{Objective, Scheduler, Strategy};
-pub use split::{sp_bi_l, sp_bi_p, sp_mono_l, sp_mono_p, SpBiPOptions};
-pub use state::{BiCriteriaResult, SplitMemo, SplitState};
-pub use trajectory::{fixed_period_trajectory, Trajectory};
+pub use split::{
+    sp_bi_l, sp_bi_l_in, sp_bi_p, sp_bi_p_in, sp_mono_l, sp_mono_l_in, sp_mono_p, sp_mono_p_in,
+    SpBiPOptions,
+};
+pub use state::{BiCriteriaResult, SplitBuffers, SplitMemo, SplitState};
+pub use trajectory::{fixed_period_trajectory, fixed_period_trajectory_in, Trajectory};
+pub use workspace::SolveWorkspace;
 
 use pipeline_model::prelude::*;
 
@@ -180,15 +188,26 @@ impl HeuristicKind {
     /// period bound for the period-fixed heuristics, a latency bound
     /// otherwise).
     pub fn run(&self, cm: &CostModel<'_>, target: f64) -> BiCriteriaResult {
+        self.run_in(cm, target, &mut SolveWorkspace::new())
+    }
+
+    /// [`Self::run`] reusing a caller-owned workspace (bit-identical
+    /// result; the batch form for experiment loops).
+    pub fn run_in(
+        &self,
+        cm: &CostModel<'_>,
+        target: f64,
+        ws: &mut SolveWorkspace,
+    ) -> BiCriteriaResult {
         match self {
-            HeuristicKind::SpMonoP => sp_mono_p(cm, target),
-            HeuristicKind::ThreeExploMono => three_explo_mono(cm, target),
-            HeuristicKind::ThreeExploBi => three_explo_bi(cm, target),
-            HeuristicKind::SpBiP => sp_bi_p(cm, target, SpBiPOptions::default()),
-            HeuristicKind::SpMonoL => sp_mono_l(cm, target),
-            HeuristicKind::SpBiL => sp_bi_l(cm, target),
+            HeuristicKind::SpMonoP => sp_mono_p_in(cm, target, ws),
+            HeuristicKind::ThreeExploMono => three_explo_mono_in(cm, target, ws),
+            HeuristicKind::ThreeExploBi => three_explo_bi_in(cm, target, ws),
+            HeuristicKind::SpBiP => sp_bi_p_in(cm, target, SpBiPOptions::default(), ws),
+            HeuristicKind::SpMonoL => sp_mono_l_in(cm, target, ws),
+            HeuristicKind::SpBiL => sp_bi_l_in(cm, target, ws),
             HeuristicKind::HeteroSplit => {
-                hetero::hetero_sp_mono_p(cm, target, hetero::HeteroSplitOptions::default())
+                hetero::hetero_sp_mono_p_in(cm, target, hetero::HeteroSplitOptions::default(), ws)
             }
         }
     }

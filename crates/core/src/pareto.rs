@@ -1,51 +1,90 @@
 //! Pareto-front bookkeeping for (period, latency) bi-criteria points.
-
-/// One non-dominated point with an arbitrary payload (usually a mapping).
-#[derive(Debug, Clone)]
-pub struct ParetoPoint<T> {
-    /// Period coordinate (minimized).
-    pub period: f64,
-    /// Latency coordinate (minimized).
-    pub latency: f64,
-    /// Whatever produced the point.
-    pub payload: T,
-}
+//!
+//! The front is stored **flattened**: the period and latency coordinates
+//! live in two plain `f64` vectors and the payloads in a third, parallel
+//! vector. Dominance scans — the hot operation when heuristic
+//! trajectories with hundreds of points are Pareto-filtered — touch only
+//! the two coordinate slices (cache-dense, no payload indirection), and
+//! payloads are moved, never cloned, when points are evicted. Semantics
+//! are identical to the previous array-of-structs layout.
 
 /// A set of mutually non-dominated (period, latency) points, both
 /// coordinates minimized. Kept sorted by increasing period (hence
 /// decreasing latency).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ParetoFront<T> {
-    points: Vec<ParetoPoint<T>>,
+    periods: Vec<f64>,
+    latencies: Vec<f64>,
+    payloads: Vec<T>,
+}
+
+impl<T> Default for ParetoFront<T> {
+    fn default() -> Self {
+        ParetoFront::new()
+    }
 }
 
 impl<T> ParetoFront<T> {
     /// An empty front.
     pub fn new() -> Self {
-        ParetoFront { points: Vec::new() }
+        ParetoFront {
+            periods: Vec::new(),
+            latencies: Vec::new(),
+            payloads: Vec::new(),
+        }
     }
 
     /// Number of non-dominated points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.payloads.len()
     }
 
     /// True when no point has been accepted yet.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.payloads.is_empty()
     }
 
-    /// The points, sorted by increasing period.
-    pub fn points(&self) -> &[ParetoPoint<T>] {
-        &self.points
+    /// The period coordinates, sorted increasing.
+    #[inline]
+    pub fn periods(&self) -> &[f64] {
+        &self.periods
+    }
+
+    /// The latency coordinates (decreasing, mirroring the period sort).
+    #[inline]
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// The payloads, parallel to [`Self::periods`].
+    #[inline]
+    pub fn payloads(&self) -> &[T] {
+        &self.payloads
+    }
+
+    /// Point `i` as `(period, latency, payload)`.
+    #[inline]
+    pub fn point(&self, i: usize) -> (f64, f64, &T) {
+        (self.periods[i], self.latencies[i], &self.payloads[i])
+    }
+
+    /// The minimum-period point, when any.
+    pub fn first(&self) -> Option<(f64, f64, &T)> {
+        (!self.is_empty()).then(|| self.point(0))
+    }
+
+    /// `(period, latency, payload)` triples in increasing period order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (f64, f64, &T)> {
+        (0..self.len()).map(|i| self.point(i))
     }
 
     /// True when `(period, latency)` is weakly dominated by some point of
     /// the front (`q.period ≤ period` and `q.latency ≤ latency`).
     pub fn dominated(&self, period: f64, latency: f64) -> bool {
-        self.points
+        self.periods
             .iter()
-            .any(|q| q.period <= period && q.latency <= latency)
+            .zip(&self.latencies)
+            .any(|(&p, &l)| p <= period && l <= latency)
     }
 
     /// Offers a point; it is inserted iff not weakly dominated, evicting
@@ -58,52 +97,58 @@ impl<T> ParetoFront<T> {
         if self.dominated(period, latency) {
             return false;
         }
-        self.points
-            .retain(|q| !(period <= q.period && latency <= q.latency));
-        let pos = self.points.partition_point(|q| q.period < period);
-        self.points.insert(
-            pos,
-            ParetoPoint {
-                period,
-                latency,
-                payload,
-            },
-        );
+        // Evict dominated points, compacting all three vectors in place
+        // (relative order of survivors preserved).
+        let mut w = 0;
+        for r in 0..self.payloads.len() {
+            let keep = !(period <= self.periods[r] && latency <= self.latencies[r]);
+            if keep {
+                if w != r {
+                    self.periods[w] = self.periods[r];
+                    self.latencies[w] = self.latencies[r];
+                    self.payloads.swap(w, r);
+                }
+                w += 1;
+            }
+        }
+        self.periods.truncate(w);
+        self.latencies.truncate(w);
+        self.payloads.truncate(w);
+        let pos = self.periods.partition_point(|&q| q < period);
+        self.periods.insert(pos, period);
+        self.latencies.insert(pos, latency);
+        self.payloads.insert(pos, payload);
         true
     }
 
     /// Maps every payload, preserving the points and their order — used
     /// by the service layer to strip mappings down to provenance ids for
     /// wire-friendly fronts.
-    pub fn map_payloads<U>(self, mut f: impl FnMut(T) -> U) -> ParetoFront<U> {
+    pub fn map_payloads<U>(self, f: impl FnMut(T) -> U) -> ParetoFront<U> {
         ParetoFront {
-            points: self
-                .points
-                .into_iter()
-                .map(|p| ParetoPoint {
-                    period: p.period,
-                    latency: p.latency,
-                    payload: f(p.payload),
-                })
-                .collect(),
+            periods: self.periods,
+            latencies: self.latencies,
+            payloads: self.payloads.into_iter().map(f).collect(),
         }
     }
 
     /// Smallest latency on the front among points with period ≤ `bound`.
     pub fn min_latency_for_period(&self, bound: f64) -> Option<f64> {
-        self.points
+        self.periods
             .iter()
-            .filter(|q| q.period <= bound)
-            .map(|q| q.latency)
+            .zip(&self.latencies)
+            .filter(|(&p, _)| p <= bound)
+            .map(|(_, &l)| l)
             .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.min(l))))
     }
 
     /// Smallest period on the front among points with latency ≤ `bound`.
     pub fn min_period_for_latency(&self, bound: f64) -> Option<f64> {
-        self.points
+        self.periods
             .iter()
-            .filter(|q| q.latency <= bound)
-            .map(|q| q.period)
+            .zip(&self.latencies)
+            .filter(|(_, &l)| l <= bound)
+            .map(|(&p, _)| p)
             .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.min(p))))
     }
 }
@@ -123,8 +168,8 @@ mod tests {
         // Dominates "a" and "d": evicts them.
         assert!(f.offer(4.0, 10.0, "e"));
         assert_eq!(f.len(), 2);
-        let periods: Vec<f64> = f.points().iter().map(|p| p.period).collect();
-        assert_eq!(periods, vec![4.0, 10.0]);
+        assert_eq!(f.periods(), &[4.0, 10.0]);
+        assert_eq!(f.payloads(), &["e", "b"]);
     }
 
     #[test]
@@ -133,10 +178,8 @@ mod tests {
         f.offer(3.0, 30.0, ());
         f.offer(1.0, 50.0, ());
         f.offer(2.0, 40.0, ());
-        let ps: Vec<f64> = f.points().iter().map(|p| p.period).collect();
-        assert_eq!(ps, vec![1.0, 2.0, 3.0]);
-        let ls: Vec<f64> = f.points().iter().map(|p| p.latency).collect();
-        assert_eq!(ls, vec![50.0, 40.0, 30.0]);
+        assert_eq!(f.periods(), &[1.0, 2.0, 3.0]);
+        assert_eq!(f.latencies(), &[50.0, 40.0, 30.0]);
     }
 
     #[test]
@@ -145,7 +188,7 @@ mod tests {
         assert!(f.offer(1.0, 1.0, 0));
         assert!(!f.offer(1.0, 1.0, 1));
         assert_eq!(f.len(), 1);
-        assert_eq!(f.points()[0].payload, 0);
+        assert_eq!(*f.point(0).2, 0);
     }
 
     #[test]
@@ -165,8 +208,19 @@ mod tests {
     fn empty_front_queries() {
         let f: ParetoFront<()> = ParetoFront::new();
         assert!(f.is_empty());
+        assert!(f.first().is_none());
         assert!(!f.dominated(0.0, 0.0));
         assert_eq!(f.min_latency_for_period(10.0), None);
+    }
+
+    #[test]
+    fn iter_yields_points_in_order() {
+        let mut f = ParetoFront::new();
+        f.offer(2.0, 1.0, "b");
+        f.offer(1.0, 2.0, "a");
+        let got: Vec<(f64, f64, &str)> = f.iter().map(|(p, l, s)| (p, l, *s)).collect();
+        assert_eq!(got, vec![(1.0, 2.0, "a"), (2.0, 1.0, "b")]);
+        assert_eq!(f.first().map(|(p, _, s)| (p, *s)), Some((1.0, "a")));
     }
 
     #[test]

@@ -36,8 +36,9 @@ use crate::exact;
 use crate::pareto::ParetoFront;
 use crate::solve::{Objective, Strategy};
 use crate::state::BiCriteriaResult;
-use crate::trajectory::{fixed_period_trajectory, Trajectory, TrajectoryKind};
-use crate::{hetero, sp_bi_l, sp_bi_p, sp_mono_l, HeuristicKind, SpBiPOptions};
+use crate::trajectory::{fixed_period_trajectory_in, Trajectory, TrajectoryKind};
+use crate::workspace::SolveWorkspace;
+use crate::{hetero, sp_bi_l_in, sp_bi_p_in, sp_mono_l_in, HeuristicKind, SpBiPOptions};
 use pipeline_model::io::{WireFailure, WireObjective, WireReport, WireRequest, WireSolved};
 use pipeline_model::prelude::*;
 use pipeline_model::util::{approx_le, definitely_lt};
@@ -268,12 +269,27 @@ pub struct CachedTrajectory {
     prefix_min: Vec<f64>,
 }
 
+/// The allocation-free answer of a [`CachedTrajectory::lookup`]: the
+/// point's coordinates and index, without materializing its mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundLookup {
+    /// Index of the answering trajectory point.
+    pub index: usize,
+    /// Its period.
+    pub period: f64,
+    /// Its latency.
+    pub latency: f64,
+    /// Whether the target was satisfied (false: the floor point is
+    /// reported).
+    pub feasible: bool,
+}
+
 impl CachedTrajectory {
     fn new(traj: Trajectory) -> Self {
-        let mut prefix_min = Vec::with_capacity(traj.points.len());
+        let mut prefix_min = Vec::with_capacity(traj.len());
         let mut running = f64::INFINITY;
-        for p in &traj.points {
-            running = running.min(p.period);
+        for &p in traj.periods() {
+            running = running.min(p);
             prefix_min.push(running);
         }
         CachedTrajectory { traj, prefix_min }
@@ -289,22 +305,37 @@ impl CachedTrajectory {
         self.traj.min_period()
     }
 
+    /// O(log) coordinate-only bound query: resolves to exactly the point
+    /// [`Trajectory::result_for_period`]'s linear scan would return, but
+    /// performs **zero heap allocations** — the re-query fast path of a
+    /// warm [`PreparedInstance`] (pinned by `tests/alloc_regression.rs`).
+    pub fn lookup(&self, period_target: f64) -> BoundLookup {
+        let i = self
+            .prefix_min
+            .partition_point(|&m| !approx_le(m, period_target));
+        let (index, feasible) = if i < self.traj.len() {
+            (i, true)
+        } else {
+            (self.traj.len() - 1, false)
+        };
+        BoundLookup {
+            index,
+            period: self.traj.period(index),
+            latency: self.traj.latency(index),
+            feasible,
+        }
+    }
+
     /// O(log) bound query, bit-identical to
     /// [`Trajectory::result_for_period`]: the first point whose period
     /// satisfies the target, or the last point flagged infeasible.
     pub fn result_for_period(&self, period_target: f64) -> BiCriteriaResult {
-        let i = self
-            .prefix_min
-            .partition_point(|&m| !approx_le(m, period_target));
-        let (point, feasible) = match self.traj.points.get(i) {
-            Some(p) => (p, true),
-            None => (self.traj.points.last().expect("non-empty"), false),
-        };
+        let hit = self.lookup(period_target);
         BiCriteriaResult {
-            mapping: point.mapping.clone(),
-            period: point.period,
-            latency: point.latency,
-            feasible,
+            mapping: self.traj.mapping(hit.index),
+            period: hit.period,
+            latency: hit.latency,
+            feasible: hit.feasible,
         }
     }
 }
@@ -388,13 +419,20 @@ impl PreparedInstance {
     /// Homogeneous platforms, the §7 trajectory otherwise). Useful inside
     /// worker shards, where eager evaluation is what parallelizes.
     pub fn prepare(&self) -> &Self {
+        self.prepare_in(&mut SolveWorkspace::new())
+    }
+
+    /// [`Self::prepare`] reusing a caller-owned workspace: the batch form
+    /// — one workspace per worker shard amortizes all solver scratch
+    /// across the items the shard prepares.
+    pub fn prepare_in(&self, ws: &mut SolveWorkspace) -> &Self {
         if self.comm_homogeneous {
-            self.trajectory(HeuristicKind::SpMonoP);
-            self.trajectory(HeuristicKind::ThreeExploMono);
-            self.trajectory(HeuristicKind::ThreeExploBi);
-            self.sp_bi_p_floor();
+            self.trajectory_in(HeuristicKind::SpMonoP, ws);
+            self.trajectory_in(HeuristicKind::ThreeExploMono, ws);
+            self.trajectory_in(HeuristicKind::ThreeExploBi, ws);
+            self.sp_bi_p_floor_in(ws);
         } else {
-            self.trajectory(HeuristicKind::HeteroSplit);
+            self.trajectory_in(HeuristicKind::HeteroSplit, ws);
         }
         self
     }
@@ -404,24 +442,46 @@ impl PreparedInstance {
     /// bound-dependent H4/H5/H6 and for paper heuristics on fully
     /// heterogeneous platforms).
     pub fn trajectory(&self, kind: HeuristicKind) -> Option<&CachedTrajectory> {
+        self.trajectory_in(kind, &mut SolveWorkspace::new())
+    }
+
+    /// [`Self::trajectory`] reusing a caller-owned workspace for the
+    /// recording run (a cache hit never touches the workspace).
+    pub fn trajectory_in(
+        &self,
+        kind: HeuristicKind,
+        ws: &mut SolveWorkspace,
+    ) -> Option<&CachedTrajectory> {
         if !kind.applicable_to(&self.platform) {
             return None;
         }
-        let record = |tk| CachedTrajectory::new(fixed_period_trajectory(&self.cost_model(), tk));
         match kind {
-            HeuristicKind::SpMonoP => {
-                Some(self.h1.get_or_init(|| record(TrajectoryKind::SplitMono)))
-            }
-            HeuristicKind::ThreeExploMono => {
-                Some(self.h2a.get_or_init(|| record(TrajectoryKind::ExploMono)))
-            }
-            HeuristicKind::ThreeExploBi => {
-                Some(self.h2b.get_or_init(|| record(TrajectoryKind::ExploBi)))
-            }
+            HeuristicKind::SpMonoP => Some(self.h1.get_or_init(|| {
+                CachedTrajectory::new(fixed_period_trajectory_in(
+                    &self.cost_model(),
+                    TrajectoryKind::SplitMono,
+                    ws,
+                ))
+            })),
+            HeuristicKind::ThreeExploMono => Some(self.h2a.get_or_init(|| {
+                CachedTrajectory::new(fixed_period_trajectory_in(
+                    &self.cost_model(),
+                    TrajectoryKind::ExploMono,
+                    ws,
+                ))
+            })),
+            HeuristicKind::ThreeExploBi => Some(self.h2b.get_or_init(|| {
+                CachedTrajectory::new(fixed_period_trajectory_in(
+                    &self.cost_model(),
+                    TrajectoryKind::ExploBi,
+                    ws,
+                ))
+            })),
             HeuristicKind::HeteroSplit => Some(self.het.get_or_init(|| {
-                CachedTrajectory::new(hetero::hetero_trajectory(
+                CachedTrajectory::new(hetero::hetero_trajectory_in(
                     &self.cost_model(),
                     hetero::HeteroSplitOptions::default(),
+                    ws,
                 ))
             })),
             HeuristicKind::SpBiP | HeuristicKind::SpMonoL | HeuristicKind::SpBiL => None,
@@ -432,13 +492,18 @@ impl PreparedInstance {
     /// bottoms out at). `None` on fully heterogeneous platforms, where H4
     /// does not apply.
     pub fn sp_bi_p_floor(&self) -> Option<f64> {
-        self.comm_homogeneous
-            .then(|| self.sp_bi_p_run_floor().period)
+        self.sp_bi_p_floor_in(&mut SolveWorkspace::new())
     }
 
-    fn sp_bi_p_run_floor(&self) -> &BiCriteriaResult {
+    /// [`Self::sp_bi_p_floor`] reusing a caller-owned workspace.
+    pub fn sp_bi_p_floor_in(&self, ws: &mut SolveWorkspace) -> Option<f64> {
+        self.comm_homogeneous
+            .then(|| self.sp_bi_p_run_floor(ws).period)
+    }
+
+    fn sp_bi_p_run_floor(&self, ws: &mut SolveWorkspace) -> &BiCriteriaResult {
         self.sp_bi_p_floor_run
-            .get_or_init(|| sp_bi_p(&self.cost_model(), 0.0, SpBiPOptions::default()))
+            .get_or_init(|| sp_bi_p_in(&self.cost_model(), 0.0, SpBiPOptions::default(), ws))
     }
 
     /// The tightest period any of this platform class's period-fixed
@@ -446,6 +511,11 @@ impl PreparedInstance {
     /// period-bound queries (H1/H2a/H2b/H4 on Communication Homogeneous
     /// platforms, the §7 extension otherwise).
     pub fn best_period_floor(&self) -> f64 {
+        self.best_period_floor_in(&mut SolveWorkspace::new())
+    }
+
+    /// [`Self::best_period_floor`] reusing a caller-owned workspace.
+    pub fn best_period_floor_in(&self, ws: &mut SolveWorkspace) -> f64 {
         let kinds: &[HeuristicKind] = if self.comm_homogeneous {
             &[
                 HeuristicKind::SpMonoP,
@@ -455,11 +525,16 @@ impl PreparedInstance {
         } else {
             &[HeuristicKind::HeteroSplit]
         };
-        kinds
-            .iter()
-            .filter_map(|&k| self.trajectory(k).map(CachedTrajectory::min_period))
-            .chain(self.sp_bi_p_floor())
-            .fold(f64::INFINITY, f64::min)
+        let mut floor = f64::INFINITY;
+        for &k in kinds {
+            if let Some(traj) = self.trajectory_in(k, ws) {
+                floor = floor.min(traj.min_period());
+            }
+        }
+        if let Some(f) = self.sp_bi_p_floor_in(ws) {
+            floor = floor.min(f);
+        }
+        floor
     }
 
     /// Whether the exhaustive enumerator can run on this instance at all.
@@ -482,10 +557,18 @@ impl PreparedInstance {
     /// The memoized exact minimum period and its mapping. Structured
     /// errors when the enumerator cannot run here.
     pub fn exact_min_period(&self) -> Result<&(f64, IntervalMapping), SolveError> {
+        self.exact_min_period_in(&mut SolveWorkspace::new())
+    }
+
+    /// [`Self::exact_min_period`] reusing a caller-owned workspace.
+    pub fn exact_min_period_in(
+        &self,
+        ws: &mut SolveWorkspace,
+    ) -> Result<&(f64, IntervalMapping), SolveError> {
         self.exact_guard()?;
         Ok(self
             .exact_min_period
-            .get_or_init(|| exact::exact_min_period(&self.cost_model())))
+            .get_or_init(|| exact::exact_min_period_in(&self.cost_model(), ws)))
     }
 
     /// The memoized exact Pareto front. Structured errors when the
@@ -496,16 +579,37 @@ impl PreparedInstance {
     /// [`Objective::ParetoFront`] — which need the whole front anyway —
     /// pay for it.
     pub fn exact_front(&self) -> Result<&ParetoFront<IntervalMapping>, SolveError> {
+        self.exact_front_in(&mut SolveWorkspace::new())
+    }
+
+    /// [`Self::exact_front`] reusing a caller-owned workspace.
+    pub fn exact_front_in(
+        &self,
+        ws: &mut SolveWorkspace,
+    ) -> Result<&ParetoFront<IntervalMapping>, SolveError> {
         self.exact_guard()?;
         Ok(self
             .exact_front
-            .get_or_init(|| exact::exact_pareto_front(&self.cost_model())))
+            .get_or_init(|| exact::exact_pareto_front_in(&self.cost_model(), ws)))
     }
 
     /// Answers one request. Re-queries against the same instance are
     /// answered from the memoized trajectories/front and are bit-identical
     /// to a fresh one-shot solve.
     pub fn solve(&self, request: &SolveRequest) -> Result<SolveReport, SolveError> {
+        self.solve_in(request, &mut SolveWorkspace::new())
+    }
+
+    /// [`Self::solve`] reusing a caller-owned [`SolveWorkspace`] — the
+    /// batch entry point (`pipeline_experiments::service::solve_batch`
+    /// threads one workspace per worker shard through here). Bit-identical
+    /// to [`Self::solve`]: the workspace recycles buffer capacity, never
+    /// values.
+    pub fn solve_in(
+        &self,
+        request: &SolveRequest,
+        ws: &mut SolveWorkspace,
+    ) -> Result<SolveReport, SolveError> {
         // NaN compares false against everything: without this guard a NaN
         // bound would fall through every feasibility check and come back
         // "feasible".
@@ -524,14 +628,18 @@ impl PreparedInstance {
             s => s,
         };
         match strategy {
-            Strategy::Exact => self.solve_exact(request.objective),
-            Strategy::Heuristic(kind) => self.solve_heuristic(kind, request),
-            Strategy::BestOfAll => self.solve_best_of_all(request),
+            Strategy::Exact => self.solve_exact(request.objective, ws),
+            Strategy::Heuristic(kind) => self.solve_heuristic(kind, request, ws),
+            Strategy::BestOfAll => self.solve_best_of_all(request, ws),
             Strategy::Auto => unreachable!("resolved above"),
         }
     }
 
-    fn solve_exact(&self, objective: Objective) -> Result<SolveReport, SolveError> {
+    fn solve_exact(
+        &self,
+        objective: Objective,
+        ws: &mut SolveWorkspace,
+    ) -> Result<SolveReport, SolveError> {
         let report = |mapping: IntervalMapping, period: f64, latency: f64| SolveReport {
             solver: SolverId::Exact,
             result: BiCriteriaResult {
@@ -551,20 +659,20 @@ impl PreparedInstance {
                 Ok(report(mapping, period, latency))
             }
             Objective::MinPeriod => {
-                let (p_opt, mapping) = self.exact_min_period()?;
+                let (p_opt, mapping) = self.exact_min_period_in(ws)?;
                 let latency = self.cost_model().latency(mapping);
                 Ok(report(mapping.clone(), *p_opt, latency))
             }
             Objective::MinLatencyForPeriod(bound) => {
                 self.exact_guard()?;
-                match exact::exact_min_latency_for_period(&self.cost_model(), bound) {
+                match exact::exact_min_latency_for_period_in(&self.cost_model(), bound, ws) {
                     Some((latency, mapping)) => {
                         let period = self.cost_model().period(&mapping);
                         Ok(report(mapping, period, latency))
                     }
                     None => Err(SolveError::BoundBelowFloor {
                         bound,
-                        floor: self.exact_min_period()?.0,
+                        floor: self.exact_min_period_in(ws)?.0,
                     }),
                 }
             }
@@ -573,31 +681,31 @@ impl PreparedInstance {
                 // anyway, so this query routes through the memoized one.
                 // Latencies strictly decrease with period: the suffix
                 // within the bound starts at the minimum-period qualifier.
-                let front = self.exact_front()?;
-                let i = front
-                    .points()
-                    .partition_point(|q| !approx_le(q.latency, bound));
-                match front.points().get(i) {
-                    Some(pt) => Ok(report(pt.payload.clone(), pt.period, pt.latency)),
-                    None => Err(SolveError::BoundBelowFloor {
+                let front = self.exact_front_in(ws)?;
+                let i = front.latencies().partition_point(|&l| !approx_le(l, bound));
+                if i < front.len() {
+                    let (period, latency, payload) = front.point(i);
+                    Ok(report(payload.clone(), period, latency))
+                } else {
+                    Err(SolveError::BoundBelowFloor {
                         bound,
                         floor: self.l_opt,
-                    }),
+                    })
                 }
             }
             Objective::ParetoFront => {
-                let front = self.exact_front()?;
+                let front = self.exact_front_in(ws)?;
                 let mut out: ParetoFront<SolverId> = ParetoFront::new();
-                for pt in front.points() {
-                    out.offer(pt.period, pt.latency, SolverId::Exact);
+                for (period, latency, _) in front.iter() {
+                    out.offer(period, latency, SolverId::Exact);
                 }
-                let best = front.points().first().expect("non-empty");
+                let (period, latency, payload) = front.first().expect("non-empty");
                 Ok(SolveReport {
                     solver: SolverId::Exact,
                     result: BiCriteriaResult {
-                        mapping: best.payload.clone(),
-                        period: best.period,
-                        latency: best.latency,
+                        mapping: payload.clone(),
+                        period,
+                        latency,
                         feasible: true,
                     },
                     front: Some(out),
@@ -614,6 +722,7 @@ impl PreparedInstance {
         &self,
         kind: HeuristicKind,
         request: &SolveRequest,
+        ws: &mut SolveWorkspace,
     ) -> Result<SolveReport, SolveError> {
         let solver = SolverId::Heuristic(kind);
         if !kind.applicable_to(&self.platform) {
@@ -635,7 +744,7 @@ impl PreparedInstance {
                 if !kind.is_period_fixed() {
                     return not_expressible();
                 }
-                let result = match self.trajectory(kind) {
+                let result = match self.trajectory_in(kind, ws) {
                     Some(traj) => {
                         let r = traj.result_for_period(bound);
                         if !r.feasible {
@@ -649,11 +758,11 @@ impl PreparedInstance {
                     None => {
                         // H4: the binary search consults its bound, so it
                         // is re-run per query at the request's tolerance.
-                        let r = self.run_sp_bi_p(bound, request.tolerance);
+                        let r = self.run_sp_bi_p(bound, request.tolerance, ws);
                         if !r.feasible {
                             return Err(SolveError::BoundBelowFloor {
                                 bound,
-                                floor: self.run_sp_bi_p(0.0, request.tolerance).period,
+                                floor: self.run_sp_bi_p(0.0, request.tolerance, ws).period,
                             });
                         }
                         r
@@ -667,8 +776,8 @@ impl PreparedInstance {
                 }
                 let cm = self.cost_model();
                 let r = match kind {
-                    HeuristicKind::SpMonoL => sp_mono_l(&cm, bound),
-                    HeuristicKind::SpBiL => sp_bi_l(&cm, bound),
+                    HeuristicKind::SpMonoL => sp_mono_l_in(&cm, bound, ws),
+                    HeuristicKind::SpBiL => sp_bi_l_in(&cm, bound, ws),
                     _ => unreachable!("latency-fixed kinds are H5/H6"),
                 };
                 if !r.feasible {
@@ -686,14 +795,14 @@ impl PreparedInstance {
                 // impossible target, latency-fixed ones with an unbounded
                 // budget. "Feasible" means "produced a mapping", which
                 // all do.
-                let mut r = match self.trajectory(kind) {
+                let mut r = match self.trajectory_in(kind, ws) {
                     Some(traj) => traj.result_for_period(0.0),
                     None => {
                         let cm = self.cost_model();
                         match kind {
-                            HeuristicKind::SpBiP => self.run_sp_bi_p(0.0, request.tolerance),
-                            HeuristicKind::SpMonoL => sp_mono_l(&cm, f64::INFINITY),
-                            HeuristicKind::SpBiL => sp_bi_l(&cm, f64::INFINITY),
+                            HeuristicKind::SpBiP => self.run_sp_bi_p(0.0, request.tolerance, ws),
+                            HeuristicKind::SpMonoL => sp_mono_l_in(&cm, f64::INFINITY, ws),
+                            HeuristicKind::SpBiL => sp_bi_l_in(&cm, f64::INFINITY, ws),
                             _ => unreachable!("trajectory kinds handled above"),
                         }
                     }
@@ -707,41 +816,41 @@ impl PreparedInstance {
                 if !kind.is_period_fixed() {
                     return not_expressible();
                 }
-                let result = match self.trajectory(kind) {
+                let result = match self.trajectory_in(kind, ws) {
                     Some(traj) => traj.result_for_period(f64::INFINITY),
-                    None => self.run_sp_bi_p(f64::INFINITY, request.tolerance),
+                    None => self.run_sp_bi_p(f64::INFINITY, request.tolerance, ws),
                 };
                 Ok(report(result))
             }
-            Objective::ParetoFront => match self.trajectory(kind) {
-                Some(traj) => {
-                    let mut front: ParetoFront<(SolverId, IntervalMapping)> = ParetoFront::new();
-                    for p in &traj.trajectory().points {
-                        front.offer(p.period, p.latency, (solver, p.mapping.clone()));
-                    }
-                    Ok(front_report(front))
+            Objective::ParetoFront => {
+                if self.trajectory_in(kind, ws).is_none() {
+                    // H4/H5/H6 consult their bound while splitting — they
+                    // have no bound-independent front to materialize.
+                    return not_expressible();
                 }
-                // H4/H5/H6 consult their bound while splitting — they
-                // have no bound-independent front to materialize.
-                None => not_expressible(),
-            },
+                self.trajectory_front([kind].into_iter(), ws)
+            }
         }
     }
 
-    fn run_sp_bi_p(&self, bound: f64, tolerance: f64) -> BiCriteriaResult {
+    fn run_sp_bi_p(&self, bound: f64, tolerance: f64, ws: &mut SolveWorkspace) -> BiCriteriaResult {
         if bound == 0.0 && tolerance == SpBiPOptions::default().rel_tolerance {
-            return self.sp_bi_p_run_floor().clone();
+            return self.sp_bi_p_run_floor(ws).clone();
         }
         let opts = SpBiPOptions {
             rel_tolerance: tolerance,
             ..SpBiPOptions::default()
         };
-        sp_bi_p(&self.cost_model(), bound, opts)
+        sp_bi_p_in(&self.cost_model(), bound, opts, ws)
     }
 
-    fn solve_best_of_all(&self, request: &SolveRequest) -> Result<SolveReport, SolveError> {
+    fn solve_best_of_all(
+        &self,
+        request: &SolveRequest,
+        ws: &mut SolveWorkspace,
+    ) -> Result<SolveReport, SolveError> {
         if request.objective == Objective::ParetoFront {
-            return self.best_of_all_front();
+            return self.best_of_all_front(ws);
         }
         let mut best: Option<(SolverId, BiCriteriaResult)> = None;
         let mut floor_seen: Option<f64> = None;
@@ -754,7 +863,7 @@ impl PreparedInstance {
                 strategy: Strategy::Heuristic(kind),
                 ..*request
             };
-            let result = match self.solve_heuristic(kind, &sub) {
+            let result = match self.solve_heuristic(kind, &sub, ws) {
                 Ok(report) => report.result,
                 Err(SolveError::BoundBelowFloor { bound, floor }) => {
                     bound_seen = bound;
@@ -796,29 +905,58 @@ impl PreparedInstance {
     /// The union of every memoized bound-independent trajectory,
     /// Pareto-filtered. Trajectories are offered in `ALL` order so ties
     /// keep the earliest heuristic, matching the best-of-all tie break.
-    fn best_of_all_front(&self) -> Result<SolveReport, SolveError> {
-        let mut front: ParetoFront<(SolverId, IntervalMapping)> = ParetoFront::new();
+    fn best_of_all_front(&self, ws: &mut SolveWorkspace) -> Result<SolveReport, SolveError> {
+        self.trajectory_front(
+            HeuristicKind::ALL
+                .into_iter()
+                .chain([HeuristicKind::HeteroSplit]),
+            ws,
+        )
+    }
+
+    /// Builds a Pareto front over the memoized trajectories of `kinds`.
+    /// The front is filtered on coordinates only — payloads are
+    /// `(heuristic, point index)` references into the trajectory arenas,
+    /// so no mapping is cloned per offered point; only the winning
+    /// representative is materialized. Identical selection and tie-breaks
+    /// to offering owned mapping payloads.
+    fn trajectory_front(
+        &self,
+        kinds: impl Iterator<Item = HeuristicKind>,
+        ws: &mut SolveWorkspace,
+    ) -> Result<SolveReport, SolveError> {
+        let mut front: ParetoFront<(HeuristicKind, usize)> = ParetoFront::new();
         let mut any = false;
-        for kind in HeuristicKind::ALL
-            .into_iter()
-            .chain([HeuristicKind::HeteroSplit])
-        {
-            let Some(traj) = self.trajectory(kind) else {
+        for kind in kinds {
+            let Some(traj) = self.trajectory_in(kind, ws) else {
                 continue;
             };
             any = true;
-            for p in &traj.trajectory().points {
-                front.offer(
-                    p.period,
-                    p.latency,
-                    (SolverId::Heuristic(kind), p.mapping.clone()),
-                );
+            let traj = traj.trajectory();
+            for (i, (&period, &latency)) in traj.periods().iter().zip(traj.latencies()).enumerate()
+            {
+                front.offer(period, latency, (kind, i));
             }
         }
         if !any {
             return Err(SolveError::NoApplicableSolver);
         }
-        Ok(front_report(front))
+        let (period, latency, &(kind, index)) = front.first().expect("non-empty front");
+        let mapping = self
+            .trajectory_in(kind, ws)
+            .expect("winning trajectory exists")
+            .trajectory()
+            .mapping(index);
+        Ok(SolveReport {
+            solver: SolverId::Heuristic(kind),
+            result: BiCriteriaResult {
+                mapping,
+                period,
+                latency,
+                feasible: true,
+            },
+            front: Some(front.map_payloads(|(kind, _)| SolverId::Heuristic(kind))),
+        })
     }
 }
 
@@ -884,10 +1022,11 @@ impl SolveReport {
             latency: self.result.latency,
             feasible: self.result.feasible,
             mapping: encode_mapping(&self.result.mapping),
-            front: self
-                .front
-                .as_ref()
-                .map(|f| f.points().iter().map(|p| (p.period, p.latency)).collect()),
+            front: self.front.as_ref().map(|f| {
+                f.iter()
+                    .map(|(period, latency, _)| (period, latency))
+                    .collect()
+            }),
         })
     }
 }
@@ -920,24 +1059,6 @@ impl SolveError {
     }
 }
 
-/// Packages an owned front into a report: the report's `result` is the
-/// minimum-period point, the report's front keeps per-point provenance.
-fn front_report(front: ParetoFront<(SolverId, IntervalMapping)>) -> SolveReport {
-    let best = front.points().first().expect("non-empty front");
-    let (solver, mapping) = best.payload.clone();
-    let result = BiCriteriaResult {
-        mapping,
-        period: best.period,
-        latency: best.latency,
-        feasible: true,
-    };
-    SolveReport {
-        solver,
-        result,
-        front: Some(front.map_payloads(|(solver, _)| solver)),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -967,7 +1088,8 @@ mod tests {
     fn cached_trajectory_queries_match_the_linear_scan() {
         let (app, pf) = instance(15, 10);
         let cm = CostModel::new(&app, &pf);
-        let traj: Trajectory = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
+        let traj: Trajectory =
+            fixed_period_trajectory_in(&cm, TrajectoryKind::SplitMono, &mut SolveWorkspace::new());
         let cached = CachedTrajectory::new(traj.clone());
         let p0 = cm.single_proc_period();
         let mut targets = vec![f64::INFINITY, 0.0, cached.min_period()];
@@ -975,13 +1097,19 @@ mod tests {
             targets.push(p0 * (1.05 - 0.02 * i as f64));
         }
         // Exact trajectory periods too: the EPS tie behaviour must match.
-        targets.extend(traj.points.iter().map(|pt| pt.period));
+        targets.extend_from_slice(traj.periods());
         for target in targets {
             assert_eq!(
                 bits(&cached.result_for_period(target)),
                 bits(&traj.result_for_period(target)),
                 "target {target}"
             );
+            // The coordinate-only lookup resolves to the same point.
+            let hit = cached.lookup(target);
+            let reference = traj.result_for_period(target);
+            assert_eq!(hit.period.to_bits(), reference.period.to_bits());
+            assert_eq!(hit.latency.to_bits(), reference.latency.to_bits());
+            assert_eq!(hit.feasible, reference.feasible);
         }
     }
 
@@ -1145,15 +1273,15 @@ mod tests {
         let front = report.front.expect("front query materializes the front");
         let reference = exact::exact_pareto_front(&session.cost_model());
         assert_eq!(front.len(), reference.len());
-        for (got, want) in front.points().iter().zip(reference.points()) {
-            assert_eq!(got.period.to_bits(), want.period.to_bits());
-            assert_eq!(got.latency.to_bits(), want.latency.to_bits());
-            assert_eq!(got.payload, SolverId::Exact);
+        for (got, want) in front.iter().zip(reference.iter()) {
+            assert_eq!(got.0.to_bits(), want.0.to_bits());
+            assert_eq!(got.1.to_bits(), want.1.to_bits());
+            assert_eq!(*got.2, SolverId::Exact);
         }
         // The representative result is the min-period endpoint.
         assert_eq!(
             report.result.period.to_bits(),
-            reference.points()[0].period.to_bits()
+            reference.periods()[0].to_bits()
         );
     }
 
@@ -1170,12 +1298,11 @@ mod tests {
                 .expect("trajectory-backed front");
             let front = report.front.expect("front present");
             assert!(!front.is_empty());
-            for w in front.points().windows(2) {
-                assert!(w[0].period < w[1].period, "{strategy:?}: not sorted");
-                assert!(
-                    w[0].latency > w[1].latency,
-                    "{strategy:?}: dominated point survived"
-                );
+            for w in front.periods().windows(2) {
+                assert!(w[0] < w[1], "{strategy:?}: not sorted");
+            }
+            for w in front.latencies().windows(2) {
+                assert!(w[0] > w[1], "{strategy:?}: dominated point survived");
             }
         }
     }

@@ -8,6 +8,7 @@
 
 use crate::engine::{BiPeriodPolicy, BudgetedPolicy, MonoPeriodPolicy, SplitEngine};
 use crate::state::{BiCriteriaResult, SplitMemo};
+use crate::workspace::SolveWorkspace;
 use pipeline_model::prelude::*;
 
 /// H1 — *Splitting mono-criterion, fixed period*.
@@ -25,6 +26,21 @@ pub fn sp_mono_p(cm: &CostModel<'_>, period_target: f64) -> BiCriteriaResult {
     )
 }
 
+/// [`sp_mono_p`] reusing workspace buffers (bit-identical result).
+pub fn sp_mono_p_in(
+    cm: &CostModel<'_>,
+    period_target: f64,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
+    SplitEngine::run_in(
+        &mut MonoPeriodPolicy {
+            target: period_target,
+        },
+        cm,
+        ws,
+    )
+}
+
 /// H4 — *Splitting mono-criterion, fixed latency*.
 ///
 /// Starts from the latency-optimal mapping and keeps splitting the
@@ -36,6 +52,15 @@ pub fn sp_mono_l(cm: &CostModel<'_>, latency_target: f64) -> BiCriteriaResult {
     SplitEngine::run(&mut BudgetedPolicy::mono(latency_target), cm)
 }
 
+/// [`sp_mono_l`] reusing workspace buffers (bit-identical result).
+pub fn sp_mono_l_in(
+    cm: &CostModel<'_>,
+    latency_target: f64,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
+    SplitEngine::run_in(&mut BudgetedPolicy::mono(latency_target), cm, ws)
+}
+
 /// H5 — *Splitting bi-criteria, fixed latency*.
 ///
 /// Like [`sp_mono_l`] but each step picks the split minimizing
@@ -43,6 +68,15 @@ pub fn sp_mono_l(cm: &CostModel<'_>, latency_target: f64) -> BiCriteriaResult {
 /// budget.
 pub fn sp_bi_l(cm: &CostModel<'_>, latency_target: f64) -> BiCriteriaResult {
     SplitEngine::run(&mut BudgetedPolicy::bi(latency_target), cm)
+}
+
+/// [`sp_bi_l`] reusing workspace buffers (bit-identical result).
+pub fn sp_bi_l_in(
+    cm: &CostModel<'_>,
+    latency_target: f64,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
+    SplitEngine::run_in(&mut BudgetedPolicy::bi(latency_target), cm, ws)
 }
 
 /// Knobs of [`sp_bi_p`].
@@ -84,10 +118,35 @@ impl Default for SpBiPOptions {
 /// same split prefix until their budgets diverge, and the memoized
 /// selections turn those replayed steps into cache hits.
 pub fn sp_bi_p(cm: &CostModel<'_>, period_target: f64, opts: SpBiPOptions) -> BiCriteriaResult {
-    let mut memo = SplitMemo::new();
+    sp_bi_p_in(cm, period_target, opts, &mut SolveWorkspace::new())
+}
+
+/// [`sp_bi_p`] reusing workspace buffers: the ~30 probe runs of the
+/// binary search share the workspace's split buffers *and* its selection
+/// memo (reset at entry, so reuse across instances is safe).
+/// Bit-identical to the fresh-memo run.
+pub fn sp_bi_p_in(
+    cm: &CostModel<'_>,
+    period_target: f64,
+    opts: SpBiPOptions,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
+    let mut memo = ws.take_memo();
+    let result = sp_bi_p_with_memo(cm, period_target, opts, &mut memo, ws);
+    ws.restore_memo(memo);
+    result
+}
+
+fn sp_bi_p_with_memo(
+    cm: &CostModel<'_>,
+    period_target: f64,
+    opts: SpBiPOptions,
+    memo: &mut SplitMemo,
+    ws: &mut SolveWorkspace,
+) -> BiCriteriaResult {
     // Run to exhaustion without latency budget to learn feasibility and
     // an upper bound on the needed latency.
-    let unconstrained = run_bi_to_period(cm, period_target, None, opts, &mut memo);
+    let unconstrained = run_bi_to_period(cm, period_target, None, opts, memo, ws);
     if !unconstrained.feasible {
         return unconstrained;
     }
@@ -98,7 +157,7 @@ pub fn sp_bi_p(cm: &CostModel<'_>, period_target: f64, opts: SpBiPOptions) -> Bi
 
     // The lower end may already be feasible (period target satisfied by
     // the initial mapping).
-    let at_lo = run_bi_to_period(cm, period_target, Some(lo), opts, &mut memo);
+    let at_lo = run_bi_to_period(cm, period_target, Some(lo), opts, memo, ws);
     if at_lo.feasible {
         return at_lo;
     }
@@ -107,7 +166,7 @@ pub fn sp_bi_p(cm: &CostModel<'_>, period_target: f64, opts: SpBiPOptions) -> Bi
             break;
         }
         let mid = 0.5 * (lo + hi);
-        let probe = run_bi_to_period(cm, period_target, Some(mid), opts, &mut memo);
+        let probe = run_bi_to_period(cm, period_target, Some(mid), opts, memo, ws);
         if probe.feasible {
             // Tighten using the latency actually achieved, which may be
             // well below the authorization.
@@ -128,8 +187,9 @@ fn run_bi_to_period(
     latency_budget: Option<f64>,
     opts: SpBiPOptions,
     memo: &mut SplitMemo,
+    ws: &mut SolveWorkspace,
 ) -> BiCriteriaResult {
-    SplitEngine::run(
+    SplitEngine::run_in(
         &mut BiPeriodPolicy {
             target: period_target,
             budget: latency_budget,
@@ -137,6 +197,7 @@ fn run_bi_to_period(
             memo,
         },
         cm,
+        ws,
     )
 }
 

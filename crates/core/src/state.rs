@@ -38,7 +38,7 @@ use pipeline_model::prelude::*;
 use pipeline_model::util::{approx_le, definitely_lt};
 use std::cell::OnceCell;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 /// Outcome of a heuristic run.
 #[derive(Debug, Clone)]
@@ -125,7 +125,7 @@ impl Split3 {
 /// finite and non-negative, so `total_cmp` agrees with the `>` scan the
 /// pre-incremental kernel used.
 #[derive(Debug, Clone, Copy)]
-struct CycleKey(f64);
+pub(crate) struct CycleKey(f64);
 
 impl PartialEq for CycleKey {
     fn eq(&self, other: &Self) -> bool {
@@ -206,6 +206,31 @@ impl SplitMemo {
             ),
         }
     }
+
+    /// Empties the memo and unbinds it from its instance, keeping the
+    /// hash-map capacity — how [`crate::workspace::SolveWorkspace`] reuses
+    /// one memo across the items of a batch without reallocating its
+    /// tables per solve.
+    pub fn reset(&mut self) {
+        self.over_i.clear();
+        self.over_j.clear();
+        self.fingerprint = None;
+    }
+}
+
+/// The recyclable heap storage of a [`SplitState`]: the processor order,
+/// the entry list, the ordered bottleneck index and the three-way-split
+/// cost cache. [`SplitState::new_in`] adopts a set of buffers (clearing
+/// them, keeping their capacity) and [`SplitState::into_buffers`] returns
+/// them, so a warm buffer set makes every subsequent solve on similarly
+/// sized instances allocation-free — the core of the zero-allocation
+/// steady-state solve loop.
+#[derive(Debug, Clone, Default)]
+pub struct SplitBuffers {
+    order: Vec<ProcId>,
+    entries: Vec<Entry>,
+    by_cycle: Vec<(CycleKey, Reverse<usize>)>,
+    split3_c: Vec<[IntervalCost; 3]>,
 }
 
 /// Hash of the full instance profile — every work, communication volume,
@@ -237,26 +262,52 @@ pub struct SplitState<'a> {
     next_unused: usize,
     entries: Vec<Entry>,
     latency: f64,
-    /// Ordered `(cycle, leftmost-first)` index over the entries: the max
-    /// element is the bottleneck of the paper ("the used processor with
-    /// the largest period", ties to the leftmost interval). Interval
-    /// start positions are unique and stable, so they double as entry
-    /// identities.
-    by_cycle: BTreeSet<(CycleKey, Reverse<usize>)>,
+    /// Ordered `(cycle, leftmost-first)` index over the entries, kept as
+    /// a sorted vector: the last element is the bottleneck of the paper
+    /// ("the used processor with the largest period", ties to the
+    /// leftmost interval). Interval start positions are unique and
+    /// stable, so they double as entry identities. A sorted vector beats
+    /// the previous `BTreeSet` here: at `m ≤ p` entries the binary-search
+    /// insert/remove is as fast as tree rebalancing, and — decisively for
+    /// the zero-allocation loop — its storage is recycled through
+    /// [`SplitBuffers`] instead of allocating tree nodes per split.
+    by_cycle: Vec<(CycleKey, Reverse<usize>)>,
+    /// Cached costs of the third piece of three-way splits, hoisted out
+    /// of the (cut1, cut2) enumeration (see [`Self::for_each_split3`]).
+    split3_c: Vec<[IntervalCost; 3]>,
     /// Hash of the instance profile, for [`SplitMemo`] binding — only
     /// the memoized selectors pay for it, lazily on first use.
     instance_fp: OnceCell<u64>,
 }
 
 impl<'a> SplitState<'a> {
-    /// Starts from the Lemma-1 mapping. Panics on non-Communication
-    /// Homogeneous platforms (use [`crate::hetero`] for those).
+    /// Starts from the Lemma-1 mapping with fresh buffers. Panics on
+    /// non-Communication Homogeneous platforms (use [`crate::hetero`] for
+    /// those).
     pub fn new(cm: &CostModel<'a>) -> Self {
+        SplitState::new_in(cm, SplitBuffers::default())
+    }
+
+    /// Starts from the Lemma-1 mapping, adopting `buffers` (cleared, the
+    /// capacity kept) so a recycled buffer set makes construction and the
+    /// whole split loop allocation-free. Return the buffers with
+    /// [`Self::into_buffers`] when done.
+    pub fn new_in(cm: &CostModel<'a>, buffers: SplitBuffers) -> Self {
         assert!(
             cm.platform().is_comm_homogeneous(),
             "SplitState requires a Communication Homogeneous platform"
         );
-        let order = cm.platform().procs_by_speed_desc().to_vec();
+        let SplitBuffers {
+            mut order,
+            mut entries,
+            mut by_cycle,
+            mut split3_c,
+        } = buffers;
+        order.clear();
+        order.extend_from_slice(cm.platform().procs_by_speed_desc());
+        entries.clear();
+        by_cycle.clear();
+        split3_c.clear();
         let app = cm.app();
         let proc = order[0];
         let cost = cm.interval_cost(Interval::new(0, app.n_stages()), proc, None, None);
@@ -269,17 +320,46 @@ impl<'a> SplitState<'a> {
         };
         let latency =
             first.lat_term + app.delta(app.n_stages()) / cm.platform().io_bandwidth_of(proc);
-        let mut by_cycle = BTreeSet::new();
-        by_cycle.insert((CycleKey(first.cycle), Reverse(first.start)));
+        by_cycle.push((CycleKey(first.cycle), Reverse(first.start)));
+        entries.push(first);
         SplitState {
             cm: *cm,
             order,
             next_unused: 1,
-            entries: vec![first],
+            entries,
             latency,
             by_cycle,
+            split3_c,
             instance_fp: OnceCell::new(),
         }
+    }
+
+    /// Releases the heap buffers for reuse by a later [`Self::new_in`].
+    pub fn into_buffers(self) -> SplitBuffers {
+        SplitBuffers {
+            order: self.order,
+            entries: self.entries,
+            by_cycle: self.by_cycle,
+            split3_c: self.split3_c,
+        }
+    }
+
+    /// Inserts a key into the ordered bottleneck index (keys are unique:
+    /// entry starts are distinct).
+    #[inline]
+    fn index_insert(&mut self, key: (CycleKey, Reverse<usize>)) {
+        let pos = self.by_cycle.partition_point(|k| k < &key);
+        self.by_cycle.insert(pos, key);
+    }
+
+    /// Removes a key from the ordered bottleneck index.
+    #[inline]
+    fn index_remove(&mut self, key: (CycleKey, Reverse<usize>)) {
+        let pos = self
+            .by_cycle
+            .binary_search(&key)
+            .expect("index key present");
+        self.by_cycle.remove(pos);
     }
 
     /// The bound cost model.
@@ -326,7 +406,7 @@ impl<'a> SplitState<'a> {
         self.order.get(self.next_unused + offset).copied()
     }
 
-    /// Current period: the largest entry cycle time. O(log m) from the
+    /// Current period: the largest entry cycle time. O(1) from the
     /// ordered index.
     pub fn period(&self) -> f64 {
         let &(CycleKey(cycle), _) = self.by_cycle.last().expect("at least one entry");
@@ -423,11 +503,9 @@ impl<'a> SplitState<'a> {
         };
         let left = self.make_entry(e.start, split.cut, left_proc);
         let right = self.make_entry(split.cut, e.end, right_proc);
-        self.by_cycle.remove(&(CycleKey(e.cycle), Reverse(e.start)));
-        self.by_cycle
-            .insert((CycleKey(left.cycle), Reverse(left.start)));
-        self.by_cycle
-            .insert((CycleKey(right.cycle), Reverse(right.start)));
+        self.index_remove((CycleKey(e.cycle), Reverse(e.start)));
+        self.index_insert((CycleKey(left.cycle), Reverse(left.start)));
+        self.index_insert((CycleKey(right.cycle), Reverse(right.start)));
         self.latency = split.new_latency;
         self.entries[j] = left;
         self.entries.insert(j + 1, right);
@@ -603,7 +681,16 @@ impl<'a> SplitState<'a> {
 
     /// Delta-evaluates every three-way split of entry `j` using the next
     /// two unused processors, in deterministic order.
-    fn for_each_split3(&self, j: usize, mut visit: impl FnMut(Split3)) {
+    ///
+    /// The enumeration is O(len²) cut pairs; the naive form recomputes
+    /// nine piece costs per pair. Here the first piece's costs are hoisted
+    /// out of the `cut2` loop and the third piece's costs are precomputed
+    /// once per call (into the recycled `split3_c` buffer — hence
+    /// `&mut self`), leaving one fresh piece per pair. Every cost is the
+    /// same [`CostModel::interval_cost`] value the naive form produced
+    /// and the latency sum keeps its association order, so results are
+    /// bit-identical — only redundant recomputation is gone.
+    fn for_each_split3(&mut self, j: usize, mut visit: impl FnMut(Split3)) {
         let e = self.entries[j];
         let (Some(p1), Some(p2)) = (self.peek_unused(0), self.peek_unused(1)) else {
             return;
@@ -622,12 +709,22 @@ impl<'a> SplitState<'a> {
             [2, 1, 0],
         ];
         let base_latency = self.latency - e.lat_term;
+        let cm = self.cm;
+        let pc =
+            |s: usize, t: usize, u: ProcId| cm.interval_cost(Interval::new(s, t), u, None, None);
+        // Third-piece costs for every cut2, computed once per call.
+        let c_costs = &mut self.split3_c;
+        c_costs.clear();
+        c_costs.extend((e.start + 2..e.end).map(|cut2| pool.map(|u| pc(cut2, e.end, u))));
         for cut1 in e.start + 1..e.end - 1 {
+            // First-piece costs, hoisted out of the cut2 loop.
+            let a_costs = pool.map(|u| pc(e.start, cut1, u));
             for cut2 in cut1 + 1..e.end {
-                // Nine piece costs cover all six permutations.
-                let pieces = [(e.start, cut1), (cut1, cut2), (cut2, e.end)];
-                let costs: [[IntervalCost; 3]; 3] =
-                    pieces.map(|(s, t)| pool.map(|u| self.piece_cost(s, t, u)));
+                let costs: [[IntervalCost; 3]; 3] = [
+                    a_costs,
+                    pool.map(|u| pc(cut1, cut2, u)),
+                    c_costs[cut2 - (e.start + 2)],
+                ];
                 for perm in PERMS {
                     let procs = [pool[perm[0]], pool[perm[1]], pool[perm[2]]];
                     let parts = [costs[0][perm[0]], costs[1][perm[1]], costs[2][perm[2]]];
@@ -652,7 +749,7 @@ impl<'a> SplitState<'a> {
     /// unused processors: all cut pairs, all `3!` part→processor
     /// permutations over `{j, j', j''}`. Empty when the entry has fewer
     /// than three stages or fewer than two processors remain.
-    pub fn candidate_splits3(&self, j: usize) -> Vec<Split3> {
+    pub fn candidate_splits3(&mut self, j: usize) -> Vec<Split3> {
         let e = self.entries[j];
         let len = e.end - e.start;
         let mut out = Vec::with_capacity(if len < 3 {
@@ -686,12 +783,11 @@ impl<'a> SplitState<'a> {
             (split.cut1, split.cut2, split.procs[1]),
             (split.cut2, e.end, split.procs[2]),
         ];
-        self.by_cycle.remove(&(CycleKey(e.cycle), Reverse(e.start)));
+        self.index_remove((CycleKey(e.cycle), Reverse(e.start)));
         self.latency = split.new_latency;
         let parts = parts.map(|(start, end, proc)| self.make_entry(start, end, proc));
         for part in &parts {
-            self.by_cycle
-                .insert((CycleKey(part.cycle), Reverse(part.start)));
+            self.index_insert((CycleKey(part.cycle), Reverse(part.start)));
         }
         self.entries.splice(j..=j, parts);
         debug_assert!(
@@ -703,7 +799,7 @@ impl<'a> SplitState<'a> {
     /// Mono-criterion selection among three-way splits (H2a): minimize the
     /// max of the three cycle times, requiring strict improvement over
     /// entry `j`'s current cycle.
-    pub fn best_split3_mono(&self, j: usize) -> Option<Split3> {
+    pub fn best_split3_mono(&mut self, j: usize) -> Option<Split3> {
         let old = self.entries[j].cycle;
         let mut best: Option<Split3> = None;
         self.for_each_split3(j, |s| {
@@ -729,7 +825,7 @@ impl<'a> SplitState<'a> {
     /// `max_{i∈{j,j',j''}} Δlatency/Δperiod(i)` =
     /// `Δlatency / min_i Δperiod(i)`, requiring every piece to improve on
     /// entry `j`'s current cycle.
-    pub fn best_split3_bi(&self, j: usize) -> Option<Split3> {
+    pub fn best_split3_bi(&mut self, j: usize) -> Option<Split3> {
         let old = self.entries[j].cycle;
         let current_latency = self.latency;
         let ratio = |s: &Split3| {

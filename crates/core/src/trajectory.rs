@@ -12,12 +12,26 @@
 //! computation into O(run + grid). H3/H4/H5 do consult their constraint
 //! while choosing splits, so they are re-run per target.
 //!
+//! # Arena storage
+//!
+//! A trajectory used to be a `Vec` of points each owning a full
+//! [`IntervalMapping`] clone — O(splits × n) heap traffic per recording,
+//! and another mapping clone per bound query. It is now four flat
+//! vectors: the period and latency of every point, plus one shared `u32`
+//! arena holding each point's `(interval end, processor)` pairs behind an
+//! offset table. Recording a point is three amortized pushes; bound
+//! queries that only need coordinates ([`Trajectory::query`]) allocate
+//! nothing; a mapping is materialized (and validated-by-construction via
+//! [`IntervalMapping::from_validated_parts`]) only when a caller actually
+//! asks for one.
+//!
 //! Recording itself is the engine's job
 //! ([`crate::engine::SplitEngine::trajectory`]); this module holds the
 //! trajectory types and the policy dispatch.
 
 use crate::engine::{ExplorePolicy, MonoPeriodPolicy, SplitEngine};
 use crate::state::BiCriteriaResult;
+use crate::workspace::SolveWorkspace;
 use pipeline_model::prelude::*;
 use pipeline_model::util::approx_le;
 
@@ -32,78 +46,225 @@ pub enum TrajectoryKind {
     ExploBi,
 }
 
-/// One state along a trajectory.
-#[derive(Debug, Clone)]
-pub struct TrajectoryPoint {
-    /// Period after this many splits.
-    pub period: f64,
-    /// Latency after this many splits.
-    pub latency: f64,
-    /// The mapping snapshot.
-    pub mapping: IntervalMapping,
+/// The full split path of a heuristic, from the Lemma-1 mapping to
+/// exhaustion, in arena storage (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// Period after `i` splits.
+    periods: Vec<f64>,
+    /// Latency after `i` splits.
+    latencies: Vec<f64>,
+    /// `arena[offsets[i] as usize..offsets[i + 1] as usize]` holds point
+    /// `i`'s mapping; `offsets.len() == len + 1` once non-empty.
+    offsets: Vec<u32>,
+    /// Flattened `(interval end, processor)` pairs of every snapshot.
+    arena: Vec<u32>,
 }
 
-/// The full split path of a heuristic, from the Lemma-1 mapping to
-/// exhaustion.
-#[derive(Debug, Clone)]
-pub struct Trajectory {
-    /// Points in split order; `points[0]` is the initial mapping.
-    pub points: Vec<TrajectoryPoint>,
+/// A view of one trajectory point.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryPoint<'t> {
+    traj: &'t Trajectory,
+    index: usize,
+}
+
+impl TrajectoryPoint<'_> {
+    /// Period after this many splits.
+    #[inline]
+    pub fn period(&self) -> f64 {
+        self.traj.periods[self.index]
+    }
+
+    /// Latency after this many splits.
+    #[inline]
+    pub fn latency(&self) -> f64 {
+        self.traj.latencies[self.index]
+    }
+
+    /// Number of intervals of the snapshot.
+    #[inline]
+    pub fn n_intervals(&self) -> usize {
+        self.traj.n_intervals(self.index)
+    }
+
+    /// Materializes the snapshot as an owned mapping.
+    pub fn mapping(&self) -> IntervalMapping {
+        self.traj.mapping(self.index)
+    }
 }
 
 impl Trajectory {
+    /// An empty trajectory, ready for recording.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Number of recorded points (`0` only before recording started; a
+    /// recorded trajectory always contains at least the Lemma-1 point).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// True before the first point is recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// The period coordinates, in split order.
+    #[inline]
+    pub fn periods(&self) -> &[f64] {
+        &self.periods
+    }
+
+    /// The latency coordinates, in split order.
+    #[inline]
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Period of point `i`.
+    #[inline]
+    pub fn period(&self, i: usize) -> f64 {
+        self.periods[i]
+    }
+
+    /// Latency of point `i`.
+    #[inline]
+    pub fn latency(&self, i: usize) -> f64 {
+        self.latencies[i]
+    }
+
+    /// A view of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> TrajectoryPoint<'_> {
+        assert!(i < self.len(), "trajectory point {i} out of range");
+        TrajectoryPoint {
+            traj: self,
+            index: i,
+        }
+    }
+
+    /// Views of every point, in split order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = TrajectoryPoint<'_>> {
+        (0..self.len()).map(|index| TrajectoryPoint { traj: self, index })
+    }
+
+    /// Appends one snapshot: its coordinates plus the mapping as
+    /// `(interval end, processor)` pairs in left-to-right order (interval
+    /// starts are implicit — the previous end, `0` for the first). The
+    /// recorder vouches the pairs come from a valid mapping.
+    pub fn push_point(
+        &mut self,
+        period: f64,
+        latency: f64,
+        assignments: impl Iterator<Item = (usize, ProcId)>,
+    ) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.periods.push(period);
+        self.latencies.push(latency);
+        for (end, proc) in assignments {
+            self.arena.push(u32::try_from(end).expect("stage fits u32"));
+            self.arena
+                .push(u32::try_from(proc).expect("processor fits u32"));
+        }
+        self.offsets
+            .push(u32::try_from(self.arena.len()).expect("arena fits u32"));
+    }
+
+    /// Number of intervals of point `i`'s snapshot.
+    #[inline]
+    pub fn n_intervals(&self, i: usize) -> usize {
+        ((self.offsets[i + 1] - self.offsets[i]) / 2) as usize
+    }
+
+    /// Materializes point `i`'s snapshot as an owned mapping.
+    pub fn mapping(&self, i: usize) -> IntervalMapping {
+        let pairs = &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+        let mut intervals = Vec::with_capacity(pairs.len() / 2);
+        let mut procs = Vec::with_capacity(pairs.len() / 2);
+        let mut start = 0usize;
+        for pair in pairs.chunks_exact(2) {
+            let end = pair[0] as usize;
+            intervals.push(Interval::new(start, end));
+            procs.push(pair[1] as usize);
+            start = end;
+        }
+        IntervalMapping::from_validated_parts(intervals, procs)
+    }
+
     /// The smallest period the heuristic can reach on this instance — its
     /// per-instance *failure threshold* (the heuristic fails for every
     /// target below this; Table 1 averages these over instances).
     pub fn min_period(&self) -> f64 {
-        self.points.last().expect("non-empty").period
+        *self.periods.last().expect("non-empty")
+    }
+
+    /// Answers a period target without materializing anything: the index
+    /// of the first point satisfying the target and `true`, or the last
+    /// index and `false` when the target is below the floor. Exactly the
+    /// linear scan [`Self::result_for_period`] resolves through.
+    pub fn query(&self, period_target: f64) -> (usize, bool) {
+        for (i, &p) in self.periods.iter().enumerate() {
+            if approx_le(p, period_target) {
+                return (i, true);
+            }
+        }
+        (self.len() - 1, false)
     }
 
     /// Result for a period target: the heuristic stops at the first point
     /// satisfying the target.
     pub fn result_for_period(&self, period_target: f64) -> BiCriteriaResult {
-        for p in &self.points {
-            if approx_le(p.period, period_target) {
-                return BiCriteriaResult {
-                    mapping: p.mapping.clone(),
-                    period: p.period,
-                    latency: p.latency,
-                    feasible: true,
-                };
-            }
-        }
-        let last = self.points.last().expect("non-empty");
+        let (i, feasible) = self.query(period_target);
         BiCriteriaResult {
-            mapping: last.mapping.clone(),
-            period: last.period,
-            latency: last.latency,
-            feasible: false,
+            mapping: self.mapping(i),
+            period: self.periods[i],
+            latency: self.latencies[i],
+            feasible,
         }
     }
 }
 
-/// Records the trajectory of one fixed-period heuristic on one instance.
+/// Records the trajectory of one fixed-period heuristic on one instance
+/// (fresh scratch buffers; prefer [`fixed_period_trajectory_in`] in
+/// batch loops).
 pub fn fixed_period_trajectory(cm: &CostModel<'_>, kind: TrajectoryKind) -> Trajectory {
+    fixed_period_trajectory_in(cm, kind, &mut SolveWorkspace::new())
+}
+
+/// Records the trajectory of one fixed-period heuristic on one instance,
+/// reusing the workspace's solve buffers.
+pub fn fixed_period_trajectory_in(
+    cm: &CostModel<'_>,
+    kind: TrajectoryKind,
+    ws: &mut SolveWorkspace,
+) -> Trajectory {
     // The engine ignores the policies' stop targets while recording, so
     // any target value works here; 0.0 makes the intent ("run to
     // exhaustion") explicit.
     match kind {
         TrajectoryKind::SplitMono => {
-            SplitEngine::trajectory(&mut MonoPeriodPolicy { target: 0.0 }, cm)
+            SplitEngine::trajectory_in(&mut MonoPeriodPolicy { target: 0.0 }, cm, ws)
         }
-        TrajectoryKind::ExploMono => SplitEngine::trajectory(
+        TrajectoryKind::ExploMono => SplitEngine::trajectory_in(
             &mut ExplorePolicy {
                 target: 0.0,
                 bi: false,
             },
             cm,
+            ws,
         ),
-        TrajectoryKind::ExploBi => SplitEngine::trajectory(
+        TrajectoryKind::ExploBi => SplitEngine::trajectory_in(
             &mut ExplorePolicy {
                 target: 0.0,
                 bi: true,
             },
             cm,
+            ws,
         ),
     }
 }
@@ -179,13 +340,13 @@ mod tests {
             TrajectoryKind::ExploBi,
         ] {
             let traj = fixed_period_trajectory(&cm, kind);
-            for w in traj.points.windows(2) {
+            for w in traj.periods().windows(2) {
                 assert!(
-                    w[1].period <= w[0].period + EPS,
+                    w[1] <= w[0] + EPS,
                     "{kind:?}: period increased along the trajectory"
                 );
             }
-            assert!((traj.min_period() - traj.points.last().unwrap().period).abs() < 1e-12);
+            assert!((traj.min_period() - traj.periods().last().unwrap()).abs() < 1e-12);
         }
     }
 
@@ -194,8 +355,8 @@ mod tests {
         let (app, pf) = cm_fixture(8);
         let cm = CostModel::new(&app, &pf);
         let traj = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
-        assert_eq!(traj.points[0].mapping.n_intervals(), 1);
-        assert!((traj.points[0].latency - cm.optimal_latency()).abs() < 1e-12);
+        assert_eq!(traj.point(0).n_intervals(), 1);
+        assert!((traj.point(0).latency() - cm.optimal_latency()).abs() < 1e-12);
     }
 
     #[test]
@@ -217,10 +378,52 @@ mod tests {
         let (app, pf) = cm_fixture(10);
         let cm = CostModel::new(&app, &pf);
         let traj = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono);
-        for pt in &traj.points {
-            let res = traj.result_for_period(pt.period);
-            assert!(res.feasible, "exact boundary target {} failed", pt.period);
-            assert!(res.period <= pt.period + EPS);
+        for pt in traj.iter() {
+            let res = traj.result_for_period(pt.period());
+            assert!(res.feasible, "exact boundary target {} failed", pt.period());
+            assert!(res.period <= pt.period() + EPS);
+        }
+    }
+
+    #[test]
+    fn arena_points_round_trip_through_mappings() {
+        // Materialized mappings must agree with the recorded coordinates
+        // under a fresh cost-model evaluation.
+        let (app, pf) = cm_fixture(11);
+        let cm = CostModel::new(&app, &pf);
+        let traj = fixed_period_trajectory(&cm, TrajectoryKind::ExploBi);
+        assert!(!traj.is_empty());
+        for pt in traj.iter() {
+            let mapping = pt.mapping();
+            assert_eq!(mapping.n_intervals(), pt.n_intervals());
+            let (p, l) = cm.evaluate(&mapping);
+            assert!((p - pt.period()).abs() < 1e-9);
+            assert!((l - pt.latency()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workspace_recording_is_identical_to_fresh_recording() {
+        let (app, pf) = cm_fixture(12);
+        let cm = CostModel::new(&app, &pf);
+        let mut ws = SolveWorkspace::new();
+        for kind in [
+            TrajectoryKind::SplitMono,
+            TrajectoryKind::ExploMono,
+            TrajectoryKind::ExploBi,
+        ] {
+            let fresh = fixed_period_trajectory(&cm, kind);
+            // Twice through the same workspace: warm buffers must not
+            // change anything.
+            for _ in 0..2 {
+                let reused = fixed_period_trajectory_in(&cm, kind, &mut ws);
+                assert_eq!(reused.len(), fresh.len(), "{kind:?}");
+                for (a, b) in reused.iter().zip(fresh.iter()) {
+                    assert_eq!(a.period().to_bits(), b.period().to_bits());
+                    assert_eq!(a.latency().to_bits(), b.latency().to_bits());
+                    assert_eq!(a.mapping(), b.mapping());
+                }
+            }
         }
     }
 }

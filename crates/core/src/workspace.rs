@@ -1,0 +1,154 @@
+//! [`SolveWorkspace`]: one bundle of reusable scratch for the whole
+//! solve path.
+//!
+//! Every solver in this crate needs per-solve heap state — the
+//! [`SplitState`](crate::state::SplitState) entry list and bottleneck
+//! index, the [`SplitMemo`] tables of H3's binary search, the candidate
+//! buffers of the heterogeneous extension, the exact solver's assignment
+//! matrices and Hungarian scratch. Allocating those per solve is
+//! invisible for one query and dominant for the paper's experimental
+//! campaign (thousands of heuristic solves per scenario family). A
+//! `SolveWorkspace` owns all of it: thread one workspace through a batch
+//! (`PreparedInstance::solve_in`, `solve_batch`, the sweep shards — one
+//! workspace per worker shard) and the steady-state split loop of the
+//! comm-homogeneous kernel performs **zero heap allocations** once the
+//! buffers are warm (pinned by `tests/alloc_regression.rs`). The §7
+//! heterogeneous extension keeps its candidate loop allocation-free but
+//! still materializes one mapping per accepted split.
+//!
+//! Results are identical with or without a workspace — buffers only
+//! recycle capacity, never values — so every `*_in` entry point is
+//! bit-identical to its allocating counterpart (pinned by
+//! `tests/kernel_identity.rs`).
+
+use crate::state::{SplitBuffers, SplitMemo};
+use pipeline_assign::{CostMatrix, HungarianScratch};
+use pipeline_model::prelude::*;
+
+/// Reusable scratch of the exact branch-and-bound solvers: assignment
+/// matrices, Hungarian buffers and the per-leaf threshold sweep state of
+/// the Pareto-front search.
+#[derive(Debug, Clone, Default)]
+pub struct ExactScratch {
+    /// Cycle-time / latency cost matrices, refilled per leaf.
+    pub(crate) matrix: CostMatrix,
+    /// Shortest-augmenting-path buffers of [`pipeline_assign::hungarian_in`].
+    pub(crate) hungarian: HungarianScratch,
+    /// Distinct cycle values of one partition (period thresholds).
+    pub(crate) thresholds: Vec<f64>,
+    /// Allowed-pair mask of the current threshold.
+    pub(crate) allowed: Vec<bool>,
+    /// Allowed-pair mask of the previous threshold (memoized sub-solve).
+    pub(crate) last_allowed: Vec<bool>,
+}
+
+impl ExactScratch {
+    fn new() -> Self {
+        ExactScratch {
+            matrix: CostMatrix::empty(),
+            ..ExactScratch::default()
+        }
+    }
+}
+
+/// Reusable scratch of the heterogeneous splitting extension
+/// ([`crate::hetero`]): the evolving interval/processor vectors plus the
+/// candidate-evaluation buffers.
+#[derive(Debug, Clone, Default)]
+pub struct HeteroScratch {
+    pub(crate) order: Vec<ProcId>,
+    pub(crate) used: Vec<bool>,
+    pub(crate) intervals: Vec<Interval>,
+    pub(crate) procs: Vec<ProcId>,
+    pub(crate) candidates: Vec<ProcId>,
+    pub(crate) cand_intervals: Vec<Interval>,
+    pub(crate) cand_procs: Vec<ProcId>,
+}
+
+/// All per-solve scratch, recycled across solves (see the module docs).
+///
+/// Construction is free (every buffer starts empty); buffers grow to the
+/// high-water mark of the solves they serve and stay there. A workspace
+/// is deliberately `!Sync`-agnostic plain data — for parallel batches,
+/// give each worker shard its own (`sharded_map_items_with` in
+/// `pipeline-experiments` does exactly that).
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    /// Buffers of the comm-homogeneous split kernel.
+    pub(crate) split: SplitBuffers,
+    /// Best-cut selection memo (H3's probe runs); reset per solve.
+    pub(crate) memo: SplitMemo,
+    /// Buffers of the §7 heterogeneous extension.
+    pub(crate) hetero: HeteroScratch,
+    /// Buffers of the exact branch-and-bound solvers.
+    pub(crate) exact: ExactScratch,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace. Buffers materialize on first use.
+    pub fn new() -> Self {
+        SolveWorkspace {
+            exact: ExactScratch::new(),
+            ..SolveWorkspace::default()
+        }
+    }
+
+    /// Takes the split buffers out (leaving empty ones); pair with
+    /// [`Self::restore_split`].
+    pub(crate) fn take_split(&mut self) -> SplitBuffers {
+        std::mem::take(&mut self.split)
+    }
+
+    /// Returns recycled split buffers to the workspace.
+    pub(crate) fn restore_split(&mut self, buffers: SplitBuffers) {
+        self.split = buffers;
+    }
+
+    /// Takes the selection memo out, emptied and unbound (capacity
+    /// kept); pair with [`Self::restore_memo`].
+    pub(crate) fn take_memo(&mut self) -> SplitMemo {
+        let mut memo = std::mem::take(&mut self.memo);
+        memo.reset();
+        memo
+    }
+
+    /// Returns the selection memo to the workspace.
+    pub(crate) fn restore_memo(&mut self, memo: SplitMemo) {
+        self.memo = memo;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MonoPeriodPolicy, SplitEngine};
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_solves() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, 14, 8));
+        let mut ws = SolveWorkspace::new();
+        // Different instances through one workspace, interleaved with
+        // fresh-workspace reference solves.
+        for seed in 0..4 {
+            let (app, pf) = gen.instance(seed, 0);
+            let cm = CostModel::new(&app, &pf);
+            let target = 0.6 * cm.single_proc_period();
+            let fresh = SplitEngine::run(&mut MonoPeriodPolicy { target }, &cm);
+            let reused = SplitEngine::run_in(&mut MonoPeriodPolicy { target }, &cm, &mut ws);
+            assert_eq!(fresh.feasible, reused.feasible, "seed {seed}");
+            assert_eq!(fresh.period.to_bits(), reused.period.to_bits());
+            assert_eq!(fresh.latency.to_bits(), reused.latency.to_bits());
+            assert_eq!(fresh.mapping, reused.mapping);
+        }
+    }
+
+    #[test]
+    fn take_and_restore_round_trip() {
+        let mut ws = SolveWorkspace::new();
+        let bufs = ws.take_split();
+        ws.restore_split(bufs);
+        let memo = ws.take_memo();
+        ws.restore_memo(memo);
+    }
+}

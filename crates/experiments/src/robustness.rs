@@ -11,8 +11,8 @@
 //! more eggs in each basket; mappings with slack under the bottleneck
 //! absorb slowdowns for free — the study quantifies both effects.
 
-use crate::shard::{sharded_map_items, ShardOptions};
-use pipeline_core::HeuristicKind;
+use crate::shard::{sharded_map_items_with, ShardOptions};
+use pipeline_core::{HeuristicKind, SolveWorkspace};
 use pipeline_model::generator::{InstanceGenerator, InstanceParams};
 use pipeline_model::prelude::*;
 use pipeline_model::util::mean;
@@ -43,6 +43,11 @@ impl RobustnessRow {
 
 /// Re-evaluates `mapping` with processor `victim` slowed to
 /// `gamma × speed`. Returns the new period.
+///
+/// Builds the degraded platform explicitly — fine for one-off queries;
+/// the study's inner loop uses [`degraded_period_inline`], which computes
+/// the same value (same expressions, same fold order) without cloning
+/// the platform or the mapping per victim.
 pub fn degraded_period(
     app: &Application,
     platform: &Platform,
@@ -74,6 +79,41 @@ pub fn degraded_period(
     CostModel::new(app, &degraded).period(&remapped)
 }
 
+/// [`degraded_period`] without the platform/mapping rebuild: the period
+/// of `mapping` when `victim` runs at `gamma × speed`, computed directly
+/// from the nominal cost model. Each interval's cycle time keeps the
+/// nominal transfer terms (bandwidths are untouched by a speed
+/// degradation) and rescales only the victim's computation time — the
+/// same arithmetic `degraded_period` performs after its clones, so both
+/// return identical values (asserted by tests).
+pub fn degraded_period_inline(
+    cm: &CostModel<'_>,
+    mapping: &IntervalMapping,
+    victim: ProcId,
+    gamma: f64,
+) -> f64 {
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+    let m = mapping.n_intervals();
+    let mut period = f64::NEG_INFINITY;
+    for j in 0..m {
+        let iv = mapping.intervals()[j];
+        let u = mapping.proc_of(j);
+        let pred = (j > 0).then(|| mapping.proc_of(j - 1));
+        let succ = (j + 1 < m).then(|| mapping.proc_of(j + 1));
+        let nominal = cm.interval_cost(iv, u, pred, succ);
+        let t_comp = if u == victim {
+            // Work / (speed × gamma), associated exactly as the rebuilt
+            // platform computes it: speed' = speed × gamma first.
+            let speed = cm.platform().speed(u) * gamma;
+            cm.app().interval_work(iv.start, iv.end) / speed
+        } else {
+            nominal.t_comp
+        };
+        period = period.max(nominal.t_in + t_comp + nominal.t_out);
+    }
+    period
+}
+
 /// Runs the robustness study for every heuristic on one family.
 pub fn robustness_study(
     params: InstanceParams,
@@ -85,32 +125,39 @@ pub fn robustness_study(
 ) -> Vec<RobustnessRow> {
     let gen = InstanceGenerator::new(params);
     let opts = ShardOptions::with_threads(threads);
-    let per_instance = sharded_map_items(gen.batch(seed, n_instances), opts, |(app, pf)| {
-        let cm = CostModel::new(&app, &pf);
-        let p0 = cm.single_proc_period();
-        let l0 = cm.optimal_latency();
-        let mut rows = Vec::with_capacity(6);
-        for kind in HeuristicKind::ALL {
-            let target = if kind.is_period_fixed() {
-                target_factor * p0
-            } else {
-                2.0 * l0
-            };
-            let res = kind.run(&cm, target);
-            if !res.feasible {
-                rows.push(None);
-                continue;
+    // One workspace per worker shard; degraded periods are computed
+    // inline (no per-victim platform/mapping clones).
+    let per_instance = sharded_map_items_with(
+        gen.batch(seed, n_instances),
+        opts,
+        SolveWorkspace::new,
+        |ws, (app, pf)| {
+            let cm = CostModel::new(&app, &pf);
+            let p0 = cm.single_proc_period();
+            let l0 = cm.optimal_latency();
+            let mut rows = Vec::with_capacity(6);
+            for kind in HeuristicKind::ALL {
+                let target = if kind.is_period_fixed() {
+                    target_factor * p0
+                } else {
+                    2.0 * l0
+                };
+                let res = kind.run_in(&cm, target, ws);
+                if !res.feasible {
+                    rows.push(None);
+                    continue;
+                }
+                let worst = res
+                    .mapping
+                    .procs()
+                    .iter()
+                    .map(|&u| degraded_period_inline(&cm, &res.mapping, u, gamma))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                rows.push(Some((res.period, worst, res.mapping.n_intervals() as f64)));
             }
-            let worst = res
-                .mapping
-                .procs()
-                .iter()
-                .map(|&u| degraded_period(&app, &pf, &res.mapping, u, gamma))
-                .fold(f64::NEG_INFINITY, f64::max);
-            rows.push(Some((res.period, worst, res.mapping.n_intervals() as f64)));
-        }
-        rows
-    });
+            rows
+        },
+    );
 
     HeuristicKind::ALL
         .into_iter()
@@ -186,6 +233,27 @@ mod tests {
         // gamma = 1: no change at all.
         let same = degraded_period(&app, &pf, &res.mapping, res.mapping.proc_of(0), 1.0);
         assert!((same - res.period).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inline_degradation_matches_the_rebuilding_form_bitwise() {
+        for seed in 0..4 {
+            let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E3, 9, 7));
+            let (app, pf) = gen.instance(seed, 0);
+            let cm = CostModel::new(&app, &pf);
+            let res = pipeline_core::sp_mono_p(&cm, 0.7 * cm.single_proc_period());
+            for &u in res.mapping.procs() {
+                for gamma in [0.3, 0.7, 1.0] {
+                    let rebuilt = degraded_period(&app, &pf, &res.mapping, u, gamma);
+                    let inline = degraded_period_inline(&cm, &res.mapping, u, gamma);
+                    assert_eq!(
+                        rebuilt.to_bits(),
+                        inline.to_bits(),
+                        "seed {seed}, victim {u}, gamma {gamma}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

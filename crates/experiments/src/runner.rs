@@ -17,9 +17,9 @@
 //! sharded work-queue engine of [`crate::shard`] directly
 //! ([`crate::shard::sharded_map_items`] is the drop-in replacement).
 
-use pipeline_core::service::PreparedInstance;
+use pipeline_core::service::{CachedTrajectory, PreparedInstance};
 use pipeline_core::trajectory::Trajectory;
-use pipeline_core::HeuristicKind;
+use pipeline_core::{HeuristicKind, SolveWorkspace};
 use pipeline_model::prelude::*;
 
 /// Everything the sweeps need from one random instance, precomputed once.
@@ -31,8 +31,16 @@ impl InstanceEval {
     /// Evaluates one instance, eagerly recording the trajectories its
     /// platform class supports.
     pub fn new(app: Application, platform: Platform) -> Self {
+        InstanceEval::new_in(app, platform, &mut SolveWorkspace::new())
+    }
+
+    /// [`Self::new`] reusing a caller-owned workspace for every solver
+    /// run of the eager evaluation — the sweep shards pass one workspace
+    /// per worker, so consecutive instance evaluations recycle all solve
+    /// scratch. Bit-identical to [`Self::new`].
+    pub fn new_in(app: Application, platform: Platform, ws: &mut SolveWorkspace) -> Self {
         let prepared = PreparedInstance::new(app, platform);
-        prepared.prepare();
+        prepared.prepare_in(ws);
         InstanceEval { prepared }
     }
 
@@ -71,6 +79,13 @@ impl InstanceEval {
     /// to this instance's platform: H1/H2a/H2b on Communication
     /// Homogeneous platforms, the §7 extension otherwise.
     pub fn trajectory(&self, kind: HeuristicKind) -> Option<&Trajectory> {
+        self.cached_trajectory(kind).map(|c| c.trajectory())
+    }
+
+    /// The indexed trajectory cache of one heuristic (same class filter
+    /// as [`Self::trajectory`]): O(log) bound queries and allocation-free
+    /// coordinate lookups for the sweep grids.
+    pub fn cached_trajectory(&self, kind: HeuristicKind) -> Option<&CachedTrajectory> {
         let comm_homogeneous = self.platform().is_comm_homogeneous();
         let class_ok = match kind {
             HeuristicKind::SpMonoP
@@ -82,7 +97,7 @@ impl InstanceEval {
         if !class_ok {
             return None;
         }
-        self.prepared.trajectory(kind).map(|c| c.trajectory())
+        self.prepared.trajectory(kind)
     }
 
     /// H4 (`Sp bi P`) period floor: the period its unconstrained run

@@ -11,8 +11,9 @@
 //! trajectories, every later query — on any worker thread — hits the
 //! memoized caches.
 
-use crate::shard::{sharded_map_items, ShardOptions};
+use crate::shard::{sharded_map_items_with, ShardOptions};
 use pipeline_core::service::{PreparedInstance, SolveError, SolveReport, SolveRequest};
+use pipeline_core::SolveWorkspace;
 use std::sync::Arc;
 
 /// One unit of batched work: a query against a (shared) prepared
@@ -32,13 +33,18 @@ impl BatchJob {
     }
 }
 
-/// Answers every job, in job order, on the sharded engine. Output is
-/// bit-identical across thread counts.
+/// Answers every job, in job order, on the sharded engine. Each worker
+/// shard owns one [`SolveWorkspace`] reused across every job it claims,
+/// so the steady-state per-job cost is solving, not allocating solver
+/// scratch. Output is bit-identical across thread counts (and to
+/// workspace-free one-shot solves).
 pub fn solve_batch(
     jobs: Vec<BatchJob>,
     opts: ShardOptions,
 ) -> Vec<Result<SolveReport, SolveError>> {
-    sharded_map_items(jobs, opts, |job| job.instance.solve(&job.request))
+    sharded_map_items_with(jobs, opts, SolveWorkspace::new, |ws, job| {
+        job.instance.solve_in(&job.request, ws)
+    })
 }
 
 #[cfg(test)]

@@ -88,30 +88,44 @@ fn chunk_ranges(n: usize, chunk_size: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
-/// Runs `work` once per chunk on `threads` workers stealing chunks from a
-/// shared cursor; returns the per-chunk outputs in chunk order.
-fn run_chunks<A, F>(chunks: Vec<Range<usize>>, threads: usize, work: F) -> Vec<A>
+/// Runs `work` once per chunk on `threads` workers stealing chunks from
+/// a shared cursor; each worker owns one context built by `make_ctx`
+/// (built once per worker, reused across every chunk the worker claims —
+/// this is how per-shard [`pipeline_core::SolveWorkspace`]s amortize
+/// solver scratch across items). Returns the per-chunk outputs in chunk
+/// order.
+fn run_chunks_with<A, C, M, F>(
+    chunks: Vec<Range<usize>>,
+    threads: usize,
+    make_ctx: M,
+    work: F,
+) -> Vec<A>
 where
     A: Send,
-    F: Fn(Range<usize>) -> A + Sync,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, Range<usize>) -> A + Sync,
 {
     assert!(threads >= 1, "need at least one thread");
     let n_chunks = chunks.len();
     let threads = threads.min(n_chunks);
     if threads <= 1 {
-        return chunks.into_iter().map(work).collect();
+        let mut ctx = make_ctx();
+        return chunks.into_iter().map(|c| work(&mut ctx, c)).collect();
     }
     let slots: Vec<Mutex<Option<A>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
+            scope.spawn(|| {
+                let mut ctx = make_ctx();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let out = work(&mut ctx, chunks[c].clone());
+                    *slots[c].lock().unwrap() = Some(out);
                 }
-                let out = work(chunks[c].clone());
-                *slots[c].lock().unwrap() = Some(out);
             });
         }
     });
@@ -129,7 +143,37 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    sharded_fold(n, opts, |range| range.map(&f).collect::<Vec<R>>()).unwrap_or_default()
+    sharded_map_indices_with(n, opts, || (), |(), i| f(i))
+}
+
+/// [`sharded_map_indices`] with a per-worker context: `make_ctx` runs
+/// once per worker thread and the context is handed to every call that
+/// worker makes. Contexts must not influence results (they are reusable
+/// *scratch*) — output stays identical for every thread count.
+pub fn sharded_map_indices_with<R, C, M, F>(
+    n: usize,
+    opts: ShardOptions,
+    make_ctx: M,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    C: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    run_chunks_with(
+        chunk_ranges(n, opts.chunk_size),
+        opts.threads,
+        make_ctx,
+        |ctx, range| range.map(|i| f(ctx, i)).collect::<Vec<R>>(),
+    )
+    .into_iter()
+    .reduce(Mergeable::merge)
+    .unwrap_or_default()
 }
 
 /// Moves `items` through `f` with chunked work stealing, preserving
@@ -140,6 +184,25 @@ where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
+{
+    sharded_map_items_with(items, opts, || (), |(), item| f(item))
+}
+
+/// [`sharded_map_items`] with a per-worker context (see
+/// [`sharded_map_indices_with`]): the batch-solving entry point —
+/// `solve_batch` threads one `SolveWorkspace` per worker through here.
+pub fn sharded_map_items_with<T, R, C, M, F>(
+    items: Vec<T>,
+    opts: ShardOptions,
+    make_ctx: M,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    C: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, T) -> R + Sync,
 {
     let n = items.len();
     if n == 0 {
@@ -152,13 +215,16 @@ where
     for r in &chunks {
         buckets.push(Mutex::new(Some(items.by_ref().take(r.len()).collect())));
     }
-    let per_chunk = run_chunks(chunks, opts.threads, |range| {
+    let per_chunk = run_chunks_with(chunks, opts.threads, make_ctx, |ctx, range| {
         let chunk = buckets[range.start / opts.chunk_size]
             .lock()
             .unwrap()
             .take()
             .expect("each chunk is taken once");
-        chunk.into_iter().map(&f).collect::<Vec<R>>()
+        chunk
+            .into_iter()
+            .map(|item| f(ctx, item))
+            .collect::<Vec<R>>()
     });
     per_chunk
         .into_iter()
@@ -178,9 +244,14 @@ where
     if n == 0 {
         return None;
     }
-    run_chunks(chunk_ranges(n, opts.chunk_size), opts.threads, shard)
-        .into_iter()
-        .reduce(Mergeable::merge)
+    run_chunks_with(
+        chunk_ranges(n, opts.chunk_size),
+        opts.threads,
+        || (),
+        |(), r| shard(r),
+    )
+    .into_iter()
+    .reduce(Mergeable::merge)
 }
 
 /// Sums of the per-instance landmark statistics a sweep reports —

@@ -27,11 +27,13 @@
 //! count.
 
 use crate::runner::InstanceEval;
-use crate::shard::{sharded_fold, sharded_map_indices, sharded_map_items, ShardOptions, StatSums};
-use pipeline_core::{sp_bi_l, sp_bi_p, sp_mono_l, HeuristicKind, SpBiPOptions};
+use crate::shard::{sharded_fold, sharded_map_indices_with, ShardOptions, StatSums};
+use pipeline_core::{
+    sp_bi_l_in, sp_bi_p_in, sp_mono_l_in, HeuristicKind, SolveWorkspace, SpBiPOptions,
+};
 use pipeline_model::generator::InstanceParams;
 use pipeline_model::scenario::{ScenarioGenerator, ScenarioParams};
-use pipeline_model::util::{linspace, mean};
+use pipeline_model::util::linspace;
 
 /// One averaged grid point of one heuristic's sweep.
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +113,12 @@ pub struct FamilyResult {
     /// Homogeneous families, the single
     /// [`HeuristicKind::HeteroSplit`] curve otherwise.
     pub series: Vec<HeuristicSeries>,
+    /// Solvers the sweep did **not** run because
+    /// [`HeuristicKind::applicable_to`] rejects them on this family's
+    /// platform class (the paper's six on fully heterogeneous
+    /// platforms). Recorded so a 1-curve family summary is
+    /// self-explanatory instead of silently thinner than a 6-curve one.
+    pub skipped: Vec<HeuristicKind>,
     /// The family's landmarks.
     pub stats: FamilyStats,
     /// The period grid used for the period-fixed heuristics.
@@ -161,10 +169,15 @@ pub fn run_scenario(
     assert!(n_instances > 0 && n_grid >= 2);
     let gen = ScenarioGenerator::new(*params);
     let opts = ShardOptions::with_threads(threads);
-    let evals: Vec<InstanceEval> = sharded_map_indices(n_instances, opts, |i| {
-        let (app, pf) = gen.instance(seed, i as u64);
-        InstanceEval::new(app, pf)
-    });
+    // One SolveWorkspace per worker shard: every instance evaluation in
+    // a shard reuses the same solver scratch (trajectory recording, H4's
+    // ~30 probe runs), so the steady-state per-item cost is compute, not
+    // allocation.
+    let evals: Vec<InstanceEval> =
+        sharded_map_indices_with(n_instances, opts, SolveWorkspace::new, |ws, i| {
+            let (app, pf) = gen.instance(seed, i as u64);
+            InstanceEval::new_in(app, pf, ws)
+        });
 
     // Landmark means via the engine's mergeable accumulator (chunk-order
     // merge keeps the floating-point sums reproducible).
@@ -191,13 +204,21 @@ pub fn run_scenario(
     // target (H3). Parallelism is over instances already exploited
     // above; the sweep itself is cheap except H3/H5/H6, which
     // re-parallelize over instances.
-    let kinds: Vec<HeuristicKind> = if params.family().comm_homogeneous() {
-        HeuristicKind::ALL.to_vec()
+    let comm_homogeneous = params.family().comm_homogeneous();
+    let kinds: &[HeuristicKind] = if comm_homogeneous {
+        &HeuristicKind::ALL
     } else {
-        vec![HeuristicKind::HeteroSplit]
+        &[HeuristicKind::HeteroSplit]
+    };
+    // `applicable_to` rejections, recorded rather than silently dropped:
+    // hetero families run only the §7 extension.
+    let skipped: Vec<HeuristicKind> = if comm_homogeneous {
+        Vec::new()
+    } else {
+        HeuristicKind::ALL.to_vec()
     };
     let mut series = Vec::with_capacity(kinds.len());
-    for kind in kinds {
+    for &kind in kinds {
         let points = match kind {
             HeuristicKind::SpMonoP
             | HeuristicKind::ThreeExploMono
@@ -213,6 +234,7 @@ pub fn run_scenario(
 
     FamilyResult {
         series,
+        skipped,
         stats: FamilyStats {
             mean_p_init,
             mean_l_opt,
@@ -224,36 +246,53 @@ pub fn run_scenario(
     }
 }
 
-fn aggregate(target: f64, outcomes: &[(bool, f64, f64)]) -> Option<SweepPoint> {
-    let feas: Vec<&(bool, f64, f64)> = outcomes.iter().filter(|(ok, _, _)| *ok).collect();
-    if feas.is_empty() {
-        return None;
+/// Single-pass mean aggregation over per-instance `(feasible, period,
+/// latency)` outcomes. Sums accumulate in instance order — the exact
+/// association `util::mean` applied to the collected vectors, without
+/// the vectors.
+#[derive(Default)]
+struct PointAccumulator {
+    period_sum: f64,
+    latency_sum: f64,
+    n_feasible: usize,
+    n_total: usize,
+}
+
+impl PointAccumulator {
+    fn absorb(&mut self, feasible: bool, period: f64, latency: f64) {
+        self.n_total += 1;
+        if feasible {
+            self.period_sum += period;
+            self.latency_sum += latency;
+            self.n_feasible += 1;
+        }
     }
-    let periods: Vec<f64> = feas.iter().map(|(_, p, _)| *p).collect();
-    let latencies: Vec<f64> = feas.iter().map(|(_, _, l)| *l).collect();
-    Some(SweepPoint {
-        target,
-        mean_period: mean(&periods).expect("non-empty"),
-        mean_latency: mean(&latencies).expect("non-empty"),
-        n_feasible: feas.len(),
-        n_total: outcomes.len(),
-    })
+
+    fn finish(self, target: f64) -> Option<SweepPoint> {
+        (self.n_feasible > 0).then(|| SweepPoint {
+            target,
+            mean_period: self.period_sum / self.n_feasible as f64,
+            mean_latency: self.latency_sum / self.n_feasible as f64,
+            n_feasible: self.n_feasible,
+            n_total: self.n_total,
+        })
+    }
 }
 
 fn sweep_trajectory(kind: HeuristicKind, evals: &[InstanceEval], grid: &[f64]) -> Vec<SweepPoint> {
     grid.iter()
         .filter_map(|&target| {
-            let outcomes: Vec<(bool, f64, f64)> = evals
-                .iter()
-                .map(|e| {
-                    let r = e
-                        .trajectory(kind)
-                        .expect("trajectory recorded for this platform class")
-                        .result_for_period(target);
-                    (r.feasible, r.period, r.latency)
-                })
-                .collect();
-            aggregate(target, &outcomes)
+            let mut acc = PointAccumulator::default();
+            for e in evals {
+                // Coordinate-only query: no mapping is materialized for
+                // any of the grid × instance lookups.
+                let hit = e
+                    .cached_trajectory(kind)
+                    .expect("trajectory recorded for this platform class")
+                    .lookup(target);
+                acc.absorb(hit.feasible, hit.period, hit.latency);
+            }
+            acc.finish(target)
         })
         .collect()
 }
@@ -266,12 +305,16 @@ fn sweep_sp_bi_p(evals: &[InstanceEval], grid: &[f64], threads: usize) -> Vec<Sw
     grid.iter()
         .filter_map(|&target| {
             let outcomes: Vec<(bool, f64, f64)> =
-                sharded_map_items(evals.iter().collect::<Vec<_>>(), opts, |e| {
-                    let cm = e.cost_model();
-                    let r = sp_bi_p(&cm, target, SpBiPOptions::default());
+                sharded_map_indices_with(evals.len(), opts, SolveWorkspace::new, |ws, i| {
+                    let cm = evals[i].cost_model();
+                    let r = sp_bi_p_in(&cm, target, SpBiPOptions::default(), ws);
                     (r.feasible, r.period, r.latency)
                 });
-            aggregate(target, &outcomes)
+            let mut acc = PointAccumulator::default();
+            for (ok, p, l) in outcomes {
+                acc.absorb(ok, p, l);
+            }
+            acc.finish(target)
         })
         .collect()
 }
@@ -286,16 +329,20 @@ fn sweep_latency_fixed(
     grid.iter()
         .filter_map(|&target| {
             let outcomes: Vec<(bool, f64, f64)> =
-                sharded_map_items(evals.iter().collect::<Vec<_>>(), opts, |e| {
-                    let cm = e.cost_model();
+                sharded_map_indices_with(evals.len(), opts, SolveWorkspace::new, |ws, i| {
+                    let cm = evals[i].cost_model();
                     let r = match kind {
-                        HeuristicKind::SpMonoL => sp_mono_l(&cm, target),
-                        HeuristicKind::SpBiL => sp_bi_l(&cm, target),
+                        HeuristicKind::SpMonoL => sp_mono_l_in(&cm, target, ws),
+                        HeuristicKind::SpBiL => sp_bi_l_in(&cm, target, ws),
                         _ => unreachable!("not a latency-fixed heuristic"),
                     };
                     (r.feasible, r.period, r.latency)
                 });
-            aggregate(target, &outcomes)
+            let mut acc = PointAccumulator::default();
+            for (ok, p, l) in outcomes {
+                acc.absorb(ok, p, l);
+            }
+            acc.finish(target)
         })
         .collect()
 }
@@ -378,9 +425,17 @@ mod tests {
             assert_eq!(fam.stats.n_instances, 3, "{family}");
             if family.comm_homogeneous() {
                 assert_eq!(fam.series.len(), 6, "{family}");
+                assert!(fam.skipped.is_empty(), "{family}: nothing is rejected");
             } else {
                 assert_eq!(fam.series.len(), 1, "{family}");
                 assert_eq!(fam.series[0].kind, HeuristicKind::HeteroSplit);
+                // The six paper heuristics are applicable_to-rejected on
+                // fully heterogeneous platforms, and the sweep says so.
+                assert_eq!(fam.skipped, HeuristicKind::ALL.to_vec(), "{family}");
+                let platform = ScenarioGenerator::new(params).instance(11, 0).1;
+                for kind in &fam.skipped {
+                    assert!(!kind.applicable_to(&platform), "{family}: {kind}");
+                }
             }
             // Every family must produce at least one feasible point on
             // its loosest period target.

@@ -139,6 +139,24 @@ impl IntervalMapping {
         Ok(IntervalMapping { intervals, procs })
     }
 
+    /// Reassembles a mapping from parts that were *recorded from an
+    /// already-validated mapping* (the arena-backed trajectory store of
+    /// `pipeline-core` snapshots valid states and materializes them back
+    /// on demand). Skips the application/platform validation of
+    /// [`Self::new`] — the caller vouches that `intervals` is a
+    /// left-to-right partition of the stages and `procs` assigns distinct
+    /// existing processors. Debug builds still check the partition shape.
+    pub fn from_validated_parts(intervals: Vec<Interval>, procs: Vec<ProcId>) -> Self {
+        debug_assert!(!intervals.is_empty() && intervals[0].start == 0);
+        debug_assert!(intervals.windows(2).all(|w| w[0].end == w[1].start));
+        debug_assert_eq!(intervals.len(), procs.len());
+        debug_assert!(
+            (1..procs.len()).all(|j| !procs[..j].contains(&procs[j])),
+            "processor assigned twice"
+        );
+        IntervalMapping { intervals, procs }
+    }
+
     /// The latency-optimal mapping of Lemma 1: every stage on the fastest
     /// processor.
     pub fn all_on_fastest(app: &Application, platform: &Platform) -> Self {

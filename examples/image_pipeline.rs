@@ -125,7 +125,7 @@ fn main() {
 
     // The whole exact trade-off curve, for the write-up.
     println!("\nexact Pareto front (period, latency):");
-    for pt in exact::exact_pareto_front(&cm).points() {
-        println!("  {:>8.2}s {:>8.2}s  {}", pt.period, pt.latency, pt.payload);
+    for (period, latency, mapping) in exact::exact_pareto_front(&cm).iter() {
+        println!("  {period:>8.2}s {latency:>8.2}s  {mapping}");
     }
 }

@@ -52,22 +52,14 @@ fn main() {
                 front.offer(r.period, r.latency, ());
             }
         }
-        let pts: Vec<(f64, f64)> = front
-            .points()
-            .iter()
-            .map(|p| (p.period, p.latency))
-            .collect();
+        let pts: Vec<(f64, f64)> = front.iter().map(|(p, l, ())| (p, l)).collect();
         println!("{:<16} {:>2} non-dominated points", kind.label(), pts.len());
         series.push((kind.label().to_string(), pts));
     }
 
     // The exact front (exponential enumeration — fine at n = 8, p = 6).
     let exact_front = exact::exact_pareto_front(&cm);
-    let exact_pts: Vec<(f64, f64)> = exact_front
-        .points()
-        .iter()
-        .map(|p| (p.period, p.latency))
-        .collect();
+    let exact_pts: Vec<(f64, f64)> = exact_front.iter().map(|(p, l, _)| (p, l)).collect();
     println!(
         "exact            {:>2} non-dominated points",
         exact_pts.len()

@@ -11,6 +11,8 @@
 //! pwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]
 //!         [--grid G] [--threads T] [--seed S]
 //! pwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]
+//! pwsched bench-sweep [--out FILE] [--sizes N1,N2,..] [--instances K]
+//!         [--grid G] [--batch-jobs J]
 //! ```
 //!
 //! `bench-kernel` measures the solver kernel — per-family sweep
@@ -20,6 +22,14 @@
 //! perf trajectory to compare against. CI runs it in release mode with
 //! `--exact-n 16` under a timeout: a pruning regression in exact v2
 //! shows up as a timeout, not a silent slowdown.
+//!
+//! `bench-sweep` measures the sweep/batch *throughput* path the
+//! zero-allocation workspaces optimize: full-zoo sweeps at each `--sizes`
+//! entry (per-family wall time, skipped-solver counts, bound-query
+//! throughput), `solve_batch` items/sec with per-item fresh workspaces
+//! vs one reused workspace, and a peak-RSS proxy (`VmHWM` on Linux).
+//! Emits `BENCH_sweep.json` by convention; CI runs a small-`n` smoke
+//! under timeout so an allocation regression fails loudly.
 //!
 //! The instance file uses the `pipeline-instance v1` text format, and the
 //! service mode speaks the line-oriented request/report wire format —
@@ -58,7 +68,9 @@ fn usage() -> ! {
          \tpwsched solve <instance-file> --stdin\n\
          \tpwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]\n\
          \t[--grid G] [--threads T] [--seed S]\n\
-         \tpwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]"
+         \tpwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]\n\
+         \tpwsched bench-sweep [--out FILE] [--sizes N1,N2,..] [--instances K]\n\
+         \t[--grid G] [--batch-jobs J]"
     );
     std::process::exit(2);
 }
@@ -239,8 +251,8 @@ fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
             .collect()
     };
     println!(
-        "{:<14} {:>4} {:>4} {:>9} {:>9} {:>9} {:>7} {:>8}",
-        "family", "n", "p", "P_single", "L_opt", "floor", "curves", "ms"
+        "{:<14} {:>4} {:>4} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8}",
+        "family", "n", "p", "P_single", "L_opt", "floor", "curves", "skipped", "ms"
     );
     for spec in specs {
         let mut params = spec.params();
@@ -254,7 +266,7 @@ fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
         let fam = run_scenario(&params, seed, instances, grid, threads);
         let ms = t0.elapsed().as_millis();
         println!(
-            "{:<14} {:>4} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>8}",
+            "{:<14} {:>4} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>8} {:>8}",
             spec.family.label(),
             params.n_stages,
             params.n_procs,
@@ -262,8 +274,180 @@ fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
             fam.stats.mean_l_opt,
             fam.stats.mean_best_floor,
             fam.series.len(),
+            fam.skipped.len(),
             ms
         );
+        if !fam.skipped.is_empty() {
+            println!(
+                "{:<14} skipped (platform class rejects them): {}",
+                "",
+                fam.skipped
+                    .iter()
+                    .map(|k| k.table_name())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
+    }
+    std::process::exit(0);
+}
+
+/// Peak resident set size in kB (`VmHWM` from `/proc/self/status`), or
+/// `None` where procfs is unavailable — the cheap RSS proxy
+/// `bench-sweep` reports.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// `bench-sweep`: record the sweep/batch-throughput baseline as one JSON
+/// object (see the module docs).
+fn run_bench_sweep(mut args: impl Iterator<Item = String>) -> ! {
+    use pipeline_workflows::core::Objective;
+    use pipeline_workflows::experiments::{solve_batch, BatchJob, ShardOptions};
+    use pipeline_workflows::model::scenario::ScenarioGenerator;
+    use std::time::Instant;
+
+    let mut out_path: Option<String> = None;
+    let mut sizes: Vec<usize> = vec![60, 120, 240];
+    let mut instances = 10usize;
+    let mut grid = 12usize;
+    let mut batch_jobs = 200usize;
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        });
+        match flag.as_str() {
+            "--out" => out_path = Some(value),
+            "--sizes" => {
+                sizes = value
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--instances" => instances = value.parse().unwrap_or_else(|_| usage()),
+            "--grid" => grid = value.parse().unwrap_or_else(|_| usage()),
+            "--batch-jobs" => batch_jobs = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if sizes.is_empty() || sizes.iter().any(|&n| n < 4) || instances < 1 || grid < 2 {
+        eprintln!("--sizes entries must be >= 4, --instances >= 1, --grid >= 2");
+        usage();
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"sweep\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"instances\": {instances}, \"grid\": {grid}, \"threads\": 1}},\n"
+    ));
+
+    // Full-zoo sweeps at each size: per-family wall time + skipped-solver
+    // counts, and the aggregate bound-query throughput (instances ×
+    // curves × grid points answered per second).
+    json.push_str("  \"zoo\": [");
+    for (si, &n) in sizes.iter().enumerate() {
+        let p = (n / 2).max(2);
+        let mut family_json = String::new();
+        let mut queries = 0usize;
+        let t_zoo = Instant::now();
+        for (i, spec) in scenario_zoo().iter().enumerate() {
+            let mut params = spec.params();
+            params.n_stages = n;
+            params.n_procs = p;
+            let t0 = Instant::now();
+            let fam = run_scenario(&params, 2007, instances, grid, 1);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            queries += instances * fam.series.len() * grid;
+            if i > 0 {
+                family_json.push_str(", ");
+            }
+            family_json.push_str(&format!(
+                "\"{}\": {{\"ms\": {ms:.3}, \"curves\": {}, \"skipped_solvers\": {}}}",
+                spec.family.label(),
+                fam.series.len(),
+                fam.skipped.len()
+            ));
+        }
+        let total = t_zoo.elapsed().as_secs_f64();
+        if si > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "{{\"n\": {n}, \"p\": {p}, \"total_ms\": {:.3}, \
+             \"bound_queries_per_sec\": {:.0}, \"families\": {{{family_json}}}}}",
+            total * 1e3,
+            queries as f64 / total
+        ));
+    }
+    json.push_str("],\n");
+
+    // solve_batch throughput: the same job stream answered with a fresh
+    // workspace per item (the `solve()` path) vs one workspace reused
+    // across all items (`solve_batch` on one shard). Fresh prepared
+    // instances per variant keep both cold-cache.
+    {
+        // One fresh instance per job: every item pays its preparation
+        // (trajectory recording + H4 floor), which is exactly the work
+        // the reused workspace amortizes. Shared instances would answer
+        // from the session caches and hide the difference.
+        let make_jobs = || {
+            let gen = ScenarioGenerator::new(
+                pipeline_workflows::model::scenario::ScenarioFamily::E2.params(60, 30),
+            );
+            (0..batch_jobs)
+                .map(|j| {
+                    let (app, pf) = gen.instance(99, j as u64);
+                    let inst = Arc::new(PreparedInstance::new(app, pf));
+                    let bound = inst.single_proc_period()
+                        * (0.4 + 0.5 * (j as f64 / batch_jobs.max(1) as f64));
+                    BatchJob::new(
+                        inst,
+                        SolveRequest::new(Objective::MinLatencyForPeriod(bound)),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let fresh_jobs = make_jobs();
+        let t0 = Instant::now();
+        let fresh_answers: usize = fresh_jobs
+            .iter()
+            .filter(|job| job.instance.solve(&job.request).is_ok())
+            .count();
+        let fresh_secs = t0.elapsed().as_secs_f64();
+        let reused_jobs = make_jobs();
+        let t0 = Instant::now();
+        let reused_answers = solve_batch(reused_jobs, ShardOptions::with_threads(1))
+            .into_iter()
+            .filter(Result::is_ok)
+            .count();
+        let reused_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(fresh_answers, reused_answers, "variants must agree");
+        json.push_str(&format!(
+            "  \"solve_batch\": {{\"jobs\": {batch_jobs}, \"answered\": {fresh_answers}, \
+             \"fresh_workspace_items_per_sec\": {:.0}, \
+             \"reused_workspace_items_per_sec\": {:.0}}},\n",
+            batch_jobs as f64 / fresh_secs,
+            batch_jobs as f64 / reused_secs
+        ));
+    }
+
+    match peak_rss_kb() {
+        Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
+        None => json.push_str("  \"peak_rss_kb\": null\n"),
+    }
+    json.push_str("}\n");
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
     }
     std::process::exit(0);
 }
@@ -368,10 +552,7 @@ fn run_bench_kernel(mut args: impl Iterator<Item = String>) -> ! {
         let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
         let (app, pf) = gen.instance(3, 0);
         let cm = CostModel::new(&app, &pf);
-        let steps = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono)
-            .points
-            .len()
-            - 1;
+        let steps = fixed_period_trajectory(&cm, TrajectoryKind::SplitMono).len() - 1;
         let runs = 50usize;
         let t0 = Instant::now();
         for _ in 0..runs {
@@ -432,6 +613,9 @@ fn main() {
     if path == "bench-kernel" {
         run_bench_kernel(args);
     }
+    if path == "bench-sweep" {
+        run_bench_sweep(args);
+    }
     let mut objective: Option<Objective> = None;
     let mut strategy = Strategy::Auto;
     let mut simulate: Option<usize> = None;
@@ -490,13 +674,8 @@ fn main() {
     if let Some(front) = &report.front {
         println!("\nPareto front ({} points):", front.len());
         println!("{:>12} {:>12}  solver", "period", "latency");
-        for pt in front.points() {
-            println!(
-                "{:>12.4} {:>12.4}  {}",
-                pt.period,
-                pt.latency,
-                pt.payload.label()
-            );
+        for (period, latency, solver) in front.iter() {
+            println!("{period:>12.4} {latency:>12.4}  {}", solver.label());
         }
     }
     println!("\nsolver:  {}", report.solver.label());

@@ -97,9 +97,9 @@ fn lemma1_fastest_processor_is_latency_optimal() {
     // Exhaustive check over all interval mappings (n = 4, p = 3).
     let front = pipeline_workflows::core::exact::exact_pareto_front(&cm);
     let best_front_latency = front
-        .points()
+        .latencies()
         .iter()
-        .map(|p| p.latency)
+        .copied()
         .fold(f64::INFINITY, f64::min);
     assert!(
         (best_front_latency - l_star).abs() < 1e-9,

@@ -39,9 +39,9 @@ fn pareto_front_queries_match_the_exact_front_on_small_instances() {
             let front = report.front.expect("front materialized");
             let reference = exact::exact_pareto_front(&session.cost_model());
             assert_eq!(front.len(), reference.len(), "{family} #{index}");
-            for (got, want) in front.points().iter().zip(reference.points()) {
-                assert_eq!(got.period.to_bits(), want.period.to_bits());
-                assert_eq!(got.latency.to_bits(), want.latency.to_bits());
+            for (got, want) in front.iter().zip(reference.iter()) {
+                assert_eq!(got.0.to_bits(), want.0.to_bits());
+                assert_eq!(got.1.to_bits(), want.1.to_bits());
             }
         }
     }
@@ -59,17 +59,16 @@ fn pareto_front_points_are_sorted_and_mutually_non_dominated() {
             .expect("trajectory union always exists");
         let front = report.front.expect("front materialized");
         assert!(!front.is_empty(), "{family}");
-        for w in front.points().windows(2) {
-            assert!(w[0].period < w[1].period, "{family}: front not sorted");
-            assert!(
-                w[0].latency > w[1].latency,
-                "{family}: dominated point survived"
-            );
+        for w in front.periods().windows(2) {
+            assert!(w[0] < w[1], "{family}: front not sorted");
+        }
+        for w in front.latencies().windows(2) {
+            assert!(w[0] > w[1], "{family}: dominated point survived");
         }
         // The representative result is the min-period endpoint and its
         // mapping evaluates to the reported coordinates.
-        let best = &front.points()[0];
-        assert_eq!(report.result.period.to_bits(), best.period.to_bits());
+        let best_period = front.periods()[0];
+        assert_eq!(report.result.period.to_bits(), best_period.to_bits());
         let (p, l) = session.cost_model().evaluate(&report.result.mapping);
         assert!((p - report.result.period).abs() < EPS, "{family}");
         assert!((l - report.result.latency).abs() < EPS, "{family}");
@@ -85,12 +84,10 @@ fn heuristic_fronts_never_dominate_the_exact_front() {
     let report = session
         .solve(&SolveRequest::new(Objective::ParetoFront).strategy(Strategy::BestOfAll))
         .expect("heuristic front");
-    for pt in report.front.expect("front").points() {
+    for (period, latency, _) in report.front.expect("front").iter() {
         assert!(
-            exact_front.dominated(pt.period + EPS, pt.latency + EPS),
-            "heuristic point ({}, {}) dominates the exact front",
-            pt.period,
-            pt.latency
+            exact_front.dominated(period + EPS, latency + EPS),
+            "heuristic point ({period}, {latency}) dominates the exact front"
         );
     }
 }
