@@ -56,6 +56,7 @@ pub mod one_to_one;
 pub mod pareto;
 pub mod refine;
 pub mod replication;
+pub mod serve;
 pub mod service;
 pub mod solve;
 pub mod split;
@@ -70,6 +71,9 @@ pub use hetero::{
     HeteroSplitOptions,
 };
 pub use pareto::ParetoFront;
+pub use serve::{
+    InstanceCache, InstanceLoadError, ServeConfig, ServeHandle, ServeState, ServeStats,
+};
 pub use service::{
     BoundLookup, PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,
 };

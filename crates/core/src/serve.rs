@@ -1,0 +1,729 @@
+//! Persistent solver service: shared state and the threaded TCP front.
+//!
+//! The wire format v1 ([`pipeline_model::io`]) streams one `solve …`
+//! request per line and one `report …` answer per line. This module
+//! lifts that protocol from a one-shot stdin loop onto a long-running
+//! network service — the steady-state story of the paper applied to the
+//! solver itself: many clients, sustained load, one warm cache.
+//!
+//! Three layers, std-only (no async runtime — the accept loop is a
+//! plain `TcpListener` with one thread per admitted connection):
+//!
+//! * [`ServeState`] — everything shared across connections: an
+//!   LRU-bounded [`InstanceCache`] of [`Arc<PreparedInstance>`]s keyed
+//!   by instance path (so every connection answers bound queries from
+//!   the same memoized trajectories) and the service counters. Its
+//!   [`ServeState::answer_line`] is the *single* request-handling code
+//!   path: the `pwsched solve --stdin` pipe service and every TCP
+//!   connection call the same function, which is what makes the two
+//!   transports byte-identical by construction.
+//! * [`serve`] / [`spawn`] — the accept loop: bounded admission (a
+//!   connection beyond `max_connections` is answered with one
+//!   structured `overloaded` failure and closed), per-connection idle
+//!   timeouts, a hard request-line length bound (`line-too-long`
+//!   failures, never unbounded buffering), and graceful shutdown via a
+//!   shared stop flag (each worker polls it between reads; in-flight
+//!   requests complete before their connection closes).
+//! * Each connection thread owns one [`SolveWorkspace`] reused across
+//!   every request it serves, so steady-state per-request cost is
+//!   solving — not allocating solver scratch — exactly like the shard
+//!   engine's per-worker contexts.
+
+use crate::service::{PreparedInstance, SolveRequest};
+use crate::workspace::SolveWorkspace;
+use pipeline_model::io::{
+    format_report, parse_instance, parse_request_at, WireFailure, WireReport,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked readers wake up to check the stop flag. Bounds
+/// shutdown latency; invisible to throughput (a loaded connection never
+/// sleeps).
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long the accept loop sleeps when nobody is knocking. Much
+/// tighter than [`POLL_INTERVAL`]: a freshly connected client pays this
+/// before its first request is heard, so it sits on the latency path of
+/// every connection (the kernel completes the TCP handshake from the
+/// listen backlog before `accept` returns — the client's first write
+/// succeeds, then waits for a worker).
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Knobs of the TCP service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Concurrent-connection admission limit: a connection accepted
+    /// beyond this is answered with one `overloaded` failure and closed.
+    pub max_connections: usize,
+    /// LRU capacity of the shared prepared-instance cache.
+    pub cache_capacity: usize,
+    /// A connection idle (no bytes received) longer than this is closed.
+    pub idle_timeout: Duration,
+    /// Hard bound on one request line; longer lines are answered with a
+    /// `line-too-long` failure and discarded (never buffered whole).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_connections: 64,
+            cache_capacity: 128,
+            idle_timeout: Duration::from_secs(30),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Why an instance path could not be turned into a prepared instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceLoadError {
+    /// The file could not be read.
+    Io(String),
+    /// The file did not parse as a `pipeline-instance v1`.
+    Parse(String),
+}
+
+impl std::fmt::Display for InstanceLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceLoadError::Io(detail) => write!(f, "cannot read instance: {detail}"),
+            InstanceLoadError::Parse(detail) => write!(f, "cannot parse instance: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceLoadError {}
+
+/// LRU-bounded cache of prepared instances, keyed by instance path and
+/// shared across every connection of the service. The value is an
+/// [`Arc<PreparedInstance>`]: the session's lazily memoized trajectories
+/// are computed once by whichever connection queries first and answer
+/// every later bound query from any connection — the "one warm cache"
+/// half of the serve story.
+#[derive(Debug)]
+pub struct InstanceCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// path → (last-use stamp, prepared instance).
+    map: HashMap<String, (u64, Arc<PreparedInstance>)>,
+    tick: u64,
+}
+
+impl InstanceCache {
+    /// A cache holding at most `capacity` prepared instances (min 1).
+    pub fn new(capacity: usize) -> Self {
+        InstanceCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached instances right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses, evictions)` counters since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Inserts a prepared instance under `key`, evicting the least
+    /// recently used entry if the cache is full.
+    pub fn insert(&self, key: &str, prepared: Arc<PreparedInstance>) {
+        let mut inner = self.inner.lock().unwrap();
+        Self::insert_locked(&mut inner, self.capacity, &self.evictions, key, prepared);
+    }
+
+    /// The cached instance for `path`, loading and parsing the file on a
+    /// miss. Loading holds the cache lock — `PreparedInstance::new` is
+    /// cheap (trajectories materialize lazily at first solve, outside
+    /// the lock), so a cold path never stalls warm traffic for long.
+    pub fn get_or_load(&self, path: &str) -> Result<Arc<PreparedInstance>, InstanceLoadError> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((stamp, prepared)) = inner.map.get_mut(path) {
+            *stamp = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(prepared));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| InstanceLoadError::Io(format!("{path}: {e}")))?;
+        let (app, platform) =
+            parse_instance(&text).map_err(|e| InstanceLoadError::Parse(format!("{path}: {e}")))?;
+        let prepared = Arc::new(PreparedInstance::new(app, platform));
+        Self::insert_locked(
+            &mut inner,
+            self.capacity,
+            &self.evictions,
+            path,
+            Arc::clone(&prepared),
+        );
+        Ok(prepared)
+    }
+
+    fn insert_locked(
+        inner: &mut CacheInner,
+        capacity: usize,
+        evictions: &AtomicU64,
+        key: &str,
+        prepared: Arc<PreparedInstance>,
+    ) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(key) && inner.map.len() >= capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key.to_string(), (tick, prepared));
+    }
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Connections accepted (admitted or not).
+    pub connections: u64,
+    /// Connections refused by admission control (`overloaded`).
+    pub rejected: u64,
+    /// Request lines answered (reports and failures).
+    pub requests: u64,
+    /// Failure reports among [`Self::requests`].
+    pub failures: u64,
+    /// Prepared-instance cache hits.
+    pub cache_hits: u64,
+    /// Prepared-instance cache misses (loads).
+    pub cache_misses: u64,
+    /// Prepared instances evicted by the LRU bound.
+    pub cache_evictions: u64,
+}
+
+impl ServeStats {
+    /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything the service shares across connections: the instance cache,
+/// the optional default instance path, and the counters. One
+/// `Arc<ServeState>` sits behind every connection thread *and* behind
+/// the stdin pipe service — both answer requests through
+/// [`ServeState::answer_line`], so the transports cannot drift apart.
+#[derive(Debug)]
+pub struct ServeState {
+    default_path: Option<String>,
+    cache: InstanceCache,
+    connections: AtomicU64,
+    rejected: AtomicU64,
+    requests: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl ServeState {
+    /// Service state with an LRU cache of `cache_capacity` instances.
+    /// Requests that carry no `instance=` selector are answered against
+    /// `default_path` (and fail with `bad-instance` when there is none).
+    pub fn new(default_path: Option<String>, cache_capacity: usize) -> Self {
+        ServeState {
+            default_path,
+            cache: InstanceCache::new(cache_capacity),
+            connections: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared prepared-instance cache.
+    pub fn cache(&self) -> &InstanceCache {
+        &self.cache
+    }
+
+    /// The default instance path, if one is configured.
+    pub fn default_path(&self) -> Option<&str> {
+        self.default_path.as_deref()
+    }
+
+    /// Eagerly loads the default instance into the cache, so a
+    /// misconfigured service fails at startup instead of on the first
+    /// request.
+    pub fn preload_default(&self) -> Result<(), InstanceLoadError> {
+        match &self.default_path {
+            Some(path) => self.cache.get_or_load(path).map(|_| ()),
+            None => Ok(()),
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> ServeStats {
+        let (cache_hits, cache_misses, cache_evictions) = self.cache.counters();
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+        }
+    }
+
+    /// Answers one line of a request stream: `None` for blank/comment
+    /// lines, otherwise exactly one report. `line_no` is the line's
+    /// 1-based position in its stream; parse failures echo it (and the
+    /// offending key) in the wire failure.
+    ///
+    /// This is the single request-handling path of every transport
+    /// (stdin pipe and TCP), which is what keeps them byte-identical.
+    pub fn answer_line(
+        &self,
+        raw: &str,
+        line_no: u64,
+        ws: &mut SolveWorkspace,
+    ) -> Option<WireReport> {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return None;
+        }
+        let report = self.answer_request(trimmed, line_no, ws);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if matches!(report, WireReport::Failed(_)) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(report)
+    }
+
+    fn answer_request(&self, line: &str, line_no: u64, ws: &mut SolveWorkspace) -> WireReport {
+        let wire = match parse_request_at(line, line_no as usize) {
+            Ok(wire) => wire,
+            Err(e) => {
+                let mut failure = WireFailure::new(0, "bad-request");
+                failure.line = e.line().map(|l| l as u64);
+                failure.key = e.key().map(str::to_string);
+                return WireReport::Failed(failure);
+            }
+        };
+        let request = match SolveRequest::from_wire(&wire) {
+            Ok(request) => request,
+            Err(_) => return WireReport::Failed(WireFailure::new(wire.id, "unknown-solver")),
+        };
+        let Some(path) = wire.instance.as_deref().or(self.default_path.as_deref()) else {
+            return WireReport::Failed(
+                WireFailure::new(wire.id, "bad-instance").for_key("instance"),
+            );
+        };
+        let prepared = match self.cache.get_or_load(path) {
+            Ok(prepared) => prepared,
+            Err(_) => return WireReport::Failed(WireFailure::new(wire.id, "bad-instance")),
+        };
+        match prepared.solve_in(&request, ws) {
+            Ok(report) => report.to_wire(wire.id),
+            Err(err) => err.to_wire(wire.id),
+        }
+    }
+}
+
+/// A running server spawned by [`spawn`]: the bound address, the stop
+/// flag, and the accept-loop thread.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<ServeStats>,
+}
+
+impl ServeHandle {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared stop flag; setting it initiates graceful shutdown
+    /// (e.g. from a signal handler).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Initiates graceful shutdown and waits for the accept loop and
+    /// every connection to drain. Returns the final counters.
+    pub fn shutdown(self) -> ServeStats {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread.join().expect("serve loop does not panic")
+    }
+}
+
+/// Binds `addr` and runs [`serve`] on a background thread.
+pub fn spawn(
+    addr: &str,
+    state: Arc<ServeState>,
+    config: ServeConfig,
+) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_loop = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("pwsched-serve".into())
+        .spawn(move || serve(listener, state, config, stop_loop))?;
+    Ok(ServeHandle {
+        addr: local,
+        stop,
+        thread,
+    })
+}
+
+/// The accept loop: admits up to `config.max_connections` concurrent
+/// connections (one thread each), answers the rest with a structured
+/// `overloaded` failure, and drains gracefully once `stop` is set —
+/// no new connections, every worker finishes its in-flight request and
+/// exits at the next poll. Returns the final counters.
+pub fn serve(
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+) -> ServeStats {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking accept is how the loop observes the stop flag");
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        workers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.connections.fetch_add(1, Ordering::Relaxed);
+                if workers.len() >= config.max_connections {
+                    state.rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_overloaded(stream);
+                    continue;
+                }
+                let worker_state = Arc::clone(&state);
+                let worker_stop = Arc::clone(&stop);
+                match std::thread::Builder::new()
+                    .name("pwsched-conn".into())
+                    .spawn(move || handle_connection(stream, worker_state, config, worker_stop))
+                {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        state.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+    state.stats()
+}
+
+fn reject_overloaded(mut stream: TcpStream) {
+    let line = format_report(&WireReport::Failed(WireFailure::new(0, "overloaded")));
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete line is in the accumulator.
+    Line,
+    /// The line exceeded the length bound (its bytes were discarded; the
+    /// stream is positioned after its terminating newline).
+    TooLong,
+    /// Peer closed the connection (any partial line is dropped — a
+    /// mid-request disconnect is a disconnect, not a request).
+    Eof,
+    /// The stop flag was raised.
+    Stopped,
+    /// No bytes arrived within the idle timeout.
+    IdleTimeout,
+}
+
+/// Reads one `\n`-terminated line into `acc`, never buffering more than
+/// `max_len` bytes of it, waking every [`POLL_INTERVAL`] to check `stop`
+/// and the idle clock. The stream's read timeout must be set to
+/// [`POLL_INTERVAL`] by the caller.
+fn next_line(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    max_len: usize,
+    stop: &AtomicBool,
+    idle_timeout: Duration,
+) -> std::io::Result<LineRead> {
+    acc.clear();
+    let mut too_long = false;
+    let mut last_data = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(LineRead::Stopped);
+        }
+        let (consumed, complete) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if last_data.elapsed() >= idle_timeout {
+                        return Ok(LineRead::IdleTimeout);
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            let (chunk, consumed, complete) = match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => (&buf[..i], i + 1, true),
+                None => (buf, buf.len(), false),
+            };
+            if !too_long {
+                if acc.len() + chunk.len() > max_len {
+                    too_long = true;
+                    acc.clear();
+                } else {
+                    acc.extend_from_slice(chunk);
+                }
+            }
+            (consumed, complete)
+        };
+        last_data = Instant::now();
+        reader.consume(consumed);
+        if complete {
+            return Ok(if too_long {
+                LineRead::TooLong
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}
+
+/// One admitted connection: a line-in/report-out loop over the shared
+/// state, with one reused [`SolveWorkspace`] for every request the
+/// connection sends.
+fn handle_connection(
+    stream: TcpStream,
+    state: Arc<ServeState>,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut ws = SolveWorkspace::new();
+    let mut acc = Vec::with_capacity(256);
+    let mut line_no: u64 = 0;
+    loop {
+        match next_line(
+            &mut reader,
+            &mut acc,
+            config.max_line_bytes,
+            &stop,
+            config.idle_timeout,
+        ) {
+            Ok(LineRead::Line) => {
+                line_no += 1;
+                let text = String::from_utf8_lossy(&acc);
+                let Some(report) = state.answer_line(&text, line_no, &mut ws) else {
+                    continue;
+                };
+                if write_report(&mut writer, &report).is_err() {
+                    return;
+                }
+            }
+            Ok(LineRead::TooLong) => {
+                line_no += 1;
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.failures.fetch_add(1, Ordering::Relaxed);
+                let report =
+                    WireReport::Failed(WireFailure::new(0, "line-too-long").at_line(line_no));
+                if write_report(&mut writer, &report).is_err() {
+                    return;
+                }
+            }
+            Ok(LineRead::Eof | LineRead::Stopped | LineRead::IdleTimeout) | Err(_) => return,
+        }
+    }
+}
+
+fn write_report(writer: &mut TcpStream, report: &WireReport) -> std::io::Result<()> {
+    writeln!(writer, "{}", format_report(report))?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+    use pipeline_model::io::format_instance;
+    use std::path::PathBuf;
+
+    /// Writes a generated instance to a unique temp file.
+    fn instance_file(tag: &str, seed: u64) -> PathBuf {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 8, 5));
+        let (app, pf) = gen.instance(seed, 0);
+        let path = std::env::temp_dir().join(format!(
+            "pwsched-serve-unit-{}-{tag}-{seed}.pw",
+            std::process::id()
+        ));
+        std::fs::write(&path, format_instance(&app, &pf)).expect("temp file writable");
+        path
+    }
+
+    #[test]
+    fn cache_hits_misses_and_lru_eviction() {
+        let paths: Vec<PathBuf> = (0..3).map(|s| instance_file("lru", s)).collect();
+        let keys: Vec<String> = paths
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect();
+        let cache = InstanceCache::new(2);
+        // Cold loads: all misses.
+        cache.get_or_load(&keys[0]).expect("loads");
+        cache.get_or_load(&keys[1]).expect("loads");
+        assert_eq!(cache.counters(), (0, 2, 0));
+        // Re-query: a hit that refreshes key 0's recency.
+        cache.get_or_load(&keys[0]).expect("cached");
+        assert_eq!(cache.counters(), (1, 2, 0));
+        // Third instance evicts the least recently used (key 1).
+        cache.get_or_load(&keys[2]).expect("loads");
+        assert_eq!(cache.counters(), (1, 3, 1));
+        assert_eq!(cache.len(), 2);
+        // Key 0 survived, key 1 must reload.
+        cache.get_or_load(&keys[0]).expect("still cached");
+        assert_eq!(cache.counters(), (2, 3, 1));
+        cache.get_or_load(&keys[1]).expect("reloads");
+        assert_eq!(cache.counters(), (2, 4, 2));
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn cache_load_errors_are_structured() {
+        let cache = InstanceCache::new(2);
+        assert!(matches!(
+            cache.get_or_load("/definitely/not/a/file.pw"),
+            Err(InstanceLoadError::Io(_))
+        ));
+        let bad = std::env::temp_dir().join(format!("pwsched-serve-bad-{}.pw", std::process::id()));
+        std::fs::write(&bad, "not an instance\n").unwrap();
+        assert!(matches!(
+            cache.get_or_load(&bad.to_string_lossy()),
+            Err(InstanceLoadError::Parse(_))
+        ));
+        let _ = std::fs::remove_file(bad);
+        // Failed loads stay out of the cache.
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn answer_line_matches_direct_solves_and_skips_comments() {
+        let path = instance_file("answer", 11);
+        let key = path.to_string_lossy().into_owned();
+        let state = ServeState::new(Some(key.clone()), 4);
+        state.preload_default().expect("default loads");
+        let mut ws = SolveWorkspace::new();
+        assert!(state.answer_line("", 1, &mut ws).is_none());
+        assert!(state.answer_line("# comment", 2, &mut ws).is_none());
+        let report = state
+            .answer_line("solve id=7 objective=min-period strategy=best", 3, &mut ws)
+            .expect("a real request");
+        // Byte-identical to solving directly against the same session.
+        let prepared = state.cache().get_or_load(&key).unwrap();
+        let direct = prepared
+            .solve(
+                &SolveRequest::new(crate::Objective::MinPeriod)
+                    .strategy(crate::Strategy::BestOfAll),
+            )
+            .unwrap()
+            .to_wire(7);
+        assert_eq!(format_report(&report), format_report(&direct));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn malformed_requests_carry_line_and_key_diagnostics() {
+        let state = ServeState::new(None, 2);
+        let mut ws = SolveWorkspace::new();
+        let report = state
+            .answer_line("solve id=1 objective=take-a-guess", 29, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=0 status=error code=bad-request line=29 key=objective"
+        );
+        let report = state
+            .answer_line("solve id=2 objective=min-period junk=1", 4, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=0 status=error code=bad-request line=4 key=junk"
+        );
+        // No default instance configured and no instance= selector.
+        let report = state
+            .answer_line("solve id=3 objective=min-period", 5, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=3 status=error code=bad-instance key=instance"
+        );
+        let stats = state.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.failures, 3);
+    }
+}

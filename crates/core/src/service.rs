@@ -44,6 +44,8 @@ use pipeline_model::prelude::*;
 use pipeline_model::util::{approx_le, definitely_lt};
 use std::sync::OnceLock;
 
+pub use crate::serve::{InstanceCache, InstanceLoadError, ServeConfig, ServeState, ServeStats};
+
 /// Identifies what produced a result. `Copy`, so provenance costs nothing
 /// in the best-of-all hot loop (the old `Solution.solver: String`
 /// allocated per heuristic per instance).
@@ -1055,6 +1057,8 @@ impl SolveError {
             code: self.code().to_string(),
             bound,
             floor,
+            line: None,
+            key: None,
         })
     }
 }

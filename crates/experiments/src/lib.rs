@@ -10,6 +10,9 @@
 //! * [`service`] — batched solving: (instance, request) pairs from the
 //!   solver-service API (`pipeline_core::service`) through the sharded
 //!   engine, bit-identical across thread counts;
+//! * [`loadgen`] — TCP load generator for `pwsched serve`: per-worker
+//!   connections over the shard engine, scenario-zoo request corpora,
+//!   and latency/throughput reports;
 //! * [`sweep`] — latency-vs-period series, one per heuristic, averaged
 //!   over 50 random instances; [`sweep::run_scenario`] sweeps any
 //!   registered scenario family ([`pipeline_model::scenario`]);
@@ -25,6 +28,7 @@ pub mod ascii;
 pub mod config;
 pub mod csvout;
 pub mod loaded;
+pub mod loadgen;
 pub mod robustness;
 pub mod runner;
 pub mod service;
@@ -34,6 +38,7 @@ pub mod sweep;
 pub mod table;
 
 pub use config::{scenario_zoo, FigureSpec, ScenarioSpec, PAPER_FIGURES};
+pub use loadgen::{request_lines, run_load, write_zoo_instances, LoadReport};
 pub use runner::InstanceEval;
 pub use service::{solve_batch, BatchJob};
 pub use shard::{sharded_fold, sharded_map_indices, sharded_map_items, Mergeable, ShardOptions};

@@ -45,8 +45,39 @@ pub enum ParseError {
         /// Description of the problem.
         detail: String,
     },
+    /// A specific `key=value` field of a wire line could not be parsed —
+    /// carries the offending key so services can report it structurally
+    /// (see [`WireFailure::key`]).
+    BadField {
+        /// 1-based line number (0 when the caller did not supply one).
+        line: usize,
+        /// The offending key.
+        key: String,
+        /// Description of the problem.
+        detail: String,
+    },
     /// Parsed values failed model validation.
     Model(ModelError),
+}
+
+impl ParseError {
+    /// The 1-based line number the error points at, when known.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ParseError::BadLine { line, .. } | ParseError::BadField { line, .. } if *line > 0 => {
+                Some(*line)
+            }
+            _ => None,
+        }
+    }
+
+    /// The offending `key=value` key, when the error names one.
+    pub fn key(&self) -> Option<&str> {
+        match self {
+            ParseError::BadField { key, .. } => Some(key),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -55,6 +86,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadHeader => write!(f, "missing 'pipeline-instance v1' header"),
             ParseError::Missing(what) => write!(f, "missing '{what}' section"),
             ParseError::BadLine { line, detail } => write!(f, "line {line}: {detail}"),
+            ParseError::BadField { line, key, detail } => {
+                write!(f, "line {line}: field '{key}': {detail}")
+            }
             ParseError::Model(e) => write!(f, "invalid instance: {e}"),
         }
     }
@@ -248,7 +282,17 @@ pub type _Unused = Result<()>;
 // report id=1 status=ok solver=h1 period=1.5 latency=3 feasible=true mapping=0-2@1,2-5@0
 // report id=3 status=ok solver=exact period=1 latency=9 feasible=true mapping=0-6@2 front=1:9;2:6
 // report id=4 status=error code=bound-below-floor bound=0.5 floor=0.875
+// report id=0 status=error code=bad-request line=7 key=objective
 // ```
+//
+// Failure reports may carry structured diagnostics beyond the code: the
+// 1-based input line number of the offending request (`line=`) and the
+// offending `key=value` key (`key=`). Services add transport-level codes
+// on top of the solver codes: `bad-request` (the request line did not
+// parse), `unknown-solver`, `bad-instance` (the referenced instance file
+// did not load), `overloaded` (admission control refused the
+// connection), and `line-too-long` (the request exceeded the service's
+// line-length bound).
 // ---------------------------------------------------------------------------
 
 /// Objective selector of one wire request — the syntactic mirror of
@@ -339,6 +383,37 @@ pub struct WireFailure {
     pub bound: Option<f64>,
     /// The feasibility floor the bound fell below.
     pub floor: Option<f64>,
+    /// 1-based input line number of the offending request, for parse
+    /// failures in a streamed request sequence.
+    pub line: Option<u64>,
+    /// The offending `key=value` key, for parse failures that name one.
+    pub key: Option<String>,
+}
+
+impl WireFailure {
+    /// A bare failure: just an id and a code, no diagnostics.
+    pub fn new(id: u64, code: impl Into<String>) -> Self {
+        WireFailure {
+            id,
+            code: code.into(),
+            bound: None,
+            floor: None,
+            line: None,
+            key: None,
+        }
+    }
+
+    /// Attaches the 1-based input line number of the offending request.
+    pub fn at_line(mut self, line: u64) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches the offending `key=value` key.
+    pub fn for_key(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
 }
 
 /// One line of the report stream.
@@ -364,83 +439,128 @@ fn wire_err(detail: String) -> ParseError {
     ParseError::BadLine { line: 0, detail }
 }
 
-/// Splits a wire line into its verb and `key=value` pairs.
-fn wire_tokens(line: &str, verb: &str) -> std::result::Result<Vec<(String, String)>, ParseError> {
+/// Splits a wire line into its verb and `key=value` pairs. `line_no` is
+/// the 1-based stream position carried into errors (0: unknown).
+fn wire_tokens(
+    line: &str,
+    verb: &str,
+    line_no: usize,
+) -> std::result::Result<Vec<(String, String)>, ParseError> {
     let mut tokens = line.split_whitespace();
     match tokens.next() {
         Some(v) if v == verb => {}
-        other => return Err(wire_err(format!("expected '{verb} …', got {other:?}"))),
+        other => {
+            return Err(ParseError::BadLine {
+                line: line_no,
+                detail: format!("expected '{verb} …', got {other:?}"),
+            })
+        }
     }
     tokens
         .map(|t| {
             t.split_once('=')
                 .map(|(k, v)| (k.to_string(), v.to_string()))
-                .ok_or_else(|| wire_err(format!("expected key=value, got {t:?}")))
+                .ok_or_else(|| ParseError::BadLine {
+                    line: line_no,
+                    detail: format!("expected key=value, got {t:?}"),
+                })
         })
         .collect()
 }
 
-struct WireFields(Vec<(String, String)>);
+struct WireFields {
+    fields: Vec<(String, String)>,
+    /// 1-based line number carried into every field error (0: unknown).
+    line_no: usize,
+}
 
 impl WireFields {
+    fn new(fields: Vec<(String, String)>, line_no: usize) -> Self {
+        WireFields { fields, line_no }
+    }
+
+    fn field_err(&self, key: &str, detail: String) -> ParseError {
+        ParseError::BadField {
+            line: self.line_no,
+            key: key.to_string(),
+            detail,
+        }
+    }
+
     fn take(&mut self, key: &str) -> Option<String> {
-        let pos = self.0.iter().position(|(k, _)| k == key)?;
-        Some(self.0.remove(pos).1)
+        let pos = self.fields.iter().position(|(k, _)| k == key)?;
+        Some(self.fields.remove(pos).1)
     }
 
     fn take_f64(&mut self, key: &str) -> std::result::Result<Option<f64>, ParseError> {
         self.take(key)
             .map(|v| {
                 v.parse::<f64>()
-                    .map_err(|_| wire_err(format!("bad number {v:?} for {key}")))
+                    .map_err(|_| self.field_err(key, format!("bad number {v:?}")))
             })
             .transpose()
     }
 
     fn require(&mut self, key: &str) -> std::result::Result<String, ParseError> {
         self.take(key)
-            .ok_or_else(|| wire_err(format!("missing {key}=")))
+            .ok_or_else(|| self.field_err(key, format!("missing {key}=")))
     }
 
-    fn finish(self) -> std::result::Result<(), ParseError> {
-        match self.0.into_iter().next() {
+    fn finish(mut self) -> std::result::Result<(), ParseError> {
+        match self.fields.pop() {
             None => Ok(()),
-            Some((k, _)) => Err(wire_err(format!("unknown key {k:?}"))),
+            Some((k, _)) => Err(self.field_err(&k, "unknown key".into())),
         }
     }
 }
 
 /// Parses one `solve …` request line.
 pub fn parse_request(line: &str) -> std::result::Result<WireRequest, ParseError> {
-    let mut fields = WireFields(wire_tokens(line, "solve")?);
+    parse_request_at(line, 0)
+}
+
+/// [`parse_request`] with the request's 1-based position in its input
+/// stream: parse errors name that line (and the offending key, where one
+/// is known), so streamed services can answer malformed requests with a
+/// structured diagnosis instead of a generic `bad-request`.
+pub fn parse_request_at(
+    line: &str,
+    line_no: usize,
+) -> std::result::Result<WireRequest, ParseError> {
+    let mut fields = WireFields::new(wire_tokens(line, "solve", line_no)?, line_no);
     let id = {
         let v = fields.require("id")?;
         v.parse::<u64>()
-            .map_err(|_| wire_err(format!("bad id {v:?}")))?
+            .map_err(|_| fields.field_err("id", format!("bad id {v:?}")))?
     };
     let obj_token = fields.require("objective")?;
     let bound = fields.take_f64("bound")?;
-    let need_bound = |bound: Option<f64>| {
-        bound.ok_or_else(|| wire_err(format!("objective {obj_token:?} needs bound=")))
-    };
     let objective = match obj_token.as_str() {
-        "min-latency-for-period" => WireObjective::MinLatencyForPeriod(need_bound(bound)?),
-        "min-period-for-latency" => WireObjective::MinPeriodForLatency(need_bound(bound)?),
+        "min-latency-for-period" | "min-period-for-latency" => {
+            let b = bound.ok_or_else(|| {
+                fields.field_err("bound", format!("objective {obj_token:?} needs bound="))
+            })?;
+            if obj_token.as_str() == "min-latency-for-period" {
+                WireObjective::MinLatencyForPeriod(b)
+            } else {
+                WireObjective::MinPeriodForLatency(b)
+            }
+        }
         "min-period" => WireObjective::MinPeriod,
         "min-latency" => WireObjective::MinLatency,
         "pareto-front" => WireObjective::ParetoFront,
-        other => return Err(wire_err(format!("unknown objective {other:?}"))),
+        other => return Err(fields.field_err("objective", format!("unknown objective {other:?}"))),
     };
     if objective.bound().is_none() && bound.is_some() {
-        return Err(wire_err(format!("objective {obj_token:?} takes no bound=")));
+        return Err(fields.field_err("bound", format!("objective {obj_token:?} takes no bound=")));
     }
     if objective.bound().is_some_and(f64::is_nan) {
-        return Err(wire_err("bound= must not be NaN".into()));
+        return Err(fields.field_err("bound", "bound= must not be NaN".into()));
     }
     let strategy = fields.take("strategy").unwrap_or_else(|| "auto".into());
     let tolerance = fields.take_f64("tolerance")?;
     if tolerance.is_some_and(f64::is_nan) {
-        return Err(wire_err("tolerance= must not be NaN".into()));
+        return Err(fields.field_err("tolerance", "tolerance= must not be NaN".into()));
     }
     let instance = fields.take("instance");
     fields.finish()?;
@@ -472,7 +592,7 @@ pub fn format_request(req: &WireRequest) -> String {
 
 /// Parses one `report …` line.
 pub fn parse_report(line: &str) -> std::result::Result<WireReport, ParseError> {
-    let mut fields = WireFields(wire_tokens(line, "report")?);
+    let mut fields = WireFields::new(wire_tokens(line, "report", 0)?, 0);
     let id = {
         let v = fields.require("id")?;
         v.parse::<u64>()
@@ -526,6 +646,14 @@ pub fn parse_report(line: &str) -> std::result::Result<WireReport, ParseError> {
             code: fields.require("code")?,
             bound: fields.take_f64("bound")?,
             floor: fields.take_f64("floor")?,
+            line: fields
+                .take("line")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| wire_err(format!("bad line number {v:?}")))
+                })
+                .transpose()?,
+            key: fields.take("key"),
         }),
         other => return Err(wire_err(format!("unknown status {other:?}"))),
     };
@@ -563,6 +691,12 @@ pub fn format_report(report: &WireReport) -> String {
             }
             if let Some(fl) = f.floor {
                 out.push_str(&format!(" floor={}", format_f64(fl)));
+            }
+            if let Some(line) = f.line {
+                out.push_str(&format!(" line={line}"));
+            }
+            if let Some(key) = &f.key {
+                out.push_str(&format!(" key={key}"));
             }
             out
         }
@@ -727,13 +861,48 @@ mod tests {
                 code: "bound-below-floor".into(),
                 bound: Some(0.5),
                 floor: Some(0.875),
+                line: None,
+                key: None,
             }),
+            WireReport::Failed(
+                WireFailure::new(0, "bad-request")
+                    .at_line(7)
+                    .for_key("bound"),
+            ),
+            WireReport::Failed(WireFailure::new(0, "line-too-long").at_line(3)),
         ];
         for report in reports {
             let line = format_report(&report);
             assert_eq!(parse_report(&line).expect("round trip"), report, "{line}");
             assert_eq!(report.id(), parse_report(&line).unwrap().id());
         }
+    }
+
+    #[test]
+    fn request_parse_errors_name_the_line_and_key() {
+        // Unknown objective: the error points at the objective field.
+        let err = parse_request_at("solve id=1 objective=take-a-guess", 29).unwrap_err();
+        assert_eq!(err.line(), Some(29));
+        assert_eq!(err.key(), Some("objective"));
+        // Missing bound on a bounded objective.
+        let err = parse_request_at("solve id=1 objective=min-latency-for-period", 4).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(4), Some("bound")));
+        // Unparseable number.
+        let err = parse_request_at("solve id=1 objective=min-latency-for-period bound=oops", 5)
+            .unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(5), Some("bound")));
+        // Unknown key.
+        let err = parse_request_at("solve id=1 objective=min-period junk=1", 6).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(6), Some("junk")));
+        // Bad id.
+        let err = parse_request_at("solve id=x objective=min-period", 7).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(7), Some("id")));
+        // A wrong verb has no key, only a line.
+        let err = parse_request_at("frobnicate id=1", 8).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(8), None));
+        // Line 0 means "unknown position": no line reported.
+        let err = parse_request("solve id=1 objective=nope").unwrap_err();
+        assert_eq!((err.line(), err.key()), (None, Some("objective")));
     }
 
     #[test]

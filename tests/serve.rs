@@ -1,0 +1,266 @@
+//! Acceptance tests of the persistent TCP solver service: byte-identity
+//! with the stdin transport against the committed golden report, and the
+//! malformed-input guarantees — oversized lines, mid-request
+//! disconnects, interleaved requests, unknown keys, admission control,
+//! idle timeouts, and graceful shutdown all produce structured wire
+//! responses (never a panic or hang).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pipeline_workflows::core::serve::{self, ServeConfig, ServeHandle, ServeState};
+
+fn fixture(name: &str) -> String {
+    format!(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/{}"),
+        name
+    )
+}
+
+/// Starts an in-process server on an ephemeral port.
+fn start(config: ServeConfig, default_instance: Option<&str>) -> (ServeHandle, Arc<ServeState>) {
+    let state = Arc::new(ServeState::new(
+        default_instance.map(str::to_string),
+        config.cache_capacity,
+    ));
+    state.preload_default().expect("default instance loads");
+    let handle = serve::spawn("127.0.0.1:0", Arc::clone(&state), config).expect("binds");
+    (handle, state)
+}
+
+fn connect(handle: &ServeHandle) -> (BufReader<TcpStream>, TcpStream) {
+    let stream =
+        TcpStream::connect_timeout(&handle.local_addr(), Duration::from_secs(5)).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout settable");
+    stream.set_nodelay(true).expect("nodelay settable");
+    let writer = stream.try_clone().expect("socket clones");
+    (BufReader::new(stream), writer)
+}
+
+fn send(writer: &mut TcpStream, line: &str) {
+    writeln!(writer, "{line}").expect("request writes");
+    writer.flush().expect("request flushes");
+}
+
+fn recv(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("report reads");
+    assert!(n > 0, "server closed instead of answering");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn tcp_replay_matches_the_committed_golden_report() {
+    let requests = std::fs::read_to_string(fixture("service_requests.txt")).expect("fixture");
+    let golden = std::fs::read_to_string(fixture("service_reports.golden")).expect("golden");
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    // Lockstep replay of the *whole* file — comment and blank lines
+    // included, so the server's per-connection line counter agrees with
+    // the stdin transport's and the diagnostics match byte for byte.
+    let mut replies = String::new();
+    for line in requests.lines() {
+        send(&mut writer, line);
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        replies.push_str(&recv(&mut reader));
+        replies.push('\n');
+    }
+    assert_eq!(replies, golden, "TCP transport drifted from the golden");
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.requests, golden.lines().count() as u64);
+}
+
+#[test]
+fn oversized_lines_fail_structurally_and_the_connection_survives() {
+    let config = ServeConfig {
+        max_line_bytes: 128,
+        ..ServeConfig::default()
+    };
+    let (handle, _state) = start(config, Some(&fixture("service_instance.pw")));
+    let (mut reader, mut writer) = connect(&handle);
+    // 64 KiB of garbage on one line: answered with a bounded failure,
+    // never buffered whole, and the connection keeps working.
+    let huge = "x".repeat(64 * 1024);
+    send(&mut writer, &huge);
+    assert_eq!(
+        recv(&mut reader),
+        "report id=0 status=error code=line-too-long line=1"
+    );
+    send(&mut writer, "solve id=9 objective=min-period");
+    let reply = recv(&mut reader);
+    assert!(
+        reply.starts_with("report id=9 status=ok"),
+        "connection unusable after an oversized line: {reply}"
+    );
+    drop((reader, writer));
+    let stats = handle.shutdown();
+    assert_eq!(stats.failures, 1);
+    assert_eq!(stats.requests, 2);
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_server_alive() {
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    {
+        let (_reader, mut writer) = connect(&handle);
+        // A partial request with no terminating newline, then the peer
+        // vanishes: the fragment is dropped, nothing is answered.
+        writer
+            .write_all(b"solve id=3 objective=min-per")
+            .expect("partial write");
+        writer.flush().expect("flushes");
+    }
+    // The server is still answering on fresh connections.
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "solve id=4 objective=min-latency");
+    assert!(recv(&mut reader).starts_with("report id=4 status=ok"));
+    drop((reader, writer));
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 1, "the dropped fragment must not count");
+    assert_eq!(stats.connections, 2);
+}
+
+#[test]
+fn interleaved_requests_on_one_connection_answer_in_order() {
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    // All four requests written before any report is read: the reports
+    // come back one per request, in request order.
+    let batch = "solve id=1 objective=min-period\n\
+                 solve id=2 objective=take-a-guess\n\
+                 solve id=3 objective=min-latency\n\
+                 solve id=4 objective=min-period strategy=best\n";
+    writer.write_all(batch.as_bytes()).expect("batch writes");
+    writer.flush().expect("batch flushes");
+    let replies: Vec<String> = (0..4).map(|_| recv(&mut reader)).collect();
+    assert!(replies[0].starts_with("report id=1 status=ok"));
+    assert_eq!(
+        replies[1],
+        "report id=0 status=error code=bad-request line=2 key=objective"
+    );
+    assert!(replies[2].starts_with("report id=3 status=ok"));
+    assert!(replies[3].starts_with("report id=4 status=ok"));
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_keys_and_solvers_yield_structured_failures() {
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "solve id=5 objective=min-period junk=1");
+    assert_eq!(
+        recv(&mut reader),
+        "report id=0 status=error code=bad-request line=1 key=junk"
+    );
+    send(
+        &mut writer,
+        "solve id=6 objective=min-period strategy=hal9000",
+    );
+    assert_eq!(
+        recv(&mut reader),
+        "report id=6 status=error code=unknown-solver"
+    );
+    send(&mut writer, "solve id=7 objective=min-period bound=oops");
+    assert_eq!(
+        recv(&mut reader),
+        "report id=0 status=error code=bad-request line=3 key=bound"
+    );
+    send(
+        &mut writer,
+        "solve id=8 objective=min-period instance=/no/such/file.pw",
+    );
+    assert_eq!(
+        recv(&mut reader),
+        "report id=8 status=error code=bad-instance"
+    );
+    drop((reader, writer));
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.failures, 4);
+}
+
+#[test]
+fn admission_limit_answers_overloaded_and_keeps_serving() {
+    let config = ServeConfig {
+        max_connections: 1,
+        ..ServeConfig::default()
+    };
+    let (handle, _state) = start(config, Some(&fixture("service_instance.pw")));
+    // Connection A occupies the only slot (a round-trip guarantees its
+    // worker is registered before B arrives).
+    let (mut reader_a, mut writer_a) = connect(&handle);
+    send(&mut writer_a, "solve id=1 objective=min-period");
+    assert!(recv(&mut reader_a).starts_with("report id=1 status=ok"));
+    // Connection B is told, structurally, to go away.
+    let (mut reader_b, _writer_b) = connect(&handle);
+    assert_eq!(
+        recv(&mut reader_b),
+        "report id=0 status=error code=overloaded"
+    );
+    let mut rest = String::new();
+    reader_b.read_line(&mut rest).expect("EOF after rejection");
+    assert!(rest.is_empty(), "rejected connection must be closed");
+    // A still works.
+    send(&mut writer_a, "solve id=2 objective=min-latency");
+    assert!(recv(&mut reader_a).starts_with("report id=2 status=ok"));
+    drop((reader_a, writer_a));
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.connections, 2);
+}
+
+#[test]
+fn idle_connections_time_out() {
+    let config = ServeConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let (handle, _state) = start(config, Some(&fixture("service_instance.pw")));
+    let (mut reader, _writer) = connect(&handle);
+    // Say nothing; the server hangs up within the idle timeout (the
+    // client's 20 s read timeout would fail the test on a hang).
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("EOF, not a hang");
+    assert_eq!(n, 0, "expected the idle connection to be closed");
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_open_connections() {
+    let (handle, state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "solve id=1 objective=min-period");
+    assert!(recv(&mut reader).starts_with("report id=1 status=ok"));
+    let stats = handle.shutdown(); // blocks until the worker exits
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.failures, 0);
+    assert_eq!(stats, state.stats(), "handle and state agree");
+    // The drained socket reads EOF rather than hanging.
+    let mut rest = String::new();
+    let n = reader.read_line(&mut rest).expect("EOF after shutdown");
+    assert_eq!(n, 0);
+}
