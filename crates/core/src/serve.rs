@@ -1,10 +1,13 @@
 //! Persistent solver service: shared state and the threaded TCP front.
 //!
-//! The wire format v1 ([`pipeline_model::io`]) streams one `solve …`
-//! request per line and one `report …` answer per line. This module
-//! lifts that protocol from a one-shot stdin loop onto a long-running
-//! network service — the steady-state story of the paper applied to the
-//! solver itself: many clients, sustained load, one warm cache.
+//! The wire format v1.1 ([`pipeline_model::io`]) streams one `solve …`
+//! or `update …` request per line and one `report …` answer per line.
+//! This module lifts that protocol from a one-shot stdin loop onto a
+//! long-running network service — the steady-state story of the paper
+//! applied to the solver itself: many clients, sustained load, one warm
+//! cache. `update` lines hot-reload the default instance through
+//! [`PreparedInstance::apply_in`], so a drifting platform re-solves
+//! incrementally instead of from scratch.
 //!
 //! Three layers, std-only (no async runtime — the accept loop is a
 //! plain `TcpListener` with one thread per admitted connection):
@@ -29,11 +32,13 @@
 //!   solving — not allocating solver scratch — exactly like the shard
 //!   engine's per-worker contexts.
 
-use crate::service::{PreparedInstance, SolveRequest};
+use crate::service::{encode_mapping, PreparedInstance, SolveRequest};
 use crate::workspace::SolveWorkspace;
 use pipeline_model::io::{
-    format_report, parse_instance, parse_request_at, WireFailure, WireReport,
+    format_report, parse_instance, parse_request_at, parse_update_at, WireFailure, WireReport,
+    WireSolved,
 };
+use pipeline_model::IntervalMapping;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,7 +67,9 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// LRU capacity of the shared prepared-instance cache.
     pub cache_capacity: usize,
-    /// A connection idle (no bytes received) longer than this is closed.
+    /// A connection that fails to deliver a complete request line within
+    /// this duration is closed. The clock runs per line, not per byte —
+    /// a sub-line byte trickle cannot hold a connection open.
     pub idle_timeout: Duration,
     /// Hard bound on one request line; longer lines are answered with a
     /// `line-too-long` failure and discarded (never buffered whole).
@@ -339,6 +346,9 @@ impl ServeState {
     }
 
     fn answer_request(&self, line: &str, line_no: u64, ws: &mut SolveWorkspace) -> WireReport {
+        if line.split_whitespace().next() == Some("update") {
+            return self.answer_update(line, line_no, ws);
+        }
         let wire = match parse_request_at(line, line_no as usize) {
             Ok(wire) => wire,
             Err(e) => {
@@ -365,6 +375,50 @@ impl ServeState {
             Ok(report) => report.to_wire(wire.id),
             Err(err) => err.to_wire(wire.id),
         }
+    }
+
+    /// Handles one `update …` line (wire format v1.1): applies the
+    /// [`InstanceDelta`](pipeline_model::InstanceDelta) to the service's
+    /// *default* instance via [`PreparedInstance::apply_in`] — carrying
+    /// over every memoized artifact the delta does not invalidate and
+    /// warm-starting the workspace's selection memo — and republishes the
+    /// result under the default path's cache key, so every subsequent
+    /// selector-less request (from any connection) is answered against
+    /// the updated instance. The acknowledgement is an ordinary `ok`
+    /// report with the updated instance's baseline coordinates: the
+    /// Lemma-1 single-interval mapping, its period and `L_opt`.
+    fn answer_update(&self, line: &str, line_no: u64, ws: &mut SolveWorkspace) -> WireReport {
+        let upd = match parse_update_at(line, line_no as usize) {
+            Ok(upd) => upd,
+            Err(e) => {
+                let mut failure = WireFailure::new(0, "bad-request");
+                failure.line = e.line().map(|l| l as u64);
+                failure.key = e.key().map(str::to_string);
+                return WireReport::Failed(failure);
+            }
+        };
+        let Some(path) = self.default_path.as_deref() else {
+            return WireReport::Failed(WireFailure::new(upd.id, "no-default-instance"));
+        };
+        let prepared = match self.cache.get_or_load(path) {
+            Ok(prepared) => prepared,
+            Err(_) => return WireReport::Failed(WireFailure::new(upd.id, "bad-instance")),
+        };
+        let next = match prepared.apply_in(&upd.delta, ws) {
+            Ok(next) => Arc::new(next),
+            Err(_) => return WireReport::Failed(WireFailure::new(upd.id, "bad-delta")),
+        };
+        self.cache.insert(path, Arc::clone(&next));
+        let mapping = IntervalMapping::all_on_fastest(next.app(), next.platform());
+        WireReport::Solved(WireSolved {
+            id: upd.id,
+            solver: "update".to_string(),
+            period: next.single_proc_period(),
+            latency: next.optimal_latency(),
+            feasible: true,
+            mapping: encode_mapping(&mapping),
+            front: None,
+        })
     }
 }
 
@@ -483,7 +537,7 @@ enum LineRead {
     Eof,
     /// The stop flag was raised.
     Stopped,
-    /// No bytes arrived within the idle timeout.
+    /// No complete request line arrived within the idle timeout.
     IdleTimeout,
 }
 
@@ -491,6 +545,12 @@ enum LineRead {
 /// `max_len` bytes of it, waking every [`POLL_INTERVAL`] to check `stop`
 /// and the idle clock. The stream's read timeout must be set to
 /// [`POLL_INTERVAL`] by the caller.
+///
+/// The idle clock measures time since this *request line* began, not
+/// since the last byte: a peer trickling sub-line bytes (slow loris)
+/// resets nothing and is disconnected at the timeout exactly like a
+/// silent one. Only completing a line rearms the clock (the caller
+/// re-enters for the next line).
 fn next_line(
     reader: &mut BufReader<TcpStream>,
     acc: &mut Vec<u8>,
@@ -500,18 +560,18 @@ fn next_line(
 ) -> std::io::Result<LineRead> {
     acc.clear();
     let mut too_long = false;
-    let mut last_data = Instant::now();
+    let started = Instant::now();
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(LineRead::Stopped);
+        }
+        if started.elapsed() >= idle_timeout {
+            return Ok(LineRead::IdleTimeout);
         }
         let (consumed, complete) = {
             let buf = match reader.fill_buf() {
                 Ok(buf) => buf,
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if last_data.elapsed() >= idle_timeout {
-                        return Ok(LineRead::IdleTimeout);
-                    }
                     continue;
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -534,7 +594,6 @@ fn next_line(
             }
             (consumed, complete)
         };
-        last_data = Instant::now();
         reader.consume(consumed);
         if complete {
             return Ok(if too_long {
@@ -693,6 +752,74 @@ mod tests {
             .unwrap()
             .to_wire(7);
         assert_eq!(format_report(&report), format_report(&direct));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn update_lines_hot_reload_the_default_instance() {
+        let path = instance_file("update", 17);
+        let key = path.to_string_lossy().into_owned();
+        let state = ServeState::new(Some(key.clone()), 4);
+        state.preload_default().expect("default loads");
+        let mut ws = SolveWorkspace::new();
+        let before = state
+            .answer_line("solve id=1 objective=min-period strategy=best", 1, &mut ws)
+            .expect("answered");
+        // Speed up the fastest processor; the ack carries the updated
+        // baseline (Lemma-1) coordinates.
+        let prepared = state.cache().get_or_load(&key).unwrap();
+        let fastest = prepared.platform().fastest();
+        let doubled = 2.0 * prepared.platform().speed(fastest);
+        let ack = state
+            .answer_line(
+                &format!("update id=2 delta=proc-speed proc={fastest} speed={doubled}"),
+                2,
+                &mut ws,
+            )
+            .expect("answered");
+        let updated = state.cache().get_or_load(&key).unwrap();
+        match &ack {
+            WireReport::Solved(s) => {
+                assert_eq!(s.id, 2);
+                assert_eq!(s.solver, "update");
+                assert_eq!(s.period.to_bits(), updated.single_proc_period().to_bits());
+                assert_eq!(s.latency.to_bits(), updated.optimal_latency().to_bits());
+            }
+            other => panic!("expected ok ack, got {other:?}"),
+        }
+        assert_eq!(
+            updated.platform().speed(fastest).to_bits(),
+            doubled.to_bits()
+        );
+        // Selector-less requests now answer against the updated instance.
+        let after = state
+            .answer_line("solve id=3 objective=min-period strategy=best", 3, &mut ws)
+            .expect("answered");
+        assert_ne!(format_report(&before), format_report(&after));
+        // Structured failures: bad delta (unknown proc), no default.
+        let report = state
+            .answer_line("update id=4 delta=proc-speed proc=99 speed=1", 4, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=4 status=error code=bad-delta"
+        );
+        let no_default = ServeState::new(None, 2);
+        let report = no_default
+            .answer_line("update id=5 delta=bandwidth bandwidth=2", 1, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=5 status=error code=no-default-instance"
+        );
+        // Malformed updates diagnose the line and key like solve lines.
+        let report = state
+            .answer_line("update id=6 delta=proc-speed proc=0", 6, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=0 status=error code=bad-request line=6 key=speed"
+        );
         let _ = std::fs::remove_file(path);
     }
 

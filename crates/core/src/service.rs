@@ -35,7 +35,7 @@
 use crate::exact;
 use crate::pareto::ParetoFront;
 use crate::solve::{Objective, Strategy};
-use crate::state::BiCriteriaResult;
+use crate::state::{instance_fingerprint, BiCriteriaResult};
 use crate::trajectory::{fixed_period_trajectory_in, Trajectory, TrajectoryKind};
 use crate::workspace::SolveWorkspace;
 use crate::{hetero, sp_bi_l_in, sp_bi_p_in, sp_mono_l_in, HeuristicKind, SpBiPOptions};
@@ -437,6 +437,138 @@ impl PreparedInstance {
             self.trajectory_in(HeuristicKind::HeteroSplit, ws);
         }
         self
+    }
+
+    /// Applies an [`InstanceDelta`], preparing the updated instance while
+    /// reusing every memoized artifact the delta does not invalidate.
+    /// The online re-solve entry point: a platform drifts (a processor
+    /// slows down, joins, leaves; a link degrades; a stage's work
+    /// estimate is revised) and the service wants the next prepared
+    /// instance without paying a cold start.
+    pub fn apply(&self, delta: &InstanceDelta) -> Result<PreparedInstance, DeltaError> {
+        self.apply_in(delta, &mut SolveWorkspace::new())
+    }
+
+    /// [`Self::apply`] reusing a caller-owned workspace. Three reuse
+    /// tiers, each provably observation-equivalent to a scratch
+    /// [`PreparedInstance::new`] on the updated instance (pinned bitwise
+    /// by `tests/delta_differential.rs`):
+    ///
+    /// * **Identity** — the delta reproduces every work, volume, speed
+    ///   and bandwidth bit for bit: every populated cache (trajectories
+    ///   with their prefix-min indices, the H4 floor run, the exact
+    ///   front) carries over wholesale.
+    /// * **Speed-only drift on a Communication Homogeneous platform** —
+    ///   a recorded paper trajectory consults only a *prefix* of the
+    ///   speed-descending processor order: the `n_used` processors it
+    ///   enrolled plus the next candidates its stopping rule probed
+    ///   (one for H1's single-split policy, two for the 3-exploration
+    ///   policies). If that prefix is unchanged — same ids, same speed
+    ///   bits — a re-run would replay bit-identically, so the cached
+    ///   trajectory is kept; anything else about the platform may change
+    ///   freely (the typical drift: a processor outside the working set
+    ///   speeds up or slows down).
+    /// * **Selection-memo warm start** — if the workspace's [`SplitMemo`]
+    ///   is bound to this instance, it is rebound
+    ///   ([`SplitMemo::migrate`]) to the updated instance's fingerprint,
+    ///   keeping exactly the entries whose keys the delta cannot touch.
+    ///   The next H4 run on the updated instance then starts from the
+    ///   previous instance's cached split selections instead of a cold
+    ///   memo.
+    ///
+    /// [`SplitMemo`]: crate::state::SplitMemo
+    /// [`SplitMemo::migrate`]: crate::state::SplitMemo::migrate
+    pub fn apply_in(
+        &self,
+        delta: &InstanceDelta,
+        ws: &mut SolveWorkspace,
+    ) -> Result<PreparedInstance, DeltaError> {
+        let (app, platform) = delta.apply_to(&self.app, &self.platform)?;
+        let next = PreparedInstance::new(app, platform);
+        let same_app = bits_eq(self.app.works(), next.app.works())
+            && bits_eq(self.app.deltas(), next.app.deltas());
+        let same_links = links_bits_eq(self.platform.links(), next.platform.links());
+        if same_app && same_links && bits_eq(self.platform.speeds(), next.platform.speeds()) {
+            // Identity: the instances are indistinguishable, so every
+            // cache answers for the new one.
+            carry(&self.h1, &next.h1);
+            carry(&self.h2a, &next.h2a);
+            carry(&self.h2b, &next.h2b);
+            carry(&self.het, &next.het);
+            carry(&self.sp_bi_p_floor_run, &next.sp_bi_p_floor_run);
+            carry(&self.exact_min_period, &next.exact_min_period);
+            carry(&self.exact_front, &next.exact_front);
+        } else if same_app && same_links && self.comm_homogeneous && next.comm_homogeneous {
+            let tiers: [(
+                &OnceLock<CachedTrajectory>,
+                &OnceLock<CachedTrajectory>,
+                usize,
+            ); 3] = [
+                (&self.h1, &next.h1, 1),
+                (&self.h2a, &next.h2a, 2),
+                (&self.h2b, &next.h2b, 2),
+            ];
+            for (old_lock, new_lock, lookahead) in tiers {
+                let Some(cached) = old_lock.get() else {
+                    continue;
+                };
+                let traj = cached.trajectory();
+                let consulted = traj.n_intervals(traj.len() - 1) + lookahead;
+                if order_prefix_unchanged(&self.platform, &next.platform, consulted) {
+                    let _ = new_lock.set(cached.clone());
+                }
+            }
+        }
+        self.migrate_memo(&next, delta, ws);
+        Ok(next)
+    }
+
+    /// Rebinds the workspace's selection memo from this instance to
+    /// `next`, retaining the entries `delta` cannot invalidate. A memo
+    /// bound elsewhere (or unbound) is left alone — the fingerprint
+    /// guard in `SplitMemo::bind` keeps it sound either way.
+    ///
+    /// Keep rules, per delta kind (`MemoKey` caches the best-cut
+    /// selection of interval `[start, end)` owned by `key.proc`, with
+    /// the candidate processor identified by its speed *value*):
+    ///
+    /// * `StageWeight(s)` — an entry observes `works[s]` iff
+    ///   `s ∈ [start, end)`; keep the rest.
+    /// * `ProcSpeed(u)` — entries owned by `u` observe its speed; every
+    ///   other entry keys candidates by speed value, so it stays correct
+    ///   for whichever processors still have that speed. Keep
+    ///   `key.proc != u`.
+    /// * `ProcArrival` — appends a processor; no existing key can refer
+    ///   to it. Keep all.
+    /// * `ProcDeparture(d)` — removal renumbers every processor above
+    ///   `d`. Keep `key.proc < d`.
+    /// * `Bandwidth` / `LinkBandwidth` — every interval cost changes.
+    ///   Keep none (the rebind still preserves table capacity).
+    fn migrate_memo(
+        &self,
+        next: &PreparedInstance,
+        delta: &InstanceDelta,
+        ws: &mut SolveWorkspace,
+    ) {
+        if ws.memo.fingerprint() != Some(instance_fingerprint(&self.cost_model())) {
+            return;
+        }
+        let new_fp = instance_fingerprint(&next.cost_model());
+        match *delta {
+            InstanceDelta::StageWeight { stage, .. } => ws
+                .memo
+                .migrate(new_fp, |start, end, _| stage < start || stage >= end),
+            InstanceDelta::ProcSpeed { proc, .. } => {
+                ws.memo.migrate(new_fp, |_, _, owner| owner != proc)
+            }
+            InstanceDelta::ProcArrival { .. } => ws.memo.migrate(new_fp, |_, _, _| true),
+            InstanceDelta::ProcDeparture { proc } => {
+                ws.memo.migrate(new_fp, |_, _, owner| owner < proc)
+            }
+            InstanceDelta::Bandwidth { .. } | InstanceDelta::LinkBandwidth { .. } => {
+                ws.memo.migrate(new_fp, |_, _, _| false)
+            }
+        }
     }
 
     /// The memoized bound-independent trajectory of a heuristic, when it
@@ -962,6 +1094,58 @@ impl PreparedInstance {
     }
 }
 
+/// Copies a populated cache into a fresh instance's empty slot.
+fn carry<T: Clone>(src: &OnceLock<T>, dst: &OnceLock<T>) {
+    if let Some(value) = src.get() {
+        let _ = dst.set(value.clone());
+    }
+}
+
+/// Bitwise slice equality — the reuse tiers compare representations, not
+/// semantic `f64` equality (`-0.0 == 0.0` but computes differently).
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Bitwise link-model equality.
+fn links_bits_eq(a: &LinkModel, b: &LinkModel) -> bool {
+    match (a, b) {
+        (LinkModel::Homogeneous(x), LinkModel::Homogeneous(y)) => x.to_bits() == y.to_bits(),
+        (
+            LinkModel::Heterogeneous {
+                matrix: ma,
+                io_bandwidth: ia,
+            },
+            LinkModel::Heterogeneous {
+                matrix: mb,
+                io_bandwidth: ib,
+            },
+        ) => {
+            ia.to_bits() == ib.to_bits()
+                && ma.len() == mb.len()
+                && ma.iter().zip(mb).all(|(ra, rb)| bits_eq(ra, rb))
+        }
+        _ => false,
+    }
+}
+
+/// Whether the first `k` entries of the speed-descending processor order
+/// are unchanged — same processor ids carrying the same speed bits. When
+/// the old platform has fewer than `k` processors the recorded run
+/// exhausted the platform, so reuse additionally requires that no new
+/// candidate appeared: the full orders must coincide.
+fn order_prefix_unchanged(old: &Platform, new: &Platform, k: usize) -> bool {
+    let a = old.procs_by_speed_desc();
+    let b = new.procs_by_speed_desc();
+    let pair_eq =
+        |(&u, &v): (&ProcId, &ProcId)| u == v && old.speed(u).to_bits() == new.speed(v).to_bits();
+    if k > a.len() {
+        a.len() == b.len() && a.iter().zip(b).all(pair_eq)
+    } else {
+        b.len() >= k && a[..k].iter().zip(&b[..k]).all(pair_eq)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Wire-format glue: conversions between the typed request/report model and
 // the line-oriented syntax of `pipeline_model::io`.
@@ -1467,6 +1651,98 @@ mod tests {
         let wire = err.to_wire(3);
         let line = pipeline_model::io::format_report(&wire);
         assert_eq!(pipeline_model::io::parse_report(&line).unwrap(), wire);
+    }
+
+    #[test]
+    fn apply_identity_delta_carries_every_cache() {
+        let (app, pf) = instance(8, 6);
+        let session = PreparedInstance::new(app, pf);
+        session.prepare();
+        session.exact_front().expect("small comm-homog instance");
+        let u = session.platform().fastest();
+        let delta = InstanceDelta::ProcSpeed {
+            proc: u,
+            speed: session.platform().speed(u),
+        };
+        let next = session.apply(&delta).expect("identity delta applies");
+        // Every populated cache transferred — nothing recomputes.
+        assert!(next.h1.get().is_some());
+        assert!(next.h2a.get().is_some());
+        assert!(next.h2b.get().is_some());
+        assert!(next.sp_bi_p_floor_run.get().is_some());
+        assert!(next.exact_front.get().is_some());
+        // And the carried caches answer bit-identically to the session.
+        for objective in [Objective::MinPeriod, Objective::ParetoFront] {
+            let a = session.solve(&SolveRequest::new(objective)).unwrap();
+            let b = next.solve(&SolveRequest::new(objective)).unwrap();
+            assert_eq!(a.solver, b.solver);
+            assert_eq!(bits(&a.result), bits(&b.result));
+        }
+    }
+
+    #[test]
+    fn apply_speed_drift_outside_the_working_set_keeps_trajectories() {
+        // More processors than stages: the trajectories cannot enroll the
+        // slowest processors, so drifting one of them is invisible to the
+        // recorded runs.
+        let (app, pf) = instance(8, 12);
+        let session = PreparedInstance::new(app.clone(), pf.clone());
+        session.prepare();
+        let slowest = *pf.procs_by_speed_desc().last().expect("non-empty");
+        let delta = InstanceDelta::ProcSpeed {
+            proc: slowest,
+            speed: 0.5 * pf.speed(slowest),
+        };
+        let next = session.apply(&delta).expect("valid drift");
+        assert!(next.h1.get().is_some(), "H1 trajectory not reused");
+        assert!(next.h2a.get().is_some(), "H2a trajectory not reused");
+        assert!(next.h2b.get().is_some(), "H2b trajectory not reused");
+        // Reuse must be undetectable next to a scratch preparation.
+        let (app2, pf2) = delta.apply_to(&app, &pf).unwrap();
+        let scratch = PreparedInstance::new(app2, pf2);
+        let bound = 1.02 * scratch.best_period_floor();
+        for strategy in [
+            Strategy::BestOfAll,
+            Strategy::Heuristic(HeuristicKind::SpMonoP),
+        ] {
+            let request =
+                SolveRequest::new(Objective::MinLatencyForPeriod(bound)).strategy(strategy);
+            let a = next.solve(&request).unwrap();
+            let b = scratch.solve(&request).unwrap();
+            assert_eq!(a.solver, b.solver, "{strategy:?}");
+            assert_eq!(bits(&a.result), bits(&b.result), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn apply_rebinds_the_workspace_memo_without_tripping_the_guard() {
+        // A chain of drifting instances re-solved through one workspace:
+        // apply_in migrates the memo binding each step, so the fingerprint
+        // guard never fires (debug_assert in debug builds) and every warm
+        // re-solve stays bit-identical to a scratch solve.
+        let (app, pf) = instance(12, 8);
+        let mut ws = SolveWorkspace::new();
+        let mut session = PreparedInstance::new(app, pf);
+        session.sp_bi_p_floor_in(&mut ws);
+        for step in 0..4 {
+            let u = *session.platform().procs_by_speed_desc().last().unwrap();
+            let delta = match step % 2 {
+                0 => InstanceDelta::ProcSpeed {
+                    proc: u,
+                    speed: 1.25 * session.platform().speed(u),
+                },
+                _ => InstanceDelta::StageWeight {
+                    stage: step % session.app().n_stages(),
+                    work: 3.0 + step as f64,
+                },
+            };
+            let next = session.apply_in(&delta, &mut ws).expect("valid delta");
+            let warm = next.sp_bi_p_floor_in(&mut ws).expect("comm homog");
+            let scratch = PreparedInstance::new(next.app().clone(), next.platform().clone());
+            let cold = scratch.sp_bi_p_floor().expect("comm homog");
+            assert_eq!(warm.to_bits(), cold.to_bits(), "step {step}");
+            session = next;
+        }
     }
 
     #[test]

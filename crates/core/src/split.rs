@@ -123,15 +123,18 @@ pub fn sp_bi_p(cm: &CostModel<'_>, period_target: f64, opts: SpBiPOptions) -> Bi
 
 /// [`sp_bi_p`] reusing workspace buffers: the ~30 probe runs of the
 /// binary search share the workspace's split buffers *and* its selection
-/// memo (reset at entry, so reuse across instances is safe).
-/// Bit-identical to the fresh-memo run.
+/// memo. The memo is taken *warm* when the workspace last served this
+/// very instance (fingerprint match) — repeated solves and
+/// delta-rebound memos start from cached selections — and reset
+/// otherwise, so reuse across instances stays safe. Bit-identical to
+/// the fresh-memo run either way.
 pub fn sp_bi_p_in(
     cm: &CostModel<'_>,
     period_target: f64,
     opts: SpBiPOptions,
     ws: &mut SolveWorkspace,
 ) -> BiCriteriaResult {
-    let mut memo = ws.take_memo();
+    let mut memo = ws.take_memo_for(crate::state::instance_fingerprint(cm));
     let result = sp_bi_p_with_memo(cm, period_target, opts, &mut memo, ws);
     ws.restore_memo(memo);
     result

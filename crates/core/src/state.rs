@@ -195,16 +195,53 @@ impl SplitMemo {
         SplitMemo::default()
     }
 
-    /// Binds the memo to an instance on first use; panics if it is later
-    /// offered a different one (the keys cannot tell instances apart).
+    /// Binds the memo to an instance on first use. Offering a bound memo
+    /// a *different* instance is a caller bug — the keys cannot tell
+    /// instances apart — so debug builds panic. Release builds recover
+    /// structurally: the memo is emptied and rebound, which is always
+    /// correct (an empty memo serves any instance), merely cold.
     fn bind(&mut self, fp: u64) {
         match self.fingerprint {
             None => self.fingerprint = Some(fp),
-            Some(bound) => assert_eq!(
-                bound, fp,
-                "SplitMemo reused across instances; use one memo per instance"
-            ),
+            Some(bound) if bound == fp => {}
+            Some(_bound) => {
+                debug_assert_eq!(
+                    _bound, fp,
+                    "SplitMemo reused across instances; use one memo per instance"
+                );
+                self.reset();
+                self.fingerprint = Some(fp);
+            }
         }
+    }
+
+    /// The fingerprint of the instance this memo currently serves, if it
+    /// has been bound.
+    pub(crate) fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// Rebinds the memo to a *related* instance, retaining only the
+    /// entries `keep(start, end, owner_proc)` approves. This is the warm
+    /// path behind `PreparedInstance::apply`: after an
+    /// [`crate::service::PreparedInstance`] delta, the caller knows which
+    /// intervals the edit can affect (a changed stage weight invalidates
+    /// intervals containing that stage; a changed processor speed
+    /// invalidates intervals owned by it; departures shift ids) and keeps
+    /// the rest. Safe because a cached [`Split2`] depends only on the
+    /// interval's works and volumes, the owner's speed, the enrolled
+    /// speed (keyed *by value*), the global latency (keyed) and the
+    /// shared bandwidth — `keep` must reject any key whose inputs the
+    /// delta touched, and callers must drop everything on bandwidth
+    /// changes.
+    pub(crate) fn migrate(
+        &mut self,
+        new_fp: u64,
+        mut keep: impl FnMut(usize, usize, ProcId) -> bool,
+    ) {
+        self.over_i.retain(|k, _| keep(k.start, k.end, k.proc));
+        self.over_j.retain(|k, _| keep(k.start, k.end, k.proc));
+        self.fingerprint = Some(new_fp);
     }
 
     /// Empties the memo and unbinds it from its instance, keeping the
@@ -236,7 +273,7 @@ pub struct SplitBuffers {
 /// Hash of the full instance profile — every work, communication volume,
 /// processor speed and the link bandwidth, as raw bits — used to pin a
 /// [`SplitMemo`] to one instance.
-fn instance_fingerprint(cm: &CostModel<'_>) -> u64 {
+pub(crate) fn instance_fingerprint(cm: &CostModel<'_>) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     for &w in cm.app().works() {
@@ -1044,6 +1081,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "SplitMemo reused across instances")]
     fn memo_refuses_cross_instance_reuse() {
         let (app, pf) = setup();
@@ -1057,6 +1095,57 @@ mod tests {
         let cm2 = CostModel::new(&app2, &pf2);
         let st2 = SplitState::new(&cm2);
         let _ = st2.best_split2_bi_memo(0, None, &mut memo);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn memo_recovers_from_cross_instance_reuse_in_release() {
+        // Release builds reset-and-rebind instead of panicking: the
+        // answer matches an unmemoized selection on the new instance.
+        let (app, pf) = setup();
+        let cm = CostModel::new(&app, &pf);
+        let st = SplitState::new(&cm);
+        let mut memo = SplitMemo::new();
+        let _ = st.best_split2_bi_memo(0, None, &mut memo);
+        let app2 = Application::new(vec![1.0, 2.0, 3.0], vec![1.0; 4]).unwrap();
+        let pf2 = Platform::comm_homogeneous(vec![1.0, 2.0], 1.0).unwrap();
+        let cm2 = CostModel::new(&app2, &pf2);
+        let st2 = SplitState::new(&cm2);
+        let warm = st2.best_split2_bi_memo(0, None, &mut memo);
+        let direct = st2.best_split2_bi(0, None);
+        assert_eq!(
+            warm.map(|s| (s.cut, s.keep_left)),
+            direct.map(|s| (s.cut, s.keep_left))
+        );
+    }
+
+    #[test]
+    fn memo_migrate_keeps_approved_entries_and_rebinds() {
+        let (app, pf) = setup();
+        let cm = CostModel::new(&app, &pf);
+        let st = SplitState::new(&cm);
+        let mut memo = SplitMemo::new();
+        let _ = st.best_split2_bi_memo(0, None, &mut memo);
+        let _ = st.best_split2_bi_denom_j_memo(0, None, &mut memo);
+        assert!(!memo.over_i.is_empty() && !memo.over_j.is_empty());
+        let old_fp = memo.fingerprint().expect("bound after first use");
+
+        // Keep everything: the entries survive and the memo answers for
+        // the (identical) "new" instance without tripping the guard.
+        memo.migrate(old_fp ^ 1, |_, _, _| true);
+        assert_eq!(memo.fingerprint(), Some(old_fp ^ 1));
+        assert!(!memo.over_i.is_empty());
+
+        // Keep nothing: both tables drain but the binding stands.
+        memo.migrate(old_fp, |_, _, _| false);
+        assert!(memo.over_i.is_empty() && memo.over_j.is_empty());
+        assert_eq!(memo.fingerprint(), Some(old_fp));
+        // The rebound memo serves its instance again without asserting.
+        let again = st.best_split2_bi_memo(0, None, &mut memo);
+        assert_eq!(
+            again.map(|s| (s.cut, s.keep_left)),
+            st.best_split2_bi(0, None).map(|s| (s.cut, s.keep_left))
+        );
     }
 
     #[test]

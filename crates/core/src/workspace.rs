@@ -104,11 +104,17 @@ impl SolveWorkspace {
         self.split = buffers;
     }
 
-    /// Takes the selection memo out, emptied and unbound (capacity
-    /// kept); pair with [`Self::restore_memo`].
-    pub(crate) fn take_memo(&mut self) -> SplitMemo {
+    /// Takes the selection memo out *warm* when it already serves the
+    /// instance with fingerprint `fp` — consecutive solves on one
+    /// instance (re-solves after an `InstanceDelta`, repeated service
+    /// queries) then start from the previous solve's cached selections
+    /// instead of a cold memo. Any other binding is reset. Bit-identical
+    /// either way: memoized selections equal direct ones, warm or cold.
+    pub(crate) fn take_memo_for(&mut self, fp: u64) -> SplitMemo {
         let mut memo = std::mem::take(&mut self.memo);
-        memo.reset();
+        if memo.fingerprint() != Some(fp) {
+            memo.reset();
+        }
         memo
     }
 
@@ -148,7 +154,7 @@ mod tests {
         let mut ws = SolveWorkspace::new();
         let bufs = ws.take_split();
         ws.restore_split(bufs);
-        let memo = ws.take_memo();
+        let memo = ws.take_memo_for(0);
         ws.restore_memo(memo);
     }
 }

@@ -40,23 +40,28 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// The `q`-quantile latency in microseconds (0 when nothing was
-    /// answered). `q` in `[0, 1]`; the nearest-rank percentile.
-    pub fn quantile_us(&self, q: f64) -> u64 {
+    /// The `q`-quantile latency in microseconds by the nearest-rank
+    /// method (`q` clamped to `[0, 1]`; `q = 0` is the minimum, `q = 1`
+    /// the maximum, a single sample answers every quantile). `None` when
+    /// nothing was answered — an all-errors run must not masquerade as
+    /// "every request returned in 0 µs".
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
         if self.latencies_us.is_empty() {
-            return 0;
+            return None;
         }
-        let rank = ((self.latencies_us.len() as f64) * q).ceil() as usize;
-        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
+        let rank = ((self.latencies_us.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+        Some(self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1])
     }
 
-    /// Median request latency in microseconds.
-    pub fn p50_us(&self) -> u64 {
+    /// Median request latency in microseconds (`None` when nothing was
+    /// answered).
+    pub fn p50_us(&self) -> Option<u64> {
         self.quantile_us(0.50)
     }
 
-    /// 99th-percentile request latency in microseconds.
-    pub fn p99_us(&self) -> u64 {
+    /// 99th-percentile request latency in microseconds (`None` when
+    /// nothing was answered).
+    pub fn p99_us(&self) -> Option<u64> {
         self.quantile_us(0.99)
     }
 
@@ -208,19 +213,49 @@ mod tests {
             wall_secs: 2.0,
             latencies_us: vec![10, 20, 30, 40],
         };
-        assert_eq!(report.p50_us(), 20);
-        assert_eq!(report.p99_us(), 40);
-        assert_eq!(report.quantile_us(0.0), 10);
-        assert_eq!(report.quantile_us(1.0), 40);
+        assert_eq!(report.p50_us(), Some(20));
+        assert_eq!(report.p99_us(), Some(40));
+        assert_eq!(report.quantile_us(0.0), Some(10));
+        assert_eq!(report.quantile_us(1.0), Some(40));
         assert!((report.requests_per_sec() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_boundary_ranks_do_not_overflow_or_lie() {
+        // Zero answered: every quantile is None, never a silent 0 (an
+        // all-errors run is not "all requests in 0 µs").
         let empty = LoadReport {
             answered: 0,
             errors: 3,
             wall_secs: 1.0,
             latencies_us: Vec::new(),
         };
-        assert_eq!(empty.p50_us(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile_us(q), None, "q={q}");
+        }
+        assert_eq!(empty.p50_us(), None);
+        assert_eq!(empty.p99_us(), None);
         assert_eq!(empty.requests_per_sec(), 0.0);
+        // A single sample answers every quantile, including the exact
+        // endpoints (rank 1 of 1 — no index-out-of-bounds at q = 1.0).
+        let single = LoadReport {
+            answered: 1,
+            errors: 0,
+            wall_secs: 1.0,
+            latencies_us: vec![77],
+        };
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile_us(q), Some(77), "q={q}");
+        }
+        // Out-of-range q is clamped, not a panic or a wild rank.
+        let report = LoadReport {
+            answered: 3,
+            errors: 0,
+            wall_secs: 1.0,
+            latencies_us: vec![1, 2, 3],
+        };
+        assert_eq!(report.quantile_us(-0.5), Some(1));
+        assert_eq!(report.quantile_us(7.0), Some(3));
     }
 
     #[test]

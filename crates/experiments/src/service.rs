@@ -14,6 +14,7 @@
 use crate::shard::{sharded_map_items_with, ShardOptions};
 use pipeline_core::service::{PreparedInstance, SolveError, SolveReport, SolveRequest};
 use pipeline_core::SolveWorkspace;
+use pipeline_model::{DeltaError, InstanceDelta};
 use std::sync::Arc;
 
 /// One unit of batched work: a query against a (shared) prepared
@@ -44,6 +45,77 @@ pub fn solve_batch(
 ) -> Vec<Result<SolveReport, SolveError>> {
     sharded_map_items_with(jobs, opts, SolveWorkspace::new, |ws, job| {
         job.instance.solve_in(&job.request, ws)
+    })
+}
+
+/// One unit of incremental batched work: an [`InstanceDelta`] applied to
+/// a (shared) prepared instance, then one query against the updated
+/// instance. The delta path (`PreparedInstance::apply_in`) carries over
+/// every memoized artifact the edit does not invalidate, so many jobs
+/// probing "what if the platform drifted like *this*?" against one base
+/// session reuse its trajectories instead of re-deriving them per job.
+#[derive(Debug, Clone)]
+pub struct DeltaJob {
+    /// The base instance; `Arc` so many what-if jobs share one session.
+    pub instance: Arc<PreparedInstance>,
+    /// The platform/application edit to apply first.
+    pub delta: InstanceDelta,
+    /// The query answered against the updated instance.
+    pub request: SolveRequest,
+}
+
+impl DeltaJob {
+    /// Pairs a base instance with a delta and a follow-up request.
+    pub fn new(
+        instance: Arc<PreparedInstance>,
+        delta: InstanceDelta,
+        request: SolveRequest,
+    ) -> Self {
+        DeltaJob {
+            instance,
+            delta,
+            request,
+        }
+    }
+}
+
+/// Why one [`DeltaJob`] produced no report: the delta did not apply, or
+/// the solve on the updated instance failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaSolveError {
+    /// The delta was rejected ([`PreparedInstance::apply_in`]).
+    Delta(DeltaError),
+    /// The delta applied but the query failed.
+    Solve(SolveError),
+}
+
+impl std::fmt::Display for DeltaSolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaSolveError::Delta(e) => write!(f, "delta rejected: {e}"),
+            DeltaSolveError::Solve(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaSolveError {}
+
+/// Answers every delta job, in job order, on the sharded engine —
+/// [`solve_batch`]'s incremental sibling. Identical determinism
+/// guarantees: output is bit-identical across thread counts and to the
+/// sequential apply-then-solve (pinned by `tests/delta_differential.rs`:
+/// `apply` is observation-equivalent to a scratch preparation).
+pub fn solve_delta_batch(
+    jobs: Vec<DeltaJob>,
+    opts: ShardOptions,
+) -> Vec<Result<SolveReport, DeltaSolveError>> {
+    sharded_map_items_with(jobs, opts, SolveWorkspace::new, |ws, job| {
+        let next = job
+            .instance
+            .apply_in(&job.delta, ws)
+            .map_err(DeltaSolveError::Delta)?;
+        next.solve_in(&job.request, ws)
+            .map_err(DeltaSolveError::Solve)
     })
 }
 
@@ -105,6 +177,81 @@ mod tests {
             ));
             assert_eq!(got, reference, "threads={threads}");
         }
+    }
+
+    fn fixture_delta_jobs() -> Vec<DeltaJob> {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 9, 6));
+        let mut jobs = Vec::new();
+        for seed in 0..3 {
+            let (app, pf) = gen.instance(seed, 0);
+            let slowest = *pf.procs_by_speed_desc().last().unwrap();
+            let prepared = Arc::new(PreparedInstance::new(app, pf.clone()));
+            let deltas = [
+                InstanceDelta::ProcSpeed {
+                    proc: slowest,
+                    speed: 0.5 * pf.speed(slowest),
+                },
+                InstanceDelta::StageWeight {
+                    stage: seed as usize % 9,
+                    work: 4.5,
+                },
+                InstanceDelta::ProcArrival { speed: 11.0 },
+                InstanceDelta::ProcSpeed {
+                    proc: 99,
+                    speed: 1.0,
+                }, // rejected
+            ];
+            for delta in deltas {
+                jobs.push(DeltaJob::new(
+                    Arc::clone(&prepared),
+                    delta,
+                    SolveRequest::new(Objective::MinPeriod).strategy(Strategy::BestOfAll),
+                ));
+            }
+        }
+        jobs
+    }
+
+    fn canon_delta(answers: &[Result<SolveReport, DeltaSolveError>]) -> Vec<String> {
+        answers
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match a {
+                Ok(report) => format_report(&report.to_wire(i as u64)),
+                Err(err) => format!("{err}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delta_batch_is_bit_identical_across_thread_counts_and_to_scratch() {
+        let reference = canon_delta(&solve_delta_batch(
+            fixture_delta_jobs(),
+            ShardOptions::with_threads(1),
+        ));
+        assert!(reference.iter().any(|l| l.contains("status=ok")));
+        assert!(reference.iter().any(|l| l.contains("delta rejected")));
+        for threads in [2, 4] {
+            let got = canon_delta(&solve_delta_batch(
+                fixture_delta_jobs(),
+                ShardOptions::with_threads(threads),
+            ));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+        // And each answer equals the fully-from-scratch apply-then-solve.
+        let scratch: Vec<Result<SolveReport, DeltaSolveError>> = fixture_delta_jobs()
+            .into_iter()
+            .map(|job| {
+                let (app, pf) = job
+                    .delta
+                    .apply_to(job.instance.app(), job.instance.platform())
+                    .map_err(DeltaSolveError::Delta)?;
+                PreparedInstance::new(app, pf)
+                    .solve(&job.request)
+                    .map_err(DeltaSolveError::Solve)
+            })
+            .collect();
+        assert_eq!(canon_delta(&scratch), reference);
     }
 
     #[test]

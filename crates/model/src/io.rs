@@ -28,6 +28,7 @@
 //! ```
 
 use crate::application::Application;
+use crate::delta::InstanceDelta;
 use crate::platform::{LinkModel, Platform};
 use crate::{ModelError, Result};
 
@@ -266,7 +267,7 @@ pub fn parse_instance(text: &str) -> std::result::Result<(Application, Platform)
 pub type _Unused = Result<()>;
 
 // ---------------------------------------------------------------------------
-// Solver-service wire format v1.
+// Solver-service wire format v1.1.
 //
 // One request or report per line, `key=value` tokens separated by spaces,
 // so the `pwsched solve --stdin` service can sit behind a pipe or socket
@@ -279,18 +280,26 @@ pub type _Unused = Result<()>;
 // solve id=1 objective=min-period strategy=auto
 // solve id=2 objective=min-latency-for-period bound=2.5 strategy=best
 // solve id=3 objective=pareto-front strategy=exact tolerance=1e-9
+// update id=4 delta=proc-speed proc=2 speed=4.5
+// update id=5 delta=stage-weight stage=3 work=7.25
 // report id=1 status=ok solver=h1 period=1.5 latency=3 feasible=true mapping=0-2@1,2-5@0
 // report id=3 status=ok solver=exact period=1 latency=9 feasible=true mapping=0-6@2 front=1:9;2:6
 // report id=4 status=error code=bound-below-floor bound=0.5 floor=0.875
 // report id=0 status=error code=bad-request line=7 key=objective
 // ```
 //
+// v1.1 adds the `update` verb: an [`InstanceDelta`] applied in place to
+// the service's default instance (hot reload), answered with an ordinary
+// report line carrying the updated instance's baseline coordinates.
+//
 // Failure reports may carry structured diagnostics beyond the code: the
 // 1-based input line number of the offending request (`line=`) and the
 // offending `key=value` key (`key=`). Services add transport-level codes
 // on top of the solver codes: `bad-request` (the request line did not
 // parse), `unknown-solver`, `bad-instance` (the referenced instance file
-// did not load), `overloaded` (admission control refused the
+// did not load), `bad-delta` (the update could not be applied),
+// `no-default-instance` (an update arrived but the service serves no
+// default instance), `overloaded` (admission control refused the
 // connection), and `line-too-long` (the request exceeded the service's
 // line-length bound).
 // ---------------------------------------------------------------------------
@@ -506,6 +515,17 @@ impl WireFields {
             .ok_or_else(|| self.field_err(key, format!("missing {key}=")))
     }
 
+    fn require_f64(&mut self, key: &str) -> std::result::Result<f64, ParseError> {
+        self.take_f64(key)?
+            .ok_or_else(|| self.field_err(key, format!("missing {key}=")))
+    }
+
+    fn require_usize(&mut self, key: &str) -> std::result::Result<usize, ParseError> {
+        let v = self.require(key)?;
+        v.parse::<usize>()
+            .map_err(|_| self.field_err(key, format!("bad index {v:?}")))
+    }
+
     fn finish(mut self) -> std::result::Result<(), ParseError> {
         match self.fields.pop() {
             None => Ok(()),
@@ -586,6 +606,94 @@ pub fn format_request(req: &WireRequest) -> String {
     }
     if let Some(i) = &req.instance {
         out.push_str(&format!(" instance={i}"));
+    }
+    out
+}
+
+/// One `update` line of the request stream (wire format v1.1): an
+/// instance delta applied in place to the service's default instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireUpdate {
+    /// Client correlation id, echoed back in the report.
+    pub id: u64,
+    /// The edit to apply.
+    pub delta: InstanceDelta,
+}
+
+/// Parses one `update …` line.
+pub fn parse_update(line: &str) -> std::result::Result<WireUpdate, ParseError> {
+    parse_update_at(line, 0)
+}
+
+/// [`parse_update`] with the update's 1-based position in its input
+/// stream carried into parse errors, mirroring [`parse_request_at`].
+pub fn parse_update_at(line: &str, line_no: usize) -> std::result::Result<WireUpdate, ParseError> {
+    let mut fields = WireFields::new(wire_tokens(line, "update", line_no)?, line_no);
+    let id = {
+        let v = fields.require("id")?;
+        v.parse::<u64>()
+            .map_err(|_| fields.field_err("id", format!("bad id {v:?}")))?
+    };
+    let kind = fields.require("delta")?;
+    let delta = match kind.as_str() {
+        "proc-speed" => InstanceDelta::ProcSpeed {
+            proc: fields.require_usize("proc")?,
+            speed: fields.require_f64("speed")?,
+        },
+        "proc-arrival" => InstanceDelta::ProcArrival {
+            speed: fields.require_f64("speed")?,
+        },
+        "proc-departure" => InstanceDelta::ProcDeparture {
+            proc: fields.require_usize("proc")?,
+        },
+        "bandwidth" => InstanceDelta::Bandwidth {
+            bandwidth: fields.require_f64("bandwidth")?,
+        },
+        "link-bandwidth" => InstanceDelta::LinkBandwidth {
+            from: fields.require_usize("from")?,
+            to: fields.require_usize("to")?,
+            bandwidth: fields.require_f64("bandwidth")?,
+        },
+        "stage-weight" => InstanceDelta::StageWeight {
+            stage: fields.require_usize("stage")?,
+            work: fields.require_f64("work")?,
+        },
+        other => return Err(fields.field_err("delta", format!("unknown delta kind {other:?}"))),
+    };
+    fields.finish()?;
+    Ok(WireUpdate { id, delta })
+}
+
+/// Formats one update as an `update …` line (round-trips through
+/// [`parse_update`]).
+pub fn format_update(upd: &WireUpdate) -> String {
+    let mut out = format!("update id={} delta={}", upd.id, upd.delta.kind());
+    match &upd.delta {
+        InstanceDelta::ProcSpeed { proc, speed } => {
+            out.push_str(&format!(" proc={proc} speed={}", format_f64(*speed)));
+        }
+        InstanceDelta::ProcArrival { speed } => {
+            out.push_str(&format!(" speed={}", format_f64(*speed)));
+        }
+        InstanceDelta::ProcDeparture { proc } => {
+            out.push_str(&format!(" proc={proc}"));
+        }
+        InstanceDelta::Bandwidth { bandwidth } => {
+            out.push_str(&format!(" bandwidth={}", format_f64(*bandwidth)));
+        }
+        InstanceDelta::LinkBandwidth {
+            from,
+            to,
+            bandwidth,
+        } => {
+            out.push_str(&format!(
+                " from={from} to={to} bandwidth={}",
+                format_f64(*bandwidth)
+            ));
+        }
+        InstanceDelta::StageWeight { stage, work } => {
+            out.push_str(&format!(" stage={stage} work={}", format_f64(*work)));
+        }
     }
     out
 }
@@ -833,6 +941,68 @@ mod tests {
         assert!(parse_request("solve id=1 objective=nope").is_err());
         assert!(parse_request("solve id=1 objective=min-period junk=1").is_err());
         assert!(parse_request("report id=1 status=ok").is_err()); // wrong verb
+    }
+
+    #[test]
+    fn wire_update_round_trips() {
+        let updates = [
+            WireUpdate {
+                id: 1,
+                delta: InstanceDelta::ProcSpeed {
+                    proc: 2,
+                    speed: 4.5,
+                },
+            },
+            WireUpdate {
+                id: 2,
+                delta: InstanceDelta::ProcArrival { speed: 0.125 },
+            },
+            WireUpdate {
+                id: 3,
+                delta: InstanceDelta::ProcDeparture { proc: 0 },
+            },
+            WireUpdate {
+                id: 4,
+                delta: InstanceDelta::Bandwidth { bandwidth: 16.0 },
+            },
+            WireUpdate {
+                id: 5,
+                delta: InstanceDelta::LinkBandwidth {
+                    from: 1,
+                    to: 3,
+                    bandwidth: 2.5,
+                },
+            },
+            WireUpdate {
+                id: 6,
+                delta: InstanceDelta::StageWeight {
+                    stage: 7,
+                    work: 1e-3,
+                },
+            },
+        ];
+        for upd in updates {
+            let line = format_update(&upd);
+            assert_eq!(parse_update(&line).expect("round trip"), upd, "{line}");
+        }
+    }
+
+    #[test]
+    fn wire_update_errors_name_the_line_and_key() {
+        let err = parse_update_at("update id=1 delta=teleport", 11).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(11), Some("delta")));
+        let err = parse_update_at("update id=1 delta=proc-speed proc=0", 12).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(12), Some("speed")));
+        let err = parse_update_at("update id=1 delta=proc-speed proc=-1 speed=2", 13).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(13), Some("proc")));
+        let err = parse_update_at("update delta=bandwidth bandwidth=1", 14).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(14), Some("id")));
+        let err = parse_update_at("update id=1 delta=stage-weight stage=0 work=1 junk=1", 15)
+            .unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(15), Some("junk")));
+        // Wrong verb: a line-only diagnosis, like solve.
+        let err = parse_update_at("solve id=1 objective=min-period", 16).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(16), None));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod application;
 pub mod cost;
+pub mod delta;
 pub mod generator;
 pub mod io;
 pub mod mapping;
@@ -46,19 +47,26 @@ pub mod workload;
 
 pub use application::Application;
 pub use cost::{CostModel, IntervalCost};
+pub use delta::{DeltaError, InstanceDelta};
 pub use generator::{ExperimentKind, InstanceGenerator, InstanceParams};
 pub use mapping::{Interval, IntervalMapping};
 pub use platform::{LinkModel, Platform, ProcId};
-pub use scenario::{FamilyConfig, ScenarioFamily, ScenarioGenerator, ScenarioParams};
+pub use scenario::{
+    DriftFamily, DriftGenerator, FamilyConfig, ScenarioFamily, ScenarioGenerator, ScenarioParams,
+};
 
 /// Convenient glob import: `use pipeline_model::prelude::*;`.
 pub mod prelude {
     pub use crate::application::Application;
     pub use crate::cost::{CostModel, IntervalCost};
+    pub use crate::delta::{DeltaError, InstanceDelta};
     pub use crate::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
     pub use crate::mapping::{Interval, IntervalMapping};
     pub use crate::platform::{LinkModel, Platform, ProcId};
-    pub use crate::scenario::{FamilyConfig, ScenarioFamily, ScenarioGenerator, ScenarioParams};
+    pub use crate::scenario::{
+        DriftFamily, DriftGenerator, FamilyConfig, ScenarioFamily, ScenarioGenerator,
+        ScenarioParams,
+    };
     pub use crate::util::{approx_eq, approx_le, EPS};
 }
 

@@ -34,6 +34,7 @@
 //! | `adversarial` | homogeneous | NMWTS-style knife-edge partitioning ties |
 
 use crate::application::Application;
+use crate::delta::InstanceDelta;
 use crate::generator::{
     sample_uniform, stream_seed, ExperimentKind, InstanceGenerator, InstanceParams,
 };
@@ -615,6 +616,174 @@ impl ScenarioGenerator {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Drifting scenarios: an instance plus a deterministic update stream.
+//
+// The static zoo above answers "what does the platform look like?"; the
+// drift registry answers "how does it *change* while the service is
+// running?". Each drift family pairs a base instance (a paper-E2 draw,
+// so the full heuristic/exact stack applies) with a seeded stream of
+// `InstanceDelta`s that stays valid when applied in order — every prefix
+// of the stream is a valid instance. The session layer's incremental
+// re-solve (`PreparedInstance::apply`) and `pwsched bench-delta` replay
+// these streams.
+// ---------------------------------------------------------------------------
+
+/// Stable identifier of a registered drift family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriftFamily {
+    /// One processor's speed drifts multiplicatively (thermal envelopes,
+    /// co-tenants, DVFS): every update rescales the *slowest* base
+    /// processor by a factor in `[0.5, 2]`.
+    SpeedDrift,
+    /// One stage's computational weight drifts per release: every update
+    /// rescales a random stage's work by a factor in `[0.5, 2]`.
+    WeightDrift,
+    /// Processors churn: arrivals (random speed) alternate with
+    /// departures of the most recently arrived processor, so the
+    /// platform never shrinks below its base size.
+    Churn,
+}
+
+impl DriftFamily {
+    /// Every registered drift family.
+    pub const ALL: [DriftFamily; 3] = [
+        DriftFamily::SpeedDrift,
+        DriftFamily::WeightDrift,
+        DriftFamily::Churn,
+    ];
+
+    /// Stable machine-readable label (CLI/CSV/CI key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DriftFamily::SpeedDrift => "speed-drift",
+            DriftFamily::WeightDrift => "weight-drift",
+            DriftFamily::Churn => "churn",
+        }
+    }
+
+    /// Looks a drift family up by its stable label (case-insensitive).
+    pub fn from_label(label: &str) -> Option<DriftFamily> {
+        let needle = label.to_ascii_lowercase();
+        DriftFamily::ALL.into_iter().find(|f| f.label() == needle)
+    }
+
+    /// One line on what the stream stresses.
+    pub fn stresses(&self) -> &'static str {
+        match self {
+            DriftFamily::SpeedDrift => "single-processor speed drift under load",
+            DriftFamily::WeightDrift => "per-release stage-weight changes",
+            DriftFamily::Churn => "processors joining and leaving the platform",
+        }
+    }
+
+    /// Per-family stream salt (same role as [`ScenarioFamily::salt`]).
+    fn salt(&self) -> u64 {
+        match self {
+            DriftFamily::SpeedDrift => 0x7370_645F_6472_6674, // "spd_drft"
+            DriftFamily::WeightDrift => 0x7767_745F_6472_6674, // "wgt_drft"
+            DriftFamily::Churn => 0x6368_7572_6E5F_5F5F,      // "churn___"
+        }
+    }
+}
+
+impl std::fmt::Display for DriftFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Seeded generator of one drifting scenario: a base instance and the
+/// update stream that mutates it. `initial(seed)` and `updates(seed, k)`
+/// are deterministic, and applying `updates` in order to `initial` keeps
+/// every intermediate instance valid.
+#[derive(Debug, Clone)]
+pub struct DriftGenerator {
+    family: DriftFamily,
+    n_stages: usize,
+    n_procs: usize,
+}
+
+impl DriftGenerator {
+    /// A drift generator at the given base size.
+    pub fn new(family: DriftFamily, n_stages: usize, n_procs: usize) -> Self {
+        assert!(n_stages > 0, "need at least one stage");
+        assert!(n_procs > 0, "need at least one processor");
+        DriftGenerator {
+            family,
+            n_stages,
+            n_procs,
+        }
+    }
+
+    /// The drift family being generated.
+    pub fn family(&self) -> DriftFamily {
+        self.family
+    }
+
+    /// The base instance the stream starts from: the paper-E2 draw at
+    /// this size (comm-homogeneous, so every solver applies).
+    pub fn initial(&self, seed: u64) -> (Application, Platform) {
+        ScenarioGenerator::new(ScenarioFamily::E2.params(self.n_stages, self.n_procs))
+            .instance(seed, 0)
+    }
+
+    /// The first `count` updates of the stream under `seed`. Applied in
+    /// order to [`DriftGenerator::initial`], every prefix yields a valid
+    /// instance (speeds and works are clamped to `[1e-3, 1e6]`;
+    /// departures only remove processors the stream itself added).
+    pub fn updates(&self, seed: u64, count: usize) -> Vec<InstanceDelta> {
+        let (app, pf) = self.initial(seed);
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed ^ self.family.salt(), 0));
+        let mut out = Vec::with_capacity(count);
+        match self.family {
+            DriftFamily::SpeedDrift => {
+                // The slowest base processor: last in the deterministic
+                // speed-descending order.
+                let proc = *pf.procs_by_speed_desc().last().expect("non-empty");
+                let mut speed = pf.speed(proc);
+                for _ in 0..count {
+                    speed = (speed * drift_factor(&mut rng)).clamp(1e-3, 1e6);
+                    out.push(InstanceDelta::ProcSpeed { proc, speed });
+                }
+            }
+            DriftFamily::WeightDrift => {
+                let mut works = app.works().to_vec();
+                for _ in 0..count {
+                    let stage = rng.random_range(0..works.len());
+                    works[stage] = (works[stage] * drift_factor(&mut rng)).clamp(1e-3, 1e6);
+                    out.push(InstanceDelta::StageWeight {
+                        stage,
+                        work: works[stage],
+                    });
+                }
+            }
+            DriftFamily::Churn => {
+                let mut n_procs = pf.n_procs();
+                for i in 0..count {
+                    if i % 2 == 0 {
+                        let speed = rng.random_range(1..=20u32) as f64;
+                        out.push(InstanceDelta::ProcArrival { speed });
+                        n_procs += 1;
+                    } else {
+                        n_procs -= 1;
+                        out.push(InstanceDelta::ProcDeparture { proc: n_procs });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One multiplicative drift step in `[1/2, 2]`, log-symmetric so the
+/// walk is unbiased: `E[log factor] = 0`, and a drifting quantity
+/// wanders around its base value instead of compounding upward the way
+/// a factor uniform in `[0.5, 2]` (mean 1.25) would.
+fn drift_factor<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (2.0f64).powf(sample_uniform(rng, -1.0, 1.0))
+}
+
 fn validate_range(what: &str, (lo, hi): (f64, f64), min_lo: f64) {
     assert!(
         lo.is_finite() && hi.is_finite() && lo >= min_lo && lo <= hi,
@@ -758,5 +927,76 @@ mod tests {
     #[should_panic(expected = "at least one stage")]
     fn zero_stage_scenario_panics() {
         let _ = ScenarioGenerator::new(ScenarioFamily::HeavyTail.params(0, 4));
+    }
+
+    #[test]
+    fn drift_labels_are_stable_and_unique() {
+        let labels: Vec<&str> = DriftFamily::ALL.iter().map(|f| f.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), DriftFamily::ALL.len(), "duplicate labels");
+        for family in DriftFamily::ALL {
+            assert_eq!(DriftFamily::from_label(family.label()), Some(family));
+            assert_eq!(family.to_string(), family.label());
+            assert!(!family.stresses().is_empty());
+        }
+        assert_eq!(DriftFamily::from_label("no-such-drift"), None);
+    }
+
+    #[test]
+    fn drift_streams_are_deterministic_and_stay_valid() {
+        for family in DriftFamily::ALL {
+            let gen = DriftGenerator::new(family, 12, 6);
+            let (app0, pf0) = gen.initial(11);
+            assert_eq!(gen.initial(11), (app0.clone(), pf0.clone()), "{family}");
+            let stream = gen.updates(11, 24);
+            assert_eq!(stream, gen.updates(11, 24), "{family}: stream drifted");
+            assert_eq!(stream.len(), 24);
+            // Every prefix applies cleanly.
+            let (mut app, mut pf) = (app0, pf0);
+            for (i, delta) in stream.iter().enumerate() {
+                let (a, p) = delta
+                    .apply_to(&app, &pf)
+                    .unwrap_or_else(|e| panic!("{family} update #{i} invalid: {e}"));
+                app = a;
+                pf = p;
+            }
+            assert_eq!(app.n_stages(), 12, "{family}");
+            assert!(pf.n_procs() >= 6, "{family}");
+        }
+    }
+
+    #[test]
+    fn speed_drift_touches_exactly_one_processor() {
+        let gen = DriftGenerator::new(DriftFamily::SpeedDrift, 10, 5);
+        let (_, pf) = gen.initial(3);
+        let slowest = *pf.procs_by_speed_desc().last().unwrap();
+        for delta in gen.updates(3, 16) {
+            match delta {
+                InstanceDelta::ProcSpeed { proc, speed } => {
+                    assert_eq!(proc, slowest);
+                    assert!((1e-3..=1e6).contains(&speed));
+                }
+                other => panic!("unexpected delta {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_never_shrinks_below_the_base_platform() {
+        let gen = DriftGenerator::new(DriftFamily::Churn, 8, 4);
+        let mut n = 4usize;
+        for delta in gen.updates(5, 11) {
+            match delta {
+                InstanceDelta::ProcArrival { .. } => n += 1,
+                InstanceDelta::ProcDeparture { proc } => {
+                    assert_eq!(proc, n - 1, "departures remove the newest processor");
+                    n -= 1;
+                }
+                other => panic!("unexpected delta {other:?}"),
+            }
+            assert!(n >= 4);
+        }
     }
 }

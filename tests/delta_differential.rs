@@ -1,0 +1,147 @@
+//! Differential acceptance of the incremental re-solve path:
+//! [`PreparedInstance::apply`] must be observation-equivalent — bitwise,
+//! via the wire encoding of every answer — to preparing the edited
+//! instance from scratch, for every scenario-zoo family crossed with
+//! every delta kind. An identity delta must reproduce the original
+//! session's answers byte for byte (the carried caches answer verbatim).
+
+use pipeline_workflows::core::service::{PreparedInstance, SolveRequest};
+use pipeline_workflows::core::{Objective, SolveWorkspace, Strategy};
+use pipeline_workflows::model::io::format_report;
+use pipeline_workflows::model::scenario::{ScenarioFamily, ScenarioGenerator};
+use pipeline_workflows::model::{InstanceDelta, LinkModel};
+
+/// The wire lines of a fixed query battery — solver choice, coordinates,
+/// mapping, front, and error codes all captured with round-trip float
+/// formatting, so equality here is bitwise equality of everything a
+/// client can observe.
+fn observations(inst: &PreparedInstance, ws: &mut SolveWorkspace) -> Vec<String> {
+    let p0 = inst.single_proc_period();
+    let l0 = inst.optimal_latency();
+    let requests = [
+        SolveRequest::new(Objective::MinPeriod).strategy(Strategy::BestOfAll),
+        SolveRequest::new(Objective::MinLatency),
+        SolveRequest::new(Objective::MinLatencyForPeriod(0.6 * p0)).strategy(Strategy::BestOfAll),
+        SolveRequest::new(Objective::MinPeriodForLatency(2.0 * l0)).strategy(Strategy::BestOfAll),
+        SolveRequest::new(Objective::ParetoFront),
+    ];
+    requests
+        .iter()
+        .enumerate()
+        .map(|(i, request)| match inst.solve_in(request, ws) {
+            Ok(report) => format_report(&report.to_wire(i as u64)),
+            Err(err) => format_report(&err.to_wire(i as u64)),
+        })
+        .collect()
+}
+
+/// Every delta kind, sized for the given instance. Kinds a platform
+/// class rejects (shared bandwidth on heterogeneous links, per-link
+/// bandwidth on comm-homogeneous ones, an out-of-range departure) stay
+/// in the battery: both paths must reject them identically.
+fn delta_battery(inst: &PreparedInstance) -> Vec<InstanceDelta> {
+    let pf = inst.platform();
+    let slowest = *pf.procs_by_speed_desc().last().expect("non-empty");
+    let fastest = pf.fastest();
+    let n = inst.app().n_stages();
+    vec![
+        InstanceDelta::ProcSpeed {
+            proc: slowest,
+            speed: 0.5 * pf.speed(slowest),
+        },
+        InstanceDelta::ProcSpeed {
+            proc: fastest,
+            speed: 2.0 * pf.speed(fastest),
+        },
+        // Identity: same proc, bit-identical speed.
+        InstanceDelta::ProcSpeed {
+            proc: fastest,
+            speed: pf.speed(fastest),
+        },
+        InstanceDelta::ProcArrival { speed: 7.5 },
+        InstanceDelta::ProcDeparture { proc: slowest },
+        InstanceDelta::ProcDeparture {
+            proc: pf.n_procs(), // out of range: rejected
+        },
+        InstanceDelta::Bandwidth { bandwidth: 3.25 },
+        InstanceDelta::LinkBandwidth {
+            from: 0,
+            to: 1 % pf.n_procs(),
+            bandwidth: 2.5,
+        },
+        InstanceDelta::StageWeight {
+            stage: n / 2,
+            work: 4.75,
+        },
+        InstanceDelta::StageWeight {
+            stage: n, // out of range: rejected
+            work: 1.0,
+        },
+    ]
+}
+
+#[test]
+fn apply_matches_scratch_preparation_for_every_family_and_delta_kind() {
+    let mut ws = SolveWorkspace::new();
+    for family in ScenarioFamily::ALL {
+        let gen = ScenarioGenerator::new(family.params(10, 5));
+        let (app, pf) = gen.instance(2007, 0);
+        let base = PreparedInstance::new(app, pf);
+        // Warm the base session so `apply` has caches worth carrying.
+        let base_obs = observations(&base, &mut ws);
+        for delta in delta_battery(&base) {
+            let scratch = delta.apply_to(base.app(), base.platform());
+            match base.apply_in(&delta, &mut ws) {
+                Ok(applied) => {
+                    let (app, pf) = scratch.unwrap_or_else(|e| {
+                        panic!("{family}: apply_in accepted what apply_to rejects ({e}): {delta:?}")
+                    });
+                    let fresh = PreparedInstance::new(app, pf);
+                    assert_eq!(
+                        observations(&applied, &mut ws),
+                        observations(&fresh, &mut ws),
+                        "{family}: incremental answers drifted from scratch for {delta:?}"
+                    );
+                }
+                Err(e) => {
+                    assert_eq!(
+                        scratch.expect_err("apply_in rejected what apply_to accepts"),
+                        e,
+                        "{family}: rejection reasons disagree for {delta:?}"
+                    );
+                }
+            }
+        }
+        // After the whole battery the base session still answers exactly
+        // as before — `apply` never mutates the instance it ran on.
+        assert_eq!(
+            observations(&base, &mut ws),
+            base_obs,
+            "{family}: apply mutated the base session"
+        );
+    }
+}
+
+#[test]
+fn identity_deltas_preserve_answers_byte_for_byte() {
+    let mut ws = SolveWorkspace::new();
+    for family in ScenarioFamily::ALL {
+        let gen = ScenarioGenerator::new(family.params(12, 6));
+        let (app, pf) = gen.instance(11, 0);
+        let identity = match pf.links() {
+            LinkModel::Homogeneous(b) => InstanceDelta::Bandwidth { bandwidth: *b },
+            LinkModel::Heterogeneous { .. } => InstanceDelta::ProcSpeed {
+                proc: 0,
+                speed: pf.speed(0),
+            },
+        };
+        let base = PreparedInstance::new(app, pf);
+        let before = observations(&base, &mut ws);
+        let same = base.apply_in(&identity, &mut ws).expect("identity applies");
+        assert_eq!(
+            observations(&same, &mut ws),
+            before,
+            "{family}: identity delta changed an answer"
+        );
+    }
+}

@@ -246,6 +246,117 @@ fn idle_connections_time_out() {
 }
 
 #[test]
+fn trickled_bytes_do_not_defeat_the_idle_timeout() {
+    let config = ServeConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let (handle, _state) = start(config, Some(&fixture("service_instance.pw")));
+    let (mut reader, writer) = connect(&handle);
+    // Slow-loris: one byte of an unterminated request line every 50 ms.
+    // The idle clock runs per *line*, not per byte, so the trickle must
+    // not keep the connection alive past the timeout.
+    let trickler = std::thread::spawn(move || {
+        let mut writer = writer;
+        for _ in 0..60 {
+            if writer
+                .write_all(b"x")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break; // server hung up mid-trickle — exactly the point
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+    let t0 = std::time::Instant::now();
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("EOF, not a hang");
+    let elapsed = t0.elapsed();
+    assert_eq!(n, 0, "expected the trickling connection to be closed");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "connection survived {elapsed:?} of byte trickle — the idle \
+         clock is being reset per byte"
+    );
+    trickler.join().expect("trickler exits");
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 0, "the partial line must not count");
+}
+
+#[test]
+fn diagnostics_count_physical_lines_including_comments_and_blanks() {
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    // Comment and blank lines are answered with silence but still
+    // advance the line counter: the bad request on physical line 3 must
+    // be reported as line=3, matching what an editor shows in the
+    // request file.
+    send(&mut writer, "# a comment the server skips");
+    send(&mut writer, "");
+    send(&mut writer, "solve id=11 objective=take-a-guess");
+    assert_eq!(
+        recv(&mut reader),
+        "report id=0 status=error code=bad-request line=3 key=objective"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn update_requests_hot_reload_the_default_instance_over_tcp() {
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "solve id=1 objective=min-period");
+    let before = recv(&mut reader);
+    assert!(before.starts_with("report id=1 status=ok"));
+    // An in-place platform edit: processor 0 runs at a new speed. The
+    // ack is an ordinary ok report carrying the updated instance's
+    // landmarks.
+    send(
+        &mut writer,
+        "update id=2 delta=proc-speed proc=0 speed=33.5",
+    );
+    let ack = recv(&mut reader);
+    assert!(
+        ack.starts_with("report id=2 status=ok solver=update"),
+        "unexpected update ack: {ack}"
+    );
+    // Later solves see the drifted platform.
+    send(&mut writer, "solve id=3 objective=min-period");
+    let after = recv(&mut reader);
+    assert!(after.starts_with("report id=3 status=ok"));
+    assert_ne!(
+        before.replace("id=1", "id=3"),
+        after,
+        "the update must change what later solves answer"
+    );
+    // A rejected delta is a structured failure, not a dead connection.
+    send(&mut writer, "update id=4 delta=proc-speed proc=99 speed=1");
+    assert_eq!(recv(&mut reader), "report id=4 status=error code=bad-delta");
+    send(&mut writer, "solve id=5 objective=min-latency");
+    assert!(recv(&mut reader).starts_with("report id=5 status=ok"));
+    handle.shutdown();
+}
+
+#[test]
+fn updates_without_a_default_instance_fail_structurally() {
+    let (handle, _state) = start(ServeConfig::default(), None);
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "update id=7 delta=bandwidth bandwidth=5");
+    assert_eq!(
+        recv(&mut reader),
+        "report id=7 status=error code=no-default-instance"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_open_connections() {
     let (handle, state) = start(
         ServeConfig::default(),
