@@ -61,6 +61,7 @@ pub mod service;
 pub mod solve;
 pub mod split;
 pub mod state;
+pub mod tenancy;
 pub mod trajectory;
 pub mod workspace;
 
@@ -83,6 +84,9 @@ pub use split::{
     SpBiPOptions,
 };
 pub use state::{BiCriteriaResult, SplitBuffers, SplitMemo, SplitState};
+pub use tenancy::{
+    CoSchedOptions, CoSchedule, PartitionObjective, TenancyError, Tenant, TenantOutcome, TenantSet,
+};
 pub use trajectory::{fixed_period_trajectory, fixed_period_trajectory_in, Trajectory};
 pub use workspace::SolveWorkspace;
 

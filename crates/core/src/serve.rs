@@ -33,10 +33,11 @@
 //!   engine's per-worker contexts.
 
 use crate::service::{encode_mapping, PreparedInstance, SolveRequest};
+use crate::tenancy::{CoSchedOptions, PartitionObjective, Tenant, TenantSet};
 use crate::workspace::SolveWorkspace;
 use pipeline_model::io::{
-    format_report, parse_instance, parse_request_at, parse_update_at, WireFailure, WireReport,
-    WireSolved,
+    format_report, parse_cosched_at, parse_instance, parse_request_at, parse_stats_at,
+    parse_update_at, WireFailure, WireReport, WireSolved, WireStatsReport,
 };
 use pipeline_model::IntervalMapping;
 use std::collections::HashMap;
@@ -228,6 +229,8 @@ impl InstanceCache {
 /// A point-in-time snapshot of the service counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
+    /// Connections being served right now.
+    pub live: u64,
     /// Connections accepted (admitted or not).
     pub connections: u64,
     /// Connections refused by admission control (`overloaded`).
@@ -242,6 +245,8 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Prepared instances evicted by the LRU bound.
     pub cache_evictions: u64,
+    /// Whole seconds the service has been up.
+    pub uptime_s: u64,
 }
 
 impl ServeStats {
@@ -265,10 +270,12 @@ impl ServeStats {
 pub struct ServeState {
     default_path: Option<String>,
     cache: InstanceCache,
+    live: AtomicU64,
     connections: AtomicU64,
     rejected: AtomicU64,
     requests: AtomicU64,
     failures: AtomicU64,
+    started: Instant,
 }
 
 impl ServeState {
@@ -279,10 +286,12 @@ impl ServeState {
         ServeState {
             default_path,
             cache: InstanceCache::new(cache_capacity),
+            live: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -306,10 +315,12 @@ impl ServeState {
         }
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the counters. The `stats` wire verb and
+    /// `bench-serve` both read through here, so they can never disagree.
     pub fn stats(&self) -> ServeStats {
         let (cache_hits, cache_misses, cache_evictions) = self.cache.counters();
         ServeStats {
+            live: self.live.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -317,6 +328,7 @@ impl ServeState {
             cache_hits,
             cache_misses,
             cache_evictions,
+            uptime_s: self.started.elapsed().as_secs(),
         }
     }
 
@@ -346,8 +358,11 @@ impl ServeState {
     }
 
     fn answer_request(&self, line: &str, line_no: u64, ws: &mut SolveWorkspace) -> WireReport {
-        if line.split_whitespace().next() == Some("update") {
-            return self.answer_update(line, line_no, ws);
+        match line.split_whitespace().next() {
+            Some("update") => return self.answer_update(line, line_no, ws),
+            Some("cosched") => return self.answer_cosched(line, line_no, ws),
+            Some("stats") => return self.answer_stats(line, line_no),
+            _ => {}
         }
         let wire = match parse_request_at(line, line_no as usize) {
             Ok(wire) => wire,
@@ -419,6 +434,117 @@ impl ServeState {
             mapping: encode_mapping(&mapping),
             front: None,
         })
+    }
+
+    /// Handles one `cosched …` line (wire format v1.2): loads every
+    /// tenant's instance through the shared cache (`-` selects the
+    /// default instance), builds a [`TenantSet`] and answers with the
+    /// heuristic co-schedule. Tenancy-layer failures reuse the tenancy
+    /// error codes; an unregistered objective answers
+    /// `unknown-objective`.
+    fn answer_cosched(&self, line: &str, line_no: u64, ws: &mut SolveWorkspace) -> WireReport {
+        let wire = match parse_cosched_at(line, line_no as usize) {
+            Ok(wire) => wire,
+            Err(e) => {
+                let mut failure = WireFailure::new(0, "bad-request");
+                failure.line = e.line().map(|l| l as u64);
+                failure.key = e.key().map(str::to_string);
+                return WireReport::Failed(failure);
+            }
+        };
+        let Some(objective) = PartitionObjective::from_label(&wire.objective) else {
+            return WireReport::Failed(
+                WireFailure::new(wire.id, "unknown-objective").for_key("objective"),
+            );
+        };
+        let strategy = match wire.strategy.parse() {
+            Ok(strategy) => strategy,
+            Err(_) => {
+                return WireReport::Failed(
+                    WireFailure::new(wire.id, "unknown-solver").for_key("strategy"),
+                )
+            }
+        };
+        let mut opts = CoSchedOptions {
+            strategy,
+            ..CoSchedOptions::default()
+        };
+        if let Some(t) = wire.tolerance {
+            opts.tolerance = t;
+        }
+        let mut tenants = Vec::with_capacity(wire.tenants.len());
+        for (i, selector) in wire.tenants.iter().enumerate() {
+            let Some(path) = selector.as_deref().or(self.default_path.as_deref()) else {
+                return WireReport::Failed(
+                    WireFailure::new(wire.id, "bad-instance").for_key("tenants"),
+                );
+            };
+            let prepared = match self.cache.get_or_load(path) {
+                Ok(prepared) => prepared,
+                Err(_) => {
+                    return WireReport::Failed(
+                        WireFailure::new(wire.id, "bad-instance").for_key("tenants"),
+                    )
+                }
+            };
+            let mut tenant = Tenant::new(prepared);
+            if let Some(weights) = &wire.weights {
+                tenant = tenant.weight(weights[i]);
+            }
+            if let Some(slos) = &wire.slos {
+                if let Some(slo) = slos[i] {
+                    tenant = tenant.slo(slo);
+                }
+            }
+            tenants.push(tenant);
+        }
+        let set = match TenantSet::new(tenants) {
+            Ok(set) => set,
+            Err(e) => return WireReport::Failed(WireFailure::new(wire.id, e.code())),
+        };
+        match set.co_schedule(objective, &opts, ws) {
+            Ok(sched) => sched.to_wire(wire.id),
+            Err(e) => WireReport::Failed(WireFailure::new(wire.id, e.code())),
+        }
+    }
+
+    /// Handles one `stats …` line (wire format v1.2): answers with a
+    /// snapshot of the service counters as an ordinary ok-report. The
+    /// request counter increments *after* the answer is built, so a
+    /// stats report never counts itself.
+    fn answer_stats(&self, line: &str, line_no: u64) -> WireReport {
+        let wire = match parse_stats_at(line, line_no as usize) {
+            Ok(wire) => wire,
+            Err(e) => {
+                let mut failure = WireFailure::new(0, "bad-request");
+                failure.line = e.line().map(|l| l as u64);
+                failure.key = e.key().map(str::to_string);
+                return WireReport::Failed(failure);
+            }
+        };
+        let stats = self.stats();
+        WireReport::Stats(WireStatsReport {
+            id: wire.id,
+            live: stats.live,
+            connections: stats.connections,
+            rejected: stats.rejected,
+            requests: stats.requests,
+            failures: stats.failures,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_evictions: stats.cache_evictions,
+            uptime_s: stats.uptime_s,
+        })
+    }
+}
+
+/// Decrements the live-connection gauge when a connection thread exits,
+/// however it exits.
+struct LiveGuard<'a>(&'a ServeState);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -614,6 +740,8 @@ fn handle_connection(
     config: ServeConfig,
     stop: Arc<AtomicBool>,
 ) {
+    state.live.fetch_add(1, Ordering::Relaxed);
+    let _live = LiveGuard(&state);
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
@@ -852,5 +980,128 @@ mod tests {
         let stats = state.stats();
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.failures, 3);
+    }
+
+    #[test]
+    fn stats_verb_reports_the_shared_counters() {
+        let path = instance_file("stats", 23);
+        let key = path.to_string_lossy().into_owned();
+        let state = ServeState::new(Some(key), 4);
+        let mut ws = SolveWorkspace::new();
+        // One solve (a cache miss), one failure.
+        state
+            .answer_line("solve id=1 objective=min-period", 1, &mut ws)
+            .expect("answered");
+        state
+            .answer_line("solve id=2 objective=nope", 2, &mut ws)
+            .expect("answered");
+        let report = state
+            .answer_line("stats id=3", 3, &mut ws)
+            .expect("answered");
+        match &report {
+            WireReport::Stats(s) => {
+                assert_eq!(s.id, 3);
+                // The stats request itself is not counted.
+                assert_eq!((s.requests, s.failures), (2, 1));
+                assert_eq!((s.cache_hits, s.cache_misses, s.cache_evictions), (0, 1, 0));
+                // Pipe transport: no connections, nothing live.
+                assert_eq!((s.live, s.connections, s.rejected), (0, 0, 0));
+            }
+            other => panic!("expected stats report, got {other:?}"),
+        }
+        // The wire line and ServeState::stats agree field by field.
+        let snap = state.stats();
+        assert_eq!(
+            format_report(&report),
+            format!(
+                "report id=3 status=ok solver=stats live={} connections={} rejected={} \
+                 requests={} failures={} cache-hits={} cache-misses={} cache-evictions={} \
+                 uptime-s={}",
+                snap.live,
+                snap.connections,
+                snap.rejected,
+                snap.requests - 1, // the snapshot was taken after stats answered
+                snap.failures,
+                snap.cache_hits,
+                snap.cache_misses,
+                snap.cache_evictions,
+                snap.uptime_s
+            )
+        );
+        // Malformed stats lines diagnose like every other verb.
+        let report = state
+            .answer_line("stats id=4 junk=1", 4, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=0 status=error code=bad-request line=4 key=junk"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cosched_verb_answers_through_the_tenancy_layer() {
+        let path = instance_file("cosched", 29);
+        let key = path.to_string_lossy().into_owned();
+        let state = ServeState::new(Some(key.clone()), 4);
+        let mut ws = SolveWorkspace::new();
+        let report = state
+            .answer_line(
+                "cosched id=1 objective=max-min tenants=-,- weights=2:1",
+                1,
+                &mut ws,
+            )
+            .expect("answered");
+        // Byte-identical to co-scheduling directly against the same set.
+        let prepared = state.cache().get_or_load(&key).unwrap();
+        let set = TenantSet::new(vec![
+            Tenant::new(Arc::clone(&prepared)).weight(2.0),
+            Tenant::new(prepared),
+        ])
+        .unwrap();
+        let direct = set
+            .co_schedule(
+                PartitionObjective::MaxMinWeightedPeriod,
+                &CoSchedOptions::default(),
+                &mut SolveWorkspace::new(),
+            )
+            .unwrap()
+            .to_wire(1);
+        assert_eq!(format_report(&report), format_report(&direct));
+        // Structured failures: unknown objective, unknown strategy,
+        // missing tenant instance, unloadable tenant path.
+        let checks = [
+            (
+                "cosched id=2 objective=fair tenants=-",
+                "report id=2 status=error code=unknown-objective key=objective",
+            ),
+            (
+                "cosched id=3 objective=max-min tenants=- strategy=h99",
+                "report id=3 status=error code=unknown-solver key=strategy",
+            ),
+            (
+                "cosched id=4 objective=max-min tenants=-,/no/such/file.pw",
+                "report id=4 status=error code=bad-instance key=tenants",
+            ),
+            (
+                "cosched id=5 objective=max-min tenants=- weights=1:2",
+                "report id=0 status=error code=bad-request line=5 key=weights",
+            ),
+        ];
+        for (line_no, (request, expected)) in checks.iter().enumerate() {
+            let report = state
+                .answer_line(request, 2 + line_no as u64, &mut ws)
+                .expect("answered");
+            assert_eq!(&format_report(&report), expected, "{request}");
+        }
+        let no_default = ServeState::new(None, 2);
+        let report = no_default
+            .answer_line("cosched id=6 objective=max-min tenants=-", 1, &mut ws)
+            .expect("answered");
+        assert_eq!(
+            format_report(&report),
+            "report id=6 status=error code=bad-instance key=tenants"
+        );
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -40,7 +40,10 @@ pub mod table;
 pub use config::{scenario_zoo, FigureSpec, ScenarioSpec, PAPER_FIGURES};
 pub use loadgen::{request_lines, run_load, write_zoo_instances, LoadReport};
 pub use runner::InstanceEval;
-pub use service::{solve_batch, solve_delta_batch, BatchJob, DeltaJob, DeltaSolveError};
+pub use service::{
+    solve_batch, solve_delta_batch, solve_tenant_batch, BatchJob, DeltaJob, DeltaSolveError,
+    TenantJob,
+};
 pub use shard::{sharded_fold, sharded_map_indices, sharded_map_items, Mergeable, ShardOptions};
 pub use sweep::{run_family, run_scenario, FamilyResult, HeuristicSeries, SweepPoint};
 pub use table::{failure_thresholds, ThresholdTable};

@@ -13,6 +13,9 @@
 
 use crate::shard::{sharded_map_items_with, ShardOptions};
 use pipeline_core::service::{PreparedInstance, SolveError, SolveReport, SolveRequest};
+use pipeline_core::tenancy::{
+    CoSchedOptions, CoSchedule, PartitionObjective, TenancyError, TenantSet,
+};
 use pipeline_core::SolveWorkspace;
 use pipeline_model::{DeltaError, InstanceDelta};
 use std::sync::Arc;
@@ -116,6 +119,50 @@ pub fn solve_delta_batch(
             .map_err(DeltaSolveError::Delta)?;
         next.solve_in(&job.request, ws)
             .map_err(DeltaSolveError::Solve)
+    })
+}
+
+/// One unit of multi-tenant batched work: co-schedule a (shared) tenant
+/// set under one partition objective.
+#[derive(Debug, Clone)]
+pub struct TenantJob {
+    /// The tenant set; `Arc` so many jobs (one per objective, say) share
+    /// one set and its prepared instances.
+    pub set: Arc<TenantSet>,
+    /// The partition objective to optimize.
+    pub objective: PartitionObjective,
+    /// Co-scheduler knobs.
+    pub options: CoSchedOptions,
+}
+
+impl TenantJob {
+    /// Pairs a tenant set with an objective under default options.
+    pub fn new(set: Arc<TenantSet>, objective: PartitionObjective) -> Self {
+        TenantJob {
+            set,
+            objective,
+            options: CoSchedOptions::default(),
+        }
+    }
+
+    /// Overrides the co-scheduler options.
+    pub fn options(mut self, options: CoSchedOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Co-schedules every tenant job, in job order, on the sharded engine —
+/// the multi-tenant sibling of [`solve_batch`]. Same determinism
+/// guarantees: the co-scheduler itself is deterministic, each answer
+/// depends only on its own job, and worker shards never influence chunk
+/// boundaries, so output is bit-identical across thread counts.
+pub fn solve_tenant_batch(
+    jobs: Vec<TenantJob>,
+    opts: ShardOptions,
+) -> Vec<Result<CoSchedule, TenancyError>> {
+    sharded_map_items_with(jobs, opts, SolveWorkspace::new, |ws, job| {
+        job.set.co_schedule(job.objective, &job.options, ws)
     })
 }
 
@@ -252,6 +299,63 @@ mod tests {
             })
             .collect();
         assert_eq!(canon_delta(&scratch), reference);
+    }
+
+    fn fixture_tenant_jobs() -> Vec<TenantJob> {
+        use pipeline_core::tenancy::Tenant;
+        use pipeline_model::scenario::{TenantFamily, TenantScenarioGenerator};
+        let mut jobs = Vec::new();
+        for family in TenantFamily::ALL {
+            let gen = TenantScenarioGenerator::new(family, 2, 5, 4);
+            let scenario = gen.scenario(3, 0);
+            let tenants = scenario
+                .tenants
+                .iter()
+                .map(|spec| {
+                    let prepared = Arc::new(PreparedInstance::new(
+                        spec.app.clone(),
+                        scenario.platform.clone(),
+                    ));
+                    let mut tenant = Tenant::new(prepared).weight(spec.weight);
+                    if let Some(slo) = spec.slo {
+                        tenant = tenant.slo(slo);
+                    }
+                    tenant
+                })
+                .collect();
+            let set = Arc::new(TenantSet::new(tenants).expect("valid tenant set"));
+            for objective in PartitionObjective::ALL {
+                jobs.push(TenantJob::new(Arc::clone(&set), objective));
+            }
+        }
+        jobs
+    }
+
+    fn canon_tenant(answers: &[Result<CoSchedule, TenancyError>]) -> Vec<String> {
+        answers
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match a {
+                Ok(sched) => format_report(&sched.to_wire(i as u64)),
+                Err(err) => format!("{err}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tenant_batch_is_bit_identical_across_thread_counts() {
+        let reference = canon_tenant(&solve_tenant_batch(
+            fixture_tenant_jobs(),
+            ShardOptions::with_threads(1),
+        ));
+        assert!(reference.iter().all(|l| l.contains("solver=cosched")));
+        for threads in [2, 4] {
+            let got = canon_tenant(&solve_tenant_batch(
+                fixture_tenant_jobs(),
+                ShardOptions::with_threads(threads),
+            ));
+            assert_eq!(got, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -267,14 +267,14 @@ pub fn parse_instance(text: &str) -> std::result::Result<(Application, Platform)
 pub type _Unused = Result<()>;
 
 // ---------------------------------------------------------------------------
-// Solver-service wire format v1.1.
+// Solver-service wire format v1.2.
 //
 // One request or report per line, `key=value` tokens separated by spaces,
 // so the `pwsched solve --stdin` service can sit behind a pipe or socket
-// and serve line-oriented traffic. Values never contain spaces (mappings
-// and fronts use `,`/`;`/`:` separators). The model crate owns only the
-// *syntax*; `pipeline_core::service` converts to and from its typed
-// request/report/error types.
+// and serve line-oriented traffic. Values never contain spaces (mappings,
+// fronts, tenant lists and partitions use `,`/`;`/`:` separators). The
+// model crate owns only the *syntax*; `pipeline_core::service` converts
+// to and from its typed request/report/error types.
 //
 // ```text
 // solve id=1 objective=min-period strategy=auto
@@ -282,8 +282,12 @@ pub type _Unused = Result<()>;
 // solve id=3 objective=pareto-front strategy=exact tolerance=1e-9
 // update id=4 delta=proc-speed proc=2 speed=4.5
 // update id=5 delta=stage-weight stage=3 work=7.25
+// cosched id=6 objective=max-min tenants=-,a/b.pw weights=2:1 slos=1.5:-
+// stats id=7
 // report id=1 status=ok solver=h1 period=1.5 latency=3 feasible=true mapping=0-2@1,2-5@0
 // report id=3 status=ok solver=exact period=1 latency=9 feasible=true mapping=0-6@2 front=1:9;2:6
+// report id=6 status=ok solver=cosched objective=max-min score=3 tiebreak=5 feasible=true partition=0,2;1 periods=1.5;2 latencies=4;6 slo-met=true;true
+// report id=7 status=ok solver=stats live=1 connections=3 rejected=0 requests=9 failures=1 cache-hits=4 cache-misses=2 cache-evictions=0 uptime-s=12
 // report id=4 status=error code=bound-below-floor bound=0.5 floor=0.875
 // report id=0 status=error code=bad-request line=7 key=objective
 // ```
@@ -292,6 +296,17 @@ pub type _Unused = Result<()>;
 // the service's default instance (hot reload), answered with an ordinary
 // report line carrying the updated instance's baseline coordinates.
 //
+// v1.2 adds two verbs. `cosched` asks the service to co-schedule K
+// tenant pipelines onto the shared platform: `tenants=` lists one
+// instance path per tenant (`-` = the service's default instance),
+// optional `weights=` / `slos=` carry `:`-separated per-tenant values
+// (an SLO of `-` means "none"), and the report echoes the partition
+// objective, its score/tiebreak, and the per-tenant processor groups,
+// periods, latencies and SLO verdicts. `stats` reports the service's
+// own counters (live/served connections, admission rejections, request
+// and failure totals, instance-cache hits/misses/evictions, uptime in
+// whole seconds) as an ordinary ok-report with `solver=stats`.
+//
 // Failure reports may carry structured diagnostics beyond the code: the
 // 1-based input line number of the offending request (`line=`) and the
 // offending `key=value` key (`key=`). Services add transport-level codes
@@ -299,9 +314,11 @@ pub type _Unused = Result<()>;
 // parse), `unknown-solver`, `bad-instance` (the referenced instance file
 // did not load), `bad-delta` (the update could not be applied),
 // `no-default-instance` (an update arrived but the service serves no
-// default instance), `overloaded` (admission control refused the
+// default instance), `unknown-objective` (a cosched named no registered
+// partition objective), `overloaded` (admission control refused the
 // connection), and `line-too-long` (the request exceeded the service's
-// line-length bound).
+// line-length bound). Tenancy-layer failures reuse the tenancy error
+// codes (`mismatched-platforms`, `too-few-processors`, …).
 // ---------------------------------------------------------------------------
 
 /// Objective selector of one wire request — the syntactic mirror of
@@ -425,11 +442,67 @@ impl WireFailure {
     }
 }
 
+/// A successful `cosched` report: the chosen partition and per-tenant
+/// outcomes (wire format v1.2). Serialized with `solver=cosched`; the
+/// per-tenant vectors are index-aligned and `;`-separated on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCoschedReport {
+    /// Echoed request id.
+    pub id: u64,
+    /// Partition-objective label (`max-min`, `weighted-sum`, `slo`).
+    pub objective: String,
+    /// Primary objective score (smaller is better).
+    pub score: f64,
+    /// Secondary tie-breaking score.
+    pub tiebreak: f64,
+    /// Whether every tenant's SLO was met.
+    pub feasible: bool,
+    /// Per-tenant processor groups in original numbering
+    /// (`partition=0,2;1,3`).
+    pub partition: Vec<Vec<usize>>,
+    /// Per-tenant achieved periods (`periods=1.5;2`).
+    pub periods: Vec<f64>,
+    /// Per-tenant achieved latencies (`latencies=4;6`).
+    pub latencies: Vec<f64>,
+    /// Per-tenant SLO verdicts (`slo-met=true;false`).
+    pub slo_met: Vec<bool>,
+}
+
+/// A successful `stats` report: the service's own counters (wire format
+/// v1.2). Serialized with `solver=stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStatsReport {
+    /// Echoed request id.
+    pub id: u64,
+    /// Connections being served right now (including the asking one).
+    pub live: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Connections refused by admission control.
+    pub rejected: u64,
+    /// Requests answered (not counting this `stats` request).
+    pub requests: u64,
+    /// Requests answered with an error report.
+    pub failures: u64,
+    /// Instance-cache hits.
+    pub cache_hits: u64,
+    /// Instance-cache misses.
+    pub cache_misses: u64,
+    /// Instance-cache evictions.
+    pub cache_evictions: u64,
+    /// Whole seconds since the service started.
+    pub uptime_s: u64,
+}
+
 /// One line of the report stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireReport {
     /// The request was answered.
     Solved(WireSolved),
+    /// A `cosched` request was answered with a co-schedule.
+    Cosched(WireCoschedReport),
+    /// A `stats` request was answered with service counters.
+    Stats(WireStatsReport),
     /// The request failed with a structured error.
     Failed(WireFailure),
 }
@@ -439,6 +512,8 @@ impl WireReport {
     pub fn id(&self) -> u64 {
         match self {
             WireReport::Solved(s) => s.id,
+            WireReport::Cosched(c) => c.id,
+            WireReport::Stats(s) => s.id,
             WireReport::Failed(f) => f.id,
         }
     }
@@ -524,6 +599,12 @@ impl WireFields {
         let v = self.require(key)?;
         v.parse::<usize>()
             .map_err(|_| self.field_err(key, format!("bad index {v:?}")))
+    }
+
+    fn require_u64(&mut self, key: &str) -> std::result::Result<u64, ParseError> {
+        let v = self.require(key)?;
+        v.parse::<u64>()
+            .map_err(|_| self.field_err(key, format!("bad count {v:?}")))
     }
 
     fn finish(mut self) -> std::result::Result<(), ParseError> {
@@ -698,6 +779,182 @@ pub fn format_update(upd: &WireUpdate) -> String {
     out
 }
 
+/// One `cosched` line of the request stream (wire format v1.2): K tenant
+/// pipelines to co-schedule onto the service's shared platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCosched {
+    /// Client correlation id, echoed back in the report.
+    pub id: u64,
+    /// Partition-objective label (`max-min`, `weighted-sum`, `slo`);
+    /// validated by the service layer, opaque here.
+    pub objective: String,
+    /// One entry per tenant: an instance path, or `None` (wire token
+    /// `-`) for the service's default instance. Paths must not contain
+    /// spaces, commas or `=`.
+    pub tenants: Vec<Option<String>>,
+    /// Optional per-tenant weights (`weights=2:1`), index-aligned with
+    /// `tenants`; absent means all-ones.
+    pub weights: Option<Vec<f64>>,
+    /// Optional per-tenant latency SLOs (`slos=1.5:-`), index-aligned
+    /// with `tenants`; `None` entries (wire token `-`) mean "no SLO".
+    pub slos: Option<Vec<Option<f64>>>,
+    /// Inner-oracle solver selector (`auto`, `best`, `exact`, `h1`…`h7`);
+    /// validated by the service layer, opaque here.
+    pub strategy: String,
+    /// Optional relative tolerance for the inner bound searches.
+    pub tolerance: Option<f64>,
+}
+
+/// Parses one `cosched …` line.
+pub fn parse_cosched(line: &str) -> std::result::Result<WireCosched, ParseError> {
+    parse_cosched_at(line, 0)
+}
+
+/// [`parse_cosched`] with the request's 1-based position in its input
+/// stream carried into parse errors, mirroring [`parse_request_at`].
+pub fn parse_cosched_at(
+    line: &str,
+    line_no: usize,
+) -> std::result::Result<WireCosched, ParseError> {
+    let mut fields = WireFields::new(wire_tokens(line, "cosched", line_no)?, line_no);
+    let id = {
+        let v = fields.require("id")?;
+        v.parse::<u64>()
+            .map_err(|_| fields.field_err("id", format!("bad id {v:?}")))?
+    };
+    let objective = fields.require("objective")?;
+    let tenants: Vec<Option<String>> = {
+        let v = fields.require("tenants")?;
+        v.split(',')
+            .map(|t| match t {
+                "" => Err(fields.field_err("tenants", "empty tenant entry".into())),
+                "-" => Ok(None),
+                path => Ok(Some(path.to_string())),
+            })
+            .collect::<std::result::Result<_, _>>()?
+    };
+    let weights = fields
+        .take("weights")
+        .map(|v| {
+            let ws = v
+                .split(':')
+                .map(|w| {
+                    w.parse::<f64>()
+                        .map_err(|_| fields.field_err("weights", format!("bad weight {w:?}")))
+                })
+                .collect::<std::result::Result<Vec<f64>, _>>()?;
+            if ws.len() != tenants.len() {
+                return Err(fields.field_err(
+                    "weights",
+                    format!("{} weights for {} tenants", ws.len(), tenants.len()),
+                ));
+            }
+            Ok(ws)
+        })
+        .transpose()?;
+    let slos = fields
+        .take("slos")
+        .map(|v| {
+            let ss = v
+                .split(':')
+                .map(|s| match s {
+                    "-" => Ok(None),
+                    other => other
+                        .parse::<f64>()
+                        .map(Some)
+                        .map_err(|_| fields.field_err("slos", format!("bad slo {other:?}"))),
+                })
+                .collect::<std::result::Result<Vec<Option<f64>>, _>>()?;
+            if ss.len() != tenants.len() {
+                return Err(fields.field_err(
+                    "slos",
+                    format!("{} slos for {} tenants", ss.len(), tenants.len()),
+                ));
+            }
+            Ok(ss)
+        })
+        .transpose()?;
+    let strategy = fields.take("strategy").unwrap_or_else(|| "auto".into());
+    let tolerance = fields.take_f64("tolerance")?;
+    if tolerance.is_some_and(f64::is_nan) {
+        return Err(fields.field_err("tolerance", "tolerance= must not be NaN".into()));
+    }
+    fields.finish()?;
+    Ok(WireCosched {
+        id,
+        objective,
+        tenants,
+        weights,
+        slos,
+        strategy,
+        tolerance,
+    })
+}
+
+/// Formats one cosched request as a `cosched …` line (round-trips
+/// through [`parse_cosched`]).
+pub fn format_cosched(req: &WireCosched) -> String {
+    let tenants: Vec<&str> = req
+        .tenants
+        .iter()
+        .map(|t| t.as_deref().unwrap_or("-"))
+        .collect();
+    let mut out = format!(
+        "cosched id={} objective={} tenants={}",
+        req.id,
+        req.objective,
+        tenants.join(",")
+    );
+    if let Some(ws) = &req.weights {
+        let ws: Vec<String> = ws.iter().map(|w| format_f64(*w)).collect();
+        out.push_str(&format!(" weights={}", ws.join(":")));
+    }
+    if let Some(ss) = &req.slos {
+        let ss: Vec<String> = ss
+            .iter()
+            .map(|s| s.map(format_f64).unwrap_or_else(|| "-".into()))
+            .collect();
+        out.push_str(&format!(" slos={}", ss.join(":")));
+    }
+    out.push_str(&format!(" strategy={}", req.strategy));
+    if let Some(t) = req.tolerance {
+        out.push_str(&format!(" tolerance={}", format_f64(t)));
+    }
+    out
+}
+
+/// One `stats` line of the request stream (wire format v1.2): asks the
+/// service for its own counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Client correlation id, echoed back in the report.
+    pub id: u64,
+}
+
+/// Parses one `stats …` line.
+pub fn parse_stats(line: &str) -> std::result::Result<WireStats, ParseError> {
+    parse_stats_at(line, 0)
+}
+
+/// [`parse_stats`] with the request's 1-based position in its input
+/// stream carried into parse errors, mirroring [`parse_request_at`].
+pub fn parse_stats_at(line: &str, line_no: usize) -> std::result::Result<WireStats, ParseError> {
+    let mut fields = WireFields::new(wire_tokens(line, "stats", line_no)?, line_no);
+    let id = {
+        let v = fields.require("id")?;
+        v.parse::<u64>()
+            .map_err(|_| fields.field_err("id", format!("bad id {v:?}")))?
+    };
+    fields.finish()?;
+    Ok(WireStats { id })
+}
+
+/// Formats one stats request as a `stats …` line (round-trips through
+/// [`parse_stats`]).
+pub fn format_stats(req: &WireStats) -> String {
+    format!("stats id={}", req.id)
+}
+
 /// Parses one `report …` line.
 pub fn parse_report(line: &str) -> std::result::Result<WireReport, ParseError> {
     let mut fields = WireFields::new(wire_tokens(line, "report", 0)?, 0);
@@ -708,6 +965,92 @@ pub fn parse_report(line: &str) -> std::result::Result<WireReport, ParseError> {
     };
     let status = fields.require("status")?;
     let report = match status.as_str() {
+        "ok" if fields
+            .fields
+            .iter()
+            .any(|(k, v)| k == "solver" && v == "cosched") =>
+        {
+            let _ = fields.require("solver")?;
+            let objective = fields.require("objective")?;
+            let score = fields.require_f64("score")?;
+            let tiebreak = fields.require_f64("tiebreak")?;
+            let feasible = match fields.require("feasible")?.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(wire_err(format!("bad feasible {other:?}"))),
+            };
+            let partition: Vec<Vec<usize>> = fields
+                .require("partition")?
+                .split(';')
+                .map(|group| {
+                    group
+                        .split(',')
+                        .map(|t| {
+                            t.parse::<usize>()
+                                .map_err(|_| wire_err(format!("bad partition entry {t:?}")))
+                        })
+                        .collect::<std::result::Result<Vec<usize>, ParseError>>()
+                })
+                .collect::<std::result::Result<_, _>>()?;
+            let parse_f64s = |v: String, what: &str| {
+                v.split(';')
+                    .map(|t| {
+                        t.parse::<f64>()
+                            .map_err(|_| wire_err(format!("bad {what} entry {t:?}")))
+                    })
+                    .collect::<std::result::Result<Vec<f64>, ParseError>>()
+            };
+            let periods = parse_f64s(fields.require("periods")?, "periods")?;
+            let latencies = parse_f64s(fields.require("latencies")?, "latencies")?;
+            let slo_met = fields
+                .require("slo-met")?
+                .split(';')
+                .map(|t| match t {
+                    "true" => Ok(true),
+                    "false" => Ok(false),
+                    other => Err(wire_err(format!("bad slo-met entry {other:?}"))),
+                })
+                .collect::<std::result::Result<Vec<bool>, ParseError>>()?;
+            let k = partition.len();
+            if periods.len() != k || latencies.len() != k || slo_met.len() != k {
+                return Err(wire_err(format!(
+                    "per-tenant arity mismatch: {k} groups, {} periods, {} latencies, {} slo-met",
+                    periods.len(),
+                    latencies.len(),
+                    slo_met.len()
+                )));
+            }
+            WireReport::Cosched(WireCoschedReport {
+                id,
+                objective,
+                score,
+                tiebreak,
+                feasible,
+                partition,
+                periods,
+                latencies,
+                slo_met,
+            })
+        }
+        "ok" if fields
+            .fields
+            .iter()
+            .any(|(k, v)| k == "solver" && v == "stats") =>
+        {
+            let _ = fields.require("solver")?;
+            WireReport::Stats(WireStatsReport {
+                id,
+                live: fields.require_u64("live")?,
+                connections: fields.require_u64("connections")?,
+                rejected: fields.require_u64("rejected")?,
+                requests: fields.require_u64("requests")?,
+                failures: fields.require_u64("failures")?,
+                cache_hits: fields.require_u64("cache-hits")?,
+                cache_misses: fields.require_u64("cache-misses")?,
+                cache_evictions: fields.require_u64("cache-evictions")?,
+                uptime_s: fields.require_u64("uptime-s")?,
+            })
+        }
         "ok" => {
             let solver = fields.require("solver")?;
             let period = fields
@@ -792,6 +1135,54 @@ pub fn format_report(report: &WireReport) -> String {
             }
             out
         }
+        WireReport::Cosched(c) => {
+            let partition: Vec<String> = c
+                .partition
+                .iter()
+                .map(|group| {
+                    group
+                        .iter()
+                        .map(|u| u.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect();
+            let f64s = |vals: &[f64]| {
+                vals.iter()
+                    .map(|v| format_f64(*v))
+                    .collect::<Vec<_>>()
+                    .join(";")
+            };
+            let slo_met: Vec<String> = c.slo_met.iter().map(|m| m.to_string()).collect();
+            format!(
+                "report id={} status=ok solver=cosched objective={} score={} tiebreak={} \
+                 feasible={} partition={} periods={} latencies={} slo-met={}",
+                c.id,
+                c.objective,
+                format_f64(c.score),
+                format_f64(c.tiebreak),
+                c.feasible,
+                partition.join(";"),
+                f64s(&c.periods),
+                f64s(&c.latencies),
+                slo_met.join(";")
+            )
+        }
+        WireReport::Stats(s) => format!(
+            "report id={} status=ok solver=stats live={} connections={} rejected={} \
+             requests={} failures={} cache-hits={} cache-misses={} cache-evictions={} \
+             uptime-s={}",
+            s.id,
+            s.live,
+            s.connections,
+            s.rejected,
+            s.requests,
+            s.failures,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.uptime_s
+        ),
         WireReport::Failed(f) => {
             let mut out = format!("report id={} status=error code={}", f.id, f.code);
             if let Some(b) = f.bound {
@@ -1073,6 +1464,119 @@ mod tests {
         // Line 0 means "unknown position": no line reported.
         let err = parse_request("solve id=1 objective=nope").unwrap_err();
         assert_eq!((err.line(), err.key()), (None, Some("objective")));
+    }
+
+    #[test]
+    fn wire_cosched_round_trips() {
+        let reqs = [
+            WireCosched {
+                id: 1,
+                objective: "max-min".into(),
+                tenants: vec![None, None],
+                weights: None,
+                slos: None,
+                strategy: "auto".into(),
+                tolerance: None,
+            },
+            WireCosched {
+                id: 2,
+                objective: "weighted-sum".into(),
+                tenants: vec![Some("a/b.pw".into()), None, Some("c.pw".into())],
+                weights: Some(vec![2.0, 1.0, 0.5]),
+                slos: Some(vec![Some(1.5), None, Some(12.25)]),
+                strategy: "best".into(),
+                tolerance: Some(1e-9),
+            },
+        ];
+        for req in reqs {
+            let line = format_cosched(&req);
+            assert_eq!(parse_cosched(&line).expect("round trip"), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn wire_cosched_errors_name_the_line_and_key() {
+        let err = parse_cosched_at("cosched id=1 tenants=-", 3).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(3), Some("objective")));
+        let err = parse_cosched_at("cosched id=1 objective=max-min", 4).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(4), Some("tenants")));
+        let err = parse_cosched_at("cosched id=1 objective=max-min tenants=-,,-", 5).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(5), Some("tenants")));
+        // Arity mismatches are parse-time field errors.
+        let err = parse_cosched_at("cosched id=1 objective=max-min tenants=-,- weights=1", 6)
+            .unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(6), Some("weights")));
+        let err =
+            parse_cosched_at("cosched id=1 objective=max-min tenants=- slos=1:2", 7).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(7), Some("slos")));
+        let err =
+            parse_cosched_at("cosched id=1 objective=max-min tenants=- slos=oops", 8).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(8), Some("slos")));
+        let err =
+            parse_cosched_at("cosched id=1 objective=max-min tenants=- junk=1", 9).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(9), Some("junk")));
+        // Defaults: no weights/slos/tolerance, auto strategy.
+        let req = parse_cosched("cosched id=1 objective=slo tenants=-").expect("minimal");
+        assert_eq!(req.strategy, "auto");
+        assert_eq!((req.weights, req.slos, req.tolerance), (None, None, None));
+    }
+
+    #[test]
+    fn wire_stats_round_trips_and_rejects_extras() {
+        let req = WireStats { id: 42 };
+        let line = format_stats(&req);
+        assert_eq!(parse_stats(&line).expect("round trip"), req, "{line}");
+        let err = parse_stats_at("stats", 2).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(2), Some("id")));
+        let err = parse_stats_at("stats id=1 junk=2", 3).unwrap_err();
+        assert_eq!((err.line(), err.key()), (Some(3), Some("junk")));
+    }
+
+    #[test]
+    fn cosched_and_stats_reports_round_trip() {
+        let reports = [
+            WireReport::Cosched(WireCoschedReport {
+                id: 6,
+                objective: "max-min".into(),
+                score: 3.0,
+                tiebreak: 5.5,
+                feasible: true,
+                partition: vec![vec![0, 2], vec![1], vec![3, 4, 5]],
+                periods: vec![1.5, 2.0, 0.75],
+                latencies: vec![4.0, 6.0, 2.5],
+                slo_met: vec![true, true, false],
+            }),
+            WireReport::Stats(WireStatsReport {
+                id: 7,
+                live: 1,
+                connections: 3,
+                rejected: 0,
+                requests: 9,
+                failures: 1,
+                cache_hits: 4,
+                cache_misses: 2,
+                cache_evictions: 0,
+                uptime_s: 12,
+            }),
+        ];
+        for report in reports {
+            let line = format_report(&report);
+            assert_eq!(parse_report(&line).expect("round trip"), report, "{line}");
+            assert_eq!(report.id(), parse_report(&line).unwrap().id());
+        }
+    }
+
+    #[test]
+    fn cosched_report_rejects_arity_mismatch() {
+        // 2 groups but 1 period.
+        let line = "report id=1 status=ok solver=cosched objective=max-min score=1 \
+                    tiebreak=2 feasible=true partition=0;1 periods=1 latencies=1;2 \
+                    slo-met=true;true";
+        assert!(parse_report(line).is_err());
+        // A solver named cosched must carry cosched fields, not solve fields.
+        let line = "report id=1 status=ok solver=cosched period=1 latency=1 feasible=true \
+                    mapping=0-1@0";
+        assert!(parse_report(line).is_err());
     }
 
     #[test]

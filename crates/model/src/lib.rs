@@ -53,6 +53,7 @@ pub use mapping::{Interval, IntervalMapping};
 pub use platform::{LinkModel, Platform, ProcId};
 pub use scenario::{
     DriftFamily, DriftGenerator, FamilyConfig, ScenarioFamily, ScenarioGenerator, ScenarioParams,
+    TenantFamily, TenantScenario, TenantScenarioGenerator, TenantSpec,
 };
 
 /// Convenient glob import: `use pipeline_model::prelude::*;`.
@@ -65,7 +66,7 @@ pub mod prelude {
     pub use crate::platform::{LinkModel, Platform, ProcId};
     pub use crate::scenario::{
         DriftFamily, DriftGenerator, FamilyConfig, ScenarioFamily, ScenarioGenerator,
-        ScenarioParams,
+        ScenarioParams, TenantFamily, TenantScenario, TenantScenarioGenerator, TenantSpec,
     };
     pub use crate::util::{approx_eq, approx_le, EPS};
 }

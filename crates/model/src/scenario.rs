@@ -776,6 +776,209 @@ impl DriftGenerator {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tenant scenarios: K pipelines sharing one platform.
+//
+// The static zoo generates one pipeline per draw; the tenant registry
+// generates *sets* of pipelines competing for one shared platform — the
+// input of the multi-tenant co-scheduler. A separate registry (not part
+// of `ScenarioFamily::ALL`) so single-pipeline consumers — the kernel
+// identity suite above all — never see tenant draws.
+// ---------------------------------------------------------------------------
+
+/// Stable identifier of a registered tenant family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantFamily {
+    /// Mixed-size pipelines in the paper's E2 workload regime on a
+    /// paper-style platform: tenant `i`'s stage count is the base count
+    /// scaled by `1.0 / 0.5 / 1.5` cyclically, all weights 1, no SLOs.
+    MixedPaper,
+    /// Same platform class, but tenant `i` carries weight `2^i` and a
+    /// latency SLO at 1.5× its own full-platform optimal latency — the
+    /// co-scheduler must trade fairness against feasibility.
+    SkewedWeights,
+    /// Mixed-size pipelines sharing a clustered two-tier heterogeneous
+    /// platform (fast cluster, slow cluster, slow inter-cluster links):
+    /// partitions decide who gets the fast tier.
+    HetSharing,
+}
+
+impl TenantFamily {
+    /// Every registered tenant family.
+    pub const ALL: [TenantFamily; 3] = [
+        TenantFamily::MixedPaper,
+        TenantFamily::SkewedWeights,
+        TenantFamily::HetSharing,
+    ];
+
+    /// Stable machine-readable label (CLI/CSV/CI key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantFamily::MixedPaper => "mixed-paper",
+            TenantFamily::SkewedWeights => "skewed-weights",
+            TenantFamily::HetSharing => "het-sharing",
+        }
+    }
+
+    /// Looks a tenant family up by its stable label (case-insensitive).
+    pub fn from_label(label: &str) -> Option<TenantFamily> {
+        let needle = label.to_ascii_lowercase();
+        TenantFamily::ALL.into_iter().find(|f| f.label() == needle)
+    }
+
+    /// One line on what the family stresses.
+    pub fn stresses(&self) -> &'static str {
+        match self {
+            TenantFamily::MixedPaper => "mixed tenant sizes on a paper-style shared platform",
+            TenantFamily::SkewedWeights => "skewed weights with per-tenant latency SLOs",
+            TenantFamily::HetSharing => "contention for the fast tier of a clustered platform",
+        }
+    }
+
+    /// True when every scenario of the family lives on a Communication
+    /// Homogeneous platform.
+    pub fn comm_homogeneous(&self) -> bool {
+        !matches!(self, TenantFamily::HetSharing)
+    }
+
+    /// Per-family stream salt (same role as [`ScenarioFamily::salt`]).
+    fn salt(&self) -> u64 {
+        match self {
+            TenantFamily::MixedPaper => 0x6D69_7864_5F74_656E, // "mixd_ten"
+            TenantFamily::SkewedWeights => 0x736B_6577_5F77_6774, // "skew_wgt"
+            TenantFamily::HetSharing => 0x6865_745F_7368_6172, // "het_shar"
+        }
+    }
+}
+
+impl std::fmt::Display for TenantFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One tenant of a generated scenario: its pipeline, weight and optional
+/// latency SLO. The model-layer mirror of the co-scheduler's tenant
+/// entry (the solver-facing type lives above the model crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// The tenant's pipeline.
+    pub app: Application,
+    /// Scheduling weight (finite, strictly positive).
+    pub weight: f64,
+    /// Latency SLO, when the tenant carries one.
+    pub slo: Option<f64>,
+}
+
+/// One generated tenant scenario: K tenants and the platform they share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantScenario {
+    /// The shared platform.
+    pub platform: Platform,
+    /// The tenants, in enrollment order.
+    pub tenants: Vec<TenantSpec>,
+}
+
+/// Seeded generator of tenant scenarios. `scenario(seed, i)` is
+/// deterministic and per-family salted, mirroring [`ScenarioGenerator`].
+#[derive(Debug, Clone)]
+pub struct TenantScenarioGenerator {
+    family: TenantFamily,
+    n_tenants: usize,
+    n_base_stages: usize,
+    n_procs: usize,
+}
+
+impl TenantScenarioGenerator {
+    /// A generator of `n_tenants`-way scenarios whose pipelines have
+    /// about `n_base_stages` stages (tenant sizes mix around the base)
+    /// on a shared `n_procs`-processor platform.
+    pub fn new(
+        family: TenantFamily,
+        n_tenants: usize,
+        n_base_stages: usize,
+        n_procs: usize,
+    ) -> Self {
+        assert!(n_tenants > 0, "need at least one tenant");
+        assert!(n_base_stages >= 2, "need at least two base stages");
+        assert!(n_procs > 0, "need at least one processor");
+        TenantScenarioGenerator {
+            family,
+            n_tenants,
+            n_base_stages,
+            n_procs,
+        }
+    }
+
+    /// The tenant family being generated.
+    pub fn family(&self) -> TenantFamily {
+        self.family
+    }
+
+    /// Generates the `index`-th scenario of the family under `seed`.
+    /// Deterministic: the same `(family, sizes, seed, index)` always
+    /// regenerates the same scenario.
+    pub fn scenario(&self, seed: u64, index: u64) -> TenantScenario {
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed ^ self.family.salt(), index));
+        let p = self.n_procs;
+        let platform = match self.family {
+            TenantFamily::MixedPaper | TenantFamily::SkewedWeights => {
+                let speeds: Vec<f64> = (0..p).map(|_| rng.random_range(1..=20u32) as f64).collect();
+                Platform::comm_homogeneous(speeds, 10.0).expect("valid platform")
+            }
+            TenantFamily::HetSharing => {
+                let n_fast = (p / 4).max(1);
+                let speeds: Vec<f64> = (0..p)
+                    .map(|u| {
+                        let (lo, hi): (u32, u32) = if u < n_fast { (15, 30) } else { (1, 5) };
+                        rng.random_range(lo..=hi) as f64
+                    })
+                    .collect();
+                let matrix: Vec<Vec<f64>> = (0..p)
+                    .map(|u| {
+                        (0..p)
+                            .map(|v| {
+                                if (u < n_fast) == (v < n_fast) {
+                                    100.0
+                                } else {
+                                    5.0
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Platform::fully_heterogeneous(speeds, matrix, 5.0).expect("valid platform")
+            }
+        };
+        let tenants = (0..self.n_tenants)
+            .map(|i| {
+                let scale = [1.0, 0.5, 1.5][i % 3];
+                let n = ((self.n_base_stages as f64 * scale).round() as usize).max(2);
+                let works = sample_vec(&mut rng, n, (1.0, 20.0));
+                let deltas = sample_vec(&mut rng, n + 1, (1.0, 20.0));
+                let app = Application::new(works, deltas).expect("valid application");
+                let (weight, slo) = match self.family {
+                    TenantFamily::MixedPaper | TenantFamily::HetSharing => (1.0, None),
+                    TenantFamily::SkewedWeights => {
+                        // An SLO at 1.5× the tenant's own full-platform
+                        // optimum: tight enough to bind once the tenant
+                        // only owns a share of the processors.
+                        let l_opt = crate::cost::CostModel::new(&app, &platform).optimal_latency();
+                        ((1u64 << i) as f64, Some(1.5 * l_opt))
+                    }
+                };
+                TenantSpec { app, weight, slo }
+            })
+            .collect();
+        TenantScenario { platform, tenants }
+    }
+
+    /// The first `count` scenarios under `seed`.
+    pub fn batch(&self, seed: u64, count: usize) -> Vec<TenantScenario> {
+        (0..count as u64).map(|i| self.scenario(seed, i)).collect()
+    }
+}
+
 /// One multiplicative drift step in `[1/2, 2]`, log-symmetric so the
 /// walk is unbiased: `E[log factor] = 0`, and a drifting quantity
 /// wanders around its base value instead of compounding upward the way
@@ -981,6 +1184,69 @@ mod tests {
                 other => panic!("unexpected delta {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn tenant_labels_are_stable_and_unique() {
+        let labels: Vec<&str> = TenantFamily::ALL.iter().map(|f| f.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), TenantFamily::ALL.len(), "duplicate labels");
+        for family in TenantFamily::ALL {
+            assert_eq!(TenantFamily::from_label(family.label()), Some(family));
+            assert_eq!(family.to_string(), family.label());
+            assert!(!family.stresses().is_empty());
+        }
+        assert_eq!(TenantFamily::from_label("no-such-tenancy"), None);
+        // Tenant families are their own registry, not zoo families.
+        for family in TenantFamily::ALL {
+            assert_eq!(ScenarioFamily::from_label(family.label()), None);
+        }
+    }
+
+    #[test]
+    fn tenant_scenarios_are_deterministic_with_mixed_sizes() {
+        for family in TenantFamily::ALL {
+            let gen = TenantScenarioGenerator::new(family, 3, 6, 5);
+            let s1 = gen.scenario(42, 2);
+            assert_eq!(s1, gen.scenario(42, 2), "{family}: stream drifted");
+            assert_ne!(s1, gen.scenario(42, 3), "{family}: indices collided");
+            assert_eq!(s1.tenants.len(), 3, "{family}");
+            assert_eq!(s1.platform.n_procs(), 5, "{family}");
+            assert_eq!(
+                s1.platform.is_comm_homogeneous(),
+                family.comm_homogeneous(),
+                "{family}: platform class mismatch"
+            );
+            // Base 6 scaled by 1.0/0.5/1.5: stage counts 6, 3, 9.
+            let sizes: Vec<usize> = s1.tenants.iter().map(|t| t.app.n_stages()).collect();
+            assert_eq!(sizes, vec![6, 3, 9], "{family}");
+            for t in &s1.tenants {
+                assert!(t.weight.is_finite() && t.weight > 0.0, "{family}");
+                if let Some(slo) = t.slo {
+                    assert!(slo.is_finite() && slo > 0.0, "{family}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_weights_carry_slos_and_doubling_weights() {
+        let gen = TenantScenarioGenerator::new(TenantFamily::SkewedWeights, 3, 5, 4);
+        let s = gen.scenario(7, 0);
+        let weights: Vec<f64> = s.tenants.iter().map(|t| t.weight).collect();
+        assert_eq!(weights, vec![1.0, 2.0, 4.0]);
+        for t in &s.tenants {
+            let l_opt = crate::cost::CostModel::new(&t.app, &s.platform).optimal_latency();
+            assert_eq!(t.slo, Some(1.5 * l_opt));
+        }
+        // The unweighted families carry neither.
+        let plain = TenantScenarioGenerator::new(TenantFamily::MixedPaper, 2, 5, 4).scenario(7, 0);
+        assert!(plain
+            .tenants
+            .iter()
+            .all(|t| t.weight == 1.0 && t.slo.is_none()));
     }
 
     #[test]

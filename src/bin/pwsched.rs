@@ -13,6 +13,7 @@
 //! pwsched load <addr> [--replay FILE | --connections N --requests M]
 //! pwsched bench-serve [--quick] [--out FILE] [--check BASELINE] [--tolerance F]
 //! pwsched bench-delta [--quick] [--out FILE] [--check BASELINE] [--tolerance F]
+//! pwsched bench-tenant [--quick] [--out FILE] [--check BASELINE] [--tolerance F]
 //! pwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]
 //!         [--grid G] [--threads T] [--seed S]
 //! pwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]
@@ -35,6 +36,13 @@
 //! same stream prepared from scratch per update, with answers asserted
 //! bit-identical. Emits `BENCH_delta.json`; `--check` gates the
 //! per-size delta-vs-scratch speedup against a committed baseline.
+//!
+//! `bench-tenant` measures the multi-tenant co-scheduler
+//! (`core::tenancy`): heuristic-vs-exact partition quality over the
+//! tenant zoo for every partition objective, plus `solve_tenant_batch`
+//! throughput by thread count. Emits `BENCH_tenant.json`; `--check`
+//! gates every per-(family, objective) mean score ratio against a
+//! committed baseline.
 //!
 //! `bench-kernel` measures the solver kernel — per-family sweep
 //! wall-times, exact-solver v2 latencies at growing `n`, split-step
@@ -103,6 +111,8 @@ fn usage() -> ! {
          \tpwsched bench-serve [--quick] [--out FILE] [--check BASELINE]\n\
          \t[--tolerance F]\n\
          \tpwsched bench-delta [--quick] [--out FILE] [--check BASELINE]\n\
+         \t[--tolerance F]\n\
+         \tpwsched bench-tenant [--quick] [--out FILE] [--check BASELINE]\n\
          \t[--tolerance F]"
     );
     std::process::exit(2);
@@ -808,6 +818,225 @@ fn run_bench_delta(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `bench-tenant`: measure the multi-tenant co-scheduler. The quality
+/// section runs the heuristic partitioner and the exact oracle over a
+/// fixed grid of tenant-zoo cases (every family x every objective) and
+/// reports, per (family, objective), the mean exact-vs-heuristic score
+/// ratio — 1.0 means the heuristic found an optimal partition on every
+/// case. The grid is deterministic and identical in `--quick` and full
+/// runs, so `--check` compares like against like; only the throughput
+/// section (informational: `solve_tenant_batch` jobs/sec by thread
+/// count) shrinks under `--quick`. `--check FILE` gates every
+/// `mean_ratio` against a committed baseline (`BENCH_tenant.json` by
+/// convention): a drop of more than `--tolerance` (default 0.05) fails.
+fn run_bench_tenant(mut args: impl Iterator<Item = String>) -> ! {
+    use pipeline_workflows::core::tenancy::{
+        CoSchedOptions, PartitionObjective, Tenant, TenantSet,
+    };
+    use pipeline_workflows::experiments::{solve_tenant_batch, ShardOptions, TenantJob};
+    use pipeline_workflows::model::scenario::{TenantFamily, TenantScenarioGenerator};
+    use pipeline_workflows::model::util::{approx_eq, approx_le};
+    use std::time::Instant;
+
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.05f64;
+    let mut quick = false;
+    while let Some(flag) = args.next() {
+        if flag == "--quick" {
+            quick = true;
+            continue;
+        }
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        });
+        match flag.as_str() {
+            "--out" => out_path = Some(value),
+            "--check" => check_path = Some(value),
+            "--tolerance" => tolerance = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("--tolerance must be in [0, 1)");
+        usage();
+    }
+
+    // Small enough for the exact oracle (K^p assignments), big enough
+    // that the heuristic has real choices to get wrong.
+    let cases = [(2usize, 5usize, 4usize), (3, 6, 5)]; // (K, n_base, p)
+    let build_set = |family: TenantFamily, tenants: usize, n_base: usize, p: usize| {
+        let gen = TenantScenarioGenerator::new(family, tenants, n_base, p);
+        let scenario = gen.scenario(2007, 0);
+        let ts = scenario
+            .tenants
+            .iter()
+            .map(|spec| {
+                let prepared = Arc::new(PreparedInstance::new(
+                    spec.app.clone(),
+                    scenario.platform.clone(),
+                ));
+                let mut tenant = Tenant::new(prepared).weight(spec.weight);
+                if let Some(slo) = spec.slo {
+                    tenant = tenant.slo(slo);
+                }
+                tenant
+            })
+            .collect();
+        Arc::new(TenantSet::new(ts).unwrap_or_else(|e| {
+            eprintln!("tenant zoo produced an invalid set: {e}");
+            std::process::exit(1);
+        }))
+    };
+
+    // Quality: heuristic vs exact on every (family, objective), mean
+    // score ratio over the case grid. The comparison mirrors the
+    // lexicographic (score, tiebreak) order the co-scheduler optimizes:
+    // equal scores fall through to the tiebreak ratio.
+    let opts = CoSchedOptions::default();
+    let mut ws = SolveWorkspace::new();
+    let mut quality_entries: Vec<String> = Vec::new();
+    let mut ours: Vec<(String, f64)> = Vec::new();
+    for family in TenantFamily::ALL {
+        for objective in PartitionObjective::ALL {
+            let mut ratio_sum = 0.0f64;
+            for &(k, n_base, p) in &cases {
+                let set = build_set(family, k, n_base, p);
+                let heur = set
+                    .co_schedule(objective, &opts, &mut ws)
+                    .unwrap_or_else(|e| {
+                        eprintln!("heuristic co-schedule failed ({family}/{objective}): {e}");
+                        std::process::exit(1);
+                    });
+                let exact = set
+                    .co_schedule_exact(objective, &opts, &mut ws)
+                    .unwrap_or_else(|e| {
+                        eprintln!("exact co-schedule failed ({family}/{objective}): {e}");
+                        std::process::exit(1);
+                    });
+                let ratio = if approx_eq(heur.score, exact.score) {
+                    if approx_le(heur.tiebreak, exact.tiebreak) || heur.tiebreak == 0.0 {
+                        1.0
+                    } else {
+                        exact.tiebreak / heur.tiebreak
+                    }
+                } else {
+                    exact.score / heur.score
+                };
+                ratio_sum += ratio;
+            }
+            let mean_ratio = ratio_sum / cases.len() as f64;
+            eprintln!(
+                "family={:<14} objective={:<12} mean_ratio={mean_ratio:.4}",
+                family.label(),
+                objective.label()
+            );
+            quality_entries.push(format!(
+                "{{\"family\": \"{}\", \"objective\": \"{}\", \"mean_ratio\": {mean_ratio:.4}}}",
+                family.label(),
+                objective.label()
+            ));
+            ours.push((
+                format!("{}/{}", family.label(), objective.label()),
+                mean_ratio,
+            ));
+        }
+    }
+
+    // Throughput (informational, not gated): the same co-schedules as
+    // batch jobs through the sharded engine, repeated enough to time.
+    let reps = if quick { 2usize } else { 8 };
+    let make_jobs = || -> Vec<TenantJob> {
+        let mut jobs = Vec::new();
+        for _ in 0..reps {
+            for family in TenantFamily::ALL {
+                for &(k, n_base, p) in &cases {
+                    let set = build_set(family, k, n_base, p);
+                    for objective in PartitionObjective::ALL {
+                        jobs.push(TenantJob::new(Arc::clone(&set), objective));
+                    }
+                }
+            }
+        }
+        jobs
+    };
+    let mut throughput_entries: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let jobs = make_jobs();
+        let n_jobs = jobs.len();
+        let t0 = Instant::now();
+        let answers = solve_tenant_batch(jobs, ShardOptions::with_threads(threads));
+        let secs = t0.elapsed().as_secs_f64();
+        let failures = answers.iter().filter(|a| a.is_err()).count();
+        if failures > 0 {
+            eprintln!("{failures} tenant batch jobs failed");
+            std::process::exit(1);
+        }
+        let jps = n_jobs as f64 / secs;
+        eprintln!("threads={threads} jobs={n_jobs} jobs_per_sec={jps:.1}");
+        throughput_entries.push(format!(
+            "{{\"threads\": {threads}, \"jobs\": {n_jobs}, \"jobs_per_sec\": {jps:.1}}}"
+        ));
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"tenant\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"families\": {}, \"objectives\": {}, \
+         \"cases\": {}, \"throughput_reps\": {reps}}},\n",
+        TenantFamily::ALL.len(),
+        PartitionObjective::ALL.len(),
+        cases.len()
+    ));
+    json.push_str("  \"quality\": [");
+    json.push_str(&quality_entries.join(", "));
+    json.push_str("],\n  \"throughput\": [");
+    json.push_str(&throughput_entries.join(", "));
+    json.push_str("]\n}\n");
+
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    // Regression gate: every (family, objective) mean ratio must stay
+    // within `tolerance` of the committed baseline. The quality grid is
+    // identical in quick and full runs, so entries match by position.
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let base_ratios = extract_f64_all(&baseline, "mean_ratio");
+        if base_ratios.len() != ours.len() {
+            eprintln!(
+                "baseline {path} is malformed: {} mean_ratio entries, expected {}",
+                base_ratios.len(),
+                ours.len()
+            );
+            std::process::exit(1);
+        }
+        for ((label, ratio), base) in ours.iter().zip(&base_ratios) {
+            let floor = base - tolerance;
+            if *ratio < floor {
+                eprintln!(
+                    "REGRESSION: {label} mean_ratio {ratio:.4} < {floor:.4} \
+                     (baseline {base:.4} - {tolerance})"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("ok: {label} mean_ratio {ratio:.4} >= {floor:.4}");
+        }
+    }
+    std::process::exit(0);
+}
+
 fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
     let Some(which) = args.next() else { usage() };
     let mut stages: Option<usize> = None;
@@ -1225,6 +1454,9 @@ fn main() {
     }
     if path == "bench-delta" {
         run_bench_delta(args);
+    }
+    if path == "bench-tenant" {
+        run_bench_tenant(args);
     }
     if path == "bench-kernel" {
         run_bench_kernel(args);

@@ -81,6 +81,114 @@ fn tcp_replay_matches_the_committed_golden_report() {
     assert_eq!(stats.requests, golden.lines().count() as u64);
 }
 
+/// Lockstep replay of the wire v1.2 fixture (stats + cosched verbs)
+/// against its committed golden. Unlike the v1 fixture this one is
+/// replayed only here, in-process over exactly one connection: the
+/// stats reports bake in `live=1 connections=1` and the running
+/// request/cache counters, which a shell replay (with its port-probe
+/// connections) could not reproduce. Regenerate deliberately with
+/// `SERVICE_V12_REGEN=1 cargo test --test serve v12`.
+#[test]
+fn v12_replay_matches_the_committed_golden_report() {
+    let requests = std::fs::read_to_string(fixture("service_requests_v12.txt")).expect("fixture");
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    let mut replies = String::new();
+    for line in requests.lines() {
+        send(&mut writer, line);
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        replies.push_str(&recv(&mut reader));
+        replies.push('\n');
+    }
+    let golden_path = fixture("service_reports_v12.golden");
+    if std::env::var_os("SERVICE_V12_REGEN").is_some() {
+        std::fs::write(&golden_path, &replies).expect("golden writes");
+        eprintln!("regenerated {golden_path}");
+        handle.shutdown();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect(
+        "missing tests/fixtures/service_reports_v12.golden — regenerate with \
+         SERVICE_V12_REGEN=1 cargo test --test serve v12",
+    );
+    assert_eq!(
+        replies, golden,
+        "v1.2 TCP transport drifted from the golden"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn stats_over_tcp_report_the_live_gauge_and_shared_counters() {
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "solve id=1 objective=min-period");
+    assert!(recv(&mut reader).starts_with("report id=1 status=ok"));
+    // One open connection, one answered request, the preload's cache
+    // miss and the solve's cache hit — all visible over the wire.
+    send(&mut writer, "stats id=2");
+    assert_eq!(
+        recv(&mut reader),
+        "report id=2 status=ok solver=stats live=1 connections=1 rejected=0 \
+         requests=1 failures=0 cache-hits=1 cache-misses=1 cache-evictions=0 \
+         uptime-s=0"
+    );
+    drop((reader, writer));
+    // The live gauge drops back once the first connection's worker
+    // unwinds (asynchronously — poll), while the connection total keeps
+    // counting.
+    let (mut reader, mut writer) = connect(&handle);
+    let mut last = String::new();
+    for _ in 0..200 {
+        send(&mut writer, "stats id=3");
+        last = recv(&mut reader);
+        assert!(last.contains("connections=2"), "unexpected stats: {last}");
+        if last.contains("live=1") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(last.contains("live=1"), "live gauge never dropped: {last}");
+    handle.shutdown();
+}
+
+#[test]
+fn cosched_over_tcp_answers_and_fails_structurally() {
+    let (handle, _state) = start(
+        ServeConfig::default(),
+        Some(&fixture("service_instance.pw")),
+    );
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "cosched id=1 objective=max-min tenants=-,-");
+    let reply = recv(&mut reader);
+    assert!(
+        reply.starts_with("report id=1 status=ok solver=cosched objective=max-min"),
+        "unexpected cosched reply: {reply}"
+    );
+    assert!(reply.contains("partition="), "no partition: {reply}");
+    // The solver keeps serving after a structured tenancy failure.
+    send(
+        &mut writer,
+        "cosched id=2 objective=max-min tenants=-,-,-,-,-",
+    );
+    assert_eq!(
+        recv(&mut reader),
+        "report id=2 status=error code=too-few-processors"
+    );
+    send(&mut writer, "solve id=3 objective=min-period");
+    assert!(recv(&mut reader).starts_with("report id=3 status=ok"));
+    handle.shutdown();
+}
+
 #[test]
 fn oversized_lines_fail_structurally_and_the_connection_survives() {
     let config = ServeConfig {

@@ -1,0 +1,168 @@
+//! Differential test of the multi-tenant co-scheduler: on every
+//! tenant-zoo family — and on K=2 sets drawn from every classic scenario
+//! family — the heuristic partitioner must never be *strictly better*
+//! than the exhaustive oracle (the oracle is optimal, so a "win" for the
+//! heuristic means the two disagree on the objective), and both must
+//! return partitions that disjointly cover the whole platform. A
+//! property test then drives the cover invariant across random tenant
+//! sets, weights and SLOs.
+
+use std::sync::Arc;
+
+use pipeline_workflows::core::service::PreparedInstance;
+use pipeline_workflows::core::tenancy::{
+    CoSchedOptions, CoSchedule, PartitionObjective, Tenant, TenantSet,
+};
+use pipeline_workflows::core::SolveWorkspace;
+use pipeline_workflows::model::scenario::{
+    ScenarioFamily, ScenarioGenerator, ScenarioParams, TenantFamily, TenantScenarioGenerator,
+};
+use pipeline_workflows::model::util::{approx_eq, approx_le, definitely_lt};
+use pipeline_workflows::model::{ExperimentKind, InstanceGenerator, InstanceParams};
+
+use proptest::prelude::*;
+
+/// `exact <= heur` in the co-scheduler's lexicographic (score, tiebreak)
+/// order, up to `EPS`: the oracle is allowed to tie the heuristic but
+/// the heuristic may never strictly beat the oracle.
+fn oracle_not_beaten(exact: &CoSchedule, heur: &CoSchedule) -> bool {
+    definitely_lt(exact.score, heur.score)
+        || (approx_eq(exact.score, heur.score) && approx_le(exact.tiebreak, heur.tiebreak))
+}
+
+/// Asserts the per-tenant processor lists disjointly cover `0..p`.
+fn assert_disjoint_cover(sched: &CoSchedule, p: usize, context: &str) {
+    let mut seen = vec![false; p];
+    for outcome in &sched.tenants {
+        assert!(!outcome.procs.is_empty(), "{context}: empty tenant share");
+        for &u in &outcome.procs {
+            assert!(u < p, "{context}: processor {u} out of range");
+            assert!(!seen[u], "{context}: processor {u} assigned twice");
+            seen[u] = true;
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "{context}: partition does not cover the platform"
+    );
+}
+
+fn check_set(set: &TenantSet, context: &str, ws: &mut SolveWorkspace) {
+    let opts = CoSchedOptions::default();
+    let p = set.n_procs();
+    for objective in PartitionObjective::ALL {
+        let heur = set
+            .co_schedule(objective, &opts, ws)
+            .unwrap_or_else(|e| panic!("{context}/{objective}: heuristic failed: {e}"));
+        let exact = set
+            .co_schedule_exact(objective, &opts, ws)
+            .unwrap_or_else(|e| panic!("{context}/{objective}: exact failed: {e}"));
+        assert_disjoint_cover(&heur, p, context);
+        assert_disjoint_cover(&exact, p, context);
+        assert!(
+            oracle_not_beaten(&exact, &heur),
+            "{context}/{objective}: heuristic ({}, {}) strictly beats the \
+             exhaustive oracle ({}, {})",
+            heur.score,
+            heur.tiebreak,
+            exact.score,
+            exact.tiebreak
+        );
+    }
+}
+
+#[test]
+fn heuristic_never_beats_the_oracle_on_the_tenant_zoo() {
+    let mut ws = SolveWorkspace::new();
+    for family in TenantFamily::ALL {
+        for (tenants, n_base, procs) in [(2usize, 5usize, 4usize), (2, 8, 6), (3, 6, 5)] {
+            let gen = TenantScenarioGenerator::new(family, tenants, n_base, procs);
+            for seed in 0..3u64 {
+                let scenario = gen.scenario(seed, 0);
+                let set = TenantSet::new(
+                    scenario
+                        .tenants
+                        .iter()
+                        .map(|spec| {
+                            let prepared = Arc::new(PreparedInstance::new(
+                                spec.app.clone(),
+                                scenario.platform.clone(),
+                            ));
+                            let mut tenant = Tenant::new(prepared).weight(spec.weight);
+                            if let Some(slo) = spec.slo {
+                                tenant = tenant.slo(slo);
+                            }
+                            tenant
+                        })
+                        .collect(),
+                )
+                .expect("tenant zoo sets are valid");
+                let context = format!("{family} K={tenants} n={n_base} p={procs} seed={seed}");
+                check_set(&set, &context, &mut ws);
+            }
+        }
+    }
+}
+
+#[test]
+fn heuristic_never_beats_the_oracle_on_classic_zoo_pairs() {
+    let mut ws = SolveWorkspace::new();
+    for family in ScenarioFamily::ALL {
+        let gen = ScenarioGenerator::new(ScenarioParams::preset(family, 6, 5));
+        for seed in 0..2u64 {
+            // Two independent apps co-scheduled on the first draw's
+            // platform: tenants must share one platform by construction.
+            let (app_a, platform) = gen.instance(seed, 0);
+            let (app_b, _) = gen.instance(seed, 1);
+            let set = TenantSet::new(vec![
+                Tenant::new(Arc::new(PreparedInstance::new(app_a, platform.clone()))).weight(2.0),
+                Tenant::new(Arc::new(PreparedInstance::new(app_b, platform))),
+            ])
+            .expect("zoo pair is a valid tenant set");
+            let context = format!("{family} pair seed={seed}");
+            check_set(&set, &context, &mut ws);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the shape of the tenant set — sizes, weights, SLOs —
+    /// every schedule the heuristic returns partitions the platform:
+    /// disjoint per-tenant shares, nothing idle, nothing shared.
+    #[test]
+    fn every_co_schedule_is_a_disjoint_cover(
+        tenants in 2usize..=4,
+        procs in 4usize..=6,
+        seed in 0u64..1000,
+        weights in proptest::collection::vec(0.1f64..8.0, 4),
+        // Below 1.1 means "no SLO" — the vendored proptest has no
+        // Option strategy, so the gap doubles as the None arm.
+        slo_factor in 0.5f64..4.0,
+    ) {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 5, procs));
+        let (_, platform) = gen.instance(seed, 0);
+        let set = TenantSet::new(
+            (0..tenants)
+                .map(|i| {
+                    let (app, _) = gen.instance(seed, i as u64);
+                    let prepared = Arc::new(PreparedInstance::new(app, platform.clone()));
+                    let l_opt = prepared.optimal_latency();
+                    let mut tenant = Tenant::new(prepared).weight(weights[i]);
+                    if slo_factor >= 1.1 {
+                        tenant = tenant.slo(slo_factor * l_opt);
+                    }
+                    tenant
+                })
+                .collect(),
+        )
+        .expect("generated tenant sets are valid");
+        let opts = CoSchedOptions::default();
+        let mut ws = SolveWorkspace::new();
+        for objective in PartitionObjective::ALL {
+            let sched = set.co_schedule(objective, &opts, &mut ws).expect("schedules");
+            assert_disjoint_cover(&sched, procs, &format!("{objective} seed={seed}"));
+        }
+    }
+}
