@@ -1,5 +1,7 @@
-//! The incremental solver kernel: split-step throughput and exact solver
-//! v2 vs the blind v1 reference.
+//! The incremental solver kernel: split-step throughput and the exact
+//! solver generations — the routed v3 dominance DP, the v2
+//! branch-and-bound, and the blind v1 reference — at the old cutoff and
+//! at the raised n = 24, p = 16 frontier.
 //!
 //! Compiled (not run) in CI via `cargo bench --no-run`; run locally to
 //! compare kernel generations. `pwsched bench-kernel` records the same
@@ -12,7 +14,7 @@ use pipeline_core::trajectory::{
 };
 use pipeline_core::{sp_bi_p, SolveWorkspace, SpBiPOptions};
 use pipeline_model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
-use pipeline_model::CostModel;
+use pipeline_model::{CostModel, Platform};
 use std::hint::black_box;
 
 /// Raw split-step throughput: one full H1 trajectory per iteration. The
@@ -72,26 +74,65 @@ fn bench_sp_bi_p(c: &mut Criterion) {
     group.finish();
 }
 
-/// Exact solver v2 (branch-and-bound) vs the blind v1 enumeration at the
-/// old Auto cutoff — the speedup that paid for raising the cutoff.
-fn bench_exact_v2_vs_v1(c: &mut Criterion) {
+/// Exact solver generations at the old Auto cutoff: the routed public
+/// entry (v3 dominance DP where it applies), the v2 branch-and-bound,
+/// and the blind v1 enumeration.
+fn bench_exact_generations(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/exact");
     let n = 12usize;
     let p = 6usize;
     let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p));
     let (app, pf) = gen.instance(1, 0);
     let cm = CostModel::new(&app, &pf);
-    group.bench_function(BenchmarkId::new("min-period-v2", format!("n{n}")), |b| {
+    group.bench_function(BenchmarkId::new("min-period-v3", format!("n{n}")), |b| {
         b.iter(|| black_box(exact::exact_min_period(&cm)));
+    });
+    group.bench_function(BenchmarkId::new("min-period-v2", format!("n{n}")), |b| {
+        b.iter(|| black_box(exact::exact_min_period_dfs(&cm)));
     });
     group.bench_function(BenchmarkId::new("min-period-v1", format!("n{n}")), |b| {
         b.iter(|| black_box(exact::exact_min_period_blind(&cm)));
     });
-    group.bench_function(BenchmarkId::new("front-v2", format!("n{n}")), |b| {
+    group.bench_function(BenchmarkId::new("front-v3", format!("n{n}")), |b| {
         b.iter(|| black_box(exact::exact_pareto_front(&cm)));
+    });
+    group.bench_function(BenchmarkId::new("front-v2", format!("n{n}")), |b| {
+        b.iter(|| black_box(exact::exact_pareto_front_dfs(&cm)));
     });
     group.bench_function(BenchmarkId::new("front-v1", format!("n{n}")), |b| {
         b.iter(|| black_box(exact::exact_pareto_front_blind(&cm)));
+    });
+    group.finish();
+}
+
+/// The v3 dominance DP at the raised frontier: n = 24, p = 16 on a
+/// uniform-speed cluster (the paper's setting), where identical speeds
+/// collapse the mask space and the DP routes. The v2 comparison shows
+/// what the DP buys at this scale.
+fn bench_exact_dp_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/exact-dp");
+    group.sample_size(10);
+    let n = 24usize;
+    let p = 16usize;
+    let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
+    let (app, _) = gen.instance(1, 0);
+    let pf = Platform::comm_homogeneous(vec![10.0; p], 10.0).expect("valid platform");
+    let cm = CostModel::new(&app, &pf);
+    assert!(exact::supports_dominance_dp(&cm));
+    group.bench_function(
+        BenchmarkId::new("min-period-v3", format!("n{n}_p{p}")),
+        |b| {
+            b.iter(|| black_box(exact::exact_min_period(&cm)));
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("min-period-v2", format!("n{n}_p{p}")),
+        |b| {
+            b.iter(|| black_box(exact::exact_min_period_dfs(&cm)));
+        },
+    );
+    group.bench_function(BenchmarkId::new("front-v3", format!("n{n}_p{p}")), |b| {
+        b.iter(|| black_box(exact::exact_pareto_front(&cm)));
     });
     group.finish();
 }
@@ -100,6 +141,7 @@ criterion_group!(
     kernel,
     bench_split_steps,
     bench_sp_bi_p,
-    bench_exact_v2_vs_v1
+    bench_exact_generations,
+    bench_exact_dp_frontier
 );
 criterion_main!(kernel);

@@ -96,6 +96,63 @@ pub fn latency_lower_bound(cm: &CostModel<'_>) -> f64 {
     cm.optimal_latency()
 }
 
+/// Precomputed per-instance admissible bounds shared by the exact
+/// searches ([`crate::exact`]): both the interval-prefix DFS
+/// (`PartitionSearch`) and the processor-subset dominance DP walk
+/// prefixes of the stage line and need the same "what must the open
+/// suffix still pay" quantities. All period-side entries are bit-wise
+/// admissible — each is a monotone-rounded under-approximation of a real
+/// cycle value (same prefix-sum `interval_work` expressions the cycle
+/// matrices use) — so period pruning against them needs no tolerance;
+/// the latency-side suffix sum re-associates additions and is deflated
+/// by the caller before use.
+#[derive(Debug, Clone)]
+pub(crate) struct ExactBounds {
+    /// Platform speeds sorted non-increasing (for the `k`-th-fastest
+    /// counting bound of the interval-prefix DFS).
+    pub(crate) speeds_desc: Vec<f64>,
+    /// `max_{i ≥ pos} interval_work(i, i+1)/s_max`; index `n` is 0.
+    pub(crate) suffix_singleton_max: Vec<f64>,
+    /// `Σ_{i ≥ pos} interval_work(i, i+1)/s_max` (latency side).
+    pub(crate) suffix_singleton_sum: Vec<f64>,
+    /// `δ_pos/b + singleton_opt[pos]`: what the interval opening at
+    /// `pos` must at least pay.
+    pub(crate) head_bound: Vec<f64>,
+    /// `δ_n/b + singleton_opt[n-1]`: what the closing interval must pay.
+    pub(crate) tail_bound: f64,
+}
+
+impl ExactBounds {
+    /// Builds the bounds for a Communication Homogeneous instance with
+    /// link bandwidth `b` and fastest speed `s_max`.
+    pub(crate) fn new(cm: &CostModel<'_>, b: f64, s_max: f64) -> ExactBounds {
+        let app = cm.app();
+        let n = app.n_stages();
+        let mut speeds_desc: Vec<f64> = cm.platform().speeds().to_vec();
+        speeds_desc.sort_by(|x, y| y.partial_cmp(x).expect("speeds are finite"));
+        let singleton_opt: Vec<f64> = (0..n)
+            .map(|i| app.interval_work(i, i + 1) / s_max)
+            .collect();
+        let mut suffix_singleton_max = vec![0.0_f64; n + 1];
+        let mut suffix_singleton_sum = vec![0.0_f64; n + 1];
+        for i in (0..n).rev() {
+            suffix_singleton_max[i] = suffix_singleton_max[i + 1].max(singleton_opt[i]);
+            suffix_singleton_sum[i] = suffix_singleton_sum[i + 1] + singleton_opt[i];
+        }
+        let head_bound: Vec<f64> = (0..n)
+            .map(|i| app.input_volume(i) / b + singleton_opt[i])
+            .collect();
+        let tail_bound = app.output_volume(n) / b + singleton_opt[n - 1];
+        ExactBounds {
+            speeds_desc,
+            suffix_singleton_max,
+            suffix_singleton_sum,
+            head_bound,
+            tail_bound,
+        }
+    }
+}
+
 /// Relative optimality gap of `achieved` against a lower bound: `0.0`
 /// means provably optimal.
 pub fn gap(achieved: f64, bound: f64) -> f64 {

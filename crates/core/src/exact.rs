@@ -46,6 +46,60 @@
 //! implementations — the differential tests and `benches/kernel.rs`
 //! measure v2 against them.
 //!
+//! # Exact solver v3: processor-subset dominance DP
+//!
+//! v2 still enumerates partitions one by one and pays one assignment
+//! solve per surviving leaf. v3 interleaves the two choices — each step
+//! places the next interval `[pos, end)` **and** the processor that runs
+//! it — so a search state is fully described by `(pos, mask)`: the stage
+//! prefix covered so far and the bitmask of enrolled processors. Two
+//! prefixes reaching the same `(pos, mask)` face the *identical*
+//! residual subproblem (same open stages, same free processors), so only
+//! the componentwise-Pareto-minimal accumulator vectors at each state
+//! need expanding: every completion of a dominated vector is matched,
+//! coordinate for coordinate, by the dominator's completions. Because
+//! all transitions go strictly forward in `pos`, the state graph is
+//! leveled — the DP runs as one **level-order sweep** (all arrivals at a
+//! level precede its expansion), so each surviving state expands exactly
+//! once with its final value, never speculatively. Two symmetry/pruning
+//! levers keep the state space small: processors with bit-equal speeds
+//! are interchangeable, so each state enrolls only the first free member
+//! of every speed class (canonical masks = per-class prefixes), and
+//! states whose optimistic bound cannot beat the shared incumbent (fed
+//! by every complete extension as it arrives) are dropped at insert and
+//! again at expansion. The accumulators mirror the blind arithmetic
+//! expression by expression (`max` of the exact cycle values for the
+//! period; the `δ/b`-seeded input-volume fold plus the interval-order
+//! `w/s` fold for the latency), so every leaf value is bit-identical to
+//! a blind leaf and dominance never rounds.
+//!
+//! The DP pays off exactly when speed classes collapse the mask space —
+//! on the paper's fully homogeneous platforms the canonical states are
+//! `(n+1)·(p+1)` and the sweep is polynomial where v2 is exponential.
+//! With `p` pairwise-distinct speeds the mask space is `2^p` and v2's
+//! one-polynomial-assignment-per-partition factorization is the better
+//! algorithm, so [`supports_dominance_dp`] routes by a canonical-state
+//! budget and the entry points fall back to v2 beyond it.
+//!
+//! The DP answers *values* (and, for the front, coordinates). The
+//! reported **witness** — the mapping, and which partition wins a tie —
+//! is pinned to the blind enumeration's leftmost-winner semantics by a
+//! second, value-guided pass: re-walk the v2 partition DFS pruning
+//! against the now-known optimum and return the first partition that
+//! achieves it (for the front, sweep thresholds as v2 does, pruning
+//! partitions whose optimistic point falls a safety margin below the
+//! DP's coordinate front). Both passes are cheap once the optimum is
+//! known; results stay bit-identical to v1/v2, pinned by
+//! `tests/exact_frontier.rs` and `tests/kernel_identity.rs`.
+//!
+//! The DP phases are also the **sharding seam**: the first-interval
+//! choices `[0, end)` are independent search roots, so
+//! `pipeline-experiments` fans them out over its work-queue engine with
+//! a shared atomic incumbent ([`SharedIncumbent`]) for cross-shard
+//! pruning. Values are exact regardless of visit order, and the
+//! witness pass is sequential either way, so sharded results are
+//! bit-identical to single-threaded ones at any thread count.
+//!
 //! Everything here is still exponential in `n` in the worst case and
 //! cubic in `p` — ground truth for tests and small-scale experiments, not
 //! production scheduling. The period minimization problem is NP-hard
@@ -56,13 +110,18 @@ use crate::workspace::SolveWorkspace;
 use pipeline_assign::{bottleneck_assignment, hungarian, hungarian_in, CostMatrix};
 use pipeline_model::prelude::*;
 use pipeline_model::util::{approx_le, EPS};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Practical guard: partitions beyond this would hang tests. Raised from
-/// 22 to 26 with exact solver v2 — the pruned search keeps n = 26
-/// tractable where the blind sweep was not. The service layer turns
-/// requests beyond it into a structured `SolveError::InstanceTooLarge`
-/// instead of tripping the assert.
-pub const MAX_STAGES: usize = 26;
+/// 22 to 26 with exact solver v2 (the pruned partition search) and from
+/// 26 to 30 with v3 (the processor-subset dominance DP) — the DP keeps
+/// n = 30, p = 16 tractable where even the pruned partition sweep was
+/// not. The service layer turns requests beyond it into a structured
+/// `SolveError::InstanceTooLarge` instead of tripping the assert.
+pub const MAX_STAGES: usize = 30;
 
 /// Relative slack applied to latency-side lower bounds before pruning:
 /// the bounds re-associate floating-point sums, so they can exceed their
@@ -177,9 +236,6 @@ struct PartitionSearch<'c, 'a> {
     s_max: f64,
     /// Platform speeds in raw processor order (matrix columns).
     speeds: &'a [f64],
-    /// Platform speeds sorted non-increasing (for the `k`-th-fastest
-    /// counting bound).
-    speeds_desc: Vec<f64>,
     // --- incremental prefix state ---
     intervals: Vec<Interval>,
     comm: Vec<f64>,
@@ -191,19 +247,9 @@ struct PartitionSearch<'c, 'a> {
     opt_cycle_max: Vec<f64>,
     /// Placed interval works, sorted non-increasing.
     works_sorted: Vec<f64>,
-    // --- precomputed suffix bounds ---
-    /// `max_{i ≥ pos} interval_work(i, i+1)/s_max` (the same prefix-sum
-    /// expression the cycle matrices use, so the bound is bit-wise
-    /// admissible); index `n` is 0.
-    suffix_singleton_max: Vec<f64>,
-    /// `Σ_{i ≥ pos} singleton_opt[i]` (latency side; slack-deflated
-    /// before use).
-    suffix_singleton_sum: Vec<f64>,
-    /// `δ_pos/b + singleton_opt[pos]`: what the interval opening at `pos`
-    /// must at least pay.
-    head_bound: Vec<f64>,
-    /// `δ_n/b + singleton_opt[n-1]`: what the closing interval must pay.
-    tail_bound: f64,
+    /// Precomputed suffix/head/tail bounds shared with the dominance DP
+    /// (see [`crate::bounds::ExactBounds`]).
+    eb: crate::bounds::ExactBounds,
 }
 
 impl<'c, 'a> PartitionSearch<'c, 'a> {
@@ -219,21 +265,7 @@ impl<'c, 'a> PartitionSearch<'c, 'a> {
         );
         let b = homogeneous_bandwidth(cm);
         let s_max = pf.max_speed();
-        let mut speeds_desc: Vec<f64> = pf.speeds().to_vec();
-        speeds_desc.sort_by(|x, y| y.partial_cmp(x).expect("speeds are finite"));
-        let singleton_opt: Vec<f64> = (0..n)
-            .map(|i| app.interval_work(i, i + 1) / s_max)
-            .collect();
-        let mut suffix_singleton_max = vec![0.0_f64; n + 1];
-        let mut suffix_singleton_sum = vec![0.0_f64; n + 1];
-        for i in (0..n).rev() {
-            suffix_singleton_max[i] = suffix_singleton_max[i + 1].max(singleton_opt[i]);
-            suffix_singleton_sum[i] = suffix_singleton_sum[i + 1] + singleton_opt[i];
-        }
-        let head_bound: Vec<f64> = (0..n)
-            .map(|i| app.input_volume(i) / b + singleton_opt[i])
-            .collect();
-        let tail_bound = app.output_volume(n) / b + singleton_opt[n - 1];
+        let eb = crate::bounds::ExactBounds::new(cm, b, s_max);
         PartitionSearch {
             cm,
             n,
@@ -242,17 +274,13 @@ impl<'c, 'a> PartitionSearch<'c, 'a> {
             b,
             s_max,
             speeds: pf.speeds(),
-            speeds_desc,
             intervals: Vec::new(),
             comm: Vec::new(),
             work: Vec::new(),
             latency_base: vec![app.delta(n) / b],
             opt_cycle_max: vec![f64::NEG_INFINITY],
             works_sorted: Vec::new(),
-            suffix_singleton_max,
-            suffix_singleton_sum,
-            head_bound,
-            tail_bound,
+            eb,
         }
     }
 
@@ -297,14 +325,14 @@ impl<'c, 'a> PartitionSearch<'c, 'a> {
     fn lb_period(&self) -> f64 {
         let mut lb = *self.opt_cycle_max.last().expect("seeded");
         for (k, &w) in self.works_sorted.iter().enumerate() {
-            lb = lb.max(w / self.speeds_desc[k]);
+            lb = lb.max(w / self.eb.speeds_desc[k]);
         }
         let pos = self.pos();
         if pos < self.n {
             lb = lb
-                .max(self.head_bound[pos])
-                .max(self.suffix_singleton_max[pos])
-                .max(self.tail_bound);
+                .max(self.eb.head_bound[pos])
+                .max(self.eb.suffix_singleton_max[pos])
+                .max(self.eb.tail_bound);
         }
         lb
     }
@@ -314,11 +342,11 @@ impl<'c, 'a> PartitionSearch<'c, 'a> {
     fn lb_latency(&self) -> f64 {
         let mut lb = *self.latency_base.last().expect("seeded");
         for (k, &w) in self.works_sorted.iter().enumerate() {
-            lb += w / self.speeds_desc[k];
+            lb += w / self.eb.speeds_desc[k];
         }
         let pos = self.pos();
         if pos < self.n {
-            lb += self.suffix_singleton_sum[pos];
+            lb += self.eb.suffix_singleton_sum[pos];
             lb += self.cm.app().input_volume(pos) / self.b;
         }
         lb * (1.0 - LB_SLACK)
@@ -363,16 +391,44 @@ impl<'c, 'a> PartitionSearch<'c, 'a> {
 // ---------------------------------------------------------------------------
 
 /// Exact minimum period over every interval mapping (NP-hard in general).
-/// Branch-and-bound over partitions with a bottleneck assignment per
-/// surviving leaf; bit-identical to [`exact_min_period_blind`]. Returns
-/// the optimal mapping.
+/// Routes through the v3 dominance DP when it applies (see
+/// [`supports_dominance_dp`]), falling back to the v2 partition search;
+/// bit-identical to [`exact_min_period_blind`] either way. Returns the
+/// optimal mapping.
 pub fn exact_min_period(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
     exact_min_period_in(cm, &mut SolveWorkspace::new())
 }
 
-/// [`exact_min_period`] reusing the workspace's assignment matrices
-/// (bit-identical result).
+/// [`exact_min_period`] reusing the workspace's assignment matrices and
+/// DP tables (bit-identical result).
 pub fn exact_min_period_in(cm: &CostModel<'_>, ws: &mut SolveWorkspace) -> (f64, IntervalMapping) {
+    if !supports_dominance_dp(cm) {
+        return exact_min_period_dfs_in(cm, ws);
+    }
+    let dp = DominanceDp::new(cm);
+    let inc = SharedIncumbent::new();
+    reset_levels(&mut ws.dp.period, dp.n);
+    for end in 1..=dp.n {
+        dp.period_seed(&mut ws.dp.period, end, &inc);
+    }
+    dp.period_sweep(&mut ws.dp.period, &inc);
+    exact_min_period_from_value(cm, inc.current(), ws)
+}
+
+/// The v2 exact minimum period: branch-and-bound over partitions with a
+/// bottleneck assignment per surviving leaf. Kept as the mid-tier
+/// differential reference between the dominance DP and the blind
+/// enumeration.
+pub fn exact_min_period_dfs(cm: &CostModel<'_>) -> (f64, IntervalMapping) {
+    exact_min_period_dfs_in(cm, &mut SolveWorkspace::new())
+}
+
+/// [`exact_min_period_dfs`] reusing the workspace's assignment matrices
+/// (bit-identical result).
+pub fn exact_min_period_dfs_in(
+    cm: &CostModel<'_>,
+    ws: &mut SolveWorkspace,
+) -> (f64, IntervalMapping) {
     let scratch = &mut ws.exact;
     let mut search = PartitionSearch::new(cm);
     let mut best: Option<(f64, IntervalMapping)> = None;
@@ -392,10 +448,9 @@ pub fn exact_min_period_in(cm: &CostModel<'_>, ws: &mut SolveWorkspace) -> (f64,
 }
 
 /// Exact minimum latency subject to `period ≤ period_bound`. `None` when
-/// no interval mapping satisfies the bound. Branch-and-bound: prefixes
-/// with an interval no processor can run within the bound, or whose
-/// optimistic latency cannot beat the incumbent, are skipped;
-/// bit-identical to [`exact_min_latency_for_period_blind`].
+/// no interval mapping satisfies the bound. Routes through the v3
+/// dominance DP when it applies, falling back to the v2 search;
+/// bit-identical to [`exact_min_latency_for_period_blind`] either way.
 pub fn exact_min_latency_for_period(
     cm: &CostModel<'_>,
     period_bound: f64,
@@ -404,8 +459,38 @@ pub fn exact_min_latency_for_period(
 }
 
 /// [`exact_min_latency_for_period`] reusing the workspace's assignment
-/// matrices and Hungarian scratch (bit-identical result).
+/// matrices, Hungarian scratch and DP tables (bit-identical result).
 pub fn exact_min_latency_for_period_in(
+    cm: &CostModel<'_>,
+    period_bound: f64,
+    ws: &mut SolveWorkspace,
+) -> Option<(f64, IntervalMapping)> {
+    if !supports_dominance_dp(cm) {
+        return exact_min_latency_for_period_dfs_in(cm, period_bound, ws);
+    }
+    let dp = DominanceDp::new(cm);
+    let inc = SharedIncumbent::new();
+    reset_levels(&mut ws.dp.latency, dp.n);
+    for end in 1..=dp.n {
+        dp.latency_seed(&mut ws.dp.latency, end, period_bound, &inc);
+    }
+    dp.latency_sweep(&mut ws.dp.latency, period_bound, &inc);
+    exact_min_latency_from_value(cm, period_bound, inc.current(), ws)
+}
+
+/// The v2 latency-under-period-bound solver: branch-and-bound over
+/// partitions, one Hungarian solve per surviving leaf. Kept as the
+/// mid-tier differential reference.
+pub fn exact_min_latency_for_period_dfs(
+    cm: &CostModel<'_>,
+    period_bound: f64,
+) -> Option<(f64, IntervalMapping)> {
+    exact_min_latency_for_period_dfs_in(cm, period_bound, &mut SolveWorkspace::new())
+}
+
+/// [`exact_min_latency_for_period_dfs`] reusing the workspace's
+/// assignment matrices and Hungarian scratch (bit-identical result).
+pub fn exact_min_latency_for_period_dfs_in(
     cm: &CostModel<'_>,
     period_bound: f64,
     ws: &mut SolveWorkspace,
@@ -461,20 +546,50 @@ pub fn exact_min_period_for_latency(
 /// The exact Pareto front of (period, latency) over every interval
 /// mapping.
 ///
-/// For each surviving partition, sweeps the distinct cycle values as
-/// period thresholds and records the Hungarian-optimal latency at each;
-/// globally Pareto-filters across partitions. v2 prunes dominated
-/// prefixes, skips thresholds below the partition's bottleneck optimum,
-/// and reuses Hungarian sub-solves across thresholds that allow the same
-/// pair set — all output-preserving (bit-identical to
-/// [`exact_pareto_front_blind`]).
+/// Routes through the v3 dominance DP when it applies — a coordinate-only
+/// "shadow" front computed by the combined partition × assignment DFS,
+/// then a v2 threshold sweep pruned against it — falling back to the
+/// plain v2 sweep; bit-identical to [`exact_pareto_front_blind`] either
+/// way.
 pub fn exact_pareto_front(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
     exact_pareto_front_in(cm, &mut SolveWorkspace::new())
 }
 
 /// [`exact_pareto_front`] reusing the workspace's assignment matrices,
-/// Hungarian scratch and threshold-sweep buffers (bit-identical result).
+/// Hungarian scratch, threshold-sweep buffers and DP tables
+/// (bit-identical result).
 pub fn exact_pareto_front_in(
+    cm: &CostModel<'_>,
+    ws: &mut SolveWorkspace,
+) -> ParetoFront<IntervalMapping> {
+    if !supports_dominance_dp(cm) {
+        return exact_pareto_front_dfs_in(cm, ws);
+    }
+    let dp = DominanceDp::new(cm);
+    let mut shadow: ParetoFront<()> = ParetoFront::new();
+    reset_levels(&mut ws.dp.front, dp.n);
+    for end in 1..=dp.n {
+        dp.shadow_seed(&mut ws.dp.front, end, &mut shadow);
+    }
+    dp.shadow_sweep(&mut ws.dp.front, &mut shadow);
+    exact_front_from_shadow(cm, &shadow, ws)
+}
+
+/// The v2 Pareto-front sweep: for each surviving partition, sweeps the
+/// distinct cycle values as period thresholds and records the
+/// Hungarian-optimal latency at each; globally Pareto-filters across
+/// partitions. Prunes dominated prefixes, skips thresholds below the
+/// partition's bottleneck optimum, and reuses Hungarian sub-solves
+/// across thresholds that allow the same pair set — all
+/// output-preserving. Kept as the mid-tier differential reference.
+pub fn exact_pareto_front_dfs(cm: &CostModel<'_>) -> ParetoFront<IntervalMapping> {
+    exact_pareto_front_dfs_in(cm, &mut SolveWorkspace::new())
+}
+
+/// [`exact_pareto_front_dfs`] reusing the workspace's assignment
+/// matrices, Hungarian scratch and threshold-sweep buffers
+/// (bit-identical result).
+pub fn exact_pareto_front_dfs_in(
     cm: &CostModel<'_>,
     ws: &mut SolveWorkspace,
 ) -> ParetoFront<IntervalMapping> {
@@ -547,6 +662,783 @@ pub fn exact_pareto_front_in(
             let Some(a) = solved else { continue };
             let latency = latency_base + a.objective;
             // Recompute the achieved period (≤ t, can be smaller).
+            let achieved = a
+                .assigned
+                .iter()
+                .enumerate()
+                .map(|(j, &u)| s.comm[j] + s.work[j] / s.speeds[u])
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !front.dominated(achieved, latency) {
+                let mapping = build_mapping(s.cm, &s.intervals, &a.assigned);
+                front.offer(achieved, latency, mapping);
+            }
+        }
+        false
+    });
+    front
+}
+
+// ---------------------------------------------------------------------------
+// v3: the processor-subset dominance DP (see the module docs).
+// ---------------------------------------------------------------------------
+
+/// Safety margin of the shadow-front prune in the witness sweep: a
+/// prefix is discarded only when the DP's coordinate front dominates its
+/// optimistic point by **more** than the threshold fuzz of the sweep
+/// (`dedup_by` within [`EPS`], `approx_le` feasibility), so every offer
+/// the sweep would have accepted is strictly dominated by one it still
+/// makes. 4×[`EPS`] covers 2× threshold fuzz plus all rounding noise
+/// with three orders of magnitude to spare.
+const SHADOW_MARGIN: f64 = 4.0 * EPS;
+
+/// Routing budget for the dominance DP: the number of *canonical*
+/// `(pos, mask)` states — masks using only the first free member of
+/// each equal-speed processor class — must stay below this for the DP
+/// to pay for itself. Beyond it (e.g. 16 pairwise-distinct speeds,
+/// 2^16 masks) the v2 partition search with its per-leaf polynomial
+/// assignment solves is the better algorithm and the entry points fall
+/// back to it.
+const DP_STATE_BUDGET: u64 = 50_000;
+
+/// Identity-strength mixer for the `(pos, mask)` state keys — the keys
+/// are already well-distributed small integers, so SipHash's DoS
+/// hardening buys nothing and costs ~2× on the DP's hottest loop.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DomHasher(u64);
+
+impl std::hash::Hasher for DomHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        // splitmix64-style finalizer: full avalanche, two multiplies.
+        let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+}
+
+type DomBuild = BuildHasherDefault<DomHasher>;
+
+/// One level of a v3 DP table: the states of a fixed stage position,
+/// keyed by enrolled-processor mask.
+type DpLevel<T> = HashMap<u32, T, DomBuild>;
+
+/// Latency-DP accumulator pairs: `(latency_base, Σ w/s)`.
+type LatencyAccs = Vec<(f64, f64)>;
+
+/// Shadow-front-DP accumulator triples:
+/// `(cycle_max, latency_base, Σ w/s)`.
+type FrontAccs = Vec<(f64, f64, f64)>;
+
+/// Reusable level tables of the v3 DP, one map per stage position `pos`
+/// keyed by processor mask. Owned by [`SolveWorkspace`]; each solve (or
+/// each sharded root call) resets them, recycling capacity.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DpScratch {
+    /// Min-period DP: smallest prefix cycle maximum per state.
+    period: Vec<DpLevel<f64>>,
+    /// Latency-under-bound DP: Pareto list of `(latency_base, Σ w/s)`
+    /// accumulator pairs per state.
+    latency: Vec<DpLevel<LatencyAccs>>,
+    /// Shadow-front DP: Pareto list of `(cycle_max, latency_base, Σ w/s)`
+    /// accumulator triples per state.
+    front: Vec<DpLevel<FrontAccs>>,
+}
+
+/// Resizes `levels` to `n + 1` maps and clears each, keeping capacity.
+fn reset_levels<T>(levels: &mut Vec<HashMap<u32, T, DomBuild>>, n: usize) {
+    levels.resize_with(n + 1, HashMap::default);
+    for level in levels.iter_mut() {
+        level.clear();
+    }
+}
+
+/// A cross-shard incumbent: the best objective value observed by any
+/// worker, stored as the `f64` bit pattern in an atomic. For positive
+/// finite values (every period and latency here) the IEEE-754 bit
+/// pattern orders exactly like the value, so a lock-free `fetch_min` on
+/// the bits is a CAS-free atomic min on the values.
+#[derive(Debug)]
+pub struct SharedIncumbent {
+    bits: AtomicU64,
+}
+
+impl Default for SharedIncumbent {
+    fn default() -> Self {
+        SharedIncumbent::new()
+    }
+}
+
+impl SharedIncumbent {
+    /// A fresh incumbent at `+∞` (nothing observed yet).
+    pub fn new() -> Self {
+        SharedIncumbent {
+            bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// Records an achieved objective value (must be positive).
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        debug_assert!(value > 0.0, "incumbent values are positive");
+        self.bits.fetch_min(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The best value observed so far (`+∞` when none).
+    #[inline]
+    pub fn current(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Whether the v3 dominance DP handles this instance — the routing
+/// predicate of the public entry points. Requires Communication
+/// Homogeneous links (the DP interleaves assignment into the partition
+/// walk, which needs interchangeable links), at most 32 processors (the
+/// enrolled-set bitmask), and a canonical state space within
+/// [`DP_STATE_BUDGET`]: `(n+1) · Π_classes (|class| + 1)`, the
+/// `(pos, mask)` pairs reachable under the first-free-member-per-class
+/// symmetry break. Outside that, the entry points fall back to the v2
+/// partition search (which stays the better algorithm when all speeds
+/// are pairwise distinct).
+pub fn supports_dominance_dp(cm: &CostModel<'_>) -> bool {
+    if !matches!(cm.platform().links(), LinkModel::Homogeneous(_)) || cm.platform().n_procs() > 32 {
+        return false;
+    }
+    let mut bits: Vec<u64> = cm.platform().speeds().iter().map(|s| s.to_bits()).collect();
+    bits.sort_unstable();
+    let mut states: u64 = 1;
+    let mut class = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        class += 1;
+        if i + 1 == bits.len() || bits[i + 1] != b {
+            states = states.saturating_mul(class + 1);
+            class = 0;
+        }
+    }
+    states = states.saturating_mul(cm.app().n_stages() as u64 + 1);
+    states <= DP_STATE_BUDGET
+}
+
+/// First-interval root branches `[0, end)` for `end` in `1..=n`, sorted
+/// by optimistic period lower bound (ties by `end`): exploring
+/// promising roots first tightens a shared incumbent early. Ordering is
+/// a scheduling hint only — DP values are exact in any order.
+pub fn exact_root_order(cm: &CostModel<'_>) -> Vec<usize> {
+    let dp = DominanceDp::new(cm);
+    let app = cm.app();
+    let mut roots: Vec<(f64, usize)> = (1..=dp.n)
+        .map(|end| {
+            let comm = app.input_volume(0) / dp.b + app.output_volume(end) / dp.b;
+            let opt_cycle = comm + app.interval_work(0, end) / dp.s_max;
+            let mut lb = opt_cycle;
+            if end < dp.n {
+                lb = lb
+                    .max(dp.eb.head_bound[end])
+                    .max(dp.eb.suffix_singleton_max[end])
+                    .max(dp.eb.tail_bound);
+            }
+            (lb, end)
+        })
+        .collect();
+    roots.sort_by(|a, b| a.partial_cmp(b).expect("bounds are finite"));
+    roots.into_iter().map(|(_, end)| end).collect()
+}
+
+/// The combined partition × assignment DFS of the v3 DP. Holds the
+/// instance views and the precomputed bounds; the per-state accumulator
+/// values travel as recursion arguments, and the dominance tables live
+/// in the workspace so they persist across root calls of one session.
+struct DominanceDp<'c, 'a> {
+    cm: &'c CostModel<'a>,
+    n: usize,
+    b: f64,
+    s_max: f64,
+    speeds: &'a [f64],
+    /// Processors grouped by identical speed bits, groups sorted by
+    /// speed descending, members ascending. Within a group the members
+    /// are interchangeable, so each state tries only the first *free*
+    /// member of each group — a symmetry break that collapses the
+    /// assignment branching on (partially) homogeneous platforms
+    /// without affecting any objective value.
+    speed_groups: Vec<Vec<usize>>,
+    eb: crate::bounds::ExactBounds,
+}
+
+impl<'c, 'a> DominanceDp<'c, 'a> {
+    fn new(cm: &'c CostModel<'a>) -> Self {
+        let app = cm.app();
+        let pf = cm.platform();
+        let n = app.n_stages();
+        assert!(n > 0, "no stage to partition");
+        assert!(
+            n <= MAX_STAGES,
+            "refusing to enumerate 2^{} partitions",
+            n - 1
+        );
+        let b = homogeneous_bandwidth(cm);
+        let s_max = pf.max_speed();
+        let speeds = pf.speeds();
+        let mut by_speed: Vec<usize> = (0..pf.n_procs()).collect();
+        by_speed.sort_by(|&x, &y| {
+            speeds[y]
+                .partial_cmp(&speeds[x])
+                .expect("speeds are finite")
+                .then(x.cmp(&y))
+        });
+        let mut speed_groups: Vec<Vec<usize>> = Vec::new();
+        for u in by_speed {
+            match speed_groups.last_mut() {
+                Some(g) if speeds[g[0]].to_bits() == speeds[u].to_bits() => g.push(u),
+                _ => speed_groups.push(vec![u]),
+            }
+        }
+        DominanceDp {
+            cm,
+            n,
+            b,
+            s_max,
+            speeds,
+            speed_groups,
+            eb: crate::bounds::ExactBounds::new(cm, b, s_max),
+        }
+    }
+
+    /// Calls `step` for the first free member of every speed group —
+    /// the canonical representative assignment choices at a state.
+    #[inline]
+    fn for_free_procs(&self, mask: u32, mut step: impl FnMut(usize)) {
+        for group in &self.speed_groups {
+            if let Some(&u) = group.iter().find(|&&u| mask & (1u32 << u) == 0) {
+                step(u);
+            }
+        }
+    }
+
+    /// Bit-wise admissible period lower bound at `(pos, cycle_max)`.
+    #[inline]
+    fn lb_period(&self, pos: usize, cycle_max: f64) -> f64 {
+        if pos < self.n {
+            cycle_max
+                .max(self.eb.head_bound[pos])
+                .max(self.eb.suffix_singleton_max[pos])
+                .max(self.eb.tail_bound)
+        } else {
+            cycle_max
+        }
+    }
+
+    /// Slack-deflated latency lower bound at `(pos, base, wsum)`.
+    #[inline]
+    fn lb_latency(&self, pos: usize, base: f64, wsum: f64) -> f64 {
+        let mut lb = base + wsum;
+        if pos < self.n {
+            lb += self.eb.suffix_singleton_sum[pos];
+            lb += self.cm.app().input_volume(pos) / self.b;
+        }
+        lb * (1.0 - LB_SLACK)
+    }
+
+    /// One arrival of the min-period DP: a prefix reaching `(end, mask)`
+    /// with cycle maximum `cycle_max`. Complete prefixes feed `inc`;
+    /// others are dropped when bounded below the incumbent or dominated
+    /// at their state, else recorded for the level sweep.
+    #[inline]
+    fn period_relax(
+        &self,
+        levels: &mut [DpLevel<f64>],
+        end: usize,
+        mask: u32,
+        cycle_max: f64,
+        inc: &SharedIncumbent,
+    ) {
+        if end == self.n {
+            inc.observe(cycle_max);
+            return;
+        }
+        if self.lb_period(end, cycle_max) >= inc.current() {
+            return;
+        }
+        match levels[end].entry(mask) {
+            Entry::Occupied(mut e) => {
+                if *e.get() > cycle_max {
+                    e.insert(cycle_max);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(cycle_max);
+            }
+        }
+    }
+
+    /// Seeds the min-period DP with the root `[0, end)` branches.
+    fn period_seed(&self, levels: &mut [DpLevel<f64>], end: usize, inc: &SharedIncumbent) {
+        let app = self.cm.app();
+        let comm = app.input_volume(0) / self.b + app.output_volume(end) / self.b;
+        let work = app.interval_work(0, end);
+        self.for_free_procs(0, |u| {
+            let cycle = comm + work / self.speeds[u];
+            self.period_relax(levels, end, 1u32 << u, f64::NEG_INFINITY.max(cycle), inc);
+        });
+    }
+
+    /// Level-order sweep of the min-period DP: processes each position
+    /// ascending, so every state already holds its final (minimal) cycle
+    /// maximum when expanded — no re-expansion, each transition taken at
+    /// most once.
+    fn period_sweep(&self, levels: &mut [DpLevel<f64>], inc: &SharedIncumbent) {
+        let app = self.cm.app();
+        for pos in 1..self.n {
+            let mut level = std::mem::take(&mut levels[pos]);
+            let t_in = app.input_volume(pos) / self.b;
+            for (&mask, &cycle_max) in level.iter() {
+                if self.lb_period(pos, cycle_max) >= inc.current() {
+                    continue;
+                }
+                for end in pos + 1..=self.n {
+                    let comm = t_in + app.output_volume(end) / self.b;
+                    let work = app.interval_work(pos, end);
+                    self.for_free_procs(mask, |u| {
+                        let cycle = comm + work / self.speeds[u];
+                        self.period_relax(
+                            levels,
+                            end,
+                            mask | (1u32 << u),
+                            cycle_max.max(cycle),
+                            inc,
+                        );
+                    });
+                }
+            }
+            level.clear();
+            levels[pos] = level; // recycle capacity
+        }
+    }
+
+    /// One arrival of the latency-under-period-bound DP: per-state
+    /// dominance is the 2-D Pareto test on the `(latency_base, Σ w/s)`
+    /// accumulators — completions extend both components monotonically,
+    /// so a dominated arrival cannot reach a smaller final sum.
+    #[inline]
+    fn latency_relax(
+        &self,
+        levels: &mut [DpLevel<LatencyAccs>],
+        end: usize,
+        mask: u32,
+        base: f64,
+        wsum: f64,
+        inc: &SharedIncumbent,
+    ) {
+        if end == self.n {
+            inc.observe(base + wsum);
+            return;
+        }
+        if self.lb_latency(end, base, wsum) >= inc.current() {
+            return;
+        }
+        let list = levels[end].entry(mask).or_default();
+        if list.iter().any(|&(b0, w0)| b0 <= base && w0 <= wsum) {
+            return;
+        }
+        list.retain(|&(b0, w0)| !(base <= b0 && wsum <= w0));
+        list.push((base, wsum));
+    }
+
+    /// Seeds the latency DP with the root `[0, end)` branches whose
+    /// cycle fits `bound` (the blind solver's allowed-pair criterion).
+    fn latency_seed(
+        &self,
+        levels: &mut [DpLevel<LatencyAccs>],
+        end: usize,
+        bound: f64,
+        inc: &SharedIncumbent,
+    ) {
+        let app = self.cm.app();
+        let comm = app.input_volume(0) / self.b + app.output_volume(end) / self.b;
+        let work = app.interval_work(0, end);
+        let base = app.delta(self.n) / self.b + app.input_volume(0) / self.b;
+        self.for_free_procs(0, |u| {
+            let cycle = comm + work / self.speeds[u];
+            if approx_le(cycle, bound) {
+                self.latency_relax(
+                    levels,
+                    end,
+                    1u32 << u,
+                    base,
+                    0.0 + work / self.speeds[u],
+                    inc,
+                );
+            }
+        });
+    }
+
+    /// Level-order sweep of the latency DP: expands each state's final
+    /// Pareto list once, taking only edges whose cycle fits `bound`.
+    fn latency_sweep(
+        &self,
+        levels: &mut [DpLevel<LatencyAccs>],
+        bound: f64,
+        inc: &SharedIncumbent,
+    ) {
+        let app = self.cm.app();
+        for pos in 1..self.n {
+            let mut level = std::mem::take(&mut levels[pos]);
+            let t_in = app.input_volume(pos) / self.b;
+            for (&mask, list) in level.iter() {
+                for &(base, wsum) in list {
+                    if self.lb_latency(pos, base, wsum) >= inc.current() {
+                        continue;
+                    }
+                    let next_base = base + t_in;
+                    for end in pos + 1..=self.n {
+                        let comm = t_in + app.output_volume(end) / self.b;
+                        let work = app.interval_work(pos, end);
+                        self.for_free_procs(mask, |u| {
+                            let cycle = comm + work / self.speeds[u];
+                            if approx_le(cycle, bound) {
+                                self.latency_relax(
+                                    levels,
+                                    end,
+                                    mask | (1u32 << u),
+                                    next_base,
+                                    wsum + work / self.speeds[u],
+                                    inc,
+                                );
+                            }
+                        });
+                    }
+                }
+            }
+            level.clear();
+            levels[pos] = level;
+        }
+    }
+
+    /// One arrival of the shadow-front DP: complete prefixes offer their
+    /// coordinate-only point into `shadow`; others are dropped when
+    /// their optimistic point is already dominated by the shadow (every
+    /// completion would be weakly dominated too) or by the 3-D Pareto
+    /// test on their state's accumulator list.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn shadow_relax(
+        &self,
+        levels: &mut [DpLevel<FrontAccs>],
+        end: usize,
+        mask: u32,
+        cycle_max: f64,
+        base: f64,
+        wsum: f64,
+        shadow: &mut ParetoFront<()>,
+    ) {
+        if end == self.n {
+            let latency = base + wsum;
+            if !shadow.dominated(cycle_max, latency) {
+                shadow.offer(cycle_max, latency, ());
+            }
+            return;
+        }
+        if shadow.dominated(
+            self.lb_period(end, cycle_max),
+            self.lb_latency(end, base, wsum),
+        ) {
+            return;
+        }
+        let list = levels[end].entry(mask).or_default();
+        if list
+            .iter()
+            .any(|&(c0, b0, w0)| c0 <= cycle_max && b0 <= base && w0 <= wsum)
+        {
+            return;
+        }
+        list.retain(|&(c0, b0, w0)| !(cycle_max <= c0 && base <= b0 && wsum <= w0));
+        list.push((cycle_max, base, wsum));
+    }
+
+    /// Seeds the shadow-front DP with the root `[0, end)` branches.
+    fn shadow_seed(
+        &self,
+        levels: &mut [DpLevel<FrontAccs>],
+        end: usize,
+        shadow: &mut ParetoFront<()>,
+    ) {
+        let app = self.cm.app();
+        let comm = app.input_volume(0) / self.b + app.output_volume(end) / self.b;
+        let work = app.interval_work(0, end);
+        let base = app.delta(self.n) / self.b + app.input_volume(0) / self.b;
+        self.for_free_procs(0, |u| {
+            let cycle = comm + work / self.speeds[u];
+            self.shadow_relax(
+                levels,
+                end,
+                1u32 << u,
+                f64::NEG_INFINITY.max(cycle),
+                base,
+                0.0 + work / self.speeds[u],
+                shadow,
+            );
+        });
+    }
+
+    /// Level-order sweep of the shadow-front DP. Leaves arrive (and
+    /// tighten `shadow`) throughout the sweep, so later levels prune
+    /// against an ever-better front; the final coordinate set is the
+    /// Pareto front of all pairs regardless of arrival order.
+    fn shadow_sweep(&self, levels: &mut [DpLevel<FrontAccs>], shadow: &mut ParetoFront<()>) {
+        let app = self.cm.app();
+        for pos in 1..self.n {
+            let mut level = std::mem::take(&mut levels[pos]);
+            let t_in = app.input_volume(pos) / self.b;
+            for (&mask, list) in level.iter() {
+                for &(cycle_max, base, wsum) in list {
+                    if shadow.dominated(
+                        self.lb_period(pos, cycle_max),
+                        self.lb_latency(pos, base, wsum),
+                    ) {
+                        continue;
+                    }
+                    let next_base = base + t_in;
+                    for end in pos + 1..=self.n {
+                        let comm = t_in + app.output_volume(end) / self.b;
+                        let work = app.interval_work(pos, end);
+                        self.for_free_procs(mask, |u| {
+                            let cycle = comm + work / self.speeds[u];
+                            self.shadow_relax(
+                                levels,
+                                end,
+                                mask | (1u32 << u),
+                                cycle_max.max(cycle),
+                                next_base,
+                                wsum + work / self.speeds[u],
+                                shadow,
+                            );
+                        });
+                    }
+                }
+            }
+            level.clear();
+            levels[pos] = level;
+        }
+    }
+}
+
+/// Runs the min-period DP subtree rooted at first interval `[0, end)`,
+/// feeding achieved values into `inc`. Self-contained: resets the
+/// workspace's level tables, seeds the root, sweeps. Thread-safe across
+/// roots when each worker has its own workspace and shares one `inc`.
+pub fn exact_min_period_value_root(
+    cm: &CostModel<'_>,
+    end: usize,
+    inc: &SharedIncumbent,
+    ws: &mut SolveWorkspace,
+) {
+    let dp = DominanceDp::new(cm);
+    reset_levels(&mut ws.dp.period, dp.n);
+    dp.period_seed(&mut ws.dp.period, end, inc);
+    dp.period_sweep(&mut ws.dp.period, inc);
+}
+
+/// Witness pass of the min-period DP: re-walks the v2 partition search
+/// pruned against the known optimum `v_star` and returns the first
+/// partition (in blind enumeration order) whose bottleneck optimum
+/// equals it bit-wise — exactly the blind solver's leftmost winner.
+pub fn exact_min_period_from_value(
+    cm: &CostModel<'_>,
+    v_star: f64,
+    ws: &mut SolveWorkspace,
+) -> (f64, IntervalMapping) {
+    let scratch = &mut ws.exact;
+    let mut search = PartitionSearch::new(cm);
+    let mut best: Option<(f64, IntervalMapping)> = None;
+    search.dfs(&mut |s, is_leaf| {
+        if best.is_some() {
+            return true;
+        }
+        if !is_leaf {
+            // Strict: a prefix whose bound *equals* the optimum may
+            // still complete to it.
+            return s.lb_period() > v_star;
+        }
+        s.fill_cycle_matrix(&mut scratch.matrix);
+        if let Some(a) = bottleneck_assignment(&scratch.matrix) {
+            if a.objective.to_bits() == v_star.to_bits() {
+                best = Some((a.objective, build_mapping(s.cm, &s.intervals, &a.assigned)));
+            }
+        }
+        false
+    });
+    best.expect("the DP optimum is achieved by some partition")
+}
+
+/// Runs the latency DP subtree rooted at first interval `[0, end)`
+/// under `period_bound`, feeding achieved values into `inc`.
+/// Self-contained like [`exact_min_period_value_root`].
+pub fn exact_min_latency_value_root(
+    cm: &CostModel<'_>,
+    period_bound: f64,
+    end: usize,
+    inc: &SharedIncumbent,
+    ws: &mut SolveWorkspace,
+) {
+    let dp = DominanceDp::new(cm);
+    reset_levels(&mut ws.dp.latency, dp.n);
+    dp.latency_seed(&mut ws.dp.latency, end, period_bound, inc);
+    dp.latency_sweep(&mut ws.dp.latency, period_bound, inc);
+}
+
+/// Witness pass of the latency DP: re-walks the v2 search pruned
+/// against the DP's assignment-level optimum `l_a` (a bit-wise lower
+/// bound on the Hungarian-reported optimum, so no achieving partition
+/// is ever pruned) and returns the v2/blind result. `l_a = +∞` means
+/// the DP found no feasible pair, which is exactly the blind solver's
+/// infeasibility condition.
+pub fn exact_min_latency_from_value(
+    cm: &CostModel<'_>,
+    period_bound: f64,
+    l_a: f64,
+    ws: &mut SolveWorkspace,
+) -> Option<(f64, IntervalMapping)> {
+    if !l_a.is_finite() {
+        return None;
+    }
+    let scratch = &mut ws.exact;
+    let mut search = PartitionSearch::new(cm);
+    let mut best: Option<(f64, IntervalMapping)> = None;
+    search.dfs(&mut |s, is_leaf| {
+        if !is_leaf {
+            if !approx_le(*s.opt_cycle_max.last().expect("seeded"), period_bound) {
+                return true;
+            }
+            // `lb_latency` is deflated by LB_SLACK (1e-12 relative),
+            // three orders of magnitude above the ulp-level gap between
+            // the DP's pairwise minimum and the Hungarian optimum — so
+            // the strict test keeps every achieving partition.
+            return s.lb_latency() > l_a;
+        }
+        let m = s.intervals.len();
+        scratch.matrix.refill(m, s.p, |j, u| {
+            let cycle = s.comm[j] + s.work[j] / s.speeds[u];
+            if approx_le(cycle, period_bound) {
+                s.work[j] / s.speeds[u]
+            } else {
+                f64::INFINITY
+            }
+        });
+        if let Some(a) = hungarian_in(&scratch.matrix, &mut scratch.hungarian) {
+            let latency = s.latency_base.last().expect("seeded") + a.objective;
+            if best.as_ref().is_none_or(|(v, _)| latency < *v) {
+                best = Some((latency, build_mapping(s.cm, &s.intervals, &a.assigned)));
+            }
+        }
+        false
+    });
+    debug_assert!(best.is_some(), "a finite DP value implies feasibility");
+    best
+}
+
+/// Runs the shadow-front DP subtree rooted at first interval `[0, end)`,
+/// offering coordinate-only points into `shadow`. Sharded callers give
+/// each worker a local shadow and merge afterwards — the final
+/// coordinate set is the Pareto front of all pairs either way.
+/// Self-contained like [`exact_min_period_value_root`].
+pub fn exact_front_shadow_root(
+    cm: &CostModel<'_>,
+    end: usize,
+    shadow: &mut ParetoFront<()>,
+    ws: &mut SolveWorkspace,
+) {
+    let dp = DominanceDp::new(cm);
+    reset_levels(&mut ws.dp.front, dp.n);
+    dp.shadow_seed(&mut ws.dp.front, end, shadow);
+    dp.shadow_sweep(&mut ws.dp.front, shadow);
+}
+
+/// Witness pass of the front DP: the v2 threshold sweep with an extra
+/// prune — prefixes (and partitions) whose optimistic point is
+/// dominated by the shadow front *with margin* [`SHADOW_MARGIN`] are
+/// skipped. Every skipped offer is strictly dominated by an offer the
+/// sweep still makes, so the final front (coordinates, payloads, and
+/// first-achiever tie-breaks) is bit-identical to the plain v2/blind
+/// sweep.
+pub fn exact_front_from_shadow(
+    cm: &CostModel<'_>,
+    shadow: &ParetoFront<()>,
+    ws: &mut SolveWorkspace,
+) -> ParetoFront<IntervalMapping> {
+    let scratch = &mut ws.exact;
+    let mut search = PartitionSearch::new(cm);
+    let mut front: ParetoFront<IntervalMapping> = ParetoFront::new();
+    search.dfs(&mut |s, is_leaf| {
+        if !is_leaf {
+            let (lb_p, lb_l) = (s.lb_period(), s.lb_latency());
+            return front.dominated(lb_p, lb_l)
+                || shadow.dominated(lb_p - SHADOW_MARGIN, lb_l - SHADOW_MARGIN);
+        }
+        let m = s.intervals.len();
+        s.fill_cycle_matrix(&mut scratch.matrix);
+        let Some(bottleneck) = bottleneck_assignment(&scratch.matrix) else {
+            return false;
+        };
+        let latency_base = *s.latency_base.last().expect("seeded");
+        let lb_l = s.lb_latency();
+        if front.dominated(bottleneck.objective, lb_l)
+            || shadow.dominated(bottleneck.objective - SHADOW_MARGIN, lb_l - SHADOW_MARGIN)
+        {
+            return false;
+        }
+        let thresholds = &mut scratch.thresholds;
+        thresholds.clear();
+        for j in 0..m {
+            for &speed in s.speeds.iter().take(s.p) {
+                thresholds.push(s.comm[j] + s.work[j] / speed);
+            }
+        }
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        thresholds.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+        let mut last_solved: Option<Option<pipeline_assign::Assignment>> = None;
+        scratch.last_allowed.clear();
+        for &t in thresholds.iter() {
+            if !approx_le(bottleneck.objective, t) {
+                continue;
+            }
+            let allowed = &mut scratch.allowed;
+            allowed.clear();
+            allowed.resize(m * s.p, false);
+            for j in 0..m {
+                for (u, &speed) in s.speeds.iter().take(s.p).enumerate() {
+                    allowed[j * s.p + u] = approx_le(s.comm[j] + s.work[j] / speed, t);
+                }
+            }
+            let solved = match &last_solved {
+                Some(cached) if scratch.last_allowed == *allowed => cached.clone(),
+                _ => {
+                    scratch.matrix.refill(m, s.p, |j, u| {
+                        if allowed[j * s.p + u] {
+                            s.work[j] / s.speeds[u]
+                        } else {
+                            f64::INFINITY
+                        }
+                    });
+                    let solved = hungarian_in(&scratch.matrix, &mut scratch.hungarian);
+                    scratch.last_allowed.clear();
+                    scratch.last_allowed.extend_from_slice(allowed);
+                    last_solved = Some(solved.clone());
+                    solved
+                }
+            };
+            let Some(a) = solved else { continue };
+            let latency = latency_base + a.objective;
             let achieved = a
                 .assigned
                 .iter()
@@ -796,9 +1688,11 @@ mod tests {
         assert!((min_front_latency - cm.optimal_latency()).abs() < 1e-9);
     }
 
-    /// The load-bearing v2 property: pruning must never change a result.
-    /// (The full scenario-zoo sweep lives in `tests/kernel_identity.rs`;
-    /// this is the fast in-crate check.)
+    /// The load-bearing property of every solver generation: pruning
+    /// must never change a result. Checks DP (public path) and the v2
+    /// partition search against the blind reference. (The full
+    /// scenario-zoo sweep lives in `tests/exact_frontier.rs` and
+    /// `tests/kernel_identity.rs`; this is the fast in-crate check.)
     #[test]
     fn v2_matches_blind_reference_bitwise() {
         for (n, p, seed) in [(6usize, 4usize, 0u64), (8, 5, 1), (9, 6, 2), (10, 4, 3)] {
@@ -806,32 +1700,38 @@ mod tests {
             let (app, pf) = gen.instance(seed, 0);
             let cm = CostModel::new(&app, &pf);
 
-            let (v2, m2) = exact_min_period(&cm);
             let (v1, m1) = exact_min_period_blind(&cm);
-            assert_eq!(v2.to_bits(), v1.to_bits(), "n={n} p={p} seed={seed}");
-            assert_eq!(m2, m1, "n={n} p={p} seed={seed}");
+            for (v, m) in [exact_min_period(&cm), exact_min_period_dfs(&cm)] {
+                assert_eq!(v.to_bits(), v1.to_bits(), "n={n} p={p} seed={seed}");
+                assert_eq!(m, m1, "n={n} p={p} seed={seed}");
+            }
 
             for factor in [1.0, 1.3, 2.0] {
                 let bound = v1 * factor;
-                let a = exact_min_latency_for_period(&cm, bound);
                 let b = exact_min_latency_for_period_blind(&cm, bound);
-                match (a, b) {
-                    (None, None) => {}
-                    (Some((la, ma)), Some((lb, mb))) => {
-                        assert_eq!(la.to_bits(), lb.to_bits(), "bound {bound}");
-                        assert_eq!(ma, mb, "bound {bound}");
+                for a in [
+                    exact_min_latency_for_period(&cm, bound),
+                    exact_min_latency_for_period_dfs(&cm, bound),
+                ] {
+                    match (a, &b) {
+                        (None, None) => {}
+                        (Some((la, ma)), Some((lb, mb))) => {
+                            assert_eq!(la.to_bits(), lb.to_bits(), "bound {bound}");
+                            assert_eq!(&ma, mb, "bound {bound}");
+                        }
+                        other => panic!("feasibility disagreement at {bound}: {other:?}"),
                     }
-                    other => panic!("feasibility disagreement at {bound}: {other:?}"),
                 }
             }
 
-            let f2 = exact_pareto_front(&cm);
             let f1 = exact_pareto_front_blind(&cm);
-            assert_eq!(f2.len(), f1.len(), "n={n} p={p} seed={seed}");
-            for (a, b) in f2.iter().zip(f1.iter()) {
-                assert_eq!(a.0.to_bits(), b.0.to_bits());
-                assert_eq!(a.1.to_bits(), b.1.to_bits());
-                assert_eq!(a.2, b.2);
+            for f2 in [exact_pareto_front(&cm), exact_pareto_front_dfs(&cm)] {
+                assert_eq!(f2.len(), f1.len(), "n={n} p={p} seed={seed}");
+                for (a, b) in f2.iter().zip(f1.iter()) {
+                    assert_eq!(a.0.to_bits(), b.0.to_bits());
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                    assert_eq!(a.2, b.2);
+                }
             }
         }
     }

@@ -151,6 +151,57 @@ impl<T> ParetoFront<T> {
             .map(|(&p, _)| p)
             .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.min(p))))
     }
+
+    /// The 2-D hypervolume dominated by this front w.r.t. the reference
+    /// point `(ref_period, ref_latency)` — the area of
+    /// `{(p, l) : some front point q has q ≤ (p, l) ≤ ref}`. Larger is
+    /// better; a front with a point beating the reference in both
+    /// coordinates by `Δp · Δl` scores at least that. Points beyond the
+    /// reference in a coordinate contribute only their clamped part;
+    /// fronts entirely beyond it score `0.0`. The staircase sum walks
+    /// points in stored (period-ascending) order, so the result is
+    /// deterministic for a given front.
+    pub fn hypervolume(&self, ref_period: f64, ref_latency: f64) -> f64 {
+        let mut volume = 0.0_f64;
+        // Walking periods ascending, latencies descend: each point owns
+        // the horizontal strip between its latency and the previous
+        // (smaller-period) point's latency, clamped to the reference box.
+        let mut prev_latency = ref_latency;
+        for (&p, &l) in self.periods.iter().zip(&self.latencies) {
+            if p >= ref_period {
+                break; // no width left, and later points are wider still
+            }
+            // `prev_latency` starts at the reference and only decreases,
+            // so the strip height needs no further clamping.
+            let height = prev_latency - l;
+            if height > 0.0 {
+                volume += (ref_period - p) * height;
+                prev_latency = l;
+            }
+        }
+        volume
+    }
+
+    /// Distance from `(period, latency)` to this front in **relative
+    /// excess** coordinates: the Euclidean norm of
+    /// `(max(0, (period − qᵖ)/qᵖ), max(0, (latency − qˡ)/qˡ))` minimized
+    /// over front points `q`. `0.0` means the point matches or beats
+    /// some front point; `0.1` means ~10 % worse than the nearest front
+    /// point. Relative coordinates make the metric comparable across
+    /// instances with different scales. `None` on an empty front.
+    pub fn distance_to_front(&self, period: f64, latency: f64) -> Option<f64> {
+        self.periods
+            .iter()
+            .zip(&self.latencies)
+            .map(|(&qp, &ql)| {
+                let dp = ((period - qp) / qp).max(0.0);
+                let dl = ((latency - ql) / ql).max(0.0);
+                (dp * dp + dl * dl).sqrt()
+            })
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a| a.min(d)))
+            })
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +279,58 @@ mod tests {
     fn non_finite_points_rejected() {
         let mut f = ParetoFront::new();
         f.offer(f64::INFINITY, 1.0, ());
+    }
+
+    #[test]
+    fn hypervolume_of_staircase() {
+        let mut f = ParetoFront::new();
+        f.offer(1.0, 3.0, ());
+        f.offer(2.0, 1.0, ());
+        // Reference (4, 4): point (1,3) owns (4-1)×(4-3) = 3,
+        // point (2,1) owns (4-2)×(3-1) = 4.
+        assert!((f.hypervolume(4.0, 4.0) - 7.0).abs() < 1e-12);
+        // Single point sanity: rectangle to the reference.
+        let mut g = ParetoFront::new();
+        g.offer(1.0, 1.0, ());
+        assert!((g.hypervolume(3.0, 2.0) - 2.0).abs() < 1e-12);
+        // Points beyond the reference contribute nothing.
+        let mut h = ParetoFront::new();
+        h.offer(5.0, 1.0, ());
+        h.offer(1.0, 5.0, ());
+        assert_eq!(h.hypervolume(1.0, 1.0), 0.0);
+        // Empty front: zero.
+        let e: ParetoFront<()> = ParetoFront::new();
+        assert_eq!(e.hypervolume(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let mut weak = ParetoFront::new();
+        weak.offer(2.0, 2.0, ());
+        let mut strong = weak.clone();
+        strong.offer(1.0, 3.0, ());
+        strong.offer(3.0, 1.0, ());
+        assert!(strong.hypervolume(5.0, 5.0) > weak.hypervolume(5.0, 5.0));
+    }
+
+    #[test]
+    fn distance_to_front_semantics() {
+        let mut f = ParetoFront::new();
+        f.offer(10.0, 30.0, ());
+        f.offer(20.0, 10.0, ());
+        // On the front: zero.
+        assert_eq!(f.distance_to_front(10.0, 30.0), Some(0.0));
+        // Dominating a front point (impossible for real heuristics, but
+        // the metric clamps): still zero.
+        assert_eq!(f.distance_to_front(9.0, 29.0), Some(0.0));
+        // 10% worse in period only, relative to the (20, 10) point.
+        let d = f.distance_to_front(22.0, 10.0).unwrap();
+        assert!((d - 0.1).abs() < 1e-12);
+        // Worse in both: Euclidean combination.
+        let d = f.distance_to_front(11.0, 33.0).unwrap();
+        assert!((d - (0.01f64 + 0.01).sqrt()).abs() < 1e-12);
+        // Empty front: no distance.
+        let e: ParetoFront<()> = ParetoFront::new();
+        assert_eq!(e.distance_to_front(1.0, 1.0), None);
     }
 }

@@ -211,9 +211,11 @@ pub struct SolveRequest {
 impl SolveRequest {
     /// Largest `n` for which [`Strategy::Auto`] defaults to the exact
     /// solver. Raised from 12 to 14 when the branch-and-bound exact
-    /// solver v2 replaced the blind enumeration: at n = 14 the pruned
-    /// search answers interactively where the blind sweep did not.
-    pub const DEFAULT_EXACT_CUTOFF: usize = 14;
+    /// solver v2 replaced the blind enumeration, and from 14 to 18 with
+    /// the v3 dominance DP ([`exact::supports_dominance_dp`]): where the
+    /// DP routes, n = 18 is milliseconds, and where it does not, the v2
+    /// pruned search still answers interactively at that size.
+    pub const DEFAULT_EXACT_CUTOFF: usize = 18;
 
     /// A request with `Auto` strategy and default tolerances.
     pub fn new(objective: Objective) -> Self {

@@ -105,7 +105,9 @@ impl Scheduler {
         self
     }
 
-    /// Sets the `Auto` exact cutoff (clamped to the enumeration guard).
+    /// Sets the `Auto` exact cutoff, clamped to the enumeration guard
+    /// ([`exact::MAX_STAGES`]): above that, the exact search space does
+    /// not fit the solvers' bitmask/partition machinery.
     pub fn exact_cutoff(mut self, n: usize) -> Self {
         self.exact_cutoff = n.min(exact::MAX_STAGES);
         self

@@ -82,6 +82,9 @@ pub struct SolveWorkspace {
     pub(crate) hetero: HeteroScratch,
     /// Buffers of the exact branch-and-bound solvers.
     pub(crate) exact: ExactScratch,
+    /// Level tables of the exact solver's v3 dominance DP (reset at the
+    /// start of every DP solve or sharded root call).
+    pub(crate) dp: crate::exact::DpScratch,
 }
 
 impl SolveWorkspace {

@@ -27,6 +27,7 @@
 pub mod ascii;
 pub mod config;
 pub mod csvout;
+pub mod exact_shard;
 pub mod loaded;
 pub mod loadgen;
 pub mod robustness;
@@ -38,6 +39,9 @@ pub mod sweep;
 pub mod table;
 
 pub use config::{scenario_zoo, FigureSpec, ScenarioSpec, PAPER_FIGURES};
+pub use exact_shard::{
+    exact_min_latency_for_period_sharded, exact_min_period_sharded, exact_pareto_front_sharded,
+};
 pub use loadgen::{request_lines, run_load, write_zoo_instances, LoadReport};
 pub use runner::InstanceEval;
 pub use service::{
@@ -45,5 +49,7 @@ pub use service::{
     TenantJob,
 };
 pub use shard::{sharded_fold, sharded_map_indices, sharded_map_items, Mergeable, ShardOptions};
-pub use sweep::{run_family, run_scenario, FamilyResult, HeuristicSeries, SweepPoint};
+pub use sweep::{
+    run_family, run_scenario, FamilyResult, FrontQuality, HeuristicSeries, SweepPoint,
+};
 pub use table::{failure_thresholds, ThresholdTable};

@@ -28,8 +28,10 @@
 
 use crate::runner::InstanceEval;
 use crate::shard::{sharded_fold, sharded_map_indices_with, ShardOptions, StatSums};
+use pipeline_core::exact::exact_pareto_front_in;
+use pipeline_core::service::SolveRequest;
 use pipeline_core::{
-    sp_bi_l_in, sp_bi_p_in, sp_mono_l_in, HeuristicKind, SolveWorkspace, SpBiPOptions,
+    sp_bi_l_in, sp_bi_p_in, sp_mono_l_in, HeuristicKind, ParetoFront, SolveWorkspace, SpBiPOptions,
 };
 use pipeline_model::generator::InstanceParams;
 use pipeline_model::scenario::{ScenarioGenerator, ScenarioParams};
@@ -92,6 +94,34 @@ impl HeuristicSeries {
     }
 }
 
+/// How one heuristic's achieved front compares to the **exact** Pareto
+/// front, averaged over a family's instances.
+///
+/// Per instance, the heuristic's feasible sweep outcomes form an
+/// achieved front; it is scored against the exact front with the two
+/// [`ParetoFront`] metrics, using the instance's own landmarks as the
+/// reference point (`P_init × 1.02`, `L_opt × 3` — the same factors
+/// that bound the sweep grids):
+///
+/// * **hypervolume ratio** — achieved hypervolume over exact
+///   hypervolume, in `[0, 1]`; 1 means the heuristic recovers the whole
+///   dominated region;
+/// * **distance** — mean relative distance of the achieved points to
+///   the exact front ([`ParetoFront::distance_to_front`]); 0 means
+///   every achieved point is exact-optimal.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontQuality {
+    /// Which heuristic.
+    pub kind: HeuristicKind,
+    /// Mean achieved-over-exact hypervolume ratio.
+    pub hypervolume_ratio: f64,
+    /// Mean relative distance of achieved points to the exact front.
+    pub distance: f64,
+    /// Instances where the heuristic had at least one feasible point
+    /// (the mean's denominator).
+    pub n_scored: usize,
+}
+
 /// Scalar landmarks of a family, averaged over its instances.
 #[derive(Debug, Clone, Copy)]
 pub struct FamilyStats {
@@ -125,6 +155,11 @@ pub struct FamilyResult {
     pub period_grid: Vec<f64>,
     /// The latency grid used for the latency-fixed heuristics.
     pub latency_grid: Vec<f64>,
+    /// Per-heuristic front-quality scores against the exact Pareto
+    /// front (same order as [`Self::series`]). Empty when the family
+    /// cannot be scored: heterogeneous platforms (no exact solver) or
+    /// `n` above [`SolveRequest::DEFAULT_EXACT_CUTOFF`].
+    pub quality: Vec<FrontQuality>,
 }
 
 /// Sweeps one of the paper's E1–E4 families. `n_instances` follows the
@@ -232,6 +267,16 @@ pub fn run_scenario(
         series.push(HeuristicSeries { kind, points });
     }
 
+    // Exact ground-truth scoring: only where the exact solver is both
+    // applicable (Communication Homogeneous) and interactive (n at most
+    // the Auto-routing cutoff — with the v3 dominance DP that covers
+    // every family the paper plots).
+    let quality = if comm_homogeneous && params.n_stages <= SolveRequest::DEFAULT_EXACT_CUTOFF {
+        score_front_quality(kinds, &evals, &period_grid, &latency_grid, threads)
+    } else {
+        Vec::new()
+    };
+
     FamilyResult {
         series,
         skipped,
@@ -243,7 +288,129 @@ pub fn run_scenario(
         },
         period_grid,
         latency_grid,
+        quality,
     }
+}
+
+/// One heuristic outcome at one target, the same dispatch the sweeps
+/// use: trajectory heuristics answer from their recorded trajectory,
+/// H4/H5/H6 re-run.
+fn heuristic_outcome(
+    e: &InstanceEval,
+    kind: HeuristicKind,
+    target: f64,
+    ws: &mut SolveWorkspace,
+) -> (bool, f64, f64) {
+    match kind {
+        HeuristicKind::SpMonoP
+        | HeuristicKind::ThreeExploMono
+        | HeuristicKind::ThreeExploBi
+        | HeuristicKind::HeteroSplit => {
+            let hit = e
+                .cached_trajectory(kind)
+                .expect("trajectory recorded for this platform class")
+                .lookup(target);
+            (hit.feasible, hit.period, hit.latency)
+        }
+        HeuristicKind::SpBiP => {
+            let r = sp_bi_p_in(&e.cost_model(), target, SpBiPOptions::default(), ws);
+            (r.feasible, r.period, r.latency)
+        }
+        HeuristicKind::SpMonoL => {
+            let r = sp_mono_l_in(&e.cost_model(), target, ws);
+            (r.feasible, r.period, r.latency)
+        }
+        HeuristicKind::SpBiL => {
+            let r = sp_bi_l_in(&e.cost_model(), target, ws);
+            (r.feasible, r.period, r.latency)
+        }
+    }
+}
+
+/// Scores every heuristic's achieved front against the exact Pareto
+/// front of each instance (see [`FrontQuality`]). The per-instance work
+/// — one exact front plus one sweep replay per heuristic — runs inside
+/// the sharded engine; the shard merge returns scores in instance
+/// order, so the final means are bit-identical for every thread count.
+fn score_front_quality(
+    kinds: &[HeuristicKind],
+    evals: &[InstanceEval],
+    period_grid: &[f64],
+    latency_grid: &[f64],
+    threads: usize,
+) -> Vec<FrontQuality> {
+    let opts = ShardOptions::with_threads(threads);
+    // Per instance: for each heuristic, `Some((hv_ratio, mean_dist))`
+    // when it produced at least one feasible point, `None` otherwise.
+    let per_instance: Vec<Vec<Option<(f64, f64)>>> =
+        sharded_map_indices_with(evals.len(), opts, SolveWorkspace::new, |ws, i| {
+            let e = &evals[i];
+            let exact = exact_pareto_front_in(&e.cost_model(), ws);
+            // Reference point from the instance's own landmarks, with
+            // the same slack factors that bound the sweep grids.
+            let (ref_p, ref_l) = (e.p_init() * 1.02, e.l_opt() * 3.0);
+            let exact_hv = exact.hypervolume(ref_p, ref_l);
+            kinds
+                .iter()
+                .map(|&kind| {
+                    let grid = if kind.is_period_fixed() {
+                        period_grid
+                    } else {
+                        latency_grid
+                    };
+                    let mut achieved: ParetoFront<()> = ParetoFront::new();
+                    for &target in grid {
+                        let (feasible, period, latency) = heuristic_outcome(e, kind, target, ws);
+                        if feasible {
+                            achieved.offer(period, latency, ());
+                        }
+                    }
+                    if achieved.is_empty() || exact_hv <= 0.0 {
+                        return None;
+                    }
+                    let hv_ratio = achieved.hypervolume(ref_p, ref_l) / exact_hv;
+                    let dist_sum: f64 = achieved
+                        .iter()
+                        .map(|(p, l, ())| {
+                            exact
+                                .distance_to_front(p, l)
+                                .expect("exact front is non-empty")
+                        })
+                        .sum();
+                    Some((hv_ratio, dist_sum / achieved.len() as f64))
+                })
+                .collect()
+        });
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(k, &kind)| {
+            let mut hv_sum = 0.0;
+            let mut dist_sum = 0.0;
+            let mut n_scored = 0usize;
+            for scores in &per_instance {
+                if let Some((hv, dist)) = scores[k] {
+                    hv_sum += hv;
+                    dist_sum += dist;
+                    n_scored += 1;
+                }
+            }
+            FrontQuality {
+                kind,
+                hypervolume_ratio: if n_scored > 0 {
+                    hv_sum / n_scored as f64
+                } else {
+                    0.0
+                },
+                distance: if n_scored > 0 {
+                    dist_sum / n_scored as f64
+                } else {
+                    0.0
+                },
+                n_scored,
+            }
+        })
+        .collect()
 }
 
 /// Single-pass mean aggregation over per-instance `(feasible, period,
@@ -463,6 +630,43 @@ mod tests {
             assert_eq!(sa.kind, sb.kind);
             assert_eq!(sa.xy(), sb.xy());
         }
+    }
+
+    #[test]
+    fn quality_scores_are_sane_and_deterministic() {
+        // n = 8 ≤ the exact cutoff on a comm-homogeneous family: every
+        // heuristic gets scored against the exact front.
+        let fam = tiny_family();
+        assert_eq!(fam.quality.len(), 6);
+        for q in &fam.quality {
+            assert!(q.n_scored > 0, "{}: never scored", q.kind);
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&q.hypervolume_ratio),
+                "{}: hv ratio {} outside [0, 1]",
+                q.kind,
+                q.hypervolume_ratio
+            );
+            assert!(q.distance >= 0.0, "{}", q.kind);
+        }
+        // Bit-identical across thread counts (exact fronts + instance-order
+        // score merges are both deterministic).
+        let again = run_family(InstanceParams::paper(ExperimentKind::E1, 8, 10), 7, 6, 8, 4);
+        for (a, b) in fam.quality.iter().zip(&again.quality) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.hypervolume_ratio.to_bits(), b.hypervolume_ratio.to_bits());
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            assert_eq!(a.n_scored, b.n_scored);
+        }
+    }
+
+    #[test]
+    fn quality_skipped_above_cutoff_and_on_hetero_platforms() {
+        use pipeline_core::service::SolveRequest;
+        use pipeline_model::scenario::ScenarioFamily;
+        let big = ScenarioFamily::E1.params(SolveRequest::DEFAULT_EXACT_CUTOFF + 1, 4);
+        assert!(run_scenario(&big, 3, 2, 4, 1).quality.is_empty());
+        let hetero = ScenarioFamily::TwoTier.params(6, 5);
+        assert!(run_scenario(&hetero, 3, 2, 4, 1).quality.is_empty());
     }
 
     #[test]

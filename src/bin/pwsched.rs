@@ -17,8 +17,9 @@
 //! pwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]
 //!         [--grid G] [--threads T] [--seed S]
 //! pwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]
+//!         [--threads T] [--check BASELINE]
 //! pwsched bench-sweep [--out FILE] [--sizes N1,N2,..] [--instances K]
-//!         [--grid G] [--batch-jobs J]
+//!         [--grid G] [--batch-jobs J] [--check BASELINE] [--tolerance F]
 //! ```
 //!
 //! `serve` is the persistent TCP front: the same line-oriented wire
@@ -45,20 +46,29 @@
 //! committed baseline.
 //!
 //! `bench-kernel` measures the solver kernel — per-family sweep
-//! wall-times, exact-solver v2 latencies at growing `n`, split-step
-//! throughput, and H3's memoized binary search — and emits one JSON
-//! object (`BENCH_kernel.json` by convention) so successive PRs have a
-//! perf trajectory to compare against. CI runs it in release mode with
-//! `--exact-n 16` under a timeout: a pruning regression in exact v2
-//! shows up as a timeout, not a silent slowdown.
+//! wall-times, exact-solver latencies at growing `n` (zoo rows plus a
+//! uniform-speed cluster section where the v3 dominance DP carries the
+//! frontier to n = 30 at p = 16), split-step throughput, and H3's
+//! memoized binary search — and emits one JSON object
+//! (`BENCH_kernel.json` by convention) so successive PRs have a perf
+//! trajectory to compare against. `--threads` routes the exact rows
+//! through the sharded branch-and-bound (bit-identical values at any
+//! thread count); `--check` gates every exact `min_period` **bit-wise**
+//! against a committed baseline. CI runs it in release mode with
+//! `--exact-n 24 --threads 2 --check` under a timeout: a pruning
+//! regression shows up as a timeout, an optimality regression as a
+//! bits mismatch.
 //!
 //! `bench-sweep` measures the sweep/batch *throughput* path the
 //! zero-allocation workspaces optimize: full-zoo sweeps at each `--sizes`
 //! entry (per-family wall time, skipped-solver counts, bound-query
-//! throughput), `solve_batch` items/sec with per-item fresh workspaces
-//! vs one reused workspace, and a peak-RSS proxy (`VmHWM` on Linux).
-//! Emits `BENCH_sweep.json` by convention; CI runs a small-`n` smoke
-//! under timeout so an allocation regression fails loudly.
+//! throughput), per-family × heuristic front quality against the exact
+//! Pareto front at an exactly-solvable size (hypervolume ratio +
+//! distance-to-front, gated by `--check`), `solve_batch` items/sec with
+//! per-item fresh workspaces vs one reused workspace, and a peak-RSS
+//! proxy (`VmHWM` on Linux). Emits `BENCH_sweep.json` by convention; CI
+//! runs a small-`n` smoke under timeout so an allocation regression
+//! fails loudly.
 //!
 //! The instance file uses the `pipeline-instance v1` text format, and the
 //! service mode speaks the line-oriented request/report wire format —
@@ -102,8 +112,9 @@ fn usage() -> ! {
          \tpwsched --sweep <family|all> [--stages N] [--procs P] [--instances K]\n\
          \t[--grid G] [--threads T] [--seed S]\n\
          \tpwsched bench-kernel [--out FILE] [--exact-n N] [--instances K]\n\
+         \t[--threads T] [--check BASELINE]\n\
          \tpwsched bench-sweep [--out FILE] [--sizes N1,N2,..] [--instances K]\n\
-         \t[--grid G] [--batch-jobs J]\n\
+         \t[--grid G] [--batch-jobs J] [--check BASELINE] [--tolerance F]\n\
          \tpwsched serve <addr> [--default-instance FILE] [--max-conns N]\n\
          \t[--cache-capacity N] [--idle-timeout-secs S]\n\
          \tpwsched load <addr> [--replay FILE | --connections N --requests M\n\
@@ -391,6 +402,20 @@ fn run_load_cmd(mut args: impl Iterator<Item = String>) -> ! {
     let _ = std::fs::remove_dir_all(&dir);
     let failed = cold.errors + warm.errors > 0;
     std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// The `"min_period_bits"` value of the exact row tagged `"id": id`, or
+/// `None` when the baseline has no such row — the same no-parser JSON
+/// awareness as [`extract_f64_all`], keyed by row id so baselines
+/// recorded at different `--exact-n` depths still gate their common
+/// rows.
+fn extract_row_bits(json: &str, id: &str) -> Option<String> {
+    let at = json.find(&format!("\"id\": \"{id}\""))?;
+    let rest = &json[at..];
+    let needle = "\"min_period_bits\": \"";
+    let at = rest.find(needle)?;
+    let rest = &rest[at + needle.len()..];
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 /// All `"key": <number>` values in `json`, in order of appearance — just
@@ -901,6 +926,7 @@ fn run_bench_tenant(mut args: impl Iterator<Item = String>) -> ! {
     for family in TenantFamily::ALL {
         for objective in PartitionObjective::ALL {
             let mut ratio_sum = 0.0f64;
+            let mut front_hv_sum = 0.0f64;
             for &(k, n_base, p) in &cases {
                 let set = build_set(family, k, n_base, p);
                 let heur = set
@@ -925,15 +951,36 @@ fn run_bench_tenant(mut args: impl Iterator<Item = String>) -> ! {
                     exact.score / heur.score
                 };
                 ratio_sum += ratio;
+                // Informational: mean per-tenant front hypervolume on the
+                // heuristic partition, referenced at twice each front's
+                // own extent (scale-free across heterogeneous tenants).
+                let partition: Vec<Vec<usize>> =
+                    heur.tenants.iter().map(|t| t.procs.clone()).collect();
+                let fronts = set
+                    .tenant_fronts(&partition, &opts, &mut ws)
+                    .unwrap_or_else(|e| {
+                        eprintln!("tenant_fronts failed ({family}/{objective}): {e}");
+                        std::process::exit(1);
+                    });
+                let mut hv = 0.0f64;
+                for front in &fronts {
+                    let ref_p = front.iter().map(|(p, _, _)| p).fold(0.0f64, f64::max) * 2.0;
+                    let ref_l = front.iter().map(|(_, l, _)| l).fold(0.0f64, f64::max) * 2.0;
+                    hv += front.hypervolume(ref_p, ref_l);
+                }
+                front_hv_sum += hv / fronts.len() as f64;
             }
             let mean_ratio = ratio_sum / cases.len() as f64;
+            let mean_front_hv = front_hv_sum / cases.len() as f64;
             eprintln!(
-                "family={:<14} objective={:<12} mean_ratio={mean_ratio:.4}",
+                "family={:<14} objective={:<12} mean_ratio={mean_ratio:.4} \
+                 mean_front_hv={mean_front_hv:.4}",
                 family.label(),
                 objective.label()
             );
             quality_entries.push(format!(
-                "{{\"family\": \"{}\", \"objective\": \"{}\", \"mean_ratio\": {mean_ratio:.4}}}",
+                "{{\"family\": \"{}\", \"objective\": \"{}\", \"mean_ratio\": {mean_ratio:.4}, \
+                 \"mean_front_hv\": {mean_front_hv:.4}}}",
                 family.label(),
                 objective.label()
             ));
@@ -1121,6 +1168,26 @@ fn run_sweep(mut args: impl Iterator<Item = String>) -> ! {
                     .join(",")
             );
         }
+        // Front quality vs the exact Pareto front, computed whenever n
+        // is within the exact solver's Auto cutoff: hypervolume ratio
+        // (1 = the heuristic recovers the whole exact front) and mean
+        // relative distance to the front (0 = every point optimal).
+        if !fam.quality.is_empty() {
+            println!(
+                "{:<14} front quality vs exact (hv ratio/distance): {}",
+                "",
+                fam.quality
+                    .iter()
+                    .map(|q| format!(
+                        "{} {:.3}/{:.3}",
+                        q.kind.table_name(),
+                        q.hypervolume_ratio,
+                        q.distance
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+        }
     }
     std::process::exit(0);
 }
@@ -1143,6 +1210,8 @@ fn run_bench_sweep(mut args: impl Iterator<Item = String>) -> ! {
     use std::time::Instant;
 
     let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.05f64;
     let mut sizes: Vec<usize> = vec![60, 120, 240];
     let mut instances = 10usize;
     let mut grid = 12usize;
@@ -1154,6 +1223,8 @@ fn run_bench_sweep(mut args: impl Iterator<Item = String>) -> ! {
         });
         match flag.as_str() {
             "--out" => out_path = Some(value),
+            "--check" => check_path = Some(value),
+            "--tolerance" => tolerance = value.parse().unwrap_or_else(|_| usage()),
             "--sizes" => {
                 sizes = value
                     .split(',')
@@ -1168,6 +1239,10 @@ fn run_bench_sweep(mut args: impl Iterator<Item = String>) -> ! {
     }
     if sizes.is_empty() || sizes.iter().any(|&n| n < 4) || instances < 1 || grid < 2 {
         eprintln!("--sizes entries must be >= 4, --instances >= 1, --grid >= 2");
+        usage();
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("--tolerance must be in [0, 1)");
         usage();
     }
 
@@ -1213,6 +1288,51 @@ fn run_bench_sweep(mut args: impl Iterator<Item = String>) -> ! {
             total * 1e3,
             queries as f64 / total
         ));
+    }
+    json.push_str("],\n");
+
+    // Front quality vs the exact Pareto front, at a size the exact
+    // solver answers interactively (n = 12): per comm-homogeneous
+    // family × heuristic, mean hypervolume ratio and mean relative
+    // distance to the exact front. Deterministic (exact fronts +
+    // instance-order merges) and computed at a **fixed** instance/grid
+    // config — independent of --instances/--grid — so `--check`
+    // compares like against like between smoke runs and the committed
+    // baseline.
+    let mut quality_scores: Vec<(String, f64, f64)> = Vec::new();
+    json.push_str("  \"front_quality\": [");
+    {
+        let (qn, qp, qinstances, qgrid) = (12usize, 8usize, 10usize, 12usize);
+        let mut first = true;
+        for spec in scenario_zoo() {
+            if !spec.family.comm_homogeneous() {
+                continue;
+            }
+            let mut params = spec.params();
+            params.n_stages = qn;
+            params.n_procs = qp;
+            let fam = run_scenario(&params, 2007, qinstances, qgrid, 1);
+            for q in &fam.quality {
+                if !first {
+                    json.push_str(", ");
+                }
+                first = false;
+                json.push_str(&format!(
+                    "{{\"family\": \"{}\", \"heuristic\": \"{}\", \
+                     \"hypervolume_ratio\": {:.4}, \"distance\": {:.4}, \"n_scored\": {}}}",
+                    spec.family.label(),
+                    q.kind.table_name(),
+                    q.hypervolume_ratio,
+                    q.distance,
+                    q.n_scored
+                ));
+                quality_scores.push((
+                    format!("{}/{}", spec.family.label(), q.kind.table_name()),
+                    q.hypervolume_ratio,
+                    q.distance,
+                ));
+            }
+        }
     }
     json.push_str("],\n");
 
@@ -1282,6 +1402,49 @@ fn run_bench_sweep(mut args: impl Iterator<Item = String>) -> ! {
         }
         None => print!("{json}"),
     }
+
+    // Regression gate: per family × heuristic, the hypervolume ratio
+    // must not drop — and the distance must not grow — by more than
+    // `tolerance` relative to the committed baseline. The quality grid
+    // is size-independent, so entries match by position.
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let base_hv = extract_f64_all(&baseline, "hypervolume_ratio");
+        let base_dist = extract_f64_all(&baseline, "distance");
+        if base_hv.len() != quality_scores.len() || base_dist.len() != quality_scores.len() {
+            eprintln!(
+                "baseline {path} is malformed: {}/{} quality entries, expected {}",
+                base_hv.len(),
+                base_dist.len(),
+                quality_scores.len()
+            );
+            std::process::exit(1);
+        }
+        for ((label, hv, dist), (bhv, bdist)) in
+            quality_scores.iter().zip(base_hv.iter().zip(&base_dist))
+        {
+            if *hv < bhv - tolerance {
+                eprintln!(
+                    "REGRESSION: {label} hypervolume_ratio {hv:.4} < {:.4} \
+                     (baseline {bhv:.4} - {tolerance})",
+                    bhv - tolerance
+                );
+                std::process::exit(1);
+            }
+            if *dist > bdist + tolerance {
+                eprintln!(
+                    "REGRESSION: {label} distance {dist:.4} > {:.4} \
+                     (baseline {bdist:.4} + {tolerance})",
+                    bdist + tolerance
+                );
+                std::process::exit(1);
+            }
+            eprintln!("ok: {label} hv {hv:.4} dist {dist:.4}");
+        }
+    }
     std::process::exit(0);
 }
 
@@ -1290,13 +1453,18 @@ fn run_bench_kernel(mut args: impl Iterator<Item = String>) -> ! {
     use pipeline_workflows::core::exact;
     use pipeline_workflows::core::trajectory::{fixed_period_trajectory, TrajectoryKind};
     use pipeline_workflows::core::{sp_bi_p, SpBiPOptions};
+    use pipeline_workflows::experiments::{
+        exact_min_period_sharded, exact_pareto_front_sharded, ShardOptions,
+    };
     use pipeline_workflows::model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
-    use pipeline_workflows::model::CostModel;
+    use pipeline_workflows::model::{CostModel, Platform};
     use std::time::Instant;
 
     let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut exact_n_max = 14usize;
     let mut instances = 3usize;
+    let mut threads = 1usize;
     while let Some(flag) = args.next() {
         let value = args.next().unwrap_or_else(|| {
             eprintln!("missing value for {flag}");
@@ -1304,13 +1472,15 @@ fn run_bench_kernel(mut args: impl Iterator<Item = String>) -> ! {
         });
         match flag.as_str() {
             "--out" => out_path = Some(value),
+            "--check" => check_path = Some(value),
             "--exact-n" => exact_n_max = value.parse().unwrap_or_else(|_| usage()),
             "--instances" => instances = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
-    if instances < 1 {
-        eprintln!("--instances must be >= 1");
+    if instances < 1 || threads < 1 {
+        eprintln!("--instances and --threads must be >= 1");
         usage();
     }
     if !(2..=exact::MAX_STAGES).contains(&exact_n_max) {
@@ -1342,9 +1512,14 @@ fn run_bench_kernel(mut args: impl Iterator<Item = String>) -> ! {
     }
     json.push_str("},\n");
 
-    // Exact solver v2 at growing n up to --exact-n: min-period and the
-    // full front. Sizes step by 2 from 10 (or measure just --exact-n
-    // when it is smaller), so raising the flag really measures more.
+    // Exact solver at growing n up to --exact-n: min-period and the
+    // full front, through the sharded entry points (bit-identical at
+    // every --threads value, so `--check` gates the same numbers
+    // regardless of parallelism). Sizes step by 2 from 10 (or measure
+    // just --exact-n when it is smaller), so raising the flag really
+    // measures more. Zoo rows keep the historical p = 6 shape up to
+    // n = 16; past that the frontier rows move to the paper's p = 16
+    // cluster scale.
     let mut exact_sizes: Vec<usize> = if exact_n_max < 10 {
         vec![exact_n_max]
     } else {
@@ -1353,29 +1528,79 @@ fn run_bench_kernel(mut args: impl Iterator<Item = String>) -> ! {
     if exact_sizes.last() != Some(&exact_n_max) {
         exact_sizes.push(exact_n_max); // odd --exact-n: measure it too
     }
+    let shard_opts = ShardOptions::with_threads(threads);
+    // (row id, min_period bits) of every exact row, for the `--check`
+    // bit-wise gate.
+    let mut exact_rows: Vec<(String, String)> = Vec::new();
+    let emit_exact_row = |json: &mut String,
+                          rows: &mut Vec<(String, String)>,
+                          first: &mut bool,
+                          id: String,
+                          cm: &CostModel<'_>,
+                          n: usize,
+                          p: usize| {
+        let t0 = Instant::now();
+        let (p_opt, _) = exact_min_period_sharded(cm, shard_opts);
+        let min_period_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let front = exact_pareto_front_sharded(cm, shard_opts);
+        let front_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if !*first {
+            json.push_str(", ");
+        }
+        *first = false;
+        let bits = format!("{:016x}", p_opt.to_bits());
+        json.push_str(&format!(
+            "{{\"id\": \"{id}\", \"n\": {n}, \"p\": {p}, \"min_period\": {p_opt:.6}, \
+             \"min_period_bits\": \"{bits}\", \"min_period_ms\": {min_period_ms:.3}, \
+             \"front_ms\": {front_ms:.3}, \"front_points\": {}}}",
+            front.len()
+        ));
+        rows.push((id, bits));
+    };
     json.push_str("  \"exact\": [");
     let mut first = true;
-    for n in exact_sizes {
-        let p = 6usize;
+    for &n in &exact_sizes {
+        let p = if n <= 16 { 6usize } else { 16 };
         let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p));
         let (app, pf) = gen.instance(1, 0);
         let cm = CostModel::new(&app, &pf);
-        let t0 = Instant::now();
-        let (p_opt, _) = exact::exact_min_period(&cm);
-        let min_period_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t0 = Instant::now();
-        let front = exact::exact_pareto_front(&cm);
-        let front_ms = t0.elapsed().as_secs_f64() * 1e3;
-        if !first {
-            json.push_str(", ");
+        emit_exact_row(
+            &mut json,
+            &mut exact_rows,
+            &mut first,
+            format!("zoo-n{n}-p{p}"),
+            &cm,
+            n,
+            p,
+        );
+    }
+    json.push_str("],\n");
+
+    // The same frontier on a uniform-speed cluster (the paper's
+    // setting): identical speeds collapse the dominance DP's mask space
+    // to stage-count prefixes, which is what pushes the exact front to
+    // n = 24-30 at p = 16 in well under a second.
+    json.push_str("  \"exact_uniform\": [");
+    let mut first = true;
+    for n in [20usize, 24, 28, 30] {
+        if n > exact_n_max.max(16) {
+            continue;
         }
-        first = false;
-        json.push_str(&format!(
-            "{{\"n\": {n}, \"p\": {p}, \"min_period\": {p_opt:.6}, \
-             \"min_period_ms\": {min_period_ms:.3}, \"front_ms\": {front_ms:.3}, \
-             \"front_points\": {}}}",
-            front.len()
-        ));
+        let p = 16usize;
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, n, p));
+        let (app, _) = gen.instance(1, 0);
+        let pf = Platform::comm_homogeneous(vec![10.0; p], 10.0).expect("valid platform");
+        let cm = CostModel::new(&app, &pf);
+        emit_exact_row(
+            &mut json,
+            &mut exact_rows,
+            &mut first,
+            format!("uniform-n{n}-p{p}"),
+            &cm,
+            n,
+            p,
+        );
     }
     json.push_str("],\n");
 
@@ -1427,6 +1652,40 @@ fn run_bench_kernel(mut args: impl Iterator<Item = String>) -> ! {
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
+    }
+
+    // Regression gate: every exact `min_period` this run produced must
+    // be **bit-identical** to the committed baseline's value for the
+    // same row id — optimality is not a tolerance question. Rows the
+    // baseline does not have (deeper --exact-n than it was recorded at)
+    // are reported but cannot fail; at least one row must match so the
+    // gate never passes vacuously.
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut gated = 0usize;
+        for (id, bits) in &exact_rows {
+            match extract_row_bits(&baseline, id) {
+                Some(base_bits) if base_bits == *bits => {
+                    eprintln!("ok: {id} min_period bits {bits}");
+                    gated += 1;
+                }
+                Some(base_bits) => {
+                    eprintln!(
+                        "REGRESSION: {id} min_period bits {bits} != baseline {base_bits} \
+                         (exact values must be bit-identical)"
+                    );
+                    std::process::exit(1);
+                }
+                None => eprintln!("new row (not in baseline): {id}"),
+            }
+        }
+        if gated == 0 {
+            eprintln!("baseline {path} gated no rows — refusing a vacuous pass");
+            std::process::exit(1);
+        }
     }
     std::process::exit(0);
 }

@@ -1,0 +1,223 @@
+//! The exact frontier, three ways: the v3 dominance DP (public entry
+//! points, routed per instance), the v2 branch-and-bound partition
+//! search (`*_dfs`), and the v1 blind enumeration (`*_blind`) must
+//! produce **bit-identical** results — values and mappings — on every
+//! Communication Homogeneous zoo family. The sharded entry points must
+//! match the sequential ones at any thread count. And dominance pruning
+//! must never drop a Pareto point (property-based, against the blind
+//! oracle).
+
+use pipeline_workflows::core::exact;
+use pipeline_workflows::core::{ParetoFront, SolveWorkspace};
+use pipeline_workflows::experiments::{
+    exact_min_latency_for_period_sharded, exact_min_period_sharded, exact_pareto_front_sharded,
+    ShardOptions,
+};
+use pipeline_workflows::model::generator::{ExperimentKind, InstanceGenerator, InstanceParams};
+use pipeline_workflows::model::scenario::{ScenarioFamily, ScenarioGenerator};
+use pipeline_workflows::model::{Application, CostModel, IntervalMapping, Platform};
+use proptest::prelude::*;
+
+/// Bit-level equality of two fronts, mappings included.
+fn assert_fronts_identical(
+    a: &ParetoFront<IntervalMapping>,
+    b: &ParetoFront<IntervalMapping>,
+    label: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{label}: front sizes differ");
+    for (i, ((pa, la, ma), (pb, lb, mb))) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            pa.to_bits(),
+            pb.to_bits(),
+            "{label}: period bits, point {i}"
+        );
+        assert_eq!(
+            la.to_bits(),
+            lb.to_bits(),
+            "{label}: latency bits, point {i}"
+        );
+        assert_eq!(ma, mb, "{label}: mapping, point {i}");
+    }
+}
+
+/// One instance of every Communication Homogeneous zoo family at
+/// (n, p), generated from the family's registered stream.
+fn zoo_instances(n: usize, p: usize, seed: u64) -> Vec<(ScenarioFamily, Application, Platform)> {
+    ScenarioFamily::ALL
+        .into_iter()
+        .filter(|f| f.comm_homogeneous())
+        .map(|f| {
+            let (app, pf) = ScenarioGenerator::new(f.params(n, p)).instance(seed, 0);
+            (f, app, pf)
+        })
+        .collect()
+}
+
+/// DP-routed public entries vs the v2 partition search vs the v1 blind
+/// enumeration, bit-for-bit: minimum period, minimum latency under a
+/// spread of period bounds (including an infeasible one), and the full
+/// Pareto front with mappings. Blind enumeration caps the size at
+/// n = 10; the DP-vs-v2 comparison continues to n = 16 below.
+#[test]
+fn exact_solvers_agree_three_ways_on_every_zoo_family() {
+    for (family, app, pf) in zoo_instances(8, 5, 3) {
+        let cm = CostModel::new(&app, &pf);
+        let label = family.label();
+
+        let (v_dp, m_dp) = exact::exact_min_period(&cm);
+        let (v_dfs, m_dfs) = exact::exact_min_period_dfs(&cm);
+        let (v_blind, m_blind) = exact::exact_min_period_blind(&cm);
+        assert_eq!(v_dp.to_bits(), v_dfs.to_bits(), "{label}: period dp/dfs");
+        assert_eq!(
+            v_dp.to_bits(),
+            v_blind.to_bits(),
+            "{label}: period dp/blind"
+        );
+        assert_eq!(m_dp, m_dfs, "{label}: period mapping dp/dfs");
+        assert_eq!(m_dp, m_blind, "{label}: period mapping dp/blind");
+
+        // Bounds from infeasible (below the optimum) to slack.
+        for factor in [0.5f64, 1.0, 1.15, 1.4, 2.0] {
+            let bound = v_dp * factor;
+            let dp = exact::exact_min_latency_for_period(&cm, bound);
+            let dfs = exact::exact_min_latency_for_period_dfs(&cm, bound);
+            let blind = exact::exact_min_latency_for_period_blind(&cm, bound);
+            for (other, tag) in [(&dfs, "dfs"), (&blind, "blind")] {
+                match (&dp, other) {
+                    (Some((la, ma)), Some((lb, mb))) => {
+                        assert_eq!(la.to_bits(), lb.to_bits(), "{label}@{factor}: dp/{tag}");
+                        assert_eq!(ma, mb, "{label}@{factor}: mapping dp/{tag}");
+                    }
+                    (None, None) => {}
+                    other => panic!("{label}@{factor}: feasibility dp/{tag}: {other:?}"),
+                }
+            }
+        }
+
+        let f_dp = exact::exact_pareto_front(&cm);
+        assert_fronts_identical(&f_dp, &exact::exact_pareto_front_dfs(&cm), label);
+        assert_fronts_identical(&f_dp, &exact::exact_pareto_front_blind(&cm), label);
+    }
+}
+
+/// DP-routed public entries vs the v2 partition search at the sizes the
+/// blind oracle can no longer reach: n = 13 and n = 16 over every
+/// Communication Homogeneous zoo family.
+#[test]
+fn dp_matches_partition_search_at_n16() {
+    for (n, p, seed) in [(13usize, 6usize, 1u64), (16, 6, 2)] {
+        for (family, app, pf) in zoo_instances(n, p, seed) {
+            let cm = CostModel::new(&app, &pf);
+            let label = format!("{} n={n}", family.label());
+
+            let (v_dp, m_dp) = exact::exact_min_period(&cm);
+            let (v_dfs, m_dfs) = exact::exact_min_period_dfs(&cm);
+            assert_eq!(v_dp.to_bits(), v_dfs.to_bits(), "{label}: period");
+            assert_eq!(m_dp, m_dfs, "{label}: period mapping");
+
+            for factor in [1.0f64, 1.3, 1.8] {
+                let bound = v_dp * factor;
+                let dp = exact::exact_min_latency_for_period(&cm, bound);
+                let dfs = exact::exact_min_latency_for_period_dfs(&cm, bound);
+                match (&dp, &dfs) {
+                    (Some((la, ma)), Some((lb, mb))) => {
+                        assert_eq!(la.to_bits(), lb.to_bits(), "{label}@{factor}");
+                        assert_eq!(ma, mb, "{label}@{factor}: mapping");
+                    }
+                    (None, None) => {}
+                    other => panic!("{label}@{factor}: feasibility: {other:?}"),
+                }
+            }
+
+            assert_fronts_identical(
+                &exact::exact_pareto_front(&cm),
+                &exact::exact_pareto_front_dfs(&cm),
+                &label,
+            );
+        }
+    }
+}
+
+/// The sharded branch-and-bound must be bit-identical to the sequential
+/// entry points at 1, 2 and 4 threads — on a uniform-speed cluster
+/// where the DP fans its roots out, and on a zoo instance that falls
+/// back to the sequential path.
+#[test]
+fn sharded_solvers_are_bit_identical_at_1_2_4_threads() {
+    // Uniform-speed cluster: the DP's home regime (root fan-out runs).
+    let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E1, 18, 16));
+    let (app, _) = gen.instance(5, 0);
+    let uniform = Platform::comm_homogeneous(vec![10.0; 16], 10.0).expect("valid platform");
+    // Zoo instance with pairwise-distinct speeds: routing declines the
+    // DP and the sharded entries fall back to the sequential solvers.
+    let (zoo_app, zoo_pf) = ScenarioGenerator::new(ScenarioFamily::E2.params(12, 8)).instance(7, 0);
+
+    for (app, pf, label) in [(&app, &uniform, "uniform"), (&zoo_app, &zoo_pf, "zoo")] {
+        let cm = CostModel::new(app, pf);
+        let (v_seq, m_seq) = exact::exact_min_period(&cm);
+        let front_seq = exact::exact_pareto_front(&cm);
+        let bound = v_seq * 1.4;
+        let lat_seq = exact::exact_min_latency_for_period(&cm, bound);
+        for threads in [1usize, 2, 4] {
+            let opts = ShardOptions::with_threads(threads);
+            let (v, m) = exact_min_period_sharded(&cm, opts);
+            assert_eq!(v.to_bits(), v_seq.to_bits(), "{label} t={threads}: period");
+            assert_eq!(m, m_seq, "{label} t={threads}: period mapping");
+            match (
+                exact_min_latency_for_period_sharded(&cm, bound, opts),
+                &lat_seq,
+            ) {
+                (Some((la, ma)), Some((lb, mb))) => {
+                    assert_eq!(la.to_bits(), lb.to_bits(), "{label} t={threads}: latency");
+                    assert_eq!(&ma, mb, "{label} t={threads}: latency mapping");
+                }
+                (None, None) => {}
+                other => panic!("{label} t={threads}: feasibility: {other:?}"),
+            }
+            assert_fronts_identical(
+                &exact_pareto_front_sharded(&cm, opts),
+                &front_seq,
+                &format!("{label} t={threads}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dominance pruning never drops a Pareto point: on random
+    /// comm-homogeneous instances with few speed classes (so the DP
+    /// always routes), the DP-routed front equals the blind
+    /// enumeration's front bit-for-bit, mappings included.
+    #[test]
+    fn dominance_pruning_never_drops_a_pareto_point(
+        n in 4usize..=12,
+        p in 2usize..=6,
+        seed in 0u64..1000,
+        speed_a in 1u32..=4,
+        speed_b in 1u32..=4,
+    ) {
+        // Works/deltas from the generator's stream; a two-class speed
+        // vector keeps the canonical-mask space small enough that
+        // `supports_dominance_dp` accepts every case.
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, n, p));
+        let (app, _) = gen.instance(seed, 0);
+        let speeds: Vec<f64> = (0..p)
+            .map(|u| if u % 2 == 0 { speed_a as f64 } else { speed_b as f64 })
+            .collect();
+        let pf = Platform::comm_homogeneous(speeds, 10.0).expect("valid platform");
+        let cm = CostModel::new(&app, &pf);
+        prop_assert!(exact::supports_dominance_dp(&cm));
+
+        let mut ws = SolveWorkspace::new();
+        let dp = exact::exact_pareto_front_in(&cm, &mut ws);
+        let blind = exact::exact_pareto_front_blind(&cm);
+        prop_assert_eq!(dp.len(), blind.len(), "front sizes differ");
+        for ((pa, la, ma), (pb, lb, mb)) in dp.iter().zip(blind.iter()) {
+            prop_assert_eq!(pa.to_bits(), pb.to_bits());
+            prop_assert_eq!(la.to_bits(), lb.to_bits());
+            prop_assert_eq!(ma, mb);
+        }
+    }
+}
