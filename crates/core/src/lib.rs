@@ -55,6 +55,7 @@ pub mod hetero;
 pub mod one_to_one;
 pub mod pareto;
 pub mod refine;
+pub mod replan;
 pub mod replication;
 pub mod serve;
 pub mod service;
@@ -72,8 +73,10 @@ pub use hetero::{
     HeteroSplitOptions,
 };
 pub use pareto::ParetoFront;
+pub use replan::{replan, DetectedFault, ReplanError, ReplanReport};
 pub use serve::{
-    InstanceCache, InstanceLoadError, ServeConfig, ServeHandle, ServeState, ServeStats,
+    BudgetedAnswer, ConnBudget, InstanceCache, InstanceLoadError, ServeConfig, ServeHandle,
+    ServeState, ServeStats,
 };
 pub use service::{
     BoundLookup, PreparedInstance, SolveError, SolveReport, SolveRequest, SolverId, UnknownSolver,

@@ -75,6 +75,15 @@ pub struct ServeConfig {
     /// Hard bound on one request line; longer lines are answered with a
     /// `line-too-long` failure and discarded (never buffered whole).
     pub max_line_bytes: usize,
+    /// Per-connection request quota: the request beyond this many
+    /// answered ones is refused with a structured `quota-exceeded`
+    /// failure and the connection closes. `None` is unlimited.
+    pub request_quota: Option<u64>,
+    /// Per-connection lifetime deadline: a request arriving after this
+    /// much connection time is refused with a structured
+    /// `deadline-exceeded` failure and the connection closes. `None` is
+    /// unlimited.
+    pub conn_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -84,8 +93,71 @@ impl Default for ServeConfig {
             cache_capacity: 128,
             idle_timeout: Duration::from_secs(30),
             max_line_bytes: 64 * 1024,
+            request_quota: None,
+            conn_deadline: None,
         }
     }
+}
+
+/// Per-connection request budget: how many more requests the connection
+/// may ask and until when. The stdin transport runs with
+/// [`ConnBudget::unlimited`], so its byte stream is untouched by the
+/// quota machinery; TCP connections derive theirs from [`ServeConfig`]
+/// at accept time.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnBudget {
+    quota: Option<u64>,
+    deadline: Option<Instant>,
+    answered: u64,
+}
+
+impl ConnBudget {
+    /// No quota, no deadline (the stdin transport's budget).
+    pub fn unlimited() -> Self {
+        ConnBudget {
+            quota: None,
+            deadline: None,
+            answered: 0,
+        }
+    }
+
+    /// The budget `config` grants a connection opened at `opened`.
+    pub fn from_config(config: &ServeConfig, opened: Instant) -> Self {
+        ConnBudget {
+            quota: config.request_quota,
+            deadline: config.conn_deadline.map(|d| opened + d),
+            answered: 0,
+        }
+    }
+
+    /// Requests answered under this budget so far.
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    /// The failure code refusing the *next* request, if the budget is
+    /// exhausted (deadline wins over quota when both have expired).
+    fn refusal(&self, now: Instant) -> Option<&'static str> {
+        if self.deadline.is_some_and(|d| now >= d) {
+            return Some("deadline-exceeded");
+        }
+        if self.quota.is_some_and(|q| self.answered >= q) {
+            return Some("quota-exceeded");
+        }
+        None
+    }
+}
+
+/// What [`ServeState::answer_line_budgeted`] decided about one line.
+#[derive(Debug)]
+pub enum BudgetedAnswer {
+    /// Blank/comment line: nothing to send (consumes no budget).
+    Skip,
+    /// An ordinary answer; the connection stays open.
+    Answer(WireReport),
+    /// The budget refused the request: send the structured failure,
+    /// then close the connection.
+    Refuse(WireReport),
 }
 
 /// Why an instance path could not be turned into a prepared instance.
@@ -345,16 +417,48 @@ impl ServeState {
         line_no: u64,
         ws: &mut SolveWorkspace,
     ) -> Option<WireReport> {
+        let mut budget = ConnBudget::unlimited();
+        match self.answer_line_budgeted(raw, line_no, ws, &mut budget, Instant::now()) {
+            BudgetedAnswer::Skip => None,
+            BudgetedAnswer::Answer(report) => Some(report),
+            BudgetedAnswer::Refuse(_) => unreachable!("an unlimited budget never refuses"),
+        }
+    }
+
+    /// [`Self::answer_line`] under a per-connection [`ConnBudget`]: a
+    /// request past the budget's deadline or quota is answered with one
+    /// structured `deadline-exceeded` / `quota-exceeded` failure
+    /// ([`BudgetedAnswer::Refuse`]) and the caller closes the
+    /// connection. Refusals count as failed requests in the service
+    /// stats; blank and comment lines consume no budget. This is still
+    /// the single request path — [`Self::answer_line`] is exactly this
+    /// method with an unlimited budget.
+    pub fn answer_line_budgeted(
+        &self,
+        raw: &str,
+        line_no: u64,
+        ws: &mut SolveWorkspace,
+        budget: &mut ConnBudget,
+        now: Instant,
+    ) -> BudgetedAnswer {
         let trimmed = raw.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
-            return None;
+            return BudgetedAnswer::Skip;
+        }
+        if let Some(code) = budget.refusal(now) {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return BudgetedAnswer::Refuse(WireReport::Failed(
+                WireFailure::new(0, code).at_line(line_no),
+            ));
         }
         let report = self.answer_request(trimmed, line_no, ws);
+        budget.answered += 1;
         self.requests.fetch_add(1, Ordering::Relaxed);
         if matches!(report, WireReport::Failed(_)) {
             self.failures.fetch_add(1, Ordering::Relaxed);
         }
-        Some(report)
+        BudgetedAnswer::Answer(report)
     }
 
     fn answer_request(&self, line: &str, line_no: u64, ws: &mut SolveWorkspace) -> WireReport {
@@ -612,10 +716,12 @@ pub fn serve(
         .set_nonblocking(true)
         .expect("nonblocking accept is how the loop observes the stop flag");
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut accept_failures: u32 = 0;
     while !stop.load(Ordering::Relaxed) {
         workers.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, _peer)) => {
+                accept_failures = 0;
                 state.connections.fetch_add(1, Ordering::Relaxed);
                 if workers.len() >= config.max_connections {
                     state.rejected.fetch_add(1, Ordering::Relaxed);
@@ -636,7 +742,19 @@ pub fn serve(
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => break,
+            Err(e) => {
+                // `accept` fails transiently under churn (the peer hung
+                // up while queued, FD pressure, spurious resets): back
+                // off and keep listening instead of abandoning every
+                // live connection. Only an error that persists across
+                // the full backoff ladder — or one that is known to be
+                // non-transient — takes the listener down.
+                accept_failures = accept_failures.saturating_add(1);
+                if !transient_accept_error(e.kind()) && accept_failures > MAX_ACCEPT_FAILURES {
+                    break;
+                }
+                std::thread::sleep(accept_backoff(accept_failures));
+            }
         }
     }
     for handle in workers {
@@ -644,6 +762,37 @@ pub fn serve(
     }
     state.stats()
 }
+
+/// Accept errors that are known to clear on their own: the kernel
+/// reporting a connection that died while queued, or a timeout-flavored
+/// hiccup. These retry forever (with backoff); anything else is given
+/// [`MAX_ACCEPT_FAILURES`] consecutive chances before the loop exits.
+fn transient_accept_error(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+            | ErrorKind::Interrupted
+    )
+}
+
+/// Consecutive non-transient accept failures tolerated before the
+/// listener gives up.
+const MAX_ACCEPT_FAILURES: u32 = 8;
+
+/// Capped exponential backoff after the `n`-th consecutive accept
+/// failure (n ≥ 1): 2 ms, 4 ms, 8 ms, … capped at
+/// [`MAX_ACCEPT_BACKOFF`].
+fn accept_backoff(n: u32) -> Duration {
+    let exp = n.min(16);
+    let ms = 1u64 << exp.min(63);
+    MAX_ACCEPT_BACKOFF.min(Duration::from_millis(ms))
+}
+
+/// Upper bound of the accept-retry backoff ladder.
+const MAX_ACCEPT_BACKOFF: Duration = Duration::from_millis(250);
 
 fn reject_overloaded(mut stream: TcpStream) {
     let line = format_report(&WireReport::Failed(WireFailure::new(0, "overloaded")));
@@ -754,6 +903,7 @@ fn handle_connection(
     let mut ws = SolveWorkspace::new();
     let mut acc = Vec::with_capacity(256);
     let mut line_no: u64 = 0;
+    let mut budget = ConnBudget::from_config(&config, Instant::now());
     loop {
         match next_line(
             &mut reader,
@@ -765,11 +915,23 @@ fn handle_connection(
             Ok(LineRead::Line) => {
                 line_no += 1;
                 let text = String::from_utf8_lossy(&acc);
-                let Some(report) = state.answer_line(&text, line_no, &mut ws) else {
-                    continue;
-                };
-                if write_report(&mut writer, &report).is_err() {
-                    return;
+                match state.answer_line_budgeted(
+                    &text,
+                    line_no,
+                    &mut ws,
+                    &mut budget,
+                    Instant::now(),
+                ) {
+                    BudgetedAnswer::Skip => continue,
+                    BudgetedAnswer::Answer(report) => {
+                        if write_report(&mut writer, &report).is_err() {
+                            return;
+                        }
+                    }
+                    BudgetedAnswer::Refuse(report) => {
+                        let _ = write_report(&mut writer, &report);
+                        return;
+                    }
                 }
             }
             Ok(LineRead::TooLong) => {
@@ -1037,6 +1199,134 @@ mod tests {
             "report id=0 status=error code=bad-request line=4 key=junk"
         );
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn quota_refuses_the_request_after_the_budget_and_counts_the_failure() {
+        let path = instance_file("quota", 31);
+        let key = path.to_string_lossy().into_owned();
+        let state = ServeState::new(Some(key), 4);
+        let mut ws = SolveWorkspace::new();
+        let mut budget = ConnBudget {
+            quota: Some(2),
+            deadline: None,
+            answered: 0,
+        };
+        let now = Instant::now();
+        // Comments never consume budget.
+        assert!(matches!(
+            state.answer_line_budgeted("# warmup", 1, &mut ws, &mut budget, now),
+            BudgetedAnswer::Skip
+        ));
+        for line_no in 2..=3 {
+            assert!(matches!(
+                state.answer_line_budgeted(
+                    "solve id=1 objective=min-period",
+                    line_no,
+                    &mut ws,
+                    &mut budget,
+                    now,
+                ),
+                BudgetedAnswer::Answer(_)
+            ));
+        }
+        assert_eq!(budget.answered(), 2);
+        let refusal = state.answer_line_budgeted(
+            "solve id=9 objective=min-period",
+            4,
+            &mut ws,
+            &mut budget,
+            now,
+        );
+        match refusal {
+            BudgetedAnswer::Refuse(report) => assert_eq!(
+                format_report(&report),
+                "report id=0 status=error code=quota-exceeded line=4"
+            ),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // The refusal is a counted failed request.
+        let stats = state.stats();
+        assert_eq!((stats.requests, stats.failures), (3, 1));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn deadline_refuses_and_wins_over_quota() {
+        let state = ServeState::new(None, 2);
+        let mut ws = SolveWorkspace::new();
+        let opened = Instant::now();
+        let config = ServeConfig {
+            request_quota: Some(0),
+            conn_deadline: Some(Duration::from_millis(5)),
+            ..ServeConfig::default()
+        };
+        let mut budget = ConnBudget::from_config(&config, opened);
+        // Both limits are exhausted; the deadline code wins.
+        let late = opened + Duration::from_millis(10);
+        match state.answer_line_budgeted("stats id=1", 7, &mut ws, &mut budget, late) {
+            BudgetedAnswer::Refuse(report) => assert_eq!(
+                format_report(&report),
+                "report id=0 status=error code=deadline-exceeded line=7"
+            ),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // Before the deadline, the zero quota refuses instead.
+        let mut budget = ConnBudget::from_config(&config, opened);
+        match state.answer_line_budgeted("stats id=2", 8, &mut ws, &mut budget, opened) {
+            BudgetedAnswer::Refuse(report) => assert_eq!(
+                format_report(&report),
+                "report id=0 status=error code=quota-exceeded line=8"
+            ),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_never_refuses() {
+        let state = ServeState::new(None, 2);
+        let mut ws = SolveWorkspace::new();
+        let mut budget = ConnBudget::unlimited();
+        let now = Instant::now();
+        for line_no in 1..=50 {
+            assert!(matches!(
+                state.answer_line_budgeted("stats id=1", line_no, &mut ws, &mut budget, now),
+                BudgetedAnswer::Answer(_)
+            ));
+        }
+        assert_eq!(budget.answered(), 50);
+    }
+
+    #[test]
+    fn accept_backoff_is_exponential_and_capped() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(2));
+        assert_eq!(accept_backoff(2), Duration::from_millis(4));
+        assert_eq!(accept_backoff(3), Duration::from_millis(8));
+        // The ladder caps instead of growing unboundedly.
+        assert_eq!(accept_backoff(7), Duration::from_millis(128));
+        assert_eq!(accept_backoff(8), MAX_ACCEPT_BACKOFF);
+        assert_eq!(accept_backoff(100), MAX_ACCEPT_BACKOFF);
+        assert_eq!(accept_backoff(u32::MAX), MAX_ACCEPT_BACKOFF);
+    }
+
+    #[test]
+    fn transient_accept_errors_are_classified() {
+        for kind in [
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::Interrupted,
+        ] {
+            assert!(transient_accept_error(kind), "{kind:?} is transient");
+        }
+        for kind in [
+            ErrorKind::InvalidInput,
+            ErrorKind::PermissionDenied,
+            ErrorKind::NotFound,
+        ] {
+            assert!(!transient_accept_error(kind), "{kind:?} is not transient");
+        }
     }
 
     #[test]

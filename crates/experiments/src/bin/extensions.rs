@@ -6,7 +6,9 @@
 //! ```
 
 use pipeline_experiments::loaded::{loaded_latency_study, render_loaded};
-use pipeline_experiments::robustness::{render_robustness, robustness_study};
+use pipeline_experiments::robustness::{
+    link_robustness_study, render_link_robustness, render_robustness, robustness_study,
+};
 use pipeline_model::generator::{ExperimentKind, InstanceParams};
 
 fn main() {
@@ -70,6 +72,21 @@ fn main() {
             threads,
         );
         print!("{}", render_robustness(&rows, gamma));
+        println!();
+    }
+
+    println!("C. Link robustness: worst-case period when one boundary link degrades\n");
+    for (kind, n, p) in [(ExperimentKind::E1, 20, 10), (ExperimentKind::E4, 20, 10)] {
+        println!("-- {} (n = {n}, p = {p}, target 0.6·P_init)", kind.label());
+        let rows = link_robustness_study(
+            InstanceParams::paper(kind, n, p),
+            seed,
+            instances,
+            0.6,
+            gamma,
+            threads,
+        );
+        print!("{}", render_link_robustness(&rows, gamma));
         println!();
     }
 }

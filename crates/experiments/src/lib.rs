@@ -25,6 +25,7 @@
 //! ablations), `extensions` (loaded-latency and robustness studies).
 
 pub mod ascii;
+pub mod chaos;
 pub mod config;
 pub mod csvout;
 pub mod exact_shard;
@@ -38,6 +39,9 @@ pub mod summary;
 pub mod sweep;
 pub mod table;
 
+pub use chaos::{
+    chaos_fingerprint, chaos_study, render_chaos, ChaosParams, ChaosPlanKind, ChaosRow,
+};
 pub use config::{scenario_zoo, FigureSpec, ScenarioSpec, PAPER_FIGURES};
 pub use exact_shard::{
     exact_min_latency_for_period_sharded, exact_min_period_sharded, exact_pareto_front_sharded,

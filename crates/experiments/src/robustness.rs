@@ -114,6 +114,60 @@ pub fn degraded_period_inline(
     period
 }
 
+/// [`degraded_period_inline`]'s analogue for *links*: the period of
+/// `mapping` when boundary link `link` runs at `gamma × bandwidth`.
+///
+/// Link indices follow the simulator's convention: link `0` feeds the
+/// first interval from the outside world, link `k` (`1..m`) connects
+/// interval `k-1` to interval `k`, and link `m` drains the last interval
+/// to the sink. Degrading link `k` inflates interval `k`'s input
+/// transfer and interval `k-1`'s output transfer (the same physical
+/// wire, occupied on both sides under the one-port model); everything
+/// else keeps its nominal value. Bandwidth is rescaled *first*
+/// (`volume / (b × gamma)`), the association a rebuilt platform would
+/// use, so the internal-link case is bitwise comparable to rebuilding
+/// a heterogeneous platform with that one matrix entry scaled.
+pub fn degraded_period_link_inline(
+    cm: &CostModel<'_>,
+    mapping: &IntervalMapping,
+    link: usize,
+    gamma: f64,
+) -> f64 {
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+    let m = mapping.n_intervals();
+    assert!(link <= m, "link index out of range");
+    let pf = cm.platform();
+    let app = cm.app();
+    let mut period = f64::NEG_INFINITY;
+    for j in 0..m {
+        let iv = mapping.intervals()[j];
+        let u = mapping.proc_of(j);
+        let pred = (j > 0).then(|| mapping.proc_of(j - 1));
+        let succ = (j + 1 < m).then(|| mapping.proc_of(j + 1));
+        let nominal = cm.interval_cost(iv, u, pred, succ);
+        let t_in = if j == link {
+            let b = match pred {
+                None => pf.io_bandwidth_of(u),
+                Some(q) => pf.bandwidth(q, u),
+            };
+            app.input_volume(iv.start) / (b * gamma)
+        } else {
+            nominal.t_in
+        };
+        let t_out = if j + 1 == link {
+            let b = match succ {
+                None => pf.io_bandwidth_of(u),
+                Some(q) => pf.bandwidth(u, q),
+            };
+            app.output_volume(iv.end) / (b * gamma)
+        } else {
+            nominal.t_out
+        };
+        period = period.max(t_in + nominal.t_comp + t_out);
+    }
+    period
+}
+
 /// Runs the robustness study for every heuristic on one family.
 pub fn robustness_study(
     params: InstanceParams,
@@ -179,6 +233,83 @@ pub fn robustness_study(
         .collect()
 }
 
+/// Runs the *link* robustness study for every heuristic on one family:
+/// schedule at nominal bandwidths, then degrade each boundary link in
+/// turn to `gamma × bandwidth` and re-evaluate eq. 1 on the same
+/// mapping, reporting the worst case. Reuses [`RobustnessRow`] (the
+/// `mean_worst_degraded` column holds the worst *link*-degraded period)
+/// so downstream rendering and summaries need no new types.
+pub fn link_robustness_study(
+    params: InstanceParams,
+    seed: u64,
+    n_instances: usize,
+    target_factor: f64,
+    gamma: f64,
+    threads: usize,
+) -> Vec<RobustnessRow> {
+    let gen = InstanceGenerator::new(params);
+    let opts = ShardOptions::with_threads(threads);
+    let per_instance = sharded_map_items_with(
+        gen.batch(seed, n_instances),
+        opts,
+        SolveWorkspace::new,
+        |ws, (app, pf)| {
+            let cm = CostModel::new(&app, &pf);
+            let p0 = cm.single_proc_period();
+            let l0 = cm.optimal_latency();
+            let mut rows = Vec::with_capacity(6);
+            for kind in HeuristicKind::ALL {
+                let target = if kind.is_period_fixed() {
+                    target_factor * p0
+                } else {
+                    2.0 * l0
+                };
+                let res = kind.run_in(&cm, target, ws);
+                if !res.feasible {
+                    rows.push(None);
+                    continue;
+                }
+                let worst = (0..=res.mapping.n_intervals())
+                    .map(|k| degraded_period_link_inline(&cm, &res.mapping, k, gamma))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                rows.push(Some((res.period, worst, res.mapping.n_intervals() as f64)));
+            }
+            rows
+        },
+    );
+
+    HeuristicKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(h, kind)| {
+            let vals: Vec<(f64, f64, f64)> =
+                per_instance.iter().filter_map(|rows| rows[h]).collect();
+            let col = |f: fn(&(f64, f64, f64)) -> f64| {
+                mean(&vals.iter().map(f).collect::<Vec<_>>()).unwrap_or(f64::NAN)
+            };
+            RobustnessRow {
+                kind,
+                mean_period: col(|v| v.0),
+                mean_worst_degraded: col(|v| v.1),
+                mean_procs: col(|v| v.2),
+                n_feasible: vals.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the link study with its own header, same columns as
+/// [`render_robustness`].
+pub fn render_link_robustness(rows: &[RobustnessRow], gamma: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "single-link slowdown to {:.0}% of nominal bandwidth\n",
+        gamma * 100.0
+    ));
+    out.push_str(&render_rows(rows));
+    out
+}
+
 /// Renders the study as an aligned table.
 pub fn render_robustness(rows: &[RobustnessRow], gamma: f64) -> String {
     let mut out = String::new();
@@ -186,6 +317,13 @@ pub fn render_robustness(rows: &[RobustnessRow], gamma: f64) -> String {
         "single-processor slowdown to {:.0}% of nominal speed\n",
         gamma * 100.0
     ));
+    out.push_str(&render_rows(rows));
+    out
+}
+
+/// Shared column layout for both robustness tables.
+fn render_rows(rows: &[RobustnessRow]) -> String {
+    let mut out = String::new();
     out.push_str(&format!(
         "{:<16} {:>6} {:>10} {:>12} {:>7} {:>12}\n",
         "heuristic", "feas", "period", "worst-degr.", "procs", "degradation"
@@ -300,6 +438,136 @@ mod tests {
         }
         let s = render_robustness(&rows, 0.7);
         assert!(s.contains("degradation"));
+    }
+
+    #[test]
+    fn link_degradation_matches_a_rebuilt_heterogeneous_platform_bitwise() {
+        // Rebuild form: degrade one matrix entry of a fully
+        // heterogeneous platform and re-evaluate — must agree with the
+        // inline form bit for bit on internal links.
+        for seed in 0..4 {
+            let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E3, 9, 7));
+            let (app, pf0) = gen.instance(seed, 0);
+            // Solve on the comm-homogeneous platform (the split engine
+            // requires it), then lift it into an explicit matrix so a
+            // single entry can be rescaled.
+            let cm0 = CostModel::new(&app, &pf0);
+            let res = pipeline_core::sp_mono_p(&cm0, 0.7 * cm0.single_proc_period());
+            let p = pf0.n_procs();
+            let matrix: Vec<Vec<f64>> = (0..p)
+                .map(|u| (0..p).map(|v| pf0.bandwidth(u, v)).collect())
+                .collect();
+            let pf = Platform::fully_heterogeneous(
+                pf0.speeds().to_vec(),
+                matrix,
+                pf0.io_bandwidth_of(0),
+            )
+            .unwrap();
+            let cm = CostModel::new(&app, &pf);
+            let m = res.mapping.n_intervals();
+            for k in 1..m {
+                for gamma in [0.3, 0.7, 1.0] {
+                    let a = res.mapping.proc_of(k - 1);
+                    let b = res.mapping.proc_of(k);
+                    let LinkModel::Heterogeneous {
+                        matrix,
+                        io_bandwidth,
+                    } = pf.links()
+                    else {
+                        unreachable!()
+                    };
+                    let mut degraded = matrix.clone();
+                    degraded[a][b] *= gamma;
+                    let dpf = Platform::fully_heterogeneous(
+                        pf.speeds().to_vec(),
+                        degraded,
+                        *io_bandwidth,
+                    )
+                    .unwrap();
+                    let remapped = IntervalMapping::new(
+                        &app,
+                        &dpf,
+                        res.mapping.intervals().to_vec(),
+                        res.mapping.procs().to_vec(),
+                    )
+                    .unwrap();
+                    let rebuilt = CostModel::new(&app, &dpf).period(&remapped);
+                    let inline = degraded_period_link_inline(&cm, &res.mapping, k, gamma);
+                    assert_eq!(
+                        rebuilt.to_bits(),
+                        inline.to_bits(),
+                        "seed {seed}, link {k}, gamma {gamma}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_degradation_boundary_links_behave() {
+        let gen = InstanceGenerator::new(InstanceParams::paper(ExperimentKind::E2, 10, 8));
+        let (app, pf) = gen.instance(3, 0);
+        let cm = CostModel::new(&app, &pf);
+        let res = pipeline_core::sp_mono_p(&cm, 0.6 * cm.single_proc_period());
+        let m = res.mapping.n_intervals();
+        // gamma = 1 must reproduce the nominal period bitwise on every
+        // link, including both io boundaries.
+        for k in 0..=m {
+            let same = degraded_period_link_inline(&cm, &res.mapping, k, 1.0);
+            assert_eq!(same.to_bits(), res.period.to_bits(), "link {k}");
+        }
+        // A slower link can never shrink the period.
+        for k in 0..=m {
+            let d = degraded_period_link_inline(&cm, &res.mapping, k, 0.4);
+            assert!(d >= res.period - 1e-9, "link {k}");
+        }
+    }
+
+    #[test]
+    fn link_study_produces_consistent_rows() {
+        let rows = link_robustness_study(
+            InstanceParams::paper(ExperimentKind::E4, 10, 8),
+            11,
+            6,
+            0.6,
+            0.5,
+            2,
+        );
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            if r.n_feasible > 0 {
+                assert!(r.degradation() >= 1.0 - 1e-12, "{}", r.kind);
+            }
+        }
+        let s = render_link_robustness(&rows, 0.5);
+        assert!(s.contains("single-link slowdown"));
+        assert!(s.contains("degradation"));
+    }
+
+    #[test]
+    fn link_study_is_thread_count_invariant() {
+        let run = |threads| {
+            link_robustness_study(
+                InstanceParams::paper(ExperimentKind::E1, 8, 6),
+                5,
+                4,
+                0.6,
+                0.7,
+                threads,
+            )
+        };
+        let one = run(1);
+        for t in [2, 4] {
+            let other = run(t);
+            for (a, b) in one.iter().zip(&other) {
+                assert_eq!(a.mean_period.to_bits(), b.mean_period.to_bits());
+                assert_eq!(
+                    a.mean_worst_degraded.to_bits(),
+                    b.mean_worst_degraded.to_bits()
+                );
+                assert_eq!(a.n_feasible, b.n_feasible);
+            }
+        }
     }
 
     #[test]

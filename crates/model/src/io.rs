@@ -1431,11 +1431,36 @@ mod tests {
                     .for_key("bound"),
             ),
             WireReport::Failed(WireFailure::new(0, "line-too-long").at_line(3)),
+            // Budget refusals emitted by the serve path: a request quota
+            // or connection deadline exhausted mid-session.
+            WireReport::Failed(WireFailure::new(0, "quota-exceeded").at_line(9)),
+            WireReport::Failed(WireFailure::new(0, "deadline-exceeded").at_line(2)),
         ];
         for report in reports {
             let line = format_report(&report);
             assert_eq!(parse_report(&line).expect("round trip"), report, "{line}");
             assert_eq!(report.id(), parse_report(&line).unwrap().id());
+        }
+    }
+
+    #[test]
+    fn serve_refusal_codes_cross_the_wire_verbatim() {
+        // The serve path refuses over-budget connections with these
+        // exact lines; clients key on the code, so pin both directions.
+        let table = [
+            (
+                "report id=0 status=error code=quota-exceeded line=3",
+                WireFailure::new(0, "quota-exceeded").at_line(3),
+            ),
+            (
+                "report id=0 status=error code=deadline-exceeded line=2",
+                WireFailure::new(0, "deadline-exceeded").at_line(2),
+            ),
+        ];
+        for (line, failure) in table {
+            let report = WireReport::Failed(failure);
+            assert_eq!(format_report(&report), line);
+            assert_eq!(parse_report(line).expect("parses"), report);
         }
     }
 

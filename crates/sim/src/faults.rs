@@ -1,0 +1,1305 @@
+//! Fault injection: deterministic degraded-mode execution of a mapping.
+//!
+//! The steady-state simulator ([`crate::workflow`]) assumes a platform
+//! that never misbehaves. Production platforms do: processors slow down
+//! under background load, fail outright, links jitter, and the outside
+//! world offers work as an open-loop arrival process rather than a
+//! saturating feed. A [`FaultPlan`] scripts all of that — seeded and
+//! fully deterministic — and [`FaultedSim`] replays the pipeline state
+//! machine under the plan, producing a [`DegradedReport`]: sustained
+//! throughput, tail latency (p50/p99 over the data sets that made it),
+//! and the number of data sets dropped or stranded.
+//!
+//! Two execution modes share the fault hooks:
+//!
+//! * **Rendezvous** (`queue_capacity: None`) — exactly the paper's
+//!   machine: strictly serial stations, transfers occupying both
+//!   endpoints. With an *empty* plan this mode performs the same
+//!   arithmetic as [`PipelineSim::run`](crate::PipelineSim::run), event
+//!   for event, so its embedded [`SimReport`] is **bit-identical** to
+//!   the steady-state simulator's (pinned by
+//!   `tests/chaos_differential.rs` and a property test). Every fault
+//!   hook is structured so the no-fault path evaluates the original
+//!   expressions: a missing slowdown takes `t_comp` untouched, zero
+//!   jitter takes `t_xfer[k]` untouched, and no extra events enter the
+//!   queue.
+//! * **Queued** (`queue_capacity: Some(c)`) — a production-fidelity
+//!   relaxation: each station owns bounded input/output buffers of
+//!   capacity `c`, its network port and its CPU run concurrently (the
+//!   port still serializes receives and sends — one-port), and the
+//!   source sheds arrivals that find its bounded buffer full. This is
+//!   the mode for open-loop arrival processes, where "dropped data
+//!   sets" is a first-class outcome rather than a failure.
+//!
+//! Fail-stop semantics (both modes): at the scripted instant the
+//! processor's station dies permanently. Data sets held by the dead
+//! station — buffered, being received, computed, or sent — are
+//! **dropped**; in-flight transfers touching it complete for the
+//! surviving endpoint but deliver nothing. Upstream stations then stall
+//! behind the dead stage (back-pressure), so their in-flight data sets
+//! end the run **stranded**: offered = completed + dropped + stranded.
+//! Busy-time accounting credits each activity at start, so a span cut
+//! short by a mid-activity death stays credited in full — an accepted
+//! approximation, as `busy` feeds utilization diagnostics only.
+
+use crate::engine::EventQueue;
+use crate::metrics::SimReport;
+use crate::trace::{TraceEvent, TraceKind};
+use crate::workflow::{InputPolicy, SimConfig};
+use pipeline_model::prelude::*;
+use std::collections::{BTreeMap, VecDeque};
+
+/// How the outside world offers data sets when a plan overrides the
+/// [`SimConfig`] input policy. Both processes are seeded by
+/// [`FaultPlan::seed`] and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals with the given mean rate (data sets per time
+    /// unit): independent exponential inter-arrival gaps.
+    Poisson {
+        /// Mean arrival rate (> 0).
+        rate: f64,
+    },
+    /// Bursts of `burst` simultaneous arrivals, with exponential gaps
+    /// between bursts scaled so the long-run mean rate is still `rate`.
+    Bursty {
+        /// Long-run mean arrival rate (> 0).
+        rate: f64,
+        /// Arrivals per burst (≥ 1; `1` degenerates to Poisson).
+        burst: usize,
+    },
+}
+
+/// One scripted slowdown: processor `proc` computes at `factor` of its
+/// nominal speed for work *started* within `[at, until)`. Matches the
+/// robustness study's `gamma` convention: `factor` in `(0, 1]`, where
+/// `1.0` is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// The degraded processor.
+    pub proc: ProcId,
+    /// Start of the degraded window (inclusive).
+    pub at: f64,
+    /// End of the degraded window (exclusive).
+    pub until: f64,
+    /// Remaining speed fraction in `(0, 1]`.
+    pub factor: f64,
+}
+
+/// One scripted fail-stop: processor `proc` dies permanently at `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailStop {
+    /// The failing processor.
+    pub proc: ProcId,
+    /// Failure instant.
+    pub at: f64,
+}
+
+/// A deterministic, seeded script of platform misbehaviour. The empty
+/// plan ([`FaultPlan::default`]) injects nothing and leaves the
+/// simulator bit-identical to [`crate::PipelineSim`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of every stochastic ingredient (arrival gaps, link jitter).
+    /// Two runs with the same plan are identical.
+    pub seed: u64,
+    /// Open-loop arrival process; `None` uses the [`SimConfig`] input
+    /// policy unchanged.
+    pub arrivals: Option<ArrivalProcess>,
+    /// Scripted processor slowdowns (applied at compute start).
+    pub slowdowns: Vec<Slowdown>,
+    /// Scripted permanent processor failures.
+    pub fail_stops: Vec<FailStop>,
+    /// Per-transfer multiplicative jitter amplitude: each transfer of
+    /// data set `d` on link `k` takes `t · (1 + jitter · u(k, d))` with
+    /// `u` a deterministic uniform draw in `[0, 1)`. `0.0` disables
+    /// jitter and leaves transfer times bit-identical.
+    pub jitter: f64,
+    /// `Some(c)`: bounded-buffer mode — per-station input/output queues
+    /// of capacity `c` (≥ 1), port/CPU concurrency, and a bounded
+    /// source buffer that sheds overflow arrivals. `None`: the paper's
+    /// rendezvous semantics.
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::empty()
+    }
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            arrivals: None,
+            slowdowns: Vec::new(),
+            fail_stops: Vec::new(),
+            jitter: 0.0,
+            queue_capacity: None,
+        }
+    }
+
+    /// Whether this plan injects nothing (the bit-identity regime).
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_none()
+            && self.slowdowns.is_empty()
+            && self.fail_stops.is_empty()
+            && self.jitter == 0.0
+            && self.queue_capacity.is_none()
+    }
+
+    /// Panics on malformed ingredients (non-finite times, factors
+    /// outside `(0, 1]`, zero rates, zero capacities).
+    fn validate(&self) {
+        for s in &self.slowdowns {
+            assert!(
+                s.factor > 0.0 && s.factor <= 1.0,
+                "slowdown factor must be in (0, 1]"
+            );
+            assert!(
+                s.at.is_finite() && s.until.is_finite() && s.at >= 0.0 && s.until >= s.at,
+                "slowdown window must be finite and ordered"
+            );
+        }
+        for f in &self.fail_stops {
+            assert!(
+                f.at.is_finite() && f.at >= 0.0,
+                "fail-stop instant must be finite and non-negative"
+            );
+        }
+        assert!(
+            self.jitter >= 0.0 && self.jitter.is_finite(),
+            "jitter amplitude must be finite and non-negative"
+        );
+        if let Some(c) = self.queue_capacity {
+            assert!(c >= 1, "queue capacity must be at least 1");
+        }
+        match self.arrivals {
+            Some(ArrivalProcess::Poisson { rate }) => {
+                assert!(rate > 0.0 && rate.is_finite(), "arrival rate must be > 0");
+            }
+            Some(ArrivalProcess::Bursty { rate, burst }) => {
+                assert!(rate > 0.0 && rate.is_finite(), "arrival rate must be > 0");
+                assert!(burst >= 1, "burst size must be at least 1");
+            }
+            None => {}
+        }
+    }
+}
+
+/// Everything measured from one degraded run: the raw [`SimReport`]
+/// (entries of data sets that never completed stay `NaN`) plus the
+/// offered/completed/dropped accounting and the derived tail metrics.
+#[derive(Debug, Clone)]
+pub struct DegradedReport {
+    /// Raw per-data-set measurements. For data sets that never entered
+    /// (`start`) or never left (`completion`) the pipeline the entry is
+    /// `NaN`; with an empty [`FaultPlan`] every entry is finite and the
+    /// whole report is bit-identical to the steady-state simulator's.
+    pub report: SimReport,
+    /// Data sets offered to the pipeline.
+    pub offered: usize,
+    /// Data sets that fully left the pipeline.
+    pub completed: usize,
+    /// Data sets lost: shed at the bounded source buffer or destroyed
+    /// by a fail-stop while held in a dead station.
+    pub dropped: usize,
+}
+
+impl DegradedReport {
+    /// Data sets neither completed nor dropped — stuck behind a dead
+    /// stage when the run ended.
+    pub fn stranded(&self) -> usize {
+        self.offered - self.completed - self.dropped
+    }
+
+    /// Completed data sets per simulated time unit (`0` when nothing
+    /// completed).
+    pub fn sustained_throughput(&self) -> f64 {
+        if self.report.makespan > 0.0 && self.completed > 0 {
+            self.completed as f64 / self.report.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Response times of the completed data sets only.
+    pub fn completed_latencies(&self) -> Vec<f64> {
+        (0..self.report.n_datasets())
+            .map(|d| self.report.latency(d))
+            .filter(|l| l.is_finite())
+            .collect()
+    }
+
+    /// Nearest-rank percentile (`q` in `(0, 1]`) of the completed
+    /// response times; `None` when nothing completed.
+    pub fn latency_percentile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "percentile must be in (0, 1]");
+        let mut ls = self.completed_latencies();
+        if ls.is_empty() {
+            return None;
+        }
+        ls.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = (q * ls.len() as f64).ceil() as usize;
+        Some(ls[rank.max(1) - 1])
+    }
+
+    /// Median completed response time.
+    pub fn p50_latency(&self) -> Option<f64> {
+        self.latency_percentile(0.5)
+    }
+
+    /// 99th-percentile completed response time.
+    pub fn p99_latency(&self) -> Option<f64> {
+        self.latency_percentile(0.99)
+    }
+}
+
+/// Result pair of a degraded run: the report and (when requested) the
+/// trace.
+pub struct DegradedOutput {
+    /// Measurements and accounting.
+    pub degraded: DegradedReport,
+    /// Trace events (empty unless `record_trace`).
+    pub trace: Vec<TraceEvent>,
+}
+
+// ---------------------------------------------------------------------
+// Deterministic draws (splitmix64): self-contained so the sim crate
+// stays independent of any RNG crate and a plan's stream can never
+// drift when unrelated generators change.
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` keyed by `(seed, stream, index)`.
+fn unit_draw(seed: u64, stream: u64, index: u64) -> f64 {
+    let bits = mix64(seed ^ mix64(stream ^ mix64(index)));
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard exponential draw (mean 1) keyed like [`unit_draw`].
+fn exp_draw(seed: u64, stream: u64, index: u64) -> f64 {
+    -(1.0 - unit_draw(seed, stream, index)).ln()
+}
+
+const ARRIVAL_STREAM: u64 = 0x4152_5256; // "ARRV"
+const JITTER_STREAM: u64 = 0x4A49_5454; // "JITT"
+
+/// A configured degraded-mode simulation: the steady-state machine of
+/// [`crate::PipelineSim`] plus a [`FaultPlan`]. Construct with
+/// [`FaultedSim::new`], execute with [`FaultedSim::run`].
+pub struct FaultedSim<'a> {
+    cm: &'a CostModel<'a>,
+    mapping: &'a IntervalMapping,
+    config: SimConfig,
+    plan: FaultPlan,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    WaitRecv,
+    Receiving,
+    Computing,
+    WaitSend,
+    Sending,
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    TransferDone { link: usize, dataset: usize },
+    ComputeDone { station: usize, dataset: usize },
+    SourceReady,
+    Fault { proc: ProcId },
+}
+
+struct Station {
+    proc: ProcId,
+    t_comp: f64,
+    phase: Phase,
+    current: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QEv {
+    Arrival { dataset: usize },
+    TransferDone { link: usize, dataset: usize },
+    ComputeDone { station: usize, dataset: usize },
+    Fault { proc: ProcId },
+}
+
+/// Bounded-buffer station state (queued mode): the port serializes
+/// receives and sends, the CPU computes concurrently, and both FIFO
+/// buffers hold at most `cap` data sets.
+struct QStation {
+    proc: ProcId,
+    t_comp: f64,
+    inbuf: VecDeque<usize>,
+    outbuf: VecDeque<usize>,
+    port_busy: bool,
+    cpu_busy: bool,
+    /// Data set being computed right now.
+    computing: Option<usize>,
+    /// Computed data set waiting for output-buffer space (keeps the CPU
+    /// blocked).
+    blocked: Option<usize>,
+    dead: bool,
+}
+
+impl<'a> FaultedSim<'a> {
+    /// Binds a cost model, a mapping, the base simulation options and a
+    /// fault plan.
+    pub fn new(
+        cm: &'a CostModel<'a>,
+        mapping: &'a IntervalMapping,
+        config: SimConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        plan.validate();
+        FaultedSim {
+            cm,
+            mapping,
+            config,
+            plan,
+        }
+    }
+
+    /// Transfer durations for links `0..=m`, exactly as the steady-state
+    /// simulator precomputes them.
+    fn transfer_times(&self) -> Vec<f64> {
+        let app = self.cm.app();
+        let pf = self.cm.platform();
+        let m = self.mapping.n_intervals();
+        let ivs = self.mapping.intervals();
+        let procs = self.mapping.procs();
+        let mut t_xfer = Vec::with_capacity(m + 1);
+        t_xfer.push(app.input_volume(ivs[0].start) / pf.io_bandwidth_of(procs[0]));
+        for k in 1..m {
+            t_xfer.push(app.delta(ivs[k].start) / pf.bandwidth(procs[k - 1], procs[k]));
+        }
+        t_xfer.push(app.delta(app.n_stages()) / pf.io_bandwidth_of(procs[m - 1]));
+        t_xfer
+    }
+
+    /// Release times for `n` data sets: the plan's arrival process when
+    /// set, else the config input policy (the steady-state simulator's
+    /// exact bookkeeping).
+    fn release_times(&self, n: usize) -> Vec<f64> {
+        if let Some(arrivals) = self.plan.arrivals {
+            let mut ts = Vec::with_capacity(n);
+            let mut t = 0.0;
+            match arrivals {
+                ArrivalProcess::Poisson { rate } => {
+                    for i in 0..n {
+                        t += exp_draw(self.plan.seed, ARRIVAL_STREAM, i as u64) / rate;
+                        ts.push(t);
+                    }
+                }
+                ArrivalProcess::Bursty { rate, burst } => {
+                    for i in 0..n {
+                        if i % burst == 0 {
+                            t += exp_draw(self.plan.seed, ARRIVAL_STREAM, i as u64) * burst as f64
+                                / rate;
+                        }
+                        ts.push(t);
+                    }
+                }
+            }
+            return ts;
+        }
+        match &self.config.input {
+            InputPolicy::Saturating => vec![0.0; n],
+            InputPolicy::Periodic(p) => {
+                assert!(*p >= 0.0 && p.is_finite(), "invalid input period");
+                (0..n).map(|d| *p * d as f64).collect()
+            }
+            InputPolicy::ReleaseTimes(ts) => {
+                assert!(ts.len() >= n, "not enough release times");
+                assert!(
+                    ts.windows(2).all(|w| w[0] <= w[1]),
+                    "release times must be non-decreasing"
+                );
+                ts[..n].to_vec()
+            }
+        }
+    }
+
+    /// The slowdown factor in force on `proc` at `now`, if any (worst
+    /// wins when windows overlap).
+    fn slow_factor(&self, proc: ProcId, now: f64) -> Option<f64> {
+        let mut factor: Option<f64> = None;
+        for s in &self.plan.slowdowns {
+            if s.proc == proc && now >= s.at && now < s.until {
+                factor = Some(factor.map_or(s.factor, |g: f64| g.min(s.factor)));
+            }
+        }
+        factor
+    }
+
+    /// Compute time of station work `t_comp` started at `now` on `proc`:
+    /// the untouched value when no slowdown is in force (the bit-identity
+    /// path), else `t_comp / factor`.
+    fn comp_time(&self, proc: ProcId, t_comp: f64, now: f64) -> f64 {
+        match self.slow_factor(proc, now) {
+            Some(g) => t_comp / g,
+            None => t_comp,
+        }
+    }
+
+    /// Duration of the transfer of data set `d` on link `k`: the
+    /// untouched `t_xfer[k]` when jitter is off (the bit-identity path).
+    fn xfer_time(&self, t_xfer: &[f64], k: usize, d: usize) -> f64 {
+        if self.plan.jitter > 0.0 {
+            t_xfer[k]
+                * (1.0
+                    + self.plan.jitter
+                        * unit_draw(self.plan.seed, JITTER_STREAM ^ k as u64, d as u64))
+        } else {
+            t_xfer[k]
+        }
+    }
+
+    /// Runs `n_datasets` data sets through the pipeline under the plan.
+    pub fn run(&self, n_datasets: usize) -> DegradedOutput {
+        assert!(n_datasets > 0, "need at least one data set");
+        match self.plan.queue_capacity {
+            Some(cap) => self.run_queued(n_datasets, cap),
+            None => self.run_rendezvous(n_datasets),
+        }
+    }
+
+    /// The rendezvous machine: [`crate::PipelineSim::run`] with fault
+    /// hooks. With an empty plan every expression evaluates identically,
+    /// in the same event order.
+    fn run_rendezvous(&self, n_datasets: usize) -> DegradedOutput {
+        let app = self.cm.app();
+        let pf = self.cm.platform();
+        let m = self.mapping.n_intervals();
+        let ivs = self.mapping.intervals();
+        let procs = self.mapping.procs();
+        let t_xfer = self.transfer_times();
+
+        let mut stations: Vec<Station> = (0..m)
+            .map(|j| Station {
+                proc: procs[j],
+                t_comp: app.interval_work(ivs[j].start, ivs[j].end) / pf.speed(procs[j]),
+                phase: Phase::WaitRecv,
+                current: 0,
+            })
+            .collect();
+        let mut dead = vec![false; m];
+
+        let releases = self.release_times(n_datasets);
+        let mut source_busy = false;
+        let mut source_next = 0usize;
+        let mut released = 0usize;
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for &t in &releases {
+            queue.schedule(t, Ev::SourceReady);
+        }
+        for f in &self.plan.fail_stops {
+            queue.schedule(f.at, Ev::Fault { proc: f.proc });
+        }
+
+        let mut start = vec![f64::NAN; n_datasets];
+        let mut completion = vec![f64::NAN; n_datasets];
+        let mut busy: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut completed = 0usize;
+        let mut is_dropped = vec![false; n_datasets];
+        let mut dropped = 0usize;
+
+        macro_rules! record {
+            ($proc:expr, $kind:expr, $d:expr, $from:expr, $to:expr) => {{
+                *busy.entry($proc).or_insert(0.0) += $to - $from;
+                if self.config.record_trace {
+                    trace.push(TraceEvent {
+                        proc: $proc,
+                        kind: $kind,
+                        dataset: $d,
+                        start: $from,
+                        end: $to,
+                    });
+                }
+            }};
+        }
+
+        macro_rules! drop_ds {
+            ($d:expr) => {{
+                let d = $d;
+                if !is_dropped[d] {
+                    is_dropped[d] = true;
+                    dropped += 1;
+                }
+            }};
+        }
+
+        macro_rules! try_start {
+            ($k:expr, $now:expr) => {{
+                let k = $k;
+                let now = $now;
+                let mut started = false;
+                if k == 0 {
+                    if !dead[0]
+                        && !source_busy
+                        && source_next < n_datasets
+                        && source_next < released
+                        && stations[0].phase == Phase::WaitRecv
+                        && stations[0].current == source_next
+                    {
+                        let d = source_next;
+                        source_busy = true;
+                        stations[0].phase = Phase::Receiving;
+                        start[d] = now;
+                        let dt = self.xfer_time(&t_xfer, 0, d);
+                        record!(stations[0].proc, TraceKind::Receive, d, now, now + dt);
+                        queue.schedule(
+                            now + dt,
+                            Ev::TransferDone {
+                                link: 0,
+                                dataset: d,
+                            },
+                        );
+                        started = true;
+                    }
+                } else if k < m {
+                    if !dead[k - 1]
+                        && !dead[k]
+                        && stations[k - 1].phase == Phase::WaitSend
+                        && stations[k].phase == Phase::WaitRecv
+                        && stations[k].current == stations[k - 1].current
+                    {
+                        let d = stations[k - 1].current;
+                        stations[k - 1].phase = Phase::Sending;
+                        stations[k].phase = Phase::Receiving;
+                        let dt = self.xfer_time(&t_xfer, k, d);
+                        record!(stations[k - 1].proc, TraceKind::Send, d, now, now + dt);
+                        record!(stations[k].proc, TraceKind::Receive, d, now, now + dt);
+                        queue.schedule(
+                            now + dt,
+                            Ev::TransferDone {
+                                link: k,
+                                dataset: d,
+                            },
+                        );
+                        started = true;
+                    }
+                } else if !dead[m - 1] && stations[m - 1].phase == Phase::WaitSend {
+                    let d = stations[m - 1].current;
+                    stations[m - 1].phase = Phase::Sending;
+                    let dt = self.xfer_time(&t_xfer, m, d);
+                    record!(stations[m - 1].proc, TraceKind::Send, d, now, now + dt);
+                    queue.schedule(
+                        now + dt,
+                        Ev::TransferDone {
+                            link: m,
+                            dataset: d,
+                        },
+                    );
+                    started = true;
+                }
+                started
+            }};
+        }
+
+        macro_rules! advance_sender {
+            ($j:expr, $d:expr) => {{
+                let j = $j;
+                stations[j].current = $d + 1;
+                stations[j].phase = if $d + 1 == n_datasets {
+                    Phase::Finished
+                } else {
+                    Phase::WaitRecv
+                };
+            }};
+        }
+
+        while completed < n_datasets {
+            // A drained queue under faults means the pipeline stalled
+            // behind a dead stage: report the partial run (the
+            // steady-state machine would have deadlocked — impossible
+            // with an empty plan).
+            let Some((now, ev)) = queue.pop() else {
+                break;
+            };
+            match ev {
+                Ev::SourceReady => {
+                    released += 1;
+                }
+                Ev::Fault { proc } => {
+                    for j in 0..m {
+                        if stations[j].proc == proc && !dead[j] {
+                            dead[j] = true;
+                            if matches!(
+                                stations[j].phase,
+                                Phase::Receiving
+                                    | Phase::Computing
+                                    | Phase::WaitSend
+                                    | Phase::Sending
+                            ) {
+                                drop_ds!(stations[j].current);
+                            }
+                        }
+                    }
+                }
+                Ev::ComputeDone { station, dataset } => {
+                    if !dead[station] {
+                        debug_assert_eq!(stations[station].phase, Phase::Computing);
+                        debug_assert_eq!(stations[station].current, dataset);
+                        stations[station].phase = Phase::WaitSend;
+                    }
+                    // A dead station's compute produced nothing; the data
+                    // set was counted dropped at the failure instant.
+                }
+                Ev::TransferDone { link, dataset } => {
+                    if link == 0 {
+                        source_busy = false;
+                        source_next += 1;
+                    } else if !dead[link - 1] {
+                        advance_sender!(link - 1, dataset);
+                    }
+                    if link < m {
+                        if dead[link] {
+                            // Delivered into a dead station: lost
+                            // (counted at the failure instant).
+                        } else if link > 0 && dead[link - 1] {
+                            // The sender died mid-transfer: the data is
+                            // incomplete. The receiver frees up but the
+                            // data set is gone.
+                            drop_ds!(dataset);
+                            stations[link].phase = Phase::WaitRecv;
+                        } else {
+                            let st = &mut stations[link];
+                            debug_assert_eq!(st.phase, Phase::Receiving);
+                            st.phase = Phase::Computing;
+                            let t_done = now + self.comp_time(st.proc, st.t_comp, now);
+                            record!(st.proc, TraceKind::Compute, dataset, now, t_done);
+                            queue.schedule(
+                                t_done,
+                                Ev::ComputeDone {
+                                    station: link,
+                                    dataset,
+                                },
+                            );
+                        }
+                    } else if !dead[m - 1] {
+                        completion[dataset] = now;
+                        completed += 1;
+                    }
+                    // A final transfer whose sender died mid-send
+                    // delivered nothing (counted at the failure instant).
+                }
+            }
+            for k in 0..=m {
+                let _ = try_start!(k, now);
+            }
+        }
+
+        let makespan = completion.iter().copied().fold(0.0_f64, f64::max);
+        if self.plan.is_empty() {
+            debug_assert!(start.iter().all(|t| t.is_finite()));
+            debug_assert!(completion.iter().all(|t| t.is_finite()));
+        }
+        DegradedOutput {
+            degraded: DegradedReport {
+                report: SimReport {
+                    start,
+                    completion,
+                    busy,
+                    makespan,
+                },
+                offered: n_datasets,
+                completed,
+                dropped,
+            },
+            trace,
+        }
+    }
+
+    /// The bounded-buffer machine: per-station FIFO buffers of capacity
+    /// `cap`, concurrent port/CPU, and a bounded source buffer that
+    /// sheds overflow arrivals.
+    fn run_queued(&self, n_datasets: usize, cap: usize) -> DegradedOutput {
+        let app = self.cm.app();
+        let pf = self.cm.platform();
+        let m = self.mapping.n_intervals();
+        let ivs = self.mapping.intervals();
+        let procs = self.mapping.procs();
+        let t_xfer = self.transfer_times();
+
+        let mut stations: Vec<QStation> = (0..m)
+            .map(|j| QStation {
+                proc: procs[j],
+                t_comp: app.interval_work(ivs[j].start, ivs[j].end) / pf.speed(procs[j]),
+                inbuf: VecDeque::with_capacity(cap),
+                outbuf: VecDeque::with_capacity(cap),
+                port_busy: false,
+                cpu_busy: false,
+                computing: None,
+                blocked: None,
+                dead: false,
+            })
+            .collect();
+
+        let releases = self.release_times(n_datasets);
+        let mut source_q: VecDeque<usize> = VecDeque::with_capacity(cap);
+        let mut source_busy = false;
+
+        let mut queue: EventQueue<QEv> = EventQueue::new();
+        for (d, &t) in releases.iter().enumerate() {
+            queue.schedule(t, QEv::Arrival { dataset: d });
+        }
+        for f in &self.plan.fail_stops {
+            queue.schedule(f.at, QEv::Fault { proc: f.proc });
+        }
+
+        let mut start = vec![f64::NAN; n_datasets];
+        let mut completion = vec![f64::NAN; n_datasets];
+        let mut busy: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut completed = 0usize;
+        let mut is_dropped = vec![false; n_datasets];
+        let mut dropped = 0usize;
+
+        macro_rules! record {
+            ($proc:expr, $kind:expr, $d:expr, $from:expr, $to:expr) => {{
+                *busy.entry($proc).or_insert(0.0) += $to - $from;
+                if self.config.record_trace {
+                    trace.push(TraceEvent {
+                        proc: $proc,
+                        kind: $kind,
+                        dataset: $d,
+                        start: $from,
+                        end: $to,
+                    });
+                }
+            }};
+        }
+
+        macro_rules! drop_ds {
+            ($d:expr) => {{
+                let d = $d;
+                if !is_dropped[d] {
+                    is_dropped[d] = true;
+                    dropped += 1;
+                }
+            }};
+        }
+
+        // Moves a blocked computed data set into freed output-buffer
+        // space, releasing the CPU.
+        macro_rules! unblock {
+            ($j:expr) => {{
+                let j = $j;
+                if let Some(b) = stations[j].blocked.take() {
+                    stations[j].outbuf.push_back(b);
+                    stations[j].cpu_busy = false;
+                }
+            }};
+        }
+
+        // Tries to start the transfer on link `k`; true when started.
+        macro_rules! try_xfer {
+            ($k:expr, $now:expr) => {{
+                let k = $k;
+                let now = $now;
+                let mut started = false;
+                if k == 0 {
+                    if !stations[0].dead
+                        && !source_busy
+                        && !source_q.is_empty()
+                        && !stations[0].port_busy
+                        && stations[0].inbuf.len() < cap
+                    {
+                        let d = source_q.pop_front().expect("checked non-empty");
+                        source_busy = true;
+                        stations[0].port_busy = true;
+                        start[d] = now;
+                        let dt = self.xfer_time(&t_xfer, 0, d);
+                        record!(stations[0].proc, TraceKind::Receive, d, now, now + dt);
+                        queue.schedule(
+                            now + dt,
+                            QEv::TransferDone {
+                                link: 0,
+                                dataset: d,
+                            },
+                        );
+                        started = true;
+                    }
+                } else if k < m {
+                    if !stations[k - 1].dead
+                        && !stations[k].dead
+                        && !stations[k - 1].port_busy
+                        && !stations[k].port_busy
+                        && !stations[k - 1].outbuf.is_empty()
+                        && stations[k].inbuf.len() < cap
+                    {
+                        let d = stations[k - 1].outbuf.pop_front().expect("checked");
+                        unblock!(k - 1);
+                        stations[k - 1].port_busy = true;
+                        stations[k].port_busy = true;
+                        let dt = self.xfer_time(&t_xfer, k, d);
+                        record!(stations[k - 1].proc, TraceKind::Send, d, now, now + dt);
+                        record!(stations[k].proc, TraceKind::Receive, d, now, now + dt);
+                        queue.schedule(
+                            now + dt,
+                            QEv::TransferDone {
+                                link: k,
+                                dataset: d,
+                            },
+                        );
+                        started = true;
+                    }
+                } else if !stations[m - 1].dead
+                    && !stations[m - 1].port_busy
+                    && !stations[m - 1].outbuf.is_empty()
+                {
+                    let d = stations[m - 1].outbuf.pop_front().expect("checked");
+                    unblock!(m - 1);
+                    stations[m - 1].port_busy = true;
+                    let dt = self.xfer_time(&t_xfer, m, d);
+                    record!(stations[m - 1].proc, TraceKind::Send, d, now, now + dt);
+                    queue.schedule(
+                        now + dt,
+                        QEv::TransferDone {
+                            link: m,
+                            dataset: d,
+                        },
+                    );
+                    started = true;
+                }
+                started
+            }};
+        }
+
+        // Tries to start a compute on station `j`; true when started.
+        macro_rules! try_comp {
+            ($j:expr, $now:expr) => {{
+                let j = $j;
+                let now = $now;
+                let mut started = false;
+                if !stations[j].dead && !stations[j].cpu_busy && !stations[j].inbuf.is_empty() {
+                    let d = stations[j].inbuf.pop_front().expect("checked");
+                    stations[j].cpu_busy = true;
+                    stations[j].computing = Some(d);
+                    let t_done = now + self.comp_time(stations[j].proc, stations[j].t_comp, now);
+                    record!(stations[j].proc, TraceKind::Compute, d, now, t_done);
+                    queue.schedule(
+                        t_done,
+                        QEv::ComputeDone {
+                            station: j,
+                            dataset: d,
+                        },
+                    );
+                    started = true;
+                }
+                started
+            }};
+        }
+
+        while completed < n_datasets {
+            let Some((now, ev)) = queue.pop() else {
+                break;
+            };
+            match ev {
+                QEv::Arrival { dataset } => {
+                    if source_q.len() < cap {
+                        source_q.push_back(dataset);
+                    } else {
+                        // Bounded source buffer full: shed the arrival.
+                        drop_ds!(dataset);
+                    }
+                }
+                QEv::Fault { proc } => {
+                    for st in stations.iter_mut().take(m) {
+                        if st.proc == proc && !st.dead {
+                            st.dead = true;
+                            for &d in st.inbuf.iter().chain(st.outbuf.iter()) {
+                                drop_ds!(d);
+                            }
+                            if let Some(d) = st.computing {
+                                drop_ds!(d);
+                            }
+                            if let Some(d) = st.blocked {
+                                drop_ds!(d);
+                            }
+                        }
+                    }
+                }
+                QEv::ComputeDone { station, dataset } => {
+                    if !stations[station].dead {
+                        stations[station].computing = None;
+                        if stations[station].outbuf.len() < cap {
+                            stations[station].outbuf.push_back(dataset);
+                            stations[station].cpu_busy = false;
+                        } else {
+                            // Output buffer full: the CPU holds the
+                            // result and blocks until a send frees space.
+                            stations[station].blocked = Some(dataset);
+                        }
+                    }
+                }
+                QEv::TransferDone { link, dataset } => {
+                    if link == 0 {
+                        source_busy = false;
+                        if stations[0].dead {
+                            drop_ds!(dataset);
+                        } else {
+                            stations[0].port_busy = false;
+                            stations[0].inbuf.push_back(dataset);
+                        }
+                    } else if link < m {
+                        let s_dead = stations[link - 1].dead;
+                        let r_dead = stations[link].dead;
+                        if !s_dead {
+                            stations[link - 1].port_busy = false;
+                        }
+                        if !r_dead {
+                            stations[link].port_busy = false;
+                        }
+                        if s_dead || r_dead {
+                            drop_ds!(dataset);
+                        } else {
+                            stations[link].inbuf.push_back(dataset);
+                        }
+                    } else if stations[m - 1].dead {
+                        drop_ds!(dataset);
+                    } else {
+                        stations[m - 1].port_busy = false;
+                        completion[dataset] = now;
+                        completed += 1;
+                    }
+                }
+            }
+            // Greedy to fixpoint: starting a transfer can unblock a CPU
+            // and vice versa; repeat until nothing new starts.
+            loop {
+                let mut any = false;
+                for k in 0..=m {
+                    any |= try_xfer!(k, now);
+                }
+                for j in 0..m {
+                    any |= try_comp!(j, now);
+                }
+                if !any {
+                    break;
+                }
+            }
+        }
+
+        let makespan = completion.iter().copied().fold(0.0_f64, f64::max);
+        DegradedOutput {
+            degraded: DegradedReport {
+                report: SimReport {
+                    start,
+                    completion,
+                    busy,
+                    makespan,
+                },
+                offered: n_datasets,
+                completed,
+                dropped,
+            },
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::PipelineSim;
+    use pipeline_model::{Application, Platform};
+
+    fn two_interval_fixture() -> (Application, Platform, Vec<Interval>, Vec<usize>) {
+        // Interval 1 cycle = 6, interval 2 cycle = 8, latency = 12 (the
+        // workflow tests' hand-computed instance).
+        let app = Application::new(vec![4.0, 8.0, 2.0], vec![2.0, 6.0, 4.0, 10.0]).unwrap();
+        let pf = Platform::comm_homogeneous(vec![2.0, 4.0], 2.0).unwrap();
+        let ivs = vec![Interval::new(0, 2), Interval::new(2, 3)];
+        let procs = vec![1, 0];
+        (app, pf, ivs, procs)
+    }
+
+    fn sim_pair<'a>(
+        cm: &'a CostModel<'a>,
+        mapping: &'a IntervalMapping,
+        plan: FaultPlan,
+    ) -> (PipelineSim<'a>, FaultedSim<'a>) {
+        (
+            PipelineSim::new(cm, mapping, SimConfig::default()),
+            FaultedSim::new(cm, mapping, SimConfig::default(), plan),
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_the_steady_state_machine() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let (base, faulted) = sim_pair(&cm, &mapping, FaultPlan::empty());
+        let a = base.run(40).report;
+        let out = faulted.run(40);
+        let b = &out.degraded.report;
+        assert_eq!(out.degraded.completed, 40);
+        assert_eq!(out.degraded.dropped, 0);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        for d in 0..40 {
+            assert_eq!(a.start[d].to_bits(), b.start[d].to_bits());
+            assert_eq!(a.completion[d].to_bits(), b.completion[d].to_bits());
+        }
+        assert_eq!(a.busy.len(), b.busy.len());
+        for ((ka, va), (kb, vb)) in a.busy.iter().zip(b.busy.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    fn slowdown_of_the_bottleneck_inflates_the_steady_period() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        // Station 2 (cycle 8) runs on P0: halve it over the whole run.
+        let plan = FaultPlan {
+            slowdowns: vec![Slowdown {
+                proc: 0,
+                at: 0.0,
+                until: f64::MAX / 2.0,
+                factor: 0.5,
+            }],
+            ..FaultPlan::empty()
+        };
+        let out = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(60);
+        assert_eq!(out.degraded.completed, 60);
+        let degraded = out.degraded.report.steady_period().unwrap();
+        let nominal = cm.period(&mapping);
+        // P0's cycle is 2 + 1 + 5 = 8; halving its speed doubles only
+        // the compute term: 2 + 2 + 5 = 9.
+        assert!(
+            (degraded - 9.0).abs() < 1e-6,
+            "slowed bottleneck: steady period {degraded} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn transient_slowdown_recovers() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let plan = FaultPlan {
+            slowdowns: vec![Slowdown {
+                proc: 0,
+                at: 0.0,
+                until: 40.0,
+                factor: 0.25,
+            }],
+            ..FaultPlan::empty()
+        };
+        let out = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(80);
+        assert_eq!(out.degraded.completed, 80);
+        // The second half of the run is clean: the steady-period tail
+        // estimate converges back to the nominal period.
+        let tail = out.degraded.report.steady_period().unwrap();
+        let nominal = cm.period(&mapping);
+        assert!(
+            (tail - nominal).abs() < 0.05 * nominal,
+            "post-window steady period {tail} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn fail_stop_strands_the_tail_and_drops_in_flight_work() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let plan = FaultPlan {
+            fail_stops: vec![FailStop { proc: 0, at: 50.0 }],
+            ..FaultPlan::empty()
+        };
+        let out = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(60);
+        let deg = &out.degraded;
+        assert!(deg.completed > 0, "some data sets completed before death");
+        assert!(deg.completed < 60, "the pipeline died before finishing");
+        assert!(deg.dropped >= 1, "in-flight work was lost");
+        assert_eq!(deg.offered, deg.completed + deg.dropped + deg.stranded());
+        assert!(deg.sustained_throughput() > 0.0);
+        // Latency percentiles cover the completed prefix only.
+        assert!(deg.p99_latency().unwrap() >= deg.p50_latency().unwrap());
+    }
+
+    #[test]
+    fn jitter_keeps_everything_completing_but_never_speeds_transfers() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let base = PipelineSim::new(&cm, &mapping, SimConfig::default())
+            .run(30)
+            .report;
+        let plan = FaultPlan {
+            seed: 7,
+            jitter: 0.3,
+            ..FaultPlan::empty()
+        };
+        let out = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(30);
+        assert_eq!(out.degraded.completed, 30);
+        assert!(out.degraded.report.makespan >= base.makespan - 1e-9);
+        // Same plan, same seed: identical run.
+        let plan2 = FaultPlan {
+            seed: 7,
+            jitter: 0.3,
+            ..FaultPlan::empty()
+        };
+        let again = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan2).run(30);
+        assert_eq!(
+            out.degraded.report.makespan.to_bits(),
+            again.degraded.report.makespan.to_bits()
+        );
+    }
+
+    #[test]
+    fn queued_mode_completes_everything_and_buffering_never_hurts() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let rendezvous = PipelineSim::new(&cm, &mapping, SimConfig::default())
+            .run(50)
+            .report;
+        let plan = FaultPlan {
+            queue_capacity: Some(50),
+            ..FaultPlan::empty()
+        };
+        let out = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(50);
+        assert_eq!(out.degraded.completed, 50);
+        assert_eq!(out.degraded.dropped, 0);
+        assert!(
+            out.degraded.report.makespan <= rendezvous.makespan + 1e-9,
+            "buffering cannot slow the pipeline down"
+        );
+        // Completions stay FIFO and monotone.
+        for w in out.degraded.report.completion.windows(2) {
+            assert!(w[0] < w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_overflow_a_tiny_source_buffer() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let period = cm.period(&mapping);
+        let plan = FaultPlan {
+            seed: 3,
+            arrivals: Some(ArrivalProcess::Bursty {
+                // Offered load 2x the service rate, in bursts of 8.
+                rate: 2.0 / period,
+                burst: 8,
+            }),
+            queue_capacity: Some(1),
+            ..FaultPlan::empty()
+        };
+        let out = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(64);
+        let deg = &out.degraded;
+        assert!(deg.dropped > 0, "an overloaded 1-deep buffer must shed");
+        assert!(deg.completed > 0);
+        assert_eq!(deg.offered, deg.completed + deg.dropped + deg.stranded());
+    }
+
+    #[test]
+    fn poisson_arrivals_below_capacity_mostly_complete() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let period = cm.period(&mapping);
+        let plan = FaultPlan {
+            seed: 11,
+            arrivals: Some(ArrivalProcess::Poisson {
+                // Offered load at half the service rate.
+                rate: 0.5 / period,
+            }),
+            queue_capacity: Some(4),
+            ..FaultPlan::empty()
+        };
+        let out = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(40);
+        let deg = &out.degraded;
+        assert!(
+            deg.completed >= 36,
+            "light load should mostly complete: {} of 40",
+            deg.completed
+        );
+        assert!(deg.sustained_throughput() > 0.0);
+    }
+
+    #[test]
+    fn arrival_streams_are_deterministic_per_seed() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let mk = |seed| FaultPlan {
+            seed,
+            arrivals: Some(ArrivalProcess::Poisson { rate: 0.2 }),
+            ..FaultPlan::empty()
+        };
+        let sim = |plan| FaultedSim::new(&cm, &mapping, SimConfig::default(), plan).run(20);
+        let a = sim(mk(5));
+        let b = sim(mk(5));
+        let c = sim(mk(6));
+        assert_eq!(
+            a.degraded.report.makespan.to_bits(),
+            b.degraded.report.makespan.to_bits()
+        );
+        assert_ne!(
+            a.degraded.report.makespan.to_bits(),
+            c.degraded.report.makespan.to_bits(),
+            "different seeds draw different arrival streams"
+        );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_over_completed_only() {
+        let report = SimReport {
+            start: vec![0.0, 1.0, 2.0, f64::NAN],
+            completion: vec![10.0, 12.0, 16.0, f64::NAN],
+            busy: BTreeMap::new(),
+            makespan: 16.0,
+        };
+        let deg = DegradedReport {
+            report,
+            offered: 4,
+            completed: 3,
+            dropped: 1,
+        };
+        // Latencies: [10, 11, 14].
+        assert_eq!(deg.completed_latencies(), vec![10.0, 11.0, 14.0]);
+        assert_eq!(deg.latency_percentile(0.5), Some(11.0));
+        assert_eq!(deg.latency_percentile(1.0), Some(14.0));
+        assert_eq!(deg.p99_latency(), Some(14.0));
+        assert_eq!(deg.stranded(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn invalid_slowdown_factor_rejected() {
+        let (app, pf, ivs, procs) = two_interval_fixture();
+        let mapping = IntervalMapping::new(&app, &pf, ivs, procs).unwrap();
+        let cm = CostModel::new(&app, &pf);
+        let plan = FaultPlan {
+            slowdowns: vec![Slowdown {
+                proc: 0,
+                at: 0.0,
+                until: 1.0,
+                factor: 1.5,
+            }],
+            ..FaultPlan::empty()
+        };
+        let _ = FaultedSim::new(&cm, &mapping, SimConfig::default(), plan);
+    }
+}

@@ -23,15 +23,21 @@
 //! describes a realizable schedule.
 //!
 //! Modules: [`engine`] (generic event queue), [`workflow`] (the pipeline
-//! state machine), [`trace`] (event traces and ASCII Gantt charts),
+//! state machine), [`faults`] (deterministic fault injection: scripted
+//! slowdowns/fail-stops, link jitter, bounded buffers, open-loop
+//! arrivals), [`trace`] (event traces and ASCII Gantt charts),
 //! [`metrics`] (report extraction).
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod schedule;
 pub mod trace;
 pub mod workflow;
 
+pub use faults::{
+    ArrivalProcess, DegradedOutput, DegradedReport, FailStop, FaultPlan, FaultedSim, Slowdown,
+};
 pub use metrics::SimReport;
 pub use schedule::{build_sync_schedule, SyncSchedule};
 pub use trace::{Gantt, TraceEvent, TraceKind};

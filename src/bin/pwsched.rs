@@ -116,7 +116,13 @@ fn usage() -> ! {
          \tpwsched bench-sweep [--out FILE] [--sizes N1,N2,..] [--instances K]\n\
          \t[--grid G] [--batch-jobs J] [--check BASELINE] [--tolerance F]\n\
          \tpwsched serve <addr> [--default-instance FILE] [--max-conns N]\n\
-         \t[--cache-capacity N] [--idle-timeout-secs S]\n\
+         \t[--cache-capacity N] [--idle-timeout-secs S] [--request-quota N]\n\
+         \t[--conn-deadline-secs S]\n\
+         \tpwsched chaos [--families F1,F2|all] [--heuristics H1,H2|all]\n\
+         \t[--plans P1,P2|all] [--stages N] [--procs P] [--instances K]\n\
+         \t[--datasets D] [--seed S] [--threads T] [--verify-threads]\n\
+         \tpwsched bench-failover [--quick] [--out FILE] [--check BASELINE]\n\
+         \t[--tolerance F]\n\
          \tpwsched load <addr> [--replay FILE | --connections N --requests M\n\
          \t[--stages n] [--procs p]]\n\
          \tpwsched bench-serve [--quick] [--out FILE] [--check BASELINE]\n\
@@ -260,11 +266,23 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> ! {
             "--idle-timeout-secs" => {
                 config.idle_timeout = Duration::from_secs(value.parse().unwrap_or_else(|_| usage()))
             }
+            "--request-quota" => {
+                config.request_quota = Some(value.parse().unwrap_or_else(|_| usage()))
+            }
+            "--conn-deadline-secs" => {
+                config.conn_deadline = Some(Duration::from_secs(
+                    value.parse().unwrap_or_else(|_| usage()),
+                ))
+            }
             _ => usage(),
         }
     }
     if config.max_connections < 1 || config.cache_capacity < 1 {
         eprintln!("--max-conns and --cache-capacity must be >= 1");
+        usage();
+    }
+    if config.request_quota == Some(0) {
+        eprintln!("--request-quota must be >= 1");
         usage();
     }
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
@@ -838,6 +856,395 @@ fn run_bench_delta(mut args: impl Iterator<Item = String>) -> ! {
                 std::process::exit(1);
             }
             eprintln!("ok: n={n} delta-vs-scratch speedup {speedup:.2} >= {floor:.2}");
+        }
+    }
+    std::process::exit(0);
+}
+
+/// `chaos`: run the chaos study — zoo families × heuristics × named
+/// fault plans through the deterministic fault simulator, with the
+/// ride-it-out vs re-plan comparison on platform faults. Output is
+/// bit-identical for every `--threads` value; `--verify-threads` proves
+/// it on the spot by re-running at 1/2/4 threads and comparing
+/// fingerprints.
+fn run_chaos(mut args: impl Iterator<Item = String>) -> ! {
+    use pipeline_workflows::core::HeuristicKind;
+    use pipeline_workflows::experiments::{
+        chaos_fingerprint, chaos_study, render_chaos, ChaosParams, ChaosPlanKind,
+    };
+
+    let mut params = ChaosParams {
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        ..ChaosParams::default()
+    };
+    let mut verify_threads = false;
+    while let Some(flag) = args.next() {
+        if flag == "--verify-threads" {
+            verify_threads = true;
+            continue;
+        }
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        });
+        match flag.as_str() {
+            "--families" => {
+                if value != "all" {
+                    params.families = value
+                        .split(',')
+                        .map(|l| {
+                            ScenarioFamily::from_label(l.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown family {l}");
+                                usage();
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--heuristics" => {
+                if value == "all" {
+                    params.heuristics = HeuristicKind::ALL.to_vec();
+                } else {
+                    params.heuristics = value
+                        .split(',')
+                        .map(|l| {
+                            l.trim().parse::<HeuristicKind>().unwrap_or_else(|e| {
+                                eprintln!("{e}");
+                                usage();
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--plans" => {
+                if value != "all" {
+                    params.plans = value
+                        .split(',')
+                        .map(|l| {
+                            ChaosPlanKind::from_label(l.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown plan {l} (speed-dip|fail-stop|jitter|burst)");
+                                usage();
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--stages" => params.n_stages = value.parse().unwrap_or_else(|_| usage()),
+            "--procs" => params.n_procs = value.parse().unwrap_or_else(|_| usage()),
+            "--instances" => params.n_instances = value.parse().unwrap_or_else(|_| usage()),
+            "--datasets" => params.n_datasets = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => params.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => params.threads = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if params.n_stages < 2
+        || params.n_procs < 1
+        || params.n_instances < 1
+        || params.n_datasets < 1
+        || params.threads < 1
+    {
+        eprintln!("--stages must be >= 2, the other counts >= 1");
+        usage();
+    }
+
+    let rows = chaos_study(&params);
+    println!(
+        "chaos study: {} famil{}, {} heuristic{}, {} plan{}, {} instances, {} data sets, seed {}",
+        params.families.len(),
+        if params.families.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        params.heuristics.len(),
+        if params.heuristics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        params.plans.len(),
+        if params.plans.len() == 1 { "" } else { "s" },
+        params.n_instances,
+        params.n_datasets,
+        params.seed
+    );
+    print!("{}", render_chaos(&rows));
+
+    if verify_threads {
+        let fp = chaos_fingerprint(&rows);
+        for t in [1usize, 2, 4] {
+            let mut p = params.clone();
+            p.threads = t;
+            let other = chaos_fingerprint(&chaos_study(&p));
+            if other != fp {
+                eprintln!("FAIL: chaos study differs at {t} thread(s)");
+                std::process::exit(1);
+            }
+        }
+        println!("thread-count invariance: OK (1/2/4 threads, fingerprint {fp:#018x})");
+    }
+    std::process::exit(0);
+}
+
+/// `bench-failover`: measure fault recovery — the warm-started replan
+/// (`core::replan` riding `PreparedInstance::apply_in`) against a full
+/// re-prepare-and-solve from scratch on the degraded platform, for a
+/// speed drift and a fail-stop at each size. The two paths are asserted
+/// bit-identical before any timing is trusted. Emits
+/// `BENCH_failover.json`; `--check` gates each case's warm-vs-scratch
+/// speedup against a committed baseline (with an outright `>= 1` floor:
+/// the warm path must never lose) and the deterministic post-fault
+/// period ratio exactly.
+fn run_bench_failover(mut args: impl Iterator<Item = String>) -> ! {
+    use pipeline_workflows::core::replan::{replan, DetectedFault};
+    use pipeline_workflows::model::scenario::{ScenarioGenerator, ScenarioParams};
+    use std::time::Instant;
+
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.75f64;
+    let mut quick = false;
+    while let Some(flag) = args.next() {
+        if flag == "--quick" {
+            quick = true;
+            continue;
+        }
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        });
+        match flag.as_str() {
+            "--out" => out_path = Some(value),
+            "--check" => check_path = Some(value),
+            "--tolerance" => tolerance = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("--tolerance must be in [0, 1)");
+        usage();
+    }
+    // Quick mode (CI) runs the one size the acceptance gate cares about;
+    // the full run brackets it. Same per-size procedure and JSON schema,
+    // so `--check` matches quick runs against the committed full
+    // baseline by `n`.
+    let sizes: Vec<usize> = if quick { vec![120] } else { vec![60, 120, 240] };
+    let reps = 3usize;
+    let family = ScenarioFamily::from_label("heavy-tail").expect("registered family");
+    let request = SolveRequest::new(Objective::MinPeriod).strategy(Strategy::BestOfAll);
+
+    let mut case_entries: Vec<String> = Vec::new();
+    // (n, fault label, speedup, period_ratio) in emission order.
+    let mut ours: Vec<(usize, &'static str, f64, f64)> = Vec::new();
+    for &n in &sizes {
+        // Half as many processors as stages: spare capacity, so a lost
+        // processor is survivable and a re-plan has somewhere to go.
+        let p = (n / 2).max(2);
+        let gen = ScenarioGenerator::new(ScenarioParams::preset(family, n, p));
+        let (app, pf) = gen.instance(2007, 0);
+        let prepared = PreparedInstance::new(app.clone(), pf.clone());
+        let mut ws = SolveWorkspace::new();
+        let incumbent = prepared
+            .solve_in(&request, &mut ws)
+            .unwrap_or_else(|e| {
+                eprintln!("incumbent solve failed: {e}");
+                std::process::exit(1);
+            })
+            .result;
+        // Two victims, two stories. The *straggler* (slowest processor)
+        // drifting is the common fleet event: it sits outside the
+        // speed-order prefix the recorded trajectories consulted, so the
+        // warm path re-solves on carried artifacts while scratch
+        // re-records everything — the reuse case `apply_in` exists for.
+        // The *bottleneck* (processor owning the longest cycle)
+        // fail-stopping is the hard case: the artifacts consulted the
+        // lost processor, reuse is structurally impossible, and the warm
+        // path must merely not lose to scratch.
+        let bottleneck = {
+            let cm = prepared.cost_model();
+            let (mut best_j, mut best) = (0usize, f64::NEG_INFINITY);
+            for j in 0..incumbent.mapping.n_intervals() {
+                let c = cm.cycle_time(&incumbent.mapping, j);
+                if c > best {
+                    best = c;
+                    best_j = j;
+                }
+            }
+            incumbent.mapping.proc_of(best_j)
+        };
+        let straggler = *prepared
+            .platform()
+            .procs_by_speed_desc()
+            .last()
+            .expect("platform has processors");
+
+        for (label, fault) in [
+            (
+                "drift-straggler",
+                DetectedFault::SpeedDrift {
+                    proc: straggler,
+                    factor: 0.5,
+                },
+            ),
+            (
+                "loss-bottleneck",
+                DetectedFault::ProcessorLoss { proc: bottleneck },
+            ),
+        ] {
+            let mut warm_secs = f64::INFINITY;
+            let mut scratch_secs = f64::INFINITY;
+            let mut report = None;
+            let mut scratch_bits = None;
+            for _ in 0..reps {
+                // Warm path: the incumbent's prepared instance and
+                // workspace carry their artifacts through `apply_in`.
+                let t0 = Instant::now();
+                let (_, rep) = replan(&prepared, &incumbent.mapping, &fault, &request, &mut ws)
+                    .unwrap_or_else(|e| {
+                        eprintln!("replan failed: {e}");
+                        std::process::exit(1);
+                    });
+                warm_secs = warm_secs.min(t0.elapsed().as_secs_f64());
+
+                // Scratch path: same degraded instance, but a full
+                // preparation and a cold workspace.
+                let delta = fault.to_delta(prepared.platform()).expect("valid fault");
+                let t0 = Instant::now();
+                let (app2, pf2) = delta.apply_to(&app, &pf).unwrap_or_else(|e| {
+                    eprintln!("delta rejected: {e}");
+                    std::process::exit(1);
+                });
+                let cold = PreparedInstance::new(app2, pf2);
+                let mut cold_ws = SolveWorkspace::new();
+                let scratch = cold
+                    .solve_in(&request, &mut cold_ws)
+                    .unwrap_or_else(|e| {
+                        eprintln!("scratch solve failed: {e}");
+                        std::process::exit(1);
+                    })
+                    .result;
+                scratch_secs = scratch_secs.min(t0.elapsed().as_secs_f64());
+
+                assert_eq!(
+                    rep.resolved_period.to_bits(),
+                    scratch.period.to_bits(),
+                    "warm replan must match the scratch solve bit for bit (n={n}, {label})"
+                );
+                scratch_bits = Some(scratch.period.to_bits());
+                report = Some(rep);
+            }
+            let rep = report.expect("at least one rep ran");
+            let _ = scratch_bits;
+            let speedup = scratch_secs / warm_secs;
+            let period_ratio = rep.period_after / rep.period_nominal;
+            let rideout = rep.period_before / rep.period_nominal;
+            let rideout_cell = if rideout.is_finite() {
+                format!("{rideout:.6}")
+            } else {
+                "\"inf\"".to_string()
+            };
+            eprintln!(
+                "n={n:<4} p={p:<4} fault={label:<11} warm_ms={:<9.3} scratch_ms={:<9.3} \
+                 speedup={speedup:<7.2} period_ratio={period_ratio:.4} migration={}",
+                warm_secs * 1e3,
+                scratch_secs * 1e3,
+                rep.migration_distance
+            );
+            case_entries.push(format!(
+                "{{\"n\": {n}, \"p\": {p}, \"fault\": \"{label}\", \
+                 \"warm_ms\": {:.3}, \"scratch_ms\": {:.3}, \"speedup\": {speedup:.2}, \
+                 \"period_ratio\": {period_ratio:.6}, \"rideout_ratio\": {rideout_cell}, \
+                 \"migration\": {}, \"adopted\": {}}}",
+                warm_secs * 1e3,
+                scratch_secs * 1e3,
+                rep.migration_distance,
+                rep.adopted
+            ));
+            ours.push((n, label, speedup, period_ratio));
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"failover\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"family\": \"heavy-tail\", \"reps\": {reps}, \
+         \"strategy\": \"best-of-all\"}},\n"
+    ));
+    json.push_str("  \"cases\": [");
+    json.push_str(&case_entries.join(", "));
+    json.push_str("]\n}\n");
+
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    // Regression gate. Timing: each case's warm-vs-scratch speedup must
+    // stay within `tolerance` of the baseline's same-(n, position) case,
+    // and may never drop below 1.0 outright — the warm path losing to a
+    // cold re-prepare means the reuse story broke. Quality: the
+    // post-fault period ratio is deterministic, so it must match the
+    // baseline exactly (same binary, same arithmetic).
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let base_n = extract_f64_all(&baseline, "n");
+        let base_speedup = extract_f64_all(&baseline, "speedup");
+        let base_ratio = extract_f64_all(&baseline, "period_ratio");
+        if base_n.len() != base_speedup.len() || base_n.len() != base_ratio.len() {
+            eprintln!("baseline {path} is malformed");
+            std::process::exit(1);
+        }
+        let mut used = vec![false; base_n.len()];
+        for (n, label, speedup, period_ratio) in &ours {
+            // Cases are emitted in a fixed (size × fault) order in both
+            // runs; match by first unused entry with the same n.
+            let Some(idx) = (0..base_n.len()).find(|&i| !used[i] && base_n[i] == *n as f64) else {
+                eprintln!("baseline {path} has no entry for n={n} ({label})");
+                std::process::exit(1);
+            };
+            used[idx] = true;
+            // The straggler-drift case is the reuse story: the warm path
+            // must beat scratch outright. The bottleneck-loss case
+            // cannot reuse trajectories (they consulted the lost
+            // processor), so it is held to "not meaningfully slower".
+            let hard_floor = if *label == "drift-straggler" {
+                1.0
+            } else {
+                0.7
+            };
+            let floor = (base_speedup[idx] * (1.0 - tolerance)).max(hard_floor);
+            if *speedup < floor {
+                eprintln!(
+                    "REGRESSION: n={n} {label} warm-vs-scratch speedup {speedup:.2} < {floor:.2} \
+                     (baseline {:.2} - {:.0}%)",
+                    base_speedup[idx],
+                    tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+            // Compare at the JSON's emitted precision: the quantity is
+            // deterministic, but the baseline only stores six decimals.
+            let emitted: f64 = format!("{period_ratio:.6}").parse().expect("formatted f64");
+            if emitted != base_ratio[idx] {
+                eprintln!(
+                    "REGRESSION: n={n} {label} post-fault period ratio {period_ratio:.6} != \
+                     baseline {:.6} (deterministic quantity drifted)",
+                    base_ratio[idx]
+                );
+                std::process::exit(1);
+            }
+            eprintln!("ok: n={n} {label} speedup {speedup:.2} >= {floor:.2}, period ratio matches");
         }
     }
     std::process::exit(0);
@@ -1722,6 +2129,12 @@ fn main() {
     }
     if path == "bench-sweep" {
         run_bench_sweep(args);
+    }
+    if path == "chaos" {
+        run_chaos(args);
+    }
+    if path == "bench-failover" {
+        run_bench_failover(args);
     }
     let mut objective: Option<Objective> = None;
     let mut strategy = Strategy::Auto;

@@ -483,3 +483,85 @@ fn graceful_shutdown_drains_open_connections() {
     let n = reader.read_line(&mut rest).expect("EOF after shutdown");
     assert_eq!(n, 0);
 }
+
+#[test]
+fn over_quota_connection_is_refused_while_a_fresh_one_succeeds() {
+    let config = ServeConfig {
+        request_quota: Some(2),
+        ..ServeConfig::default()
+    };
+    let (handle, _state) = start(config, Some(&fixture("service_instance.pw")));
+    let (mut reader, mut writer) = connect(&handle);
+    // The first two requests fit the budget.
+    send(&mut writer, "solve id=1 objective=min-period");
+    assert!(recv(&mut reader).starts_with("report id=1 status=ok"));
+    send(&mut writer, "solve id=2 objective=min-latency");
+    assert!(recv(&mut reader).starts_with("report id=2 status=ok"));
+    // The third is refused with a structured failure (line counter
+    // included, like every other wire diagnostic)...
+    send(&mut writer, "solve id=3 objective=min-period");
+    assert_eq!(
+        recv(&mut reader),
+        "report id=0 status=error code=quota-exceeded line=3"
+    );
+    // ...and the connection is closed: EOF, not a hang.
+    let mut rest = String::new();
+    let n = reader.read_line(&mut rest).expect("EOF after refusal");
+    assert_eq!(n, 0);
+
+    // A fresh connection gets a fresh budget.
+    let (mut reader2, mut writer2) = connect(&handle);
+    send(&mut writer2, "solve id=9 objective=min-period");
+    assert!(recv(&mut reader2).starts_with("report id=9 status=ok"));
+    drop((reader2, writer2));
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections, 2);
+    // 4 requests reached the budgeted path; 1 was the refusal.
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.failures, 1);
+}
+
+#[test]
+fn blank_and_comment_lines_do_not_consume_the_quota() {
+    let config = ServeConfig {
+        request_quota: Some(1),
+        ..ServeConfig::default()
+    };
+    let (handle, _state) = start(config, Some(&fixture("service_instance.pw")));
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "# a comment");
+    send(&mut writer, "");
+    send(&mut writer, "solve id=1 objective=min-period");
+    assert!(recv(&mut reader).starts_with("report id=1 status=ok"));
+    send(&mut writer, "solve id=2 objective=min-period");
+    // Physical line 4: two skipped lines, one answered request, then
+    // the refusal.
+    assert_eq!(
+        recv(&mut reader),
+        "report id=0 status=error code=quota-exceeded line=4"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn expired_connection_deadline_is_refused_structurally() {
+    let config = ServeConfig {
+        conn_deadline: Some(Duration::from_millis(50)),
+        ..ServeConfig::default()
+    };
+    let (handle, _state) = start(config, Some(&fixture("service_instance.pw")));
+    let (mut reader, mut writer) = connect(&handle);
+    send(&mut writer, "solve id=1 objective=min-period");
+    assert!(recv(&mut reader).starts_with("report id=1 status=ok"));
+    std::thread::sleep(Duration::from_millis(120));
+    send(&mut writer, "solve id=2 objective=min-period");
+    assert_eq!(
+        recv(&mut reader),
+        "report id=0 status=error code=deadline-exceeded line=2"
+    );
+    let mut rest = String::new();
+    let n = reader.read_line(&mut rest).expect("EOF after refusal");
+    assert_eq!(n, 0);
+    handle.shutdown();
+}
